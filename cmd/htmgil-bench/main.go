@@ -1,0 +1,28 @@
+// Command htmgil-bench regenerates the paper's tables and figures.
+//
+//	htmgil-bench -experiment all -quick
+//	htmgil-bench -experiment fig5
+//
+// Experiments: micro fig5 fig6a fig6b fig7 fig8 fig9 aborts overhead
+// ablation all. -quick uses scaled-down problem sizes and fewer thread
+// counts; without it the full (paper-shaped) sweep runs, which takes tens
+// of minutes on one host core.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"htmgil/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to regenerate")
+	quick := flag.Bool("quick", false, "scaled-down problem sizes")
+	flag.Parse()
+	if err := bench.ByName(*experiment, os.Stdout, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

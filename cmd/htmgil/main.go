@@ -1,0 +1,105 @@
+// Command htmgil runs a mini-Ruby program on the simulated interpreter.
+//
+//	htmgil -mode htm -machine zec12 script.rb
+//	htmgil -mode gil -e 'puts 1 + 2'
+//
+// After the program finishes it can print the execution statistics the
+// paper's evaluation is built from (-stats).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"htmgil"
+	"htmgil/internal/compile"
+)
+
+func main() {
+	mode := flag.String("mode", "htm", "execution mode: gil, htm, fgl, ideal")
+	machine := flag.String("machine", "zec12", "machine profile: zec12, xeon")
+	expr := flag.String("e", "", "program text (instead of a file)")
+	txlen := flag.Int("txlen", 0, "fixed transaction length (0 = dynamic adjustment)")
+	stats := flag.Bool("stats", false, "print execution statistics")
+	dump := flag.Bool("dump", false, "disassemble the program instead of running it")
+	flag.Parse()
+
+	var prof *htmgil.Profile
+	switch *machine {
+	case "zec12":
+		prof = htmgil.ZEC12()
+	case "xeon":
+		prof = htmgil.XeonE3()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown machine %q\n", *machine)
+		os.Exit(2)
+	}
+	var m htmgil.Mode
+	switch *mode {
+	case "gil":
+		m = htmgil.ModeGIL
+	case "htm":
+		m = htmgil.ModeHTM
+	case "fgl":
+		m = htmgil.ModeFGL
+	case "ideal":
+		m = htmgil.ModeIdeal
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	src := *expr
+	if src == "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: htmgil [-mode M] [-machine P] [-stats] script.rb | -e 'code'")
+			os.Exit(2)
+		}
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		src = string(data)
+	}
+
+	opt := htmgil.DefaultOptions(prof, m)
+	opt.TxLength = int32(*txlen)
+	opt.Out = os.Stdout
+	vmm := htmgil.NewMachineOpts(opt)
+	if *dump {
+		iseq, err := vmm.VM.CompileSource(src, "main")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Print(compile.Disassemble(iseq, vmm.VM.Syms))
+		return
+	}
+	res, err := vmm.RunSource(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "\n-- %s on %s --\n", m, prof.Name)
+		fmt.Fprintf(os.Stderr, "virtual cycles: %d\n", res.Cycles)
+		fmt.Fprintf(os.Stderr, "bytecodes:      %d\n", res.Stats.Bytecodes)
+		fmt.Fprintf(os.Stderr, "threads:        %d\n", res.Stats.Threads)
+		fmt.Fprintf(os.Stderr, "gc runs:        %d\n", res.Stats.GCs)
+		if res.Stats.HTM != nil {
+			fmt.Fprintf(os.Stderr, "transactions:   %d begun, %d committed, %.2f%% aborted\n",
+				res.Stats.HTM.Begins, res.Stats.HTM.Commits, res.Stats.AbortRatio()*100)
+			var regions []string
+			for r := range res.Stats.ConflictRegions {
+				regions = append(regions, r)
+			}
+			sort.Strings(regions)
+			for _, r := range regions {
+				fmt.Fprintf(os.Stderr, "  conflicts at %-14s %d\n", r, res.Stats.ConflictRegions[r])
+			}
+		}
+	}
+}

@@ -1,0 +1,40 @@
+// NPB example: run one NAS Parallel Benchmark kernel across thread counts
+// and print the Figure 5-style scaling curve for GIL vs HTM-dynamic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"htmgil"
+)
+
+func main() {
+	kernel := flag.String("kernel", "ft", "bt|cg|ft|is|lu|mg|sp|while|iterator")
+	flag.Parse()
+	b := htmgil.Bench(*kernel)
+
+	base, err := htmgil.RunNPB(b, htmgil.ZEC12(), htmgil.ModeGIL, 1, htmgil.ClassS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on zEC12 (throughput, 1 = 1-thread GIL)\n", b)
+	fmt.Printf("%-8s %12s %12s\n", "threads", "GIL", "HTM-dynamic")
+	for _, th := range []int{1, 2, 4, 8, 12} {
+		g, err := htmgil.RunNPB(b, htmgil.ZEC12(), htmgil.ModeGIL, th, htmgil.ClassS)
+		if err != nil {
+			log.Fatal(err)
+		}
+		h, err := htmgil.RunNPB(b, htmgil.ZEC12(), htmgil.ModeHTM, th, htmgil.ClassS)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !g.Valid || !h.Valid {
+			log.Fatalf("validation failed at %d threads", th)
+		}
+		fmt.Printf("%-8d %12.2f %12.2f\n", th,
+			float64(base.Cycles)/float64(g.Cycles),
+			float64(base.Cycles)/float64(h.Cycles))
+	}
+}

@@ -1,0 +1,30 @@
+// Webserver example: the paper's WEBrick experiment in miniature — a
+// thread-per-request Ruby HTTP server under increasing client load,
+// GIL vs HTM.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"htmgil"
+)
+
+func main() {
+	fmt.Println("WEBrick-style server on Xeon E3-1275 v3 (requests per virtual second)")
+	fmt.Println("(1,000 requests per point: the dynamic transaction-length adjustment")
+	fmt.Println(" needs a warm-up before HTM overtakes the GIL — the paper's own caveat)")
+	fmt.Printf("%-8s %12s %12s %14s\n", "clients", "GIL", "HTM", "HTM abort%")
+	for _, clients := range []int{1, 2, 4, 6} {
+		g, err := htmgil.RunWEBrick(htmgil.XeonE3(), htmgil.ModeGIL, clients, 1000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		h, err := htmgil.RunWEBrick(htmgil.XeonE3(), htmgil.ModeHTM, clients, 1000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d %12.0f %12.0f %13.1f%%\n",
+			clients, g.Throughput, h.Throughput, h.AbortRatio*100)
+	}
+}

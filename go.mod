@@ -1,0 +1,3 @@
+module htmgil
+
+go 1.22

@@ -1,0 +1,148 @@
+// Package htmgil reproduces "Eliminating Global Interpreter Locks in Ruby
+// through Hardware Transactional Memory" (Odaira, Castanos, Tomari;
+// PPoPP 2014) as a deterministic simulation: a CRuby-1.9-style mini-Ruby
+// interpreter whose Giant VM Lock can be elided with a software-modelled
+// HTM using the paper's Transactional Lock Elision and dynamic
+// per-yield-point transaction-length adjustment.
+//
+// The package is a facade over the internal packages:
+//
+//	m := htmgil.NewMachine(htmgil.ZEC12(), htmgil.ModeHTM)
+//	res, err := m.RunSource(`puts "hello"`)
+//
+// Benchmarks:
+//
+//	r, err := htmgil.RunNPB(htmgil.CG, htmgil.ZEC12(), htmgil.ModeHTM, 8, htmgil.ClassS)
+//	w, err := htmgil.RunWEBrick(htmgil.XeonE3(), htmgil.ModeHTM, 4, 300)
+//
+// Execution modes: ModeGIL (original CRuby), ModeHTM (the paper's design),
+// ModeFGL (JRuby-style fine-grained locking), ModeIdeal (application-
+// inherent scalability; the paper's Java NPB stand-in).
+package htmgil
+
+import (
+	"htmgil/internal/htm"
+	"htmgil/internal/npb"
+	"htmgil/internal/railslite"
+	"htmgil/internal/vm"
+	"htmgil/internal/webrick"
+)
+
+// Mode selects the concurrency design of the interpreter.
+type Mode = vm.Mode
+
+// Execution modes.
+const (
+	ModeGIL   = vm.ModeGIL
+	ModeHTM   = vm.ModeHTM
+	ModeFGL   = vm.ModeFGL
+	ModeIdeal = vm.ModeIdeal
+)
+
+// Profile describes a simulated machine with HTM.
+type Profile = htm.Profile
+
+// ZEC12 returns the IBM zEnterprise EC12 profile (12 cores, 256-byte
+// lines, 8 KB write sets).
+func ZEC12() *Profile { return htm.ZEC12() }
+
+// XeonE3 returns the Intel Xeon E3-1275 v3 profile (4 cores × 2 SMT,
+// 64-byte lines, TSX-style learning aborts).
+func XeonE3() *Profile { return htm.XeonE3() }
+
+// Options configures a Machine; see DefaultOptions.
+type Options = vm.Options
+
+// DefaultOptions returns the paper's optimized configuration.
+func DefaultOptions(p *Profile, mode Mode) Options { return vm.DefaultOptions(p, mode) }
+
+// Stats is the per-run statistics bundle (cycle breakdown, abort causes,
+// conflict regions, transaction-length histogram).
+type Stats = vm.Stats
+
+// RunResult is the outcome of executing a program.
+type RunResult = vm.RunResult
+
+// Machine is one configured interpreter instance.
+type Machine struct{ VM *vm.VM }
+
+// NewMachine builds an interpreter with default options.
+func NewMachine(p *Profile, mode Mode) *Machine {
+	return &Machine{VM: vm.New(vm.DefaultOptions(p, mode))}
+}
+
+// NewMachineOpts builds an interpreter with explicit options.
+func NewMachineOpts(opt Options) *Machine { return &Machine{VM: vm.New(opt)} }
+
+// RunSource compiles and executes mini-Ruby source.
+func (m *Machine) RunSource(src string) (*RunResult, error) {
+	iseq, err := m.VM.CompileSource(src, "main")
+	if err != nil {
+		return nil, err
+	}
+	return m.VM.Run(iseq)
+}
+
+// NPB workload identifiers.
+type Bench = npb.Bench
+
+// The paper's workloads.
+const (
+	BT       = npb.BT
+	CG       = npb.CG
+	FT       = npb.FT
+	IS       = npb.IS
+	LU       = npb.LU
+	MG       = npb.MG
+	SP       = npb.SP
+	While    = npb.While
+	Iterator = npb.Iterator
+)
+
+// Class scales problem sizes (Test, S, W — loosely NPB classes).
+type Class = npb.Class
+
+// Problem classes.
+const (
+	ClassTest = npb.ClassTest
+	ClassS    = npb.ClassS
+	ClassW    = npb.ClassW
+)
+
+// NPBResult is one kernel execution outcome.
+type NPBResult = npb.Result
+
+// RunNPB executes an NPB kernel or micro-benchmark.
+func RunNPB(b Bench, p *Profile, mode Mode, threads int, c Class) (*NPBResult, error) {
+	return npb.RunSimple(b, p, mode, threads, c)
+}
+
+// ServerResult summarizes a WEBrick or Rails run.
+type ServerResult struct {
+	Clients    int
+	Completed  int
+	Cycles     int64
+	Throughput float64
+	AbortRatio float64
+	Stats      *Stats
+}
+
+// RunWEBrick benchmarks the WEBrick-style HTTP server.
+func RunWEBrick(p *Profile, mode Mode, clients, requests int) (*ServerResult, error) {
+	r, err := webrick.Run(webrick.Config{Prof: p, Mode: mode, Clients: clients, Requests: requests})
+	if err != nil {
+		return nil, err
+	}
+	return &ServerResult{Clients: r.Clients, Completed: r.Completed, Cycles: r.Cycles,
+		Throughput: r.Throughput, AbortRatio: r.AbortRatio, Stats: r.Stats}, nil
+}
+
+// RunRails benchmarks the Rails-like application.
+func RunRails(p *Profile, mode Mode, clients, requests int) (*ServerResult, error) {
+	r, err := railslite.Run(railslite.Config{Prof: p, Mode: mode, Clients: clients, Requests: requests})
+	if err != nil {
+		return nil, err
+	}
+	return &ServerResult{Clients: r.Clients, Completed: r.Completed, Cycles: r.Cycles,
+		Throughput: r.Throughput, AbortRatio: r.AbortRatio, Stats: r.Stats}, nil
+}

@@ -1,0 +1,93 @@
+package htmgil_test
+
+import (
+	"strings"
+	"testing"
+
+	"htmgil"
+)
+
+func TestFacadeRunSource(t *testing.T) {
+	m := htmgil.NewMachine(htmgil.ZEC12(), htmgil.ModeHTM)
+	res, err := m.RunSource(`puts [1, 2, 3].map { |x| x * x }.join(",")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(res.Output) != "1,4,9" {
+		t.Fatalf("output = %q", res.Output)
+	}
+}
+
+func TestFacadeNPB(t *testing.T) {
+	r, err := htmgil.RunNPB(htmgil.CG, htmgil.ZEC12(), htmgil.ModeHTM, 4, htmgil.ClassTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Valid {
+		t.Fatalf("cg invalid: %s", r.Output)
+	}
+}
+
+func TestFacadeServers(t *testing.T) {
+	w, err := htmgil.RunWEBrick(htmgil.XeonE3(), htmgil.ModeHTM, 2, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Completed != 30 {
+		t.Fatalf("webrick completed = %d", w.Completed)
+	}
+	r, err := htmgil.RunRails(htmgil.XeonE3(), htmgil.ModeGIL, 2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed != 20 {
+		t.Fatalf("rails completed = %d", r.Completed)
+	}
+}
+
+// TestHeadlineClaim verifies the paper's headline: on the NPB, HTM with
+// dynamic transaction lengths beats the GIL at 12 threads on zEC12.
+func TestHeadlineClaim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long calibration test")
+	}
+	for _, b := range []htmgil.Bench{htmgil.FT, htmgil.MG} {
+		gil, err := htmgil.RunNPB(b, htmgil.ZEC12(), htmgil.ModeGIL, 12, htmgil.ClassS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dyn, err := htmgil.RunNPB(b, htmgil.ZEC12(), htmgil.ModeHTM, 12, htmgil.ClassS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		speedup := float64(gil.Cycles) / float64(dyn.Cycles)
+		if speedup < 1.5 {
+			t.Fatalf("%s: HTM-dynamic speedup over GIL = %.2f, want >= 1.5", b, speedup)
+		}
+		t.Logf("%s: HTM-dynamic %.2fx over GIL at 12 threads", b, speedup)
+	}
+}
+
+// TestMicroBenchmarkHeadline verifies the ~10-fold micro-benchmark result
+// of Section 5.3.
+func TestMicroBenchmarkHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long calibration test")
+	}
+	for _, b := range []htmgil.Bench{htmgil.While, htmgil.Iterator} {
+		gil1, err := htmgil.RunNPB(b, htmgil.ZEC12(), htmgil.ModeGIL, 1, htmgil.ClassS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dyn12, err := htmgil.RunNPB(b, htmgil.ZEC12(), htmgil.ModeHTM, 12, htmgil.ClassS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Per-thread workloads: throughput = threads * cycle ratio.
+		tp := 12 * float64(gil1.Cycles) / float64(dyn12.Cycles)
+		if tp < 8 {
+			t.Fatalf("%s: throughput %.1fx, want >= 8x (paper: 10-11x)", b, tp)
+		}
+		t.Logf("%s: %.1fx over 1-thread GIL at 12 threads", b, tp)
+	}
+}

@@ -1,0 +1,508 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Section 5) on the simulated machines. Each Fig* function
+// writes a plain-text table whose rows correspond to the points of the
+// original plot; EXPERIMENTS.md records the comparison against the paper.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"htmgil/internal/htm"
+	"htmgil/internal/npb"
+	"htmgil/internal/railslite"
+	"htmgil/internal/simmem"
+	"htmgil/internal/vm"
+	"htmgil/internal/webrick"
+)
+
+// Config names one interpreter configuration of Figure 5/7.
+type Config struct {
+	Name     string
+	Mode     vm.Mode
+	TxLength int32
+}
+
+// Configs returns the paper's five configurations.
+func Configs() []Config {
+	return []Config{
+		{"GIL", vm.ModeGIL, 0},
+		{"HTM-1", vm.ModeHTM, 1},
+		{"HTM-16", vm.ModeHTM, 16},
+		{"HTM-256", vm.ModeHTM, 256},
+		{"HTM-dynamic", vm.ModeHTM, 0},
+	}
+}
+
+// threadsFor returns the paper's thread counts for a machine.
+func threadsFor(p *htm.Profile, quick bool) []int {
+	if p.SMTWays == 1 {
+		if quick {
+			return []int{1, 4, 12}
+		}
+		return []int{1, 2, 4, 8, 12}
+	}
+	if quick {
+		return []int{1, 4, 8}
+	}
+	return []int{1, 2, 4, 6, 8}
+}
+
+func classFor(quick bool) npb.Class {
+	if quick {
+		return npb.ClassS
+	}
+	return npb.ClassW
+}
+
+// runKernel executes one NPB configuration point.
+func runKernel(b npb.Bench, p *htm.Profile, cfg Config, threads int, c npb.Class) (*npb.Result, error) {
+	opt := vm.DefaultOptions(p, cfg.Mode)
+	opt.TxLength = cfg.TxLength
+	return npb.Run(b, opt, threads, npb.ParamsFor(b, c))
+}
+
+// Fig5 regenerates Figure 5: NPB throughput against threads for the five
+// configurations on both machines, normalized to 1-thread GIL.
+func Fig5(w io.Writer, quick bool) error {
+	for _, prof := range []*htm.Profile{htm.ZEC12(), htm.XeonE3()} {
+		for _, bench := range npb.Kernels {
+			fmt.Fprintf(w, "\n# Figure 5 — %s on %s (throughput, 1 = 1-thread GIL)\n", bench, prof.Name)
+			base, err := runKernel(bench, prof, Configs()[0], 1, classFor(quick))
+			if err != nil {
+				return fmt.Errorf("fig5 baseline %s: %w", bench, err)
+			}
+			fmt.Fprintf(w, "%-12s", "threads")
+			for _, cfg := range Configs() {
+				fmt.Fprintf(w, "%14s", cfg.Name)
+			}
+			fmt.Fprintln(w)
+			for _, th := range threadsFor(prof, quick) {
+				fmt.Fprintf(w, "%-12d", th)
+				for _, cfg := range Configs() {
+					r, err := runKernel(bench, prof, cfg, th, classFor(quick))
+					if err != nil {
+						return fmt.Errorf("fig5 %s/%s/%d: %w", bench, cfg.Name, th, err)
+					}
+					if !r.Valid {
+						return fmt.Errorf("fig5 %s/%s/%d: validation failed", bench, cfg.Name, th)
+					}
+					fmt.Fprintf(w, "%14.2f", float64(base.Cycles)/float64(r.Cycles))
+				}
+				fmt.Fprintln(w)
+			}
+		}
+	}
+	return nil
+}
+
+// Fig6a regenerates Figure 6(a): the TSX learning behaviour. A synthetic
+// transaction writes a shrinking working set; the success ratio recovers
+// only gradually after the set drops below capacity.
+func Fig6a(w io.Writer, quick bool) error {
+	prof := htm.XeonE3()
+	prof.InterruptMeanCycles = 0
+	mem := simmem.NewMemory(simmem.Config{LineBytes: prof.LineBytes}, 1)
+	base := mem.Reserve("data", 1<<21)
+	ctx := htm.NewContext(prof, mem, 0, 42)
+	iters := 10000
+	if quick {
+		iters = 2000
+	}
+	fmt.Fprintf(w, "\n# Figure 6a — write-set shrink on %s (success ratio per %d-iteration window)\n", prof.Name, 100)
+	fmt.Fprintf(w, "%-12s%-12s%-12s\n", "iteration", "sizeKB", "success%")
+	window, succ := 0, 0
+	iter := 0
+	for _, sizeKB := range []int{24, 20, 16, 12, 8, 4} {
+		lines := sizeKB << 10 / prof.LineBytes
+		for i := 0; i < iters; i++ {
+			ctx.Begin(0)
+			for l := 0; l < lines && !ctx.Tx.Doomed(); l++ {
+				ctx.Tx.Store(base+simmem.Addr(l*prof.LineBytes), simmem.Word{Bits: 1})
+			}
+			if _, ok := ctx.End(0); ok {
+				succ++
+			} else {
+				ctx.Abort()
+			}
+			window++
+			iter++
+			if window == 100 {
+				fmt.Fprintf(w, "%-12d%-12d%-12d\n", iter, sizeKB, succ)
+				window, succ = 0, 0
+			}
+		}
+	}
+	return nil
+}
+
+// Fig6b regenerates Figure 6(b): BT with the larger class on Xeon, where
+// the longer run lets HTM-dynamic reach and beat the fixed lengths.
+func Fig6b(w io.Writer, quick bool) error {
+	prof := htm.XeonE3()
+	class := npb.ClassW
+	if quick {
+		class = npb.ClassS
+	}
+	fmt.Fprintf(w, "\n# Figure 6b — BT class W on %s (throughput, 1 = 1-thread GIL)\n", prof.Name)
+	base, err := runKernel(npb.BT, prof, Configs()[0], 1, class)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-12s", "threads")
+	for _, cfg := range Configs() {
+		fmt.Fprintf(w, "%14s", cfg.Name)
+	}
+	fmt.Fprintln(w)
+	for _, th := range threadsFor(prof, quick) {
+		fmt.Fprintf(w, "%-12d", th)
+		for _, cfg := range Configs() {
+			r, err := runKernel(npb.BT, prof, cfg, th, class)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%14.2f", float64(base.Cycles)/float64(r.Cycles))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// serverConfigs mirrors Figure 7's five configurations.
+func serverPoint(app string, prof *htm.Profile, cfg Config, clients, requests int, zos bool) (float64, float64, error) {
+	switch app {
+	case "webrick":
+		r, err := webrick.Run(webrick.Config{Prof: prof, Mode: cfg.Mode, TxLength: cfg.TxLength,
+			Clients: clients, Requests: requests, ZOSMalloc: zos})
+		if err != nil {
+			return 0, 0, err
+		}
+		return r.Throughput, r.AbortRatio, nil
+	default:
+		r, err := railslite.Run(railslite.Config{Prof: prof, Mode: cfg.Mode, TxLength: cfg.TxLength,
+			Clients: clients, Requests: requests})
+		if err != nil {
+			return 0, 0, err
+		}
+		return r.Throughput, r.AbortRatio, nil
+	}
+}
+
+// Fig7 regenerates Figure 7: WEBrick on both machines and Rails on Xeon,
+// throughput normalized to 1-client GIL, plus HTM-dynamic abort ratios.
+func Fig7(w io.Writer, quick bool) error {
+	// The dynamic adjustment needs enough requests to adapt the handler
+	// sites' transaction lengths (the paper served 30,000 per point).
+	requests := 3000
+	clientsList := []int{1, 2, 3, 4, 5, 6}
+	if quick {
+		requests = 800
+		clientsList = []int{1, 2, 4, 6}
+	}
+	type app struct {
+		name string
+		prof *htm.Profile
+		zos  bool
+	}
+	apps := []app{
+		{"webrick", htm.ZEC12(), true},
+		{"webrick", htm.XeonE3(), false},
+		{"rails", htm.XeonE3(), false},
+	}
+	for _, a := range apps {
+		fmt.Fprintf(w, "\n# Figure 7 — %s on %s (throughput, 1 = 1-client GIL; rightmost: HTM-dynamic abort%%)\n", a.name, a.prof.Name)
+		baseTp, _, err := serverPoint(a.name, a.prof, Configs()[0], 1, requests, a.zos)
+		if err != nil {
+			return fmt.Errorf("fig7 %s baseline: %w", a.name, err)
+		}
+		fmt.Fprintf(w, "%-10s", "clients")
+		for _, cfg := range Configs() {
+			fmt.Fprintf(w, "%14s", cfg.Name)
+		}
+		fmt.Fprintf(w, "%14s\n", "abort%")
+		for _, cl := range clientsList {
+			fmt.Fprintf(w, "%-10d", cl)
+			var dynAbort float64
+			for _, cfg := range Configs() {
+				tp, ab, err := serverPoint(a.name, a.prof, cfg, cl, requests, a.zos)
+				if err != nil {
+					return fmt.Errorf("fig7 %s/%s/%d: %w", a.name, cfg.Name, cl, err)
+				}
+				if cfg.Name == "HTM-dynamic" {
+					dynAbort = ab
+				}
+				fmt.Fprintf(w, "%14.2f", tp/baseTp)
+			}
+			fmt.Fprintf(w, "%14.1f\n", dynAbort*100)
+		}
+	}
+	return nil
+}
+
+// Fig8 regenerates Figure 8: HTM-dynamic abort ratios of the NPB against
+// threads on both machines, and the cycle breakdown at 12 threads on zEC12.
+func Fig8(w io.Writer, quick bool) error {
+	class := classFor(quick)
+	dyn := Configs()[4]
+	for _, prof := range []*htm.Profile{htm.ZEC12(), htm.XeonE3()} {
+		fmt.Fprintf(w, "\n# Figure 8 — HTM-dynamic abort ratios (%%) on %s\n", prof.Name)
+		fmt.Fprintf(w, "%-10s", "threads")
+		for _, b := range npb.Kernels {
+			fmt.Fprintf(w, "%8s", b)
+		}
+		fmt.Fprintln(w)
+		for _, th := range threadsFor(prof, quick) {
+			fmt.Fprintf(w, "%-10d", th)
+			for _, b := range npb.Kernels {
+				r, err := runKernel(b, prof, dyn, th, class)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "%8.1f", r.Stats.AbortRatio()*100)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	// Cycle breakdown, 12 threads on zEC12.
+	fmt.Fprintf(w, "\n# Figure 8 — cycle breakdown, HTM-dynamic, 12 threads, zEC12 (%%)\n")
+	fmt.Fprintf(w, "%-8s%14s%14s%14s%14s%14s\n", "bench",
+		vm.CatBeginEnd, vm.CatTxSuccess, vm.CatTxAborted, vm.CatGILHeld, vm.CatGILWait)
+	for _, b := range npb.Kernels {
+		r, err := runKernel(b, htm.ZEC12(), dyn, 12, class)
+		if err != nil {
+			return err
+		}
+		total := float64(r.Stats.Cycles[vm.CatBeginEnd] + r.Stats.Cycles[vm.CatTxSuccess] +
+			r.Stats.Cycles[vm.CatTxAborted] + r.Stats.Cycles[vm.CatGILHeld] + r.Stats.Cycles[vm.CatGILWait])
+		if total == 0 {
+			total = 1
+		}
+		fmt.Fprintf(w, "%-8s", b)
+		for _, cat := range []vm.CycleCat{vm.CatBeginEnd, vm.CatTxSuccess, vm.CatTxAborted, vm.CatGILHeld, vm.CatGILWait} {
+			fmt.Fprintf(w, "%14.1f", 100*float64(r.Stats.Cycles[cat])/total)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Fig9 regenerates Figure 9: scalability of HTM-dynamic (zEC12), the
+// JRuby-style fine-grained-locking runtime, and the Ideal runtime (the
+// Java NPB stand-in), each normalized to its own 1-thread run.
+func Fig9(w io.Writer, quick bool) error {
+	class := classFor(quick)
+	runtimes := []struct {
+		name string
+		prof *htm.Profile
+		mode vm.Mode
+	}{
+		{"HTM-dynamic/zEC12", htm.ZEC12(), vm.ModeHTM},
+		{"FGL (JRuby-like)", htm.ZEC12(), vm.ModeFGL},
+		{"Ideal (Java-like)", htm.ZEC12(), vm.ModeIdeal},
+	}
+	for _, rt := range runtimes {
+		fmt.Fprintf(w, "\n# Figure 9 — scalability of %s (1 = own 1-thread)\n", rt.name)
+		fmt.Fprintf(w, "%-10s", "threads")
+		for _, b := range npb.Kernels {
+			fmt.Fprintf(w, "%8s", b)
+		}
+		fmt.Fprintln(w)
+		bases := map[npb.Bench]int64{}
+		for _, b := range npb.Kernels {
+			opt := vm.DefaultOptions(rt.prof, rt.mode)
+			r, err := npb.Run(b, opt, 1, npb.ParamsFor(b, class))
+			if err != nil {
+				return err
+			}
+			bases[b] = r.Cycles
+		}
+		for _, th := range threadsFor(rt.prof, quick) {
+			fmt.Fprintf(w, "%-10d", th)
+			for _, b := range npb.Kernels {
+				opt := vm.DefaultOptions(rt.prof, rt.mode)
+				r, err := npb.Run(b, opt, th, npb.ParamsFor(b, class))
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "%8.2f", float64(bases[b])/float64(r.Cycles))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}
+
+// MicroTable regenerates the Section 5.3 micro-benchmark result: While and
+// Iterator speedups of the best HTM configuration over the GIL at 12
+// threads on zEC12 (the paper reports 11- and 10-fold).
+func MicroTable(w io.Writer, quick bool) error {
+	prof := htm.ZEC12()
+	class := classFor(quick)
+	fmt.Fprintf(w, "\n# Section 5.3 — micro-benchmark throughput over 1-thread GIL on %s\n", prof.Name)
+	fmt.Fprintf(w, "# (Figure 4 workloads run per thread, so throughput = threads * cycle ratio)\n")
+	fmt.Fprintf(w, "%-10s%10s%16s%16s\n", "bench", "threads", "GIL", "HTM-dynamic")
+	for _, b := range npb.Micro {
+		base, err := runKernel(b, prof, Configs()[0], 1, class)
+		if err != nil {
+			return err
+		}
+		for _, th := range []int{1, 12} {
+			g, err := runKernel(b, prof, Configs()[0], th, class)
+			if err != nil {
+				return err
+			}
+			h, err := runKernel(b, prof, Configs()[4], th, class)
+			if err != nil {
+				return err
+			}
+			work := float64(th)
+			fmt.Fprintf(w, "%-10s%10d%16.2f%16.2f\n", b, th,
+				work*float64(base.Cycles)/float64(g.Cycles), work*float64(base.Cycles)/float64(h.Cycles))
+		}
+	}
+	return nil
+}
+
+// AbortsTable regenerates the Section 5.6 analyses: abort causes and the
+// memory regions responsible for conflict aborts.
+func AbortsTable(w io.Writer, quick bool) error {
+	class := classFor(quick)
+	dyn := Configs()[4]
+	fmt.Fprintf(w, "\n# Section 5.6 — abort causes and conflict regions, HTM-dynamic, 12 threads, zEC12\n")
+	for _, b := range npb.Kernels {
+		r, err := runKernel(b, htm.ZEC12(), dyn, 12, class)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-6s causes:", b)
+		var causes []string
+		for c := range r.Stats.AbortCauses {
+			causes = append(causes, c.String())
+		}
+		sort.Strings(causes)
+		total := uint64(0)
+		for _, n := range r.Stats.AbortCauses {
+			total += n
+		}
+		for _, cs := range causes {
+			for c, n := range r.Stats.AbortCauses {
+				if c.String() == cs && total > 0 {
+					fmt.Fprintf(w, " %s=%.0f%%", cs, 100*float64(n)/float64(total))
+				}
+			}
+		}
+		fmt.Fprintf(w, " | conflict regions:")
+		var regions []string
+		ctotal := uint64(0)
+		for reg, n := range r.Stats.ConflictRegions {
+			regions = append(regions, reg)
+			ctotal += n
+		}
+		sort.Strings(regions)
+		for _, reg := range regions {
+			if ctotal > 0 {
+				fmt.Fprintf(w, " %s=%.0f%%", reg, 100*float64(r.Stats.ConflictRegions[reg])/float64(ctotal))
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// OverheadTable regenerates the Section 5.6 single-thread overhead: the
+// paper reports HTM-dynamic 18–35% slower than the GIL with one thread.
+func OverheadTable(w io.Writer, quick bool) error {
+	class := classFor(quick)
+	fmt.Fprintf(w, "\n# Section 5.6 — single-thread overhead of HTM-dynamic vs GIL (zEC12)\n")
+	fmt.Fprintf(w, "%-8s%14s\n", "bench", "overhead%")
+	for _, b := range npb.Kernels {
+		g, err := runKernel(b, htm.ZEC12(), Configs()[0], 1, class)
+		if err != nil {
+			return err
+		}
+		h, err := runKernel(b, htm.ZEC12(), Configs()[4], 1, class)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-8s%14.1f\n", b, 100*(float64(h.Cycles)/float64(g.Cycles)-1))
+	}
+	return nil
+}
+
+// AblationTable regenerates the Section 4.2/4.4 findings: removing the new
+// yield points or the conflict removals destroys the HTM speedup.
+func AblationTable(w io.Writer, quick bool) error {
+	class := classFor(quick)
+	prof := htm.ZEC12()
+	threads := 8
+	bench := npb.FT
+	baseOpt := vm.DefaultOptions(prof, vm.ModeGIL)
+	baseRun, err := npb.Run(bench, baseOpt, threads, npb.ParamsFor(bench, class))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n# Ablations — %s, %d threads, zEC12 (speedup over GIL at same threads)\n", bench, threads)
+	fmt.Fprintf(w, "%-38s%14s\n", "configuration", "speedup")
+	type variant struct {
+		name string
+		mut  func(*vm.Options)
+	}
+	variants := []variant{
+		{"HTM-dynamic (all optimizations)", func(o *vm.Options) {}},
+		{"- extended yield points (§4.2)", func(o *vm.Options) { o.ExtendedYieldPoints = false }},
+		{"- thread-local free lists (§4.4)", func(o *vm.Options) { o.ThreadLocalFreeLists = false }},
+		{"- globals in TLS (§4.4)", func(o *vm.Options) { o.GlobalVarsToTLS = false }},
+		{"- fill-once inline caches (§4.4)", func(o *vm.Options) { o.FillOnceInlineCaches = false }},
+		{"- padded thread structs (§4.4)", func(o *vm.Options) { o.PaddedThreadStructs = false }},
+		{"- all conflict removals", func(o *vm.Options) {
+			o.ThreadLocalFreeLists = false
+			o.GlobalVarsToTLS = false
+			o.FillOnceInlineCaches = false
+			o.PaddedThreadStructs = false
+		}},
+	}
+	for _, va := range variants {
+		opt := vm.DefaultOptions(prof, vm.ModeHTM)
+		va.mut(&opt)
+		r, err := npb.Run(bench, opt, threads, npb.ParamsFor(bench, class))
+		if err != nil {
+			return fmt.Errorf("ablation %q: %w", va.name, err)
+		}
+		fmt.Fprintf(w, "%-38s%14.2f\n", va.name, float64(baseRun.Cycles)/float64(r.Cycles))
+	}
+	return nil
+}
+
+// All runs every experiment.
+func All(w io.Writer, quick bool) error {
+	steps := []struct {
+		name string
+		fn   func(io.Writer, bool) error
+	}{
+		{"micro", MicroTable}, {"fig5", Fig5}, {"fig6a", Fig6a}, {"fig6b", Fig6b},
+		{"fig7", Fig7}, {"fig8", Fig8}, {"fig9", Fig9},
+		{"aborts", AbortsTable}, {"overhead", OverheadTable}, {"ablation", AblationTable},
+	}
+	for _, s := range steps {
+		if err := s.fn(w, quick); err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+	}
+	return nil
+}
+
+// ByName dispatches one experiment by id.
+func ByName(name string, w io.Writer, quick bool) error {
+	m := map[string]func(io.Writer, bool) error{
+		"micro": MicroTable, "fig5": Fig5, "fig6a": Fig6a, "fig6b": Fig6b,
+		"fig7": Fig7, "fig8": Fig8, "fig9": Fig9,
+		"aborts": AbortsTable, "overhead": OverheadTable, "ablation": AblationTable,
+		"all": All,
+	}
+	fn, ok := m[name]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (try: micro fig5 fig6a fig6b fig7 fig8 fig9 aborts overhead ablation all)", name)
+	}
+	return fn(w, quick)
+}

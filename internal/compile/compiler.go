@@ -1,0 +1,528 @@
+package compile
+
+import (
+	"fmt"
+
+	"htmgil/internal/lang"
+)
+
+type compileError struct{ err error }
+
+// scope tracks local-variable slots within one iseq; blocks chain to their
+// lexical parent, methods start a fresh chain.
+type scope struct {
+	iseq   *ISeq
+	names  map[string]int
+	parent *scope
+}
+
+func (s *scope) declare(name string) int {
+	if i, ok := s.names[name]; ok {
+		return i
+	}
+	i := s.iseq.NumLocals
+	s.names[name] = i
+	s.iseq.NumLocals++
+	s.iseq.LocalNames = append(s.iseq.LocalNames, name)
+	return i
+}
+
+// resolve finds a local along the block chain and returns (slot, depth).
+func (s *scope) resolve(name string) (int, int, bool) {
+	depth := 0
+	for sc := s; sc != nil; sc = sc.parent {
+		if i, ok := sc.names[name]; ok {
+			return i, depth, true
+		}
+		depth++
+	}
+	return 0, 0, false
+}
+
+type fn struct {
+	c     *Compiler
+	iseq  *ISeq
+	scope *scope
+	// loop context for break/next inside while loops
+	loopStart []int
+	loopBreak [][]int // patch lists
+}
+
+// Compile compiles a parsed program into a top-level ISeq.
+func (c *Compiler) Compile(prog *lang.Program, name string) (iseq *ISeq, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ce, ok := r.(compileError)
+			if !ok {
+				panic(r)
+			}
+			err = ce.err
+		}
+	}()
+	iseq = c.newISeq(name, nil, false)
+	f := &fn{c: c, iseq: iseq, scope: &scope{iseq: iseq, names: map[string]int{}}}
+	f.compileBody(prog.Body, true)
+	f.emit(lastLine(prog.Body), OpLeave)
+	c.finish(iseq)
+	return iseq, nil
+}
+
+// CompileSource parses and compiles in one step.
+func (c *Compiler) CompileSource(src, name string) (*ISeq, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return c.Compile(prog, name)
+}
+
+func lastLine(body []lang.Node) int {
+	if len(body) == 0 {
+		return 0
+	}
+	return body[len(body)-1].Line()
+}
+
+func (c *Compiler) newISeq(name string, parent *ISeq, isBlock bool) *ISeq {
+	return &ISeq{Name: name, IsBlock: isBlock, EntryYP: c.YPs.Next()}
+}
+
+// finish assigns yield-point ids and marks escape status.
+func (c *Compiler) finish(iseq *ISeq) {
+	for _, ch := range iseq.Children {
+		if ch.IsBlock {
+			// A block captures this iseq's locals: they must live in a
+			// heap environment that survives aborts and thread handoff.
+			iseq.Escapes = true
+		}
+	}
+	for pc := range iseq.Code {
+		in := &iseq.Code[pc]
+		switch in.Op {
+		case OpLeave:
+			in.YPKind = YPOriginal
+		case OpJump:
+			if int(in.A) <= pc {
+				in.YPKind = YPOriginal
+			}
+		case OpGetLocal, OpGetIvar, OpGetCvar, OpSend,
+			OpOptPlus, OpOptMinus, OpOptMult, OpOptAref:
+			in.YPKind = YPExtended
+		}
+		if in.YPKind != YPNone {
+			in.YP = c.YPs.Next()
+		} else {
+			in.YP = -1
+		}
+	}
+}
+
+func (f *fn) fail(line int, format string, args ...any) {
+	panic(compileError{fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...))})
+}
+
+func (f *fn) emit(line int, op Op) int {
+	f.iseq.Code = append(f.iseq.Code, Instr{Op: op, C: -1, YP: -1, Line: int32(line)})
+	return len(f.iseq.Code) - 1
+}
+
+func (f *fn) emitABC(line int, op Op, a, b, cc int32) int {
+	f.iseq.Code = append(f.iseq.Code, Instr{Op: op, A: a, B: b, C: cc, YP: -1, Line: int32(line)})
+	return len(f.iseq.Code) - 1
+}
+
+func (f *fn) sym(name string) int32 { return int32(f.c.Syms.Intern(name)) }
+
+func (f *fn) ic() int32 {
+	i := f.iseq.NumICs
+	f.iseq.NumICs++
+	return int32(i)
+}
+
+func (f *fn) patch(at int) { f.iseq.Code[at].A = int32(len(f.iseq.Code)) }
+
+// compileBody compiles a statement list; when used is true the last
+// statement's value stays on the stack, otherwise everything is dropped.
+func (f *fn) compileBody(body []lang.Node, used bool) {
+	if len(body) == 0 {
+		if used {
+			f.emit(0, OpPutNil)
+		}
+		return
+	}
+	for i, stmt := range body {
+		last := i == len(body)-1
+		f.compileNode(stmt, used && last)
+	}
+}
+
+func (f *fn) compileNode(n lang.Node, used bool) {
+	switch t := n.(type) {
+	case *lang.IntLit:
+		if used {
+			at := f.emit(t.Line(), OpPutInt)
+			f.iseq.Code[at].Imm = t.Val
+		}
+	case *lang.FloatLit:
+		if used {
+			f.iseq.Floats = append(f.iseq.Floats, t.Val)
+			f.emitABC(t.Line(), OpPutFloat, int32(len(f.iseq.Floats)-1), 0, -1)
+		}
+	case *lang.StrLit:
+		f.compileString(t, used)
+	case *lang.SymLit:
+		if used {
+			f.emitABC(t.Line(), OpPutSym, f.sym(t.Name), 0, -1)
+		}
+	case *lang.NilLit:
+		if used {
+			f.emit(t.Line(), OpPutNil)
+		}
+	case *lang.BoolLit:
+		if used {
+			if t.Val {
+				f.emit(t.Line(), OpPutTrue)
+			} else {
+				f.emit(t.Line(), OpPutFalse)
+			}
+		}
+	case *lang.SelfLit:
+		if used {
+			f.emit(t.Line(), OpPutSelf)
+		}
+	case *lang.ArrayLit:
+		for _, e := range t.Elems {
+			f.compileNode(e, true)
+		}
+		f.emitABC(t.Line(), OpNewArray, int32(len(t.Elems)), 0, -1)
+		f.drop(t.Line(), used)
+	case *lang.HashLit:
+		for i := range t.Keys {
+			f.compileNode(t.Keys[i], true)
+			f.compileNode(t.Vals[i], true)
+		}
+		f.emitABC(t.Line(), OpNewHash, int32(len(t.Keys)), 0, -1)
+		f.drop(t.Line(), used)
+	case *lang.RangeLit:
+		f.compileNode(t.Lo, true)
+		f.compileNode(t.Hi, true)
+		excl := int32(0)
+		if t.Excl {
+			excl = 1
+		}
+		f.emitABC(t.Line(), OpNewRange, excl, 0, -1)
+		f.drop(t.Line(), used)
+	case *lang.LocalRef:
+		slot, depth, ok := f.scope.resolve(t.Name)
+		if !ok {
+			f.fail(t.Line(), "undefined local %q", t.Name)
+		}
+		f.emitABC(t.Line(), OpGetLocal, int32(slot), int32(depth), -1)
+		f.drop(t.Line(), used)
+	case *lang.IvarRef:
+		f.emitABC(t.Line(), OpGetIvar, f.sym(t.Name), f.ic(), -1)
+		f.drop(t.Line(), used)
+	case *lang.CvarRef:
+		f.emitABC(t.Line(), OpGetCvar, f.sym(t.Name), 0, -1)
+		f.drop(t.Line(), used)
+	case *lang.GvarRef:
+		f.emitABC(t.Line(), OpGetGlobal, f.sym(t.Name), 0, -1)
+		f.drop(t.Line(), used)
+	case *lang.ConstRef:
+		f.emitABC(t.Line(), OpGetConst, f.sym(t.Name), 0, -1)
+		f.drop(t.Line(), used)
+	case *lang.Assign:
+		f.compileAssign(t, used)
+	case *lang.AndOr:
+		f.compileNode(t.L, true)
+		f.emit(t.Line(), OpDup)
+		var br int
+		if t.Op == "&&" {
+			br = f.emitABC(t.Line(), OpBranchUnless, 0, 0, -1)
+		} else {
+			br = f.emitABC(t.Line(), OpBranchIf, 0, 0, -1)
+		}
+		f.emit(t.Line(), OpPop)
+		f.compileNode(t.R, true)
+		f.patch(br)
+		if !used {
+			f.emit(t.Line(), OpPop)
+		}
+	case *lang.BinOp:
+		f.compileBinOp(t, used)
+	case *lang.UnOp:
+		f.compileNode(t.X, true)
+		switch t.Op {
+		case "!":
+			f.emit(t.Line(), OpOptNot)
+		case "-":
+			f.emit(t.Line(), OpOptNeg)
+		default:
+			f.fail(t.Line(), "unsupported unary %q", t.Op)
+		}
+		f.drop(t.Line(), used)
+	case *lang.Index:
+		f.compileNode(t.Recv, true)
+		for _, a := range t.Args {
+			f.compileNode(a, true)
+		}
+		if len(t.Args) == 1 {
+			at := f.emitABC(t.Line(), OpOptAref, f.sym("[]"), 1, -1)
+			f.iseq.Code[at].D = f.ic()
+		} else {
+			at := f.emitABC(t.Line(), OpSend, f.sym("[]"), int32(len(t.Args)), -1)
+			f.iseq.Code[at].D = f.ic()
+		}
+		f.drop(t.Line(), used)
+	case *lang.Call:
+		f.compileCall(t, used)
+	case *lang.Yield:
+		for _, a := range t.Args {
+			f.compileNode(a, true)
+		}
+		f.emitABC(t.Line(), OpInvokeBlock, int32(len(t.Args)), 0, -1)
+		f.drop(t.Line(), used)
+	case *lang.If:
+		f.compileNode(t.Cond, true)
+		br := f.emitABC(t.Line(), OpBranchUnless, 0, 0, -1)
+		f.compileBody(t.Then, used)
+		end := f.emitABC(t.Line(), OpJump, 0, 0, -1)
+		f.patch(br)
+		f.compileBody(t.Else, used)
+		f.patch(end)
+	case *lang.While:
+		f.compileWhile(t, used)
+	case *lang.Break:
+		if len(f.loopBreak) == 0 {
+			f.fail(t.Line(), "break outside of loop")
+		}
+		at := f.emitABC(t.Line(), OpJump, 0, 0, -1)
+		f.loopBreak[len(f.loopBreak)-1] = append(f.loopBreak[len(f.loopBreak)-1], at)
+	case *lang.Next:
+		if len(f.loopStart) > 0 {
+			f.emitABC(t.Line(), OpJump, int32(f.loopStart[len(f.loopStart)-1]), 0, -1)
+		} else if f.iseq.IsBlock {
+			// next in a block returns nil from this iteration.
+			f.emit(t.Line(), OpPutNil)
+			f.emit(t.Line(), OpLeave)
+		} else {
+			f.fail(t.Line(), "next outside of loop or block")
+		}
+	case *lang.Return:
+		if t.Val != nil {
+			f.compileNode(t.Val, true)
+		} else {
+			f.emit(t.Line(), OpPutNil)
+		}
+		if f.iseq.IsBlock {
+			f.fail(t.Line(), "return inside a block is not supported")
+		}
+		f.emit(t.Line(), OpLeave)
+	case *lang.Def:
+		child := f.compileDef(t)
+		f.emitABC(t.Line(), OpDefineMethod, f.sym(t.Name), 0, int32(child))
+		if used {
+			f.emitABC(t.Line(), OpPutSym, f.sym(t.Name), 0, -1)
+		}
+	case *lang.ClassDef:
+		child := f.compileClassBody(t)
+		superSym := int32(-1)
+		if t.SuperName != "" {
+			superSym = f.sym(t.SuperName)
+		}
+		// The class body runs as a frame and leaves its value on the stack.
+		f.emitABC(t.Line(), OpDefineClass, f.sym(t.Name), superSym, int32(child))
+		if !used {
+			f.emit(t.Line(), OpPop)
+		}
+	default:
+		f.fail(n.Line(), "cannot compile %T", n)
+	}
+}
+
+func (f *fn) drop(line int, used bool) {
+	if !used {
+		f.emit(line, OpPop)
+	}
+}
+
+func (f *fn) compileString(t *lang.StrLit, used bool) {
+	if len(t.Segs) == 1 && t.Segs[0].Expr == nil {
+		f.iseq.Strings = append(f.iseq.Strings, t.Segs[0].Lit)
+		f.emitABC(t.Line(), OpPutStr, int32(len(f.iseq.Strings)-1), 0, -1)
+		f.drop(t.Line(), used)
+		return
+	}
+	for _, seg := range t.Segs {
+		if seg.Expr != nil {
+			f.compileNode(seg.Expr, true)
+		} else {
+			f.iseq.Strings = append(f.iseq.Strings, seg.Lit)
+			f.emitABC(t.Line(), OpPutStr, int32(len(f.iseq.Strings)-1), 0, -1)
+		}
+	}
+	f.emitABC(t.Line(), OpStrCat, int32(len(t.Segs)), 0, -1)
+	f.drop(t.Line(), used)
+}
+
+var optOps = map[string]Op{
+	"+": OpOptPlus, "-": OpOptMinus, "*": OpOptMult, "/": OpOptDiv,
+	"%": OpOptMod, "==": OpOptEq, "!=": OpOptNeq, "<": OpOptLt,
+	"<=": OpOptLe, ">": OpOptGt, ">=": OpOptGe, "<<": OpOptLtLt,
+}
+
+func (f *fn) compileBinOp(t *lang.BinOp, used bool) {
+	f.compileNode(t.L, true)
+	f.compileNode(t.R, true)
+	if op, ok := optOps[t.Op]; ok {
+		at := f.emitABC(t.Line(), op, f.sym(t.Op), 1, -1)
+		f.iseq.Code[at].D = f.ic()
+	} else {
+		// &, |, ^, >>, **, =~, <=> go through a plain send.
+		at := f.emitABC(t.Line(), OpSend, f.sym(t.Op), 1, -1)
+		f.iseq.Code[at].D = f.ic()
+	}
+	f.drop(t.Line(), used)
+}
+
+func (f *fn) compileAssign(t *lang.Assign, used bool) {
+	switch target := t.Target.(type) {
+	case *lang.LocalRef:
+		f.compileNode(t.Value, true)
+		if used {
+			f.emit(t.Line(), OpDup)
+		}
+		slot, depth, ok := f.scope.resolve(target.Name)
+		if !ok {
+			slot, depth = f.scope.declare(target.Name), 0
+		}
+		f.emitABC(t.Line(), OpSetLocal, int32(slot), int32(depth), -1)
+	case *lang.IvarRef:
+		f.compileNode(t.Value, true)
+		if used {
+			f.emit(t.Line(), OpDup)
+		}
+		f.emitABC(t.Line(), OpSetIvar, f.sym(target.Name), f.ic(), -1)
+	case *lang.CvarRef:
+		f.compileNode(t.Value, true)
+		if used {
+			f.emit(t.Line(), OpDup)
+		}
+		f.emitABC(t.Line(), OpSetCvar, f.sym(target.Name), 0, -1)
+	case *lang.GvarRef:
+		f.compileNode(t.Value, true)
+		if used {
+			f.emit(t.Line(), OpDup)
+		}
+		f.emitABC(t.Line(), OpSetGlobal, f.sym(target.Name), 0, -1)
+	case *lang.ConstRef:
+		f.compileNode(t.Value, true)
+		if used {
+			f.emit(t.Line(), OpDup)
+		}
+		f.emitABC(t.Line(), OpSetConst, f.sym(target.Name), 0, -1)
+	case *lang.Index:
+		// recv, idx..., value, opt_aset (leaves value on the stack)
+		f.compileNode(target.Recv, true)
+		for _, a := range target.Args {
+			f.compileNode(a, true)
+		}
+		f.compileNode(t.Value, true)
+		if len(target.Args) == 1 {
+			at := f.emitABC(t.Line(), OpOptAset, f.sym("[]="), 2, -1)
+			f.iseq.Code[at].D = f.ic()
+		} else {
+			at := f.emitABC(t.Line(), OpSend, f.sym("[]="), int32(len(target.Args)+1), -1)
+			f.iseq.Code[at].D = f.ic()
+		}
+		f.drop(t.Line(), used)
+	default:
+		f.fail(t.Line(), "cannot assign to %T", t.Target)
+	}
+}
+
+func (f *fn) compileWhile(t *lang.While, used bool) {
+	start := len(f.iseq.Code)
+	f.loopStart = append(f.loopStart, start)
+	f.loopBreak = append(f.loopBreak, nil)
+	f.compileNode(t.Cond, true)
+	var exit int
+	if t.Until {
+		exit = f.emitABC(t.Line(), OpBranchIf, 0, 0, -1)
+	} else {
+		exit = f.emitABC(t.Line(), OpBranchUnless, 0, 0, -1)
+	}
+	f.compileBody(t.Body, false)
+	f.emitABC(t.Line(), OpJump, int32(start), 0, -1)
+	f.patch(exit)
+	for _, at := range f.loopBreak[len(f.loopBreak)-1] {
+		f.patch(at)
+	}
+	f.loopStart = f.loopStart[:len(f.loopStart)-1]
+	f.loopBreak = f.loopBreak[:len(f.loopBreak)-1]
+	if used {
+		f.emit(t.Line(), OpPutNil)
+	}
+}
+
+func (f *fn) compileCall(t *lang.Call, used bool) {
+	if t.Recv != nil {
+		f.compileNode(t.Recv, true)
+	} else {
+		f.emit(t.Line(), OpPutSelf)
+	}
+	for _, a := range t.Args {
+		f.compileNode(a, true)
+	}
+	blockIdx := int32(-1)
+	if t.Block != nil {
+		blockIdx = int32(f.compileBlock(t.Block))
+	}
+	at := f.emitABC(t.Line(), OpSend, f.sym(t.Name), int32(len(t.Args)), blockIdx)
+	f.iseq.Code[at].D = f.ic()
+	f.drop(t.Line(), used)
+}
+
+// compileBlock compiles a block literal into a child iseq; its scope chains
+// to the current one so captured locals resolve with depth > 0.
+func (f *fn) compileBlock(b *lang.Block) int {
+	child := f.c.newISeq(f.iseq.Name+"-block", f.iseq, true)
+	child.Params = len(b.Params)
+	cf := &fn{c: f.c, iseq: child, scope: &scope{iseq: child, names: map[string]int{}, parent: f.scope}}
+	for _, p := range b.Params {
+		cf.scope.declare(p)
+	}
+	cf.compileBody(b.Body, true)
+	cf.emit(lastLine(b.Body), OpLeave)
+	f.c.finish(child)
+	f.iseq.Children = append(f.iseq.Children, child)
+	return len(f.iseq.Children) - 1
+}
+
+// compileDef compiles a method body into a child iseq with a fresh local
+// namespace.
+func (f *fn) compileDef(d *lang.Def) int {
+	child := f.c.newISeq(d.Name, nil, false)
+	child.Params = len(d.Params)
+	cf := &fn{c: f.c, iseq: child, scope: &scope{iseq: child, names: map[string]int{}}}
+	for _, p := range d.Params {
+		cf.scope.declare(p)
+	}
+	cf.compileBody(d.Body, true)
+	cf.emit(lastLine(d.Body), OpLeave)
+	f.c.finish(child)
+	f.iseq.Children = append(f.iseq.Children, child)
+	return len(f.iseq.Children) - 1
+}
+
+// compileClassBody compiles a class body; self inside is the class.
+func (f *fn) compileClassBody(cd *lang.ClassDef) int {
+	child := f.c.newISeq("<class:"+cd.Name+">", nil, false)
+	cf := &fn{c: f.c, iseq: child, scope: &scope{iseq: child, names: map[string]int{}}}
+	cf.compileBody(cd.Body, false)
+	cf.emit(lastLine(cd.Body), OpPutNil)
+	cf.emit(lastLine(cd.Body), OpLeave)
+	f.c.finish(child)
+	f.iseq.Children = append(f.iseq.Children, child)
+	return len(f.iseq.Children) - 1
+}

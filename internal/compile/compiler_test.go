@@ -1,0 +1,249 @@
+package compile
+
+import (
+	"testing"
+
+	"htmgil/internal/object"
+)
+
+func compileOK(t *testing.T, src string) (*Compiler, *ISeq) {
+	t.Helper()
+	c := New(object.NewSymTable(), &YPAlloc{})
+	iseq, err := c.CompileSource(src, "test")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return c, iseq
+}
+
+func ops(iseq *ISeq) []Op {
+	out := make([]Op, len(iseq.Code))
+	for i, in := range iseq.Code {
+		out[i] = in.Op
+	}
+	return out
+}
+
+func TestCompileArithmetic(t *testing.T) {
+	_, iseq := compileOK(t, "x = 1 + 2 * 3")
+	// The assignment is the program's final value, hence the dup.
+	want := []Op{OpPutInt, OpPutInt, OpPutInt, OpOptMult, OpOptPlus, OpDup, OpSetLocal, OpLeave}
+	got := ops(iseq)
+	if len(got) != len(want) {
+		t.Fatalf("ops = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("op %d = %v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestWhileLoopBackEdgeIsOriginalYieldPoint(t *testing.T) {
+	_, iseq := compileOK(t, "i = 0\nwhile i < 3\n i += 1\nend")
+	var backJumps, leaves int
+	for pc, in := range iseq.Code {
+		if in.Op == OpJump && int(in.A) <= pc {
+			if in.YPKind != YPOriginal || in.YP < 0 {
+				t.Fatalf("back edge at %d not an original yield point", pc)
+			}
+			backJumps++
+		}
+		if in.Op == OpLeave {
+			if in.YPKind != YPOriginal {
+				t.Fatalf("leave not an original yield point")
+			}
+			leaves++
+		}
+	}
+	if backJumps != 1 || leaves != 1 {
+		t.Fatalf("backJumps=%d leaves=%d", backJumps, leaves)
+	}
+}
+
+func TestExtendedYieldPoints(t *testing.T) {
+	// Per Section 4.2: getlocal, getinstancevariable, getclassvariable,
+	// send, opt_plus, opt_minus, opt_mult, opt_aref are yield points.
+	_, iseq := compileOK(t, "a = [1]\nb = a[0] + a[0] - 1 * 2\nfoo(b)\n@x\n@@y")
+	kinds := map[Op]YPKind{}
+	for _, in := range iseq.Code {
+		kinds[in.Op] = in.YPKind
+	}
+	for _, op := range []Op{OpGetLocal, OpOptAref, OpOptPlus, OpOptMinus, OpOptMult, OpSend, OpGetIvar, OpGetCvar} {
+		if kinds[op] != YPExtended {
+			t.Fatalf("%v is not an extended yield point", op)
+		}
+	}
+	// And the non-yield-points stay unmarked.
+	for _, op := range []Op{OpSetLocal, OpNewArray, OpPutInt} {
+		if kinds[op] != YPNone {
+			t.Fatalf("%v should not be a yield point", op)
+		}
+	}
+}
+
+func TestYieldPointIDsAreDense(t *testing.T) {
+	c, iseq := compileOK(t, "x = 1\ny = x + x\nz = y * 2\nputs z")
+	seen := map[int32]bool{}
+	var walk func(*ISeq)
+	walk = func(is *ISeq) {
+		if seen[is.EntryYP] {
+			t.Fatalf("duplicate entry yield point id")
+		}
+		seen[is.EntryYP] = true
+		for _, in := range is.Code {
+			if in.YP >= 0 {
+				if seen[in.YP] {
+					t.Fatalf("duplicate yield point id %d", in.YP)
+				}
+				seen[in.YP] = true
+				if int(in.YP) >= c.YPs.Count() {
+					t.Fatalf("yield point id out of range")
+				}
+			}
+		}
+		for _, ch := range is.Children {
+			walk(ch)
+		}
+	}
+	walk(iseq)
+}
+
+func TestBlockCapturesAndEscape(t *testing.T) {
+	_, iseq := compileOK(t, "x = 0\n(1..3).each do |i|\n x += i\nend\nx")
+	if !iseq.Escapes {
+		t.Fatalf("toplevel with capturing block must escape")
+	}
+	if len(iseq.Children) != 1 || !iseq.Children[0].IsBlock {
+		t.Fatalf("block child missing")
+	}
+	blk := iseq.Children[0]
+	// x inside the block resolves at depth 1.
+	foundOuter := false
+	for _, in := range blk.Code {
+		if in.Op == OpGetLocal && in.B == 1 {
+			foundOuter = true
+		}
+	}
+	if !foundOuter {
+		t.Fatalf("captured local not resolved at depth 1")
+	}
+}
+
+func TestMethodsDoNotEscapeWithoutBlocks(t *testing.T) {
+	_, iseq := compileOK(t, "def m(a)\n a + 1\nend")
+	meth := iseq.Children[0]
+	if meth.Escapes {
+		t.Fatalf("method without blocks must not escape")
+	}
+	if meth.Params != 1 || meth.NumLocals != 1 {
+		t.Fatalf("params=%d locals=%d", meth.Params, meth.NumLocals)
+	}
+}
+
+func TestUndefinedLocalIsError(t *testing.T) {
+	c := New(object.NewSymTable(), &YPAlloc{})
+	// The parser resolves bare idents to calls, so an undefined local can
+	// only be forced via block-param scoping subtleties; exercise the
+	// compiler error path directly with `break` misuse instead.
+	if _, err := c.CompileSource("break", "t"); err == nil {
+		t.Fatalf("break at toplevel must fail")
+	}
+	if _, err := c.CompileSource("def m\n (1..2).each do |i|\n return i\n end\nend", "t"); err == nil {
+		t.Fatalf("return from block must fail (unsupported)")
+	}
+}
+
+func TestInlineCacheSlotsAssigned(t *testing.T) {
+	_, iseq := compileOK(t, "@a = 1\n@b = @a\nfoo(1)\nbar(2)")
+	slots := map[int32]bool{}
+	n := 0
+	for _, in := range iseq.Code {
+		switch in.Op {
+		case OpGetIvar, OpSetIvar:
+			if slots[in.B] {
+				t.Fatalf("IC slot reused")
+			}
+			slots[in.B] = true
+			n++
+		case OpSend:
+			if slots[in.D] {
+				t.Fatalf("IC slot reused")
+			}
+			slots[in.D] = true
+			n++
+		}
+	}
+	if n != iseq.NumICs {
+		t.Fatalf("NumICs=%d but %d sites", iseq.NumICs, n)
+	}
+}
+
+func TestStringInterpolationCompiles(t *testing.T) {
+	_, iseq := compileOK(t, `x = 1
+s = "a#{x}b"`)
+	var strcat bool
+	for _, in := range iseq.Code {
+		if in.Op == OpStrCat && in.A == 3 {
+			strcat = true
+		}
+	}
+	if !strcat {
+		t.Fatalf("interpolation did not compile to strcat")
+	}
+}
+
+func TestClassAndMethodDefinition(t *testing.T) {
+	_, iseq := compileOK(t, `
+class Foo < Bar
+  def go(n)
+    n
+  end
+end
+`)
+	var dc *Instr
+	for i := range iseq.Code {
+		if iseq.Code[i].Op == OpDefineClass {
+			dc = &iseq.Code[i]
+		}
+	}
+	if dc == nil || dc.B < 0 {
+		t.Fatalf("defineclass with super missing")
+	}
+	body := iseq.Children[dc.C]
+	var dm bool
+	for _, in := range body.Code {
+		if in.Op == OpDefineMethod {
+			dm = true
+		}
+	}
+	if !dm {
+		t.Fatalf("method definition not inside class body")
+	}
+}
+
+func TestBreakAndNextInWhile(t *testing.T) {
+	_, iseq := compileOK(t, "i = 0\nwhile true\n i += 1\n if i > 3\n break\n end\n next\nend")
+	// The break jump must land after the loop, the next jump at the head.
+	var loopHead int32 = -1
+	for pc, in := range iseq.Code {
+		if in.Op == OpJump && int(in.A) <= pc && loopHead < 0 {
+			loopHead = in.A
+		}
+	}
+	if loopHead < 0 {
+		t.Fatalf("no back edge found")
+	}
+}
+
+func TestFloatAndStringPools(t *testing.T) {
+	_, iseq := compileOK(t, `a = 1.5
+b = 2.5
+s = "hello"`)
+	if len(iseq.Floats) != 2 || iseq.Floats[0] != 1.5 || iseq.Floats[1] != 2.5 {
+		t.Fatalf("float pool = %v", iseq.Floats)
+	}
+	if len(iseq.Strings) != 1 || iseq.Strings[0] != "hello" {
+		t.Fatalf("string pool = %v", iseq.Strings)
+	}
+}

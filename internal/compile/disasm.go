@@ -1,0 +1,130 @@
+package compile
+
+import (
+	"fmt"
+	"strings"
+
+	"htmgil/internal/object"
+)
+
+// Disassemble renders an instruction sequence (and its children) in a
+// YARV-like textual form, marking yield points and inline-cache slots.
+// It is the output of `htmgil -dump`.
+func Disassemble(iseq *ISeq, syms *object.SymTable) string {
+	var sb strings.Builder
+	disasmInto(&sb, iseq, syms, "")
+	return sb.String()
+}
+
+func disasmInto(sb *strings.Builder, iseq *ISeq, syms *object.SymTable, indent string) {
+	kind := "method"
+	if iseq.IsBlock {
+		kind = "block"
+	}
+	fmt.Fprintf(sb, "%s== %s %q (params=%d locals=%d escapes=%v ics=%d entryYP=%d)\n",
+		indent, kind, iseq.Name, iseq.Params, iseq.NumLocals, iseq.Escapes, iseq.NumICs, iseq.EntryYP)
+	for pc, in := range iseq.Code {
+		marker := "    "
+		switch in.YPKind {
+		case YPOriginal:
+			marker = "*o  "
+		case YPExtended:
+			marker = "*x  "
+		}
+		fmt.Fprintf(sb, "%s%s%04d %-20s %s\n", indent, marker, pc, in.Op, operands(iseq, &in, syms))
+	}
+	for _, ch := range iseq.Children {
+		disasmInto(sb, ch, syms, indent+"    ")
+	}
+}
+
+func operands(iseq *ISeq, in *Instr, syms *object.SymTable) string {
+	symName := func(id int32) string {
+		if syms == nil || id < 0 || int(id) >= syms.Len() {
+			return fmt.Sprintf("sym:%d", id)
+		}
+		return ":" + syms.Name(object.SymID(id))
+	}
+	switch in.Op {
+	case OpPutInt:
+		return fmt.Sprintf("%d", in.Imm)
+	case OpPutFloat:
+		return fmt.Sprintf("%g", iseq.Floats[in.A])
+	case OpPutStr:
+		return fmt.Sprintf("%q", iseq.Strings[in.A])
+	case OpPutSym, OpGetCvar, OpSetCvar, OpGetGlobal, OpSetGlobal,
+		OpGetConst, OpSetConst:
+		return symName(in.A)
+	case OpGetLocal, OpSetLocal:
+		name := ""
+		if in.B == 0 && int(in.A) < len(iseq.LocalNames) {
+			name = " (" + iseq.LocalNames[in.A] + ")"
+		}
+		return fmt.Sprintf("slot=%d depth=%d%s", in.A, in.B, name)
+	case OpGetIvar, OpSetIvar:
+		return fmt.Sprintf("%s ic=%d", symName(in.A), in.B)
+	case OpSend:
+		blk := ""
+		if in.C >= 0 {
+			blk = fmt.Sprintf(" block=%d", in.C)
+		}
+		return fmt.Sprintf("%s argc=%d ic=%d%s", symName(in.A), in.B, in.D, blk)
+	case OpOptPlus, OpOptMinus, OpOptMult, OpOptDiv, OpOptMod,
+		OpOptEq, OpOptNeq, OpOptLt, OpOptLe, OpOptGt, OpOptGe,
+		OpOptAref, OpOptAset, OpOptLtLt:
+		return fmt.Sprintf("fallback=%s ic=%d", symName(in.A), in.D)
+	case OpJump, OpBranchIf, OpBranchUnless:
+		return fmt.Sprintf("-> %04d", in.A)
+	case OpNewArray, OpNewHash, OpStrCat, OpInvokeBlock:
+		return fmt.Sprintf("n=%d", in.A)
+	case OpNewRange:
+		if in.A == 1 {
+			return "exclusive"
+		}
+		return "inclusive"
+	case OpDefineMethod:
+		return fmt.Sprintf("%s iseq=%d", symName(in.A), in.C)
+	case OpDefineClass:
+		super := "Object"
+		if in.B >= 0 {
+			super = symName(in.B)
+		}
+		return fmt.Sprintf("%s < %s iseq=%d", symName(in.A), super, in.C)
+	default:
+		return ""
+	}
+}
+
+// Stats summarizes an iseq tree: instruction and yield-point counts, used
+// by tests and the -dump tooling.
+type ISeqStats struct {
+	Instructions int
+	Original     int
+	Extended     int
+	ICs          int
+	ISeqs        int
+}
+
+// CollectStats walks an iseq tree.
+func CollectStats(iseq *ISeq) ISeqStats {
+	var s ISeqStats
+	var walk func(*ISeq)
+	walk = func(is *ISeq) {
+		s.ISeqs++
+		s.ICs += is.NumICs
+		for _, in := range is.Code {
+			s.Instructions++
+			switch in.YPKind {
+			case YPOriginal:
+				s.Original++
+			case YPExtended:
+				s.Extended++
+			}
+		}
+		for _, ch := range is.Children {
+			walk(ch)
+		}
+	}
+	walk(iseq)
+	return s
+}

@@ -1,0 +1,71 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+
+	"htmgil/internal/object"
+)
+
+func TestDisassembleShape(t *testing.T) {
+	syms := object.NewSymTable()
+	c := New(syms, &YPAlloc{})
+	iseq, err := c.CompileSource(`
+def add(a, b)
+  a + b
+end
+x = add(1, 2.5)
+s = "v=#{x}"
+arr = [1, 2]
+arr.each do |e|
+  puts e
+end
+`, "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Disassemble(iseq, syms)
+	for _, want := range []string{
+		`== method "demo"`,
+		`== method "add"`,
+		`== block "demo-block"`,
+		"opt_plus",
+		"send",
+		":add argc=2",
+		"putstring",
+		"strcat",
+		"*o", // original yield point marker (leave / back edge)
+		"*x", // extended yield point marker
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCollectStats(t *testing.T) {
+	syms := object.NewSymTable()
+	c := New(syms, &YPAlloc{})
+	iseq, err := c.CompileSource(`
+i = 0
+while i < 10
+  i += 1
+end
+`, "loop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := CollectStats(iseq)
+	if s.ISeqs != 1 || s.Instructions == 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Original == 0 || s.Extended == 0 {
+		t.Fatalf("yield points not counted: %+v", s)
+	}
+	// The paper's observation: with the extended set, more than half of the
+	// hot-loop bytecodes are yield points. Check the loop body is dense
+	// with them.
+	if float64(s.Original+s.Extended) < 0.3*float64(s.Instructions) {
+		t.Fatalf("yield-point density too low: %+v", s)
+	}
+}

@@ -1,0 +1,351 @@
+// Package core implements the paper's primary contribution: elimination of
+// the Global Interpreter Lock through Transactional Lock Elision with
+// dynamic per-yield-point transaction-length adjustment.
+//
+// It is a faithful translation of the algorithms of Figures 1–3 of the
+// paper onto the simulated machine:
+//
+//   - transaction_begin (Figure 1): run Ruby code as a hardware transaction
+//     subscribed to the GIL word; spin while the GIL is held; retry
+//     transient aborts up to TRANSIENT_RETRY_MAX times; wait out up to
+//     GIL_RETRY_MAX GIL conflicts; fall back to acquiring the GIL on
+//     persistent aborts or exhausted retries.
+//   - transaction_end / transaction_yield (Figure 2): transactions end and
+//     restart at yield points, but only after a per-yield-point number of
+//     yield points (the transaction length) has been passed.
+//   - set/adjust_transaction_length (Figure 3): each yield point starts at
+//     INITIAL_TRANSACTION_LENGTH and is attenuated by ATTENUATION_RATE
+//     whenever the abort ratio observed during its profiling period exceeds
+//     ADJUSTMENT_THRESHOLD/PROFILING_PERIOD (1% on zEC12, 6% on Xeon).
+//
+// Because the simulator schedules threads cooperatively, the blocking
+// points of Figure 1 (spinning on the GIL, acquiring the GIL) are expressed
+// as a small per-thread state machine: TransactionBegin/HandleAbort return
+// Block when the thread must park, and ResumeBegin continues the algorithm
+// after the scheduler wakes the thread.
+package core
+
+import (
+	"fmt"
+
+	"htmgil/internal/gil"
+	"htmgil/internal/htm"
+	"htmgil/internal/sched"
+	"htmgil/internal/simmem"
+)
+
+// Params are the tuning constants of Figures 1 and 3, with the paper's
+// published values as defaults (see Section 5.1).
+type Params struct {
+	TransientRetryMax int     // retries of transiently aborted transactions (3)
+	GILRetryMax       int     // spin-wait rounds on GIL conflicts before acquiring (16)
+	InitialLength     int32   // INITIAL_TRANSACTION_LENGTH (255)
+	ProfilingPeriod   int32   // transactions profiled per yield point (300)
+	AdjustThreshold   int32   // aborts tolerated within a profiling period (3 or 18)
+	AttenuationRate   float64 // length multiplier on adjustment (0.75)
+
+	// ConstantLength, when > 0, disables the dynamic adjustment and runs
+	// every transaction with this fixed length (the paper's HTM-1, HTM-16
+	// and HTM-256 configurations).
+	ConstantLength int32
+}
+
+// DefaultParams returns the paper's constants for the given machine profile
+// (the adjustment threshold differs between zEC12 and Xeon).
+func DefaultParams(prof *htm.Profile) Params {
+	return Params{
+		TransientRetryMax: 3,
+		GILRetryMax:       16,
+		InitialLength:     255,
+		ProfilingPeriod:   int32(prof.ProfilingPeriod),
+		AdjustThreshold:   int32(prof.AdjustmentThreshold),
+		AttenuationRate:   0.75,
+	}
+}
+
+// Outcome tells the interpreter how to continue after a TLE step.
+type Outcome uint8
+
+const (
+	// Proceed: the thread is inside a transaction or holds the GIL and may
+	// execute Ruby code.
+	Proceed Outcome = iota
+	// Block: the thread must park (return sched.Blocked) and call
+	// ResumeBegin when woken.
+	Block
+)
+
+// beginState is the continuation point of the Figure 1 state machine.
+type beginState uint8
+
+const (
+	stIdle        beginState = iota
+	stWaitPreTx              // parked at lines 6-8, waiting for GIL release
+	stWaitRetry              // parked at lines 22-26 after a GIL conflict
+	stWaitAcquire            // parked in gil_acquire; wakes owning the GIL
+)
+
+// Thread is the per-Ruby-thread TLE state.
+type Thread struct {
+	HTM *htm.Context
+
+	// GILMode is true while the current critical section runs under the
+	// GIL instead of a transaction (fallback path).
+	GILMode bool
+
+	// ChosenLength is the transaction length selected by the most recent
+	// TransactionBegin; the interpreter stores it into the thread
+	// structure's yield_point_counter in simulated memory.
+	ChosenLength int32
+
+	state          beginState
+	pc             int
+	transientRetry int
+	gilRetry       int
+	firstRetry     bool
+
+	// LastAbortCause is the cause of the most recent abort (stats).
+	LastAbortCause simmem.AbortCause
+}
+
+// InCriticalSection reports whether the thread currently runs Ruby code
+// (transactionally or under the GIL).
+func (t *Thread) InCriticalSection() bool { return t.GILMode || t.HTM.InTx() }
+
+// Elision is the global TLE state: the per-yield-point length tables and
+// the machinery shared by all threads.
+type Elision struct {
+	Params Params
+	GIL    *gil.GIL
+	Engine *sched.Engine
+
+	// LiveAppThreads reports the number of live Ruby application threads;
+	// with a single live thread the algorithm reverts to the GIL.
+	LiveAppThreads func() int
+
+	lengths    []int32
+	txCounter  []int32
+	abortCount []int32
+
+	// Stats
+	Adjustments uint64 // number of length attenuations performed
+}
+
+// New creates the TLE runtime for a program with numYieldPoints yield-point
+// sites (the compiler assigns each yield-point instruction a dense id).
+func New(params Params, g *gil.GIL, engine *sched.Engine, numYieldPoints int) *Elision {
+	return &Elision{
+		Params:     params,
+		GIL:        g,
+		Engine:     engine,
+		lengths:    make([]int32, numYieldPoints),
+		txCounter:  make([]int32, numYieldPoints),
+		abortCount: make([]int32, numYieldPoints),
+	}
+}
+
+// NewThread creates the TLE state for one Ruby thread bound to an HTM
+// context.
+func (e *Elision) NewThread(ctx *htm.Context) *Thread {
+	return &Thread{HTM: ctx}
+}
+
+// grow ensures the per-PC tables cover pc (programs can load code at
+// runtime, adding yield points).
+func (e *Elision) grow(pc int) {
+	for pc >= len(e.lengths) {
+		e.lengths = append(e.lengths, 0)
+		e.txCounter = append(e.txCounter, 0)
+		e.abortCount = append(e.abortCount, 0)
+	}
+}
+
+// LengthAt returns the current transaction length for a yield point
+// (Figure 3 semantics: 0 means not yet initialized).
+func (e *Elision) LengthAt(pc int) int32 {
+	if pc < len(e.lengths) {
+		return e.lengths[pc]
+	}
+	return 0
+}
+
+// Lengths returns a copy of the per-yield-point length table.
+func (e *Elision) Lengths() []int32 {
+	out := make([]int32, len(e.lengths))
+	copy(out, e.lengths)
+	return out
+}
+
+// setTransactionLength implements set_transaction_length of Figure 3.
+func (e *Elision) setTransactionLength(t *Thread, pc int) {
+	if e.Params.ConstantLength > 0 {
+		t.ChosenLength = e.Params.ConstantLength
+		return
+	}
+	e.grow(pc)
+	if e.lengths[pc] == 0 {
+		e.lengths[pc] = e.Params.InitialLength
+	}
+	t.ChosenLength = e.lengths[pc]
+	if e.txCounter[pc] < e.Params.ProfilingPeriod {
+		e.txCounter[pc]++
+	}
+}
+
+// adjustTransactionLength implements adjust_transaction_length of Figure 3,
+// called on the first retry of an aborted transaction.
+func (e *Elision) adjustTransactionLength(pc int) {
+	if e.Params.ConstantLength > 0 {
+		return
+	}
+	e.grow(pc)
+	// Figure 3 line 14 as written never ends the profiling period because
+	// line 8 caps the counter at PROFILING_PERIOD; the text makes the
+	// intent clear ("before the PROFILING_PERIOD number of transactions
+	// began"), so monitoring stops once the counter saturates.
+	if e.lengths[pc] <= 1 || e.txCounter[pc] >= e.Params.ProfilingPeriod {
+		return
+	}
+	if e.abortCount[pc] <= e.Params.AdjustThreshold {
+		e.abortCount[pc]++
+		return
+	}
+	nl := int32(float64(e.lengths[pc]) * e.Params.AttenuationRate)
+	if nl < 1 {
+		nl = 1
+	}
+	e.lengths[pc] = nl
+	e.txCounter[pc] = 0
+	e.abortCount[pc] = 0
+	e.Adjustments++
+}
+
+// TransactionBegin implements transaction_begin of Figure 1 for the yield
+// point pc. On Proceed the thread either runs inside a fresh transaction
+// (t.GILMode false) or holds the GIL (t.GILMode true). On Block the thread
+// must park and call ResumeBegin when woken.
+func (e *Elision) TransactionBegin(t *Thread, sth *sched.Thread, now int64, pc int) (int64, Outcome) {
+	if t.state != stIdle {
+		panic(fmt.Sprintf("core: TransactionBegin in state %d", t.state))
+	}
+	t.pc = pc
+	// Lines 2-3: a lone thread needs no concurrency; use the GIL.
+	if e.LiveAppThreads() <= 1 {
+		return e.acquireGIL(t, sth, now)
+	}
+	// Line 5.
+	e.setTransactionLength(t, pc)
+	// Lines 9-11.
+	t.transientRetry = e.Params.TransientRetryMax
+	t.gilRetry = e.Params.GILRetryMax
+	t.firstRetry = true
+	// Lines 6-8: wait until the GIL is free before beginning.
+	if e.GIL.Acquired() {
+		e.GIL.WaitFree(sth)
+		t.state = stWaitPreTx
+		return 2, Block
+	}
+	return e.tryBegin(t, now)
+}
+
+// tryBegin issues TBEGIN and subscribes to the GIL word (lines 13-15).
+func (e *Elision) tryBegin(t *Thread, now int64) (int64, Outcome) {
+	cycles := t.HTM.Begin(now)
+	w := t.HTM.Tx.Load(e.GIL.Addr)
+	if w.Bits != 0 {
+		// Line 15: the GIL was grabbed between our check and TBEGIN.
+		t.HTM.ExplicitAbort()
+	}
+	t.state = stIdle
+	t.GILMode = false
+	return cycles, Proceed
+	// A transaction doomed during Begin (learning model, immediate GIL
+	// conflict) is detected by the interpreter's doom check right after
+	// this returns, which routes into HandleAbort.
+}
+
+// acquireGIL performs gil_acquire, blocking when contended.
+func (e *Elision) acquireGIL(t *Thread, sth *sched.Thread, now int64) (int64, Outcome) {
+	cycles, ok := e.GIL.BlockingAcquire(sth, now)
+	if !ok {
+		t.state = stWaitAcquire
+		return 0, Block
+	}
+	t.state = stIdle
+	t.GILMode = true
+	return cycles, Proceed
+}
+
+// ResumeBegin continues the Figure 1 state machine after a wake-up.
+func (e *Elision) ResumeBegin(t *Thread, sth *sched.Thread, now int64) (int64, Outcome) {
+	switch t.state {
+	case stWaitPreTx, stWaitRetry:
+		// The GIL was released while we spun; begin (or re-begin) the
+		// transaction. If it was re-acquired in the meantime the TBEGIN
+		// subscription aborts us and we come back through HandleAbort.
+		return e.tryBegin(t, now)
+	case stWaitAcquire:
+		// Woken by the GIL handoff: we own the lock.
+		if !e.GIL.HeldBy(sth) {
+			panic("core: woke from gil_acquire without ownership")
+		}
+		t.state = stIdle
+		t.GILMode = true
+		return 0, Proceed
+	default:
+		panic(fmt.Sprintf("core: ResumeBegin in state %d", t.state))
+	}
+}
+
+// HandleAbort implements the abort path (lines 16-37 of Figure 1). The
+// interpreter calls it after rolling its private state back to the
+// beginning of the transaction. Outcomes are as for TransactionBegin.
+func (e *Elision) HandleAbort(t *Thread, sth *sched.Thread, now int64) (int64, Outcome) {
+	cause, penalty := t.HTM.Abort()
+	t.LastAbortCause = cause
+	cycles := penalty
+	// Lines 17-20: adjust the length on the first retry only.
+	if t.firstRetry {
+		t.firstRetry = false
+		e.adjustTransactionLength(t.pc)
+	}
+	switch {
+	case e.GIL.Acquired():
+		// Lines 21-27: conflict at the GIL.
+		t.gilRetry--
+		if t.gilRetry > 0 {
+			e.GIL.WaitFree(sth)
+			t.state = stWaitRetry
+			return cycles, Block
+		}
+		c, out := e.acquireGIL(t, sth, now+cycles)
+		return cycles + c, out
+	case !cause.Transient():
+		// Lines 28-29: persistent abort; retrying cannot succeed.
+		c, out := e.acquireGIL(t, sth, now+cycles)
+		return cycles + c, out
+	default:
+		// Lines 31-35: transient abort; retry a bounded number of times.
+		t.transientRetry--
+		if t.transientRetry > 0 {
+			c, out := e.tryBegin(t, now+cycles)
+			return cycles + c, out
+		}
+		c, out := e.acquireGIL(t, sth, now+cycles)
+		return cycles + c, out
+	}
+}
+
+// TransactionEnd implements transaction_end of Figure 2. It returns the
+// cycle cost and whether the critical section committed; on false the
+// transaction failed at commit and the interpreter must roll back its
+// private state and call HandleAbort.
+func (e *Elision) TransactionEnd(t *Thread, sth *sched.Thread, now int64) (int64, bool) {
+	if t.GILMode {
+		cost := e.GIL.Release(sth, now)
+		t.GILMode = false
+		return cost, true
+	}
+	cycles, ok := t.HTM.End(now)
+	return cycles, ok
+}

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"htmgil/internal/gil"
+	"htmgil/internal/htm"
+	"htmgil/internal/sched"
+	"htmgil/internal/simmem"
+)
+
+// rig wires a simulated machine for TLE tests.
+type rig struct {
+	mem    *simmem.Memory
+	eng    *sched.Engine
+	gil    *gil.GIL
+	el     *Elision
+	live   int
+	ctrAdr simmem.Addr
+}
+
+func newRig(t *testing.T, prof *htm.Profile, params Params, nthreads int) *rig {
+	t.Helper()
+	prof.InterruptMeanCycles = 0
+	mem := simmem.NewMemory(simmem.Config{LineBytes: prof.LineBytes}, prof.HWThreads())
+	eng := sched.NewEngine(sched.Config{HWThreads: prof.HWThreads(), SMTWays: prof.SMTWays, SMTPenalty: 1.9})
+	g := gil.New(mem, eng, gil.DefaultCosts())
+	el := New(params, g, eng, 64)
+	r := &rig{mem: mem, eng: eng, gil: g, el: el, live: nthreads}
+	el.LiveAppThreads = func() int { return r.live }
+	r.ctrAdr = mem.Reserve("counter", 64)
+	return r
+}
+
+// worker runs `iters` critical sections, each incrementing the shared
+// counter once, beginning/ending a TLE critical section per iteration.
+// It follows the exact protocol the interpreter uses.
+func (r *rig) worker(t *testing.T, prof *htm.Profile, ctxID int, iters int, extraLines int, scratch simmem.Addr) func() {
+	hctx := htm.NewContext(prof, r.mem, ctxID, int64(ctxID+1))
+	tle := r.el.NewThread(hctx)
+	var sth *sched.Thread
+	done := 0
+	const (
+		phBegin = iota
+		phResume
+		phWork
+		phEnd
+	)
+	phase := phBegin
+	step := func(now int64) sched.StepResult {
+		var cycles int64
+		switch phase {
+		case phBegin, phResume:
+			var out Outcome
+			if phase == phBegin {
+				cycles, out = r.el.TransactionBegin(tle, sth, now, 1)
+			} else {
+				cycles, out = r.el.ResumeBegin(tle, sth, now)
+			}
+			if out == Block {
+				phase = phResume
+				return sched.StepResult{Cycles: cycles, Status: sched.Blocked}
+			}
+			phase = phWork
+			return sched.StepResult{Cycles: cycles, Status: sched.Running}
+		case phWork:
+			if !tle.GILMode && hctx.Doomed(now) {
+				c, out := r.el.HandleAbort(tle, sth, now)
+				if out == Block {
+					phase = phResume
+					return sched.StepResult{Cycles: c, Status: sched.Blocked}
+				}
+				return sched.StepResult{Cycles: c, Status: sched.Running}
+			}
+			if tle.GILMode {
+				v := r.mem.Load(r.ctrAdr)
+				r.mem.Store(r.ctrAdr, simmem.Word{Bits: v.Bits + 1})
+			} else {
+				v := hctx.Tx.Load(r.ctrAdr)
+				hctx.Tx.Store(r.ctrAdr, simmem.Word{Bits: v.Bits + 1})
+				for l := 0; l < extraLines; l++ {
+					hctx.Tx.Store(scratch+simmem.Addr(l*prof.LineBytes), simmem.Word{Bits: 1})
+				}
+				if hctx.Doomed(now) {
+					// Increment rolled back; undo our private bookkeeping too.
+					c, out := r.el.HandleAbort(tle, sth, now)
+					if out == Block {
+						phase = phResume
+						return sched.StepResult{Cycles: c, Status: sched.Blocked}
+					}
+					return sched.StepResult{Cycles: c, Status: sched.Running}
+				}
+			}
+			phase = phEnd
+			return sched.StepResult{Cycles: 40, Status: sched.Running}
+		case phEnd:
+			c, ok := r.el.TransactionEnd(tle, sth, now)
+			if !ok {
+				c2, out := r.el.HandleAbort(tle, sth, now+c)
+				phase = phWork
+				if out == Block {
+					phase = phResume
+					return sched.StepResult{Cycles: c + c2, Status: sched.Blocked}
+				}
+				return sched.StepResult{Cycles: c + c2, Status: sched.Running}
+			}
+			done++
+			if done == iters {
+				r.live--
+				return sched.StepResult{Cycles: c, Status: sched.Done}
+			}
+			phase = phBegin
+			return sched.StepResult{Cycles: c, Status: sched.Running}
+		}
+		panic("unreachable")
+	}
+	sth = r.eng.Spawn("w", 0, step)
+	return func() {}
+}
+
+func TestSingleThreadUsesGIL(t *testing.T) {
+	prof := htm.ZEC12()
+	r := newRig(t, prof, DefaultParams(prof), 1)
+	r.worker(t, prof, 0, 100, 0, 0)
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.mem.Peek(r.ctrAdr).Bits; got != 100 {
+		t.Fatalf("counter = %d, want 100", got)
+	}
+	if r.gil.Stats.Acquisitions != 100 {
+		t.Fatalf("single thread did not use the GIL: %d acquisitions", r.gil.Stats.Acquisitions)
+	}
+}
+
+func TestMultiThreadAtomicity(t *testing.T) {
+	prof := htm.ZEC12()
+	for _, n := range []int{2, 4, 8, 12} {
+		r := newRig(t, prof, DefaultParams(prof), n)
+		scratch := r.mem.Reserve("scratch", 1<<20)
+		iters := 500
+		for i := 0; i < n; i++ {
+			// Each worker writes private scratch lines too, to vary footprints.
+			r.worker(t, prof, i, iters, i%3, scratch+simmem.Addr(i*64*256))
+		}
+		if err := r.eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got := r.mem.Peek(r.ctrAdr).Bits; got != uint64(n*iters) {
+			t.Fatalf("n=%d: counter = %d, want %d (lost updates!)", n, got, n*iters)
+		}
+	}
+}
+
+func TestPersistentAbortFallsBackToGIL(t *testing.T) {
+	prof := htm.ZEC12()
+	r := newRig(t, prof, DefaultParams(prof), 2)
+	// One worker whose transaction always overflows the write capacity.
+	scratch := r.mem.Reserve("big", 1<<22)
+	capLines := prof.WriteCapBytes / prof.LineBytes
+	r.worker(t, prof, 0, 50, capLines+8, scratch)
+	r.worker(t, prof, 1, 50, 0, 0)
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.mem.Peek(r.ctrAdr).Bits; got != 100 {
+		t.Fatalf("counter = %d, want 100", got)
+	}
+	if r.gil.Stats.Acquisitions == 0 {
+		t.Fatalf("persistent aborts never acquired the GIL")
+	}
+}
+
+func TestAdjustmentShortensLengthUnderAborts(t *testing.T) {
+	prof := htm.ZEC12()
+	params := DefaultParams(prof)
+	el := New(params, nil, nil, 8)
+	pc := 3
+	// Simulate: every transaction at pc aborts on first retry.
+	el.setTransactionLength(&Thread{}, pc)
+	if el.LengthAt(pc) != 255 {
+		t.Fatalf("initial length = %d", el.LengthAt(pc))
+	}
+	for i := 0; i < 10000 && el.LengthAt(pc) > 1; i++ {
+		th := &Thread{}
+		el.setTransactionLength(th, pc)
+		el.adjustTransactionLength(pc)
+	}
+	if el.LengthAt(pc) != 1 {
+		t.Fatalf("length did not converge to 1: %d", el.LengthAt(pc))
+	}
+	// Attenuation sequence head: 255 -> 191 -> 143 ...
+	// The paper's code tolerates AdjustThreshold+1 aborts (the counter is
+	// incremented while <= threshold) before the first attenuation.
+	el2 := New(params, nil, nil, 8)
+	el2.setTransactionLength(&Thread{}, 0)
+	for i := 0; i <= int(params.AdjustThreshold); i++ {
+		el2.adjustTransactionLength(0)
+	}
+	if el2.LengthAt(0) != 255 {
+		t.Fatalf("attenuated too early: %d", el2.LengthAt(0))
+	}
+	el2.adjustTransactionLength(0)
+	if el2.LengthAt(0) != 191 {
+		t.Fatalf("first attenuation: %d, want 191", el2.LengthAt(0))
+	}
+}
+
+func TestNoAdjustmentBelowAbortThreshold(t *testing.T) {
+	prof := htm.ZEC12()
+	params := DefaultParams(prof)
+	el := New(params, nil, nil, 8)
+	el.setTransactionLength(&Thread{}, 0)
+	// AdjustThreshold aborts are tolerated without attenuation.
+	for i := 0; i < int(params.AdjustThreshold); i++ {
+		el.adjustTransactionLength(0)
+	}
+	if el.LengthAt(0) != 255 {
+		t.Fatalf("length changed below threshold: %d", el.LengthAt(0))
+	}
+}
+
+func TestConstantLengthNeverAdjusts(t *testing.T) {
+	prof := htm.ZEC12()
+	params := DefaultParams(prof)
+	params.ConstantLength = 16
+	el := New(params, nil, nil, 8)
+	th := &Thread{}
+	el.setTransactionLength(th, 0)
+	if th.ChosenLength != 16 {
+		t.Fatalf("constant length = %d", th.ChosenLength)
+	}
+	for i := 0; i < 100; i++ {
+		el.adjustTransactionLength(0)
+	}
+	if el.LengthAt(0) != 0 {
+		t.Fatalf("constant config mutated the table: %d", el.LengthAt(0))
+	}
+}
+
+// Property: the length table never leaves [1, InitialLength] once
+// initialized, under any interleaving of set/adjust calls.
+func TestLengthBoundsProperty(t *testing.T) {
+	prof := htm.ZEC12()
+	f := func(ops []bool, pc8 uint8) bool {
+		params := DefaultParams(prof)
+		el := New(params, nil, nil, 4)
+		pc := int(pc8 % 4)
+		el.setTransactionLength(&Thread{}, pc)
+		for _, set := range ops {
+			if set {
+				el.setTransactionLength(&Thread{}, pc)
+			} else {
+				el.adjustTransactionLength(pc)
+			}
+			l := el.LengthAt(pc)
+			if l < 1 || l > params.InitialLength {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfilingPeriodFreezesLength(t *testing.T) {
+	prof := htm.ZEC12()
+	params := DefaultParams(prof)
+	el := New(params, nil, nil, 8)
+	// Exhaust the profiling period with successful transactions.
+	for i := 0; i < int(params.ProfilingPeriod)+5; i++ {
+		el.setTransactionLength(&Thread{}, 0)
+	}
+	before := el.LengthAt(0)
+	// Aborts after the profiling period must not shorten the length.
+	for i := 0; i < 100; i++ {
+		el.adjustTransactionLength(0)
+	}
+	if el.LengthAt(0) != before {
+		t.Fatalf("length adjusted after profiling period: %d -> %d", before, el.LengthAt(0))
+	}
+}
+
+func TestDeterministicTLERun(t *testing.T) {
+	prof := htm.ZEC12()
+	run := func() (uint64, uint64) {
+		r := newRig(t, prof, DefaultParams(prof), 4)
+		for i := 0; i < 4; i++ {
+			r.worker(t, prof, i, 300, 0, 0)
+		}
+		if err := r.eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return r.mem.Peek(r.ctrAdr).Bits, r.gil.Stats.Acquisitions
+	}
+	c1, a1 := run()
+	c2, a2 := run()
+	if c1 != c2 || a1 != a2 {
+		t.Fatalf("nondeterministic: (%d,%d) vs (%d,%d)", c1, a1, c2, a2)
+	}
+}
+
+func TestLengthsSnapshot(t *testing.T) {
+	prof := htm.ZEC12()
+	el := New(DefaultParams(prof), nil, nil, 4)
+	el.setTransactionLength(&Thread{}, 2)
+	ls := el.Lengths()
+	if ls[2] != 255 {
+		t.Fatalf("lengths = %v", ls)
+	}
+	// Snapshot is a copy: mutating it must not affect the table.
+	ls[2] = 1
+	if el.LengthAt(2) != 255 {
+		t.Fatalf("snapshot aliases the table")
+	}
+}
+
+func TestTableGrowsForLateYieldPoints(t *testing.T) {
+	prof := htm.ZEC12()
+	el := New(DefaultParams(prof), nil, nil, 2)
+	th := &Thread{}
+	el.setTransactionLength(th, 500) // beyond the initial table size
+	if th.ChosenLength != 255 {
+		t.Fatalf("length at grown pc = %d", th.ChosenLength)
+	}
+	el.adjustTransactionLength(997) // must not panic either
+}
+
+func TestGILRetrySpinPath(t *testing.T) {
+	// A thread whose transactions repeatedly collide with a GIL holder must
+	// spin (WaitFree) up to GILRetryMax times and then acquire the GIL.
+	prof := htm.ZEC12()
+	r := newRig(t, prof, DefaultParams(prof), 2)
+	// Worker 0 takes the GIL frequently by doing restricted-style work: we
+	// emulate it by a worker with a transaction that always overflows (so
+	// it always falls back to the GIL).
+	scratch := r.mem.Reserve("big", 1<<22)
+	capLines := prof.WriteCapBytes / prof.LineBytes
+	r.worker(t, prof, 0, 200, capLines+8, scratch)
+	r.worker(t, prof, 1, 200, 0, 0)
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.mem.Peek(r.ctrAdr).Bits; got != 400 {
+		t.Fatalf("counter = %d, want 400", got)
+	}
+	if r.gil.Stats.Contended == 0 {
+		t.Fatalf("expected contended GIL acquisitions")
+	}
+}

@@ -1,0 +1,283 @@
+// Package db is an embedded, SQLite3-flavoured table store used by the
+// Rails-like benchmark. It runs as a native extension: one DB#execute call
+// is a single native operation with no yield points inside, and its row
+// storage lives in simulated memory, so queries contribute large
+// transactional footprints — mirroring how the SQLite C extension behaved
+// under the paper's GIL elision (87% of Rails aborts were footprint
+// overflows in extension code).
+//
+// Supported statements:
+//
+//	CREATE TABLE name (col1, col2, ...)
+//	INSERT INTO name VALUES (v1, v2, ...)
+//	SELECT * FROM name
+//	SELECT * FROM name WHERE col = value
+//	SELECT COUNT(*) FROM name
+package db
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"htmgil/internal/object"
+	"htmgil/internal/simmem"
+	"htmgil/internal/vm"
+)
+
+// Value is a stored cell: integer or string.
+type Value struct {
+	IsInt bool
+	Int   int64
+	Str   string
+}
+
+// Table is one table: column names plus rows. Each row owns a shadow span
+// in simulated memory that queries touch when they scan it.
+type Table struct {
+	Name    string
+	Cols    []string
+	Rows    [][]Value
+	shadows []simmem.Addr // base of each row's shadow words
+}
+
+// Store is a database instance.
+type Store struct {
+	Tables map[string]*Table
+}
+
+// NewStore creates an empty database.
+func NewStore() *Store { return &Store{Tables: make(map[string]*Table)} }
+
+// Exec parses and executes one statement. Row shadow allocation and the
+// scan touches go through the thread's accessor so they participate in
+// transactions.
+func (s *Store) Exec(t *vm.RThread, sql string) ([][]Value, []string, error) {
+	q := strings.TrimSpace(sql)
+	upper := strings.ToUpper(q)
+	switch {
+	case strings.HasPrefix(upper, "CREATE TABLE"):
+		return nil, nil, s.create(q)
+	case strings.HasPrefix(upper, "INSERT INTO"):
+		return nil, nil, s.insert(t, q)
+	case strings.HasPrefix(upper, "SELECT COUNT(*) FROM"):
+		name := tableName(q, "FROM")
+		tab := s.Tables[name]
+		if tab == nil {
+			return nil, nil, fmt.Errorf("db: no such table %q", name)
+		}
+		s.scan(t, tab, -1, Value{})
+		return [][]Value{{{IsInt: true, Int: int64(len(tab.Rows))}}}, []string{"count"}, nil
+	case strings.HasPrefix(upper, "SELECT * FROM"):
+		return s.selectAll(t, q)
+	default:
+		return nil, nil, fmt.Errorf("db: unsupported statement %q", sql)
+	}
+}
+
+func tableName(q, after string) string {
+	idx := strings.Index(strings.ToUpper(q), after)
+	rest := strings.TrimSpace(q[idx+len(after):])
+	end := strings.IndexAny(rest, " (")
+	if end < 0 {
+		return rest
+	}
+	return rest[:end]
+}
+
+func (s *Store) create(q string) error {
+	name := tableName(q, "TABLE")
+	open := strings.Index(q, "(")
+	closeP := strings.LastIndex(q, ")")
+	if open < 0 || closeP < open {
+		return fmt.Errorf("db: bad CREATE TABLE syntax")
+	}
+	var cols []string
+	for _, c := range strings.Split(q[open+1:closeP], ",") {
+		cols = append(cols, strings.TrimSpace(strings.Fields(strings.TrimSpace(c))[0]))
+	}
+	s.Tables[name] = &Table{Name: name, Cols: cols}
+	return nil
+}
+
+func parseValue(tok string) Value {
+	tok = strings.TrimSpace(tok)
+	if len(tok) >= 2 && (tok[0] == '\'' || tok[0] == '"') {
+		return Value{Str: tok[1 : len(tok)-1]}
+	}
+	n, err := strconv.ParseInt(tok, 10, 64)
+	if err == nil {
+		return Value{IsInt: true, Int: n}
+	}
+	return Value{Str: tok}
+}
+
+func (s *Store) insert(t *vm.RThread, q string) error {
+	name := tableName(q, "INTO")
+	tab := s.Tables[name]
+	if tab == nil {
+		return fmt.Errorf("db: no such table %q", name)
+	}
+	open := strings.Index(q, "(")
+	closeP := strings.LastIndex(q, ")")
+	if open < 0 || closeP < open {
+		return fmt.Errorf("db: bad INSERT syntax")
+	}
+	var row []Value
+	for _, tok := range splitCSV(q[open+1 : closeP]) {
+		row = append(row, parseValue(tok))
+	}
+	if len(row) != len(tab.Cols) {
+		return fmt.Errorf("db: %d values for %d columns", len(row), len(tab.Cols))
+	}
+	// Shadow storage: one word per cell plus string payload words.
+	words := 0
+	for _, v := range row {
+		words += 1 + len(v.Str)/simmem.WordBytes
+	}
+	base, err := t.AllocShadow(words)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < words; i++ {
+		t.TouchWrite(base+simmem.Addr(i*simmem.WordBytes), simmem.Word{Bits: uint64(i) + 1})
+	}
+	tab.Rows = append(tab.Rows, row)
+	tab.shadows = append(tab.shadows, base)
+	return nil
+}
+
+// splitCSV splits on commas outside quotes.
+func splitCSV(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+// scan touches every row's shadow words (col < 0 scans everything).
+func (s *Store) scan(t *vm.RThread, tab *Table, col int, want Value) []int {
+	var hits []int
+	for ri, row := range tab.Rows {
+		words := 0
+		for _, v := range row {
+			words += 1 + len(v.Str)/simmem.WordBytes
+		}
+		base := tab.shadows[ri]
+		for i := 0; i < words; i++ {
+			t.TouchRead(base + simmem.Addr(i*simmem.WordBytes))
+		}
+		if col < 0 {
+			hits = append(hits, ri)
+			continue
+		}
+		v := row[col]
+		if v.IsInt == want.IsInt && v.Int == want.Int && v.Str == want.Str {
+			hits = append(hits, ri)
+		}
+	}
+	return hits
+}
+
+func (s *Store) selectAll(t *vm.RThread, q string) ([][]Value, []string, error) {
+	name := tableName(q, "FROM")
+	tab := s.Tables[name]
+	if tab == nil {
+		return nil, nil, fmt.Errorf("db: no such table %q", name)
+	}
+	col := -1
+	want := Value{}
+	if wi := strings.Index(strings.ToUpper(q), "WHERE"); wi >= 0 {
+		cond := strings.TrimSpace(q[wi+5:])
+		parts := strings.SplitN(cond, "=", 2)
+		if len(parts) != 2 {
+			return nil, nil, fmt.Errorf("db: bad WHERE clause %q", cond)
+		}
+		cname := strings.TrimSpace(parts[0])
+		for i, c := range tab.Cols {
+			if c == cname {
+				col = i
+			}
+		}
+		if col < 0 {
+			return nil, nil, fmt.Errorf("db: no column %q", cname)
+		}
+		want = parseValue(parts[1])
+	}
+	var rows [][]Value
+	for _, ri := range s.scan(t, tab, col, want) {
+		rows = append(rows, tab.Rows[ri])
+	}
+	return rows, tab.Cols, nil
+}
+
+// Install adds the SQLite3-ish API to a VM:
+//
+//	db = SQLite3.new
+//	db.execute("CREATE TABLE books (id, title, author)")
+//	rows = db.execute("SELECT * FROM books")  # array of arrays
+func Install(machine *vm.VM) {
+	dbC := machine.DefineClass("SQLite3", nil)
+	machine.DefineStatic(dbC, "new", 0, false, func(t *vm.RThread, self object.Value, args []object.Value, blk vm.BlockArg, now int64) (object.Value, error) {
+		o, err := t.AllocNativeObject(object.TDB, dbC, NewStore())
+		if err != nil {
+			return object.Nil, err
+		}
+		return object.RefVal(o), nil
+	})
+	machine.DefineNative(dbC, "execute", 1, false, func(t *vm.RThread, self object.Value, args []object.Value, blk vm.BlockArg, now int64) (object.Value, error) {
+		if args[0].Kind != object.KRef || args[0].Ref.Type != object.TString {
+			return object.Nil, fmt.Errorf("SQLite3#execute expects a String")
+		}
+		store := self.Ref.Native.(*Store)
+		upper := strings.ToUpper(strings.TrimSpace(args[0].Ref.Str))
+		if t.InTx() && !strings.HasPrefix(upper, "SELECT") {
+			// Mutating statements update host-side table state that cannot
+			// be rolled back speculatively: run them under the GIL, as the
+			// real SQLite extension's write path effectively did.
+			t.RestrictedOp()
+			return object.Nil, vm.ErrRedo()
+		}
+		rows, _, err := store.Exec(t, args[0].Ref.Str)
+		if err != nil {
+			return object.Nil, err
+		}
+		var rowVals []object.Value
+		for _, row := range rows {
+			var cells []object.Value
+			for _, cell := range row {
+				if cell.IsInt {
+					cells = append(cells, object.FixVal(cell.Int))
+				} else {
+					so, _, aerr := t.AllocString(cell.Str)
+					if aerr != nil {
+						return object.Nil, aerr
+					}
+					cells = append(cells, object.RefVal(so))
+				}
+			}
+			ra, aerr := t.AllocArrayOf(cells)
+			if aerr != nil {
+				return object.Nil, aerr
+			}
+			rowVals = append(rowVals, object.RefVal(ra))
+		}
+		arr, aerr := t.AllocArrayOf(rowVals)
+		if aerr != nil {
+			return object.Nil, aerr
+		}
+		return object.RefVal(arr), nil
+	})
+}

@@ -1,0 +1,116 @@
+package db
+
+import (
+	"strings"
+	"testing"
+
+	"htmgil/internal/htm"
+	"htmgil/internal/vm"
+)
+
+func newThread(t *testing.T) (*vm.VM, *vm.RThread) {
+	t.Helper()
+	opt := vm.DefaultOptions(htm.ZEC12(), vm.ModeGIL)
+	machine := vm.New(opt)
+	th := machine.SetupThread()
+	return machine, th
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	_, th := newThread(t)
+	s := NewStore()
+	mustExec := func(q string) [][]Value {
+		rows, _, err := s.Exec(th, q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		return rows
+	}
+	mustExec("CREATE TABLE books (id, title, author)")
+	mustExec("INSERT INTO books VALUES (1, 'Dune', 'Herbert')")
+	mustExec("INSERT INTO books VALUES (2, 'Solaris', 'Lem')")
+	mustExec("INSERT INTO books VALUES (3, 'Fiasco', 'Lem')")
+
+	rows := mustExec("SELECT * FROM books")
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][1].Str != "Dune" || !rows[0][0].IsInt || rows[0][0].Int != 1 {
+		t.Fatalf("row0 = %+v", rows[0])
+	}
+
+	rows = mustExec("SELECT * FROM books WHERE author = 'Lem'")
+	if len(rows) != 2 {
+		t.Fatalf("WHERE rows = %d", len(rows))
+	}
+
+	rows = mustExec("SELECT * FROM books WHERE id = 2")
+	if len(rows) != 1 || rows[0][1].Str != "Solaris" {
+		t.Fatalf("id lookup = %+v", rows)
+	}
+
+	rows = mustExec("SELECT COUNT(*) FROM books")
+	if rows[0][0].Int != 3 {
+		t.Fatalf("count = %+v", rows)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	_, th := newThread(t)
+	s := NewStore()
+	for _, q := range []string{
+		"SELECT * FROM missing",
+		"INSERT INTO missing VALUES (1)",
+		"DROP TABLE x",
+		"CREATE TABLE broken",
+	} {
+		if _, _, err := s.Exec(th, q); err == nil {
+			t.Fatalf("no error for %q", q)
+		}
+	}
+	s.Exec(th, "CREATE TABLE t (a, b)")
+	if _, _, err := s.Exec(th, "INSERT INTO t VALUES (1)"); err == nil {
+		t.Fatalf("arity mismatch accepted")
+	}
+	if _, _, err := s.Exec(th, "SELECT * FROM t WHERE nosuch = 1"); err == nil {
+		t.Fatalf("unknown column accepted")
+	}
+}
+
+func TestQuotedCommas(t *testing.T) {
+	_, th := newThread(t)
+	s := NewStore()
+	s.Exec(th, "CREATE TABLE t (a, b)")
+	if _, _, err := s.Exec(th, "INSERT INTO t VALUES ('x, y', 2)"); err != nil {
+		t.Fatal(err)
+	}
+	rows, _, _ := s.Exec(th, "SELECT * FROM t")
+	if rows[0][0].Str != "x, y" {
+		t.Fatalf("quoted comma mangled: %q", rows[0][0].Str)
+	}
+}
+
+func TestRubyBinding(t *testing.T) {
+	opt := vm.DefaultOptions(htm.ZEC12(), vm.ModeGIL)
+	machine := vm.New(opt)
+	Install(machine)
+	iseq, err := machine.CompileSource(`
+db = SQLite3.new
+db.execute("CREATE TABLE t (id, name)")
+db.execute("INSERT INTO t VALUES (7, 'seven')")
+rows = db.execute("SELECT * FROM t")
+puts rows.length
+puts rows[0][0]
+puts rows[0][1]
+`, "dbtest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := machine.Run(iseq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Output, "1\n7\nseven\n") {
+		t.Fatalf("output = %q", res.Output)
+	}
+}

@@ -1,0 +1,189 @@
+// Package gil implements the Giant VM Lock of CRuby 1.9 on top of the
+// simulated machine: a single global lock with FIFO handoff, a timer thread
+// that periodically flags the running application thread so it yields at
+// the next yield point, and a spin/wait facility used by the transactional
+// lock elision of the paper (threads that merely wait for the GIL to become
+// free without acquiring it).
+//
+// The lock state is mirrored into one word of simulated memory so that
+// hardware transactions can subscribe to it: every transaction reads the
+// GIL word into its read set at begin time, and the non-transactional store
+// performed by an acquisition dooms all of them — exactly the Transactional
+// Lock Elision protocol of the paper.
+package gil
+
+import (
+	"htmgil/internal/sched"
+	"htmgil/internal/simmem"
+)
+
+// Costs holds the cycle costs of GIL operations.
+type Costs struct {
+	Acquire    int64 // uncontended acquisition
+	Release    int64 // release with no waiter
+	Handoff    int64 // extra latency to transfer ownership to a waiter
+	SchedYield int64 // sched_yield() system call at a GIL yield point
+}
+
+// DefaultCosts returns the cost model used by the experiments.
+func DefaultCosts() Costs {
+	return Costs{Acquire: 180, Release: 120, Handoff: 400, SchedYield: 800}
+}
+
+// Stats counts GIL activity.
+type Stats struct {
+	Acquisitions uint64
+	Contended    uint64
+	Yields       uint64
+	HoldCycles   int64
+}
+
+// GIL is the Giant VM Lock.
+type GIL struct {
+	mem    *simmem.Memory
+	engine *sched.Engine
+	costs  Costs
+
+	// Addr is the simulated address of the GIL.acquired word. Transactions
+	// read it at begin; acquisitions store to it non-transactionally.
+	Addr simmem.Addr
+
+	owner      *sched.Thread
+	ownedSince int64
+	waiters    []*sched.Thread // blocked until they own the GIL (FIFO)
+	spinners   []*sched.Thread // blocked until the GIL is merely released
+
+	// InterruptFlag is set on the owner by the timer thread; the owner
+	// checks it at yield points. It stands in for CRuby's per-thread
+	// interrupt flag.
+	interruptFlagged map[*sched.Thread]bool
+
+	Stats Stats
+}
+
+// New creates a GIL whose state word lives in its own line of mem.
+func New(mem *simmem.Memory, engine *sched.Engine, costs Costs) *GIL {
+	g := &GIL{
+		mem:              mem,
+		engine:           engine,
+		costs:            costs,
+		Addr:             mem.Reserve("gil", simmem.WordBytes),
+		interruptFlagged: make(map[*sched.Thread]bool),
+	}
+	return g
+}
+
+// Acquired reports whether some thread currently holds the GIL. This is the
+// plain (non-transactional) read used on fallback paths; transactional code
+// must read g.Addr through its transaction instead.
+func (g *GIL) Acquired() bool { return g.owner != nil }
+
+// Owner returns the current holder, or nil.
+func (g *GIL) Owner() *sched.Thread { return g.owner }
+
+// HeldBy reports whether th holds the GIL.
+func (g *GIL) HeldBy(th *sched.Thread) bool { return g.owner == th }
+
+// TryAcquire acquires the GIL if it is free and returns (cycles, true), or
+// (cycles, false) if it is held. It never blocks.
+func (g *GIL) TryAcquire(th *sched.Thread, now int64) (int64, bool) {
+	if g.owner != nil {
+		return 0, false
+	}
+	g.take(th, now)
+	return g.costs.Acquire, true
+}
+
+// take installs th as owner and publishes the state to simulated memory,
+// dooming every transaction that subscribed to the GIL word.
+func (g *GIL) take(th *sched.Thread, now int64) {
+	g.owner = th
+	g.ownedSince = now
+	g.Stats.Acquisitions++
+	g.mem.Store(g.Addr, simmem.Word{Bits: 1})
+}
+
+// BlockingAcquire acquires the GIL, enqueueing th as a waiter when it is
+// held. It returns (cycles, true) on immediate acquisition; (0, false)
+// means the thread must return sched.Blocked and will be woken owning the
+// GIL (ownership handoff happens in Release).
+func (g *GIL) BlockingAcquire(th *sched.Thread, now int64) (int64, bool) {
+	if cycles, ok := g.TryAcquire(th, now); ok {
+		return cycles, true
+	}
+	g.Stats.Contended++
+	g.waiters = append(g.waiters, th)
+	return 0, false
+}
+
+// WaitFree registers th to be woken when the GIL is next released, without
+// acquiring it. The caller must return sched.Blocked. This implements the
+// spin-wait of the paper's spin_and_gil_acquire().
+func (g *GIL) WaitFree(th *sched.Thread) {
+	g.spinners = append(g.spinners, th)
+}
+
+// Release releases the GIL held by th at time now. If waiters are queued,
+// ownership is handed to the first (it wakes already owning the lock); all
+// spinners wake too.
+func (g *GIL) Release(th *sched.Thread, now int64) int64 {
+	if g.owner != th {
+		panic("gil: release by non-owner")
+	}
+	g.Stats.HoldCycles += now - g.ownedSince
+	g.owner = nil
+	g.mem.Store(g.Addr, simmem.Word{Bits: 0})
+	cost := g.costs.Release
+
+	// Wake spinners: the lock is (momentarily) free.
+	for _, sp := range g.spinners {
+		g.engine.Wake(sp, now+cost)
+	}
+	g.spinners = g.spinners[:0]
+
+	if len(g.waiters) > 0 {
+		next := g.waiters[0]
+		g.waiters = g.waiters[1:]
+		g.take(next, now+cost+g.costs.Handoff)
+		g.engine.Wake(next, now+cost+g.costs.Handoff)
+	}
+	return cost
+}
+
+// YieldCost returns the cost of a full GIL yield (release + sched_yield +
+// re-acquire), used by the GIL-mode interpreter at flagged yield points.
+func (g *GIL) YieldCost() int64 {
+	return g.costs.Release + g.costs.SchedYield + g.costs.Acquire
+}
+
+// Costs returns the cycle cost model.
+func (g *GIL) CostModel() Costs { return g.costs }
+
+// FlagInterrupt sets the timer-interrupt flag on th.
+func (g *GIL) FlagInterrupt(th *sched.Thread) { g.interruptFlagged[th] = true }
+
+// ConsumeInterrupt reports and clears th's timer-interrupt flag.
+func (g *GIL) ConsumeInterrupt(th *sched.Thread) bool {
+	if g.interruptFlagged[th] {
+		delete(g.interruptFlagged, th)
+		return true
+	}
+	return false
+}
+
+// StartTimer installs the CRuby timer thread: every interval cycles it
+// flags the current GIL owner (if any), which will then yield the GIL at
+// its next yield point. It keeps rescheduling itself until the engine
+// stops; `while` gates rescheduling so benchmarks can end the timer.
+func (g *GIL) StartTimer(interval int64, while func() bool) {
+	var tick func(now int64)
+	tick = func(now int64) {
+		if g.owner != nil {
+			g.FlagInterrupt(g.owner)
+		}
+		if while == nil || while() {
+			g.engine.At(now+interval, tick)
+		}
+	}
+	g.engine.At(interval, tick)
+}

@@ -1,0 +1,176 @@
+package gil
+
+import (
+	"testing"
+
+	"htmgil/internal/sched"
+	"htmgil/internal/simmem"
+)
+
+func setup() (*simmem.Memory, *sched.Engine, *GIL) {
+	mem := simmem.NewMemory(simmem.Config{LineBytes: 64}, 4)
+	eng := sched.NewEngine(sched.Config{HWThreads: 4})
+	g := New(mem, eng, DefaultCosts())
+	return mem, eng, g
+}
+
+func TestUncontendedAcquireRelease(t *testing.T) {
+	mem, eng, g := setup()
+	var th *sched.Thread
+	th = eng.Spawn("t", 0, func(now int64) sched.StepResult {
+		c, ok := g.TryAcquire(th, now)
+		if !ok || c != DefaultCosts().Acquire {
+			t.Fatalf("TryAcquire = %d, %v", c, ok)
+		}
+		if !g.HeldBy(th) || !g.Acquired() {
+			t.Fatalf("ownership wrong")
+		}
+		if mem.Peek(g.Addr).Bits != 1 {
+			t.Fatalf("GIL word not published")
+		}
+		c2 := g.Release(th, now+100)
+		if c2 != DefaultCosts().Release {
+			t.Fatalf("release cost = %d", c2)
+		}
+		if g.Acquired() || mem.Peek(g.Addr).Bits != 0 {
+			t.Fatalf("release not published")
+		}
+		return sched.StepResult{Cycles: c + c2 + 100, Status: sched.Done}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats.Acquisitions != 1 || g.Stats.HoldCycles != 100 {
+		t.Fatalf("stats = %+v", g.Stats)
+	}
+}
+
+func TestContendedHandoffFIFO(t *testing.T) {
+	_, eng, g := setup()
+	var order []string
+	mk := func(name string, holdFor int64) {
+		var th *sched.Thread
+		phase := 0
+		th = eng.Spawn(name, 0, func(now int64) sched.StepResult {
+			switch phase {
+			case 0:
+				phase = 1
+				if c, ok := g.BlockingAcquire(th, now); ok {
+					order = append(order, name)
+					return sched.StepResult{Cycles: c + holdFor, Status: sched.Running}
+				}
+				return sched.StepResult{Cycles: 1, Status: sched.Blocked}
+			case 1:
+				// Either just acquired inline, or woken owning the GIL.
+				if !g.HeldBy(th) {
+					if len(order) == 0 || order[len(order)-1] != name {
+						order = append(order, name)
+					}
+					t.Fatalf("%s resumed without ownership", name)
+				}
+				if order[len(order)-1] != name {
+					order = append(order, name)
+				}
+				phase = 2
+				return sched.StepResult{Cycles: holdFor, Status: sched.Running}
+			default:
+				g.Release(th, now)
+				return sched.StepResult{Cycles: 1, Status: sched.Done}
+			}
+		})
+	}
+	mk("a", 100)
+	mk("b", 100)
+	mk("c", 100)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("handoff order = %v", order)
+	}
+	if g.Stats.Contended != 2 {
+		t.Fatalf("contended = %d, want 2", g.Stats.Contended)
+	}
+}
+
+func TestAcquisitionDoomsSubscribedTransactions(t *testing.T) {
+	mem, eng, g := setup()
+	tx := mem.Tx(0)
+	tx.Begin(1024, 1024)
+	tx.Load(g.Addr) // subscribe, as TLE transactions do
+	var th *sched.Thread
+	th = eng.Spawn("t", 0, func(now int64) sched.StepResult {
+		g.TryAcquire(th, now)
+		return sched.StepResult{Cycles: 1, Status: sched.Done}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !tx.Doomed() || tx.DoomCause() != simmem.CauseConflict {
+		t.Fatalf("subscribed transaction not doomed by GIL acquisition")
+	}
+	tx.Rollback()
+}
+
+func TestWaitFreeWakesOnRelease(t *testing.T) {
+	_, eng, g := setup()
+	var holder, spinner *sched.Thread
+	spinnerWoke := false
+	holder = eng.Spawn("holder", 0, func(now int64) sched.StepResult {
+		if !g.HeldBy(holder) {
+			c, _ := g.TryAcquire(holder, now)
+			return sched.StepResult{Cycles: c + 500, Status: sched.Running}
+		}
+		g.Release(holder, now)
+		return sched.StepResult{Cycles: 1, Status: sched.Done}
+	})
+	phase := 0
+	spinner = eng.Spawn("spinner", 10, func(now int64) sched.StepResult {
+		if phase == 0 {
+			phase = 1
+			g.WaitFree(spinner)
+			return sched.StepResult{Cycles: 1, Status: sched.Blocked}
+		}
+		if g.Acquired() {
+			t.Fatalf("spinner woke while GIL still held")
+		}
+		spinnerWoke = true
+		return sched.StepResult{Cycles: 1, Status: sched.Done}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !spinnerWoke {
+		t.Fatalf("spinner never woke")
+	}
+}
+
+func TestTimerFlagsOwner(t *testing.T) {
+	_, eng, g := setup()
+	var th *sched.Thread
+	sawFlag := false
+	n := 0
+	th = eng.Spawn("t", 0, func(now int64) sched.StepResult {
+		if !g.HeldBy(th) {
+			c, _ := g.TryAcquire(th, now)
+			return sched.StepResult{Cycles: c, Status: sched.Running}
+		}
+		n++
+		if g.ConsumeInterrupt(th) {
+			sawFlag = true
+			g.Release(th, now)
+			return sched.StepResult{Cycles: 1, Status: sched.Done}
+		}
+		if n > 10000 {
+			t.Fatalf("timer never flagged the owner")
+		}
+		return sched.StepResult{Cycles: 100, Status: sched.Running}
+	})
+	g.StartTimer(5000, func() bool { return !sawFlag })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawFlag {
+		t.Fatalf("interrupt flag never observed")
+	}
+}

@@ -1,0 +1,417 @@
+// Package heap implements the interpreter's memory management, modelled on
+// CRuby 1.9: fixed-size 40-byte RVALUE slots handed out from a single
+// global free list (the paper's dominant conflict source), the paper's
+// mitigation — thread-local free lists refilled in bulk — and a malloc-style
+// arena for variable-size buffers (instance-variable tables, array and hash
+// storage, string payload shadows) with either thread-local or global
+// ("z/OS malloc without HEAPPOOLS") allocation, plus a stop-the-world
+// mark-and-sweep collector that runs while the GIL is held.
+//
+// All allocator metadata (free-list heads, bump cursors, thread-local list
+// state in the thread structures) lives in simulated memory, so transaction
+// aborts roll allocations back and concurrent allocations conflict exactly
+// where the paper observed them.
+package heap
+
+import (
+	"errors"
+	"fmt"
+
+	"htmgil/internal/object"
+	"htmgil/internal/simmem"
+)
+
+// Accessor is the memory-access capability of the calling thread: a
+// *simmem.Tx inside transactions, the *simmem.Memory itself under the GIL
+// or in the non-HTM execution modes.
+type Accessor interface {
+	Load(simmem.Addr) simmem.Word
+	Store(simmem.Addr, simmem.Word)
+}
+
+// ErrNeedGC is returned when the object heap is exhausted; the interpreter
+// must run the garbage collector (under the GIL) and retry.
+var ErrNeedGC = errors.New("heap: free list empty, GC required")
+
+// ErrArenaExhausted is returned when the malloc arena is full even after GC.
+var ErrArenaExhausted = errors.New("heap: arena exhausted")
+
+// Config sizes the heap.
+type Config struct {
+	// Slots is the number of RVALUE slots (RUBY_HEAP_MIN_SLOTS; the paper
+	// raises it from 10,000 to 10,000,000 — our scaled default is large
+	// enough that the scaled benchmarks rarely collect).
+	Slots int
+	// ArenaBytes is the size of the malloc arena.
+	ArenaBytes int
+	// ThreadLocalFreeLists enables the paper's per-thread object free
+	// lists, refilled with TLBatch objects at a time from the global list.
+	ThreadLocalFreeLists bool
+	// TLBatch is the bulk-refill count (256 in the paper).
+	TLBatch int
+	// ThreadLocalArenas enables thread-local malloc (Linux / HEAPPOOLS);
+	// when false every arena operation hits the global cursor and free
+	// lists, as z/OS malloc did in the paper's WEBrick experiments.
+	ThreadLocalArenas bool
+}
+
+// DefaultConfig returns a heap sized for the scaled benchmarks with the
+// paper's optimizations on.
+func DefaultConfig() Config {
+	return Config{
+		Slots:                200_000,
+		ArenaBytes:           64 << 20,
+		ThreadLocalFreeLists: true,
+		TLBatch:              256,
+		ThreadLocalArenas:    true,
+	}
+}
+
+// Size classes (in words) for the malloc arena. Buffers are rounded up to
+// the nearest class; freed buffers are recycled per class.
+var sizeClasses = []int{2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384}
+
+// tlClassMax is the largest class index kept in thread-local lists.
+const tlClassMax = 9 // classes up to 512 words
+
+// ThreadSlots holds the simulated addresses of the calling thread's
+// allocator state inside its thread structure.
+type ThreadSlots struct {
+	TLHead  simmem.Addr // thread-local object free-list head (index+1; 0 empty)
+	TLCount simmem.Addr // number of objects on the thread-local list
+	// TLArena is the base address of the thread's per-size-class arena
+	// free-list heads (tlClassMax+1 consecutive words), or 0 when the
+	// thread has no thread-local arena.
+	TLArena simmem.Addr
+}
+
+// ThreadArenaWords is the number of thread-structure words needed for the
+// per-thread arena free lists.
+const ThreadArenaWords = tlClassMax + 1
+
+// Stats counts allocator and collector activity.
+type Stats struct {
+	ObjectsAllocated uint64
+	TLRefills        uint64
+	GlobalPops       uint64
+	ArenaAllocs      uint64
+	ArenaGlobalOps   uint64
+	GCs              uint64
+	GCSweptObjects   uint64
+	GCCycles         int64
+}
+
+// Heap is the interpreter heap.
+type Heap struct {
+	Mem *simmem.Memory
+	Cfg Config
+
+	slotBase simmem.Addr
+	objects  []object.RObject
+
+	// Global allocator state in simulated memory.
+	globalHead  simmem.Addr // object free-list head (index+1; 0 = empty)
+	globalCount simmem.Addr // objects remaining on the global list
+	arenaCursor simmem.Addr // bump cursor into the arena
+	classHeads  simmem.Addr // global per-size-class free-list heads
+
+	arenaBase simmem.Addr
+	arenaEnd  simmem.Addr
+
+	marks []bool // GC mark bits (host-side; GC is stop-the-world)
+
+	Stats Stats
+}
+
+// New builds and initializes a heap inside mem.
+func New(mem *simmem.Memory, cfg Config) *Heap {
+	if cfg.Slots <= 0 || cfg.ArenaBytes <= 0 {
+		panic("heap: invalid config")
+	}
+	if cfg.TLBatch <= 0 {
+		cfg.TLBatch = 256
+	}
+	h := &Heap{Mem: mem, Cfg: cfg}
+	h.slotBase = mem.Reserve("objheap", cfg.Slots*object.RVALUEBytes)
+	h.globalHead = mem.Reserve("freelist", simmem.WordBytes*2)
+	h.globalCount = h.globalHead + simmem.WordBytes
+	h.arenaCursor = mem.Reserve("malloc-global", simmem.WordBytes)
+	h.classHeads = mem.Reserve("malloc-classes", len(sizeClasses)*simmem.WordBytes)
+	h.arenaBase = mem.Reserve("malloc-arena", cfg.ArenaBytes)
+	h.arenaEnd = h.arenaBase + simmem.Addr(cfg.ArenaBytes)
+	h.objects = make([]object.RObject, cfg.Slots)
+	h.marks = make([]bool, cfg.Slots)
+
+	// Link every slot onto the global free list (setup time, direct).
+	for i := cfg.Slots - 1; i >= 0; i-- {
+		h.objects[i].Index = int32(i)
+		h.objects[i].Slot = h.slotBase + simmem.Addr(i*object.RVALUEBytes)
+		mem.Poke(h.objects[i].AddrOf(object.SlotLink), simmem.Word{Bits: uint64(i + 1 + 1)})
+	}
+	mem.Poke(h.objects[cfg.Slots-1].AddrOf(object.SlotLink), simmem.Word{Bits: 0})
+	mem.Poke(h.globalHead, simmem.Word{Bits: 1}) // slot 0 (index+1)
+	mem.Poke(h.globalCount, simmem.Word{Bits: uint64(cfg.Slots)})
+	mem.Poke(h.arenaCursor, simmem.Word{Bits: uint64(h.arenaBase)})
+	return h
+}
+
+// Object returns the shell for a slot index.
+func (h *Heap) Object(idx int32) *object.RObject { return &h.objects[idx] }
+
+// FreeCount returns the number of objects on the global free list.
+func (h *Heap) FreeCount() uint64 { return h.Mem.Peek(h.globalCount).Bits }
+
+// popGlobal pops one object off the global free list through acc.
+func (h *Heap) popGlobal(acc Accessor) (int32, error) {
+	head := acc.Load(h.globalHead).Bits
+	if head == 0 {
+		return 0, ErrNeedGC
+	}
+	idx := int32(head - 1)
+	next := acc.Load(h.Object(idx).AddrOf(object.SlotLink)).Bits
+	acc.Store(h.globalHead, simmem.Word{Bits: next})
+	cnt := acc.Load(h.globalCount).Bits
+	acc.Store(h.globalCount, simmem.Word{Bits: cnt - 1})
+	h.Stats.GlobalPops++
+	return idx, nil
+}
+
+// AllocObject allocates one RVALUE of the given type and class. It returns
+// ErrNeedGC when the heap is exhausted; the caller must trigger a
+// collection (aborting to the GIL first when inside a transaction).
+func (h *Heap) AllocObject(acc Accessor, ts ThreadSlots, typ object.RType, cls *object.RClass) (*object.RObject, error) {
+	var idx int32
+	if h.Cfg.ThreadLocalFreeLists && ts.TLHead != 0 {
+		head := acc.Load(ts.TLHead).Bits
+		if head == 0 {
+			// Bulk refill: move TLBatch objects from the global list.
+			gh := acc.Load(h.globalHead).Bits
+			if gh == 0 {
+				return nil, ErrNeedGC
+			}
+			moved := 0
+			cursor := gh
+			last := gh
+			for moved < h.Cfg.TLBatch && cursor != 0 {
+				last = cursor
+				cursor = acc.Load(h.Object(int32(cursor - 1)).AddrOf(object.SlotLink)).Bits
+				moved++
+			}
+			// Global list resumes after the moved span; the span becomes
+			// the thread-local list.
+			acc.Store(h.globalHead, simmem.Word{Bits: cursor})
+			cnt := acc.Load(h.globalCount).Bits
+			acc.Store(h.globalCount, simmem.Word{Bits: cnt - uint64(moved)})
+			acc.Store(h.Object(int32(last-1)).AddrOf(object.SlotLink), simmem.Word{Bits: 0})
+			acc.Store(ts.TLHead, simmem.Word{Bits: gh})
+			acc.Store(ts.TLCount, simmem.Word{Bits: uint64(moved)})
+			head = gh
+			h.Stats.TLRefills++
+		}
+		idx = int32(head - 1)
+		next := acc.Load(h.Object(idx).AddrOf(object.SlotLink)).Bits
+		acc.Store(ts.TLHead, simmem.Word{Bits: next})
+		tc := acc.Load(ts.TLCount).Bits
+		acc.Store(ts.TLCount, simmem.Word{Bits: tc - 1})
+	} else {
+		var err error
+		idx, err = h.popGlobal(acc)
+		if err != nil {
+			return nil, err
+		}
+	}
+	o := h.Object(idx)
+	o.Type = typ
+	o.Class = cls
+	o.Str = ""
+	o.Cls = nil
+	o.Native = nil
+	// Clear the payload words: recycled slots otherwise leak the previous
+	// occupant's buffer pointers into objects that never initialize them
+	// (empty strings), which the collector would then free twice.
+	acc.Store(o.AddrOf(object.SlotA), simmem.Word{})
+	acc.Store(o.AddrOf(object.SlotB), simmem.Word{})
+	acc.Store(o.AddrOf(object.SlotC), simmem.Word{})
+	acc.Store(o.AddrOf(object.SlotAlloc), simmem.Word{Bits: 1})
+	h.Stats.ObjectsAllocated++
+	return o, nil
+}
+
+// classFor returns the smallest size class covering n words.
+func classFor(n int) (int, bool) {
+	for i, c := range sizeClasses {
+		if n <= c {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// AllocArena allocates a buffer of n words from the malloc arena and
+// returns its base address. Buffers are recycled per size class; with
+// thread-local arenas the small classes are served from the calling
+// thread's lists first.
+func (h *Heap) AllocArena(acc Accessor, ts ThreadSlots, n int) (simmem.Addr, error) {
+	if n <= 0 {
+		n = 1
+	}
+	ci, ok := classFor(n)
+	if !ok {
+		return 0, fmt.Errorf("heap: arena request of %d words exceeds largest class", n)
+	}
+	h.Stats.ArenaAllocs++
+	useTL := h.Cfg.ThreadLocalArenas && ts.TLArena != 0 && ci <= tlClassMax
+	if useTL {
+		headAddr := ts.TLArena + simmem.Addr(ci*simmem.WordBytes)
+		head := acc.Load(headAddr).Bits
+		if head == 0 {
+			// Refill with a line-aligned chunk from the global cursor, so
+			// buffers of different threads never share a cache line (the
+			// HEAPPOOLS per-thread pool behaviour); split it onto the
+			// thread-local list.
+			classBytes := sizeClasses[ci] * simmem.WordBytes
+			chunk := classBytes
+			lineBytes := h.Mem.LineBytes()
+			if chunk < 4*lineBytes {
+				chunk = 4 * lineBytes
+			}
+			cur := acc.Load(h.arenaCursor).Bits
+			base := (cur + uint64(lineBytes) - 1) &^ uint64(lineBytes-1)
+			h.Stats.ArenaGlobalOps++
+			if base+uint64(chunk) > uint64(h.arenaEnd) {
+				return 0, ErrArenaExhausted
+			}
+			acc.Store(h.arenaCursor, simmem.Word{Bits: base + uint64(chunk)})
+			prev := uint64(0)
+			for off := chunk - classBytes; off >= 0; off -= classBytes {
+				a := base + uint64(off)
+				acc.Store(simmem.Addr(a), simmem.Word{Bits: prev})
+				prev = a
+				if off == 0 {
+					break
+				}
+			}
+			acc.Store(headAddr, simmem.Word{Bits: prev})
+			head = prev
+		}
+		next := acc.Load(simmem.Addr(head)).Bits
+		acc.Store(headAddr, simmem.Word{Bits: next})
+		return simmem.Addr(head), nil
+	}
+	{
+		headAddr := h.classHeads + simmem.Addr(ci*simmem.WordBytes)
+		head := acc.Load(headAddr).Bits
+		h.Stats.ArenaGlobalOps++
+		if head != 0 {
+			next := acc.Load(simmem.Addr(head)).Bits
+			acc.Store(headAddr, simmem.Word{Bits: next})
+			return simmem.Addr(head), nil
+		}
+	}
+	// Carve from the global bump cursor.
+	want := uint64(sizeClasses[ci] * simmem.WordBytes)
+	cur := acc.Load(h.arenaCursor).Bits
+	h.Stats.ArenaGlobalOps++
+	if cur+want > uint64(h.arenaEnd) {
+		return 0, ErrArenaExhausted
+	}
+	acc.Store(h.arenaCursor, simmem.Word{Bits: cur + want})
+	return simmem.Addr(cur), nil
+}
+
+// FreeArena returns a buffer of n words to its size-class free list.
+// Thread-local arenas recycle small classes locally; the collector (which
+// runs globally) passes ts with TLArena = 0.
+func (h *Heap) FreeArena(acc Accessor, ts ThreadSlots, base simmem.Addr, n int) {
+	ci, ok := classFor(n)
+	if !ok || base == 0 {
+		return
+	}
+	var headAddr simmem.Addr
+	if h.Cfg.ThreadLocalArenas && ts.TLArena != 0 && ci <= tlClassMax {
+		headAddr = ts.TLArena + simmem.Addr(ci*simmem.WordBytes)
+	} else {
+		headAddr = h.classHeads + simmem.Addr(ci*simmem.WordBytes)
+		h.Stats.ArenaGlobalOps++
+	}
+	head := acc.Load(headAddr).Bits
+	acc.Store(base, simmem.Word{Bits: head})
+	acc.Store(headAddr, simmem.Word{Bits: uint64(base)})
+}
+
+// GC cycle-cost model.
+const (
+	gcCyclesPerSlot   = 4
+	gcCyclesPerMarked = 30
+)
+
+// Collect runs a stop-the-world mark-and-sweep collection. The caller must
+// hold the GIL (HTM mode) or have otherwise stopped the world. roots must
+// invoke mark on every root object; payload traversal is handled here via
+// traverse, which the interpreter provides to enumerate an object's
+// references (arrays, hashes, ivars, procs). Collect returns the virtual
+// cycle cost to charge.
+func (h *Heap) Collect(roots func(mark func(*object.RObject)), traverse func(o *object.RObject, mark func(*object.RObject))) int64 {
+	h.Stats.GCs++
+	for i := range h.marks {
+		h.marks[i] = false
+	}
+	var stack []*object.RObject
+	mark := func(o *object.RObject) {
+		if o == nil || h.marks[o.Index] {
+			return
+		}
+		h.marks[o.Index] = true
+		stack = append(stack, o)
+	}
+	roots(mark)
+	marked := 0
+	for len(stack) > 0 {
+		o := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		marked++
+		traverse(o, mark)
+	}
+	// Sweep: every allocated, unmarked slot is garbage. Slots with the
+	// alloc flag clear are already on some free list (global or a thread's
+	// local list) and must not be freed twice.
+	swept := 0
+	gts := ThreadSlots{} // global arena lists for freed buffers
+	for i := range h.objects {
+		o := &h.objects[i]
+		if h.Mem.Peek(o.AddrOf(object.SlotAlloc)).Bits != 1 || h.marks[i] {
+			continue
+		}
+		h.freePayload(gts, o)
+		h.Mem.Store(o.AddrOf(object.SlotAlloc), simmem.Word{Bits: 0})
+		head := h.Mem.Peek(h.globalHead).Bits
+		h.Mem.Store(o.AddrOf(object.SlotLink), simmem.Word{Bits: head})
+		h.Mem.Store(h.globalHead, simmem.Word{Bits: uint64(i + 1)})
+		cnt := h.Mem.Peek(h.globalCount).Bits
+		h.Mem.Store(h.globalCount, simmem.Word{Bits: cnt + 1})
+		o.Type = object.TFree
+		o.Class = nil
+		o.Str = ""
+		o.Cls = nil
+		o.Native = nil
+		swept++
+	}
+	h.Stats.GCSweptObjects += uint64(swept)
+	cost := int64(len(h.objects))*gcCyclesPerSlot + int64(marked)*gcCyclesPerMarked
+	h.Stats.GCCycles += cost
+	return cost
+}
+
+// freePayload releases an object's arena buffer, if its type owns one.
+// The buffer base and capacity (in words) are read from the slot payload
+// words by convention: SlotA = base, SlotC = capacity.
+func (h *Heap) freePayload(ts ThreadSlots, o *object.RObject) {
+	switch o.Type {
+	case object.TArray, object.THash, object.TObject, object.TString, object.TEnv:
+		base := simmem.Addr(h.Mem.Peek(o.AddrOf(object.SlotA)).Bits)
+		capWords := int(h.Mem.Peek(o.AddrOf(object.SlotC)).Bits)
+		if base != 0 && capWords > 0 {
+			h.FreeArena(h.Mem, ts, base, capWords)
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package heap
+
+import (
+	"testing"
+
+	"htmgil/internal/object"
+	"htmgil/internal/simmem"
+)
+
+func mkHeap(slots int, tl bool) (*simmem.Memory, *Heap) {
+	mem := simmem.NewMemory(simmem.Config{LineBytes: 64}, 4)
+	cfg := DefaultConfig()
+	cfg.Slots = slots
+	cfg.ArenaBytes = 1 << 20
+	cfg.ThreadLocalFreeLists = tl
+	return mem, New(mem, cfg)
+}
+
+func mkThreadSlots(mem *simmem.Memory) ThreadSlots {
+	base := mem.Reserve("threadstruct", 64*simmem.WordBytes)
+	return ThreadSlots{
+		TLHead:  base,
+		TLCount: base + 8,
+		TLArena: base + 16,
+	}
+}
+
+func TestAllocFromGlobalList(t *testing.T) {
+	mem, h := mkHeap(100, false)
+	o, err := h.AllocObject(mem, ThreadSlots{}, object.TString, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Type != object.TString {
+		t.Fatalf("type = %v", o.Type)
+	}
+	if h.FreeCount() != 99 {
+		t.Fatalf("free count = %d", h.FreeCount())
+	}
+	if mem.Peek(o.AddrOf(object.SlotAlloc)).Bits != 1 {
+		t.Fatalf("alloc flag not set")
+	}
+}
+
+func TestExhaustionReturnsNeedGC(t *testing.T) {
+	mem, h := mkHeap(10, false)
+	for i := 0; i < 10; i++ {
+		if _, err := h.AllocObject(mem, ThreadSlots{}, object.TObject, nil); err != nil {
+			t.Fatalf("alloc %d failed early: %v", i, err)
+		}
+	}
+	if _, err := h.AllocObject(mem, ThreadSlots{}, object.TObject, nil); err != ErrNeedGC {
+		t.Fatalf("err = %v, want ErrNeedGC", err)
+	}
+}
+
+func TestThreadLocalRefillBatch(t *testing.T) {
+	mem, h := mkHeap(1000, true)
+	ts := mkThreadSlots(mem)
+	if _, err := h.AllocObject(mem, ts, object.TFloat, nil); err != nil {
+		t.Fatal(err)
+	}
+	// One refill moved TLBatch objects; one was consumed.
+	if got := mem.Peek(ts.TLCount).Bits; got != uint64(h.Cfg.TLBatch-1) {
+		t.Fatalf("TL count = %d, want %d", got, h.Cfg.TLBatch-1)
+	}
+	if h.FreeCount() != uint64(1000-h.Cfg.TLBatch) {
+		t.Fatalf("global count = %d", h.FreeCount())
+	}
+	// Subsequent allocations do not touch the global list.
+	pops := h.Stats.GlobalPops
+	refills := h.Stats.TLRefills
+	for i := 0; i < 100; i++ {
+		if _, err := h.AllocObject(mem, ts, object.TFloat, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Stats.GlobalPops != pops || h.Stats.TLRefills != refills {
+		t.Fatalf("thread-local allocations hit the global list")
+	}
+}
+
+func TestUniqueSlotsAcrossThreads(t *testing.T) {
+	mem, h := mkHeap(2000, true)
+	ts1, ts2 := mkThreadSlots(mem), mkThreadSlots(mem)
+	seen := map[int32]bool{}
+	for i := 0; i < 600; i++ {
+		a, err := h.AllocObject(mem, ts1, object.TObject, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := h.AllocObject(mem, ts2, object.TObject, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[a.Index] || seen[b.Index] || a.Index == b.Index {
+			t.Fatalf("slot handed out twice at iteration %d", i)
+		}
+		seen[a.Index] = true
+		seen[b.Index] = true
+	}
+}
+
+func TestArenaAllocAndRecycle(t *testing.T) {
+	mem, h := mkHeap(100, false)
+	a, err := h.AllocArena(mem, ThreadSlots{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.AllocArena(mem, ThreadSlots{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatalf("overlapping arena buffers")
+	}
+	// 10 words rounds to class 16: buffers are 16 words apart at least.
+	if b-a < 16*simmem.WordBytes {
+		t.Fatalf("buffers too close: %d", b-a)
+	}
+	h.FreeArena(mem, ThreadSlots{}, a, 10)
+	c, err := h.AllocArena(mem, ThreadSlots{}, 12) // same class: reuses a
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a {
+		t.Fatalf("freed buffer not recycled: got %#x want %#x", uint64(c), uint64(a))
+	}
+}
+
+func TestArenaThreadLocalRecycle(t *testing.T) {
+	mem, h := mkHeap(100, true)
+	ts := mkThreadSlots(mem)
+	a, _ := h.AllocArena(mem, ts, 8)
+	h.FreeArena(mem, ts, a, 8)
+	globalOps := h.Stats.ArenaGlobalOps
+	b, _ := h.AllocArena(mem, ts, 8)
+	if b != a {
+		t.Fatalf("thread-local arena did not recycle")
+	}
+	if h.Stats.ArenaGlobalOps != globalOps {
+		t.Fatalf("thread-local recycle touched global state")
+	}
+}
+
+func TestGCCollectsUnreachable(t *testing.T) {
+	mem, h := mkHeap(50, false)
+	var live []*object.RObject
+	for i := 0; i < 50; i++ {
+		o, err := h.AllocObject(mem, ThreadSlots{}, object.TObject, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%5 == 0 {
+			live = append(live, o)
+		}
+	}
+	if h.FreeCount() != 0 {
+		t.Fatalf("free count before GC = %d", h.FreeCount())
+	}
+	cost := h.Collect(
+		func(mark func(*object.RObject)) {
+			for _, o := range live {
+				mark(o)
+			}
+		},
+		func(o *object.RObject, mark func(*object.RObject)) {},
+	)
+	if cost <= 0 {
+		t.Fatalf("GC cost = %d", cost)
+	}
+	if h.FreeCount() != 40 {
+		t.Fatalf("free count after GC = %d, want 40", h.FreeCount())
+	}
+	// Live objects keep their slots and can still allocate new ones.
+	for i := 0; i < 40; i++ {
+		if _, err := h.AllocObject(mem, ThreadSlots{}, object.TObject, nil); err != nil {
+			t.Fatalf("post-GC alloc %d: %v", i, err)
+		}
+	}
+	if _, err := h.AllocObject(mem, ThreadSlots{}, object.TObject, nil); err != ErrNeedGC {
+		t.Fatalf("live slots were collected: %v", err)
+	}
+}
+
+func TestGCDoesNotFreeThreadLocalListSlots(t *testing.T) {
+	mem, h := mkHeap(600, true)
+	ts := mkThreadSlots(mem)
+	// One allocation pulls a batch of 256 onto the TL list.
+	o, err := h.AllocObject(mem, ts, object.TObject, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := mem.Peek(ts.TLCount).Bits
+	h.Collect(
+		func(mark func(*object.RObject)) { mark(o) },
+		func(o *object.RObject, mark func(*object.RObject)) {},
+	)
+	if got := mem.Peek(ts.TLCount).Bits; got != before {
+		t.Fatalf("GC disturbed thread-local list: %d -> %d", before, got)
+	}
+	// The TL list must still be coherent: allocate everything on it.
+	for i := uint64(0); i < before; i++ {
+		if _, err := h.AllocObject(mem, ts, object.TObject, nil); err != nil {
+			t.Fatalf("TL list corrupted at %d: %v", i, err)
+		}
+	}
+}
+
+func TestGCTraversesReferences(t *testing.T) {
+	mem, h := mkHeap(50, false)
+	parent, _ := h.AllocObject(mem, ThreadSlots{}, object.TArray, nil)
+	child, _ := h.AllocObject(mem, ThreadSlots{}, object.TObject, nil)
+	edges := map[*object.RObject][]*object.RObject{parent: {child}}
+	h.Collect(
+		func(mark func(*object.RObject)) { mark(parent) },
+		func(o *object.RObject, mark func(*object.RObject)) {
+			for _, ref := range edges[o] {
+				mark(ref)
+			}
+		},
+	)
+	if h.FreeCount() != 48 {
+		t.Fatalf("free count = %d, want 48 (parent+child live)", h.FreeCount())
+	}
+	if child.Type == object.TFree {
+		t.Fatalf("referenced child was collected")
+	}
+}
+
+func TestGCFreesArenaPayload(t *testing.T) {
+	mem, h := mkHeap(50, false)
+	o, _ := h.AllocObject(mem, ThreadSlots{}, object.TArray, nil)
+	buf, _ := h.AllocArena(mem, ThreadSlots{}, 16)
+	mem.Store(o.AddrOf(object.SlotA), simmem.Word{Bits: uint64(buf)})
+	mem.Store(o.AddrOf(object.SlotC), simmem.Word{Bits: 16})
+	h.Collect(func(mark func(*object.RObject)) {}, func(o *object.RObject, mark func(*object.RObject)) {})
+	// The buffer must be recyclable now.
+	got, err := h.AllocArena(mem, ThreadSlots{}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != buf {
+		t.Fatalf("arena payload not freed by GC")
+	}
+}
+
+func TestAbortedAllocationRollsBack(t *testing.T) {
+	mem, h := mkHeap(100, false)
+	tx := mem.Tx(0)
+	tx.Begin(1<<20, 1<<20)
+	o, err := h.AllocObject(tx, ThreadSlots{}, object.TFloat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := o.Index
+	tx.SelfDoom(simmem.CauseExplicit)
+	tx.Rollback()
+	// The slot is back on the free list and the alloc flag is clear.
+	if mem.Peek(h.Object(idx).AddrOf(object.SlotAlloc)).Bits != 0 {
+		t.Fatalf("alloc flag survived rollback")
+	}
+	if h.FreeCount() != 100 {
+		t.Fatalf("free count after rollback = %d", h.FreeCount())
+	}
+	// The same slot is handed out again.
+	o2, err := h.AllocObject(mem, ThreadSlots{}, object.TString, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.Index != idx {
+		t.Fatalf("rollback lost the slot: got %d want %d", o2.Index, idx)
+	}
+}
+
+func TestConcurrentAllocationConflictsOnGlobalList(t *testing.T) {
+	mem, h := mkHeap(1000, false) // no thread-local lists: the paper's conflict
+	a, b := mem.Tx(0), mem.Tx(1)
+	a.Begin(1<<20, 1<<20)
+	b.Begin(1<<20, 1<<20)
+	if _, err := h.AllocObject(a, ThreadSlots{}, object.TFloat, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AllocObject(b, ThreadSlots{}, object.TFloat, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Doomed() {
+		t.Fatalf("concurrent global-list allocations did not conflict")
+	}
+	a.Rollback()
+	if !b.Commit() {
+		t.Fatalf("winner failed to commit")
+	}
+	if cc := mem.ConflictCounts()["freelist"]; cc == 0 {
+		t.Fatalf("conflict not attributed to freelist: %v", mem.ConflictCounts())
+	}
+}

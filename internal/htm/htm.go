@@ -1,0 +1,275 @@
+// Package htm models the hardware-transactional-memory facilities of the
+// two machines evaluated in the paper: the IBM zEnterprise EC12 and the
+// Intel 4th Generation Core (Xeon E3-1275 v3, "Haswell").
+//
+// A Context wraps one simmem transactional context and adds what the ISA
+// and micro-architecture add on top of raw conflict detection: begin/end
+// instruction overheads, capacity limits derived from the cache geometry
+// (halved while an SMT sibling is busy), external interrupts, explicit
+// aborts, and — on the Intel profile — the undocumented "learning"
+// behaviour of Figure 6(a), where a context that recently suffered capacity
+// overflows eagerly aborts transactions for thousands of executions even
+// after the footprint has shrunk below the real capacity.
+package htm
+
+import (
+	"math/rand"
+
+	"htmgil/internal/simmem"
+)
+
+// Profile describes one HTM implementation and the machine around it.
+type Profile struct {
+	Name      string
+	Cores     int // physical cores
+	SMTWays   int // hardware threads per core (1 on zEC12, 2 on Xeon)
+	LineBytes int // cache-line size: 256 on zEC12, 64 on Xeon
+
+	WriteCapBytes int // maximum write-set size (8 KB zEC12, ~19 KB Xeon)
+	ReadCapBytes  int // maximum read-set size (~1 MB zEC12, ~6 MB Xeon)
+
+	TBeginCycles int64 // cost of TBEGIN/XBEGIN plus surrounding checks
+	TEndCycles   int64 // cost of TEND/XEND
+	AbortCycles  int64 // pipeline penalty on abort, on top of wasted work
+
+	// InterruptMeanCycles is the mean interval between external interrupts
+	// delivered to a hardware thread; an interrupt dooms a running
+	// transaction (transient cause). Zero disables interrupts.
+	InterruptMeanCycles int64
+
+	// Learning enables the Intel-style capacity predictor.
+	Learning bool
+
+	// TargetAbortRatio is the paper's per-machine tuning input for the
+	// dynamic transaction-length adjustment: 1% on zEC12, 6% on Xeon.
+	TargetAbortRatio float64
+	// ProfilingPeriod and AdjustmentThreshold encode the same ratio as the
+	// paper's integer constants (3/300 and 18/300).
+	ProfilingPeriod     int
+	AdjustmentThreshold int
+}
+
+// HWThreads returns the total number of hardware threads of the machine.
+func (p *Profile) HWThreads() int { return p.Cores * p.SMTWays }
+
+// ZEC12 returns the IBM zEnterprise EC12 profile used in the paper: 12
+// dedicated cores (one LPAR), 256-byte lines, an 8 KB gathering store cache
+// bounding the write set and an L2-sized read set.
+func ZEC12() *Profile {
+	return &Profile{
+		Name:                "zEC12",
+		Cores:               12,
+		SMTWays:             1,
+		LineBytes:           256,
+		WriteCapBytes:       8 << 10,
+		ReadCapBytes:        1 << 20,
+		TBeginCycles:        140,
+		TEndCycles:          70,
+		AbortCycles:         280,
+		InterruptMeanCycles: 4_000_000,
+		Learning:            false,
+		TargetAbortRatio:    0.01,
+		ProfilingPeriod:     300,
+		AdjustmentThreshold: 3,
+	}
+}
+
+// XeonE3 returns the Intel Xeon E3-1275 v3 profile: 4 cores with 2-way SMT,
+// 64-byte lines, experimentally measured ~19 KB write-set and ~6 MB read-set
+// capacities, and the learning abort predictor of Figure 6(a).
+func XeonE3() *Profile {
+	return &Profile{
+		Name:                "XeonE3-1275v3",
+		Cores:               4,
+		SMTWays:             2,
+		LineBytes:           64,
+		WriteCapBytes:       19 << 10,
+		ReadCapBytes:        6 << 20,
+		TBeginCycles:        110,
+		TEndCycles:          60,
+		AbortCycles:         180,
+		InterruptMeanCycles: 4_000_000,
+		Learning:            true,
+		TargetAbortRatio:    0.06,
+		ProfilingPeriod:     300,
+		AdjustmentThreshold: 18,
+	}
+}
+
+// Stats aggregates per-context transaction outcomes.
+type Stats struct {
+	Begins   uint64
+	Commits  uint64
+	Aborts   uint64
+	ByCause  map[simmem.AbortCause]uint64
+	ByRegion map[string]uint64 // doom-address region of conflict aborts
+}
+
+// NewStats returns an empty Stats.
+func NewStats() *Stats {
+	return &Stats{
+		ByCause:  make(map[simmem.AbortCause]uint64),
+		ByRegion: make(map[string]uint64),
+	}
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other *Stats) {
+	s.Begins += other.Begins
+	s.Commits += other.Commits
+	s.Aborts += other.Aborts
+	for c, n := range other.ByCause {
+		s.ByCause[c] += n
+	}
+	for r, n := range other.ByRegion {
+		s.ByRegion[r] += n
+	}
+}
+
+// AbortRatio returns aborts / begins, or 0 when no transaction began.
+func (s *Stats) AbortRatio() float64 {
+	if s.Begins == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(s.Begins)
+}
+
+// Learning-model constants (calibrated against Figure 6a: recovery to a
+// steady state takes on the order of 5,000 transactions).
+const (
+	learnOverflowBoost = 0.03   // suspicion += boost*(1-suspicion) per overflow
+	learnEagerDecay    = 2500.0 // suspicion *= 1-1/decay per eager abort
+	learnSuccessDecay  = 400.0  // suspicion *= 1-1/decay per commit
+	learnMax           = 0.985
+)
+
+// Context is one hardware thread's transactional execution facility.
+type Context struct {
+	Prof *Profile
+	Tx   *simmem.Tx
+	Mem  *simmem.Memory
+
+	// SiblingBusy reports whether the SMT sibling hardware thread is
+	// currently executing; capacity is halved while it is. Nil means no SMT.
+	SiblingBusy func() bool
+
+	Stats *Stats
+
+	suspicion     float64 // Intel learning predictor state
+	rng           *rand.Rand
+	nextInterrupt int64
+}
+
+// NewContext creates a context bound to the given simmem transaction slot.
+func NewContext(prof *Profile, mem *simmem.Memory, txID int, seed int64) *Context {
+	c := &Context{
+		Prof:  prof,
+		Tx:    mem.Tx(txID),
+		Mem:   mem,
+		Stats: NewStats(),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+	c.scheduleInterrupt(0)
+	return c
+}
+
+func (c *Context) scheduleInterrupt(now int64) {
+	if c.Prof.InterruptMeanCycles <= 0 {
+		c.nextInterrupt = 1 << 62
+		return
+	}
+	c.nextInterrupt = now + int64(c.rng.ExpFloat64()*float64(c.Prof.InterruptMeanCycles)) + 1
+}
+
+// capLines converts a byte capacity to lines, applying SMT sharing.
+func (c *Context) capLines(bytes int) int {
+	lines := bytes / c.Prof.LineBytes
+	if c.SiblingBusy != nil && c.SiblingBusy() {
+		lines /= 2
+	}
+	if lines < 1 {
+		lines = 1
+	}
+	return lines
+}
+
+// Begin starts a transaction (TBEGIN/XBEGIN). It returns the cycle cost of
+// the begin instruction. With the learning model enabled, a suspicious
+// context may doom the new transaction immediately (an eager capacity-style
+// abort that the program observes shortly after begin).
+func (c *Context) Begin(now int64) int64 {
+	c.Stats.Begins++
+	c.Tx.Begin(c.capLines(c.Prof.ReadCapBytes), c.capLines(c.Prof.WriteCapBytes))
+	if c.Prof.Learning && c.suspicion > 0 {
+		if c.rng.Float64() < c.suspicion {
+			c.Tx.SelfDoom(simmem.CauseLearning)
+		}
+	}
+	return c.Prof.TBeginCycles
+}
+
+// Doomed reports whether the running transaction must abort. It also
+// delivers any pending external interrupt.
+func (c *Context) Doomed(now int64) bool {
+	if !c.Tx.Active() {
+		return false
+	}
+	if now >= c.nextInterrupt {
+		c.Tx.SelfDoom(simmem.CauseInterrupt)
+		c.scheduleInterrupt(now)
+	}
+	return c.Tx.Doomed()
+}
+
+// End attempts to commit (TEND/XEND). On success it returns (cost, true).
+// On failure the transaction remains to be rolled back via Abort.
+func (c *Context) End(now int64) (int64, bool) {
+	if c.Doomed(now) {
+		return 0, false
+	}
+	if !c.Tx.Commit() {
+		return 0, false
+	}
+	c.Stats.Commits++
+	if c.Prof.Learning {
+		c.suspicion *= 1 - 1/learnSuccessDecay
+	}
+	return c.Prof.TEndCycles, true
+}
+
+// ExplicitAbort dooms the running transaction from software (TABORT/XABORT).
+func (c *Context) ExplicitAbort() { c.Tx.SelfDoom(simmem.CauseExplicit) }
+
+// RestrictedOp dooms the running transaction because the program attempted
+// an operation transactions cannot contain (a system call, I/O, ...).
+func (c *Context) RestrictedOp() { c.Tx.SelfDoom(simmem.CauseRestricted) }
+
+// Abort rolls back the doomed transaction, updates statistics and the
+// learning predictor, and returns the abort cause plus the cycle penalty.
+func (c *Context) Abort() (simmem.AbortCause, int64) {
+	doomAddr := c.Tx.DoomAddr()
+	cause := c.Tx.Rollback()
+	c.Stats.Aborts++
+	c.Stats.ByCause[cause]++
+	if cause == simmem.CauseConflict {
+		c.Stats.ByRegion[c.Mem.RegionLabel(doomAddr)]++
+	}
+	if c.Prof.Learning {
+		switch cause {
+		case simmem.CauseWriteOverflow, simmem.CauseReadOverflow:
+			c.suspicion += learnOverflowBoost * (1 - c.suspicion)
+			if c.suspicion > learnMax {
+				c.suspicion = learnMax
+			}
+		case simmem.CauseLearning:
+			c.suspicion *= 1 - 1/learnEagerDecay
+		}
+	}
+	return cause, c.Prof.AbortCycles
+}
+
+// InTx reports whether a transaction is currently active in this context.
+func (c *Context) InTx() bool { return c.Tx.Active() }
+
+// Suspicion exposes the learning predictor state (tests and experiments).
+func (c *Context) Suspicion() float64 { return c.suspicion }

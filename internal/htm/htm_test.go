@@ -1,0 +1,203 @@
+package htm
+
+import (
+	"testing"
+
+	"htmgil/internal/simmem"
+)
+
+func TestProfiles(t *testing.T) {
+	z, x := ZEC12(), XeonE3()
+	if z.HWThreads() != 12 {
+		t.Fatalf("zEC12 hw threads = %d", z.HWThreads())
+	}
+	if x.HWThreads() != 8 {
+		t.Fatalf("Xeon hw threads = %d", x.HWThreads())
+	}
+	if z.LineBytes != 256 || x.LineBytes != 64 {
+		t.Fatalf("line sizes wrong")
+	}
+	if z.Learning || !x.Learning {
+		t.Fatalf("learning flags wrong")
+	}
+	if z.WriteCapBytes/z.LineBytes != 32 {
+		t.Fatalf("zEC12 write capacity = %d lines, want 32", z.WriteCapBytes/z.LineBytes)
+	}
+}
+
+func TestBeginCommitStats(t *testing.T) {
+	prof := ZEC12()
+	prof.InterruptMeanCycles = 0 // no external interrupts in unit tests
+	mem := simmem.NewMemory(simmem.Config{LineBytes: prof.LineBytes}, 2)
+	base := mem.Reserve("data", 4096)
+	c := NewContext(prof, mem, 0, 1)
+	cost := c.Begin(0)
+	if cost != prof.TBeginCycles {
+		t.Fatalf("begin cost = %d", cost)
+	}
+	c.Tx.Store(base, simmem.Word{Bits: 1})
+	endCost, ok := c.End(10)
+	if !ok || endCost != prof.TEndCycles {
+		t.Fatalf("end = %d, %v", endCost, ok)
+	}
+	if c.Stats.Begins != 1 || c.Stats.Commits != 1 || c.Stats.Aborts != 0 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+	if mem.Peek(base).Bits != 1 {
+		t.Fatalf("commit lost")
+	}
+}
+
+func TestCapacityHalvedWhenSiblingBusy(t *testing.T) {
+	prof := XeonE3()
+	prof.InterruptMeanCycles = 0
+	mem := simmem.NewMemory(simmem.Config{LineBytes: prof.LineBytes}, 2)
+	busy := false
+	c := NewContext(prof, mem, 0, 1)
+	c.SiblingBusy = func() bool { return busy }
+	c.Begin(0)
+	full := c.Tx.WriteCapacity
+	c.Tx.Rollback()
+	c.Stats = NewStats()
+	busy = true
+	c.Begin(0)
+	if c.Tx.WriteCapacity != full/2 {
+		t.Fatalf("capacity with busy sibling = %d, want %d", c.Tx.WriteCapacity, full/2)
+	}
+	c.Tx.Rollback()
+}
+
+func TestAbortStatsAndRegionAttribution(t *testing.T) {
+	prof := ZEC12()
+	prof.InterruptMeanCycles = 0
+	mem := simmem.NewMemory(simmem.Config{LineBytes: prof.LineBytes}, 2)
+	freelist := mem.Reserve("freelist", 4096)
+	a := NewContext(prof, mem, 0, 1)
+	b := NewContext(prof, mem, 1, 2)
+	a.Begin(0)
+	b.Begin(0)
+	a.Tx.Load(freelist)
+	b.Tx.Store(freelist, simmem.Word{Bits: 1}) // dooms a
+	if _, ok := a.End(5); ok {
+		t.Fatalf("doomed context committed")
+	}
+	cause, pen := a.Abort()
+	if cause != simmem.CauseConflict || pen != prof.AbortCycles {
+		t.Fatalf("abort = %v, %d", cause, pen)
+	}
+	if a.Stats.ByRegion["freelist"] != 1 {
+		t.Fatalf("conflict region not attributed: %v", a.Stats.ByRegion)
+	}
+	b.End(5)
+}
+
+func TestExternalInterruptDooms(t *testing.T) {
+	prof := ZEC12()
+	prof.InterruptMeanCycles = 100 // very frequent
+	mem := simmem.NewMemory(simmem.Config{LineBytes: prof.LineBytes}, 1)
+	c := NewContext(prof, mem, 0, 7)
+	c.Begin(0)
+	if !c.Doomed(1 << 40) { // far future: interrupt certainly pending
+		t.Fatalf("interrupt did not doom transaction")
+	}
+	cause, _ := c.Abort()
+	if cause != simmem.CauseInterrupt {
+		t.Fatalf("cause = %v", cause)
+	}
+}
+
+// TestLearningModelRecoversGradually reproduces the qualitative shape of
+// Figure 6(a): after thousands of overflowing transactions, shrinking the
+// write set below capacity does not restore the success ratio immediately;
+// it recovers over thousands of executions.
+func TestLearningModelRecoversGradually(t *testing.T) {
+	prof := XeonE3()
+	prof.InterruptMeanCycles = 0
+	mem := simmem.NewMemory(simmem.Config{LineBytes: prof.LineBytes}, 1)
+	base := mem.Reserve("data", 1<<21)
+	c := NewContext(prof, mem, 0, 42)
+
+	capLines := prof.WriteCapBytes / prof.LineBytes
+	runBatch := func(lines, iters int) (successes int) {
+		for i := 0; i < iters; i++ {
+			c.Begin(0)
+			for l := 0; l < lines && !c.Tx.Doomed(); l++ {
+				c.Tx.Store(base+simmem.Addr(l*prof.LineBytes), simmem.Word{Bits: 1})
+			}
+			if _, ok := c.End(0); ok {
+				successes++
+			} else {
+				c.Abort()
+			}
+		}
+		return successes
+	}
+
+	// Phase 1: oversized write sets always overflow and build suspicion.
+	if s := runBatch(capLines+10, 3000); s != 0 {
+		t.Fatalf("overflowing transactions succeeded: %d", s)
+	}
+	if c.Suspicion() < 0.9 {
+		t.Fatalf("suspicion after overflow phase = %f", c.Suspicion())
+	}
+	// Phase 2: shrink well below capacity; early success ratio must be low.
+	early := runBatch(capLines/4, 200)
+	if float64(early)/200 > 0.5 {
+		t.Fatalf("success ratio recovered immediately: %d/200", early)
+	}
+	// Phase 3: after thousands more, the ratio must be high again.
+	runBatch(capLines/4, 6000)
+	late := runBatch(capLines/4, 500)
+	if float64(late)/500 < 0.9 {
+		t.Fatalf("success ratio never recovered: %d/500", late)
+	}
+}
+
+func TestNoLearningOnZEC12(t *testing.T) {
+	prof := ZEC12()
+	prof.InterruptMeanCycles = 0
+	mem := simmem.NewMemory(simmem.Config{LineBytes: prof.LineBytes}, 1)
+	base := mem.Reserve("data", 1<<21)
+	c := NewContext(prof, mem, 0, 42)
+	capLines := prof.WriteCapBytes / prof.LineBytes
+	// Overflow many times, then small transactions must succeed at once.
+	for i := 0; i < 1000; i++ {
+		c.Begin(0)
+		for l := 0; l <= capLines && !c.Tx.Doomed(); l++ {
+			c.Tx.Store(base+simmem.Addr(l*prof.LineBytes), simmem.Word{Bits: 1})
+		}
+		if _, ok := c.End(0); !ok {
+			c.Abort()
+		}
+	}
+	ok := 0
+	for i := 0; i < 100; i++ {
+		c.Begin(0)
+		c.Tx.Store(base, simmem.Word{Bits: 1})
+		if _, good := c.End(0); good {
+			ok++
+		} else {
+			c.Abort()
+		}
+	}
+	if ok != 100 {
+		t.Fatalf("zEC12 recovered only %d/100 without learning model", ok)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a, b := NewStats(), NewStats()
+	a.Begins, a.Aborts = 10, 2
+	b.Begins, b.Commits = 5, 5
+	b.ByCause[simmem.CauseConflict] = 2
+	a.Add(b)
+	if a.Begins != 15 || a.Commits != 5 || a.ByCause[simmem.CauseConflict] != 2 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+	if r := a.AbortRatio(); r != 2.0/15.0 {
+		t.Fatalf("abort ratio = %f", r)
+	}
+	if (NewStats()).AbortRatio() != 0 {
+		t.Fatalf("empty abort ratio != 0")
+	}
+}

@@ -1,0 +1,214 @@
+package lang
+
+// Node is any AST node. Statements and expressions are unified: every node
+// yields a value (Ruby semantics); statement-position values are dropped.
+type Node interface{ Line() int }
+
+type base struct{ Ln int }
+
+// Line returns the source line of the node.
+func (b base) Line() int { return b.Ln }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	base
+	Val int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	base
+	Val float64
+}
+
+// StrSeg is one segment of a (possibly interpolated) string literal.
+type StrSeg struct {
+	Lit  string
+	Expr Node // non-nil for #{...} segments
+}
+
+// StrLit is a string literal with optional interpolations.
+type StrLit struct {
+	base
+	Segs []StrSeg
+}
+
+// SymLit is a symbol literal.
+type SymLit struct {
+	base
+	Name string
+}
+
+// NilLit is the nil literal.
+type NilLit struct{ base }
+
+// BoolLit is true or false.
+type BoolLit struct {
+	base
+	Val bool
+}
+
+// SelfLit is the self expression.
+type SelfLit struct{ base }
+
+// ArrayLit is [e1, e2, ...].
+type ArrayLit struct {
+	base
+	Elems []Node
+}
+
+// HashLit is {k1 => v1, ...}.
+type HashLit struct {
+	base
+	Keys, Vals []Node
+}
+
+// RangeLit is lo..hi (Excl true for lo...hi).
+type RangeLit struct {
+	base
+	Lo, Hi Node
+	Excl   bool
+}
+
+// LocalRef reads a local variable.
+type LocalRef struct {
+	base
+	Name string
+}
+
+// IvarRef reads an instance variable (@x).
+type IvarRef struct {
+	base
+	Name string
+}
+
+// CvarRef reads a class variable (@@x).
+type CvarRef struct {
+	base
+	Name string
+}
+
+// GvarRef reads a global variable ($x).
+type GvarRef struct {
+	base
+	Name string
+}
+
+// ConstRef reads a constant.
+type ConstRef struct {
+	base
+	Name string
+}
+
+// Assign assigns Value to Target (a LocalRef, IvarRef, CvarRef, GvarRef,
+// ConstRef, Index, or attribute Call with no arguments).
+type Assign struct {
+	base
+	Target Node
+	Value  Node
+}
+
+// BinOp is a binary operator that compiles to an opt_* bytecode or a send.
+type BinOp struct {
+	base
+	Op   string
+	L, R Node
+}
+
+// AndOr is short-circuit && or ||.
+type AndOr struct {
+	base
+	Op   string // "&&" or "||"
+	L, R Node
+}
+
+// UnOp is unary - or !.
+type UnOp struct {
+	base
+	Op string
+	X  Node
+}
+
+// Index is recv[args...].
+type Index struct {
+	base
+	Recv Node
+	Args []Node
+}
+
+// Block is a literal block ({ |x| ... } or do |x| ... end).
+type Block struct {
+	base
+	Params []string
+	Body   []Node
+}
+
+// Call invokes Name on Recv (nil Recv = self / functional call).
+type Call struct {
+	base
+	Recv  Node
+	Name  string
+	Args  []Node
+	Block *Block
+}
+
+// Yield invokes the current method's block.
+type Yield struct {
+	base
+	Args []Node
+}
+
+// If is if/unless with optional elsif chain flattened into Else.
+type If struct {
+	base
+	Cond Node
+	Then []Node
+	Else []Node
+}
+
+// While is while/until ... end.
+type While struct {
+	base
+	Cond  Node
+	Body  []Node
+	Until bool
+}
+
+// Break exits the innermost loop.
+type Break struct {
+	base
+	Val Node
+}
+
+// Next continues the innermost loop or returns from the block iteration.
+type Next struct {
+	base
+	Val Node
+}
+
+// Return returns from the current method.
+type Return struct {
+	base
+	Val Node
+}
+
+// Def defines a method (on the enclosing class, or at toplevel on Object).
+type Def struct {
+	base
+	Name   string
+	Params []string
+	Body   []Node
+}
+
+// ClassDef defines or reopens a class.
+type ClassDef struct {
+	base
+	Name      string
+	SuperName string // "" for Object
+	Body      []Node
+}
+
+// Program is a parsed source file.
+type Program struct {
+	Body []Node
+}

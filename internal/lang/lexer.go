@@ -1,0 +1,355 @@
+// Package lang contains the mini-Ruby front end: a lexer and a
+// recursive-descent parser producing the AST consumed by internal/compile.
+//
+// The language is the subset of Ruby 1.9 exercised by the paper's
+// workloads: classes, methods, blocks with captured locals, instance/class/
+// global variables, Fixnum/Float/String/Symbol/Array/Hash/Range literals
+// (with string interpolation), the usual operators and control flow, and
+// thread primitives provided as library classes by the VM.
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokKind classifies tokens.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TEOF TokKind = iota
+	TNewline
+	TInt
+	TFloat
+	TString // with .Parts for interpolation
+	TSymbol
+	TIdent
+	TConst
+	TIvar // @x
+	TCvar // @@x
+	TGvar // $x
+	TKeyword
+	TOp
+)
+
+// Token is one lexeme. For interpolated strings, Parts alternates literal
+// segments and nil markers; Exprs holds the source of each interpolation.
+type Token struct {
+	Kind  TokKind
+	Text  string
+	Int   int64
+	Float float64
+	Line  int
+
+	// StrParts is non-nil for interpolated strings: literal fragments
+	// interleaved with interpolation sources (IsExpr true).
+	StrParts []StrPart
+}
+
+// StrPart is a fragment of a string literal.
+type StrPart struct {
+	Lit    string
+	Expr   string // source text of #{...}; empty for literal fragments
+	IsExpr bool
+}
+
+var keywords = map[string]bool{
+	"def": true, "end": true, "if": true, "elsif": true, "else": true,
+	"unless": true, "while": true, "until": true, "break": true,
+	"next": true, "return": true, "class": true, "self": true,
+	"true": true, "false": true, "nil": true, "do": true, "then": true,
+	"yield": true, "and": true, "or": true, "not": true,
+}
+
+// Lexer turns mini-Ruby source into tokens.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	err  error
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src, line: 1} }
+
+func (l *Lexer) errorf(format string, args ...any) Token {
+	if l.err == nil {
+		l.err = fmt.Errorf("line %d: %s", l.line, fmt.Sprintf(format, args...))
+	}
+	return Token{Kind: TEOF, Line: l.line}
+}
+
+// Err returns the first lexing error, if any.
+func (l *Lexer) Err() error { return l.err }
+
+func (l *Lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peekAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isLower(c byte) bool  { return c >= 'a' && c <= 'z' || c == '_' }
+func isUpper(c byte) bool  { return c >= 'A' && c <= 'Z' }
+func isLetter(c byte) bool { return isLower(c) || isUpper(c) }
+func isIdent(c byte) bool  { return isLetter(c) || isDigit(c) }
+
+// Next returns the next token.
+func (l *Lexer) Next() Token {
+	for {
+		c := l.peekByte()
+		switch {
+		case c == 0:
+			return Token{Kind: TEOF, Line: l.line}
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+			continue
+		case c == '\\' && l.peekAt(1) == '\n':
+			l.pos += 2
+			l.line++
+			continue
+		case c == '#':
+			for l.peekByte() != '\n' && l.peekByte() != 0 {
+				l.pos++
+			}
+			continue
+		case c == '\n':
+			l.pos++
+			tok := Token{Kind: TNewline, Line: l.line}
+			l.line++
+			return tok
+		case c == ';':
+			l.pos++
+			return Token{Kind: TNewline, Line: l.line}
+		case isDigit(c):
+			return l.lexNumber()
+		case c == '"':
+			return l.lexString()
+		case c == '\'':
+			return l.lexRawString()
+		case c == ':' && (isLetter(l.peekAt(1)) || l.peekAt(1) == '"'):
+			return l.lexSymbol()
+		case c == '@' && l.peekAt(1) == '@':
+			l.pos += 2
+			return l.lexName(TCvar, "@@")
+		case c == '@':
+			l.pos++
+			return l.lexName(TIvar, "@")
+		case c == '$':
+			l.pos++
+			return l.lexName(TGvar, "$")
+		case isLower(c):
+			tok := l.lexName(TIdent, "")
+			// Identifiers may end in ? or !; `nil?` is an identifier, not
+			// the keyword nil.
+			if l.peekByte() == '?' || l.peekByte() == '!' {
+				tok.Text += string(l.peekByte())
+				l.pos++
+			} else if keywords[tok.Text] {
+				tok.Kind = TKeyword
+			}
+			return tok
+		case isUpper(c):
+			return l.lexName(TConst, "")
+		default:
+			return l.lexOp()
+		}
+	}
+}
+
+func (l *Lexer) lexName(kind TokKind, prefix string) Token {
+	start := l.pos
+	for isIdent(l.peekByte()) {
+		l.pos++
+	}
+	if start == l.pos {
+		return l.errorf("expected name after %q", prefix)
+	}
+	return Token{Kind: kind, Text: prefix + l.src[start:l.pos], Line: l.line}
+}
+
+func (l *Lexer) lexNumber() Token {
+	start := l.pos
+	for isDigit(l.peekByte()) || l.peekByte() == '_' {
+		l.pos++
+	}
+	isFloat := false
+	if l.peekByte() == '.' && isDigit(l.peekAt(1)) {
+		isFloat = true
+		l.pos++
+		for isDigit(l.peekByte()) {
+			l.pos++
+		}
+	}
+	if l.peekByte() == 'e' || l.peekByte() == 'E' {
+		save := l.pos
+		l.pos++
+		if l.peekByte() == '+' || l.peekByte() == '-' {
+			l.pos++
+		}
+		if isDigit(l.peekByte()) {
+			isFloat = true
+			for isDigit(l.peekByte()) {
+				l.pos++
+			}
+		} else {
+			l.pos = save
+		}
+	}
+	text := strings.ReplaceAll(l.src[start:l.pos], "_", "")
+	tok := Token{Line: l.line, Text: text}
+	if isFloat {
+		tok.Kind = TFloat
+		if _, err := fmt.Sscanf(text, "%g", &tok.Float); err != nil {
+			return l.errorf("bad float %q", text)
+		}
+	} else {
+		tok.Kind = TInt
+		if _, err := fmt.Sscanf(text, "%d", &tok.Int); err != nil {
+			return l.errorf("bad integer %q", text)
+		}
+	}
+	return tok
+}
+
+func (l *Lexer) lexString() Token {
+	l.pos++ // opening quote
+	var parts []StrPart
+	var lit strings.Builder
+	for {
+		c := l.peekByte()
+		switch c {
+		case 0, '\n':
+			return l.errorf("unterminated string")
+		case '"':
+			l.pos++
+			parts = append(parts, StrPart{Lit: lit.String()})
+			return Token{Kind: TString, Line: l.line, StrParts: parts}
+		case '\\':
+			l.pos++
+			e := l.peekByte()
+			l.pos++
+			switch e {
+			case 'n':
+				lit.WriteByte('\n')
+			case 't':
+				lit.WriteByte('\t')
+			case 'r':
+				lit.WriteByte('\r')
+			case '\\', '"', '\'', '#':
+				lit.WriteByte(e)
+			case '0':
+				lit.WriteByte(0)
+			default:
+				return l.errorf("unknown escape \\%c", e)
+			}
+		case '#':
+			if l.peekAt(1) == '{' {
+				parts = append(parts, StrPart{Lit: lit.String()})
+				lit.Reset()
+				l.pos += 2
+				depth := 1
+				start := l.pos
+				for depth > 0 {
+					switch l.peekByte() {
+					case 0, '\n':
+						return l.errorf("unterminated interpolation")
+					case '{':
+						depth++
+					case '}':
+						depth--
+					}
+					if depth > 0 {
+						l.pos++
+					}
+				}
+				parts = append(parts, StrPart{Expr: l.src[start:l.pos], IsExpr: true})
+				l.pos++ // closing }
+			} else {
+				lit.WriteByte('#')
+				l.pos++
+			}
+		default:
+			lit.WriteByte(c)
+			l.pos++
+		}
+	}
+}
+
+func (l *Lexer) lexRawString() Token {
+	l.pos++
+	start := l.pos
+	for l.peekByte() != '\'' {
+		if l.peekByte() == 0 || l.peekByte() == '\n' {
+			return l.errorf("unterminated string")
+		}
+		l.pos++
+	}
+	s := l.src[start:l.pos]
+	l.pos++
+	return Token{Kind: TString, Line: l.line, StrParts: []StrPart{{Lit: s}}}
+}
+
+func (l *Lexer) lexSymbol() Token {
+	l.pos++ // colon
+	if l.peekByte() == '"' {
+		t := l.lexString()
+		if len(t.StrParts) != 1 || t.StrParts[0].IsExpr {
+			return l.errorf("interpolation not allowed in symbols")
+		}
+		return Token{Kind: TSymbol, Text: t.StrParts[0].Lit, Line: l.line}
+	}
+	start := l.pos
+	for isIdent(l.peekByte()) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	if l.peekByte() == '?' || l.peekByte() == '!' || l.peekByte() == '=' {
+		text += string(l.peekByte())
+		l.pos++
+	}
+	return Token{Kind: TSymbol, Text: text, Line: l.line}
+}
+
+// multi-character operators, longest first.
+var operators = []string{
+	"<=>", "**=", "<<=", ">>=", "...", "||=", "&&=",
+	"==", "!=", "<=", ">=", "=>", "&&", "||", "<<", ">>", "**", "..",
+	"+=", "-=", "*=", "/=", "%=", "=~",
+	"+", "-", "*", "/", "%", "<", ">", "=", "!", "(", ")", "[", "]",
+	"{", "}", ",", ".", "?", "&", "|", "^", "~",
+}
+
+func (l *Lexer) lexOp() Token {
+	rest := l.src[l.pos:]
+	for _, op := range operators {
+		if strings.HasPrefix(rest, op) {
+			l.pos += len(op)
+			return Token{Kind: TOp, Text: op, Line: l.line}
+		}
+	}
+	return l.errorf("unexpected character %q", l.peekByte())
+}
+
+// Tokenize lexes the whole input.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == TEOF {
+			break
+		}
+	}
+	return toks, l.Err()
+}

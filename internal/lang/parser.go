@@ -1,0 +1,753 @@
+package lang
+
+import (
+	"fmt"
+)
+
+// Parser is a recursive-descent parser for mini-Ruby.
+type Parser struct {
+	toks   []Token
+	pos    int
+	scopes []map[string]bool // known locals, innermost last (method + blocks)
+}
+
+type parseError struct{ err error }
+
+// Parse parses a source file.
+func Parse(src string) (prog *Program, err error) {
+	toks, lerr := Tokenize(src)
+	if lerr != nil {
+		return nil, lerr
+	}
+	p := &Parser{toks: toks}
+	p.pushScope()
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(parseError)
+			if !ok {
+				panic(r)
+			}
+			err = pe.err
+		}
+	}()
+	body := p.parseBody("")
+	if !p.at(TEOF, "") {
+		p.fail("unexpected %s", p.cur().describe())
+	}
+	return &Program{Body: body}, nil
+}
+
+func (t Token) describe() string {
+	switch t.Kind {
+	case TEOF:
+		return "end of input"
+	case TNewline:
+		return "newline"
+	case TString:
+		return "string literal"
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+func (p *Parser) fail(format string, args ...any) {
+	panic(parseError{fmt.Errorf("line %d: %s", p.cur().Line, fmt.Sprintf(format, args...))})
+}
+
+func (p *Parser) cur() Token { return p.toks[p.pos] }
+func (p *Parser) peek() Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *Parser) at(kind TokKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *Parser) accept(kind TokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(kind TokKind, text string) Token {
+	if !p.at(kind, text) {
+		p.fail("expected %q, found %s", text, p.cur().describe())
+	}
+	t := p.cur()
+	p.pos++
+	return t
+}
+
+func (p *Parser) skipNewlines() {
+	for p.accept(TNewline, "") {
+	}
+}
+
+func (p *Parser) pushScope() { p.scopes = append(p.scopes, map[string]bool{}) }
+func (p *Parser) popScope()  { p.scopes = p.scopes[:len(p.scopes)-1] }
+
+// isLocal reports whether name is a known local in the current method
+// (including enclosing block scopes).
+func (p *Parser) isLocal(name string) bool {
+	for i := len(p.scopes) - 1; i >= 0; i-- {
+		if p.scopes[i][name] {
+			return true
+		}
+		if p.scopes[i]["\x00barrier"] {
+			break
+		}
+	}
+	return false
+}
+
+func (p *Parser) declareLocal(name string) { p.scopes[len(p.scopes)-1][name] = true }
+
+// pushMethodScope starts a fresh local namespace (methods do not see
+// enclosing locals, unlike blocks).
+func (p *Parser) pushMethodScope() {
+	p.pushScope()
+	p.scopes[len(p.scopes)-1]["\x00barrier"] = true
+}
+
+// parseBody parses statements until one of the given terminator keywords
+// (comma-separated), leaving the terminator unconsumed.
+func (p *Parser) parseBody(terminators string) []Node {
+	var body []Node
+	for {
+		p.skipNewlines()
+		t := p.cur()
+		if t.Kind == TEOF {
+			return body
+		}
+		if t.Kind == TKeyword && terminators != "" && containsWord(terminators, t.Text) {
+			return body
+		}
+		body = append(body, p.parseStatement())
+		if !p.at(TNewline, "") && !p.at(TEOF, "") {
+			t := p.cur()
+			if !(t.Kind == TKeyword && terminators != "" && containsWord(terminators, t.Text)) {
+				p.fail("expected newline after statement, found %s", t.describe())
+			}
+		}
+	}
+}
+
+func containsWord(list, w string) bool {
+	start := 0
+	for i := 0; i <= len(list); i++ {
+		if i == len(list) || list[i] == ',' {
+			if list[start:i] == w {
+				return true
+			}
+			start = i + 1
+		}
+	}
+	return false
+}
+
+func (p *Parser) parseStatement() Node {
+	t := p.cur()
+	if t.Kind == TKeyword {
+		switch t.Text {
+		case "def":
+			return p.parseDef()
+		case "class":
+			return p.parseClass()
+		case "if", "unless":
+			return p.parseIf()
+		case "while", "until":
+			return p.parseWhile()
+		case "break":
+			p.pos++
+			return &Break{base: base{t.Line}}
+		case "next":
+			p.pos++
+			return &Next{base: base{t.Line}}
+		case "return":
+			p.pos++
+			var val Node
+			if !p.at(TNewline, "") && !p.at(TEOF, "") && !p.atBlockEnd() {
+				val = p.parseExpr()
+			}
+			return &Return{base: base{t.Line}, Val: val}
+		}
+	}
+	return p.parseExpr()
+}
+
+func (p *Parser) atBlockEnd() bool {
+	t := p.cur()
+	return t.Kind == TKeyword && (t.Text == "end" || t.Text == "else" || t.Text == "elsif") ||
+		t.Kind == TOp && t.Text == "}"
+}
+
+func (p *Parser) parseDef() Node {
+	line := p.cur().Line
+	p.expect(TKeyword, "def")
+	name := p.parseMethodName()
+	var params []string
+	if p.accept(TOp, "(") {
+		for !p.accept(TOp, ")") {
+			params = append(params, p.expect(TIdent, "").Text)
+			if !p.at(TOp, ")") {
+				p.expect(TOp, ",")
+			}
+		}
+	} else if p.at(TIdent, "") {
+		// def foo a, b
+		params = append(params, p.expect(TIdent, "").Text)
+		for p.accept(TOp, ",") {
+			params = append(params, p.expect(TIdent, "").Text)
+		}
+	}
+	p.pushMethodScope()
+	for _, prm := range params {
+		p.declareLocal(prm)
+	}
+	body := p.parseBody("end")
+	p.popScope()
+	p.expect(TKeyword, "end")
+	return &Def{base: base{line}, Name: name, Params: params, Body: body}
+}
+
+func (p *Parser) parseMethodName() string {
+	t := p.cur()
+	switch {
+	case t.Kind == TIdent:
+		p.pos++
+		name := t.Text
+		// Setter definitions: def x=(v)
+		if p.at(TOp, "=") && p.peek().Kind == TOp && p.peek().Text == "(" {
+			p.pos++
+			name += "="
+		}
+		return name
+	case t.Kind == TOp && (t.Text == "[" && p.peek().Text == "]"):
+		p.pos += 2
+		if p.accept(TOp, "=") {
+			return "[]="
+		}
+		return "[]"
+	case t.Kind == TOp:
+		switch t.Text {
+		case "+", "-", "*", "/", "%", "==", "<", "<=", ">", ">=", "<<", "<=>":
+			p.pos++
+			return t.Text
+		}
+	}
+	p.fail("bad method name %s", t.describe())
+	return ""
+}
+
+func (p *Parser) parseClass() Node {
+	line := p.cur().Line
+	p.expect(TKeyword, "class")
+	name := p.expect(TConst, "").Text
+	super := ""
+	if p.accept(TOp, "<") {
+		super = p.expect(TConst, "").Text
+	}
+	body := p.parseBody("end")
+	p.expect(TKeyword, "end")
+	return &ClassDef{base: base{line}, Name: name, SuperName: super, Body: body}
+}
+
+func (p *Parser) parseIf() Node {
+	line := p.cur().Line
+	neg := p.cur().Text == "unless"
+	p.pos++
+	cond := p.parseExpr()
+	if neg {
+		cond = &UnOp{base: base{line}, Op: "!", X: cond}
+	}
+	p.accept(TKeyword, "then")
+	thenBody := p.parseBody("end,else,elsif")
+	var elseBody []Node
+	switch {
+	case p.at(TKeyword, "elsif"):
+		// Parse the elsif chain as a nested if; it consumes the final end.
+		elseBody = []Node{p.parseIf()}
+		return &If{base: base{line}, Cond: cond, Then: thenBody, Else: elseBody}
+	case p.accept(TKeyword, "else"):
+		elseBody = p.parseBody("end")
+	}
+	p.expect(TKeyword, "end")
+	return &If{base: base{line}, Cond: cond, Then: thenBody, Else: elseBody}
+}
+
+func (p *Parser) parseWhile() Node {
+	line := p.cur().Line
+	until := p.cur().Text == "until"
+	p.pos++
+	cond := p.parseExpr()
+	p.accept(TKeyword, "do")
+	body := p.parseBody("end")
+	p.expect(TKeyword, "end")
+	return &While{base: base{line}, Cond: cond, Body: body, Until: until}
+}
+
+// parseIf used by parseIf for elsif: it begins at the "elsif" keyword.
+// (The keyword text is rewritten so parseIf treats it like "if".)
+
+func (p *Parser) parseExpr() Node { return p.parseAssign() }
+
+func (p *Parser) parseAssign() Node {
+	lhs := p.parseRange()
+	t := p.cur()
+	if t.Kind != TOp {
+		return lhs
+	}
+	switch t.Text {
+	case "=":
+		p.pos++
+		rhs := p.parseAssign()
+		return p.makeAssign(lhs, rhs, t.Line)
+	case "+=", "-=", "*=", "/=", "%=", "<<=", "||=", "&&=":
+		p.pos++
+		rhs := p.parseAssign()
+		op := t.Text[:len(t.Text)-1]
+		line := t.Line
+		var combined Node
+		switch op {
+		case "||", "&&":
+			combined = &AndOr{base: base{line}, Op: op, L: p.reread(lhs), R: rhs}
+		default:
+			combined = &BinOp{base: base{line}, Op: op, L: p.reread(lhs), R: rhs}
+		}
+		return p.makeAssign(lhs, combined, line)
+	}
+	return lhs
+}
+
+// reread produces a fresh read of an assignable expression for op-assign
+// desugaring (the sub-expressions are shared; they are side-effect-free in
+// the supported subset or evaluated twice, as documented).
+func (p *Parser) reread(lhs Node) Node { return lhs }
+
+func (p *Parser) makeAssign(lhs, rhs Node, line int) Node {
+	switch t := lhs.(type) {
+	case *LocalRef:
+		p.declareLocal(t.Name)
+		return &Assign{base: base{line}, Target: t, Value: rhs}
+	case *IvarRef, *CvarRef, *GvarRef, *ConstRef, *Index:
+		return &Assign{base: base{line}, Target: lhs, Value: rhs}
+	case *Call:
+		if len(t.Args) == 0 && t.Block == nil {
+			if t.Recv != nil {
+				// attribute writer: obj.x = v  =>  obj.x=(v)
+				return &Call{base: base{line}, Recv: t.Recv, Name: t.Name + "=", Args: []Node{rhs}}
+			}
+			// Assignment to a not-yet-known bare identifier declares a local.
+			p.declareLocal(t.Name)
+			return &Assign{base: base{line}, Target: &LocalRef{base: base{line}, Name: t.Name}, Value: rhs}
+		}
+	}
+	p.fail("cannot assign to this expression")
+	return nil
+}
+
+func (p *Parser) parseRange() Node {
+	lo := p.parseOr()
+	if p.at(TOp, "..") || p.at(TOp, "...") {
+		excl := p.cur().Text == "..."
+		line := p.cur().Line
+		p.pos++
+		hi := p.parseOr()
+		return &RangeLit{base: base{line}, Lo: lo, Hi: hi, Excl: excl}
+	}
+	return lo
+}
+
+func (p *Parser) parseOr() Node {
+	l := p.parseAnd()
+	for p.at(TOp, "||") || p.at(TKeyword, "or") {
+		line := p.cur().Line
+		p.pos++
+		p.skipNewlines()
+		r := p.parseAnd()
+		l = &AndOr{base: base{line}, Op: "||", L: l, R: r}
+	}
+	return l
+}
+
+func (p *Parser) parseAnd() Node {
+	l := p.parseNot()
+	for p.at(TOp, "&&") || p.at(TKeyword, "and") {
+		line := p.cur().Line
+		p.pos++
+		p.skipNewlines()
+		r := p.parseNot()
+		l = &AndOr{base: base{line}, Op: "&&", L: l, R: r}
+	}
+	return l
+}
+
+func (p *Parser) parseNot() Node {
+	if p.at(TKeyword, "not") {
+		line := p.cur().Line
+		p.pos++
+		return &UnOp{base: base{line}, Op: "!", X: p.parseNot()}
+	}
+	return p.parseEquality()
+}
+
+func (p *Parser) binLevel(sub func() Node, ops ...string) Node {
+	l := sub()
+	for {
+		t := p.cur()
+		if t.Kind != TOp {
+			return l
+		}
+		matched := false
+		for _, op := range ops {
+			if t.Text == op {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return l
+		}
+		p.pos++
+		p.skipNewlines()
+		r := sub()
+		l = &BinOp{base: base{t.Line}, Op: t.Text, L: l, R: r}
+	}
+}
+
+func (p *Parser) parseEquality() Node {
+	return p.binLevel(p.parseComparison, "==", "!=", "=~", "<=>")
+}
+
+func (p *Parser) parseComparison() Node {
+	return p.binLevel(p.parseBitOr, "<", "<=", ">", ">=")
+}
+
+func (p *Parser) parseBitOr() Node  { return p.binLevel(p.parseBitAnd, "|", "^") }
+func (p *Parser) parseBitAnd() Node { return p.binLevel(p.parseShift, "&") }
+func (p *Parser) parseShift() Node  { return p.binLevel(p.parseAdditive, "<<", ">>") }
+
+func (p *Parser) parseAdditive() Node {
+	return p.binLevel(p.parseMultiplicative, "+", "-")
+}
+
+func (p *Parser) parseMultiplicative() Node {
+	return p.binLevel(p.parseUnary, "*", "/", "%")
+}
+
+func (p *Parser) parseUnary() Node {
+	t := p.cur()
+	if t.Kind == TOp && (t.Text == "-" || t.Text == "!") {
+		p.pos++
+		x := p.parseUnary()
+		// Constant-fold negative literals.
+		if t.Text == "-" {
+			switch lit := x.(type) {
+			case *IntLit:
+				lit.Val = -lit.Val
+				return lit
+			case *FloatLit:
+				lit.Val = -lit.Val
+				return lit
+			}
+		}
+		return &UnOp{base: base{t.Line}, Op: t.Text, X: x}
+	}
+	return p.parsePower()
+}
+
+func (p *Parser) parsePower() Node {
+	l := p.parsePostfix()
+	if p.at(TOp, "**") {
+		line := p.cur().Line
+		p.pos++
+		r := p.parsePower() // right associative
+		return &BinOp{base: base{line}, Op: "**", L: l, R: r}
+	}
+	return l
+}
+
+func (p *Parser) parsePostfix() Node {
+	e := p.parsePrimary()
+	for {
+		switch {
+		case p.at(TOp, "."):
+			p.pos++
+			name := p.methodCallName()
+			args, blk, hadParens := p.parseCallTail()
+			_ = hadParens
+			e = &Call{base: base{p.cur().Line}, Recv: e, Name: name, Args: args, Block: blk}
+		case p.at(TOp, "["):
+			line := p.cur().Line
+			p.pos++
+			var args []Node
+			for !p.accept(TOp, "]") {
+				args = append(args, p.parseExpr())
+				if !p.at(TOp, "]") {
+					p.expect(TOp, ",")
+				}
+			}
+			e = &Index{base: base{line}, Recv: e, Args: args}
+		default:
+			return e
+		}
+	}
+}
+
+func (p *Parser) methodCallName() string {
+	t := p.cur()
+	// Keywords are valid method names after a dot (obj.class, v.nil?).
+	if t.Kind == TIdent || t.Kind == TConst || t.Kind == TKeyword {
+		p.pos++
+		return t.Text
+	}
+	p.fail("expected method name after '.', found %s", t.describe())
+	return ""
+}
+
+// parseCallTail parses optional (args) and an optional block literal.
+func (p *Parser) parseCallTail() (args []Node, blk *Block, hadParens bool) {
+	if p.at(TOp, "(") {
+		hadParens = true
+		p.pos++
+		p.skipNewlines()
+		for !p.accept(TOp, ")") {
+			args = append(args, p.parseExpr())
+			p.skipNewlines()
+			if !p.at(TOp, ")") {
+				p.expect(TOp, ",")
+				p.skipNewlines()
+			}
+		}
+	}
+	blk = p.parseOptionalBlock()
+	return args, blk, hadParens
+}
+
+func (p *Parser) parseOptionalBlock() *Block {
+	switch {
+	case p.at(TOp, "{"):
+		line := p.cur().Line
+		p.pos++
+		params := p.parseBlockParams()
+		p.pushScope()
+		for _, prm := range params {
+			p.declareLocal(prm)
+		}
+		body := p.parseBraceBody()
+		p.popScope()
+		return &Block{base: base{line}, Params: params, Body: body}
+	case p.at(TKeyword, "do"):
+		line := p.cur().Line
+		p.pos++
+		params := p.parseBlockParams()
+		p.pushScope()
+		for _, prm := range params {
+			p.declareLocal(prm)
+		}
+		body := p.parseBody("end")
+		p.expect(TKeyword, "end")
+		p.popScope()
+		return &Block{base: base{line}, Params: params, Body: body}
+	}
+	return nil
+}
+
+func (p *Parser) parseBlockParams() []string {
+	var params []string
+	p.skipNewlines()
+	if p.accept(TOp, "|") {
+		for !p.accept(TOp, "|") {
+			params = append(params, p.expect(TIdent, "").Text)
+			if !p.at(TOp, "|") {
+				p.expect(TOp, ",")
+			}
+		}
+	}
+	return params
+}
+
+// parseBraceBody parses statements until the closing brace.
+func (p *Parser) parseBraceBody() []Node {
+	var body []Node
+	for {
+		p.skipNewlines()
+		if p.accept(TOp, "}") {
+			return body
+		}
+		body = append(body, p.parseStatement())
+		p.skipNewlines()
+		if p.accept(TOp, "}") {
+			return body
+		}
+	}
+}
+
+// exprStarter reports whether a token can begin a command-call argument.
+func exprStarter(t Token) bool {
+	switch t.Kind {
+	case TInt, TFloat, TString, TSymbol, TIdent, TConst, TIvar, TCvar, TGvar:
+		return true
+	case TKeyword:
+		return t.Text == "self" || t.Text == "true" || t.Text == "false" || t.Text == "nil"
+	case TOp:
+		return t.Text == "["
+	}
+	return false
+}
+
+func (p *Parser) parsePrimary() Node {
+	t := p.cur()
+	switch t.Kind {
+	case TInt:
+		p.pos++
+		return &IntLit{base: base{t.Line}, Val: t.Int}
+	case TFloat:
+		p.pos++
+		return &FloatLit{base: base{t.Line}, Val: t.Float}
+	case TString:
+		p.pos++
+		segs := make([]StrSeg, 0, len(t.StrParts))
+		for _, part := range t.StrParts {
+			if part.IsExpr {
+				// Interpolations share the enclosing scope so captured
+				// locals resolve correctly.
+				toks, lerr := Tokenize(part.Expr)
+				if lerr != nil {
+					p.fail("in interpolation: %v", lerr)
+				}
+				sub := &Parser{toks: toks, scopes: p.scopes}
+				expr := sub.parseExpr()
+				if !sub.at(TEOF, "") && !sub.at(TNewline, "") {
+					p.fail("interpolation must be a single expression")
+				}
+				segs = append(segs, StrSeg{Expr: expr})
+			} else if part.Lit != "" || len(t.StrParts) == 1 {
+				segs = append(segs, StrSeg{Lit: part.Lit})
+			}
+		}
+		return &StrLit{base: base{t.Line}, Segs: segs}
+	case TSymbol:
+		p.pos++
+		return &SymLit{base: base{t.Line}, Name: t.Text}
+	case TIvar:
+		p.pos++
+		return &IvarRef{base: base{t.Line}, Name: t.Text}
+	case TCvar:
+		p.pos++
+		return &CvarRef{base: base{t.Line}, Name: t.Text}
+	case TGvar:
+		p.pos++
+		return &GvarRef{base: base{t.Line}, Name: t.Text}
+	case TConst:
+		p.pos++
+		return &ConstRef{base: base{t.Line}, Name: t.Text}
+	case TKeyword:
+		switch t.Text {
+		case "nil":
+			p.pos++
+			return &NilLit{base: base{t.Line}}
+		case "true":
+			p.pos++
+			return &BoolLit{base: base{t.Line}, Val: true}
+		case "false":
+			p.pos++
+			return &BoolLit{base: base{t.Line}, Val: false}
+		case "self":
+			p.pos++
+			return &SelfLit{base: base{t.Line}}
+		case "yield":
+			p.pos++
+			var args []Node
+			if p.at(TOp, "(") {
+				p.pos++
+				for !p.accept(TOp, ")") {
+					args = append(args, p.parseExpr())
+					if !p.at(TOp, ")") {
+						p.expect(TOp, ",")
+					}
+				}
+			} else if exprStarter(p.cur()) {
+				args = append(args, p.parseExpr())
+				for p.accept(TOp, ",") {
+					args = append(args, p.parseExpr())
+				}
+			}
+			return &Yield{base: base{t.Line}, Args: args}
+		case "if", "unless":
+			return p.parseIf()
+		case "while", "until":
+			return p.parseWhile()
+		}
+	case TIdent:
+		p.pos++
+		name := t.Text
+		if p.at(TOp, "(") {
+			args, blk, _ := p.parseCallTail()
+			return &Call{base: base{t.Line}, Name: name, Args: args, Block: blk}
+		}
+		if p.isLocal(name) {
+			return &LocalRef{base: base{t.Line}, Name: name}
+		}
+		// Command call: `puts x, y` — a non-local identifier followed by an
+		// expression starter on the same line.
+		if exprStarter(p.cur()) {
+			var args []Node
+			args = append(args, p.parseExpr())
+			for p.accept(TOp, ",") {
+				args = append(args, p.parseExpr())
+			}
+			blk := p.parseOptionalBlock()
+			return &Call{base: base{t.Line}, Name: name, Args: args, Block: blk}
+		}
+		// Not a local: a zero-argument self-call, possibly with a block.
+		blk := p.parseOptionalBlock()
+		return &Call{base: base{t.Line}, Name: name, Block: blk}
+	case TOp:
+		switch t.Text {
+		case "(":
+			p.pos++
+			p.skipNewlines()
+			e := p.parseExpr()
+			p.skipNewlines()
+			p.expect(TOp, ")")
+			return e
+		case "[":
+			p.pos++
+			var elems []Node
+			p.skipNewlines()
+			for !p.accept(TOp, "]") {
+				elems = append(elems, p.parseExpr())
+				p.skipNewlines()
+				if !p.at(TOp, "]") {
+					p.expect(TOp, ",")
+					p.skipNewlines()
+				}
+			}
+			return &ArrayLit{base: base{t.Line}, Elems: elems}
+		case "{":
+			p.pos++
+			var keys, vals []Node
+			p.skipNewlines()
+			for !p.accept(TOp, "}") {
+				keys = append(keys, p.parseExpr())
+				p.expect(TOp, "=>")
+				vals = append(vals, p.parseExpr())
+				p.skipNewlines()
+				if !p.at(TOp, "}") {
+					p.expect(TOp, ",")
+					p.skipNewlines()
+				}
+			}
+			return &HashLit{base: base{t.Line}, Keys: keys, Vals: vals}
+		}
+	}
+	p.fail("unexpected %s", t.describe())
+	return nil
+}

@@ -1,0 +1,379 @@
+package lang
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func parseOK(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return prog
+}
+
+func parseErr(t *testing.T, src string) error {
+	t.Helper()
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatalf("parse %q: expected error", src)
+	}
+	return err
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Tokenize("x = 1 + 2.5 # comment\n:sym \"s\" 'raw' @iv @@cv $gv CONST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokKind{TIdent, TOp, TInt, TOp, TFloat, TNewline,
+		TSymbol, TString, TString, TIvar, TCvar, TGvar, TConst, TEOF}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d kind = %d, want %d (%q)", i, toks[i].Kind, k, toks[i].Text)
+		}
+	}
+	if toks[2].Int != 1 || toks[4].Float != 2.5 {
+		t.Fatalf("literal values wrong")
+	}
+	if toks[9].Text != "@iv" || toks[10].Text != "@@cv" || toks[11].Text != "$gv" {
+		t.Fatalf("sigil names wrong: %q %q %q", toks[9].Text, toks[10].Text, toks[11].Text)
+	}
+}
+
+func TestLexStringEscapesAndInterpolation(t *testing.T) {
+	toks, err := Tokenize(`"a\n#{x + 1}b"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := toks[0].StrParts
+	if len(parts) != 3 || parts[0].Lit != "a\n" || !parts[1].IsExpr || parts[1].Expr != "x + 1" || parts[2].Lit != "b" {
+		t.Fatalf("parts = %+v", parts)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, `"bad \q escape"`, "\x01"} {
+		if _, err := Tokenize(src); err == nil {
+			t.Fatalf("no error for %q", src)
+		}
+	}
+}
+
+func TestParseWhileBenchmark(t *testing.T) {
+	// The paper's Figure 4 While micro-benchmark, verbatim.
+	src := `
+def workload(numIter)
+  x = 0
+  i = 1
+  while i <= numIter
+    x += i
+    i += 1
+  end
+end
+`
+	prog := parseOK(t, src)
+	def := prog.Body[0].(*Def)
+	if def.Name != "workload" || len(def.Params) != 1 {
+		t.Fatalf("def = %+v", def)
+	}
+	w := def.Body[2].(*While)
+	cond := w.Cond.(*BinOp)
+	if cond.Op != "<=" {
+		t.Fatalf("loop condition op = %q", cond.Op)
+	}
+	// x += i desugars to x = x + i
+	asg := w.Body[0].(*Assign)
+	add := asg.Value.(*BinOp)
+	if add.Op != "+" {
+		t.Fatalf("op-assign desugaring wrong: %+v", asg.Value)
+	}
+}
+
+func TestParseIteratorBenchmark(t *testing.T) {
+	// The paper's Figure 4 Iterator micro-benchmark, verbatim.
+	src := `
+def workload(numIter)
+  x = 0
+  (1..numIter).each do |i|
+    x += i
+  end
+end
+`
+	prog := parseOK(t, src)
+	def := prog.Body[0].(*Def)
+	call := def.Body[1].(*Call)
+	if call.Name != "each" || call.Block == nil {
+		t.Fatalf("call = %+v", call)
+	}
+	if _, ok := call.Recv.(*RangeLit); !ok {
+		t.Fatalf("receiver is not a range: %T", call.Recv)
+	}
+	if len(call.Block.Params) != 1 || call.Block.Params[0] != "i" {
+		t.Fatalf("block params = %v", call.Block.Params)
+	}
+	// x inside the block must resolve to the captured local, not a call.
+	asg := call.Block.Body[0].(*Assign)
+	if _, ok := asg.Target.(*LocalRef); !ok {
+		t.Fatalf("captured local not recognized: %T", asg.Target)
+	}
+}
+
+func TestLocalsDoNotLeakIntoMethods(t *testing.T) {
+	src := `
+x = 1
+def m
+  x
+end
+`
+	prog := parseOK(t, src)
+	def := prog.Body[1].(*Def)
+	if _, ok := def.Body[0].(*Call); !ok {
+		t.Fatalf("x inside method should be a call, got %T", def.Body[0])
+	}
+}
+
+func TestParseClassAndMethods(t *testing.T) {
+	src := `
+class Point < Base
+  def initialize(x, y)
+    @x = x
+    @y = y
+  end
+  def dist2
+    @x * @x + @y * @y
+  end
+  def x=(v)
+    @x = v
+  end
+end
+p = Point.new(1, 2)
+p.x = 5
+`
+	prog := parseOK(t, src)
+	cls := prog.Body[0].(*ClassDef)
+	if cls.Name != "Point" || cls.SuperName != "Base" || len(cls.Body) != 3 {
+		t.Fatalf("class = %+v", cls)
+	}
+	setter := cls.Body[2].(*Def)
+	if setter.Name != "x=" {
+		t.Fatalf("setter name = %q", setter.Name)
+	}
+	attr := prog.Body[2].(*Call)
+	if attr.Name != "x=" || len(attr.Args) != 1 {
+		t.Fatalf("attr write = %+v", attr)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog := parseOK(t, "a = 1 + 2 * 3 == 7 && true")
+	asg := prog.Body[0].(*Assign)
+	and := asg.Value.(*AndOr)
+	eq := and.L.(*BinOp)
+	if eq.Op != "==" {
+		t.Fatalf("top op inside && = %q", eq.Op)
+	}
+	add := eq.L.(*BinOp)
+	if add.Op != "+" {
+		t.Fatalf("add = %q", add.Op)
+	}
+	if mul := add.R.(*BinOp); mul.Op != "*" {
+		t.Fatalf("mul = %q", mul.Op)
+	}
+}
+
+func TestParseIfElsifElse(t *testing.T) {
+	src := `
+if a == 1
+  b
+elsif a == 2
+  c
+else
+  d
+end
+`
+	prog := parseOK(t, src)
+	ifn := prog.Body[0].(*If)
+	if len(ifn.Else) != 1 {
+		t.Fatalf("elsif chain not nested")
+	}
+	inner := ifn.Else[0].(*If)
+	if len(inner.Else) != 1 {
+		t.Fatalf("inner else missing")
+	}
+}
+
+func TestParseUnlessAndUntil(t *testing.T) {
+	prog := parseOK(t, "unless done\n x\nend\nuntil done\n y\nend")
+	ifn := prog.Body[0].(*If)
+	if un, ok := ifn.Cond.(*UnOp); !ok || un.Op != "!" {
+		t.Fatalf("unless not negated")
+	}
+	wh := prog.Body[1].(*While)
+	if !wh.Until {
+		t.Fatalf("until flag missing")
+	}
+}
+
+func TestParseLiteralsAndIndexing(t *testing.T) {
+	src := `h = {"a" => 1, :b => [1, 2.5, "x"]}
+v = h["a"]
+h[:b][0] = 9
+r = (1...10)
+s = "n=#{v + 1}!"
+`
+	prog := parseOK(t, src)
+	h := prog.Body[0].(*Assign).Value.(*HashLit)
+	if len(h.Keys) != 2 {
+		t.Fatalf("hash keys = %d", len(h.Keys))
+	}
+	idx := prog.Body[1].(*Assign).Value.(*Index)
+	if _, ok := idx.Recv.(*LocalRef); !ok {
+		t.Fatalf("index recv = %T", idx.Recv)
+	}
+	st := prog.Body[2].(*Assign)
+	if _, ok := st.Target.(*Index); !ok {
+		t.Fatalf("indexed assignment = %T", st.Target)
+	}
+	r := prog.Body[3].(*Assign).Value.(*RangeLit)
+	if !r.Excl {
+		t.Fatalf("exclusive range not detected")
+	}
+	s := prog.Body[4].(*Assign).Value.(*StrLit)
+	if len(s.Segs) != 3 || s.Segs[1].Expr == nil {
+		t.Fatalf("interpolated segments = %+v", s.Segs)
+	}
+}
+
+func TestParseThreadIdiom(t *testing.T) {
+	src := `
+threads = []
+i = 0
+while i < 4
+  threads << Thread.new do
+    workload(100)
+  end
+  i += 1
+end
+threads.each do |t|
+  t.join
+end
+`
+	prog := parseOK(t, src)
+	if len(prog.Body) != 4 {
+		t.Fatalf("body len = %d", len(prog.Body))
+	}
+	wh := prog.Body[2].(*While)
+	shovel := wh.Body[0].(*BinOp)
+	if shovel.Op != "<<" {
+		t.Fatalf("shovel = %+v", shovel)
+	}
+	call := shovel.R.(*Call)
+	if call.Name != "new" || call.Block == nil {
+		t.Fatalf("Thread.new with block not parsed: %+v", call)
+	}
+}
+
+func TestParseCommandCall(t *testing.T) {
+	prog := parseOK(t, `puts "hello", 42`)
+	call := prog.Body[0].(*Call)
+	if call.Name != "puts" || len(call.Args) != 2 {
+		t.Fatalf("command call = %+v", call)
+	}
+}
+
+func TestParseYield(t *testing.T) {
+	prog := parseOK(t, "def each_pair\n yield 1, 2\n yield(3)\n yield\nend")
+	def := prog.Body[0].(*Def)
+	y0 := def.Body[0].(*Yield)
+	y1 := def.Body[1].(*Yield)
+	y2 := def.Body[2].(*Yield)
+	if len(y0.Args) != 2 || len(y1.Args) != 1 || len(y2.Args) != 0 {
+		t.Fatalf("yield args = %d %d %d", len(y0.Args), len(y1.Args), len(y2.Args))
+	}
+}
+
+func TestParseOperatorMethodDef(t *testing.T) {
+	prog := parseOK(t, "class V\n def +(o)\n 1\n end\n def [](i)\n 2\n end\n def []=(i, v)\n 3\n end\nend")
+	cls := prog.Body[0].(*ClassDef)
+	names := []string{cls.Body[0].(*Def).Name, cls.Body[1].(*Def).Name, cls.Body[2].(*Def).Name}
+	if names[0] != "+" || names[1] != "[]" || names[2] != "[]=" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"def\nend",
+		"if x\n",           // missing end
+		"1 +",              // dangling operator
+		"class lower\nend", // class name must be a constant
+		"x = ",             // missing rhs
+		"foo(1,",           // unterminated args
+		"5 = x",            // bad assignment target
+	}
+	for _, src := range cases {
+		err := parseErr(t, src)
+		if !strings.Contains(err.Error(), "line") {
+			t.Fatalf("error lacks line info: %v", err)
+		}
+	}
+}
+
+func TestNegativeLiteralFolding(t *testing.T) {
+	prog := parseOK(t, "x = -5\ny = -2.5")
+	if prog.Body[0].(*Assign).Value.(*IntLit).Val != -5 {
+		t.Fatalf("negative int not folded")
+	}
+	if prog.Body[1].(*Assign).Value.(*FloatLit).Val != -2.5 {
+		t.Fatalf("negative float not folded")
+	}
+}
+
+// TestParserNeverPanics feeds random byte strings and random token
+// recombinations to the parser; it must return an error or a program, and
+// never panic.
+func TestParserNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	atoms := []string{
+		"def", "end", "if", "while", "do", "|", "x", "Foo", "@iv", "$g",
+		"1", "2.5", `"s"`, ":sym", "+", "-", "*", "(", ")", "[", "]",
+		"{", "}", ",", ".", "=", "==", "<<", "\n", "yield", "class",
+		"then", "else", "break", "..", "&&", "puts", "#{", "}",
+	}
+	for i := 0; i < 3000; i++ {
+		var sb strings.Builder
+		n := rng.Intn(30)
+		for j := 0; j < n; j++ {
+			sb.WriteString(atoms[rng.Intn(len(atoms))])
+			sb.WriteByte(' ')
+		}
+		src := sb.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on %q: %v", src, r)
+				}
+			}()
+			Parse(src)
+		}()
+	}
+	// And raw random bytes through the lexer.
+	for i := 0; i < 2000; i++ {
+		b := make([]byte, rng.Intn(40))
+		for j := range b {
+			b[j] = byte(rng.Intn(128))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("lexer/parser panicked on %q: %v", b, r)
+				}
+			}()
+			Parse(string(b))
+		}()
+	}
+}

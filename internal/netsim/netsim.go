@@ -1,0 +1,262 @@
+// Package netsim provides virtual-time TCP-ish networking for the server
+// benchmarks: listeners and stream connections inside the simulated
+// machine, plus Go-level load generators standing in for the paper's HTTP
+// clients (which consumed <5% CPU on a separate machine and are therefore
+// modelled outside the interpreter).
+//
+// Blocking socket operations are exposed to the interpreter as blocking
+// native methods, so they release the GIL — and abort transactions as
+// restricted operations — exactly like CRuby's I/O.
+package netsim
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"htmgil/internal/object"
+	"htmgil/internal/sched"
+	"htmgil/internal/vm"
+)
+
+// Debug enables stderr event tracing (tests only).
+var Debug = false
+
+// Latency constants (virtual cycles).
+const (
+	connectLatency = 20_000
+	writeLatency   = 8_000
+	perByteCost    = 4
+)
+
+// Network is the simulated network fabric.
+type Network struct {
+	eng       *sched.Engine
+	listeners map[int64]*Listener
+}
+
+// NewNetwork creates a network bound to the machine's scheduler.
+func NewNetwork(eng *sched.Engine) *Network {
+	return &Network{eng: eng, listeners: make(map[int64]*Listener)}
+}
+
+// Listener is a bound server port.
+type Listener struct {
+	net     *Network
+	port    int64
+	backlog []*Conn
+	// acceptor is the parked server thread's wake callback.
+	acceptors []func(now int64)
+}
+
+// Conn is one established connection. The server side is driven by the
+// interpreter; the client side by a load generator.
+type Conn struct {
+	net *Network
+	// toServer holds request bytes awaiting the server.
+	toServer strings.Builder
+	// onResponse delivers the server's reply to the client side.
+	onResponse func(now int64, data string)
+	// serverReader is a parked server thread waiting for request data.
+	serverReader func(now int64)
+	closed       bool
+}
+
+// Listen binds a port.
+func (n *Network) Listen(port int64) *Listener {
+	l := &Listener{net: n, port: port}
+	n.listeners[port] = l
+	return l
+}
+
+// Connect opens a client connection to port at virtual time now and
+// returns the connection after simulated connect latency; onResponse fires
+// when the server writes.
+func (n *Network) Connect(now int64, port int64, onResponse func(now int64, data string)) (*Conn, error) {
+	l := n.listeners[port]
+	if l == nil {
+		return nil, fmt.Errorf("netsim: connection refused on port %d", port)
+	}
+	c := &Conn{net: n, onResponse: onResponse}
+	if Debug {
+		fmt.Fprintf(os.Stderr, "[%d] Connect issued -> arrival at %d\n", now, now+connectLatency)
+	}
+	n.eng.At(now+connectLatency, func(at int64) {
+		l.backlog = append(l.backlog, c)
+		if Debug {
+			fmt.Fprintf(os.Stderr, "[%d] conn arrives, backlog=%d acceptors=%d\n", at, len(l.backlog), len(l.acceptors))
+		}
+		if len(l.acceptors) > 0 {
+			wake := l.acceptors[0]
+			l.acceptors = l.acceptors[1:]
+			wake(at)
+		}
+	})
+	return c, nil
+}
+
+// Send delivers request bytes from the client to the server side.
+func (c *Conn) Send(now int64, data string) {
+	c.net.eng.At(now+writeLatency+int64(len(data))*perByteCost, func(at int64) {
+		c.toServer.WriteString(data)
+		if c.serverReader != nil {
+			wake := c.serverReader
+			c.serverReader = nil
+			wake(at)
+		}
+	})
+}
+
+// Install adds the socket classes to a VM: TCPServer.new(port),
+// TCPServer#accept, Socket#read_request, Socket#write, Socket#close.
+func Install(machine *vm.VM, n *Network) {
+	serverC := machine.DefineClass("TCPServer", nil)
+	sockC := machine.DefineClass("Socket", nil)
+
+	machine.DefineStatic(serverC, "new", 1, false, func(t *vm.RThread, self object.Value, args []object.Value, blk vm.BlockArg, now int64) (object.Value, error) {
+		if args[0].Kind != object.KFixnum {
+			return object.Nil, fmt.Errorf("TCPServer.new expects a port number")
+		}
+		o, err := t.AllocNativeObject(object.TServer, serverC, n.Listen(args[0].Fix))
+		if err != nil {
+			return object.Nil, err
+		}
+		return object.RefVal(o), nil
+	})
+
+	machine.DefineNative(serverC, "accept", 0, true, func(t *vm.RThread, self object.Value, args []object.Value, blk vm.BlockArg, now int64) (object.Value, error) {
+		l := self.Ref.Native.(*Listener)
+		if len(l.backlog) == 0 {
+			sth := t.Sched()
+			l.acceptors = append(l.acceptors, func(at int64) {
+				if Debug {
+					fmt.Fprintf(os.Stderr, "[%d] waking acceptor\n", at)
+				}
+				machine.Engine.Wake(sth, at)
+			})
+			if Debug {
+				fmt.Fprintf(os.Stderr, "[%d] acceptor parked (n=%d)\n", now, len(l.acceptors))
+			}
+			return object.Nil, vm.ErrBlocked
+		}
+		if Debug {
+			fmt.Fprintf(os.Stderr, "[%d] accept pops conn, backlog=%d\n", now, len(l.backlog))
+		}
+		conn := l.backlog[0]
+		l.backlog = l.backlog[1:]
+		o, err := t.AllocNativeObject(object.TSocket, sockC, conn)
+		if err != nil {
+			return object.Nil, err
+		}
+		return object.RefVal(o), nil
+	})
+
+	machine.DefineNative(sockC, "read_request", 0, true, func(t *vm.RThread, self object.Value, args []object.Value, blk vm.BlockArg, now int64) (object.Value, error) {
+		conn := self.Ref.Native.(*Conn)
+		if conn.toServer.Len() == 0 {
+			sth := t.Sched()
+			conn.serverReader = func(at int64) { machine.Engine.Wake(sth, at) }
+			return object.Nil, vm.ErrBlocked
+		}
+		data := conn.toServer.String()
+		conn.toServer.Reset()
+		o, cost, err := t.AllocString(data)
+		_ = cost
+		if err != nil {
+			return object.Nil, err
+		}
+		return object.RefVal(o), nil
+	})
+
+	machine.DefineNative(sockC, "write", 1, true, func(t *vm.RThread, self object.Value, args []object.Value, blk vm.BlockArg, now int64) (object.Value, error) {
+		conn := self.Ref.Native.(*Conn)
+		if args[0].Kind != object.KRef || args[0].Ref.Type != object.TString {
+			return object.Nil, fmt.Errorf("Socket#write expects a String")
+		}
+		data := args[0].Ref.Str
+		if conn.onResponse != nil && !conn.closed {
+			cb := conn.onResponse
+			machine.Engine.At(now+writeLatency+int64(len(data))*perByteCost, func(at int64) {
+				cb(at, data)
+			})
+		}
+		return object.FixVal(int64(len(data))), nil
+	})
+
+	machine.DefineNative(sockC, "close", 0, true, func(t *vm.RThread, self object.Value, args []object.Value, blk vm.BlockArg, now int64) (object.Value, error) {
+		conn := self.Ref.Native.(*Conn)
+		conn.closed = true
+		return object.Nil, nil
+	})
+}
+
+// LoadGen drives closed-loop clients: each client connects, sends one
+// request, waits for the response, thinks briefly, and repeats.
+type LoadGen struct {
+	Net       *Network
+	Eng       *sched.Engine
+	Port      int64
+	Request   string
+	ThinkTime int64
+
+	Completed  int
+	TotalWait  int64
+	firstStart int64
+	lastDone   int64
+
+	// Refused counts connection attempts made before the server was up.
+	Refused int
+
+	// Stop ends the run after this many total responses.
+	Target int
+	OnDone func()
+}
+
+// Start launches n clients at virtual time 0.
+func (g *LoadGen) Start(nclients int) {
+	for i := 0; i < nclients; i++ {
+		start := int64(i) * 1_000 // slight stagger
+		g.runClient(start)
+	}
+}
+
+func (g *LoadGen) runClient(at int64) {
+	if Debug {
+		fmt.Fprintf(os.Stderr, "[..] runClient scheduled at %d\n", at)
+	}
+	g.Eng.At(at, func(now int64) {
+		if g.Target > 0 && g.Completed >= g.Target {
+			return
+		}
+		issued := now
+		conn, err := g.Net.Connect(now, g.Port, func(done int64, data string) {
+			g.Completed++
+			g.TotalWait += done - issued
+			g.lastDone = done
+			if g.Target > 0 && g.Completed >= g.Target {
+				if g.OnDone != nil {
+					g.OnDone()
+				}
+				return
+			}
+			g.runClient(done + g.ThinkTime)
+		})
+		if err != nil {
+			// Connection refused: the server has not bound the port yet.
+			// Real clients see ECONNREFUSED and retry.
+			g.Refused++
+			g.runClient(now + 50_000)
+			return
+		}
+		conn.Send(now, g.Request)
+	})
+}
+
+// Throughput returns completed requests per virtual second (CyclesPerSec
+// virtual cycles).
+func (g *LoadGen) Throughput() float64 {
+	if g.lastDone == 0 {
+		return 0
+	}
+	return float64(g.Completed) / (float64(g.lastDone) / float64(vm.CyclesPerSecond))
+}

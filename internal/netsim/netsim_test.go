@@ -1,0 +1,120 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+
+	"htmgil/internal/htm"
+	"htmgil/internal/rbregexp"
+	"htmgil/internal/vm"
+)
+
+// echoServer is a minimal mini-Ruby server used by the tests.
+const echoServer = `
+server = TCPServer.new(9090)
+while true
+  sock = server.accept
+  Thread.new(sock) do |s|
+    req = s.read_request
+    s.write("ECHO:" + req)
+    s.close
+  end
+end
+`
+
+func runServer(t *testing.T, mode vm.Mode, clients, requests int) (*LoadGen, error) {
+	t.Helper()
+	opt := vm.DefaultOptions(htm.XeonE3(), mode)
+	machine := vm.New(opt)
+	net := NewNetwork(machine.Engine)
+	Install(machine, net)
+	rbregexp.Install(machine)
+	iseq, err := machine.CompileSource(echoServer, "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := &LoadGen{Net: net, Eng: machine.Engine, Port: 9090, Request: "ping\r\n",
+		ThinkTime: 5000, Target: requests, OnDone: machine.Engine.Stop}
+	gen.Start(clients)
+	_, err = machine.Run(iseq)
+	return gen, err
+}
+
+func TestEchoRoundTrips(t *testing.T) {
+	gen, err := runServer(t, vm.ModeGIL, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Completed != 10 {
+		t.Fatalf("completed = %d", gen.Completed)
+	}
+	if gen.TotalWait <= 0 {
+		t.Fatalf("no latency recorded")
+	}
+}
+
+func TestResponseContent(t *testing.T) {
+	opt := vm.DefaultOptions(htm.XeonE3(), vm.ModeGIL)
+	machine := vm.New(opt)
+	net := NewNetwork(machine.Engine)
+	Install(machine, net)
+	iseq, err := machine.CompileSource(echoServer, "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	// Connect after the server has had time to bind the port.
+	machine.Engine.At(100_000, func(now int64) {
+		conn, err := net.Connect(now, 9090, func(done int64, data string) {
+			got = data
+			machine.Engine.Stop()
+		})
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		conn.Send(now, "hello")
+	})
+	if _, err := machine.Run(iseq); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(got, "ECHO:hello") {
+		t.Fatalf("response = %q", got)
+	}
+}
+
+func TestConnectionRefusedRetries(t *testing.T) {
+	// Clients that start before the server binds must eventually succeed.
+	gen, err := runServer(t, vm.ModeGIL, 4, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Completed != 20 {
+		t.Fatalf("completed = %d", gen.Completed)
+	}
+	if gen.Refused == 0 {
+		t.Fatalf("expected early refusals before the server bound the port")
+	}
+}
+
+func TestConcurrentClientsAllServed(t *testing.T) {
+	for _, mode := range []vm.Mode{vm.ModeGIL, vm.ModeHTM} {
+		gen, err := runServer(t, mode, 6, 60)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if gen.Completed != 60 {
+			t.Fatalf("%v: completed = %d", mode, gen.Completed)
+		}
+	}
+}
+
+func TestThroughputPositive(t *testing.T) {
+	gen, err := runServer(t, vm.ModeGIL, 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Throughput() <= 0 {
+		t.Fatalf("throughput = %f", gen.Throughput())
+	}
+}

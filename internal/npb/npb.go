@@ -1,0 +1,149 @@
+// Package npb provides the paper's workloads: the seven NAS Parallel
+// Benchmarks kernels (BT, CG, FT, IS, LU, MG, SP) and the two Figure 4
+// micro-benchmarks (While, Iterator), written in mini-Ruby and executed on
+// the simulated interpreter, together with native Go reference
+// implementations used to validate the kernels' numerics.
+package npb
+
+import (
+	"embed"
+	"fmt"
+	"strings"
+
+	"htmgil/internal/htm"
+	"htmgil/internal/vm"
+)
+
+//go:embed rb/*.rb
+var sources embed.FS
+
+// Bench identifies one workload.
+type Bench string
+
+// The workloads.
+const (
+	BT       Bench = "bt"
+	CG       Bench = "cg"
+	FT       Bench = "ft"
+	IS       Bench = "is"
+	LU       Bench = "lu"
+	MG       Bench = "mg"
+	SP       Bench = "sp"
+	While    Bench = "while"
+	Iterator Bench = "iterator"
+)
+
+// Kernels lists the seven NPB programs in the paper's order.
+var Kernels = []Bench{BT, CG, FT, IS, LU, MG, SP}
+
+// Micro lists the two Figure 4 micro-benchmarks.
+var Micro = []Bench{While, Iterator}
+
+// Class selects a scaled problem size, loosely mirroring the paper's use
+// of NPB classes S and W.
+type Class int
+
+// Problem classes: Test is for unit tests, S and W mirror the paper.
+const (
+	ClassTest Class = iota
+	ClassS
+	ClassW
+)
+
+// Params holds the generated problem parameters.
+type Params struct {
+	N     int // problem dimension (meaning is per-kernel)
+	NIter int // outer iterations
+}
+
+// ParamsFor returns the scaled problem size for a kernel.
+func ParamsFor(b Bench, c Class) Params {
+	type key struct {
+		b Bench
+		c Class
+	}
+	table := map[key]Params{
+		{BT, ClassTest}: {N: 16, NIter: 1}, {BT, ClassS}: {N: 48, NIter: 2}, {BT, ClassW}: {N: 64, NIter: 6},
+		{CG, ClassTest}: {N: 64, NIter: 2}, {CG, ClassS}: {N: 700, NIter: 4}, {CG, ClassW}: {N: 1400, NIter: 8},
+		{FT, ClassTest}: {N: 8, NIter: 1}, {FT, ClassS}: {N: 32, NIter: 2}, {FT, ClassW}: {N: 64, NIter: 3},
+		{IS, ClassTest}: {N: 256, NIter: 2}, {IS, ClassS}: {N: 6000, NIter: 4}, {IS, ClassW}: {N: 16000, NIter: 6},
+		{LU, ClassTest}: {N: 12, NIter: 1}, {LU, ClassS}: {N: 36, NIter: 2}, {LU, ClassW}: {N: 60, NIter: 4},
+		{MG, ClassTest}: {N: 16, NIter: 1}, {MG, ClassS}: {N: 48, NIter: 3}, {MG, ClassW}: {N: 80, NIter: 4},
+		{SP, ClassTest}: {N: 16, NIter: 1}, {SP, ClassS}: {N: 56, NIter: 3}, {SP, ClassW}: {N: 84, NIter: 6},
+		{While, ClassTest}: {N: 500}, {While, ClassS}: {N: 30000}, {While, ClassW}: {N: 100000},
+		{Iterator, ClassTest}: {N: 300}, {Iterator, ClassS}: {N: 15000}, {Iterator, ClassW}: {N: 50000},
+	}
+	p, ok := table[key{b, c}]
+	if !ok {
+		panic(fmt.Sprintf("npb: no parameters for %s class %d", b, c))
+	}
+	return p
+}
+
+// Source builds the complete mini-Ruby program for a workload: the shared
+// support code, a parameter header, and the kernel body.
+func Source(b Bench, threads int, p Params) string {
+	common, err := sources.ReadFile("rb/common.rb")
+	if err != nil {
+		panic(err)
+	}
+	body, err := sources.ReadFile("rb/" + string(b) + ".rb")
+	if err != nil {
+		panic(fmt.Sprintf("npb: unknown benchmark %q", b))
+	}
+	header := fmt.Sprintf("$np = %d\n$n = %d\n$niter = %d\n", threads, p.N, p.NIter)
+	return string(common) + header + string(body)
+}
+
+// Result is one benchmark execution outcome.
+type Result struct {
+	Bench    Bench
+	Threads  int
+	Cycles   int64
+	Valid    bool
+	Checksum string
+	Stats    *vm.Stats
+	Output   string
+}
+
+// Throughput returns work per cycle relative to nothing in particular; the
+// harness normalizes against a baseline run, so only ratios matter.
+func (r *Result) Throughput() float64 { return 1e12 / float64(r.Cycles) }
+
+// Run executes a workload under the given options.
+func Run(b Bench, opt vm.Options, threads int, p Params) (*Result, error) {
+	machine := vm.New(opt)
+	iseq, err := machine.CompileSource(Source(b, threads, p), string(b))
+	if err != nil {
+		return nil, fmt.Errorf("npb %s: %w", b, err)
+	}
+	res, err := machine.Run(iseq)
+	if err != nil {
+		return nil, fmt.Errorf("npb %s: %w", b, err)
+	}
+	out := res.Output
+	r := &Result{
+		Bench:   b,
+		Threads: threads,
+		Cycles:  res.Cycles,
+		Stats:   res.Stats,
+		Output:  out,
+	}
+	marker := fmt.Sprintf("RESULT %s valid=", b)
+	idx := strings.Index(out, marker)
+	if idx < 0 {
+		return nil, fmt.Errorf("npb %s: no result line in output %q", b, out)
+	}
+	rest := out[idx+len(marker):]
+	r.Valid = strings.HasPrefix(rest, "true")
+	if ci := strings.Index(rest, "checksum="); ci >= 0 {
+		r.Checksum = strings.TrimSpace(strings.SplitN(rest[ci+len("checksum="):], "\n", 2)[0])
+	}
+	return r, nil
+}
+
+// RunSimple is a convenience wrapper using the default machine options.
+func RunSimple(b Bench, prof *htm.Profile, mode vm.Mode, threads int, c Class) (*Result, error) {
+	opt := vm.DefaultOptions(prof, mode)
+	return Run(b, opt, threads, ParamsFor(b, c))
+}

@@ -1,0 +1,132 @@
+package npb
+
+import (
+	"fmt"
+	"testing"
+
+	"htmgil/internal/htm"
+	"htmgil/internal/vm"
+)
+
+func TestAllKernelsValidateGIL(t *testing.T) {
+	for _, b := range append(append([]Bench{}, Kernels...), Micro...) {
+		r, err := RunSimple(b, htm.ZEC12(), vm.ModeGIL, 2, ClassTest)
+		if err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		if !r.Valid {
+			t.Fatalf("%s failed validation: %s", b, r.Output)
+		}
+	}
+}
+
+func TestAllKernelsValidateHTM(t *testing.T) {
+	for _, b := range append(append([]Bench{}, Kernels...), Micro...) {
+		r, err := RunSimple(b, htm.ZEC12(), vm.ModeHTM, 4, ClassTest)
+		if err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		if !r.Valid {
+			t.Fatalf("%s failed validation under HTM: %s", b, r.Output)
+		}
+	}
+}
+
+func TestKernelsValidateFGLAndIdeal(t *testing.T) {
+	for _, mode := range []vm.Mode{vm.ModeFGL, vm.ModeIdeal} {
+		for _, b := range Kernels {
+			r, err := RunSimple(b, htm.XeonE3(), mode, 3, ClassTest)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", b, mode, err)
+			}
+			if !r.Valid {
+				t.Fatalf("%s failed validation under %v: %s", b, mode, r.Output)
+			}
+		}
+	}
+}
+
+func TestChecksumsAgreeAcrossModesAndThreads(t *testing.T) {
+	// BT and IS have exactly deterministic checksums regardless of thread
+	// count and mode (integer results / exact line solves).
+	for _, b := range []Bench{IS} {
+		var ref string
+		for _, threads := range []int{1, 3} {
+			for _, mode := range []vm.Mode{vm.ModeGIL, vm.ModeHTM} {
+				r, err := RunSimple(b, htm.ZEC12(), mode, threads, ClassTest)
+				if err != nil {
+					t.Fatalf("%s: %v", b, err)
+				}
+				if ref == "" {
+					ref = r.Checksum
+				} else if r.Checksum != ref {
+					t.Fatalf("%s checksum diverged: %q vs %q (threads=%d mode=%v)", b, r.Checksum, ref, threads, mode)
+				}
+			}
+		}
+	}
+}
+
+func TestNativeReferencesAgree(t *testing.T) {
+	// The Go reference implementations validate the same invariants the
+	// Ruby kernels check, on identical inputs.
+	for _, b := range Kernels {
+		p := ParamsFor(b, ClassTest)
+		if !ReferenceValid(b, p) {
+			t.Fatalf("native reference for %s failed its invariant", b)
+		}
+	}
+}
+
+func TestReferenceMatchesRubyIS(t *testing.T) {
+	// IS is exact integer math: the Ruby kernel's checksum (total keys)
+	// must equal the native reference's.
+	p := ParamsFor(IS, ClassTest)
+	r, err := RunSimple(IS, htm.ZEC12(), vm.ModeGIL, 2, ClassTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ReferenceChecksumIS(p)
+	if r.Checksum != want {
+		t.Fatalf("IS checksum %q != native %q", r.Checksum, want)
+	}
+}
+
+func TestSourceGeneration(t *testing.T) {
+	src := Source(CG, 4, Params{N: 100, NIter: 2})
+	for _, want := range []string{"$np = 4", "$n = 100", "$niter = 2", "NpbRandom", "RESULT cg"} {
+		if !contains(src, want) {
+			t.Fatalf("generated source missing %q", want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+// TestReferenceMatchesRubyCGBitwise runs CG single-threaded in Ruby and
+// natively: identical inputs and operation order must give bitwise-close
+// checksums, validating the interpreter's float semantics end to end.
+func TestReferenceMatchesRubyCGBitwise(t *testing.T) {
+	p := ParamsFor(CG, ClassTest)
+	r, err := RunSimple(CG, htm.ZEC12(), vm.ModeGIL, 1, ClassTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got float64
+	if _, err := fmt.Sscanf(r.Checksum, "%g", &got); err != nil {
+		t.Fatalf("bad checksum %q", r.Checksum)
+	}
+	want := ReferenceChecksumCG(p)
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("CG checksum: ruby %v vs native %v", got, want)
+	}
+}

@@ -1,0 +1,95 @@
+# CG: conjugate-gradient-style kernel. Repeated sparse matrix-vector
+# products partitioned by rows, with dot-product reductions combined by
+# thread 0 between barriers (the NPB CG communication pattern).
+nrows = $n
+nzper = 6
+rng = NpbRandom.new(42)
+colidx = Array.new(nrows * nzper, 0)
+vals = Array.new(nrows * nzper, 0.0)
+ii = 0
+while ii < nrows
+  kk = 0
+  while kk < nzper
+    colidx[ii * nzper + kk] = rng.next_int(nrows)
+    vals[ii * nzper + kk] = 0.5 + rng.next_float
+    kk += 1
+  end
+  # Diagonal dominance keeps the iteration stable.
+  colidx[ii * nzper] = ii
+  vals[ii * nzper] = nzper + 1.0
+  ii += 1
+end
+
+x = Array.new(nrows, 1.0)
+q = Array.new(nrows, 0.0)
+partial = Array.new($np, 0.0)
+b = Barrier.new($np)
+$norm = 0.0
+
+threads = []
+r = 0
+while r < $np
+  threads << Thread.new(r) do |rank|
+    lo = partition_lo(rank, $np, nrows)
+    hi = partition_hi(rank, $np, nrows)
+    iter = 0
+    while iter < $niter
+      # q = A * x over this thread's rows.
+      i = lo
+      while i < hi
+        sum = 0.0
+        k = 0
+        base = i * nzper
+        while k < nzper
+          sum += vals[base + k] * x[colidx[base + k]]
+          k += 1
+        end
+        q[i] = sum
+        i += 1
+      end
+      # Partial dot product q.q.
+      s = 0.0
+      i = lo
+      while i < hi
+        s += q[i] * q[i]
+        i += 1
+      end
+      partial[rank] = s
+      b.wait
+      if rank == 0
+        total = 0.0
+        t = 0
+        while t < $np
+          total += partial[t]
+          t += 1
+        end
+        $norm = Math.sqrt(total)
+      end
+      b.wait
+      # x = q / ||q||
+      nrm = $norm
+      i = lo
+      while i < hi
+        x[i] = q[i] / nrm
+        i += 1
+      end
+      b.wait
+      iter += 1
+    end
+  end
+  r += 1
+end
+threads.each do |t|
+  t.join
+end
+
+# Verification: x is normalized, so x.x must be 1.
+check = 0.0
+i = 0
+while i < nrows
+  check += x[i] * x[i]
+  i += 1
+end
+delta = check - 1.0
+valid = delta.abs < 0.000001
+puts "RESULT cg valid=#{valid} checksum=#{check}"

@@ -1,0 +1,25 @@
+# Shared NPB support code: a deterministic linear congruential generator
+# (NPB uses a 46-bit LCG; this is a scaled-down equivalent) and helpers.
+class NpbRandom
+  def initialize(seed)
+    @state = seed
+  end
+
+  def next_int(bound)
+    @state = (@state * 1103515245 + 12345) % 2147483648
+    @state % bound
+  end
+
+  def next_float
+    @state = (@state * 1103515245 + 12345) % 2147483648
+    @state.to_f / 2147483648.0
+  end
+end
+
+def partition_lo(rank, nthreads, n)
+  rank * n / nthreads
+end
+
+def partition_hi(rank, nthreads, n)
+  (rank + 1) * n / nthreads
+end

@@ -1,0 +1,32 @@
+# Iterator micro-benchmark (paper Figure 4, right): the same loops through
+# Range#each with a block capturing a local.
+def workload(numIter)
+  x = 0
+  (1..numIter).each do |i|
+    x += i
+  end
+  x
+end
+
+results = Array.new($np, 0)
+threads = []
+r = 0
+while r < $np
+  threads << Thread.new(r) do |rank|
+    results[rank] = workload($n)
+  end
+  r += 1
+end
+threads.each do |t|
+  t.join
+end
+expected = $n * ($n + 1) / 2
+valid = true
+i = 0
+while i < $np
+  if results[i] != expected
+    valid = false
+  end
+  i += 1
+end
+puts "RESULT iterator valid=#{valid} checksum=#{results[0]}"

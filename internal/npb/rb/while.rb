@@ -1,0 +1,34 @@
+# While micro-benchmark (paper Figure 4, left): embarrassingly parallel
+# Fixnum loops, one per thread.
+def workload(numIter)
+  x = 0
+  i = 1
+  while i <= numIter
+    x += i
+    i += 1
+  end
+  x
+end
+
+results = Array.new($np, 0)
+threads = []
+r = 0
+while r < $np
+  threads << Thread.new(r) do |rank|
+    results[rank] = workload($n)
+  end
+  r += 1
+end
+threads.each do |t|
+  t.join
+end
+expected = $n * ($n + 1) / 2
+valid = true
+i = 0
+while i < $np
+  if results[i] != expected
+    valid = false
+  end
+  i += 1
+end
+puts "RESULT while valid=#{valid} checksum=#{results[0]}"

@@ -1,0 +1,365 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+)
+
+// lcg mirrors NpbRandom in rb/common.rb exactly.
+type lcg struct{ state int64 }
+
+func (r *lcg) nextInt(bound int64) int64 {
+	r.state = (r.state*1103515245 + 12345) % 2147483648
+	return r.state % bound
+}
+
+func (r *lcg) nextFloat() float64 {
+	r.state = (r.state*1103515245 + 12345) % 2147483648
+	return float64(r.state) / 2147483648.0
+}
+
+// ReferenceValid runs the native Go implementation of a kernel on the same
+// deterministic input as its Ruby twin and checks the same invariant.
+func ReferenceValid(b Bench, p Params) bool {
+	switch b {
+	case CG:
+		return refCG(p)
+	case IS:
+		return refIS(p) >= 0
+	case FT:
+		return refFT(p)
+	case MG:
+		return refMG(p)
+	case BT:
+		return refBT(p)
+	case SP:
+		return refSP(p)
+	case LU:
+		return refLU(p)
+	case While, Iterator:
+		return true
+	default:
+		return false
+	}
+}
+
+// ReferenceChecksumIS returns the IS checksum (total key count after the
+// prefix sums) computed natively.
+func ReferenceChecksumIS(p Params) string {
+	return fmt.Sprintf("%d", refIS(p))
+}
+
+// ReferenceChecksumCG computes CG's final x.x natively with the same
+// operation order as the single-threaded Ruby kernel.
+func ReferenceChecksumCG(p Params) float64 {
+	return refCGChecksum(p)
+}
+
+func refCG(p Params) bool {
+	return math.Abs(refCGChecksum(p)-1.0) < 1e-6
+}
+
+func refCGChecksum(p Params) float64 {
+	n, nzper := p.N, 6
+	rng := &lcg{state: 42}
+	colidx := make([]int64, n*nzper)
+	vals := make([]float64, n*nzper)
+	for i := 0; i < n; i++ {
+		for k := 0; k < nzper; k++ {
+			colidx[i*nzper+k] = rng.nextInt(int64(n))
+			vals[i*nzper+k] = 0.5 + rng.nextFloat()
+		}
+		colidx[i*nzper] = int64(i)
+		vals[i*nzper] = float64(nzper) + 1.0
+	}
+	x := make([]float64, n)
+	q := make([]float64, n)
+	for i := range x {
+		x[i] = 1.0
+	}
+	for iter := 0; iter < p.NIter; iter++ {
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for k := 0; k < nzper; k++ {
+				sum += vals[i*nzper+k] * x[colidx[i*nzper+k]]
+			}
+			q[i] = sum
+		}
+		norm := 0.0
+		for i := 0; i < n; i++ {
+			norm += q[i] * q[i]
+		}
+		norm = math.Sqrt(norm)
+		for i := 0; i < n; i++ {
+			x[i] = q[i] / norm
+		}
+	}
+	check := 0.0
+	for i := 0; i < n; i++ {
+		check += x[i] * x[i]
+	}
+	return check
+}
+
+func refIS(p Params) int64 {
+	nkeys, maxkey := p.N, 128
+	rng := &lcg{state: 314159}
+	keys := make([]int64, nkeys)
+	for i := range keys {
+		keys[i] = rng.nextInt(int64(maxkey))
+	}
+	hist := make([]int64, maxkey)
+	for _, k := range keys {
+		hist[k]++
+	}
+	for k := 1; k < maxkey; k++ {
+		hist[k] += hist[k-1]
+	}
+	return hist[maxkey-1]
+}
+
+func refFT(p Params) bool {
+	n := p.N
+	re := make([]float64, n*n)
+	im := make([]float64, n*n)
+	rng := &lcg{state: 271828}
+	for i := range re {
+		re[i] = rng.nextFloat() - 0.5
+		im[i] = rng.nextFloat() - 0.5
+	}
+	energy0 := 0.0
+	for i := range re {
+		energy0 += re[i]*re[i] + im[i]*im[i]
+	}
+	tre := make([]float64, n*n)
+	tim := make([]float64, n*n)
+	fft := func(re, im []float64, base int) {
+		j := 0
+		for i := 1; i < n; i++ {
+			bit := n >> 1
+			for j&bit != 0 {
+				j ^= bit
+				bit >>= 1
+			}
+			j |= bit
+			if i < j {
+				re[base+i], re[base+j] = re[base+j], re[base+i]
+				im[base+i], im[base+j] = im[base+j], im[base+i]
+			}
+		}
+		for length := 2; length <= n; length *= 2 {
+			ang := 2 * math.Pi / float64(length)
+			wr, wi := math.Cos(ang), math.Sin(ang)
+			for i := 0; i < n; i += length {
+				cr, ci := 1.0, 0.0
+				for k := 0; k < length/2; k++ {
+					h := length / 2
+					ur, ui := re[base+i+k], im[base+i+k]
+					vr := re[base+i+k+h]*cr - im[base+i+k+h]*ci
+					vi := re[base+i+k+h]*ci + im[base+i+k+h]*cr
+					re[base+i+k], im[base+i+k] = ur+vr, ui+vi
+					re[base+i+k+h], im[base+i+k+h] = ur-vr, ui-vi
+					cr, ci = cr*wr-ci*wi, cr*wi+ci*wr
+				}
+			}
+		}
+	}
+	for iter := 0; iter < p.NIter; iter++ {
+		for row := 0; row < n; row++ {
+			fft(re, im, row*n)
+		}
+		for row := 0; row < n; row++ {
+			for col := 0; col < n; col++ {
+				tre[col*n+row] = re[row*n+col]
+				tim[col*n+row] = im[row*n+col]
+			}
+		}
+		for row := 0; row < n; row++ {
+			fft(tre, tim, row*n)
+		}
+		scale := 1.0 / float64(n)
+		for i := range re {
+			re[i] = tre[i] * scale
+			im[i] = tim[i] * scale
+		}
+	}
+	energy := 0.0
+	for i := range re {
+		energy += re[i]*re[i] + im[i]*im[i]
+	}
+	return math.Abs(energy/energy0-1.0) < 1e-4
+}
+
+func refMG(p Params) bool {
+	n := p.N
+	nc := n / 2
+	u := make([]float64, n*n)
+	un := make([]float64, n*n)
+	rhs := make([]float64, n*n)
+	uc := make([]float64, nc*nc)
+	rc := make([]float64, nc*nc)
+	rng := &lcg{state: 161803}
+	for i := range rhs {
+		rhs[i] = rng.nextFloat() - 0.5
+	}
+	smooth := func(dst, src, rhs []float64, n int) {
+		for row := 1; row < n-1; row++ {
+			for col := 1; col < n-1; col++ {
+				c := row*n + col
+				dst[c] = 0.25*(src[c-1]+src[c+1]+src[c-n]+src[c+n]) + 0.5*rhs[c]
+			}
+		}
+	}
+	residual := func(u, rhs []float64, n int) float64 {
+		s := 0.0
+		for row := 1; row < n-1; row++ {
+			for col := 1; col < n-1; col++ {
+				c := row*n + col
+				r := rhs[c] - (u[c] - 0.25*(u[c-1]+u[c+1]+u[c-n]+u[c+n]))
+				s += r * r
+			}
+		}
+		return math.Sqrt(s)
+	}
+	res0 := residual(u, rhs, n)
+	for iter := 0; iter < p.NIter; iter++ {
+		smooth(un, u, rhs, n)
+		smooth(u, un, rhs, n)
+		for row := 0; row < nc; row++ {
+			for col := 0; col < nc; col++ {
+				c := (row*2)*n + col*2
+				rc[row*nc+col] = 0.25 * (rhs[c] + rhs[c+1] + rhs[c+n] + rhs[c+n+1])
+				uc[row*nc+col] = 0.0
+			}
+		}
+		smooth(uc, uc, rc, nc)
+		for row := 0; row < n; row++ {
+			for col := 0; col < n; col++ {
+				cr, cc := row/2, col/2
+				if cr < nc && cc < nc {
+					u[row*n+col] += 0.5 * uc[cr*nc+cc]
+				}
+			}
+		}
+	}
+	res1 := residual(u, rhs, n)
+	return res1 > 0 && res1 < res0*100
+}
+
+func refBT(p Params) bool {
+	n := p.N
+	grid := make([]float64, n*n)
+	cp := make([]float64, n)
+	dp := make([]float64, n)
+	dl, dd, du := 1.0, 4.0, 1.0
+	solve := func(vals []float64, base, stride int) {
+		for i := 0; i < n; i++ {
+			rhs := dd + dl + du
+			if i == 0 {
+				rhs = dd + du
+			}
+			if i == n-1 {
+				rhs = dd + dl
+			}
+			if i == 0 {
+				cp[0] = du / dd
+				dp[0] = rhs / dd
+			} else {
+				m := dd - dl*cp[i-1]
+				cp[i] = du / m
+				dp[i] = (rhs - dl*dp[i-1]) / m
+			}
+		}
+		for i := n - 1; i >= 0; i-- {
+			if i == n-1 {
+				vals[base+i*stride] = dp[i]
+			} else {
+				vals[base+i*stride] = dp[i] - cp[i]*vals[base+(i+1)*stride]
+			}
+		}
+	}
+	for iter := 0; iter < p.NIter; iter++ {
+		for row := 0; row < n; row++ {
+			solve(grid, row*n, 1)
+		}
+		for col := 0; col < n; col++ {
+			solve(grid, col, n)
+		}
+	}
+	err := 0.0
+	for i := range grid {
+		err += math.Abs(grid[i] - 1.0)
+	}
+	return err < 1e-4
+}
+
+func refSP(p Params) bool {
+	n := p.N
+	grid := make([]float64, n*n)
+	rhs := make([]float64, n*n)
+	for i := range grid {
+		grid[i] = 1.0
+	}
+	rng := &lcg{state: 100003}
+	for i := range rhs {
+		rhs[i] = rng.nextFloat() * 0.01
+	}
+	for iter := 0; iter < p.NIter; iter++ {
+		for row := 0; row < n; row++ {
+			base := row * n
+			for i := 1; i < n; i++ {
+				grid[base+i] = 0.6*grid[base+i] + 0.2*grid[base+i-1] + rhs[base+i]
+			}
+			for i := n - 2; i >= 0; i-- {
+				grid[base+i] = 0.6*grid[base+i] + 0.2*grid[base+i+1] + rhs[base+i]
+			}
+		}
+		for col := 0; col < n; col++ {
+			for i := 1; i < n; i++ {
+				grid[i*n+col] = 0.6*grid[i*n+col] + 0.2*grid[(i-1)*n+col] + rhs[i*n+col]
+			}
+			for i := n - 2; i >= 0; i-- {
+				grid[i*n+col] = 0.6*grid[i*n+col] + 0.2*grid[(i+1)*n+col] + rhs[i*n+col]
+			}
+		}
+	}
+	total := 0.0
+	for i := range grid {
+		total += grid[i]
+	}
+	avg := total / float64(n*n)
+	return avg > 0 && avg < 10
+}
+
+func refLU(p Params) bool {
+	n := p.N
+	u := make([]float64, n*n)
+	rhs := make([]float64, n*n)
+	for i := range u {
+		u[i] = 1.0
+	}
+	rng := &lcg{state: 577215}
+	for i := range rhs {
+		rhs[i] = rng.nextFloat() * 0.01
+	}
+	for iter := 0; iter < p.NIter; iter++ {
+		for row := 0; row < n; row++ {
+			for col := 0; col < n; col++ {
+				left, up := 1.0, 1.0
+				if col > 0 {
+					left = u[row*n+col-1]
+				}
+				if row > 0 {
+					up = u[(row-1)*n+col]
+				}
+				u[row*n+col] = 0.5*u[row*n+col] + 0.2*left + 0.2*up + rhs[row*n+col]
+			}
+		}
+	}
+	total := 0.0
+	for i := range u {
+		total += u[i]
+	}
+	avg := total / float64(n*n)
+	return avg > 0 && avg < 10
+}

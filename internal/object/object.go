@@ -1,0 +1,263 @@
+// Package object defines the mini-Ruby value model used by the interpreter:
+// immediate values (nil, booleans, Fixnums, Symbols) and heap objects
+// (RVALUE-style 40-byte slots in simulated memory), classes with method and
+// instance-variable tables, and the one-entry inline caches whose behaviour
+// under HTM the paper analyses.
+//
+// Mutable state that Ruby threads share — instance variables, array and
+// hash contents, boxed float payloads, class variables — lives in simulated
+// memory, so the HTM substrate observes genuine conflicts and footprints
+// and rolls the state back on aborts. Immutable payloads (string contents,
+// class metadata) live on the Go side for speed, with shadow footprint
+// writes where their size matters to transactional capacity.
+package object
+
+import (
+	"fmt"
+
+	"htmgil/internal/simmem"
+)
+
+// Kind discriminates Value.
+type Kind uint8
+
+// Value kinds. Ref marks heap values (everything that is not an immediate).
+const (
+	KNil Kind = iota
+	KFalse
+	KTrue
+	KFixnum
+	KSymbol
+	KRef
+)
+
+// SymID identifies an interned symbol.
+type SymID uint32
+
+// Value is a mini-Ruby value: an immediate or a heap reference. Fixnums are
+// immediates as in CRuby; Floats are heap-allocated (CRuby 1.9 semantics),
+// which is what makes numeric code allocation-intensive under the paper's
+// workloads.
+type Value struct {
+	Kind Kind
+	Fix  int64 // Fixnum value or SymID
+	Ref  *RObject
+}
+
+// Common immediates.
+var (
+	Nil   = Value{Kind: KNil}
+	False = Value{Kind: KFalse}
+	True  = Value{Kind: KTrue}
+)
+
+// FixVal makes a Fixnum value.
+func FixVal(i int64) Value { return Value{Kind: KFixnum, Fix: i} }
+
+// SymVal makes a Symbol value.
+func SymVal(id SymID) Value { return Value{Kind: KSymbol, Fix: int64(id)} }
+
+// BoolVal converts a Go bool.
+func BoolVal(b bool) Value {
+	if b {
+		return True
+	}
+	return False
+}
+
+// RefVal makes a heap reference value.
+func RefVal(o *RObject) Value { return Value{Kind: KRef, Ref: o} }
+
+// Truthy implements Ruby truthiness: everything but nil and false.
+func (v Value) Truthy() bool { return v.Kind != KNil && v.Kind != KFalse }
+
+// IsNil reports whether the value is nil.
+func (v Value) IsNil() bool { return v.Kind == KNil }
+
+// Sym returns the symbol id of a Symbol value.
+func (v Value) Sym() SymID { return SymID(v.Fix) }
+
+// Word encodes a Value into one simulated-memory word: the kind in the low
+// three bits, the immediate payload shifted above them (Fixnums are 61-bit
+// in simulated memory, mirroring CRuby's tagged Fixnums), references in the
+// word's Ref slot.
+func (v Value) Word() simmem.Word {
+	w := simmem.Word{Bits: uint64(v.Fix)<<3 | uint64(v.Kind)}
+	if v.Kind == KRef {
+		w.Ref = v.Ref
+	}
+	return w
+}
+
+// FromWord decodes a Value from a simulated-memory word.
+func FromWord(w simmem.Word) Value {
+	k := Kind(w.Bits & 7)
+	v := Value{Kind: k, Fix: int64(w.Bits) >> 3}
+	if k == KRef {
+		if w.Ref != nil {
+			v.Ref = w.Ref.(*RObject)
+		} else {
+			// A zeroed word decodes as nil; a KRef with no Ref would be
+			// corruption.
+			panic("object: KRef word without reference")
+		}
+	}
+	return v
+}
+
+// RType is the heap-object type tag (CRuby's T_* constants).
+type RType uint8
+
+// Heap object types.
+const (
+	TFree RType = iota
+	TFloat
+	TString
+	TArray
+	THash
+	TObject
+	TClass
+	TProc
+	TRange
+	TThread
+	TMutex
+	TCond
+	TRegexp
+	TSocket
+	TServer
+	TDB
+	TDBResult
+	// TEnv is an escaped local-variable environment: a heap object so that
+	// blocks sharing a parent frame's locals share one rollback-aware,
+	// garbage-collected buffer.
+	TEnv
+)
+
+// Slot word offsets within an RVALUE (5 words = 40 bytes, as in CRuby 1.9).
+const (
+	SlotLink  = 0 // free-list next index when free
+	SlotA     = 1 // payload word 1 (float bits, buffer base, range lo, ...)
+	SlotB     = 2 // payload word 2 (length, range hi, ...)
+	SlotC     = 3 // payload word 3 (capacity, ...)
+	SlotAlloc = 4 // allocation flag: 1 while allocated (transactional)
+	SlotWords = 5
+)
+
+// RVALUEBytes is the size of one heap slot.
+const RVALUEBytes = SlotWords * simmem.WordBytes
+
+// RObject is the Go-side shell of a heap object. Its identity is stable for
+// the lifetime of one allocation (shells are recycled with their slots).
+// Mutable shared payloads live at Slot in simulated memory; Str, Cls and
+// Native hold immutable or runtime-private payloads.
+type RObject struct {
+	Type  RType
+	Class *RClass
+	Slot  simmem.Addr // base address of the RVALUE in simulated memory
+	Index int32       // slot index in the heap
+
+	Str    string // TString/TRegexp payload (immutable)
+	Cls    *RClass
+	Native any // runtime payloads: threads, mutexes, procs, sockets, ...
+}
+
+func (o *RObject) String() string {
+	if o == nil {
+		return "<nil object>"
+	}
+	return fmt.Sprintf("#<%s slot=%d>", o.Class.Name, o.Index)
+}
+
+// AddrOf returns the simulated address of one of the object's slot words.
+func (o *RObject) AddrOf(word int) simmem.Addr {
+	return o.Slot + simmem.Addr(word*simmem.WordBytes)
+}
+
+// RClass is a mini-Ruby class: a method table, an instance-variable layout
+// shared by its instances, and class variables in simulated memory.
+type RClass struct {
+	Name    string
+	Super   *RClass
+	Methods map[SymID]*Method
+
+	// IvarIdx maps instance-variable symbols to indices in instance ivar
+	// buffers. IvarTableID identifies the layout: the paper's HTM-friendly
+	// inline-cache guard compares ivar-table identity instead of class
+	// identity, so subclasses sharing a layout do not miss.
+	IvarIdx     map[SymID]int
+	IvarTableID int32
+
+	// CVarIdx maps class-variable symbols to indices in the class's cvar
+	// buffer (CVarBase, in simulated memory).
+	CVarIdx  map[SymID]int
+	CVarBase simmem.Addr
+
+	Obj *RObject // the class object, for constants referencing the class
+}
+
+// Lookup resolves a method along the superclass chain. It returns the
+// method and the defining class's ivar-table id for cache guards.
+func (c *RClass) Lookup(name SymID) *Method {
+	for k := c; k != nil; k = k.Super {
+		if m, ok := k.Methods[name]; ok {
+			return m
+		}
+	}
+	return nil
+}
+
+// Define installs a method on the class.
+func (c *RClass) Define(name SymID, m *Method) { c.Methods[name] = m }
+
+// IvarIndex returns the buffer index of an instance variable, creating a
+// new layout entry on first use (layout identity changes, as adding an
+// ivar to a class does in CRuby).
+func (c *RClass) IvarIndex(name SymID, create bool) (int, bool) {
+	if i, ok := c.IvarIdx[name]; ok {
+		return i, true
+	}
+	if !create {
+		return 0, false
+	}
+	i := len(c.IvarIdx)
+	c.IvarIdx[name] = i
+	return i, true
+}
+
+// Method is one callable: bytecode (Code is a *compile.ISeq, kept as `any`
+// to avoid a package cycle) or a native implementation (Native is a VM
+// function, likewise `any`).
+type Method struct {
+	Name   SymID
+	Arity  int // required positional parameters; -1 = variadic native
+	Code   any
+	Native any
+}
+
+// SymTable interns symbols.
+type SymTable struct {
+	ids   map[string]SymID
+	names []string
+}
+
+// NewSymTable creates an empty symbol table.
+func NewSymTable() *SymTable {
+	return &SymTable{ids: make(map[string]SymID)}
+}
+
+// Intern returns the id of the symbol, creating it on first use.
+func (s *SymTable) Intern(name string) SymID {
+	if id, ok := s.ids[name]; ok {
+		return id
+	}
+	id := SymID(len(s.names))
+	s.ids[name] = id
+	s.names = append(s.names, name)
+	return id
+}
+
+// Name returns the string of a symbol id.
+func (s *SymTable) Name(id SymID) string { return s.names[id] }
+
+// Len returns the number of interned symbols.
+func (s *SymTable) Len() int { return len(s.names) }

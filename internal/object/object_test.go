@@ -1,0 +1,106 @@
+package object
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueEncodingRoundTrip(t *testing.T) {
+	o := &RObject{Type: TString, Str: "hi"}
+	cases := []Value{
+		Nil, True, False,
+		FixVal(0), FixVal(42), FixVal(-42), FixVal(1<<60 - 1), FixVal(-(1 << 60)),
+		SymVal(7),
+		RefVal(o),
+	}
+	for _, v := range cases {
+		got := FromWord(v.Word())
+		if got.Kind != v.Kind || got.Fix != v.Fix || got.Ref != v.Ref {
+			t.Fatalf("round trip failed: %+v -> %+v", v, got)
+		}
+	}
+}
+
+func TestFixnumRoundTripProperty(t *testing.T) {
+	f := func(i int64) bool {
+		// 61-bit payload, as documented.
+		i = i << 3 >> 3
+		return FromWord(FixVal(i).Word()).Fix == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruthiness(t *testing.T) {
+	if Nil.Truthy() || False.Truthy() {
+		t.Fatalf("nil/false must be falsy")
+	}
+	if !True.Truthy() || !FixVal(0).Truthy() || !SymVal(0).Truthy() {
+		t.Fatalf("true/0/:sym must be truthy")
+	}
+}
+
+func TestZeroWordDecodesAsNil(t *testing.T) {
+	v := FromWord(Nil.Word())
+	if !v.IsNil() {
+		t.Fatalf("zero word is not nil")
+	}
+}
+
+func TestSymTable(t *testing.T) {
+	st := NewSymTable()
+	a := st.Intern("foo")
+	b := st.Intern("bar")
+	if a == b {
+		t.Fatalf("distinct symbols collided")
+	}
+	if st.Intern("foo") != a {
+		t.Fatalf("re-intern changed id")
+	}
+	if st.Name(a) != "foo" || st.Name(b) != "bar" {
+		t.Fatalf("names wrong")
+	}
+	if st.Len() != 2 {
+		t.Fatalf("len = %d", st.Len())
+	}
+}
+
+func TestClassLookupChain(t *testing.T) {
+	st := NewSymTable()
+	base := &RClass{Name: "Base", Methods: map[SymID]*Method{}, IvarIdx: map[SymID]int{}}
+	sub := &RClass{Name: "Sub", Super: base, Methods: map[SymID]*Method{}, IvarIdx: map[SymID]int{}}
+	m := &Method{Name: st.Intern("foo")}
+	base.Define(st.Intern("foo"), m)
+	if sub.Lookup(st.Intern("foo")) != m {
+		t.Fatalf("inherited lookup failed")
+	}
+	if sub.Lookup(st.Intern("missing")) != nil {
+		t.Fatalf("missing method found")
+	}
+	override := &Method{Name: st.Intern("foo")}
+	sub.Define(st.Intern("foo"), override)
+	if sub.Lookup(st.Intern("foo")) != override {
+		t.Fatalf("override not preferred")
+	}
+	if base.Lookup(st.Intern("foo")) != m {
+		t.Fatalf("base polluted by override")
+	}
+}
+
+func TestIvarIndexAssignment(t *testing.T) {
+	st := NewSymTable()
+	c := &RClass{Name: "C", Methods: map[SymID]*Method{}, IvarIdx: map[SymID]int{}}
+	i1, _ := c.IvarIndex(st.Intern("@x"), true)
+	i2, _ := c.IvarIndex(st.Intern("@y"), true)
+	if i1 == i2 {
+		t.Fatalf("ivar indices collided")
+	}
+	again, ok := c.IvarIndex(st.Intern("@x"), false)
+	if !ok || again != i1 {
+		t.Fatalf("ivar index unstable")
+	}
+	if _, ok := c.IvarIndex(st.Intern("@z"), false); ok {
+		t.Fatalf("missing ivar resolved without create")
+	}
+}

@@ -1,0 +1,137 @@
+// Package railslite is the paper's Ruby on Rails experiment: a small MVC
+// web application in mini-Ruby — regexp routing, a controller querying the
+// SQLite-like store, and string-interpolation view rendering — served by
+// the WEBrick-style thread-per-request loop. As in the paper, Rails'
+// backward-compatibility global request lock is disabled by default (the
+// paper disabled it to expose concurrency) but can be enabled for the
+// ablation.
+package railslite
+
+import (
+	"fmt"
+
+	"htmgil/internal/db"
+	"htmgil/internal/htm"
+	"htmgil/internal/netsim"
+	"htmgil/internal/rbregexp"
+	"htmgil/internal/vm"
+)
+
+// appSource builds the Rails-like application; withLock wraps request
+// processing in the global Rack lock.
+func appSource(withLock bool) string {
+	handler := `
+      rows = $db.execute("SELECT * FROM books")
+      items = ""
+      rows.each do |row|
+        items = items + "<li>" + row[1] + " by " + row[2] + "</li>"
+      end
+      body = "<html><head><title>Books</title></head><body><h1>Listing books</h1><ul>" + items + "</ul></body></html>"
+`
+	lockPre, lockPost := "", ""
+	if withLock {
+		lockPre = "$rack_lock.lock\n"
+		lockPost = "$rack_lock.unlock\n"
+	}
+	return `
+$db = SQLite3.new
+$db.execute("CREATE TABLE books (id, title, author)")
+seed = 0
+while seed < 24
+  $db.execute("INSERT INTO books VALUES (#{seed}, 'The Art of Book #{seed}', 'Author #{seed % 7}')")
+  seed += 1
+end
+$rack_lock = Mutex.new
+$reqline = Regexp.new("^(GET|POST) ([^ ]+) HTTP")
+$route_books = Regexp.new("^/books")
+server = TCPServer.new(80)
+while true
+  sock = server.accept
+  Thread.new(sock) do |s|
+    req = s.read_request
+    m = $reqline.match(req)
+    path = "/"
+    unless m.nil?
+      path = m[2]
+    end
+    body = "<html><body>Routing Error</body></html>"
+    status = "404 Not Found"
+    if $route_books.match?(path)
+      status = "200 OK"
+` + lockPre + handler + lockPost + `
+    end
+    resp = "HTTP/1.1 " + status + "\r\nContent-Type: text/html; charset=utf-8\r\nContent-Length: #{body.length}\r\nX-Runtime: 0.003\r\n\r\n" + body
+    s.write(resp)
+    s.close
+  end
+end
+`
+}
+
+// Request fetches the book list, as the paper's Rails application did.
+const Request = "GET /books HTTP/1.1\r\nHost: sim.example\r\nUser-Agent: loadgen/1.0\r\nAccept: text/html\r\n\r\n"
+
+// Config parameterizes a run.
+type Config struct {
+	Prof       *htm.Profile
+	Mode       vm.Mode
+	TxLength   int32
+	Clients    int
+	Requests   int
+	GlobalLock bool // Rails' compatibility lock (paper: disabled)
+}
+
+// Result mirrors webrick.Result.
+type Result struct {
+	Clients    int
+	Completed  int
+	Cycles     int64
+	Throughput float64
+	AbortRatio float64
+	Stats      *vm.Stats
+}
+
+// Run executes the Rails-like benchmark.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Requests == 0 {
+		cfg.Requests = 200
+	}
+	opt := vm.DefaultOptions(cfg.Prof, cfg.Mode)
+	opt.TxLength = cfg.TxLength
+	machine := vm.New(opt)
+	net := netsim.NewNetwork(machine.Engine)
+	netsim.Install(machine, net)
+	rbregexp.Install(machine)
+	rbregexp.InstallStringMethods(machine)
+	db.Install(machine)
+
+	iseq, err := machine.CompileSource(appSource(cfg.GlobalLock), "railslite")
+	if err != nil {
+		return nil, fmt.Errorf("railslite: %w", err)
+	}
+	gen := &netsim.LoadGen{
+		Net:       net,
+		Eng:       machine.Engine,
+		Port:      80,
+		Request:   Request,
+		ThinkTime: 10_000,
+		Target:    cfg.Requests,
+		OnDone:    machine.Engine.Stop,
+	}
+	gen.Start(cfg.Clients)
+	res, err := machine.Run(iseq)
+	if err != nil {
+		return nil, fmt.Errorf("railslite run: %w", err)
+	}
+	if gen.Completed < cfg.Requests {
+		return nil, fmt.Errorf("railslite: only %d/%d requests completed", gen.Completed, cfg.Requests)
+	}
+	return &Result{
+		Clients:    cfg.Clients,
+		Completed:  gen.Completed,
+		Cycles:     res.Cycles,
+		Throughput: gen.Throughput(),
+		AbortRatio: res.Stats.AbortRatio(),
+		Stats:      res.Stats,
+	}, nil
+}

@@ -1,0 +1,178 @@
+package rbregexp
+
+import (
+	"fmt"
+
+	"htmgil/internal/object"
+	"htmgil/internal/simmem"
+	"htmgil/internal/vm"
+)
+
+// Install adds the Regexp class to a VM:
+//
+//	re = Regexp.new("^GET ([^ ]+)")
+//	m = re.match(str)   # => array of captures (m[0] = whole match) or nil
+//	re.match?(str)      # => boolean
+//
+// A match reads the subject string's shadow storage through the calling
+// thread's accessor, so long subjects inflate the transaction read set the
+// way Oniguruma's scanning inflated real footprints.
+func Install(machine *vm.VM) {
+	reC := machine.DefineClass("Regexp", nil)
+
+	machine.DefineStatic(reC, "new", 1, false, func(t *vm.RThread, self object.Value, args []object.Value, blk vm.BlockArg, now int64) (object.Value, error) {
+		if args[0].Kind != object.KRef || args[0].Ref.Type != object.TString {
+			return object.Nil, fmt.Errorf("Regexp.new expects a String")
+		}
+		re, err := Compile(args[0].Ref.Str)
+		if err != nil {
+			return object.Nil, err
+		}
+		o, aerr := t.AllocNativeObject(object.TRegexp, reC, re)
+		if aerr != nil {
+			return object.Nil, aerr
+		}
+		o.Str = re.Source
+		return object.RefVal(o), nil
+	})
+
+	doMatch := func(t *vm.RThread, self object.Value, subject object.Value) (*MatchResult, string, error) {
+		if subject.Kind != object.KRef || subject.Ref.Type != object.TString {
+			return nil, "", fmt.Errorf("Regexp#match expects a String")
+		}
+		re := self.Ref.Native.(*Regexp)
+		s := subject.Ref.Str
+		// Touch the subject's shadow storage: the scan reads the whole
+		// string (possibly several times while backtracking).
+		base := simmem.Addr(t.TouchRead(subject.Ref.AddrOf(object.SlotA)).Bits)
+		if base != 0 {
+			words := (len(s) + simmem.WordBytes - 1) / simmem.WordBytes
+			for i := 0; i < words; i++ {
+				t.TouchRead(base + simmem.Addr(i*simmem.WordBytes))
+			}
+		}
+		return re.Match(s), s, nil
+	}
+
+	machine.DefineNative(reC, "match", 1, false, func(t *vm.RThread, self object.Value, args []object.Value, blk vm.BlockArg, now int64) (object.Value, error) {
+		m, s, err := doMatch(t, self, args[0])
+		if err != nil {
+			return object.Nil, err
+		}
+		if !m.Matched() {
+			return object.Nil, nil
+		}
+		vals := make([]object.Value, 0, len(m.Groups))
+		for i := range m.Groups {
+			g, ok := m.GroupString(s, i)
+			if !ok {
+				vals = append(vals, object.Nil)
+				continue
+			}
+			o, _, aerr := t.AllocString(g)
+			if aerr != nil {
+				return object.Nil, aerr
+			}
+			vals = append(vals, object.RefVal(o))
+		}
+		arr, aerr := t.AllocArrayOf(vals)
+		if aerr != nil {
+			return object.Nil, aerr
+		}
+		return object.RefVal(arr), nil
+	})
+
+	machine.DefineNative(reC, "match?", 1, false, func(t *vm.RThread, self object.Value, args []object.Value, blk vm.BlockArg, now int64) (object.Value, error) {
+		m, _, err := doMatch(t, self, args[0])
+		if err != nil {
+			return object.Nil, err
+		}
+		return object.BoolVal(m.Matched()), nil
+	})
+
+	machine.DefineNative(reC, "source", 0, false, func(t *vm.RThread, self object.Value, args []object.Value, blk vm.BlockArg, now int64) (object.Value, error) {
+		o, _, err := t.AllocString(self.Ref.Str)
+		if err != nil {
+			return object.Nil, err
+		}
+		return object.RefVal(o), nil
+	})
+}
+
+// InstallStringMethods adds regexp-backed String methods (sub, gsub,
+// match?) to the VM's String class.
+func InstallStringMethods(machine *vm.VM) {
+	strVal, ok := machine.Const("String")
+	if !ok {
+		return
+	}
+	strC := strVal.Ref.Cls
+	replaceFn := func(all bool) vm.NativeFn {
+		return func(t *vm.RThread, self object.Value, args []object.Value, blk vm.BlockArg, now int64) (object.Value, error) {
+			if len(args) != 2 || args[0].Kind != object.KRef || args[1].Kind != object.KRef ||
+				args[1].Ref.Type != object.TString {
+				return object.Nil, fmt.Errorf("sub/gsub expect (Regexp|String, String)")
+			}
+			var re *Regexp
+			switch args[0].Ref.Type {
+			case object.TRegexp:
+				re = args[0].Ref.Native.(*Regexp)
+			case object.TString:
+				var err error
+				re, err = Compile(quoteLiteral(args[0].Ref.Str))
+				if err != nil {
+					return object.Nil, err
+				}
+			default:
+				return object.Nil, fmt.Errorf("sub/gsub pattern must be a Regexp or String")
+			}
+			subject := self.Ref.Str
+			repl := args[1].Ref.Str
+			var out []byte
+			pos := 0
+			for pos <= len(subject) {
+				m := re.Match(subject[pos:])
+				if !m.Matched() {
+					break
+				}
+				out = append(out, subject[pos:pos+m.Begin]...)
+				out = append(out, repl...)
+				adv := m.End
+				if m.End == m.Begin {
+					if pos+m.Begin < len(subject) {
+						out = append(out, subject[pos+m.Begin])
+					}
+					adv++
+				}
+				pos += adv
+				if !all {
+					break
+				}
+			}
+			if pos <= len(subject) {
+				out = append(out, subject[pos:]...)
+			}
+			o, _, err := t.AllocString(string(out))
+			if err != nil {
+				return object.Nil, err
+			}
+			return object.RefVal(o), nil
+		}
+	}
+	machine.DefineNative(strC, "sub", 2, false, replaceFn(false))
+	machine.DefineNative(strC, "gsub", 2, false, replaceFn(true))
+}
+
+// quoteLiteral escapes regexp metacharacters so a plain string pattern
+// matches literally (Regexp.escape semantics).
+func quoteLiteral(s string) string {
+	var out []byte
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '.', '*', '+', '?', '(', ')', '[', ']', '^', '$', '|', '\\':
+			out = append(out, '\\')
+		}
+		out = append(out, s[i])
+	}
+	return string(out)
+}

@@ -1,0 +1,84 @@
+package rbregexp
+
+import (
+	"testing"
+
+	"htmgil/internal/htm"
+	"htmgil/internal/vm"
+)
+
+func runRb(t *testing.T, src string) string {
+	t.Helper()
+	machine := vm.New(vm.DefaultOptions(htm.ZEC12(), vm.ModeGIL))
+	Install(machine)
+	InstallStringMethods(machine)
+	iseq, err := machine.CompileSource(src, "re")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := machine.Run(iseq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Output
+}
+
+func TestRegexpFromRuby(t *testing.T) {
+	out := runRb(t, `
+re = Regexp.new("^GET ([^ ]+)")
+m = re.match("GET /books HTTP/1.1")
+puts m[1]
+puts re.match?("POST /x")
+puts re.source
+`)
+	if out != "/books\nfalse\n^GET ([^ ]+)\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestSubGsubFromRuby(t *testing.T) {
+	out := runRb(t, `
+s = "one fish two fish"
+puts s.sub(Regexp.new("fish"), "cat")
+puts s.gsub(Regexp.new("fish"), "cat")
+puts s.gsub("o", "0")
+puts "a.b.c".gsub(".", "-")
+`)
+	want := "one cat two fish\none cat two cat\n0ne fish tw0 fish\na-b-c\n"
+	if out != want {
+		t.Fatalf("out = %q want %q", out, want)
+	}
+}
+
+func TestMatchInsideTransactionTouchesSubject(t *testing.T) {
+	machine := vm.New(vm.DefaultOptions(htm.ZEC12(), vm.ModeHTM))
+	Install(machine)
+	iseq, err := machine.CompileSource(`
+re = Regexp.new("needle")
+threads = []
+i = 0
+while i < 4
+  threads << Thread.new do
+    hay = "hay hay hay needle hay"
+    j = 0
+    while j < 50
+      re.match?(hay)
+      j += 1
+    end
+  end
+  i += 1
+end
+threads.each do |th| th.join end
+puts "ok"
+`, "tx-re")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := machine.Run(iseq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "ok\n" {
+		t.Fatalf("out = %q", res.Output)
+	}
+}

@@ -1,0 +1,384 @@
+// Package rbregexp is a small backtracking regular-expression engine
+// exposed to the interpreter as a native extension, standing in for
+// CRuby's Oniguruma. Like the real library it contains no yield points, so
+// under HTM an entire match executes inside one transaction; its reads of
+// the subject string's shadow storage contribute the footprint that made
+// regexp matching a leading source of overflow aborts in WEBrick and Rails
+// (Section 5.6).
+//
+// Supported syntax: literals, '.', character classes [abc], [a-z], [^...],
+// escapes \d \w \s \D \W \S and escaped metacharacters, groups (...),
+// alternation |, quantifiers * + ? applied to the preceding atom, and the
+// anchors ^ and $.
+package rbregexp
+
+import (
+	"fmt"
+)
+
+// node kinds
+type nkind uint8
+
+const (
+	nChar nkind = iota
+	nAny
+	nClass
+	nGroup
+	nStar
+	nPlus
+	nOpt
+	nAlt
+	nSeq
+	nBegin
+	nEnd
+)
+
+type node struct {
+	kind nkind
+	ch   byte
+	set  *classSet
+	subs []*node
+	grp  int // capture index for nGroup, -1 for non-capturing internals
+}
+
+type classSet struct {
+	neg    bool
+	ranges [][2]byte
+}
+
+func (c *classSet) match(b byte) bool {
+	in := false
+	for _, r := range c.ranges {
+		if b >= r[0] && b <= r[1] {
+			in = true
+			break
+		}
+	}
+	if c.neg {
+		return !in
+	}
+	return in
+}
+
+// Regexp is a compiled pattern.
+type Regexp struct {
+	Source string
+	root   *node
+	groups int
+}
+
+// Compile parses a pattern.
+func Compile(pattern string) (*Regexp, error) {
+	p := &parser{src: pattern}
+	root, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("rbregexp: unexpected %q at %d", p.src[p.pos], p.pos)
+	}
+	return &Regexp{Source: pattern, root: root, groups: p.groups}, nil
+}
+
+// MustCompile panics on bad patterns (test helper).
+func MustCompile(pattern string) *Regexp {
+	re, err := Compile(pattern)
+	if err != nil {
+		panic(err)
+	}
+	return re
+}
+
+type parser struct {
+	src    string
+	pos    int
+	groups int
+}
+
+func (p *parser) parseAlt() (*node, error) {
+	left, err := p.parseSeq()
+	if err != nil {
+		return nil, err
+	}
+	for p.pos < len(p.src) && p.src[p.pos] == '|' {
+		p.pos++
+		right, err := p.parseSeq()
+		if err != nil {
+			return nil, err
+		}
+		left = &node{kind: nAlt, subs: []*node{left, right}}
+	}
+	return left, nil
+}
+
+func (p *parser) parseSeq() (*node, error) {
+	seq := &node{kind: nSeq}
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '|' || c == ')' {
+			break
+		}
+		atom, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		// Quantifier?
+		if p.pos < len(p.src) {
+			switch p.src[p.pos] {
+			case '*':
+				p.pos++
+				atom = &node{kind: nStar, subs: []*node{atom}}
+			case '+':
+				p.pos++
+				atom = &node{kind: nPlus, subs: []*node{atom}}
+			case '?':
+				p.pos++
+				atom = &node{kind: nOpt, subs: []*node{atom}}
+			}
+		}
+		seq.subs = append(seq.subs, atom)
+	}
+	return seq, nil
+}
+
+func (p *parser) parseAtom() (*node, error) {
+	c := p.src[p.pos]
+	switch c {
+	case '(':
+		p.pos++
+		p.groups++
+		idx := p.groups
+		inner, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return nil, fmt.Errorf("rbregexp: unclosed group")
+		}
+		p.pos++
+		return &node{kind: nGroup, subs: []*node{inner}, grp: idx}, nil
+	case '.':
+		p.pos++
+		return &node{kind: nAny}, nil
+	case '^':
+		p.pos++
+		return &node{kind: nBegin}, nil
+	case '$':
+		p.pos++
+		return &node{kind: nEnd}, nil
+	case '[':
+		return p.parseClass()
+	case '\\':
+		p.pos++
+		if p.pos >= len(p.src) {
+			return nil, fmt.Errorf("rbregexp: trailing backslash")
+		}
+		e := p.src[p.pos]
+		p.pos++
+		if set := escapeClass(e); set != nil {
+			return &node{kind: nClass, set: set}, nil
+		}
+		switch e {
+		case 'n':
+			return &node{kind: nChar, ch: '\n'}, nil
+		case 't':
+			return &node{kind: nChar, ch: '\t'}, nil
+		case 'r':
+			return &node{kind: nChar, ch: '\r'}, nil
+		}
+		return &node{kind: nChar, ch: e}, nil
+	case '*', '+', '?', ')':
+		return nil, fmt.Errorf("rbregexp: misplaced %q", c)
+	default:
+		p.pos++
+		return &node{kind: nChar, ch: c}, nil
+	}
+}
+
+func escapeClass(e byte) *classSet {
+	switch e {
+	case 'd':
+		return &classSet{ranges: [][2]byte{{'0', '9'}}}
+	case 'D':
+		return &classSet{neg: true, ranges: [][2]byte{{'0', '9'}}}
+	case 'w':
+		return &classSet{ranges: [][2]byte{{'a', 'z'}, {'A', 'Z'}, {'0', '9'}, {'_', '_'}}}
+	case 'W':
+		return &classSet{neg: true, ranges: [][2]byte{{'a', 'z'}, {'A', 'Z'}, {'0', '9'}, {'_', '_'}}}
+	case 's':
+		return &classSet{ranges: [][2]byte{{' ', ' '}, {'\t', '\t'}, {'\n', '\n'}, {'\r', '\r'}}}
+	case 'S':
+		return &classSet{neg: true, ranges: [][2]byte{{' ', ' '}, {'\t', '\t'}, {'\n', '\n'}, {'\r', '\r'}}}
+	}
+	return nil
+}
+
+func (p *parser) parseClass() (*node, error) {
+	p.pos++ // [
+	set := &classSet{}
+	if p.pos < len(p.src) && p.src[p.pos] == '^' {
+		set.neg = true
+		p.pos++
+	}
+	for {
+		if p.pos >= len(p.src) {
+			return nil, fmt.Errorf("rbregexp: unclosed class")
+		}
+		c := p.src[p.pos]
+		if c == ']' {
+			p.pos++
+			return &node{kind: nClass, set: set}, nil
+		}
+		if c == '\\' && p.pos+1 < len(p.src) {
+			p.pos++
+			e := p.src[p.pos]
+			p.pos++
+			if sub := escapeClass(e); sub != nil {
+				set.ranges = append(set.ranges, sub.ranges...)
+				continue
+			}
+			set.ranges = append(set.ranges, [2]byte{e, e})
+			continue
+		}
+		p.pos++
+		if p.pos+1 < len(p.src) && p.src[p.pos] == '-' && p.src[p.pos+1] != ']' {
+			hi := p.src[p.pos+1]
+			p.pos += 2
+			set.ranges = append(set.ranges, [2]byte{c, hi})
+		} else {
+			set.ranges = append(set.ranges, [2]byte{c, c})
+		}
+	}
+}
+
+// MatchResult reports a successful match.
+type MatchResult struct {
+	Begin, End int
+	Groups     [][2]int // capture spans, -1,-1 when unset
+	Steps      int      // backtracking steps taken (cost accounting)
+}
+
+// Match finds the leftmost match of re in subject, or a result with
+// Begin == -1.
+func (re *Regexp) Match(subject string) *MatchResult {
+	m := &matcher{re: re, subject: subject}
+	for start := 0; start <= len(subject); start++ {
+		m.groups = make([][2]int, re.groups+1)
+		for i := range m.groups {
+			m.groups[i] = [2]int{-1, -1}
+		}
+		matchEnd := -1
+		if m.match(re.root, start, func(end int) bool {
+			matchEnd = end
+			return true
+		}) {
+			m.groups[0] = [2]int{start, matchEnd}
+			return &MatchResult{Begin: start, End: matchEnd, Groups: m.groups, Steps: m.steps}
+		}
+		if len(re.Source) > 0 && re.Source[0] == '^' {
+			break
+		}
+	}
+	return &MatchResult{Begin: -1, End: -1, Steps: m.steps, Groups: nil}
+}
+
+type matcher struct {
+	re      *Regexp
+	subject string
+	groups  [][2]int
+	steps   int
+}
+
+// match runs node n at pos and calls cont with each candidate end position
+// (continuation-passing style gives full backtracking through groups and
+// alternations).
+func (m *matcher) match(n *node, pos int, cont func(int) bool) bool {
+	m.steps++
+	switch n.kind {
+	case nChar:
+		return pos < len(m.subject) && m.subject[pos] == n.ch && cont(pos+1)
+	case nAny:
+		return pos < len(m.subject) && m.subject[pos] != '\n' && cont(pos+1)
+	case nClass:
+		return pos < len(m.subject) && n.set.match(m.subject[pos]) && cont(pos+1)
+	case nBegin:
+		return pos == 0 && cont(pos)
+	case nEnd:
+		return pos == len(m.subject) && cont(pos)
+	case nGroup:
+		saved := m.groups[n.grp]
+		ok := m.match(n.subs[0], pos, func(end int) bool {
+			m.groups[n.grp] = [2]int{pos, end}
+			if cont(end) {
+				return true
+			}
+			m.groups[n.grp] = saved
+			return false
+		})
+		return ok
+	case nAlt:
+		if m.match(n.subs[0], pos, cont) {
+			return true
+		}
+		return m.match(n.subs[1], pos, cont)
+	case nSeq:
+		var seq func(i, p int) bool
+		seq = func(i, p int) bool {
+			if i == len(n.subs) {
+				return cont(p)
+			}
+			return m.match(n.subs[i], p, func(end int) bool {
+				return seq(i+1, end)
+			})
+		}
+		return seq(0, pos)
+	case nStar:
+		return m.repeat(n.subs[0], pos, 0, cont)
+	case nPlus:
+		return m.repeat(n.subs[0], pos, 1, cont)
+	case nOpt:
+		if m.match(n.subs[0], pos, cont) {
+			return true
+		}
+		return cont(pos)
+	}
+	return false
+}
+
+// repeat matches sub greedily at least min times, backtracking shorter.
+func (m *matcher) repeat(sub *node, pos, min int, cont func(int) bool) bool {
+	// Collect greedy end positions first.
+	ends := []int{pos}
+	cur := pos
+	for {
+		matchedFurther := false
+		m.match(sub, cur, func(end int) bool {
+			if end > cur {
+				cur = end
+				matchedFurther = true
+			}
+			return true // take the first (greedy enough for our atoms)
+		})
+		if !matchedFurther {
+			break
+		}
+		ends = append(ends, cur)
+	}
+	for k := len(ends) - 1; k >= min; k-- {
+		if cont(ends[k]) {
+			return true
+		}
+	}
+	return false
+}
+
+// GroupString extracts a capture from the subject.
+func (r *MatchResult) GroupString(subject string, i int) (string, bool) {
+	if r.Begin < 0 || i >= len(r.Groups) || r.Groups[i][0] < 0 {
+		return "", false
+	}
+	return subject[r.Groups[i][0]:r.Groups[i][1]], true
+}
+
+// Matched reports whether the match succeeded.
+func (r *MatchResult) Matched() bool { return r.Begin >= 0 }

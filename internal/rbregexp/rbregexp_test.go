@@ -1,0 +1,102 @@
+package rbregexp
+
+import "testing"
+
+func TestBasicMatching(t *testing.T) {
+	cases := []struct {
+		pat, subject string
+		want         bool
+	}{
+		{"abc", "xxabcxx", true},
+		{"abc", "xxabx", false},
+		{"a.c", "abc", true},
+		{"a.c", "a\nc", false},
+		{"^GET", "GET /index HTTP/1.1", true},
+		{"^GET", "POST GET", false},
+		{"end$", "the end", true},
+		{"end$", "end of it", false},
+		{"[0-9]+", "abc123def", true},
+		{"[^0-9]+", "123", false},
+		{"a*b", "b", true},
+		{"a+b", "b", false},
+		{"a+b", "aaab", true},
+		{"colou?r", "color", true},
+		{"colou?r", "colour", true},
+		{"cat|dog", "hotdog", true},
+		{"cat|dog", "bird", false},
+		{`\d+\.\d+`, "pi is 3.14 ok", true},
+		{`\w+`, "  hello ", true},
+		{`\s`, "nospace", false},
+	}
+	for _, c := range cases {
+		re, err := Compile(c.pat)
+		if err != nil {
+			t.Fatalf("compile %q: %v", c.pat, err)
+		}
+		got := re.Match(c.subject).Matched()
+		if got != c.want {
+			t.Fatalf("%q =~ %q: got %v want %v", c.pat, c.subject, got, c.want)
+		}
+	}
+}
+
+func TestCaptures(t *testing.T) {
+	re := MustCompile(`^(GET|POST) ([^ ]+) HTTP/([0-9.]+)`)
+	m := re.Match("GET /books?id=7 HTTP/1.1\r\nHost: x")
+	if !m.Matched() {
+		t.Fatalf("request line did not match")
+	}
+	subject := "GET /books?id=7 HTTP/1.1\r\nHost: x"
+	g1, _ := m.GroupString(subject, 1)
+	g2, _ := m.GroupString(subject, 2)
+	g3, _ := m.GroupString(subject, 3)
+	if g1 != "GET" || g2 != "/books?id=7" || g3 != "1.1" {
+		t.Fatalf("captures = %q %q %q", g1, g2, g3)
+	}
+}
+
+func TestBacktracking(t *testing.T) {
+	re := MustCompile("a*a*a*b")
+	if !re.Match("aaab").Matched() {
+		t.Fatalf("nested stars failed")
+	}
+	if re.Match("aaac").Matched() {
+		t.Fatalf("false positive")
+	}
+	re2 := MustCompile("(x+)(x+)y")
+	m := re2.Match("xxxy")
+	if !m.Matched() {
+		t.Fatalf("greedy split failed")
+	}
+}
+
+func TestStepsAccounting(t *testing.T) {
+	re := MustCompile("a+b")
+	m := re.Match("aaaaaaaaaaac")
+	if m.Matched() {
+		t.Fatalf("should not match")
+	}
+	if m.Steps == 0 {
+		t.Fatalf("no steps recorded")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	for _, pat := range []string{"(", "[abc", "*a", "a\\"} {
+		if _, err := Compile(pat); err == nil {
+			t.Fatalf("no error for %q", pat)
+		}
+	}
+}
+
+func TestClassEscapesInsideClass(t *testing.T) {
+	re := MustCompile(`[\d\-x]+`)
+	m := re.Match("ab12-x34cd")
+	if !m.Matched() {
+		t.Fatalf("class with escapes failed")
+	}
+	got := "ab12-x34cd"[m.Begin:m.End]
+	if got != "12-x34" {
+		t.Fatalf("matched %q", got)
+	}
+}

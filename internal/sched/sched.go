@@ -1,0 +1,296 @@
+// Package sched is a deterministic discrete-event simulator of a small
+// multiprocessor. Simulated threads advance per-thread virtual clocks by
+// executing steps (one bytecode, one native operation, ...) that report
+// their cycle cost; hardware-thread contexts model core occupancy and SMT
+// cycle sharing. The engine is entirely single-threaded: given the same
+// inputs it produces bit-identical schedules, which makes every experiment
+// in this repository reproducible.
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"os"
+)
+
+// DebugSched enables loop tracing (tests only).
+var DebugSched = false
+
+// Status is the scheduling state a step leaves its thread in.
+type Status uint8
+
+// Thread step outcomes.
+const (
+	Running Status = iota // keep scheduling the thread
+	Blocked               // thread parked until Engine.Wake
+	Done                  // thread finished
+)
+
+// StepResult reports the outcome of one simulated step.
+type StepResult struct {
+	Cycles int64  // virtual cycles consumed by the step
+	Status Status // state after the step
+}
+
+// StepFunc executes one step of a simulated thread starting at virtual time
+// now and returns its cost and resulting state.
+type StepFunc func(now int64) StepResult
+
+// Config describes the simulated machine shape.
+type Config struct {
+	HWThreads  int     // number of hardware threads (contexts)
+	SMTWays    int     // hardware threads per core (1 or 2)
+	SMTPenalty float64 // cycle multiplier while the SMT sibling is busy (e.g. 1.9)
+}
+
+// HWContext is one hardware thread of the simulated machine.
+type HWContext struct {
+	ID      int
+	clock   int64 // time at which this hardware thread is next free
+	sibling *HWContext
+	nlive   int // live software threads affined to this context
+}
+
+// Clock returns the virtual time at which the context is next free.
+func (c *HWContext) Clock() int64 { return c.clock }
+
+// Busy reports whether the context has any live software thread. The HTM
+// layer uses the sibling's Busy to halve transactional capacities under SMT.
+func (c *HWContext) Busy() bool { return c.nlive > 0 }
+
+// Sibling returns the SMT sibling context, or nil on non-SMT machines.
+func (c *HWContext) Sibling() *HWContext { return c.sibling }
+
+// Thread is a simulated software thread.
+type Thread struct {
+	ID    int
+	Clock int64
+	Ctx   *HWContext
+
+	status     Status
+	step       StepFunc
+	blockStart int64
+	lastWait   int64
+	runIdx     int // index in the engine's running set, -1 when not running
+	Name       string
+}
+
+// Status returns the thread's scheduling state.
+func (t *Thread) Status() Status { return t.status }
+
+// LastWait returns the virtual time the thread spent blocked before its most
+// recent wake-up; the interpreter attributes it to a wait category.
+func (t *Thread) LastWait() int64 { return t.lastWait }
+
+type timedEvent struct {
+	at  int64
+	seq int64
+	fn  func(now int64)
+}
+
+type eventPQ []*timedEvent
+
+func (q eventPQ) Len() int { return len(q) }
+func (q eventPQ) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventPQ) Swap(i, j int)     { q[i], q[j] = q[j], q[i] }
+func (q *eventPQ) Push(x any)       { *q = append(*q, x.(*timedEvent)) }
+func (q *eventPQ) Pop() any         { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+func (q eventPQ) peek() *timedEvent { return q[0] }
+
+// Engine drives the simulation.
+type Engine struct {
+	cfg     Config
+	ctxs    []*HWContext
+	running []*Thread // unordered set of Running threads
+	timed   eventPQ
+	seq     int64
+	now     int64
+	live    int
+	nthread int
+	stopped bool
+	nextCtx int
+}
+
+// NewEngine builds a simulated machine.
+func NewEngine(cfg Config) *Engine {
+	if cfg.HWThreads <= 0 {
+		panic("sched: need at least one hardware thread")
+	}
+	if cfg.SMTWays <= 0 {
+		cfg.SMTWays = 1
+	}
+	if cfg.SMTPenalty < 1 {
+		cfg.SMTPenalty = 1
+	}
+	e := &Engine{cfg: cfg}
+	e.ctxs = make([]*HWContext, cfg.HWThreads)
+	for i := range e.ctxs {
+		e.ctxs[i] = &HWContext{ID: i}
+	}
+	if cfg.SMTWays == 2 {
+		// Contexts are ordered core-first: ctx i and ctx i+cores share core i,
+		// so that spreading threads round-robin fills distinct cores first,
+		// as the paper's thread placement does.
+		cores := cfg.HWThreads / 2
+		for i := 0; i < cores; i++ {
+			e.ctxs[i].sibling = e.ctxs[i+cores]
+			e.ctxs[i+cores].sibling = e.ctxs[i]
+		}
+	}
+	return e
+}
+
+// Contexts returns the hardware-thread contexts.
+func (e *Engine) Contexts() []*HWContext { return e.ctxs }
+
+// Now returns the current virtual time (the start time of the most recent
+// step or timed event).
+func (e *Engine) Now() int64 { return e.now }
+
+// Spawn creates a thread starting at virtual time startAt, affined
+// round-robin to the hardware contexts (distinct cores first).
+func (e *Engine) Spawn(name string, startAt int64, step StepFunc) *Thread {
+	ctx := e.ctxs[e.nextCtx%len(e.ctxs)]
+	e.nextCtx++
+	th := &Thread{
+		ID:     e.nthread,
+		Name:   name,
+		Clock:  startAt,
+		Ctx:    ctx,
+		step:   step,
+		runIdx: -1,
+	}
+	e.nthread++
+	ctx.nlive++
+	e.live++
+	e.addRunning(th)
+	return th
+}
+
+func (e *Engine) addRunning(th *Thread) {
+	th.runIdx = len(e.running)
+	e.running = append(e.running, th)
+}
+
+func (e *Engine) removeRunning(th *Thread) {
+	i := th.runIdx
+	last := len(e.running) - 1
+	e.running[i] = e.running[last]
+	e.running[i].runIdx = i
+	e.running = e.running[:last]
+	th.runIdx = -1
+}
+
+// At schedules fn to run at virtual time t.
+func (e *Engine) At(t int64, fn func(now int64)) {
+	e.seq++
+	heap.Push(&e.timed, &timedEvent{at: t, seq: e.seq, fn: fn})
+}
+
+// Wake unparks a blocked thread at virtual time t (or the thread's own
+// clock, whichever is later) and records the wait duration.
+func (e *Engine) Wake(t *Thread, at int64) {
+	if t.status != Blocked {
+		panic(fmt.Sprintf("sched: waking thread %d in state %d", t.ID, t.status))
+	}
+	if at < t.Clock {
+		at = t.Clock
+	}
+	t.lastWait = at - t.blockStart
+	t.Clock = at
+	t.status = Running
+	e.addRunning(t)
+}
+
+// Stop makes Run return after the current step completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Live returns the number of threads that have not finished.
+func (e *Engine) Live() int { return e.live }
+
+// effStart returns the earliest virtual time th could begin its next step:
+// its own clock or the time its hardware context becomes free.
+func (e *Engine) effStart(th *Thread) int64 {
+	if th.Ctx.clock > th.Clock {
+		return th.Ctx.clock
+	}
+	return th.Clock
+}
+
+// Run drives the simulation until every thread is Done, Stop is called, or
+// no progress is possible. It returns an error on deadlock (blocked threads
+// with no pending timed events).
+func (e *Engine) Run() error {
+	dbgCount := 0
+	for !e.stopped {
+		if DebugSched && dbgCount < 30 {
+			dbgCount++
+			peekAt := int64(-1)
+			if len(e.timed) > 0 {
+				peekAt = e.timed.peek().at
+			}
+			fmt.Fprintf(os.Stderr, "sched: loop live=%d running=%d timed=%d peek=%d\n", e.live, len(e.running), len(e.timed), peekAt)
+		}
+		if e.live == 0 {
+			// Every thread finished; pending timed events (timers,
+			// watchdogs) must not advance the clock past the makespan.
+			return nil
+		}
+		var pick *Thread
+		var pickAt int64
+		for _, th := range e.running {
+			at := e.effStart(th)
+			// Prefer the earliest start time; among ties, the thread that
+			// has waited longest (smallest own clock) so threads sharing a
+			// core round-robin; among full ties, the lowest ID (determinism).
+			if pick == nil || at < pickAt ||
+				(at == pickAt && (th.Clock < pick.Clock ||
+					(th.Clock == pick.Clock && th.ID < pick.ID))) {
+				pick, pickAt = th, at
+			}
+		}
+		// Fire timed events due before the next step.
+		if len(e.timed) > 0 && (pick == nil || e.timed.peek().at <= pickAt) {
+			ev := heap.Pop(&e.timed).(*timedEvent)
+			if ev.at > e.now {
+				e.now = ev.at
+			}
+			ev.fn(e.now)
+			continue
+		}
+		if pick == nil {
+			return fmt.Errorf("sched: deadlock with %d live threads", e.live)
+		}
+		e.now = pickAt
+		pick.Clock = pickAt
+		res := pick.step(pickAt)
+		cost := res.Cycles
+		if cost < 0 {
+			panic("sched: negative step cost")
+		}
+		if e.cfg.SMTWays == 2 && pick.Ctx.sibling != nil && pick.Ctx.sibling.Busy() {
+			cost = int64(float64(cost) * e.cfg.SMTPenalty)
+		}
+		end := pickAt + cost
+		pick.Clock = end
+		pick.Ctx.clock = end
+		switch res.Status {
+		case Running:
+		case Blocked:
+			pick.status = Blocked
+			pick.blockStart = end
+			e.removeRunning(pick)
+		case Done:
+			pick.status = Done
+			pick.Ctx.nlive--
+			e.live--
+			e.removeRunning(pick)
+		}
+	}
+	return nil
+}

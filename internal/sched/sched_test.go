@@ -1,0 +1,246 @@
+package sched
+
+import (
+	"testing"
+)
+
+// counterStep returns a StepFunc that runs n steps of the given cost.
+func counterStep(n int, cost int64, trace *[]int, id int) StepFunc {
+	left := n
+	return func(now int64) StepResult {
+		if trace != nil {
+			*trace = append(*trace, id)
+		}
+		left--
+		if left == 0 {
+			return StepResult{Cycles: cost, Status: Done}
+		}
+		return StepResult{Cycles: cost, Status: Running}
+	}
+}
+
+func TestSingleThreadRunsToCompletion(t *testing.T) {
+	e := NewEngine(Config{HWThreads: 1})
+	th := e.Spawn("t0", 0, counterStep(10, 100, nil, 0))
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if th.Status() != Done {
+		t.Fatalf("thread not done")
+	}
+	if th.Clock != 1000 {
+		t.Fatalf("clock = %d, want 1000", th.Clock)
+	}
+}
+
+func TestTwoThreadsTwoCoresRunInParallel(t *testing.T) {
+	e := NewEngine(Config{HWThreads: 2})
+	a := e.Spawn("a", 0, counterStep(10, 100, nil, 0))
+	b := e.Spawn("b", 0, counterStep(10, 100, nil, 1))
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Parallel execution: both finish at virtual time 1000, not 2000.
+	if a.Clock != 1000 || b.Clock != 1000 {
+		t.Fatalf("clocks = %d, %d; want 1000, 1000", a.Clock, b.Clock)
+	}
+}
+
+func TestTwoThreadsOneCoreInterleave(t *testing.T) {
+	e := NewEngine(Config{HWThreads: 1})
+	var trace []int
+	a := e.Spawn("a", 0, counterStep(3, 100, &trace, 0))
+	b := e.Spawn("b", 0, counterStep(3, 100, &trace, 1))
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// One core: total time is the sum of all work.
+	if got := max64(a.Clock, b.Clock); got != 600 {
+		t.Fatalf("makespan = %d, want 600", got)
+	}
+	// The two threads alternate (min-clock scheduling at equal costs).
+	want := []int{0, 1, 0, 1, 0, 1}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestSMTPenaltyAndSiblingBusy(t *testing.T) {
+	// 2 hw threads forming one core with SMT penalty 2.0.
+	e := NewEngine(Config{HWThreads: 2, SMTWays: 2, SMTPenalty: 2})
+	a := e.Spawn("a", 0, counterStep(10, 100, nil, 0))
+	b := e.Spawn("b", 0, counterStep(10, 100, nil, 1))
+	if a.Ctx.Sibling() != b.Ctx || b.Ctx.Sibling() != a.Ctx {
+		t.Fatalf("contexts not SMT-paired")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Both run at half speed (10 steps * 200 cycles), except b's final step,
+	// which runs after its sibling has finished and pays no penalty.
+	if a.Clock != 2000 || b.Clock != 1900 {
+		t.Fatalf("clocks = %d, %d; want 2000, 1900", a.Clock, b.Clock)
+	}
+}
+
+func TestSMTPairsFillCoresFirst(t *testing.T) {
+	e := NewEngine(Config{HWThreads: 8, SMTWays: 2, SMTPenalty: 2})
+	var ths []*Thread
+	for i := 0; i < 4; i++ {
+		ths = append(ths, e.Spawn("t", 0, counterStep(1, 1, nil, i)))
+	}
+	// First four threads land on four distinct cores (no shared siblings).
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if ths[i].Ctx == ths[j].Ctx || ths[i].Ctx.Sibling() == ths[j].Ctx {
+				t.Fatalf("threads %d and %d share a core", i, j)
+			}
+		}
+	}
+}
+
+func TestBlockAndWake(t *testing.T) {
+	e := NewEngine(Config{HWThreads: 2})
+	var waiter *Thread
+	phase := 0
+	waiter = e.Spawn("waiter", 0, func(now int64) StepResult {
+		switch phase {
+		case 0:
+			phase = 1
+			return StepResult{Cycles: 10, Status: Blocked}
+		default:
+			return StepResult{Cycles: 5, Status: Done}
+		}
+	})
+	e.At(500, func(now int64) { e.Wake(waiter, now) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if waiter.Clock != 505 {
+		t.Fatalf("waiter clock = %d, want 505", waiter.Clock)
+	}
+	if waiter.LastWait() != 500-10 {
+		t.Fatalf("lastWait = %d, want 490", waiter.LastWait())
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	e := NewEngine(Config{HWThreads: 1})
+	e.Spawn("d", 0, func(now int64) StepResult {
+		return StepResult{Cycles: 1, Status: Blocked}
+	})
+	if err := e.Run(); err == nil {
+		t.Fatalf("expected deadlock error")
+	}
+}
+
+func TestTimedEventsFireInOrder(t *testing.T) {
+	e := NewEngine(Config{HWThreads: 1})
+	var fired []int64
+	// Events only fire while threads are alive; park one until the end.
+	var waiter *Thread
+	waiter = e.Spawn("w", 0, func(now int64) StepResult {
+		if now < 300 {
+			return StepResult{Cycles: 1, Status: Blocked}
+		}
+		return StepResult{Cycles: 1, Status: Done}
+	})
+	e.At(300, func(now int64) { fired = append(fired, now); e.Wake(waiter, now) })
+	e.At(100, func(now int64) { fired = append(fired, now) })
+	e.At(100, func(now int64) { fired = append(fired, now+1) }) // same time: FIFO by insertion
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 3 || fired[0] != 100 || fired[1] != 101 || fired[2] != 300 {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestTimedEventBeforeStepSeesEarlierTime(t *testing.T) {
+	e := NewEngine(Config{HWThreads: 1})
+	var order []string
+	e.Spawn("t", 200, func(now int64) StepResult {
+		order = append(order, "step")
+		return StepResult{Cycles: 1, Status: Done}
+	})
+	e.At(50, func(now int64) { order = append(order, "event") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "event" || order[1] != "step" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSpawnDuringRun(t *testing.T) {
+	e := NewEngine(Config{HWThreads: 2})
+	childDone := false
+	e.Spawn("parent", 0, func(now int64) StepResult {
+		e.Spawn("child", now+10, func(now2 int64) StepResult {
+			if now2 < now+10 {
+				panic("child started before its spawn time")
+			}
+			childDone = true
+			return StepResult{Cycles: 1, Status: Done}
+		})
+		return StepResult{Cycles: 10, Status: Done}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !childDone {
+		t.Fatalf("child never ran")
+	}
+}
+
+func TestStopHaltsEngine(t *testing.T) {
+	e := NewEngine(Config{HWThreads: 1})
+	n := 0
+	e.Spawn("t", 0, func(now int64) StepResult {
+		n++
+		if n == 5 {
+			e.Stop()
+		}
+		return StepResult{Cycles: 1, Status: Running}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("steps = %d, want 5", n)
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	run := func() []int {
+		e := NewEngine(Config{HWThreads: 3})
+		var trace []int
+		for i := 0; i < 5; i++ {
+			cost := int64(30 + i*7)
+			id := i
+			e.Spawn("t", 0, counterStep(20, cost, &trace, id))
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

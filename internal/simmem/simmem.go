@@ -1,0 +1,469 @@
+// Package simmem provides a software-simulated shared memory with
+// cache-line-granular transactional conflict detection.
+//
+// It is the substrate standing in for the HTM hardware of the IBM zEC12 and
+// Intel 4th Generation Core processors used in the paper "Eliminating Global
+// Interpreter Locks in Ruby through Hardware Transactional Memory"
+// (PPoPP 2014). All shared interpreter state is stored in a Memory; accesses
+// are performed either transactionally (tracked in per-transaction read and
+// write sets, with eager requester-wins conflict detection) or directly
+// (non-transactional accesses doom conflicting transactions, modelling the
+// strong isolation of real HTM implementations).
+//
+// The simulator that drives the interpreter is single-threaded, so simmem
+// performs no locking of its own: determinism comes for free and every
+// experiment is exactly reproducible.
+package simmem
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Addr is a byte address in the simulated memory. Words are 8 bytes and all
+// word accesses must be word-aligned.
+type Addr uint64
+
+// WordBytes is the size of one simulated memory word in bytes.
+const WordBytes = 8
+
+// MaxContexts is the maximum number of transactional contexts a Memory can
+// host. Reader sets are tracked as 64-bit bitmaps, one bit per context.
+const MaxContexts = 64
+
+// Word is the unit of simulated storage. Bits holds immediate payloads
+// (fixnums, float bits, symbol ids, simulated addresses) and Ref holds a
+// reference payload for heap values. Interpretation is up to the client; the
+// interpreter's value model is built directly on Word.
+type Word struct {
+	Bits uint64
+	Ref  any
+}
+
+// AbortCause classifies why a transaction was doomed, mirroring the abort
+// taxonomy of the zEC12 condition code and the Intel EAX abort status.
+type AbortCause uint8
+
+// Abort causes. Conflict and Interrupt are transient (retry may succeed);
+// the overflow causes, Restricted and Explicit are persistent, and so is
+// Learning, which masquerades as a capacity abort on the Intel machine.
+const (
+	CauseNone          AbortCause = iota
+	CauseConflict                 // coherence conflict with another access
+	CauseReadOverflow             // read-set footprint exceeded capacity
+	CauseWriteOverflow            // write-set footprint exceeded capacity
+	CauseExplicit                 // TABORT / XABORT issued by software
+	CauseRestricted               // restricted operation (e.g. system call)
+	CauseInterrupt                // external interrupt delivered mid-transaction
+	CauseLearning                 // eager abort by the Intel-style predictor
+)
+
+// String returns a short human-readable name for the cause.
+func (c AbortCause) String() string {
+	switch c {
+	case CauseNone:
+		return "none"
+	case CauseConflict:
+		return "conflict"
+	case CauseReadOverflow:
+		return "read-overflow"
+	case CauseWriteOverflow:
+		return "write-overflow"
+	case CauseExplicit:
+		return "explicit"
+	case CauseRestricted:
+		return "restricted"
+	case CauseInterrupt:
+		return "interrupt"
+	case CauseLearning:
+		return "learning"
+	default:
+		return fmt.Sprintf("cause(%d)", uint8(c))
+	}
+}
+
+// Transient reports whether retrying a transaction aborted for this cause is
+// likely to succeed, following the paper's transient/persistent split.
+func (c AbortCause) Transient() bool {
+	return c == CauseConflict || c == CauseInterrupt
+}
+
+// line is one simulated cache line: its backing words plus the transactional
+// metadata real hardware keeps per line (tx-read bits, tx-dirty owner).
+type line struct {
+	words   []Word
+	readers uint64 // bitmap of contexts with this line in their read set
+	writer  int32  // context with this line in its write set, or -1
+}
+
+// Config describes the geometry of a Memory.
+type Config struct {
+	// LineBytes is the cache-line size in bytes (256 on zEC12, 64 on the
+	// Xeon E3-1275 v3). Must be a power of two and a multiple of WordBytes.
+	LineBytes int
+}
+
+// Conflict records one conflict event for attribution statistics.
+type Conflict struct {
+	Region string     // label of the region where the conflict occurred
+	Cause  AbortCause // always CauseConflict today; kept for symmetry
+	Writer bool       // true when the doomed side held the line dirty
+}
+
+// Memory is a simulated shared memory. It owns the line table, the
+// transactional contexts, the region registry used for conflict attribution
+// and a simple reservation-based address-space allocator.
+type Memory struct {
+	cfg          Config
+	lineShift    uint
+	wordsPerLine int
+
+	lines map[Addr]*line
+	txs   []*Tx
+
+	// address-space reservations
+	brk     Addr
+	regions []region
+
+	// statistics
+	conflictCounts map[string]uint64 // region label -> times a tx was doomed there
+	doomCount      uint64
+}
+
+type region struct {
+	base, end Addr
+	label     string
+}
+
+// NewMemory creates an empty simulated memory with the given geometry and
+// capacity for nctx transactional contexts.
+func NewMemory(cfg Config, nctx int) *Memory {
+	if cfg.LineBytes <= 0 || cfg.LineBytes%WordBytes != 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic(fmt.Sprintf("simmem: invalid line size %d", cfg.LineBytes))
+	}
+	if nctx <= 0 || nctx > MaxContexts {
+		panic(fmt.Sprintf("simmem: invalid context count %d", nctx))
+	}
+	shift := uint(0)
+	for 1<<shift != cfg.LineBytes {
+		shift++
+	}
+	m := &Memory{
+		cfg:            cfg,
+		lineShift:      shift,
+		wordsPerLine:   cfg.LineBytes / WordBytes,
+		lines:          make(map[Addr]*line),
+		brk:            Addr(cfg.LineBytes), // keep address 0 unused
+		conflictCounts: make(map[string]uint64),
+	}
+	m.txs = make([]*Tx, nctx)
+	for i := range m.txs {
+		m.txs[i] = &Tx{id: int32(i), mem: m, writeBuf: make(map[Addr]Word)}
+	}
+	return m
+}
+
+// LineBytes returns the configured cache-line size.
+func (m *Memory) LineBytes() int { return m.cfg.LineBytes }
+
+// Contexts returns the number of transactional contexts.
+func (m *Memory) Contexts() int { return len(m.txs) }
+
+// Tx returns the transactional context with the given id.
+func (m *Memory) Tx(id int) *Tx { return m.txs[id] }
+
+// Reserve carves a fresh region of the simulated address space, labels it
+// for conflict attribution, and returns its base address. The region is
+// line-aligned so that distinct regions never share a cache line.
+func (m *Memory) Reserve(label string, bytes int) Addr {
+	if bytes <= 0 {
+		panic("simmem: Reserve with non-positive size")
+	}
+	base := m.brk
+	n := Addr(bytes)
+	mask := Addr(m.cfg.LineBytes - 1)
+	n = (n + mask) &^ mask
+	m.brk += n
+	m.regions = append(m.regions, region{base: base, end: base + n, label: label})
+	return base
+}
+
+// RegionLabel returns the label of the region containing addr, or "unknown".
+func (m *Memory) RegionLabel(addr Addr) string {
+	for i := len(m.regions) - 1; i >= 0; i-- {
+		r := m.regions[i]
+		if addr >= r.base && addr < r.end {
+			return r.label
+		}
+	}
+	return "unknown"
+}
+
+// ConflictCounts returns the number of conflict-induced dooms attributed to
+// each region label.
+func (m *Memory) ConflictCounts() map[string]uint64 { return m.conflictCounts }
+
+// lineOf returns (creating on demand) the line containing addr.
+func (m *Memory) lineOf(addr Addr) *line {
+	la := addr >> m.lineShift
+	l := m.lines[la]
+	if l == nil {
+		l = &line{words: make([]Word, m.wordsPerLine), writer: -1}
+		m.lines[la] = l
+	}
+	return l
+}
+
+// LineAddr returns the line-number (address divided by the line size) of a
+// byte address. Two addresses with equal LineAddr share a cache line.
+func (m *Memory) LineAddr(addr Addr) Addr { return addr >> m.lineShift }
+
+func (m *Memory) wordIndex(addr Addr) int {
+	if addr%WordBytes != 0 {
+		panic(fmt.Sprintf("simmem: unaligned access at %#x", uint64(addr)))
+	}
+	return int(addr>>3) & (m.wordsPerLine - 1)
+}
+
+// doom marks the transaction with the given id as conflict-doomed and
+// records attribution for the region of addr.
+func (m *Memory) doom(victim int32, addr Addr, wasWriter bool) {
+	tx := m.txs[victim]
+	if !tx.active || tx.doomed {
+		return
+	}
+	tx.doomed = true
+	tx.doomCause = CauseConflict
+	tx.doomAddr = addr
+	m.doomCount++
+	m.conflictCounts[m.RegionLabel(addr)]++
+	_ = wasWriter
+}
+
+// Load performs a direct, non-transactional read. It dooms any transaction
+// holding the line dirty (a coherence read request hits tx-dirty data).
+func (m *Memory) Load(addr Addr) Word {
+	l := m.lineOf(addr)
+	if w := l.writer; w >= 0 {
+		m.doom(w, addr, true)
+	}
+	return l.words[m.wordIndex(addr)]
+}
+
+// Store performs a direct, non-transactional write. It dooms every
+// transaction that has the line in its read or write set.
+func (m *Memory) Store(addr Addr, w Word) {
+	l := m.lineOf(addr)
+	if wr := l.writer; wr >= 0 {
+		m.doom(wr, addr, true)
+	}
+	if l.readers != 0 {
+		m.doomReaders(l, addr, -1)
+	}
+	l.words[m.wordIndex(addr)] = w
+}
+
+// Peek reads a word without any coherence side effects. It is intended for
+// debuggers, tests and statistics, never for simulated program execution.
+func (m *Memory) Peek(addr Addr) Word {
+	l := m.lineOf(addr)
+	return l.words[m.wordIndex(addr)]
+}
+
+// Poke writes a word without any coherence side effects (test use only).
+func (m *Memory) Poke(addr Addr, w Word) {
+	l := m.lineOf(addr)
+	l.words[m.wordIndex(addr)] = w
+}
+
+// doomReaders dooms every reader of l except the context `except`
+// (pass -1 to doom all readers).
+func (m *Memory) doomReaders(l *line, addr Addr, except int32) {
+	rs := l.readers
+	for rs != 0 {
+		id := int32(bits.TrailingZeros64(rs))
+		rs &^= 1 << uint(id)
+		if id != except {
+			m.doom(id, addr, false)
+		}
+	}
+}
+
+// Tx is one transactional context: the read/write sets and the speculative
+// write buffer of a single hardware thread's transaction.
+type Tx struct {
+	id  int32
+	mem *Memory
+
+	active    bool
+	doomed    bool
+	doomCause AbortCause
+	doomAddr  Addr
+
+	readLines  []Addr // line numbers newly added to the read set
+	writeLines []Addr // line numbers newly added to the write set
+	writeBuf   map[Addr]Word
+
+	// Capacity limits in lines, set by the HTM layer at begin time (and
+	// possibly lowered mid-transaction when an SMT sibling becomes active).
+	ReadCapacity  int
+	WriteCapacity int
+}
+
+// ID returns the context id of the transaction.
+func (t *Tx) ID() int { return int(t.id) }
+
+// Active reports whether a transaction is currently running in this context.
+func (t *Tx) Active() bool { return t.active }
+
+// Doomed reports whether the running transaction has been doomed and must
+// abort at its next transactional instruction.
+func (t *Tx) Doomed() bool { return t.doomed }
+
+// DoomCause returns the cause recorded when the transaction was doomed.
+func (t *Tx) DoomCause() AbortCause { return t.doomCause }
+
+// DoomAddr returns the simulated address implicated in the doom, when known.
+func (t *Tx) DoomAddr() Addr { return t.doomAddr }
+
+// ReadSetLines returns the current read-set size in cache lines.
+func (t *Tx) ReadSetLines() int { return len(t.readLines) }
+
+// WriteSetLines returns the current write-set size in cache lines.
+func (t *Tx) WriteSetLines() int { return len(t.writeLines) }
+
+// Begin starts a transaction in this context with the given capacity limits
+// (in cache lines). It panics if a transaction is already active: the
+// simulated machines do not support nesting beyond flattening, which the
+// HTM layer implements.
+func (t *Tx) Begin(readCap, writeCap int) {
+	if t.active {
+		panic("simmem: nested Tx.Begin")
+	}
+	t.active = true
+	t.doomed = false
+	t.doomCause = CauseNone
+	t.doomAddr = 0
+	t.readLines = t.readLines[:0]
+	t.writeLines = t.writeLines[:0]
+	clear(t.writeBuf)
+	t.ReadCapacity = readCap
+	t.WriteCapacity = writeCap
+}
+
+// SelfDoom dooms the running transaction from software with the given cause
+// (explicit abort, restricted operation, interrupt, learning-model abort).
+func (t *Tx) SelfDoom(cause AbortCause) {
+	if !t.active || t.doomed {
+		return
+	}
+	t.doomed = true
+	t.doomCause = cause
+}
+
+// Load performs a transactional read. The line joins the read set; a
+// conflicting dirty line dooms its writer (requester wins). Reading beyond
+// ReadCapacity dooms the transaction itself with CauseReadOverflow.
+func (t *Tx) Load(addr Addr) Word {
+	m := t.mem
+	l := m.lineOf(addr)
+	if w := l.writer; w >= 0 && w != t.id {
+		m.doom(w, addr, true)
+	}
+	bit := uint64(1) << uint(t.id)
+	if l.readers&bit == 0 {
+		l.readers |= bit
+		t.readLines = append(t.readLines, m.LineAddr(addr))
+		if len(t.readLines) > t.ReadCapacity {
+			t.doomed = true
+			t.doomCause = CauseReadOverflow
+			t.doomAddr = addr
+		}
+	}
+	if w, ok := t.writeBuf[addr]; ok {
+		return w
+	}
+	return l.words[m.wordIndex(addr)]
+}
+
+// Store performs a transactional write into the speculative buffer. The
+// line joins the write set; conflicting readers and writers are doomed
+// (requester wins). Writing beyond WriteCapacity dooms the transaction with
+// CauseWriteOverflow.
+func (t *Tx) Store(addr Addr, w Word) {
+	m := t.mem
+	l := m.lineOf(addr)
+	if wr := l.writer; wr != t.id {
+		if wr >= 0 {
+			m.doom(wr, addr, true)
+		}
+		if l.readers&^(1<<uint(t.id)) != 0 {
+			m.doomReaders(l, addr, t.id)
+		}
+		l.writer = t.id
+		t.writeLines = append(t.writeLines, m.LineAddr(addr))
+		if len(t.writeLines) > t.WriteCapacity {
+			t.doomed = true
+			t.doomCause = CauseWriteOverflow
+			t.doomAddr = addr
+		}
+	}
+	t.writeBuf[addr] = w
+}
+
+// Commit attempts to commit the transaction. On success the speculative
+// writes are published and Commit returns true. If the transaction was
+// doomed, nothing is published and Commit returns false; the caller must
+// then complete the abort with Rollback.
+func (t *Tx) Commit() bool {
+	if !t.active {
+		panic("simmem: Commit without active transaction")
+	}
+	if t.doomed {
+		return false
+	}
+	m := t.mem
+	for addr, w := range t.writeBuf {
+		l := m.lineOf(addr)
+		l.words[m.wordIndex(addr)] = w
+	}
+	t.cleanup()
+	return true
+}
+
+// Rollback discards the speculative state of a doomed (or abandoned)
+// transaction and returns the abort cause.
+func (t *Tx) Rollback() AbortCause {
+	if !t.active {
+		panic("simmem: Rollback without active transaction")
+	}
+	cause := t.doomCause
+	if cause == CauseNone {
+		cause = CauseExplicit
+	}
+	t.cleanup()
+	return cause
+}
+
+// cleanup deregisters the transaction from every line it touched and leaves
+// the context idle.
+func (t *Tx) cleanup() {
+	m := t.mem
+	bit := uint64(1) << uint(t.id)
+	for _, la := range t.readLines {
+		if l := m.lines[la]; l != nil {
+			l.readers &^= bit
+		}
+	}
+	for _, la := range t.writeLines {
+		if l := m.lines[la]; l != nil && l.writer == t.id {
+			l.writer = -1
+		}
+	}
+	t.readLines = t.readLines[:0]
+	t.writeLines = t.writeLines[:0]
+	clear(t.writeBuf)
+	t.active = false
+	t.doomed = false
+	t.doomCause = CauseNone
+}

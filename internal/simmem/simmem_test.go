@@ -1,0 +1,465 @@
+package simmem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newMem(t *testing.T, lineBytes, nctx int) *Memory {
+	t.Helper()
+	return NewMemory(Config{LineBytes: lineBytes}, nctx)
+}
+
+func TestReserveAlignsToLines(t *testing.T) {
+	m := newMem(t, 256, 2)
+	a := m.Reserve("a", 10)
+	b := m.Reserve("b", 10)
+	if a%256 != 0 || b%256 != 0 {
+		t.Fatalf("regions not line aligned: %#x %#x", a, b)
+	}
+	if m.LineAddr(a) == m.LineAddr(b) {
+		t.Fatalf("distinct regions share a line")
+	}
+	if got := m.RegionLabel(a); got != "a" {
+		t.Fatalf("RegionLabel(a) = %q", got)
+	}
+	if got := m.RegionLabel(b + 8); got != "b" {
+		t.Fatalf("RegionLabel(b+8) = %q", got)
+	}
+	if got := m.RegionLabel(0); got != "unknown" {
+		t.Fatalf("RegionLabel(0) = %q", got)
+	}
+}
+
+func TestDirectLoadStore(t *testing.T) {
+	m := newMem(t, 64, 1)
+	base := m.Reserve("data", 1024)
+	m.Store(base+8, Word{Bits: 42})
+	if w := m.Load(base + 8); w.Bits != 42 {
+		t.Fatalf("load = %d, want 42", w.Bits)
+	}
+	if w := m.Load(base + 16); w.Bits != 0 {
+		t.Fatalf("uninitialized word = %d, want 0", w.Bits)
+	}
+}
+
+func TestUnalignedAccessPanics(t *testing.T) {
+	m := newMem(t, 64, 1)
+	base := m.Reserve("data", 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on unaligned access")
+		}
+	}()
+	m.Load(base + 3)
+}
+
+func TestTxBuffersWritesUntilCommit(t *testing.T) {
+	m := newMem(t, 64, 2)
+	base := m.Reserve("data", 1024)
+	tx := m.Tx(0)
+	tx.Begin(1024, 1024)
+	tx.Store(base, Word{Bits: 7})
+	if w := tx.Load(base); w.Bits != 7 {
+		t.Fatalf("tx does not see own write: %d", w.Bits)
+	}
+	if w := m.Peek(base); w.Bits != 0 {
+		t.Fatalf("speculative write visible before commit: %d", w.Bits)
+	}
+	if !tx.Commit() {
+		t.Fatalf("commit failed unexpectedly")
+	}
+	if w := m.Peek(base); w.Bits != 7 {
+		t.Fatalf("committed write lost: %d", w.Bits)
+	}
+}
+
+func TestRollbackDiscardsWrites(t *testing.T) {
+	m := newMem(t, 64, 2)
+	base := m.Reserve("data", 1024)
+	m.Store(base, Word{Bits: 1})
+	tx := m.Tx(0)
+	tx.Begin(1024, 1024)
+	tx.Store(base, Word{Bits: 99})
+	tx.SelfDoom(CauseExplicit)
+	if tx.Commit() {
+		t.Fatalf("doomed transaction committed")
+	}
+	if cause := tx.Rollback(); cause != CauseExplicit {
+		t.Fatalf("rollback cause = %v", cause)
+	}
+	if w := m.Peek(base); w.Bits != 1 {
+		t.Fatalf("aborted write leaked: %d", w.Bits)
+	}
+	if tx.Active() {
+		t.Fatalf("context still active after rollback")
+	}
+}
+
+func TestWriteWriteConflictRequesterWins(t *testing.T) {
+	m := newMem(t, 64, 2)
+	base := m.Reserve("data", 1024)
+	a, b := m.Tx(0), m.Tx(1)
+	a.Begin(1024, 1024)
+	b.Begin(1024, 1024)
+	a.Store(base, Word{Bits: 1})
+	b.Store(base, Word{Bits: 2}) // requester wins: a is doomed
+	if !a.Doomed() || a.DoomCause() != CauseConflict {
+		t.Fatalf("first writer not doomed: %v %v", a.Doomed(), a.DoomCause())
+	}
+	if b.Doomed() {
+		t.Fatalf("requester doomed")
+	}
+	a.Rollback()
+	if !b.Commit() {
+		t.Fatalf("winner failed to commit")
+	}
+	if w := m.Peek(base); w.Bits != 2 {
+		t.Fatalf("committed value = %d, want 2", w.Bits)
+	}
+}
+
+func TestReadWriteConflicts(t *testing.T) {
+	m := newMem(t, 64, 3)
+	base := m.Reserve("data", 1024)
+
+	// Writer dooms existing readers.
+	r1, r2, w := m.Tx(0), m.Tx(1), m.Tx(2)
+	r1.Begin(1024, 1024)
+	r2.Begin(1024, 1024)
+	w.Begin(1024, 1024)
+	r1.Load(base)
+	r2.Load(base)
+	w.Store(base, Word{Bits: 5})
+	if !r1.Doomed() || !r2.Doomed() {
+		t.Fatalf("readers not doomed by writer")
+	}
+	if w.Doomed() {
+		t.Fatalf("writer doomed by readers")
+	}
+	r1.Rollback()
+	r2.Rollback()
+	w.Commit()
+
+	// Reader dooms existing writer.
+	w.Begin(1024, 1024)
+	r1.Begin(1024, 1024)
+	w.Store(base, Word{Bits: 6})
+	r1.Load(base)
+	if !w.Doomed() {
+		t.Fatalf("writer not doomed by reader")
+	}
+	if r1.Doomed() {
+		t.Fatalf("reader doomed")
+	}
+	// The reader must see the pre-transactional value, not the speculative one.
+	if v := r1.Load(base); v.Bits != 5 {
+		t.Fatalf("reader saw speculative value %d", v.Bits)
+	}
+	w.Rollback()
+	r1.Commit()
+}
+
+func TestConcurrentReadersDoNotConflict(t *testing.T) {
+	m := newMem(t, 64, 4)
+	base := m.Reserve("data", 1024)
+	for i := 0; i < 4; i++ {
+		m.Tx(i).Begin(1024, 1024)
+	}
+	for i := 0; i < 4; i++ {
+		m.Tx(i).Load(base)
+	}
+	for i := 0; i < 4; i++ {
+		if m.Tx(i).Doomed() {
+			t.Fatalf("reader %d doomed", i)
+		}
+		if !m.Tx(i).Commit() {
+			t.Fatalf("reader %d failed to commit", i)
+		}
+	}
+}
+
+func TestNonTxStoreDoomsEverybody(t *testing.T) {
+	m := newMem(t, 64, 2)
+	base := m.Reserve("data", 1024)
+	r, w := m.Tx(0), m.Tx(1)
+	r.Begin(1024, 1024)
+	w.Begin(1024, 1024)
+	r.Load(base)
+	w.Store(base+8, Word{Bits: 1}) // same line, different word
+	m.Store(base, Word{Bits: 9})
+	if !r.Doomed() || !w.Doomed() {
+		t.Fatalf("non-transactional store did not doom conflicting txs")
+	}
+	r.Rollback()
+	w.Rollback()
+	if v := m.Peek(base); v.Bits != 9 {
+		t.Fatalf("direct store lost: %d", v.Bits)
+	}
+}
+
+func TestNonTxLoadDoomsWriter(t *testing.T) {
+	m := newMem(t, 64, 1)
+	base := m.Reserve("data", 1024)
+	w := m.Tx(0)
+	w.Begin(1024, 1024)
+	w.Store(base, Word{Bits: 3})
+	if v := m.Load(base); v.Bits != 0 {
+		t.Fatalf("non-tx load saw speculative value %d", v.Bits)
+	}
+	if !w.Doomed() {
+		t.Fatalf("writer not doomed by non-tx load")
+	}
+	w.Rollback()
+}
+
+func TestFalseSharingWithinLine(t *testing.T) {
+	// Two transactions writing *different words of the same line* conflict:
+	// detection is line-granular, as on real hardware.
+	m := newMem(t, 256, 2)
+	base := m.Reserve("data", 1024)
+	a, b := m.Tx(0), m.Tx(1)
+	a.Begin(1024, 1024)
+	b.Begin(1024, 1024)
+	a.Store(base, Word{Bits: 1})
+	b.Store(base+248, Word{Bits: 2})
+	if !a.Doomed() {
+		t.Fatalf("false sharing not detected at 256-byte lines")
+	}
+	a.Rollback()
+	b.Commit()
+
+	// With 64-byte lines the same two addresses do not share a line.
+	m2 := NewMemory(Config{LineBytes: 64}, 2)
+	base2 := m2.Reserve("data", 1024)
+	a2, b2 := m2.Tx(0), m2.Tx(1)
+	a2.Begin(1024, 1024)
+	b2.Begin(1024, 1024)
+	a2.Store(base2, Word{Bits: 1})
+	b2.Store(base2+248, Word{Bits: 2})
+	if a2.Doomed() || b2.Doomed() {
+		t.Fatalf("spurious conflict across distinct 64-byte lines")
+	}
+	a2.Commit()
+	b2.Commit()
+}
+
+func TestWriteOverflow(t *testing.T) {
+	m := newMem(t, 64, 1)
+	base := m.Reserve("data", 1<<20)
+	tx := m.Tx(0)
+	tx.Begin(1<<20, 4) // 4-line write capacity
+	for i := 0; i < 4; i++ {
+		tx.Store(base+Addr(i*64), Word{Bits: uint64(i)})
+	}
+	if tx.Doomed() {
+		t.Fatalf("doomed before capacity exceeded")
+	}
+	tx.Store(base+Addr(4*64), Word{Bits: 4})
+	if !tx.Doomed() || tx.DoomCause() != CauseWriteOverflow {
+		t.Fatalf("write overflow not detected: %v", tx.DoomCause())
+	}
+	tx.Rollback()
+}
+
+func TestReadOverflow(t *testing.T) {
+	m := newMem(t, 64, 1)
+	base := m.Reserve("data", 1<<20)
+	tx := m.Tx(0)
+	tx.Begin(3, 1<<20)
+	tx.Load(base)
+	tx.Load(base + 64)
+	tx.Load(base + 128)
+	if tx.Doomed() {
+		t.Fatalf("doomed before read capacity exceeded")
+	}
+	tx.Load(base + 192)
+	if !tx.Doomed() || tx.DoomCause() != CauseReadOverflow {
+		t.Fatalf("read overflow not detected: %v", tx.DoomCause())
+	}
+	tx.Rollback()
+}
+
+func TestRereadingSameLineCostsNoCapacity(t *testing.T) {
+	m := newMem(t, 64, 1)
+	base := m.Reserve("data", 1024)
+	tx := m.Tx(0)
+	tx.Begin(1, 1)
+	for i := 0; i < 100; i++ {
+		tx.Load(base)
+		tx.Store(base+8, Word{Bits: uint64(i)})
+	}
+	if tx.Doomed() {
+		t.Fatalf("repeated access to one line overflowed capacity")
+	}
+	if tx.ReadSetLines() != 1 || tx.WriteSetLines() != 1 {
+		t.Fatalf("set sizes = %d/%d, want 1/1", tx.ReadSetLines(), tx.WriteSetLines())
+	}
+	tx.Commit()
+}
+
+func TestCleanupReleasesLineOwnership(t *testing.T) {
+	m := newMem(t, 64, 2)
+	base := m.Reserve("data", 1024)
+	a := m.Tx(0)
+	a.Begin(1024, 1024)
+	a.Store(base, Word{Bits: 1})
+	a.Commit()
+	// After commit, a new transaction in another context must not conflict.
+	b := m.Tx(1)
+	b.Begin(1024, 1024)
+	b.Store(base, Word{Bits: 2})
+	if b.Doomed() {
+		t.Fatalf("stale ownership caused conflict after commit")
+	}
+	b.Commit()
+}
+
+func TestConflictAttribution(t *testing.T) {
+	m := newMem(t, 64, 2)
+	freelist := m.Reserve("freelist", 1024)
+	a, b := m.Tx(0), m.Tx(1)
+	a.Begin(1024, 1024)
+	b.Begin(1024, 1024)
+	a.Load(freelist)
+	b.Store(freelist, Word{Bits: 1})
+	a.Rollback()
+	b.Commit()
+	if m.ConflictCounts()["freelist"] != 1 {
+		t.Fatalf("conflict not attributed to freelist region: %v", m.ConflictCounts())
+	}
+}
+
+// TestHTMAtomicityProperty drives random interleavings of transactional
+// counter increments, with conflict-induced retries, and checks the final
+// sum equals the number of successful increments (serializability of the
+// simulated HTM on its simplest workload).
+func TestHTMAtomicityProperty(t *testing.T) {
+	f := func(seed int64, nctx8 uint8, rounds16 uint16) bool {
+		nctx := int(nctx8%7) + 2
+		rounds := int(rounds16%300) + 50
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMemory(Config{LineBytes: 64}, nctx)
+		base := m.Reserve("ctr", 64)
+		committed := 0
+		type state struct{ started, readDone bool }
+		sts := make([]state, nctx)
+		for step := 0; step < rounds*nctx; step++ {
+			id := rng.Intn(nctx)
+			tx := m.Tx(id)
+			st := &sts[id]
+			switch {
+			case !st.started:
+				tx.Begin(1024, 1024)
+				st.started = true
+				st.readDone = false
+			case tx.Doomed():
+				tx.Rollback()
+				st.started = false
+			case !st.readDone:
+				v := tx.Load(base)
+				tx.Store(base, Word{Bits: v.Bits + 1})
+				st.readDone = true
+			default:
+				if tx.Commit() {
+					committed++
+				} else {
+					tx.Rollback()
+				}
+				st.started = false
+			}
+		}
+		for id := range sts {
+			if sts[id].started {
+				m.Tx(id).Rollback()
+			}
+		}
+		return m.Peek(base).Bits == uint64(committed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomizedStrongIsolation mixes transactional and direct accesses to
+// overlapping lines and verifies that committed values always equal a value
+// some completed write actually produced (no corruption from aborted
+// buffers) by tracking an oracle of direct+committed writes.
+func TestRandomizedStrongIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMemory(Config{LineBytes: 64}, 4)
+	base := m.Reserve("data", 4096)
+	oracle := map[Addr]uint64{}
+	pending := make([]map[Addr]uint64, 4)
+	for round := 0; round < 5000; round++ {
+		id := rng.Intn(4)
+		tx := m.Tx(id)
+		addr := base + Addr(rng.Intn(64)*8)
+		switch rng.Intn(6) {
+		case 0: // direct write
+			v := uint64(rng.Int63())
+			m.Store(addr, Word{Bits: v})
+			oracle[addr] = v
+		case 1: // direct read
+			if got, want := m.Load(addr).Bits, oracle[addr]; got != want {
+				t.Fatalf("direct read %#x = %d, want %d", uint64(addr), got, want)
+			}
+		case 2: // tx begin
+			if !tx.Active() {
+				tx.Begin(1024, 1024)
+				pending[id] = map[Addr]uint64{}
+			}
+		case 3: // tx write
+			if tx.Active() && !tx.Doomed() {
+				v := uint64(rng.Int63())
+				tx.Store(addr, Word{Bits: v})
+				pending[id][addr] = v
+			}
+		case 4: // tx read must see own writes else oracle
+			if tx.Active() && !tx.Doomed() {
+				got := tx.Load(addr).Bits
+				want, own := pending[id][addr]
+				if !own {
+					want = oracle[addr]
+				}
+				if tx.Doomed() {
+					break // overflow etc. during this access; value unreliable
+				}
+				if got != want {
+					t.Fatalf("tx read %#x = %d, want %d (own=%v)", uint64(addr), got, want, own)
+				}
+			}
+		case 5: // commit or rollback
+			if tx.Active() {
+				if tx.Commit() {
+					for a, v := range pending[id] {
+						oracle[a] = v
+					}
+				} else {
+					tx.Rollback()
+				}
+				pending[id] = nil
+			}
+		}
+	}
+}
+
+func TestAbortCauseStrings(t *testing.T) {
+	causes := []AbortCause{CauseNone, CauseConflict, CauseReadOverflow,
+		CauseWriteOverflow, CauseExplicit, CauseRestricted, CauseInterrupt, CauseLearning}
+	seen := map[string]bool{}
+	for _, c := range causes {
+		s := c.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad or duplicate cause name %q", s)
+		}
+		seen[s] = true
+	}
+	if !CauseConflict.Transient() || !CauseInterrupt.Transient() {
+		t.Fatalf("conflict/interrupt must be transient")
+	}
+	if CauseWriteOverflow.Transient() || CauseRestricted.Transient() {
+		t.Fatalf("overflow/restricted must be persistent")
+	}
+}

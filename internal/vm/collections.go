@@ -1,0 +1,487 @@
+package vm
+
+import (
+	"fmt"
+
+	"htmgil/internal/object"
+	"htmgil/internal/simmem"
+)
+
+// ---------------------------------------------------------------------------
+// Instance variables with one-entry inline caches (Section 4.4).
+
+// getIvar reads @name on self through the per-site inline cache.
+func (t *RThread) getIvar(f *Frame, sym object.SymID, icSlot int32) (object.Value, int64, error) {
+	v := t.vm
+	c := &v.Costs
+	self := f.self
+	if self.Kind != object.KRef || (self.Ref.Type != object.TObject && self.Ref.Type != object.TClass) {
+		return object.Nil, 0, fmt.Errorf("instance variable on %s", t.typeName(self))
+	}
+	if self.Ref.Type == object.TClass {
+		// Rare: ivars on class objects are not supported; behave as unset.
+		return object.Nil, c.IvarHit, nil
+	}
+	cls := self.Ref.Class
+	icA := v.icAddr(f.iseq, icSlot)
+	guard := t.acc.Load(icA)
+	cost := c.IvarHit
+	var idx int
+	hit := false
+	if guard.Ref != nil {
+		if v.Opt.IvarTableGuard {
+			// The paper's HTM-friendly guard: the cached entry stays valid
+			// as long as the ivar-table identity matches, even across
+			// different classes sharing a layout.
+			hit = guard.Bits == uint64(cls.IvarTableID)
+		} else {
+			hit = guard.Ref == any(cls)
+		}
+	}
+	if hit {
+		idx = int(t.acc.Load(icA + simmem.WordBytes).Bits)
+	} else {
+		cost += c.IvarMiss
+		var ok bool
+		idx, ok = cls.IvarIndex(sym, false)
+		if !ok {
+			return object.Nil, cost, nil // reading an unset ivar yields nil
+		}
+		// Ivar caches are always rewritten on a miss (the paper changed
+		// their guard, not their fill policy).
+		t.acc.Store(icA, simmem.Word{Ref: cls, Bits: uint64(cls.IvarTableID)})
+		t.acc.Store(icA+simmem.WordBytes, simmem.Word{Bits: uint64(idx)})
+	}
+	base := simmem.Addr(t.acc.Load(self.Ref.AddrOf(object.SlotA)).Bits)
+	if base == 0 {
+		return object.Nil, cost, nil
+	}
+	capWords := int(t.acc.Load(self.Ref.AddrOf(object.SlotB)).Bits)
+	if idx >= capWords {
+		return object.Nil, cost, nil
+	}
+	return object.FromWord(t.acc.Load(base + simmem.Addr(idx*simmem.WordBytes))), cost, nil
+}
+
+// setIvar writes @name on self, growing the ivar buffer as needed.
+func (t *RThread) setIvar(f *Frame, sym object.SymID, icSlot int32, val object.Value) (int64, error) {
+	v := t.vm
+	c := &v.Costs
+	self := f.self
+	if self.Kind != object.KRef || self.Ref.Type != object.TObject {
+		return 0, fmt.Errorf("cannot set instance variable on %s", t.typeName(self))
+	}
+	cls := self.Ref.Class
+	idx, _ := cls.IvarIndex(sym, true)
+	cost := c.IvarHit
+	base := simmem.Addr(t.acc.Load(self.Ref.AddrOf(object.SlotA)).Bits)
+	capWords := int(t.acc.Load(self.Ref.AddrOf(object.SlotB)).Bits)
+	if base == 0 || idx >= capWords {
+		newCap := len(cls.IvarIdx)
+		if newCap < 4 {
+			newCap = 4
+		}
+		if newCap <= idx {
+			newCap = idx + 1
+		}
+		buf, err := t.allocArena(newCap)
+		if err != nil {
+			return cost, err
+		}
+		cost += c.ArenaAlloc
+		for i := 0; i < capWords; i++ {
+			w := t.acc.Load(base + simmem.Addr(i*simmem.WordBytes))
+			t.acc.Store(buf+simmem.Addr(i*simmem.WordBytes), w)
+		}
+		for i := capWords; i < newCap; i++ {
+			t.acc.Store(buf+simmem.Addr(i*simmem.WordBytes), object.Nil.Word())
+		}
+		if base != 0 {
+			v.Heap.FreeArena(t.acc, t.ts, base, capWords)
+		}
+		t.acc.Store(self.Ref.AddrOf(object.SlotA), simmem.Word{Bits: uint64(buf)})
+		t.acc.Store(self.Ref.AddrOf(object.SlotB), simmem.Word{Bits: uint64(newCap)})
+		t.acc.Store(self.Ref.AddrOf(object.SlotC), simmem.Word{Bits: uint64(newCap)})
+		base = buf
+	}
+	t.acc.Store(base+simmem.Addr(idx*simmem.WordBytes), val.Word())
+	return cost, nil
+}
+
+// cvarClass resolves the class owning class variables for self.
+func (t *RThread) cvarClass(f *Frame) (*object.RClass, error) {
+	self := f.self
+	if self.Kind == object.KRef {
+		if self.Ref.Type == object.TClass {
+			return self.Ref.Cls, nil
+		}
+		if self.Ref.Class != nil {
+			return self.Ref.Class, nil
+		}
+	}
+	return nil, fmt.Errorf("class variable outside of class context")
+}
+
+func (t *RThread) getCvar(f *Frame, sym object.SymID) (object.Value, int64, error) {
+	cls, err := t.cvarClass(f)
+	if err != nil {
+		return object.Nil, 0, err
+	}
+	// Class variables are looked up along the superclass chain.
+	for k := cls; k != nil; k = k.Super {
+		if idx, ok := k.CVarIdx[sym]; ok {
+			w := t.acc.Load(k.CVarBase + simmem.Addr(idx*simmem.WordBytes))
+			return object.FromWord(w), t.vm.Costs.IvarHit, nil
+		}
+	}
+	return object.Nil, t.vm.Costs.IvarMiss, nil
+}
+
+func (t *RThread) setCvar(f *Frame, sym object.SymID, val object.Value) (int64, error) {
+	cls, err := t.cvarClass(f)
+	if err != nil {
+		return 0, err
+	}
+	for k := cls; k != nil; k = k.Super {
+		if idx, ok := k.CVarIdx[sym]; ok {
+			t.acc.Store(k.CVarBase+simmem.Addr(idx*simmem.WordBytes), val.Word())
+			return t.vm.Costs.IvarHit, nil
+		}
+	}
+	idx := len(cls.CVarIdx)
+	if idx >= 32 {
+		return 0, fmt.Errorf("too many class variables in %s", cls.Name)
+	}
+	cls.CVarIdx[sym] = idx
+	t.acc.Store(cls.CVarBase+simmem.Addr(idx*simmem.WordBytes), val.Word())
+	return t.vm.Costs.IvarMiss, nil
+}
+
+// ---------------------------------------------------------------------------
+// Arrays: SlotA = buffer, SlotB = length, SlotC = capacity (words).
+
+// allocArray allocates an array with room for at least n elements.
+func (t *RThread) allocArray(n int) (*object.RObject, int64, error) {
+	v := t.vm
+	capW := n
+	if capW < 4 {
+		capW = 4
+	}
+	o, err := t.allocObject(object.TArray, v.typeClass[object.TArray])
+	if err != nil {
+		return nil, v.Costs.Alloc, err
+	}
+	buf, err := t.allocArena(capW)
+	if err != nil {
+		return nil, v.Costs.Alloc, err
+	}
+	t.acc.Store(o.AddrOf(object.SlotA), simmem.Word{Bits: uint64(buf)})
+	t.acc.Store(o.AddrOf(object.SlotB), simmem.Word{Bits: 0})
+	t.acc.Store(o.AddrOf(object.SlotC), simmem.Word{Bits: uint64(capW)})
+	return o, v.Costs.Alloc + v.Costs.ArenaAlloc, nil
+}
+
+func (t *RThread) arrayLen(a *object.RObject) int64 {
+	return int64(t.acc.Load(a.AddrOf(object.SlotB)).Bits)
+}
+
+func (t *RThread) arrayGet(a *object.RObject, i int64) (object.Value, int64) {
+	n := t.arrayLen(a)
+	if i < 0 {
+		i += n
+	}
+	if i < 0 || i >= n {
+		return object.Nil, t.vm.Costs.Aref
+	}
+	base := simmem.Addr(t.acc.Load(a.AddrOf(object.SlotA)).Bits)
+	return object.FromWord(t.acc.Load(base + simmem.Addr(i*simmem.WordBytes))), t.vm.Costs.Aref
+}
+
+// arrayEnsure grows the buffer to hold at least want elements.
+func (t *RThread) arrayEnsure(a *object.RObject, want int64) (int64, error) {
+	capW := int64(t.acc.Load(a.AddrOf(object.SlotC)).Bits)
+	if want <= capW {
+		return 0, nil
+	}
+	newCap := capW * 2
+	if newCap < want {
+		newCap = want
+	}
+	buf, err := t.allocArena(int(newCap))
+	if err != nil {
+		return 0, err
+	}
+	oldBase := simmem.Addr(t.acc.Load(a.AddrOf(object.SlotA)).Bits)
+	n := t.arrayLen(a)
+	for i := int64(0); i < n; i++ {
+		w := t.acc.Load(oldBase + simmem.Addr(i*simmem.WordBytes))
+		t.acc.Store(buf+simmem.Addr(i*simmem.WordBytes), w)
+	}
+	t.vm.Heap.FreeArena(t.acc, t.ts, oldBase, int(capW))
+	t.acc.Store(a.AddrOf(object.SlotA), simmem.Word{Bits: uint64(buf)})
+	t.acc.Store(a.AddrOf(object.SlotC), simmem.Word{Bits: uint64(newCap)})
+	return t.vm.Costs.ArenaAlloc + n*2, nil
+}
+
+func (t *RThread) arraySet(a *object.RObject, i int64, val object.Value) (int64, error) {
+	n := t.arrayLen(a)
+	if i < 0 {
+		i += n
+	}
+	if i < 0 {
+		return 0, fmt.Errorf("index %d out of range", i)
+	}
+	var cost int64
+	if i >= n {
+		gc, err := t.arrayEnsure(a, i+1)
+		cost += gc
+		if err != nil {
+			return cost, err
+		}
+		base := simmem.Addr(t.acc.Load(a.AddrOf(object.SlotA)).Bits)
+		for j := n; j < i; j++ {
+			t.acc.Store(base+simmem.Addr(j*simmem.WordBytes), object.Nil.Word())
+		}
+		t.acc.Store(a.AddrOf(object.SlotB), simmem.Word{Bits: uint64(i + 1)})
+	}
+	base := simmem.Addr(t.acc.Load(a.AddrOf(object.SlotA)).Bits)
+	t.acc.Store(base+simmem.Addr(i*simmem.WordBytes), val.Word())
+	return cost, nil
+}
+
+func (t *RThread) arrayPush(a *object.RObject, val object.Value) (int64, error) {
+	n := t.arrayLen(a)
+	cost, err := t.arrayEnsure(a, n+1)
+	if err != nil {
+		return cost, err
+	}
+	base := simmem.Addr(t.acc.Load(a.AddrOf(object.SlotA)).Bits)
+	t.acc.Store(base+simmem.Addr(n*simmem.WordBytes), val.Word())
+	t.acc.Store(a.AddrOf(object.SlotB), simmem.Word{Bits: uint64(n + 1)})
+	return cost, nil
+}
+
+// ---------------------------------------------------------------------------
+// Hashes: open addressing in an arena buffer of key/value word pairs.
+// SlotA = buckets, SlotB = count, SlotC = bucket capacity. An all-zero key
+// word marks an empty bucket (nil keys are not supported).
+
+func (t *RThread) allocHash(hint int) (*object.RObject, int64, error) {
+	v := t.vm
+	capB := 8
+	for capB < hint*2 {
+		capB *= 2
+	}
+	o, err := t.allocObject(object.THash, v.typeClass[object.THash])
+	if err != nil {
+		return nil, v.Costs.Alloc, err
+	}
+	cost, err := t.hashInitBuckets(o, capB)
+	if err != nil {
+		return nil, cost, err
+	}
+	return o, cost + v.Costs.Alloc, nil
+}
+
+func (t *RThread) hashInitBuckets(o *object.RObject, capB int) (int64, error) {
+	buf, err := t.allocArena(capB * 2)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < capB*2; i++ {
+		t.acc.Store(buf+simmem.Addr(i*simmem.WordBytes), simmem.Word{})
+	}
+	t.acc.Store(o.AddrOf(object.SlotA), simmem.Word{Bits: uint64(buf)})
+	t.acc.Store(o.AddrOf(object.SlotB), simmem.Word{Bits: 0})
+	t.acc.Store(o.AddrOf(object.SlotC), simmem.Word{Bits: uint64(capB)})
+	return t.vm.Costs.ArenaAlloc + int64(capB), nil
+}
+
+// hashVal computes a deterministic hash of a key.
+func (t *RThread) hashVal(key object.Value) (uint64, error) {
+	switch key.Kind {
+	case object.KFixnum:
+		x := uint64(key.Fix)
+		x ^= x >> 33
+		x *= 0xff51afd7ed558ccd
+		x ^= x >> 33
+		return x, nil
+	case object.KSymbol:
+		return uint64(key.Fix)*0x9e3779b97f4a7c15 + 1, nil
+	case object.KTrue:
+		return 3, nil
+	case object.KFalse:
+		return 5, nil
+	case object.KRef:
+		if key.Ref.Type == object.TString {
+			var h uint64 = 14695981039346656037
+			for i := 0; i < len(key.Ref.Str); i++ {
+				h ^= uint64(key.Ref.Str[i])
+				h *= 1099511628211
+			}
+			return h | 1, nil
+		}
+		return uint64(key.Ref.Index)*0x9e3779b97f4a7c15 + 7, nil
+	default:
+		return 0, fmt.Errorf("unsupported hash key type %s", t.typeName(key))
+	}
+}
+
+// hashKeyEq compares keys (string content equality, else valueEq).
+func hashKeyEq(a, b object.Value) bool {
+	if a.Kind == object.KRef && b.Kind == object.KRef &&
+		a.Ref.Type == object.TString && b.Ref.Type == object.TString {
+		return a.Ref.Str == b.Ref.Str
+	}
+	return valueEq(a, b)
+}
+
+func (t *RThread) hashGet(h *object.RObject, key object.Value) (object.Value, int64, error) {
+	cost := t.vm.Costs.HashOp
+	hv, err := t.hashVal(key)
+	if err != nil {
+		return object.Nil, cost, err
+	}
+	base := simmem.Addr(t.acc.Load(h.AddrOf(object.SlotA)).Bits)
+	capB := int64(t.acc.Load(h.AddrOf(object.SlotC)).Bits)
+	if base == 0 || capB == 0 {
+		return object.Nil, cost, nil
+	}
+	idx := int64(hv) & (capB - 1)
+	for probe := int64(0); probe < capB; probe++ {
+		kw := t.acc.Load(base + simmem.Addr(((idx*2)+0)*simmem.WordBytes))
+		cost += 6
+		if kw.Bits == 0 && kw.Ref == nil {
+			return object.Nil, cost, nil
+		}
+		if hashKeyEq(object.FromWord(kw), key) {
+			vw := t.acc.Load(base + simmem.Addr(((idx*2)+1)*simmem.WordBytes))
+			return object.FromWord(vw), cost, nil
+		}
+		idx = (idx + 1) & (capB - 1)
+	}
+	return object.Nil, cost, nil
+}
+
+func (t *RThread) hashSet(h *object.RObject, key, val object.Value) (int64, error) {
+	cost := t.vm.Costs.HashOp
+	if key.IsNil() {
+		return cost, fmt.Errorf("nil hash keys are not supported")
+	}
+	count := int64(t.acc.Load(h.AddrOf(object.SlotB)).Bits)
+	capB := int64(t.acc.Load(h.AddrOf(object.SlotC)).Bits)
+	if (count+1)*3 >= capB*2 {
+		gc, err := t.hashGrow(h)
+		cost += gc
+		if err != nil {
+			return cost, err
+		}
+		capB = int64(t.acc.Load(h.AddrOf(object.SlotC)).Bits)
+	}
+	hv, err := t.hashVal(key)
+	if err != nil {
+		return cost, err
+	}
+	base := simmem.Addr(t.acc.Load(h.AddrOf(object.SlotA)).Bits)
+	idx := int64(hv) & (capB - 1)
+	for {
+		kaddr := base + simmem.Addr((idx*2)*simmem.WordBytes)
+		kw := t.acc.Load(kaddr)
+		cost += 6
+		if kw.Bits == 0 && kw.Ref == nil {
+			t.acc.Store(kaddr, key.Word())
+			t.acc.Store(kaddr+simmem.WordBytes, val.Word())
+			t.acc.Store(h.AddrOf(object.SlotB), simmem.Word{Bits: uint64(count + 1)})
+			return cost, nil
+		}
+		if hashKeyEq(object.FromWord(kw), key) {
+			t.acc.Store(kaddr+simmem.WordBytes, val.Word())
+			return cost, nil
+		}
+		idx = (idx + 1) & (capB - 1)
+	}
+}
+
+func (t *RThread) hashGrow(h *object.RObject) (int64, error) {
+	oldBase := simmem.Addr(t.acc.Load(h.AddrOf(object.SlotA)).Bits)
+	oldCap := int64(t.acc.Load(h.AddrOf(object.SlotC)).Bits)
+	newCap := oldCap * 2
+	cost, err := t.hashInitBuckets(h, int(newCap))
+	if err != nil {
+		return cost, err
+	}
+	// Reinsert old entries.
+	base := simmem.Addr(t.acc.Load(h.AddrOf(object.SlotA)).Bits)
+	count := int64(0)
+	for i := int64(0); i < oldCap; i++ {
+		kw := t.acc.Load(oldBase + simmem.Addr((i*2)*simmem.WordBytes))
+		if kw.Bits == 0 && kw.Ref == nil {
+			continue
+		}
+		vw := t.acc.Load(oldBase + simmem.Addr((i*2+1)*simmem.WordBytes))
+		key := object.FromWord(kw)
+		hv, _ := t.hashVal(key)
+		idx := int64(hv) & (newCap - 1)
+		for {
+			kaddr := base + simmem.Addr((idx*2)*simmem.WordBytes)
+			w := t.acc.Load(kaddr)
+			if w.Bits == 0 && w.Ref == nil {
+				t.acc.Store(kaddr, kw)
+				t.acc.Store(kaddr+simmem.WordBytes, vw)
+				break
+			}
+			idx = (idx + 1) & (newCap - 1)
+		}
+		count++
+		cost += 12
+	}
+	t.acc.Store(h.AddrOf(object.SlotB), simmem.Word{Bits: uint64(count)})
+	t.vm.Heap.FreeArena(t.acc, t.ts, oldBase, int(oldCap*2))
+	return cost, nil
+}
+
+// hashKeys returns all keys (iteration support for the Ruby library).
+func (t *RThread) hashKeys(h *object.RObject) ([]object.Value, int64) {
+	base := simmem.Addr(t.acc.Load(h.AddrOf(object.SlotA)).Bits)
+	capB := int64(t.acc.Load(h.AddrOf(object.SlotC)).Bits)
+	var keys []object.Value
+	cost := t.vm.Costs.HashOp
+	for i := int64(0); i < capB; i++ {
+		kw := t.acc.Load(base + simmem.Addr((i*2)*simmem.WordBytes))
+		cost += 4
+		if kw.Bits != 0 || kw.Ref != nil {
+			keys = append(keys, object.FromWord(kw))
+		}
+	}
+	return keys, cost
+}
+
+// ---------------------------------------------------------------------------
+// Strings: immutable Go payload plus a shadow arena buffer sized with the
+// content so transactional footprints scale with string length, as they do
+// for CRuby's heap-allocated string bodies.
+
+func (t *RThread) allocString(s string) (*object.RObject, int64, error) {
+	v := t.vm
+	o, err := t.allocObject(object.TString, v.typeClass[object.TString])
+	if err != nil {
+		return nil, v.Costs.Alloc, err
+	}
+	o.Str = s
+	cost := v.Costs.Alloc
+	words := (len(s) + simmem.WordBytes - 1) / simmem.WordBytes
+	if words > 0 {
+		buf, err := t.allocArena(words)
+		if err != nil {
+			return nil, cost, err
+		}
+		for i := 0; i < words; i++ {
+			t.acc.Store(buf+simmem.Addr(i*simmem.WordBytes), simmem.Word{Bits: uint64(i) + 1})
+		}
+		cost += v.Costs.ArenaAlloc + int64(words)*v.Costs.StrPerWord
+		t.acc.Store(o.AddrOf(object.SlotA), simmem.Word{Bits: uint64(buf)})
+		t.acc.Store(o.AddrOf(object.SlotB), simmem.Word{Bits: uint64(len(s))})
+		t.acc.Store(o.AddrOf(object.SlotC), simmem.Word{Bits: uint64(roundClass(words))})
+	}
+	return o, cost, nil
+}

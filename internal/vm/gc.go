@@ -1,0 +1,234 @@
+package vm
+
+import (
+	"htmgil/internal/object"
+	"htmgil/internal/sched"
+	"htmgil/internal/simmem"
+)
+
+// runGC performs a stop-the-world collection. In GIL/HTM modes the caller
+// already holds the GIL (allocation inside transactions aborts to the GIL
+// first), which stops the world: acquiring the GIL doomed every running
+// transaction, and no new one can start. In FGL/Ideal modes the caller
+// must have brought all threads to a safepoint (see requestGC).
+func (t *RThread) runGC() error {
+	v := t.vm
+	if v.Opt.Mode == ModeFGL || v.Opt.Mode == ModeIdeal {
+		return t.requestGC()
+	}
+	cycles := v.Heap.Collect(v.gcRoots, v.gcTraverse)
+	t.charge(CatGILHeld, cycles)
+	t.pendingGC += cycles // the dispatcher adds this to the step's clock
+	return nil
+}
+
+// requestGC implements the FGL/Ideal safepoint protocol: every running
+// thread parks at its next safepoint; whoever stops the world last performs
+// the collection and wakes the others.
+func (t *RThread) requestGC() error {
+	v := t.vm
+	v.gcRequested = true
+	t.gcParked = true
+	v.gcWaiters = append(v.gcWaiters, t)
+	if v.tryCompleteGC(v.Engine.Now(), t) {
+		return nil
+	}
+	return errGCWait
+}
+
+// parkForGC parks a thread at a safepoint while a collection is pending.
+func (t *RThread) parkForGC(now int64) sched.StepResult {
+	v := t.vm
+	t.gcParked = true
+	v.gcWaiters = append(v.gcWaiters, t)
+	if v.tryCompleteGC(now, t) {
+		t.resume = rsDispatch
+		return sched.StepResult{Cycles: 2, Status: sched.Running}
+	}
+	t.park(CatIOWait, rsGCPark)
+	return sched.StepResult{Cycles: 2, Status: sched.Blocked}
+}
+
+// tryCompleteGC collects if the world has stopped. runner is the thread
+// still executing (the last to reach its safepoint, or a finishing thread);
+// it performs the collection and wakes every parked waiter.
+func (v *VM) tryCompleteGC(now int64, runner *RThread) bool {
+	if !v.gcRequested || !v.gcReady() {
+		return false
+	}
+	runner.performSafepointGC(now)
+	span := runner.pendingGC
+	for _, w := range v.gcWaiters {
+		w.gcParked = false
+		if w != runner {
+			v.Engine.Wake(w.sth, now+span)
+		}
+	}
+	v.gcWaiters = nil
+	return true
+}
+
+// gcReady reports whether every other live thread is parked (blocked or at
+// a safepoint).
+func (v *VM) gcReady() bool {
+	running := 0
+	for _, th := range v.threads {
+		if th.sth != nil && th.sth.Status() == sched.Running && !th.gcParked {
+			running++
+		}
+	}
+	return running <= 1 // only the requester still runs
+}
+
+// performSafepointGC runs the collection in FGL/Ideal mode.
+func (t *RThread) performSafepointGC(now int64) {
+	v := t.vm
+	cycles := v.Heap.Collect(v.gcRoots, v.gcTraverse)
+	// Parallel collectors (the JVM's, for JRuby) spread the work over
+	// cores; charge the span, not the total.
+	span := cycles / int64(v.Opt.Prof.Cores)
+	if span < 1 {
+		span = 1
+	}
+	t.charge(CatOther, cycles)
+	t.pendingGC += span
+	v.gcRequested = false
+}
+
+// errGCWait signals that the allocating thread parked for a safepoint GC
+// and the allocation must be retried on wake.
+var errGCWait = errRedoGC
+
+var errRedoGC = &gcWaitError{}
+
+type gcWaitError struct{}
+
+func (*gcWaitError) Error() string { return "vm: waiting for safepoint GC" }
+
+// gcRoots enumerates every live reference outside the heap.
+func (v *VM) gcRoots(mark func(*object.RObject)) {
+	markVal := func(val object.Value) {
+		if val.Kind == object.KRef && val.Ref.Index >= 0 {
+			mark(val.Ref)
+		}
+	}
+	for _, o := range v.pinned {
+		mark(o)
+	}
+	for _, t := range v.threads {
+		for i := int32(0); i < t.sp; i++ {
+			markVal(t.stack[i])
+		}
+		for fi := range t.frames {
+			f := &t.frames[fi]
+			markVal(f.self)
+			markVal(f.env)
+			markVal(f.parentEnv)
+			markVal(f.block.env)
+			markVal(f.block.self)
+			for _, l := range f.locals {
+				markVal(l)
+			}
+		}
+		// Undo-log entries hold pre-transaction values that must survive.
+		for i := range t.log {
+			e := &t.log[i]
+			markVal(e.val)
+			if e.frame != nil {
+				markVal(e.frame.self)
+				markVal(e.frame.env)
+				markVal(e.frame.parentEnv)
+				for _, l := range e.frame.locals {
+					markVal(l)
+				}
+			}
+		}
+		if t.thrObj != nil {
+			mark(t.thrObj)
+		}
+		for _, o := range t.tempRoots {
+			mark(o)
+		}
+		markVal(t.result)
+		if vals, ok := t.nativeState.([]object.Value); ok {
+			for _, val := range vals {
+				markVal(val)
+			}
+		}
+	}
+	for _, val := range v.consts {
+		markVal(val)
+	}
+	for _, iseqVals := range v.floats {
+		for _, val := range iseqVals {
+			markVal(val)
+		}
+	}
+	// Globals and class variables live in simulated memory.
+	for _, addr := range v.globals {
+		markVal(object.FromWord(v.Mem.Peek(addr)))
+	}
+	for _, cls := range v.classes {
+		for _, idx := range cls.CVarIdx {
+			markVal(object.FromWord(v.Mem.Peek(cls.CVarBase + simmem.Addr(idx*simmem.WordBytes))))
+		}
+	}
+	for _, extra := range v.extraRoots {
+		extra(mark)
+	}
+}
+
+// gcTraverse enumerates the references held by one heap object.
+func (v *VM) gcTraverse(o *object.RObject, mark func(*object.RObject)) {
+	markVal := func(val object.Value) {
+		if val.Kind == object.KRef && val.Ref.Index >= 0 {
+			mark(val.Ref)
+		}
+	}
+	mem := v.Mem
+	switch o.Type {
+	case object.TArray:
+		base := simmem.Addr(mem.Peek(o.AddrOf(object.SlotA)).Bits)
+		n := int64(mem.Peek(o.AddrOf(object.SlotB)).Bits)
+		for i := int64(0); i < n; i++ {
+			markVal(object.FromWord(mem.Peek(base + simmem.Addr(i*simmem.WordBytes))))
+		}
+	case object.THash:
+		base := simmem.Addr(mem.Peek(o.AddrOf(object.SlotA)).Bits)
+		capB := int64(mem.Peek(o.AddrOf(object.SlotC)).Bits)
+		for i := int64(0); i < capB*2; i++ {
+			w := mem.Peek(base + simmem.Addr(i*simmem.WordBytes))
+			if w.Bits != 0 || w.Ref != nil {
+				markVal(object.FromWord(w))
+			}
+		}
+	case object.TObject:
+		base := simmem.Addr(mem.Peek(o.AddrOf(object.SlotA)).Bits)
+		n := int64(mem.Peek(o.AddrOf(object.SlotB)).Bits)
+		for i := int64(0); i < n; i++ {
+			markVal(object.FromWord(mem.Peek(base + simmem.Addr(i*simmem.WordBytes))))
+		}
+	case object.TEnv:
+		base := simmem.Addr(mem.Peek(o.AddrOf(object.SlotA)).Bits)
+		n := int64(mem.Peek(o.AddrOf(object.SlotB)).Bits)
+		for i := int64(0); i < n; i++ {
+			markVal(object.FromWord(mem.Peek(base + simmem.Addr(i*simmem.WordBytes))))
+		}
+	case object.TRange:
+		markVal(object.FromWord(mem.Peek(o.AddrOf(object.SlotA))))
+		markVal(object.FromWord(mem.Peek(o.AddrOf(object.SlotB))))
+	case object.TProc:
+		if pd, ok := o.Native.(*procData); ok {
+			markVal(pd.env)
+			markVal(pd.self)
+		}
+	case object.TThread:
+		if rt, ok := o.Native.(*RThread); ok {
+			markVal(rt.result)
+		}
+	default:
+		if v.extraTraverse != nil {
+			v.extraTraverse(o, mark)
+		}
+	}
+}

@@ -1,0 +1,799 @@
+package vm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"htmgil/internal/compile"
+	"htmgil/internal/heap"
+	"htmgil/internal/object"
+	"htmgil/internal/simmem"
+)
+
+// CyclesPerSec converts wall-clock-ish quantities (sleep durations, think
+// times) into virtual cycles. The simulated machines are a few GHz; the
+// scaled-down constant keeps benchmark runs short.
+const CyclesPerSec = 5_000_000
+
+// mutexData is the host side of a Mutex: the lock word lives in simulated
+// memory (slot A) so transactions conflict on it; only the blocked-waiter
+// queue is host state (it is touched exclusively on GIL-protected paths).
+type mutexData struct {
+	waiters []*RThread
+}
+
+type condData struct {
+	waiters []*RThread
+}
+
+// bootstrap builds the core classes and methods.
+func (v *VM) bootstrap() {
+	// Object and Class bootstrap each other.
+	v.ClassClass = &object.RClass{Name: "Class", Methods: map[object.SymID]*object.Method{},
+		IvarIdx: map[object.SymID]int{}, CVarIdx: map[object.SymID]int{}}
+	v.ClassClass.CVarBase = v.Mem.Reserve("cvars", 32*simmem.WordBytes)
+	ccObj := &object.RObject{Type: object.TClass, Class: v.ClassClass, Cls: v.ClassClass, Index: -1}
+	ccObj.Slot = v.Mem.Reserve("classobj", object.RVALUEBytes)
+	v.ClassClass.Obj = ccObj
+	v.classes = append(v.classes, v.ClassClass)
+	v.consts[v.Syms.Intern("Class")] = object.RefVal(ccObj)
+
+	v.ObjectClass = v.DefineClass("Object", nil)
+	v.ClassClass.Super = v.ObjectClass
+
+	nilC := v.DefineClass("NilClass", v.ObjectClass)
+	trueC := v.DefineClass("TrueClass", v.ObjectClass)
+	falseC := v.DefineClass("FalseClass", v.ObjectClass)
+	intC := v.DefineClass("Integer", v.ObjectClass)
+	v.SetConst("Fixnum", object.RefVal(intC.Obj))
+	symC := v.DefineClass("Symbol", v.ObjectClass)
+	floatC := v.DefineClass("Float", v.ObjectClass)
+	strC := v.DefineClass("String", v.ObjectClass)
+	arrC := v.DefineClass("Array", v.ObjectClass)
+	hashC := v.DefineClass("Hash", v.ObjectClass)
+	rangeC := v.DefineClass("Range", v.ObjectClass)
+	procC := v.DefineClass("Proc", v.ObjectClass)
+	envC := v.DefineClass("Binding", v.ObjectClass)
+	threadC := v.DefineClass("Thread", v.ObjectClass)
+	mutexC := v.DefineClass("Mutex", v.ObjectClass)
+	condC := v.DefineClass("ConditionVariable", v.ObjectClass)
+
+	v.kindClass = [8]*object.RClass{
+		object.KNil: nilC, object.KFalse: falseC, object.KTrue: trueC,
+		object.KFixnum: intC, object.KSymbol: symC,
+	}
+	v.typeClass[object.TFloat] = floatC
+	v.typeClass[object.TString] = strC
+	v.typeClass[object.TArray] = arrC
+	v.typeClass[object.THash] = hashC
+	v.typeClass[object.TRange] = rangeC
+	v.typeClass[object.TProc] = procC
+	v.typeClass[object.TEnv] = envC
+	v.typeClass[object.TThread] = threadC
+	v.typeClass[object.TMutex] = mutexC
+	v.typeClass[object.TCond] = condC
+	v.typeClass[object.TObject] = v.ObjectClass
+
+	v.installKernel()
+	v.installClassMethods()
+	v.installNumeric(intC, floatC)
+	v.installString(strC)
+	v.installArray(arrC)
+	v.installHash(hashC)
+	v.installRange(rangeC)
+	v.installThreading(threadC, mutexC, condC)
+	v.installMath()
+
+	if err := v.loadPrelude(); err != nil {
+		panic(fmt.Sprintf("vm: prelude failed: %v", err))
+	}
+}
+
+func (v *VM) installKernel() {
+	obj := v.ObjectClass
+	v.DefineNative(obj, "puts", -1, true, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		if len(args) == 0 {
+			t.vm.writeOut("\n")
+		}
+		for _, a := range args {
+			s, _ := t.toS(a)
+			if !strings.HasSuffix(s, "\n") {
+				s += "\n"
+			}
+			t.vm.writeOut(s)
+		}
+		return object.Nil, nil
+	})
+	v.DefineNative(obj, "print", -1, true, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		for _, a := range args {
+			s, _ := t.toS(a)
+			t.vm.writeOut(s)
+		}
+		return object.Nil, nil
+	})
+	v.DefineNative(obj, "require", 1, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		return object.False, nil // everything is built in
+	})
+	v.DefineNative(obj, "nil?", 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		return object.BoolVal(self.IsNil()), nil
+	})
+	v.DefineNative(obj, "class", 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		cls := t.vm.classOf(self)
+		if cls == nil || cls.Obj == nil {
+			return object.Nil, nil
+		}
+		return object.RefVal(cls.Obj), nil
+	})
+	v.DefineNative(obj, "to_s", 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		s, _ := t.toS(self)
+		o, _, err := t.allocString(s)
+		if err != nil {
+			return object.Nil, err
+		}
+		return object.RefVal(o), nil
+	})
+	v.DefineNative(obj, "inspect", 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		s, _ := t.toS(self)
+		o, _, err := t.allocString(s)
+		if err != nil {
+			return object.Nil, err
+		}
+		return object.RefVal(o), nil
+	})
+	v.DefineNative(obj, "sleep", 1, true, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		if t.nativeState != nil {
+			t.nativeState = nil
+			return object.FixVal(0), nil
+		}
+		var secs float64
+		switch {
+		case args[0].Kind == object.KFixnum:
+			secs = float64(args[0].Fix)
+		default:
+			fl, ok := t.floatOf(args[0])
+			if !ok {
+				return object.Nil, fmt.Errorf("sleep: bad duration")
+			}
+			secs = fl
+		}
+		t.nativeState = "sleeping"
+		wake := now + int64(secs*CyclesPerSec)
+		th := t
+		t.vm.Engine.At(wake, func(at int64) { th.vm.Engine.Wake(th.sth, at) })
+		return object.Nil, ErrBlocked
+	})
+}
+
+func (v *VM) installClassMethods() {
+	cc := v.ClassClass
+	v.DefineNative(cc, "new", -1, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		cls := self.Ref.Cls
+		o, err := t.allocObject(object.TObject, cls)
+		if err != nil {
+			return object.Nil, err
+		}
+		t.acc.Store(o.AddrOf(object.SlotA), simmem.Word{Bits: 0})
+		t.acc.Store(o.AddrOf(object.SlotB), simmem.Word{Bits: 0})
+		t.acc.Store(o.AddrOf(object.SlotC), simmem.Word{Bits: 0})
+		// Invoke initialize when defined: re-dispatch as a frame push.
+		initSym := t.vm.Syms.Intern("initialize")
+		if m := cls.Lookup(initSym); m != nil {
+			if iseq, ok := m.Code.(*compile.ISeq); ok {
+				if len(args) != iseq.Params {
+					return object.Nil, fmt.Errorf("wrong number of arguments for %s.new (given %d, expected %d)", cls.Name, len(args), iseq.Params)
+				}
+				cp := make([]object.Value, len(args))
+				copy(cp, args)
+				if err := t.callAfterNative(iseq, object.RefVal(o), blk, cp, len(args), object.RefVal(o), now); err != nil {
+					return object.Nil, err
+				}
+				return object.Nil, errFramePushed
+			}
+		}
+		return object.RefVal(o), nil
+	})
+	v.DefineNative(cc, "name", 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		o, _, err := t.allocString(self.Ref.Cls.Name)
+		if err != nil {
+			return object.Nil, err
+		}
+		return object.RefVal(o), nil
+	})
+	accessor := func(t *RThread, self object.Value, args []object.Value, readers, writers bool) (object.Value, error) {
+		cls := self.Ref.Cls
+		for _, a := range args {
+			if a.Kind != object.KSymbol {
+				return object.Nil, fmt.Errorf("attr_accessor expects symbols")
+			}
+			name := t.vm.Syms.Name(a.Sym())
+			ivarSym := t.vm.Syms.Intern("@" + name)
+			if readers {
+				v.DefineNative(cls, name, 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+					val, err := t.getIvarRaw(self, ivarSym)
+					return val, err
+				})
+			}
+			if writers {
+				v.DefineNative(cls, name+"=", 1, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+					if err := t.setIvarRaw(self, ivarSym, args[0]); err != nil {
+						return object.Nil, err
+					}
+					return args[0], nil
+				})
+			}
+		}
+		return object.Nil, nil
+	}
+	v.DefineNative(cc, "attr_accessor", -1, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		return accessor(t, self, args, true, true)
+	})
+	v.DefineNative(cc, "attr_reader", -1, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		return accessor(t, self, args, true, false)
+	})
+	v.DefineNative(cc, "attr_writer", -1, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		return accessor(t, self, args, false, true)
+	})
+}
+
+// getIvarRaw / setIvarRaw bypass inline caches (attr_* accessors).
+func (t *RThread) getIvarRaw(self object.Value, sym object.SymID) (object.Value, error) {
+	if self.Kind != object.KRef || self.Ref.Type != object.TObject {
+		return object.Nil, fmt.Errorf("ivar read on %s", t.typeName(self))
+	}
+	idx, ok := self.Ref.Class.IvarIndex(sym, false)
+	if !ok {
+		return object.Nil, nil
+	}
+	base := simmem.Addr(t.acc.Load(self.Ref.AddrOf(object.SlotA)).Bits)
+	capW := int(t.acc.Load(self.Ref.AddrOf(object.SlotB)).Bits)
+	if base == 0 || idx >= capW {
+		return object.Nil, nil
+	}
+	return object.FromWord(t.acc.Load(base + simmem.Addr(idx*simmem.WordBytes))), nil
+}
+
+func (t *RThread) setIvarRaw(self object.Value, sym object.SymID, val object.Value) error {
+	f := &Frame{self: self}
+	_, err := t.setIvar(f, sym, 0, val)
+	return err
+}
+
+func (v *VM) installNumeric(intC, floatC *object.RClass) {
+	v.DefineNative(intC, "to_f", 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		val, _, err := t.allocFloat(float64(self.Fix))
+		return val, err
+	})
+	v.DefineNative(intC, "to_i", 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		return self, nil
+	})
+	v.DefineNative(intC, "abs", 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		if self.Fix < 0 {
+			return object.FixVal(-self.Fix), nil
+		}
+		return self, nil
+	})
+	intBin := func(name string, fn func(a, b int64) int64) {
+		v.DefineNative(intC, name, 1, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+			if args[0].Kind != object.KFixnum {
+				return object.Nil, fmt.Errorf("%s expects an Integer", name)
+			}
+			return object.FixVal(fn(self.Fix, args[0].Fix)), nil
+		})
+	}
+	intBin("&", func(a, b int64) int64 { return a & b })
+	intBin("|", func(a, b int64) int64 { return a | b })
+	intBin("^", func(a, b int64) int64 { return a ^ b })
+	intBin(">>", func(a, b int64) int64 { return a >> uint(b&63) })
+	v.DefineNative(intC, "**", 1, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		switch {
+		case args[0].Kind == object.KFixnum:
+			r := int64(1)
+			for i := int64(0); i < args[0].Fix; i++ {
+				r *= self.Fix
+			}
+			return object.FixVal(r), nil
+		default:
+			fl, ok := t.floatOf(args[0])
+			if !ok {
+				return object.Nil, fmt.Errorf("bad exponent")
+			}
+			val, _, err := t.allocFloat(math.Pow(float64(self.Fix), fl))
+			return val, err
+		}
+	})
+	v.DefineNative(intC, "<=>", 1, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		b := args[0]
+		if b.Kind != object.KFixnum {
+			return object.Nil, nil
+		}
+		switch {
+		case self.Fix < b.Fix:
+			return object.FixVal(-1), nil
+		case self.Fix > b.Fix:
+			return object.FixVal(1), nil
+		}
+		return object.FixVal(0), nil
+	})
+	v.DefineNative(intC, "even?", 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		return object.BoolVal(self.Fix%2 == 0), nil
+	})
+	v.DefineNative(intC, "odd?", 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		return object.BoolVal(self.Fix%2 != 0), nil
+	})
+
+	v.DefineNative(floatC, "to_i", 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		fl, _ := t.floatOf(self)
+		return object.FixVal(int64(fl)), nil
+	})
+	v.DefineNative(floatC, "to_f", 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		return self, nil
+	})
+	v.DefineNative(floatC, "abs", 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		fl, _ := t.floatOf(self)
+		val, _, err := t.allocFloat(math.Abs(fl))
+		return val, err
+	})
+	v.DefineNative(floatC, "**", 1, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		a, _ := t.floatOf(self)
+		b, ok := t.floatOf(args[0])
+		if !ok {
+			return object.Nil, fmt.Errorf("bad exponent")
+		}
+		val, _, err := t.allocFloat(math.Pow(a, b))
+		return val, err
+	})
+}
+
+func (v *VM) installMath() {
+	mathCls := v.DefineClass("MathModule", v.ObjectClass)
+	v.SetConst("Math", object.RefVal(mathCls.Obj))
+	unary := func(name string, fn func(float64) float64) {
+		v.DefineStatic(mathCls, name, 1, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+			fl, ok := t.floatOf(args[0])
+			if !ok {
+				return object.Nil, fmt.Errorf("Math.%s expects a number", name)
+			}
+			val, _, err := t.allocFloat(fn(fl))
+			return val, err
+		})
+	}
+	unary("sqrt", math.Sqrt)
+	unary("sin", math.Sin)
+	unary("cos", math.Cos)
+	unary("exp", math.Exp)
+	unary("log", math.Log)
+	v.DefineStatic(mathCls, "pow", 2, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		a, ok1 := t.floatOf(args[0])
+		b, ok2 := t.floatOf(args[1])
+		if !ok1 || !ok2 {
+			return object.Nil, fmt.Errorf("Math.pow expects numbers")
+		}
+		val, _, err := t.allocFloat(math.Pow(a, b))
+		return val, err
+	})
+	v.SetConst("PI", object.Nil) // replaced below with a boxed float
+	o, err := v.Heap.AllocObject(v.Mem, v.setupTS(), object.TFloat, v.typeClass[object.TFloat])
+	if err == nil {
+		v.Mem.Store(o.AddrOf(object.SlotA), simmem.Word{Bits: floatBits(math.Pi)})
+		v.pinned = append(v.pinned, o)
+		v.SetConst("PI", object.RefVal(o))
+	}
+}
+
+// setupTS is the allocator state used at load time (global lists).
+func (v *VM) setupTS() heap.ThreadSlots { return heap.ThreadSlots{} }
+
+func (v *VM) installString(strC *object.RClass) {
+	v.DefineNative(strC, "length", 0, false, strLen)
+	v.DefineNative(strC, "size", 0, false, strLen)
+	v.DefineNative(strC, "to_i", 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		s := strings.TrimSpace(self.Ref.Str)
+		end := 0
+		for end < len(s) && (s[end] == '-' || s[end] == '+' || (s[end] >= '0' && s[end] <= '9')) {
+			end++
+		}
+		n, _ := strconv.ParseInt(s[:end], 10, 64)
+		return object.FixVal(n), nil
+	})
+	v.DefineNative(strC, "to_f", 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		fl, _ := strconv.ParseFloat(strings.TrimSpace(self.Ref.Str), 64)
+		val, _, err := t.allocFloat(fl)
+		return val, err
+	})
+	v.DefineNative(strC, "to_s", 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		return self, nil
+	})
+	v.DefineNative(strC, "to_sym", 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		return object.SymVal(t.vm.Syms.Intern(self.Ref.Str)), nil
+	})
+	v.DefineNative(strC, "empty?", 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		return object.BoolVal(len(self.Ref.Str) == 0), nil
+	})
+	v.DefineNative(strC, "split", 1, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		if !t.isString(args[0]) {
+			return object.Nil, fmt.Errorf("split expects a String separator")
+		}
+		parts := strings.Split(self.Ref.Str, args[0].Ref.Str)
+		return t.makeStringArray(parts)
+	})
+	v.DefineNative(strC, "include?", 1, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		return object.BoolVal(strings.Contains(self.Ref.Str, args[0].Ref.Str)), nil
+	})
+	v.DefineNative(strC, "start_with?", 1, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		return object.BoolVal(strings.HasPrefix(self.Ref.Str, args[0].Ref.Str)), nil
+	})
+	v.DefineNative(strC, "index", 1, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		i := strings.Index(self.Ref.Str, args[0].Ref.Str)
+		if i < 0 {
+			return object.Nil, nil
+		}
+		return object.FixVal(int64(i)), nil
+	})
+	v.DefineNative(strC, "upcase", 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		o, _, err := t.allocString(strings.ToUpper(self.Ref.Str))
+		if err != nil {
+			return object.Nil, err
+		}
+		return object.RefVal(o), nil
+	})
+	v.DefineNative(strC, "downcase", 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		o, _, err := t.allocString(strings.ToLower(self.Ref.Str))
+		if err != nil {
+			return object.Nil, err
+		}
+		return object.RefVal(o), nil
+	})
+	v.DefineNative(strC, "strip", 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		o, _, err := t.allocString(strings.TrimSpace(self.Ref.Str))
+		if err != nil {
+			return object.Nil, err
+		}
+		return object.RefVal(o), nil
+	})
+	v.DefineNative(strC, "slice", 2, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		s := self.Ref.Str
+		from, n := args[0].Fix, args[1].Fix
+		if from < 0 || from > int64(len(s)) {
+			return object.Nil, nil
+		}
+		to := from + n
+		if to > int64(len(s)) {
+			to = int64(len(s))
+		}
+		o, _, err := t.allocString(s[from:to])
+		if err != nil {
+			return object.Nil, err
+		}
+		return object.RefVal(o), nil
+	})
+}
+
+func strLen(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+	return object.FixVal(int64(len(self.Ref.Str))), nil
+}
+
+func (t *RThread) makeStringArray(parts []string) (object.Value, error) {
+	arr, _, err := t.allocArray(len(parts))
+	if err != nil {
+		return object.Nil, err
+	}
+	for _, p := range parts {
+		o, _, err := t.allocString(p)
+		if err != nil {
+			return object.Nil, err
+		}
+		if _, err := t.arrayPush(arr, object.RefVal(o)); err != nil {
+			return object.Nil, err
+		}
+	}
+	return object.RefVal(arr), nil
+}
+
+func (v *VM) installArray(arrC *object.RClass) {
+	v.DefineStatic(arrC, "new", -1, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		n := 0
+		if len(args) > 0 {
+			if args[0].Kind != object.KFixnum {
+				return object.Nil, fmt.Errorf("Array.new expects a size")
+			}
+			n = int(args[0].Fix)
+		}
+		init := object.Nil
+		if len(args) > 1 {
+			init = args[1]
+		}
+		arr, _, err := t.allocArray(n)
+		if err != nil {
+			return object.Nil, err
+		}
+		base := simmem.Addr(t.acc.Load(arr.AddrOf(object.SlotA)).Bits)
+		for i := 0; i < n; i++ {
+			t.acc.Store(base+simmem.Addr(i*simmem.WordBytes), init.Word())
+		}
+		t.acc.Store(arr.AddrOf(object.SlotB), simmem.Word{Bits: uint64(n)})
+		return object.RefVal(arr), nil
+	})
+	lenFn := func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		return object.FixVal(t.arrayLen(self.Ref)), nil
+	}
+	v.DefineNative(arrC, "length", 0, false, lenFn)
+	v.DefineNative(arrC, "size", 0, false, lenFn)
+	v.DefineNative(arrC, "push", 1, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		if _, err := t.arrayPush(self.Ref, args[0]); err != nil {
+			return object.Nil, err
+		}
+		return self, nil
+	})
+	v.DefineNative(arrC, "first", 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		val, _ := t.arrayGet(self.Ref, 0)
+		return val, nil
+	})
+	v.DefineNative(arrC, "last", 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		val, _ := t.arrayGet(self.Ref, t.arrayLen(self.Ref)-1)
+		return val, nil
+	})
+	v.DefineNative(arrC, "join", 1, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		sep := ""
+		if t.isString(args[0]) {
+			sep = args[0].Ref.Str
+		}
+		n := t.arrayLen(self.Ref)
+		parts := make([]string, n)
+		for i := int64(0); i < n; i++ {
+			el, _ := t.arrayGet(self.Ref, i)
+			parts[i], _ = t.toS(el)
+		}
+		o, _, err := t.allocString(strings.Join(parts, sep))
+		if err != nil {
+			return object.Nil, err
+		}
+		return object.RefVal(o), nil
+	})
+}
+
+func (v *VM) installHash(hashC *object.RClass) {
+	v.DefineStatic(hashC, "new", 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		h, _, err := t.allocHash(0)
+		if err != nil {
+			return object.Nil, err
+		}
+		return object.RefVal(h), nil
+	})
+	sizeFn := func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		return object.FixVal(int64(t.acc.Load(self.Ref.AddrOf(object.SlotB)).Bits)), nil
+	}
+	v.DefineNative(hashC, "size", 0, false, sizeFn)
+	v.DefineNative(hashC, "length", 0, false, sizeFn)
+	v.DefineNative(hashC, "keys", 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		keys, _ := t.hashKeys(self.Ref)
+		arr, _, err := t.allocArray(len(keys))
+		if err != nil {
+			return object.Nil, err
+		}
+		for _, k := range keys {
+			if _, err := t.arrayPush(arr, k); err != nil {
+				return object.Nil, err
+			}
+		}
+		return object.RefVal(arr), nil
+	})
+	v.DefineNative(hashC, "has_key?", 1, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		keys, _ := t.hashKeys(self.Ref)
+		for _, k := range keys {
+			if hashKeyEq(k, args[0]) {
+				return object.True, nil
+			}
+		}
+		return object.False, nil
+	})
+}
+
+func (v *VM) installRange(rangeC *object.RClass) {
+	v.DefineNative(rangeC, "first", 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		return object.FromWord(t.acc.Load(self.Ref.AddrOf(object.SlotA))), nil
+	})
+	v.DefineNative(rangeC, "last", 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		return object.FromWord(t.acc.Load(self.Ref.AddrOf(object.SlotB))), nil
+	})
+	v.DefineNative(rangeC, "exclude_end?", 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		return object.BoolVal(t.acc.Load(self.Ref.AddrOf(object.SlotC)).Bits == 1), nil
+	})
+}
+
+func (v *VM) installThreading(threadC, mutexC, condC *object.RClass) {
+	v.DefineStatic(threadC, "new", -1, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		if !blk.valid() {
+			return object.Nil, fmt.Errorf("Thread.new requires a block")
+		}
+		if t.inTx() {
+			// Spawning a thread is a scheduling side effect: GIL territory.
+			t.hctx.RestrictedOp()
+			return object.Nil, errRedo
+		}
+		thObj, err := t.allocObject(object.TThread, threadC)
+		if err != nil {
+			return object.Nil, err
+		}
+		child := t.vm.newRThread(fmt.Sprintf("ruby-%d", len(t.vm.threads)))
+		if child == nil {
+			return object.Nil, fmt.Errorf("vm: thread limit exceeded")
+		}
+		child.thrObj = thObj
+		thObj.Native = child
+		cp := make([]object.Value, len(args))
+		copy(cp, args)
+		child.pushEntry(blk.iseq, blk.self, blk.env, cp)
+		child.spawn(now + 2000)
+		return object.RefVal(thObj), nil
+	})
+	joinish := func(value bool) NativeFn {
+		return func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+			child, ok := self.Ref.Native.(*RThread)
+			if !ok {
+				return object.Nil, fmt.Errorf("join on dead thread object")
+			}
+			if child.finished {
+				if value {
+					return child.result, nil
+				}
+				return self, nil
+			}
+			child.joiners = append(child.joiners, t)
+			return object.Nil, ErrBlocked
+		}
+	}
+	v.DefineNative(threadC, "join", 0, true, joinish(false))
+	v.DefineNative(threadC, "value", 0, true, joinish(true))
+	v.DefineNative(threadC, "alive?", 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		child, ok := self.Ref.Native.(*RThread)
+		return object.BoolVal(ok && !child.finished), nil
+	})
+
+	v.DefineStatic(mutexC, "new", 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		o, err := t.allocObject(object.TMutex, mutexC)
+		if err != nil {
+			return object.Nil, err
+		}
+		o.Native = &mutexData{}
+		t.acc.Store(o.AddrOf(object.SlotA), simmem.Word{Bits: 0})
+		return object.RefVal(o), nil
+	})
+	v.DefineNative(mutexC, "lock", 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		md := self.Ref.Native.(*mutexData)
+		owner := t.acc.Load(self.Ref.AddrOf(object.SlotA)).Bits
+		if owner == uint64(t.ctxID+1) {
+			// Either the unlock handoff stamped us as owner while we were
+			// parked, or a transaction that observed the handoff aborted
+			// and this is the retry. The lock word in simulated memory is
+			// the source of truth (it rolls back with aborted transactions;
+			// host-side state does not), so owner==self always means ours.
+			// True recursive locking is unsupported and behaves as a
+			// reentrant no-op (documented deviation from ThreadError).
+			t.nativeState = nil
+			return self, nil
+		}
+		if owner == 0 && len(md.waiters) == 0 {
+			// Uncontended fast path: a plain transactional store, exactly
+			// like CRuby's atomic lock word. Conflicts are detected by the
+			// HTM substrate.
+			t.acc.Store(self.Ref.AddrOf(object.SlotA), simmem.Word{Bits: uint64(t.ctxID + 1)})
+			trace("t%d LOCK ok inTx=%v", t.ctxID, t.inTx())
+			return self, nil
+		}
+		// Contended: parking is a scheduling side effect.
+		if t.inTx() {
+			t.hctx.RestrictedOp()
+			return object.Nil, errRedo
+		}
+		if owner == 0 {
+			// Free but with queued waiters: take it fairly only if we were
+			// the woken waiter (our ctx id was stamped by unlock).
+			t.acc.Store(self.Ref.AddrOf(object.SlotA), simmem.Word{Bits: uint64(t.ctxID + 1)})
+			return self, nil
+		}
+		md.waiters = append(md.waiters, t)
+		t.nativeState = "mutex-wait"
+		trace("t%d LOCK enqueue (owner=%d)", t.ctxID, owner)
+		return object.Nil, ErrBlocked
+	})
+	v.DefineNative(mutexC, "unlock", 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		md := self.Ref.Native.(*mutexData)
+		owner := t.acc.Load(self.Ref.AddrOf(object.SlotA)).Bits
+		if owner != uint64(t.ctxID+1) {
+			return object.Nil, fmt.Errorf("unlock of mutex not owned (owner=%d, self=%d)", owner, t.ctxID+1)
+		}
+		if len(md.waiters) > 0 {
+			if t.inTx() {
+				// Waking a waiter cannot happen speculatively.
+				t.hctx.RestrictedOp()
+				return object.Nil, errRedo
+			}
+			next := md.waiters[0]
+			md.waiters = md.waiters[1:]
+			t.acc.Store(self.Ref.AddrOf(object.SlotA), simmem.Word{Bits: uint64(next.ctxID + 1)})
+			t.vm.Engine.Wake(next.sth, now+200)
+			trace("t%d UNLOCK handoff to %d", t.ctxID, next.ctxID)
+			return self, nil
+		}
+		t.acc.Store(self.Ref.AddrOf(object.SlotA), simmem.Word{Bits: 0})
+		trace("t%d UNLOCK free inTx=%v", t.ctxID, t.inTx())
+		return self, nil
+	})
+
+	v.DefineStatic(condC, "new", 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		o, err := t.allocObject(object.TCond, condC)
+		if err != nil {
+			return object.Nil, err
+		}
+		o.Native = &condData{}
+		return object.RefVal(o), nil
+	})
+	v.DefineNative(condC, "wait", 1, true, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+		cd := self.Ref.Native.(*condData)
+		mu := args[0]
+		if mu.Kind != object.KRef || mu.Ref.Type != object.TMutex {
+			return object.Nil, fmt.Errorf("ConditionVariable#wait expects a Mutex")
+		}
+		md := mu.Ref.Native.(*mutexData)
+		switch t.nativeState {
+		case nil:
+			// Release the mutex and park on the condition.
+			owner := t.acc.Load(mu.Ref.AddrOf(object.SlotA)).Bits
+			if owner != uint64(t.ctxID+1) {
+				return object.Nil, fmt.Errorf("wait without holding the mutex")
+			}
+			if len(md.waiters) > 0 {
+				next := md.waiters[0]
+				md.waiters = md.waiters[1:]
+				t.acc.Store(mu.Ref.AddrOf(object.SlotA), simmem.Word{Bits: uint64(next.ctxID + 1)})
+				t.vm.Engine.Wake(next.sth, now+200)
+			} else {
+				t.acc.Store(mu.Ref.AddrOf(object.SlotA), simmem.Word{Bits: 0})
+			}
+			cd.waiters = append(cd.waiters, t)
+			t.nativeState = "cv-signaled"
+			return object.Nil, ErrBlocked
+		case "cv-signaled":
+			// Re-acquire the mutex.
+			owner := t.acc.Load(mu.Ref.AddrOf(object.SlotA)).Bits
+			if owner == 0 {
+				t.acc.Store(mu.Ref.AddrOf(object.SlotA), simmem.Word{Bits: uint64(t.ctxID + 1)})
+				t.nativeState = nil
+				return self, nil
+			}
+			md.waiters = append(md.waiters, t)
+			t.nativeState = "cv-relock"
+			return object.Nil, ErrBlocked
+		case "cv-relock":
+			// Woken by unlock handoff: we own the mutex now.
+			t.nativeState = nil
+			return self, nil
+		}
+		return object.Nil, fmt.Errorf("ConditionVariable#wait: bad state")
+	})
+	wakeFn := func(all bool) NativeFn {
+		return func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
+			cd := self.Ref.Native.(*condData)
+			if len(cd.waiters) == 0 {
+				return self, nil
+			}
+			if t.inTx() {
+				t.hctx.RestrictedOp()
+				return object.Nil, errRedo
+			}
+			n := 1
+			if all {
+				n = len(cd.waiters)
+			}
+			for i := 0; i < n; i++ {
+				t.vm.Engine.Wake(cd.waiters[i].sth, now+200+int64(i)*50)
+			}
+			cd.waiters = cd.waiters[n:]
+			return self, nil
+		}
+	}
+	v.DefineNative(condC, "signal", 0, false, wakeFn(false))
+	v.DefineNative(condC, "broadcast", 0, false, wakeFn(true))
+}

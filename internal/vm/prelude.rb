@@ -1,0 +1,315 @@
+# Prelude: core library methods implemented in mini-Ruby itself.
+# Iterators are bytecode (while + yield), so their loop back-edges and sends
+# are yield points — transactions can end and begin inside `each`, exactly
+# as they can inside CRuby's interpreted callers of rb_yield.
+
+class Integer
+  def times
+    i = 0
+    while i < self
+      yield i
+      i += 1
+    end
+    self
+  end
+
+  def upto(n)
+    i = self
+    while i <= n
+      yield i
+      i += 1
+    end
+    self
+  end
+
+  def downto(n)
+    i = self
+    while i >= n
+      yield i
+      i -= 1
+    end
+    self
+  end
+
+  def zero?
+    self == 0
+  end
+
+  def min2(b)
+    if self < b
+      self
+    else
+      b
+    end
+  end
+
+  def max2(b)
+    if self > b
+      self
+    else
+      b
+    end
+  end
+end
+
+class Range
+  def each
+    i = first
+    if exclude_end?
+      while i < last
+        yield i
+        i += 1
+      end
+    else
+      while i <= last
+        yield i
+        i += 1
+      end
+    end
+    self
+  end
+
+  def to_a
+    out = []
+    i = first
+    lim = last
+    if exclude_end?
+      while i < lim
+        out << i
+        i += 1
+      end
+    else
+      while i <= lim
+        out << i
+        i += 1
+      end
+    end
+    out
+  end
+
+  def size
+    if exclude_end?
+      last - first
+    else
+      last - first + 1
+    end
+  end
+end
+
+class Array
+  def each
+    i = 0
+    n = length
+    while i < n
+      yield self[i]
+      i += 1
+    end
+    self
+  end
+
+  def each_index
+    i = 0
+    n = length
+    while i < n
+      yield i
+      i += 1
+    end
+    self
+  end
+
+  def each_with_index
+    i = 0
+    n = length
+    while i < n
+      yield self[i], i
+      i += 1
+    end
+    self
+  end
+
+  def map
+    out = []
+    i = 0
+    n = length
+    while i < n
+      out << yield(self[i])
+      i += 1
+    end
+    out
+  end
+
+  def include?(x)
+    i = 0
+    n = length
+    while i < n
+      if self[i] == x
+        return true
+      end
+      i += 1
+    end
+    false
+  end
+
+  def empty?
+    length == 0
+  end
+
+  def sum
+    s = 0
+    i = 0
+    n = length
+    while i < n
+      s += self[i]
+      i += 1
+    end
+    s
+  end
+end
+
+class Hash
+  def each
+    ks = keys
+    i = 0
+    n = ks.length
+    while i < n
+      k = ks[i]
+      yield k, self[k]
+      i += 1
+    end
+    self
+  end
+
+  def empty?
+    size == 0
+  end
+end
+
+class Mutex
+  def synchronize
+    lock
+    r = yield
+    unlock
+    r
+  end
+end
+
+# A cyclic barrier in plain Ruby, as the NPB-style workloads use between
+# phases. Built on Mutex and ConditionVariable only.
+class Barrier
+  def initialize(count)
+    @count = count
+    @arrived = 0
+    @generation = 0
+    @mutex = Mutex.new
+    @cond = ConditionVariable.new
+  end
+
+  def wait
+    @mutex.lock
+    gen = @generation
+    @arrived += 1
+    if @arrived == @count
+      @arrived = 0
+      @generation += 1
+      @cond.broadcast
+    else
+      while gen == @generation
+        @cond.wait(@mutex)
+      end
+    end
+    @mutex.unlock
+    nil
+  end
+end
+
+class Array
+  def reverse
+    out = []
+    i = length - 1
+    while i >= 0
+      out << self[i]
+      i -= 1
+    end
+    out
+  end
+
+  def min
+    i = 1
+    n = length
+    best = self[0]
+    while i < n
+      if self[i] < best
+        best = self[i]
+      end
+      i += 1
+    end
+    best
+  end
+
+  def max
+    i = 1
+    n = length
+    best = self[0]
+    while i < n
+      if self[i] > best
+        best = self[i]
+      end
+      i += 1
+    end
+    best
+  end
+
+  def sort
+    # Insertion sort: quadratic but allocation-light, like the small sorts
+    # the interpreter's own libraries use.
+    out = []
+    i = 0
+    n = length
+    while i < n
+      out << self[i]
+      i += 1
+    end
+    i = 1
+    while i < n
+      key = out[i]
+      j = i - 1
+      while j >= 0 && out[j] > key
+        out[j + 1] = out[j]
+        j -= 1
+      end
+      out[j + 1] = key
+      i += 1
+    end
+    out
+  end
+
+  def select
+    out = []
+    i = 0
+    n = length
+    while i < n
+      if yield(self[i])
+        out << self[i]
+      end
+      i += 1
+    end
+    out
+  end
+
+  def count
+    length
+  end
+end
+
+class Integer
+  def gcd(b)
+    a = abs
+    b = b.abs
+    while b != 0
+      t = b
+      b = a % b
+      a = t
+    end
+    a
+  end
+end

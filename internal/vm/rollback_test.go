@@ -1,0 +1,226 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"htmgil/internal/htm"
+)
+
+// TestRollbackEquivalence is the central speculation property: any program
+// must produce identical output under HTM (with its aborts, rollbacks and
+// GIL fallbacks) as under the plain GIL, as long as it is properly
+// synchronized. The programs below stress every category of private state
+// the undo log protects: operand stacks, host locals, frame pushes/pops,
+// plus the memory-resident state that rolls back with transactions.
+func TestRollbackEquivalence(t *testing.T) {
+	programs := []string{
+		// Deep recursion with mid-frame aborts likely (allocation-heavy).
+		`
+def deep(n, acc)
+  if n == 0
+    acc
+  else
+    deep(n - 1, acc + n * 1.0)
+  end
+end
+m = Mutex.new
+out = Array.new(6, 0.0)
+threads = []
+i = 0
+while i < 6
+  threads << Thread.new(i) do |me|
+    j = 0
+    s = 0.0
+    while j < 40
+      s += deep(12, 0.0)
+      j += 1
+    end
+    out[me] = s
+  end
+  i += 1
+end
+threads.each do |th| th.join end
+puts out.join(",")
+`,
+		// Hash growth and string building across yield points.
+		`
+results = Array.new(4, "")
+threads = []
+i = 0
+while i < 4
+  threads << Thread.new(i) do |me|
+    h = {}
+    j = 0
+    while j < 120
+      h["k#{j}"] = j * me
+      j += 1
+    end
+    results[me] = "#{h.size}:#{h["k7"]}"
+  end
+  i += 1
+end
+threads.each do |th| th.join end
+puts results.join(" ")
+`,
+		// Ivar mutation through accessors under contention on the class.
+		`
+class Acc
+  attr_accessor :v
+  def initialize
+    @v = 0
+  end
+  def bump(n)
+    @v = @v + n
+    self
+  end
+end
+outs = Array.new(5, 0)
+threads = []
+i = 0
+while i < 5
+  threads << Thread.new(i) do |me|
+    a = Acc.new
+    j = 0
+    while j < 200
+      a.bump(1)
+      j += 1
+    end
+    outs[me] = a.v
+  end
+  i += 1
+end
+threads.each do |th| th.join end
+puts outs.join(",")
+`,
+	}
+	for pi, src := range programs {
+		var want string
+		for _, mode := range []Mode{ModeGIL, ModeHTM, ModeFGL, ModeIdeal} {
+			res, _ := runSrc(t, mode, src)
+			if mode == ModeGIL {
+				want = res.Output
+				continue
+			}
+			if res.Output != want {
+				t.Fatalf("program %d: mode %v output %q != GIL %q", pi, mode, res.Output, want)
+			}
+		}
+	}
+}
+
+// TestRollbackEquivalenceProperty generates random arithmetic thread
+// bodies and checks GIL/HTM output equivalence.
+func TestRollbackEquivalenceProperty(t *testing.T) {
+	f := func(a, b, c uint8, iters uint8) bool {
+		n := int(iters%50) + 20
+		src := `
+outs = Array.new(3, 0)
+threads = []
+i = 0
+while i < 3
+  threads << Thread.new(i) do |me|
+    x = ` + testItoa(int(a)) + `
+    j = 0
+    while j < ` + testItoa(n) + `
+      x = x * ` + testItoa(int(b%7)+2) + ` % 10007 + ` + testItoa(int(c)) + ` - me
+      j += 1
+    end
+    outs[me] = x
+  end
+  i += 1
+end
+threads.each do |th| th.join end
+puts outs.join(",")
+`
+		r1, _ := runSrc(t, ModeGIL, src)
+		r2, _ := runSrc(t, ModeHTM, src)
+		return r1.Output == r2.Output && strings.Count(r1.Output, ",") == 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecycledThreadStructsStayCoherent spawns far more threads over a
+// run's lifetime than there are contexts, exercising struct recycling.
+func TestRecycledThreadStructsStayCoherent(t *testing.T) {
+	src := `
+total = 0
+m = Mutex.new
+wave = 0
+while wave < 10
+  threads = []
+  i = 0
+  while i < 20
+    threads << Thread.new(i) do |me|
+      local = [me, me * 2, me * 3].sum
+      m.synchronize do
+        total += local
+      end
+    end
+    i += 1
+  end
+  threads.each do |th| th.join end
+  wave += 1
+end
+puts total
+`
+	// sum over i of 6i for i in 0..19 = 6*190 = 1140; times 10 waves.
+	for _, mode := range []Mode{ModeGIL, ModeHTM} {
+		expectOut(t, mode, src, "11400\n")
+	}
+}
+
+func testItoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	if neg {
+		return "-" + string(b)
+	}
+	return string(b)
+}
+
+// TestXeonProfileRuns exercises the SMT machine end to end.
+func TestXeonProfileRuns(t *testing.T) {
+	opt := DefaultOptions(htm.XeonE3(), ModeHTM)
+	v := New(opt)
+	iseq, err := v.CompileSource(`
+threads = []
+i = 0
+while i < 8
+  threads << Thread.new do
+    x = 0.0
+    j = 0
+    while j < 500
+      x += j * 1.5
+      j += 1
+    end
+  end
+  i += 1
+end
+threads.each do |th| th.join end
+puts "done"
+`, "xeon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := v.Run(iseq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Output, "done") {
+		t.Fatalf("output = %q", res.Output)
+	}
+}

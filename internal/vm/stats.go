@@ -1,0 +1,89 @@
+package vm
+
+import (
+	"htmgil/internal/htm"
+	"htmgil/internal/simmem"
+)
+
+// CycleCat is a cycle-breakdown category, matching Figure 8 of the paper.
+type CycleCat int
+
+// Breakdown categories.
+const (
+	CatBeginEnd  CycleCat = iota // transaction begin/end instruction overhead
+	CatTxSuccess                 // cycles inside committed transactions
+	CatTxAborted                 // cycles wasted in aborted transactions (incl. penalty)
+	CatGILHeld                   // cycles executing while holding the GIL
+	CatGILWait                   // cycles waiting for the GIL (spin or acquire)
+	CatIOWait                    // cycles blocked on I/O or synchronization
+	CatOther                     // non-critical-section execution (FGL/Ideal modes)
+	NumCats
+)
+
+// String names the category.
+func (c CycleCat) String() string {
+	switch c {
+	case CatBeginEnd:
+		return "tx-begin/end"
+	case CatTxSuccess:
+		return "successful-tx"
+	case CatTxAborted:
+		return "aborted-tx"
+	case CatGILHeld:
+		return "gil-held"
+	case CatGILWait:
+		return "gil-wait"
+	case CatIOWait:
+		return "io-wait"
+	default:
+		return "other"
+	}
+}
+
+// ThreadStats is per-Ruby-thread accounting.
+type ThreadStats struct {
+	Cycles    [NumCats]int64
+	Bytecodes uint64
+	Yields    uint64 // transaction yields / GIL yields taken
+}
+
+// Stats aggregates a whole run.
+type Stats struct {
+	Threads   int
+	Cycles    [NumCats]int64
+	Bytecodes uint64
+	Yields    uint64
+
+	HTM *htm.Stats // nil outside HTM mode
+
+	GCs      uint64
+	GCCycles int64
+
+	// ConflictRegions attributes conflict aborts to memory regions
+	// (freelist, malloc, ic, threadstruct, gil, heap data, ...).
+	ConflictRegions map[string]uint64
+
+	// AbortCauses counts aborts by cause.
+	AbortCauses map[simmem.AbortCause]uint64
+
+	// LengthHistogram samples the per-yield-point transaction lengths at
+	// the end of the run (HTM-dynamic only): length -> yield-point count.
+	LengthHistogram map[int32]int
+}
+
+// AbortRatio returns aborted transactions over started transactions.
+func (s *Stats) AbortRatio() float64 {
+	if s.HTM == nil {
+		return 0
+	}
+	return s.HTM.AbortRatio()
+}
+
+// TotalCycles sums all categories.
+func (s *Stats) TotalCycles() int64 {
+	var t int64
+	for _, c := range s.Cycles {
+		t += c
+	}
+	return t
+}

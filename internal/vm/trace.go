@@ -1,0 +1,17 @@
+package vm
+
+import "fmt"
+
+// debugTrace is a development aid: a small ring of recent control events.
+var debugTrace []string
+var debugOn = false
+
+func trace(format string, args ...any) {
+	if !debugOn {
+		return
+	}
+	debugTrace = append(debugTrace, fmt.Sprintf(format, args...))
+	if len(debugTrace) > 400 {
+		debugTrace = debugTrace[len(debugTrace)-400:]
+	}
+}

@@ -1,0 +1,62 @@
+package webrick
+
+import (
+	"testing"
+
+	"htmgil/internal/htm"
+	"htmgil/internal/vm"
+)
+
+func TestWebrickServesRequests(t *testing.T) {
+	for _, mode := range []vm.Mode{vm.ModeGIL, vm.ModeHTM} {
+		res, err := Run(Config{
+			Prof: htm.XeonE3(), Mode: mode, Clients: 2, Requests: 40,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.Completed != 40 {
+			t.Fatalf("%v: completed=%d", mode, res.Completed)
+		}
+		if res.Throughput <= 0 {
+			t.Fatalf("%v: throughput=%f", mode, res.Throughput)
+		}
+	}
+}
+
+func TestWebrickConcurrentClients(t *testing.T) {
+	// Under the GIL, concurrency still helps because the lock is released
+	// around socket I/O (the paper's Section 5.5 observation).
+	r1, err := Run(Config{Prof: htm.XeonE3(), Mode: vm.ModeGIL, Clients: 1, Requests: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Run(Config{Prof: htm.XeonE3(), Mode: vm.ModeGIL, Clients: 4, Requests: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.Throughput <= r1.Throughput {
+		t.Fatalf("no I/O-overlap benefit: 1 client %f vs 4 clients %f", r1.Throughput, r4.Throughput)
+	}
+}
+
+// TestWebrickHTMBeatsGILWhenConverged reproduces the Figure 7 headline on
+// Xeon: with enough requests for the dynamic adjustment to adapt, HTM
+// outperforms the GIL (the paper reports +57%).
+func TestWebrickHTMBeatsGILWhenConverged(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long calibration test")
+	}
+	g, err := Run(Config{Prof: htm.XeonE3(), Mode: vm.ModeGIL, Clients: 4, Requests: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Run(Config{Prof: htm.XeonE3(), Mode: vm.ModeHTM, Clients: 4, Requests: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Throughput <= g.Throughput {
+		t.Fatalf("HTM (%f req/s) did not beat GIL (%f req/s)", h.Throughput, g.Throughput)
+	}
+	t.Logf("HTM/GIL throughput ratio: %.2f (abort ratio %.1f%%)", h.Throughput/g.Throughput, h.AbortRatio*100)
+}
