@@ -2,11 +2,18 @@
 //
 //	htmgil-bench -experiment all -quick
 //	htmgil-bench -experiment fig5
+//	htmgil-bench -experiment fig6b -quick -trace-summary
+//	htmgil-bench -experiment fig8 -quick -report reports.json
 //
 // Experiments: micro fig5 fig6a fig6b fig7 fig8 fig9 aborts overhead
 // ablation all. -quick uses scaled-down problem sizes and fewer thread
 // counts; without it the full (paper-shaped) sweep runs, which takes tens
 // of minutes on one host core.
+//
+// -trace-summary attaches an event aggregator to every run and appends
+// per-point digests (top abort-causing yield points, length-adjustment
+// timelines). -report FILE writes one machine-readable JSON record per
+// configuration point ("-" for stdout).
 package main
 
 import (
@@ -20,9 +27,33 @@ import (
 func main() {
 	experiment := flag.String("experiment", "all", "which experiment to regenerate")
 	quick := flag.Bool("quick", false, "scaled-down problem sizes")
+	traceSummary := flag.Bool("trace-summary", false, "print per-point trace digests (abort PCs, length timelines)")
+	report := flag.String("report", "", "write per-point JSON reports to this file (\"-\" = stdout)")
 	flag.Parse()
-	if err := bench.ByName(*experiment, os.Stdout, *quick); err != nil {
+
+	s := bench.NewSession(os.Stdout, *quick)
+	s.TraceSummary = *traceSummary
+	if err := s.Run(*experiment); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
+	}
+	if *traceSummary {
+		s.WriteTraceSummaries(os.Stdout)
+	}
+	if *report != "" {
+		out := os.Stdout
+		if *report != "-" {
+			f, err := os.Create(*report)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := s.WriteReports(out); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -4,7 +4,8 @@
 //	htmgil -mode gil -e 'puts 1 + 2'
 //
 // After the program finishes it can print the execution statistics the
-// paper's evaluation is built from (-stats).
+// paper's evaluation is built from (-stats), and -trace out.jsonl streams
+// every transaction/GIL/GC event of the run as JSON lines.
 package main
 
 import (
@@ -24,6 +25,7 @@ func main() {
 	txlen := flag.Int("txlen", 0, "fixed transaction length (0 = dynamic adjustment)")
 	stats := flag.Bool("stats", false, "print execution statistics")
 	dump := flag.Bool("dump", false, "disassemble the program instead of running it")
+	traceOut := flag.String("trace", "", "write structured trace events to this JSONL file")
 	flag.Parse()
 
 	var prof *htmgil.Profile
@@ -68,6 +70,17 @@ func main() {
 	opt := htmgil.DefaultOptions(prof, m)
 	opt.TxLength = int32(*txlen)
 	opt.Out = os.Stdout
+	var traceSink *htmgil.TraceJSONL
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		traceSink = htmgil.NewTraceJSONL(f)
+		opt.Trace = htmgil.NewTraceRecorder(traceSink)
+	}
 	vmm := htmgil.NewMachineOpts(opt)
 	if *dump {
 		iseq, err := vmm.VM.CompileSource(src, "main")
@@ -82,6 +95,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
+	}
+	if traceSink != nil {
+		if werr := traceSink.Err(); werr != nil {
+			fmt.Fprintln(os.Stderr, "trace:", werr)
+			os.Exit(1)
+		}
 	}
 	if *stats {
 		fmt.Fprintf(os.Stderr, "\n-- %s on %s --\n", m, prof.Name)

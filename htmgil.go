@@ -21,6 +21,8 @@
 package htmgil
 
 import (
+	"io"
+
 	"htmgil/internal/htm"
 	"htmgil/internal/npb"
 	"htmgil/internal/railslite"
@@ -59,6 +61,31 @@ func DefaultOptions(p *Profile, mode Mode) Options { return vm.DefaultOptions(p,
 // Stats is the per-run statistics bundle (cycle breakdown, abort causes,
 // conflict regions, transaction-length histogram).
 type Stats = vm.Stats
+
+// Tracing: attach a TraceRecorder to Options.Trace to receive structured
+// events (transaction begin/commit/abort, GIL transfers, length
+// adjustments, GC) from every layer of a run.
+type (
+	// TraceRecorder fans events out to sinks and keeps per-context rings.
+	TraceRecorder = vm.TraceRecorder
+	// TraceEvent is one structured trace record.
+	TraceEvent = vm.TraceEvent
+	// TraceSink consumes events emitted during a run.
+	TraceSink = vm.TraceSink
+	// TraceAggregator reconstructs run statistics from the event stream.
+	TraceAggregator = vm.TraceAggregator
+	// TraceJSONL streams events as JSON lines.
+	TraceJSONL = vm.TraceJSONL
+)
+
+// NewTraceRecorder creates a recorder forwarding to the given sinks.
+func NewTraceRecorder(sinks ...TraceSink) *TraceRecorder { return vm.NewTraceRecorder(sinks...) }
+
+// NewTraceJSONL creates a sink writing one JSON object per event to w.
+func NewTraceJSONL(w io.Writer) *TraceJSONL { return vm.NewTraceJSONL(w) }
+
+// NewTraceAggregator creates an in-memory aggregating sink.
+func NewTraceAggregator() *TraceAggregator { return vm.NewTraceAggregator() }
 
 // RunResult is the outcome of executing a program.
 type RunResult = vm.RunResult

@@ -1,7 +1,15 @@
 // Package bench regenerates every table and figure of the paper's
-// evaluation (Section 5) on the simulated machines. Each Fig* function
+// evaluation (Section 5) on the simulated machines. Each experiment
 // writes a plain-text table whose rows correspond to the points of the
 // original plot; EXPERIMENTS.md records the comparison against the paper.
+//
+// Experiments run inside a Session, which accumulates one machine-readable
+// Report per executed configuration point (WriteReports) and, when
+// TraceSummary is on, attaches a trace aggregator to every VM run so the
+// per-point digests can attribute aborts to yield points and regions and
+// show the dynamic length-adjustment timeline (WriteTraceSummaries). The
+// package-level Fig*/Table functions are thin wrappers over a fresh Session
+// for callers that only want the plain-text tables.
 package bench
 
 import (
@@ -13,6 +21,7 @@ import (
 	"htmgil/internal/npb"
 	"htmgil/internal/railslite"
 	"htmgil/internal/simmem"
+	"htmgil/internal/trace"
 	"htmgil/internal/vm"
 	"htmgil/internal/webrick"
 )
@@ -56,20 +65,100 @@ func classFor(quick bool) npb.Class {
 	return npb.ClassW
 }
 
+// Session runs experiments and accumulates their results. The zero value
+// plus a writer is usable; NewSession fills in the defaults.
+type Session struct {
+	W     io.Writer
+	Quick bool
+	// TraceSummary attaches an event aggregator to every VM run so that
+	// Reports carry abort-PC attribution and length-adjustment timelines
+	// (and WriteTraceSummaries has something to print).
+	TraceSummary bool
+	// TopN bounds the abort-PC rankings kept per report (default 5).
+	TopN    int
+	Reports []Report
+}
+
+// NewSession returns a Session writing plain-text tables to w.
+func NewSession(w io.Writer, quick bool) *Session {
+	return &Session{W: w, Quick: quick, TopN: 5}
+}
+
+func (s *Session) topN() int {
+	if s.TopN > 0 {
+		return s.TopN
+	}
+	return 5
+}
+
+// attach creates the per-run aggregator and recorder when TraceSummary is
+// on; both are nil otherwise, keeping the instrumented runtime on its
+// nil-check fast path.
+func (s *Session) attach() (*trace.Aggregator, *trace.Recorder) {
+	if !s.TraceSummary {
+		return nil, nil
+	}
+	agg := trace.NewAggregator()
+	return agg, trace.NewRecorder(agg)
+}
+
+// runNPB executes one NPB point under explicit options and records it.
+func (s *Session) runNPB(exp, config string, b npb.Bench, opt vm.Options, threads int, c npb.Class) (*npb.Result, error) {
+	agg, rec := s.attach()
+	opt.Trace = rec
+	r, err := npb.Run(b, opt, threads, npb.ParamsFor(b, c))
+	if err != nil {
+		return nil, err
+	}
+	s.Reports = append(s.Reports,
+		newReport(exp, opt.Prof.Name, string(b), config, threads, 0, r.Cycles, 0, r.Stats, agg, s.topN()))
+	return r, nil
+}
+
 // runKernel executes one NPB configuration point.
-func runKernel(b npb.Bench, p *htm.Profile, cfg Config, threads int, c npb.Class) (*npb.Result, error) {
+func (s *Session) runKernel(exp string, b npb.Bench, p *htm.Profile, cfg Config, threads int, c npb.Class) (*npb.Result, error) {
 	opt := vm.DefaultOptions(p, cfg.Mode)
 	opt.TxLength = cfg.TxLength
-	return npb.Run(b, opt, threads, npb.ParamsFor(b, c))
+	return s.runNPB(exp, cfg.Name, b, opt, threads, c)
+}
+
+// serverPoint executes one Figure 7 server point and records it.
+func (s *Session) serverPoint(exp, app string, prof *htm.Profile, cfg Config, clients, requests int, zos bool) (float64, float64, error) {
+	agg, rec := s.attach()
+	var (
+		tp, ab float64
+		cycles int64
+		st     *vm.Stats
+	)
+	switch app {
+	case "webrick":
+		r, err := webrick.Run(webrick.Config{Prof: prof, Mode: cfg.Mode, TxLength: cfg.TxLength,
+			Clients: clients, Requests: requests, ZOSMalloc: zos, Trace: rec})
+		if err != nil {
+			return 0, 0, err
+		}
+		tp, ab, cycles, st = r.Throughput, r.AbortRatio, r.Cycles, r.Stats
+	default:
+		r, err := railslite.Run(railslite.Config{Prof: prof, Mode: cfg.Mode, TxLength: cfg.TxLength,
+			Clients: clients, Requests: requests, Trace: rec})
+		if err != nil {
+			return 0, 0, err
+		}
+		tp, ab, cycles, st = r.Throughput, r.AbortRatio, r.Cycles, r.Stats
+	}
+	s.Reports = append(s.Reports,
+		newReport(exp, prof.Name, app, cfg.Name, 0, clients, cycles, tp, st, agg, s.topN()))
+	return tp, ab, nil
 }
 
 // Fig5 regenerates Figure 5: NPB throughput against threads for the five
 // configurations on both machines, normalized to 1-thread GIL.
-func Fig5(w io.Writer, quick bool) error {
+func (s *Session) Fig5() error {
+	w, quick := s.W, s.Quick
 	for _, prof := range []*htm.Profile{htm.ZEC12(), htm.XeonE3()} {
 		for _, bench := range npb.Kernels {
 			fmt.Fprintf(w, "\n# Figure 5 — %s on %s (throughput, 1 = 1-thread GIL)\n", bench, prof.Name)
-			base, err := runKernel(bench, prof, Configs()[0], 1, classFor(quick))
+			base, err := s.runKernel("fig5", bench, prof, Configs()[0], 1, classFor(quick))
 			if err != nil {
 				return fmt.Errorf("fig5 baseline %s: %w", bench, err)
 			}
@@ -81,7 +170,7 @@ func Fig5(w io.Writer, quick bool) error {
 			for _, th := range threadsFor(prof, quick) {
 				fmt.Fprintf(w, "%-12d", th)
 				for _, cfg := range Configs() {
-					r, err := runKernel(bench, prof, cfg, th, classFor(quick))
+					r, err := s.runKernel("fig5", bench, prof, cfg, th, classFor(quick))
 					if err != nil {
 						return fmt.Errorf("fig5 %s/%s/%d: %w", bench, cfg.Name, th, err)
 					}
@@ -99,8 +188,10 @@ func Fig5(w io.Writer, quick bool) error {
 
 // Fig6a regenerates Figure 6(a): the TSX learning behaviour. A synthetic
 // transaction writes a shrinking working set; the success ratio recovers
-// only gradually after the set drops below capacity.
-func Fig6a(w io.Writer, quick bool) error {
+// only gradually after the set drops below capacity. It drives the HTM
+// layer directly (no VM run), so it contributes no Reports.
+func (s *Session) Fig6a() error {
+	w, quick := s.W, s.Quick
 	prof := htm.XeonE3()
 	prof.InterruptMeanCycles = 0
 	mem := simmem.NewMemory(simmem.Config{LineBytes: prof.LineBytes}, 1)
@@ -139,14 +230,15 @@ func Fig6a(w io.Writer, quick bool) error {
 
 // Fig6b regenerates Figure 6(b): BT with the larger class on Xeon, where
 // the longer run lets HTM-dynamic reach and beat the fixed lengths.
-func Fig6b(w io.Writer, quick bool) error {
+func (s *Session) Fig6b() error {
+	w, quick := s.W, s.Quick
 	prof := htm.XeonE3()
 	class := npb.ClassW
 	if quick {
 		class = npb.ClassS
 	}
 	fmt.Fprintf(w, "\n# Figure 6b — BT class W on %s (throughput, 1 = 1-thread GIL)\n", prof.Name)
-	base, err := runKernel(npb.BT, prof, Configs()[0], 1, class)
+	base, err := s.runKernel("fig6b", npb.BT, prof, Configs()[0], 1, class)
 	if err != nil {
 		return err
 	}
@@ -158,7 +250,7 @@ func Fig6b(w io.Writer, quick bool) error {
 	for _, th := range threadsFor(prof, quick) {
 		fmt.Fprintf(w, "%-12d", th)
 		for _, cfg := range Configs() {
-			r, err := runKernel(npb.BT, prof, cfg, th, class)
+			r, err := s.runKernel("fig6b", npb.BT, prof, cfg, th, class)
 			if err != nil {
 				return err
 			}
@@ -169,29 +261,10 @@ func Fig6b(w io.Writer, quick bool) error {
 	return nil
 }
 
-// serverConfigs mirrors Figure 7's five configurations.
-func serverPoint(app string, prof *htm.Profile, cfg Config, clients, requests int, zos bool) (float64, float64, error) {
-	switch app {
-	case "webrick":
-		r, err := webrick.Run(webrick.Config{Prof: prof, Mode: cfg.Mode, TxLength: cfg.TxLength,
-			Clients: clients, Requests: requests, ZOSMalloc: zos})
-		if err != nil {
-			return 0, 0, err
-		}
-		return r.Throughput, r.AbortRatio, nil
-	default:
-		r, err := railslite.Run(railslite.Config{Prof: prof, Mode: cfg.Mode, TxLength: cfg.TxLength,
-			Clients: clients, Requests: requests})
-		if err != nil {
-			return 0, 0, err
-		}
-		return r.Throughput, r.AbortRatio, nil
-	}
-}
-
 // Fig7 regenerates Figure 7: WEBrick on both machines and Rails on Xeon,
 // throughput normalized to 1-client GIL, plus HTM-dynamic abort ratios.
-func Fig7(w io.Writer, quick bool) error {
+func (s *Session) Fig7() error {
+	w, quick := s.W, s.Quick
 	// The dynamic adjustment needs enough requests to adapt the handler
 	// sites' transaction lengths (the paper served 30,000 per point).
 	requests := 3000
@@ -212,7 +285,7 @@ func Fig7(w io.Writer, quick bool) error {
 	}
 	for _, a := range apps {
 		fmt.Fprintf(w, "\n# Figure 7 — %s on %s (throughput, 1 = 1-client GIL; rightmost: HTM-dynamic abort%%)\n", a.name, a.prof.Name)
-		baseTp, _, err := serverPoint(a.name, a.prof, Configs()[0], 1, requests, a.zos)
+		baseTp, _, err := s.serverPoint("fig7", a.name, a.prof, Configs()[0], 1, requests, a.zos)
 		if err != nil {
 			return fmt.Errorf("fig7 %s baseline: %w", a.name, err)
 		}
@@ -225,7 +298,7 @@ func Fig7(w io.Writer, quick bool) error {
 			fmt.Fprintf(w, "%-10d", cl)
 			var dynAbort float64
 			for _, cfg := range Configs() {
-				tp, ab, err := serverPoint(a.name, a.prof, cfg, cl, requests, a.zos)
+				tp, ab, err := s.serverPoint("fig7", a.name, a.prof, cfg, cl, requests, a.zos)
 				if err != nil {
 					return fmt.Errorf("fig7 %s/%s/%d: %w", a.name, cfg.Name, cl, err)
 				}
@@ -242,7 +315,8 @@ func Fig7(w io.Writer, quick bool) error {
 
 // Fig8 regenerates Figure 8: HTM-dynamic abort ratios of the NPB against
 // threads on both machines, and the cycle breakdown at 12 threads on zEC12.
-func Fig8(w io.Writer, quick bool) error {
+func (s *Session) Fig8() error {
+	w, quick := s.W, s.Quick
 	class := classFor(quick)
 	dyn := Configs()[4]
 	for _, prof := range []*htm.Profile{htm.ZEC12(), htm.XeonE3()} {
@@ -255,7 +329,7 @@ func Fig8(w io.Writer, quick bool) error {
 		for _, th := range threadsFor(prof, quick) {
 			fmt.Fprintf(w, "%-10d", th)
 			for _, b := range npb.Kernels {
-				r, err := runKernel(b, prof, dyn, th, class)
+				r, err := s.runKernel("fig8", b, prof, dyn, th, class)
 				if err != nil {
 					return err
 				}
@@ -269,7 +343,7 @@ func Fig8(w io.Writer, quick bool) error {
 	fmt.Fprintf(w, "%-8s%14s%14s%14s%14s%14s\n", "bench",
 		vm.CatBeginEnd, vm.CatTxSuccess, vm.CatTxAborted, vm.CatGILHeld, vm.CatGILWait)
 	for _, b := range npb.Kernels {
-		r, err := runKernel(b, htm.ZEC12(), dyn, 12, class)
+		r, err := s.runKernel("fig8", b, htm.ZEC12(), dyn, 12, class)
 		if err != nil {
 			return err
 		}
@@ -290,7 +364,8 @@ func Fig8(w io.Writer, quick bool) error {
 // Fig9 regenerates Figure 9: scalability of HTM-dynamic (zEC12), the
 // JRuby-style fine-grained-locking runtime, and the Ideal runtime (the
 // Java NPB stand-in), each normalized to its own 1-thread run.
-func Fig9(w io.Writer, quick bool) error {
+func (s *Session) Fig9() error {
+	w, quick := s.W, s.Quick
 	class := classFor(quick)
 	runtimes := []struct {
 		name string
@@ -311,7 +386,7 @@ func Fig9(w io.Writer, quick bool) error {
 		bases := map[npb.Bench]int64{}
 		for _, b := range npb.Kernels {
 			opt := vm.DefaultOptions(rt.prof, rt.mode)
-			r, err := npb.Run(b, opt, 1, npb.ParamsFor(b, class))
+			r, err := s.runNPB("fig9", rt.name, b, opt, 1, class)
 			if err != nil {
 				return err
 			}
@@ -321,7 +396,7 @@ func Fig9(w io.Writer, quick bool) error {
 			fmt.Fprintf(w, "%-10d", th)
 			for _, b := range npb.Kernels {
 				opt := vm.DefaultOptions(rt.prof, rt.mode)
-				r, err := npb.Run(b, opt, th, npb.ParamsFor(b, class))
+				r, err := s.runNPB("fig9", rt.name, b, opt, th, class)
 				if err != nil {
 					return err
 				}
@@ -336,23 +411,24 @@ func Fig9(w io.Writer, quick bool) error {
 // MicroTable regenerates the Section 5.3 micro-benchmark result: While and
 // Iterator speedups of the best HTM configuration over the GIL at 12
 // threads on zEC12 (the paper reports 11- and 10-fold).
-func MicroTable(w io.Writer, quick bool) error {
+func (s *Session) MicroTable() error {
+	w, quick := s.W, s.Quick
 	prof := htm.ZEC12()
 	class := classFor(quick)
 	fmt.Fprintf(w, "\n# Section 5.3 — micro-benchmark throughput over 1-thread GIL on %s\n", prof.Name)
 	fmt.Fprintf(w, "# (Figure 4 workloads run per thread, so throughput = threads * cycle ratio)\n")
 	fmt.Fprintf(w, "%-10s%10s%16s%16s\n", "bench", "threads", "GIL", "HTM-dynamic")
 	for _, b := range npb.Micro {
-		base, err := runKernel(b, prof, Configs()[0], 1, class)
+		base, err := s.runKernel("micro", b, prof, Configs()[0], 1, class)
 		if err != nil {
 			return err
 		}
 		for _, th := range []int{1, 12} {
-			g, err := runKernel(b, prof, Configs()[0], th, class)
+			g, err := s.runKernel("micro", b, prof, Configs()[0], th, class)
 			if err != nil {
 				return err
 			}
-			h, err := runKernel(b, prof, Configs()[4], th, class)
+			h, err := s.runKernel("micro", b, prof, Configs()[4], th, class)
 			if err != nil {
 				return err
 			}
@@ -366,12 +442,13 @@ func MicroTable(w io.Writer, quick bool) error {
 
 // AbortsTable regenerates the Section 5.6 analyses: abort causes and the
 // memory regions responsible for conflict aborts.
-func AbortsTable(w io.Writer, quick bool) error {
+func (s *Session) AbortsTable() error {
+	w, quick := s.W, s.Quick
 	class := classFor(quick)
 	dyn := Configs()[4]
 	fmt.Fprintf(w, "\n# Section 5.6 — abort causes and conflict regions, HTM-dynamic, 12 threads, zEC12\n")
 	for _, b := range npb.Kernels {
-		r, err := runKernel(b, htm.ZEC12(), dyn, 12, class)
+		r, err := s.runKernel("aborts", b, htm.ZEC12(), dyn, 12, class)
 		if err != nil {
 			return err
 		}
@@ -412,16 +489,17 @@ func AbortsTable(w io.Writer, quick bool) error {
 
 // OverheadTable regenerates the Section 5.6 single-thread overhead: the
 // paper reports HTM-dynamic 18–35% slower than the GIL with one thread.
-func OverheadTable(w io.Writer, quick bool) error {
+func (s *Session) OverheadTable() error {
+	w, quick := s.W, s.Quick
 	class := classFor(quick)
 	fmt.Fprintf(w, "\n# Section 5.6 — single-thread overhead of HTM-dynamic vs GIL (zEC12)\n")
 	fmt.Fprintf(w, "%-8s%14s\n", "bench", "overhead%")
 	for _, b := range npb.Kernels {
-		g, err := runKernel(b, htm.ZEC12(), Configs()[0], 1, class)
+		g, err := s.runKernel("overhead", b, htm.ZEC12(), Configs()[0], 1, class)
 		if err != nil {
 			return err
 		}
-		h, err := runKernel(b, htm.ZEC12(), Configs()[4], 1, class)
+		h, err := s.runKernel("overhead", b, htm.ZEC12(), Configs()[4], 1, class)
 		if err != nil {
 			return err
 		}
@@ -432,13 +510,14 @@ func OverheadTable(w io.Writer, quick bool) error {
 
 // AblationTable regenerates the Section 4.2/4.4 findings: removing the new
 // yield points or the conflict removals destroys the HTM speedup.
-func AblationTable(w io.Writer, quick bool) error {
+func (s *Session) AblationTable() error {
+	w, quick := s.W, s.Quick
 	class := classFor(quick)
 	prof := htm.ZEC12()
 	threads := 8
 	bench := npb.FT
 	baseOpt := vm.DefaultOptions(prof, vm.ModeGIL)
-	baseRun, err := npb.Run(bench, baseOpt, threads, npb.ParamsFor(bench, class))
+	baseRun, err := s.runNPB("ablation", "GIL", bench, baseOpt, threads, class)
 	if err != nil {
 		return err
 	}
@@ -465,7 +544,7 @@ func AblationTable(w io.Writer, quick bool) error {
 	for _, va := range variants {
 		opt := vm.DefaultOptions(prof, vm.ModeHTM)
 		va.mut(&opt)
-		r, err := npb.Run(bench, opt, threads, npb.ParamsFor(bench, class))
+		r, err := s.runNPB("ablation", va.name, bench, opt, threads, class)
 		if err != nil {
 			return fmt.Errorf("ablation %q: %w", va.name, err)
 		}
@@ -475,34 +554,73 @@ func AblationTable(w io.Writer, quick bool) error {
 }
 
 // All runs every experiment.
-func All(w io.Writer, quick bool) error {
+func (s *Session) All() error {
 	steps := []struct {
 		name string
-		fn   func(io.Writer, bool) error
+		fn   func() error
 	}{
-		{"micro", MicroTable}, {"fig5", Fig5}, {"fig6a", Fig6a}, {"fig6b", Fig6b},
-		{"fig7", Fig7}, {"fig8", Fig8}, {"fig9", Fig9},
-		{"aborts", AbortsTable}, {"overhead", OverheadTable}, {"ablation", AblationTable},
+		{"micro", s.MicroTable}, {"fig5", s.Fig5}, {"fig6a", s.Fig6a}, {"fig6b", s.Fig6b},
+		{"fig7", s.Fig7}, {"fig8", s.Fig8}, {"fig9", s.Fig9},
+		{"aborts", s.AbortsTable}, {"overhead", s.OverheadTable}, {"ablation", s.AblationTable},
 	}
-	for _, s := range steps {
-		if err := s.fn(w, quick); err != nil {
-			return fmt.Errorf("%s: %w", s.name, err)
+	for _, st := range steps {
+		if err := st.fn(); err != nil {
+			return fmt.Errorf("%s: %w", st.name, err)
 		}
 	}
 	return nil
 }
 
-// ByName dispatches one experiment by id.
-func ByName(name string, w io.Writer, quick bool) error {
-	m := map[string]func(io.Writer, bool) error{
-		"micro": MicroTable, "fig5": Fig5, "fig6a": Fig6a, "fig6b": Fig6b,
-		"fig7": Fig7, "fig8": Fig8, "fig9": Fig9,
-		"aborts": AbortsTable, "overhead": OverheadTable, "ablation": AblationTable,
-		"all": All,
+// Run dispatches one experiment by id.
+func (s *Session) Run(name string) error {
+	m := map[string]func() error{
+		"micro": s.MicroTable, "fig5": s.Fig5, "fig6a": s.Fig6a, "fig6b": s.Fig6b,
+		"fig7": s.Fig7, "fig8": s.Fig8, "fig9": s.Fig9,
+		"aborts": s.AbortsTable, "overhead": s.OverheadTable, "ablation": s.AblationTable,
+		"all": s.All,
 	}
 	fn, ok := m[name]
 	if !ok {
 		return fmt.Errorf("unknown experiment %q (try: micro fig5 fig6a fig6b fig7 fig8 fig9 aborts overhead ablation all)", name)
 	}
-	return fn(w, quick)
+	return fn()
 }
+
+// Package-level wrappers retain the original one-shot API: each runs the
+// experiment in a fresh Session and discards the reports.
+
+// Fig5 regenerates Figure 5 (see Session.Fig5).
+func Fig5(w io.Writer, quick bool) error { return NewSession(w, quick).Fig5() }
+
+// Fig6a regenerates Figure 6(a) (see Session.Fig6a).
+func Fig6a(w io.Writer, quick bool) error { return NewSession(w, quick).Fig6a() }
+
+// Fig6b regenerates Figure 6(b) (see Session.Fig6b).
+func Fig6b(w io.Writer, quick bool) error { return NewSession(w, quick).Fig6b() }
+
+// Fig7 regenerates Figure 7 (see Session.Fig7).
+func Fig7(w io.Writer, quick bool) error { return NewSession(w, quick).Fig7() }
+
+// Fig8 regenerates Figure 8 (see Session.Fig8).
+func Fig8(w io.Writer, quick bool) error { return NewSession(w, quick).Fig8() }
+
+// Fig9 regenerates Figure 9 (see Session.Fig9).
+func Fig9(w io.Writer, quick bool) error { return NewSession(w, quick).Fig9() }
+
+// MicroTable regenerates the Section 5.3 table (see Session.MicroTable).
+func MicroTable(w io.Writer, quick bool) error { return NewSession(w, quick).MicroTable() }
+
+// AbortsTable regenerates the Section 5.6 analyses (see Session.AbortsTable).
+func AbortsTable(w io.Writer, quick bool) error { return NewSession(w, quick).AbortsTable() }
+
+// OverheadTable regenerates the Section 5.6 overhead table (see Session.OverheadTable).
+func OverheadTable(w io.Writer, quick bool) error { return NewSession(w, quick).OverheadTable() }
+
+// AblationTable regenerates the ablation table (see Session.AblationTable).
+func AblationTable(w io.Writer, quick bool) error { return NewSession(w, quick).AblationTable() }
+
+// All runs every experiment in a fresh Session.
+func All(w io.Writer, quick bool) error { return NewSession(w, quick).All() }
+
+// ByName dispatches one experiment by id in a fresh Session.
+func ByName(name string, w io.Writer, quick bool) error { return NewSession(w, quick).Run(name) }

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"htmgil/internal/trace"
+	"htmgil/internal/vm"
+)
+
+// Report is the machine-readable record of one benchmark configuration
+// point. A Session accumulates one Report per executed point so that future
+// changes can diff benchmark trajectories instead of re-parsing the
+// plain-text tables.
+type Report struct {
+	Experiment string `json:"experiment"`
+	Machine    string `json:"machine"`
+	Workload   string `json:"workload"`
+	Config     string `json:"config"`
+	Threads    int    `json:"threads,omitempty"`
+	Clients    int    `json:"clients,omitempty"`
+
+	Cycles     int64   `json:"cycles"`
+	Throughput float64 `json:"throughput,omitempty"`
+	AbortRatio float64 `json:"abortRatio"`
+
+	Begins      uint64 `json:"txBegins,omitempty"`
+	Commits     uint64 `json:"txCommits,omitempty"`
+	Aborts      uint64 `json:"txAborts,omitempty"`
+	Fallbacks   uint64 `json:"gilFallbacks,omitempty"`
+	Adjustments uint64 `json:"lengthAdjustments,omitempty"`
+	GCs         uint64 `json:"gcs,omitempty"`
+
+	AbortCauses     map[string]uint64 `json:"abortCauses,omitempty"`
+	ConflictRegions map[string]uint64 `json:"conflictRegions,omitempty"`
+
+	// Trace attribution, present only when the Session ran with
+	// TraceSummary (it requires attaching an event recorder to the run).
+	TopAbortPCs  []trace.PCCount                `json:"topAbortPCs,omitempty"`
+	LengthSeries map[int][]trace.LengthSample   `json:"lengthSeries,omitempty"`
+	FallbackWhy  map[string]uint64              `json:"fallbackReasons,omitempty"`
+}
+
+// newReport builds a Report from a run's Stats plus, optionally, the
+// trace aggregator that observed the run.
+func newReport(exp, machine, workload, config string, threads, clients int,
+	cycles int64, throughput float64, st *vm.Stats, agg *trace.Aggregator, topN int) Report {
+	r := Report{
+		Experiment: exp,
+		Machine:    machine,
+		Workload:   workload,
+		Config:     config,
+		Threads:    threads,
+		Clients:    clients,
+		Cycles:     cycles,
+		Throughput: throughput,
+	}
+	if st != nil {
+		r.AbortRatio = st.AbortRatio()
+		r.Fallbacks = st.GILFallbacks
+		r.Adjustments = st.Adjustments
+		r.GCs = st.GCs
+		if st.HTM != nil {
+			r.Begins = st.HTM.Begins
+			r.Commits = st.HTM.Commits
+			r.Aborts = st.HTM.Aborts
+		}
+		if len(st.AbortCauses) > 0 {
+			r.AbortCauses = make(map[string]uint64, len(st.AbortCauses))
+			for c, n := range st.AbortCauses {
+				r.AbortCauses[c.String()] = n
+			}
+		}
+		if len(st.ConflictRegions) > 0 {
+			r.ConflictRegions = make(map[string]uint64, len(st.ConflictRegions))
+			for reg, n := range st.ConflictRegions {
+				r.ConflictRegions[reg] = n
+			}
+		}
+	}
+	if agg != nil {
+		r.TopAbortPCs = agg.TopAbortPCs(topN)
+		if len(agg.LengthSeries) > 0 {
+			r.LengthSeries = agg.LengthSeries
+		}
+		if len(agg.FallbackReasons) > 0 {
+			r.FallbackWhy = agg.FallbackReasons
+		}
+	}
+	return r
+}
+
+// WriteReports emits every accumulated Report as indented JSON.
+func (s *Session) WriteReports(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.Reports)
+}
+
+// WriteTraceSummaries prints the per-point trace digests collected while
+// TraceSummary was on: headline counters, the top abort-causing yield
+// points and regions, and the length-adjustment timeline.
+func (s *Session) WriteTraceSummaries(w io.Writer) {
+	for i := range s.Reports {
+		r := &s.Reports[i]
+		if r.Begins == 0 && len(r.TopAbortPCs) == 0 {
+			continue // non-HTM point: nothing transactional to attribute
+		}
+		fmt.Fprintf(w, "\n## %s %s/%s %s", r.Experiment, r.Machine, r.Workload, r.Config)
+		if r.Threads > 0 {
+			fmt.Fprintf(w, " threads=%d", r.Threads)
+		}
+		if r.Clients > 0 {
+			fmt.Fprintf(w, " clients=%d", r.Clients)
+		}
+		fmt.Fprintf(w, "\n  tx %d begin / %d commit / %d abort | %d gil-fallbacks | %d adjustments\n",
+			r.Begins, r.Commits, r.Aborts, r.Fallbacks, r.Adjustments)
+		if len(r.TopAbortPCs) > 0 {
+			fmt.Fprintf(w, "  top abort yield points:")
+			for _, pc := range r.TopAbortPCs {
+				fmt.Fprintf(w, " yp%d=%d", pc.PC, pc.Count)
+			}
+			fmt.Fprintln(w)
+		}
+		if len(r.LengthSeries) > 0 {
+			fmt.Fprintf(w, "  length adjustments:\n")
+			for _, pc := range sortedPCs(r.LengthSeries) {
+				fmt.Fprintf(w, "    yp%d:", pc)
+				for _, smp := range r.LengthSeries[pc] {
+					fmt.Fprintf(w, " t=%d %d->%d", smp.T, smp.Old, smp.New)
+				}
+				fmt.Fprintln(w)
+			}
+		}
+	}
+}
+
+func sortedPCs(m map[int][]trace.LengthSample) []int {
+	out := make([]int, 0, len(m))
+	for pc := range m {
+		out = append(out, pc)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort; the map is tiny
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

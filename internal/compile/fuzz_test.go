@@ -1,0 +1,62 @@
+package compile
+
+import (
+	"testing"
+
+	"htmgil/internal/lang"
+	"htmgil/internal/object"
+)
+
+// FuzzCompile checks the compiler never panics on any parseable input and
+// that compilation is deterministic (same source, fresh compiler state →
+// same instruction and yield-point counts). Yield-point marking feeds the
+// dynamic transaction-length adjustment, so its stability matters beyond
+// mere crash-freedom.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"x = 1 + 2\nputs x",
+		"def f(n)\n  r = 1\n  while n > 1\n    r *= n\n    n -= 1\n  end\n  r\nend\nputs f(5)",
+		"class C\n  def m(a)\n    @v = a\n  end\nend\nC.new.m(3)",
+		"a = Array.new(4, 0)\ni = 0\nwhile i < 4\n  a[i] = i * i\n  i += 1\nend",
+		"t = Thread.new do\n  $g = 1\nend\nt.join",
+		"h = {}\nh[\"k\"] = [1, 2, 3]\nputs h[\"k\"][1]",
+		"s = \"x#{1 + 2}y\"\nputs s.length",
+		"(1..3).each do |i|\n  puts i\nend",
+		"m = Mutex.new\nm.synchronize do\n  puts 1\nend",
+		"if 1 < 2\n  puts :lt\nelsif 2 < 1\n  puts :gt\nelse\n  puts :eq\nend",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := lang.Parse(src)
+		if err != nil {
+			return
+		}
+		c1 := New(object.NewSymTable(), &YPAlloc{})
+		iseq1, err1 := c1.Compile(prog, "fuzz")
+		// Must not panic; compile errors on parseable input are allowed
+		// (e.g. break outside a loop).
+		if err1 != nil {
+			return
+		}
+		// Re-parse and re-compile from scratch: identical shape.
+		prog2, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("second parse failed: %v", err)
+		}
+		yps2 := &YPAlloc{}
+		c2 := New(object.NewSymTable(), yps2)
+		iseq2, err2 := c2.Compile(prog2, "fuzz")
+		if err2 != nil {
+			t.Fatalf("second compile failed: %v", err2)
+		}
+		s1, s2 := CollectStats(iseq1), CollectStats(iseq2)
+		if s1 != s2 {
+			t.Fatalf("compile not deterministic: %+v vs %+v", s1, s2)
+		}
+		if c1.YPs.Count() != yps2.Count() {
+			t.Fatalf("yield-point allocation not deterministic: %d vs %d", c1.YPs.Count(), yps2.Count())
+		}
+	})
+}

@@ -32,6 +32,7 @@ import (
 	"htmgil/internal/htm"
 	"htmgil/internal/sched"
 	"htmgil/internal/simmem"
+	"htmgil/internal/trace"
 )
 
 // Params are the tuning constants of Figures 1 and 3, with the paper's
@@ -127,8 +128,15 @@ type Elision struct {
 	txCounter  []int32
 	abortCount []int32
 
+	// Tracer, when non-nil, receives the tx lifecycle events: tx-begin,
+	// tx-commit, tx-abort, gil-fallback and len-adjust. All htm.Context
+	// begin/end/abort calls go through this layer, so trace-side counts
+	// reconstruct htm.Stats exactly.
+	Tracer *trace.Recorder
+
 	// Stats
 	Adjustments uint64 // number of length attenuations performed
+	Fallbacks   uint64 // critical sections that fell back to the GIL
 }
 
 // New creates the TLE runtime for a program with numYieldPoints yield-point
@@ -210,7 +218,8 @@ func (e *Elision) adjustTransactionLength(pc int) {
 		e.abortCount[pc]++
 		return
 	}
-	nl := int32(float64(e.lengths[pc]) * e.Params.AttenuationRate)
+	old := e.lengths[pc]
+	nl := int32(float64(old) * e.Params.AttenuationRate)
 	if nl < 1 {
 		nl = 1
 	}
@@ -218,6 +227,31 @@ func (e *Elision) adjustTransactionLength(pc int) {
 	e.txCounter[pc] = 0
 	e.abortCount[pc] = 0
 	e.Adjustments++
+	if e.Tracer != nil {
+		ev := trace.Ev(e.timeNow(), trace.KindLenAdjust)
+		ev.PC = pc
+		ev.OldLen = old
+		ev.Len = nl
+		e.Tracer.Emit(ev)
+	}
+}
+
+// timeNow returns the engine's virtual time; unit tests build Elision
+// without an engine, in which case events carry time 0.
+func (e *Elision) timeNow() int64 {
+	if e.Engine != nil {
+		return e.Engine.Now()
+	}
+	return 0
+}
+
+// sthID returns a scheduler thread's id for event attribution, -1 when the
+// thread is unknown.
+func sthID(sth *sched.Thread) int {
+	if sth == nil {
+		return -1
+	}
+	return sth.ID
 }
 
 // TransactionBegin implements transaction_begin of Figure 1 for the yield
@@ -231,7 +265,7 @@ func (e *Elision) TransactionBegin(t *Thread, sth *sched.Thread, now int64, pc i
 	t.pc = pc
 	// Lines 2-3: a lone thread needs no concurrency; use the GIL.
 	if e.LiveAppThreads() <= 1 {
-		return e.acquireGIL(t, sth, now)
+		return e.acquireGIL(t, sth, now, "single-thread")
 	}
 	// Line 5.
 	e.setTransactionLength(t, pc)
@@ -245,12 +279,20 @@ func (e *Elision) TransactionBegin(t *Thread, sth *sched.Thread, now int64, pc i
 		t.state = stWaitPreTx
 		return 2, Block
 	}
-	return e.tryBegin(t, now)
+	return e.tryBegin(t, sth, now)
 }
 
 // tryBegin issues TBEGIN and subscribes to the GIL word (lines 13-15).
-func (e *Elision) tryBegin(t *Thread, now int64) (int64, Outcome) {
+func (e *Elision) tryBegin(t *Thread, sth *sched.Thread, now int64) (int64, Outcome) {
 	cycles := t.HTM.Begin(now)
+	if e.Tracer != nil {
+		ev := trace.Ev(now, trace.KindTxBegin)
+		ev.Ctx = t.HTM.Tx.ID()
+		ev.Thread = sthID(sth)
+		ev.PC = t.pc
+		ev.Len = t.ChosenLength
+		e.Tracer.Emit(ev)
+	}
 	w := t.HTM.Tx.Load(e.GIL.Addr)
 	if w.Bits != 0 {
 		// Line 15: the GIL was grabbed between our check and TBEGIN.
@@ -264,8 +306,20 @@ func (e *Elision) tryBegin(t *Thread, now int64) (int64, Outcome) {
 	// this returns, which routes into HandleAbort.
 }
 
-// acquireGIL performs gil_acquire, blocking when contended.
-func (e *Elision) acquireGIL(t *Thread, sth *sched.Thread, now int64) (int64, Outcome) {
+// acquireGIL performs gil_acquire, blocking when contended. reason records
+// why the critical section fell back to the GIL (stats and tracing); every
+// entry here is one fallback, counted once even when the acquisition blocks
+// (ResumeBegin does not re-enter).
+func (e *Elision) acquireGIL(t *Thread, sth *sched.Thread, now int64, reason string) (int64, Outcome) {
+	e.Fallbacks++
+	if e.Tracer != nil {
+		ev := trace.Ev(now, trace.KindGILFallback)
+		ev.Ctx = t.HTM.Tx.ID()
+		ev.Thread = sthID(sth)
+		ev.PC = t.pc
+		ev.Note = reason
+		e.Tracer.Emit(ev)
+	}
 	cycles, ok := e.GIL.BlockingAcquire(sth, now)
 	if !ok {
 		t.state = stWaitAcquire
@@ -283,7 +337,7 @@ func (e *Elision) ResumeBegin(t *Thread, sth *sched.Thread, now int64) (int64, O
 		// The GIL was released while we spun; begin (or re-begin) the
 		// transaction. If it was re-acquired in the meantime the TBEGIN
 		// subscription aborts us and we come back through HandleAbort.
-		return e.tryBegin(t, now)
+		return e.tryBegin(t, sth, now)
 	case stWaitAcquire:
 		// Woken by the GIL handoff: we own the lock.
 		if !e.GIL.HeldBy(sth) {
@@ -301,8 +355,23 @@ func (e *Elision) ResumeBegin(t *Thread, sth *sched.Thread, now int64) (int64, O
 // interpreter calls it after rolling its private state back to the
 // beginning of the transaction. Outcomes are as for TransactionBegin.
 func (e *Elision) HandleAbort(t *Thread, sth *sched.Thread, now int64) (int64, Outcome) {
+	var doomAddr simmem.Addr
+	if e.Tracer != nil {
+		doomAddr = t.HTM.Tx.DoomAddr() // Rollback clears it; read first
+	}
 	cause, penalty := t.HTM.Abort()
 	t.LastAbortCause = cause
+	if e.Tracer != nil {
+		ev := trace.Ev(now, trace.KindTxAbort)
+		ev.Ctx = t.HTM.Tx.ID()
+		ev.Thread = sthID(sth)
+		ev.PC = t.pc
+		ev.Cause = cause.String()
+		if cause == simmem.CauseConflict {
+			ev.Region = t.HTM.Mem.RegionLabel(doomAddr)
+		}
+		e.Tracer.Emit(ev)
+	}
 	cycles := penalty
 	// Lines 17-20: adjust the length on the first retry only.
 	if t.firstRetry {
@@ -318,20 +387,20 @@ func (e *Elision) HandleAbort(t *Thread, sth *sched.Thread, now int64) (int64, O
 			t.state = stWaitRetry
 			return cycles, Block
 		}
-		c, out := e.acquireGIL(t, sth, now+cycles)
+		c, out := e.acquireGIL(t, sth, now+cycles, "gil-contention")
 		return cycles + c, out
 	case !cause.Transient():
 		// Lines 28-29: persistent abort; retrying cannot succeed.
-		c, out := e.acquireGIL(t, sth, now+cycles)
+		c, out := e.acquireGIL(t, sth, now+cycles, "persistent-abort")
 		return cycles + c, out
 	default:
 		// Lines 31-35: transient abort; retry a bounded number of times.
 		t.transientRetry--
 		if t.transientRetry > 0 {
-			c, out := e.tryBegin(t, now+cycles)
+			c, out := e.tryBegin(t, sth, now+cycles)
 			return cycles + c, out
 		}
-		c, out := e.acquireGIL(t, sth, now+cycles)
+		c, out := e.acquireGIL(t, sth, now+cycles, "retry-exhausted")
 		return cycles + c, out
 	}
 }
@@ -347,5 +416,12 @@ func (e *Elision) TransactionEnd(t *Thread, sth *sched.Thread, now int64) (int64
 		return cost, true
 	}
 	cycles, ok := t.HTM.End(now)
+	if ok && e.Tracer != nil {
+		ev := trace.Ev(now, trace.KindTxCommit)
+		ev.Ctx = t.HTM.Tx.ID()
+		ev.Thread = sthID(sth)
+		ev.PC = t.pc
+		e.Tracer.Emit(ev)
+	}
 	return cycles, ok
 }

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"htmgil/internal/htm"
+	"htmgil/internal/simmem"
+)
+
+// newTestMem builds a minimal memory for tests that never run transactions.
+func newTestMem() *simmem.Memory {
+	return simmem.NewMemory(simmem.Config{LineBytes: 256}, 1)
+}
+
+// invariantParams returns the paper's constants with a small profiling
+// period so the tests can cycle through several adjustment rounds quickly.
+func invariantParams() Params {
+	p := DefaultParams(htm.ZEC12())
+	p.ProfilingPeriod = 10
+	p.AdjustThreshold = 3
+	return p
+}
+
+// TestLengthNeverRaisedNeverBelowOne hammers one yield point with abort
+// notifications and checks the Figure 3 invariants: the length only moves
+// downward, never drops below 1, and each attenuation multiplies the old
+// value by exactly AttenuationRate (floored, clamped to 1).
+func TestLengthNeverRaisedNeverBelowOne(t *testing.T) {
+	params := invariantParams()
+	el := New(params, nil, nil, 4)
+	hctx := htm.NewContext(htm.ZEC12(), newTestMem(), 0, 1)
+	th := el.NewThread(hctx)
+	const pc = 2
+
+	prev := params.InitialLength
+	for round := 0; round < 200; round++ {
+		// Begin some transactions (fewer than the profiling period, which
+		// would freeze monitoring), then report aborts until the threshold
+		// trips.
+		for i := int32(0); i < params.ProfilingPeriod-1; i++ {
+			el.setTransactionLength(th, pc)
+			if th.ChosenLength > prev {
+				t.Fatalf("round %d: length raised %d -> %d", round, prev, th.ChosenLength)
+			}
+			if th.ChosenLength < 1 {
+				t.Fatalf("round %d: length %d < 1", round, th.ChosenLength)
+			}
+		}
+		before := el.Lengths()[pc]
+		aborts := int32(0)
+		for el.Lengths()[pc] == before && aborts < params.AdjustThreshold+2 {
+			el.adjustTransactionLength(pc)
+			aborts++
+		}
+		after := el.Lengths()[pc]
+		if before == 1 {
+			if after != 1 {
+				t.Fatalf("round %d: length moved off the floor: %d", round, after)
+			}
+			return // reached and held the minimum: invariant proven
+		}
+		// The first AdjustThreshold+1 notifications only count; the next
+		// one attenuates.
+		if aborts != params.AdjustThreshold+2 {
+			t.Fatalf("round %d: attenuated after %d aborts, want %d", round, aborts, params.AdjustThreshold+2)
+		}
+		want := int32(float64(before) * params.AttenuationRate)
+		if want < 1 {
+			want = 1
+		}
+		if after != want {
+			t.Fatalf("round %d: %d attenuated to %d, want exactly %d (rate %v)",
+				round, before, after, want, params.AttenuationRate)
+		}
+		if after > before {
+			t.Fatalf("round %d: length raised %d -> %d", round, before, after)
+		}
+		prev = after
+	}
+	t.Fatalf("length never reached 1 after 200 rounds (stuck at %d)", el.Lengths()[pc])
+}
+
+// TestLengthAdjustmentRespectsProfilingPeriod checks that aborts arriving
+// after the profiling window saturates do not attenuate the length: Figure 3
+// only monitors the first ProfilingPeriod transactions of each round.
+func TestLengthAdjustmentRespectsProfilingPeriod(t *testing.T) {
+	params := invariantParams()
+	el := New(params, nil, nil, 4)
+	hctx := htm.NewContext(htm.ZEC12(), newTestMem(), 0, 1)
+	th := el.NewThread(hctx)
+	const pc = 1
+
+	// Saturate the profiling counter.
+	for i := int32(0); i < params.ProfilingPeriod; i++ {
+		el.setTransactionLength(th, pc)
+	}
+	before := el.Lengths()[pc]
+	if before != params.InitialLength {
+		t.Fatalf("initial length = %d, want %d", before, params.InitialLength)
+	}
+	for i := 0; i < 50; i++ {
+		el.adjustTransactionLength(pc)
+	}
+	if got := el.Lengths()[pc]; got != before {
+		t.Fatalf("length changed after the profiling window closed: %d -> %d", before, got)
+	}
+	if el.Adjustments != 0 {
+		t.Fatalf("adjustments counted outside the window: %d", el.Adjustments)
+	}
+}
+
+// TestConstantLengthDisablesAdjustment checks the HTM-1/16/256 configs:
+// with ConstantLength set, the chosen length is fixed and abort
+// notifications never move it.
+func TestConstantLengthDisablesAdjustment(t *testing.T) {
+	params := invariantParams()
+	params.ConstantLength = 16
+	el := New(params, nil, nil, 4)
+	hctx := htm.NewContext(htm.ZEC12(), newTestMem(), 0, 1)
+	th := el.NewThread(hctx)
+	for i := 0; i < 100; i++ {
+		el.setTransactionLength(th, 3)
+		if th.ChosenLength != 16 {
+			t.Fatalf("chosen length = %d, want constant 16", th.ChosenLength)
+		}
+		el.adjustTransactionLength(3)
+	}
+	if el.Adjustments != 0 {
+		t.Fatalf("constant-length config recorded %d adjustments", el.Adjustments)
+	}
+}

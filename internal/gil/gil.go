@@ -15,6 +15,7 @@ package gil
 import (
 	"htmgil/internal/sched"
 	"htmgil/internal/simmem"
+	"htmgil/internal/trace"
 )
 
 // Costs holds the cycle costs of GIL operations.
@@ -59,6 +60,9 @@ type GIL struct {
 	interruptFlagged map[*sched.Thread]bool
 
 	Stats Stats
+
+	// Tracer, when non-nil, receives gil-acquire/gil-release events.
+	Tracer *trace.Recorder
 }
 
 // New creates a GIL whose state word lives in its own line of mem.
@@ -101,6 +105,11 @@ func (g *GIL) take(th *sched.Thread, now int64) {
 	g.ownedSince = now
 	g.Stats.Acquisitions++
 	g.mem.Store(g.Addr, simmem.Word{Bits: 1})
+	if g.Tracer != nil {
+		ev := trace.Ev(now, trace.KindGILAcquire)
+		ev.Thread = th.ID
+		g.Tracer.Emit(ev)
+	}
 }
 
 // BlockingAcquire acquires the GIL, enqueueing th as a waiter when it is
@@ -131,6 +140,12 @@ func (g *GIL) Release(th *sched.Thread, now int64) int64 {
 		panic("gil: release by non-owner")
 	}
 	g.Stats.HoldCycles += now - g.ownedSince
+	if g.Tracer != nil {
+		ev := trace.Ev(now, trace.KindGILRelease)
+		ev.Thread = th.ID
+		ev.Cycles = now - g.ownedSince
+		g.Tracer.Emit(ev)
+	}
 	g.owner = nil
 	g.mem.Store(g.Addr, simmem.Word{Bits: 0})
 	cost := g.costs.Release

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 
 	"htmgil/internal/simmem"
+	"htmgil/internal/trace"
 )
 
 // Profile describes one HTM implementation and the machine around it.
@@ -155,6 +156,10 @@ type Context struct {
 
 	Stats *Stats
 
+	// Tracer, when non-nil, receives interrupt-delivery and learning-abort
+	// events (the TLE layer traces the tx lifecycle itself).
+	Tracer *trace.Recorder
+
 	suspicion     float64 // Intel learning predictor state
 	rng           *rand.Rand
 	nextInterrupt int64
@@ -203,6 +208,11 @@ func (c *Context) Begin(now int64) int64 {
 	if c.Prof.Learning && c.suspicion > 0 {
 		if c.rng.Float64() < c.suspicion {
 			c.Tx.SelfDoom(simmem.CauseLearning)
+			if c.Tracer != nil {
+				ev := trace.Ev(now, trace.KindLearning)
+				ev.Ctx = c.Tx.ID()
+				c.Tracer.Emit(ev)
+			}
 		}
 	}
 	return c.Prof.TBeginCycles
@@ -217,6 +227,11 @@ func (c *Context) Doomed(now int64) bool {
 	if now >= c.nextInterrupt {
 		c.Tx.SelfDoom(simmem.CauseInterrupt)
 		c.scheduleInterrupt(now)
+		if c.Tracer != nil {
+			ev := trace.Ev(now, trace.KindInterrupt)
+			ev.Ctx = c.Tx.ID()
+			c.Tracer.Emit(ev)
+		}
 	}
 	return c.Tx.Doomed()
 }

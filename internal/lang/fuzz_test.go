@@ -1,0 +1,78 @@
+package lang
+
+import (
+	"testing"
+)
+
+// fuzzSeeds is the shared seed corpus: every front-end construct the
+// workloads exercise, plus inputs that previously needed care (unterminated
+// strings, deep nesting, interpolation, comments).
+var fuzzSeeds = []string{
+	"",
+	"x = 1 + 2 * 3\nputs x",
+	"def f(a, b)\n  a < b ? a : b\nend\nputs f(3, 4)",
+	"class Foo\n  def initialize(n)\n    @n = n\n  end\n  def get\n    @n\n  end\nend",
+	"i = 0\nwhile i < 10\n  i += 1\nend",
+	"a = [1, 2.5, \"s\", :sym, nil, true]\nh = {\"k\" => 1, \"j\" => 2}",
+	"t = Thread.new(1) do |x|\n  x + 1\nend\nt.join",
+	"m = Mutex.new\nm.synchronize do\n  $g = ($g || 0) + 1\nend",
+	"s = \"a#{1 + 2}b#{\"nested #{3}\"}c\"",
+	"(1..10).each do |i|\n  next if i == 3\n  break if i > 8\nend",
+	"unless x.nil?\n  puts x\nelse\n  puts \"nil\"\nend",
+	"# comment only\n",
+	"\"unterminated",
+	"def broken(",
+	"if true",
+	"a[1][2] = b[3]",
+	"x = -1e10\ny = 0.5\nz = 1_000",
+	"@@cv = 1\nFOO = 2\n$bar = 3",
+	"a, b = 1, 2" ,
+	"puts 1 if 2 > 1",
+	"case\nwhen 1\nend",
+	"((((((((((1))))))))))",
+	"x ||= 5\ny &&= 6",
+	"%w[a b c]",
+	"begin\n  f\nrescue\n  g\nend",
+}
+
+// FuzzTokenize checks the lexer never panics and always terminates; invalid
+// input must surface as an error, not a crash or hang.
+func FuzzTokenize(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Tokenize(src)
+		if err != nil {
+			return
+		}
+		// Tokenizing the same input again must give the same stream.
+		again, err2 := Tokenize(src)
+		if err2 != nil {
+			t.Fatalf("second tokenize failed: %v", err2)
+		}
+		if len(again) != len(toks) {
+			t.Fatalf("tokenize not deterministic: %d vs %d tokens", len(toks), len(again))
+		}
+	})
+}
+
+// FuzzParse checks the parser never panics: every input either parses or
+// returns an error, and a successful parse is repeatable.
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if prog == nil {
+			t.Fatal("nil program without error")
+		}
+		if _, err := Parse(src); err != nil {
+			t.Fatalf("second parse failed: %v", err)
+		}
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"htmgil/internal/htm"
 	"htmgil/internal/netsim"
 	"htmgil/internal/rbregexp"
+	"htmgil/internal/trace"
 	"htmgil/internal/vm"
 )
 
@@ -79,6 +80,9 @@ type Config struct {
 	Clients    int
 	Requests   int
 	GlobalLock bool // Rails' compatibility lock (paper: disabled)
+	// Trace, when non-nil, is attached to the run's VM (vm.Options.Trace)
+	// so callers can observe the server's transaction events.
+	Trace *trace.Recorder
 }
 
 // Result mirrors webrick.Result.
@@ -98,6 +102,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	opt := vm.DefaultOptions(cfg.Prof, cfg.Mode)
 	opt.TxLength = cfg.TxLength
+	opt.Trace = cfg.Trace
 	machine := vm.New(opt)
 	net := netsim.NewNetwork(machine.Engine)
 	netsim.Install(machine, net)

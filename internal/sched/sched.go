@@ -11,6 +11,8 @@ import (
 	"container/heap"
 	"fmt"
 	"os"
+
+	"htmgil/internal/trace"
 )
 
 // DebugSched enables loop tracing (tests only).
@@ -114,6 +116,9 @@ type Engine struct {
 	nthread int
 	stopped bool
 	nextCtx int
+
+	// Tracer, when non-nil, receives thread-spawn/thread-done events.
+	Tracer *trace.Recorder
 }
 
 // NewEngine builds a simulated machine.
@@ -169,6 +174,12 @@ func (e *Engine) Spawn(name string, startAt int64, step StepFunc) *Thread {
 	ctx.nlive++
 	e.live++
 	e.addRunning(th)
+	if e.Tracer != nil {
+		ev := trace.Ev(startAt, trace.KindThreadSpawn)
+		ev.Thread = th.ID
+		ev.Note = name
+		e.Tracer.Emit(ev)
+	}
 	return th
 }
 
@@ -290,6 +301,11 @@ func (e *Engine) Run() error {
 			pick.Ctx.nlive--
 			e.live--
 			e.removeRunning(pick)
+			if e.Tracer != nil {
+				ev := trace.Ev(end, trace.KindThreadDone)
+				ev.Thread = pick.ID
+				e.Tracer.Emit(ev)
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,296 @@
+package simmem
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The property tests drive random interleavings of transactional and direct
+// accesses against a shadow model and check the two contracts the TLE
+// protocol is built on:
+//
+//  1. requester wins, exactly: every conflicting access dooms precisely the
+//     set of transactions whose read/write sets overlap the accessed line —
+//     no survivors inside the set, no collateral dooms outside it;
+//  2. committed transactions serialize: the final memory contents equal a
+//     replay of the committed transactions' write sets in commit order
+//     (interleaved with the direct stores), as if each had run alone.
+
+// propLine mirrors one cache line's transactional registration.
+type propLine struct {
+	readers map[int]bool
+	writer  int // context id, or -1
+}
+
+// propModel is the shadow state of one property-test run.
+type propModel struct {
+	t      *testing.T
+	mem    *Memory
+	nctx   int
+	lines  map[Addr]*propLine // line number -> registration
+	memVal map[Addr]uint64    // committed (published) value per word address
+	active []bool
+	doomed []bool
+	wbuf   []map[Addr]uint64 // per-context speculative writes
+	reads  []map[Addr]bool   // per-context line numbers read
+}
+
+func newPropModel(t *testing.T, mem *Memory, nctx int) *propModel {
+	p := &propModel{
+		t: t, mem: mem, nctx: nctx,
+		lines:  map[Addr]*propLine{},
+		memVal: map[Addr]uint64{},
+		active: make([]bool, nctx),
+		doomed: make([]bool, nctx),
+		wbuf:   make([]map[Addr]uint64, nctx),
+		reads:  make([]map[Addr]bool, nctx),
+	}
+	for i := 0; i < nctx; i++ {
+		p.wbuf[i] = map[Addr]uint64{}
+		p.reads[i] = map[Addr]bool{}
+	}
+	return p
+}
+
+func (p *propModel) line(la Addr) *propLine {
+	l := p.lines[la]
+	if l == nil {
+		l = &propLine{readers: map[int]bool{}, writer: -1}
+		p.lines[la] = l
+	}
+	return l
+}
+
+// expectDooms marks the victims of a conflicting access in the model.
+func (p *propModel) doom(id int) {
+	if p.active[id] && !p.doomed[id] {
+		p.doomed[id] = true
+	}
+}
+
+// checkDoomState compares every context's Doomed flag against the model.
+// This is the "exactly the victim set" check: it fails both when a victim
+// survived and when a bystander was doomed.
+func (p *propModel) checkDoomState(what string) {
+	p.t.Helper()
+	for id := 0; id < p.nctx; id++ {
+		if !p.active[id] {
+			continue
+		}
+		got := p.mem.Tx(id).Doomed()
+		if got != p.doomed[id] {
+			p.t.Fatalf("%s: ctx %d doomed=%v, model says %v", what, id, got, p.doomed[id])
+		}
+	}
+}
+
+// txLoad models Tx.Load: the line's writer (if another context) is doomed,
+// and the returned value must match own speculative buffer or memory.
+func (p *propModel) txLoad(id int, addr Addr) {
+	p.t.Helper()
+	la := p.mem.LineAddr(addr)
+	l := p.line(la)
+	if l.writer >= 0 && l.writer != id {
+		p.doom(l.writer)
+	}
+	l.readers[id] = true
+	p.reads[id][la] = true
+	got := p.mem.Tx(id).Load(addr).Bits
+	want, inBuf := p.wbuf[id][addr]
+	if !inBuf {
+		want = p.memVal[addr]
+	}
+	if got != want {
+		p.t.Fatalf("ctx %d load %#x = %d, want %d", id, uint64(addr), got, want)
+	}
+	p.checkDoomState(fmt.Sprintf("ctx %d load %#x", id, uint64(addr)))
+}
+
+// txStore models Tx.Store: any other writer and every other reader of the
+// line is doomed; the write stays speculative.
+func (p *propModel) txStore(id int, addr Addr, v uint64) {
+	p.t.Helper()
+	la := p.mem.LineAddr(addr)
+	l := p.line(la)
+	if l.writer != id {
+		if l.writer >= 0 {
+			p.doom(l.writer)
+		}
+		for r := range l.readers {
+			if r != id {
+				p.doom(r)
+			}
+		}
+		l.writer = id
+	}
+	p.wbuf[id][addr] = v
+	p.mem.Tx(id).Store(addr, Word{Bits: v})
+	if p.mem.Peek(addr).Bits == v && p.memVal[addr] != v {
+		p.t.Fatalf("ctx %d store %#x published before commit", id, uint64(addr))
+	}
+	p.checkDoomState(fmt.Sprintf("ctx %d store %#x", id, uint64(addr)))
+}
+
+// directStore models Memory.Store: the writer and all readers of the line
+// are doomed and the value publishes immediately.
+func (p *propModel) directStore(addr Addr, v uint64) {
+	p.t.Helper()
+	la := p.mem.LineAddr(addr)
+	l := p.line(la)
+	if l.writer >= 0 {
+		p.doom(l.writer)
+	}
+	for r := range l.readers {
+		p.doom(r)
+	}
+	p.memVal[addr] = v
+	p.mem.Store(addr, Word{Bits: v})
+	p.checkDoomState(fmt.Sprintf("direct store %#x", uint64(addr)))
+}
+
+// finish commits or rolls back context id, releasing its line registrations
+// from the model. Commit publishes the speculative buffer into memVal; the
+// serialization property is that this replay matches simulated memory.
+func (p *propModel) finish(id int) {
+	p.t.Helper()
+	tx := p.mem.Tx(id)
+	la := func() {
+		for lnum := range p.reads[id] {
+			delete(p.line(lnum).readers, id)
+		}
+		for lnum, l := range p.lines {
+			_ = lnum
+			if l.writer == id {
+				l.writer = -1
+			}
+		}
+		p.reads[id] = map[Addr]bool{}
+		p.wbuf[id] = map[Addr]uint64{}
+		p.active[id] = false
+		p.doomed[id] = false
+	}
+	if p.doomed[id] {
+		if tx.Commit() {
+			p.t.Fatalf("ctx %d committed while doomed", id)
+		}
+		cause := tx.Rollback()
+		if cause != CauseConflict {
+			p.t.Fatalf("ctx %d rollback cause = %v, want conflict", id, cause)
+		}
+		// Aborted writes must not have been published.
+		for addr := range p.wbuf[id] {
+			if got := p.mem.Peek(addr).Bits; got != p.memVal[addr] {
+				p.t.Fatalf("aborted ctx %d leaked %#x: mem=%d model=%d", id, uint64(addr), got, p.memVal[addr])
+			}
+		}
+		la()
+		return
+	}
+	if !tx.Commit() {
+		p.t.Fatalf("ctx %d failed to commit while clean (cause %v)", id, tx.DoomCause())
+	}
+	for addr, v := range p.wbuf[id] {
+		p.memVal[addr] = v
+		if got := p.mem.Peek(addr).Bits; got != v {
+			p.t.Fatalf("ctx %d commit lost %#x: mem=%d want %d", id, uint64(addr), got, v)
+		}
+	}
+	la()
+}
+
+// TestPropertyRequesterWinsAndSerialization runs randomized interleavings
+// under several seeds. Capacities are large so conflicts are the only doom
+// source, which is what the model tracks.
+func TestPropertyRequesterWinsAndSerialization(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1234, 99991} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			const nctx = 6
+			mem := NewMemory(Config{LineBytes: 64}, nctx)
+			base := mem.Reserve("data", 16*64) // 16 lines of contention
+			p := newPropModel(t, mem, nctx)
+
+			addrAt := func() Addr {
+				// 16 lines x 8 words: enough aliasing for both same-line
+				// (false sharing) and cross-line access patterns.
+				return base + Addr(rng.Intn(16*8))*WordBytes
+			}
+			for round := 0; round < 40; round++ {
+				for id := 0; id < nctx; id++ {
+					p.active[id] = true
+					mem.Tx(id).Begin(1024, 1024)
+				}
+				for op := 0; op < 120; op++ {
+					id := rng.Intn(nctx)
+					if !p.active[id] {
+						continue
+					}
+					if p.doomed[id] {
+						// Doomed transactions abort at the next boundary,
+						// like the interpreter does.
+						p.finish(id)
+						continue
+					}
+					switch rng.Intn(10) {
+					case 0: // strong isolation: direct store from outside
+						p.directStore(addrAt(), uint64(rng.Int63()))
+					case 1, 2, 3, 4:
+						p.txLoad(id, addrAt())
+					default:
+						p.txStore(id, addrAt(), uint64(rng.Int63()))
+					}
+				}
+				for id := 0; id < nctx; id++ {
+					if p.active[id] {
+						p.finish(id)
+					}
+				}
+				// Serialization: memory equals the model replay of the
+				// committed transactions and direct stores.
+				for addr, want := range p.memVal {
+					if got := mem.Peek(addr).Bits; got != want {
+						t.Fatalf("round %d: mem[%#x]=%d, replay says %d", round, uint64(addr), got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPropertyOverflowDooms checks that the capacity limits doom the
+// transaction itself (not its neighbours) with the right persistent cause.
+func TestPropertyOverflowDooms(t *testing.T) {
+	mem := NewMemory(Config{LineBytes: 64}, 2)
+	base := mem.Reserve("data", 64*64)
+
+	tx := mem.Tx(0)
+	tx.Begin(4, 4)
+	for i := 0; i < 5; i++ {
+		tx.Load(base + Addr(i*64))
+	}
+	if !tx.Doomed() || tx.DoomCause() != CauseReadOverflow {
+		t.Fatalf("read overflow not detected: doomed=%v cause=%v", tx.Doomed(), tx.DoomCause())
+	}
+	if tx.Commit() {
+		t.Fatal("overflowed transaction committed")
+	}
+	tx.Rollback()
+
+	tx.Begin(64, 3)
+	for i := 0; i < 4; i++ {
+		tx.Store(base+Addr(i*64), Word{Bits: 1})
+	}
+	if !tx.Doomed() || tx.DoomCause() != CauseWriteOverflow {
+		t.Fatalf("write overflow not detected: doomed=%v cause=%v", tx.Doomed(), tx.DoomCause())
+	}
+	other := mem.Tx(1)
+	other.Begin(8, 8)
+	other.Load(base + Addr(40*64))
+	if other.Doomed() {
+		t.Fatal("bystander doomed by neighbour's overflow")
+	}
+	tx.Rollback()
+	other.Rollback()
+}

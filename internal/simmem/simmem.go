@@ -18,6 +18,8 @@ package simmem
 import (
 	"fmt"
 	"math/bits"
+
+	"htmgil/internal/trace"
 )
 
 // Addr is a byte address in the simulated memory. Words are 8 bytes and all
@@ -128,6 +130,13 @@ type Memory struct {
 	// statistics
 	conflictCounts map[string]uint64 // region label -> times a tx was doomed there
 	doomCount      uint64
+
+	// Tracer, when non-nil, receives a doom event for every transaction
+	// kill. The memory has no time source of its own, so Clock (typically
+	// sched.Engine.Now) supplies event timestamps; without it events carry
+	// time 0.
+	Tracer *trace.Recorder
+	Clock  func() int64
 }
 
 type region struct {
@@ -237,7 +246,27 @@ func (m *Memory) doom(victim int32, addr Addr, wasWriter bool) {
 	tx.doomAddr = addr
 	m.doomCount++
 	m.conflictCounts[m.RegionLabel(addr)]++
+	m.traceDoom(victim, CauseConflict, addr)
 	_ = wasWriter
+}
+
+// traceDoom emits a doom event when tracing is enabled. addr 0 (never a
+// valid reservation) means no implicated address is known.
+func (m *Memory) traceDoom(victim int32, cause AbortCause, addr Addr) {
+	if m.Tracer == nil {
+		return
+	}
+	var now int64
+	if m.Clock != nil {
+		now = m.Clock()
+	}
+	ev := trace.Ev(now, trace.KindDoom)
+	ev.Ctx = int(victim)
+	ev.Cause = cause.String()
+	if addr != 0 {
+		ev.Region = m.RegionLabel(addr)
+	}
+	m.Tracer.Emit(ev)
 }
 
 // Load performs a direct, non-transactional read. It dooms any transaction
@@ -359,6 +388,7 @@ func (t *Tx) SelfDoom(cause AbortCause) {
 	}
 	t.doomed = true
 	t.doomCause = cause
+	t.mem.traceDoom(t.id, cause, 0)
 }
 
 // Load performs a transactional read. The line joins the read set; a
@@ -378,6 +408,7 @@ func (t *Tx) Load(addr Addr) Word {
 			t.doomed = true
 			t.doomCause = CauseReadOverflow
 			t.doomAddr = addr
+			m.traceDoom(t.id, CauseReadOverflow, addr)
 		}
 	}
 	if w, ok := t.writeBuf[addr]; ok {
@@ -406,6 +437,7 @@ func (t *Tx) Store(addr Addr, w Word) {
 			t.doomed = true
 			t.doomCause = CauseWriteOverflow
 			t.doomAddr = addr
+			m.traceDoom(t.id, CauseWriteOverflow, addr)
 		}
 	}
 	t.writeBuf[addr] = w

@@ -1,0 +1,280 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// JSONL writes one JSON object per event to an io.Writer. Write errors are
+// sticky: the first error stops further encoding and is reported by Err.
+type JSONL struct {
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONL creates a JSONL sink over w.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{enc: json.NewEncoder(w)}
+}
+
+// Emit encodes one event.
+func (j *JSONL) Emit(ev Event) {
+	if j.err != nil {
+		return
+	}
+	j.err = j.enc.Encode(ev)
+}
+
+// Err returns the first write/encode error, if any.
+func (j *JSONL) Err() error { return j.err }
+
+// ReadJSONL replays a JSONL trace stream into a sink, returning the number
+// of events replayed. It tolerates blank lines but fails on malformed JSON.
+func ReadJSONL(r io.Reader, sink Sink) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	n := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		// The id fields default to -1, not 0, when a producer omitted them.
+		ev.Ctx, ev.Thread, ev.PC = -1, -1, -1
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return n, fmt.Errorf("trace: line %d: %w", n+1, err)
+		}
+		sink.Emit(ev)
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// LengthSample is one point of a yield point's transaction-length
+// time-series: at virtual time T the length moved from Old to New.
+type LengthSample struct {
+	T   int64 `json:"t"`
+	Old int32 `json:"old"`
+	New int32 `json:"new"`
+}
+
+// Aggregator is an in-memory sink that reconstructs run statistics from the
+// event stream — the trace-side mirror of vm.Stats — plus attributions the
+// aggregate stats cannot express: per-PC abort counts and per-PC
+// transaction-length time-series.
+type Aggregator struct {
+	Begins    uint64
+	Commits   uint64
+	Aborts    uint64
+	Fallbacks uint64
+
+	AbortCauses     map[string]uint64 // tx-abort by cause
+	AbortRegions    map[string]uint64 // conflict tx-aborts by memory region
+	AbortsByPC      map[int]uint64    // tx-abort by owning yield point
+	FallbackReasons map[string]uint64 // gil-fallback by reason
+
+	Dooms       uint64            // doom events seen (conflict + self)
+	DoomRegions map[string]uint64 // conflict dooms by region
+
+	GILAcquires uint64
+	GILReleases uint64
+	GILYields   uint64
+	GILHeld     int64 // total cycles the lock was held (sum of release events)
+
+	Adjustments  uint64
+	LengthSeries map[int][]LengthSample // yield point -> attenuation history
+
+	GCs      uint64
+	GCCycles int64
+
+	ThreadsSpawned uint64
+	ThreadsDone    uint64
+	Interrupts     uint64
+	LearningAborts uint64
+
+	Events uint64 // total events consumed
+}
+
+// NewAggregator returns an empty aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{
+		AbortCauses:     make(map[string]uint64),
+		AbortRegions:    make(map[string]uint64),
+		AbortsByPC:      make(map[int]uint64),
+		FallbackReasons: make(map[string]uint64),
+		DoomRegions:     make(map[string]uint64),
+		LengthSeries:    make(map[int][]LengthSample),
+	}
+}
+
+// Emit consumes one event.
+func (a *Aggregator) Emit(ev Event) {
+	a.Events++
+	switch ev.Kind {
+	case KindTxBegin:
+		a.Begins++
+	case KindTxCommit:
+		a.Commits++
+	case KindTxAbort:
+		a.Aborts++
+		if ev.Cause != "" {
+			a.AbortCauses[ev.Cause]++
+		}
+		if ev.Region != "" {
+			a.AbortRegions[ev.Region]++
+		}
+		if ev.PC >= 0 {
+			a.AbortsByPC[ev.PC]++
+		}
+	case KindGILFallback:
+		a.Fallbacks++
+		if ev.Note != "" {
+			a.FallbackReasons[ev.Note]++
+		}
+	case KindLenAdjust:
+		a.Adjustments++
+		if ev.PC >= 0 {
+			a.LengthSeries[ev.PC] = append(a.LengthSeries[ev.PC],
+				LengthSample{T: ev.T, Old: ev.OldLen, New: ev.Len})
+		}
+	case KindGILAcquire:
+		a.GILAcquires++
+	case KindGILRelease:
+		a.GILReleases++
+		a.GILHeld += ev.Cycles
+	case KindGILYield:
+		a.GILYields++
+	case KindDoom:
+		a.Dooms++
+		if ev.Region != "" {
+			a.DoomRegions[ev.Region]++
+		}
+	case KindInterrupt:
+		a.Interrupts++
+	case KindLearning:
+		a.LearningAborts++
+	case KindThreadSpawn:
+		a.ThreadsSpawned++
+	case KindThreadDone:
+		a.ThreadsDone++
+	case KindGCStart:
+		a.GCs++
+	case KindGCEnd:
+		a.GCCycles += ev.Cycles
+	}
+}
+
+// KV is a ranked key/count pair.
+type KV struct {
+	Key   string
+	Count uint64
+}
+
+// topN ranks a map descending by count, breaking ties by key ascending so
+// the output is deterministic.
+func topN(m map[string]uint64, n int) []KV {
+	out := make([]KV, 0, len(m))
+	for k, v := range m {
+		out = append(out, KV{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// TopAbortRegions returns the n memory regions causing the most conflict
+// aborts, descending.
+func (a *Aggregator) TopAbortRegions(n int) []KV { return topN(a.AbortRegions, n) }
+
+// PCCount is a ranked yield-point/count pair.
+type PCCount struct {
+	PC    int
+	Count uint64
+}
+
+// TopAbortPCs returns the n yield points owning the most aborts, descending,
+// ties broken by PC ascending.
+func (a *Aggregator) TopAbortPCs(n int) []PCCount {
+	out := make([]PCCount, 0, len(a.AbortsByPC))
+	for pc, c := range a.AbortsByPC {
+		out = append(out, PCCount{pc, c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].PC < out[j].PC
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// WriteSummary renders a human-readable digest: headline counters, the
+// top-N abort attributions, and the length-adjustment timeline. Used by
+// `htmgil-bench -trace-summary`.
+func (a *Aggregator) WriteSummary(w io.Writer, n int) {
+	fmt.Fprintf(w, "trace: %d events | tx %d begin / %d commit / %d abort | gil %d acquire / %d fallback | %d adjustments | %d gc\n",
+		a.Events, a.Begins, a.Commits, a.Aborts, a.GILAcquires, a.Fallbacks, a.Adjustments, a.GCs)
+	if len(a.AbortCauses) > 0 {
+		fmt.Fprintf(w, "  abort causes:")
+		for _, kv := range topN(a.AbortCauses, 0) {
+			fmt.Fprintf(w, " %s=%d", kv.Key, kv.Count)
+		}
+		fmt.Fprintln(w)
+	}
+	if len(a.AbortRegions) > 0 {
+		fmt.Fprintf(w, "  top abort regions:")
+		for _, kv := range a.TopAbortRegions(n) {
+			fmt.Fprintf(w, " %s=%d", kv.Key, kv.Count)
+		}
+		fmt.Fprintln(w)
+	}
+	if len(a.AbortsByPC) > 0 {
+		fmt.Fprintf(w, "  top abort yield points:")
+		for _, pc := range a.TopAbortPCs(n) {
+			fmt.Fprintf(w, " yp%d=%d", pc.PC, pc.Count)
+		}
+		fmt.Fprintln(w)
+	}
+	if len(a.LengthSeries) > 0 {
+		pcs := make([]int, 0, len(a.LengthSeries))
+		for pc := range a.LengthSeries {
+			pcs = append(pcs, pc)
+		}
+		sort.Ints(pcs)
+		fmt.Fprintf(w, "  length adjustments:\n")
+		for _, pc := range pcs {
+			fmt.Fprintf(w, "    yp%d:", pc)
+			for _, s := range a.LengthSeries[pc] {
+				fmt.Fprintf(w, " t=%d %d->%d", s.T, s.Old, s.New)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// MultiSink fans one event out to several sinks.
+type MultiSink []Sink
+
+// Emit forwards to every sub-sink.
+func (m MultiSink) Emit(ev Event) {
+	for _, s := range m {
+		s.Emit(ev)
+	}
+}

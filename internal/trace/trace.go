@@ -1,0 +1,210 @@
+// Package trace is the structured transaction-event tracing layer of the
+// simulator: a nil-safe Recorder that forwards typed events to pluggable
+// sinks while keeping a small per-thread ring of recent events for
+// debugging.
+//
+// Tracing is designed to cost ~nothing when disabled: every instrumented
+// subsystem holds a *Recorder that is nil by default, and every emit site is
+// guarded by a single pointer nil check before the Event value is even
+// constructed. Only runs that explicitly attach a Recorder (via
+// vm.Options.Trace, `htmgil --trace out.jsonl`, or `htmgil-bench
+// -trace-summary`) pay for event construction and sink dispatch.
+//
+// The event stream is deterministic: events carry only virtual time and
+// simulator-assigned ids, and the discrete-event engine is single-threaded,
+// so the same seed and program produce byte-identical JSONL traces.
+package trace
+
+import "sync"
+
+// Kind classifies an event. Values are short strings so that JSONL traces
+// stay grep-able and compact.
+type Kind string
+
+// Event kinds.
+const (
+	// Transactional lock elision (internal/core, matching Figures 1-3).
+	KindTxBegin     Kind = "tx-begin"     // TBEGIN issued (pc, len)
+	KindTxCommit    Kind = "tx-commit"    // TEND succeeded
+	KindTxAbort     Kind = "tx-abort"     // rollback (cause, region, pc)
+	KindGILFallback Kind = "gil-fallback" // critical section fell back to the GIL (note = reason)
+	KindLenAdjust   Kind = "len-adjust"   // transaction length attenuated (pc, old -> len)
+
+	// Giant VM Lock (internal/gil).
+	KindGILAcquire Kind = "gil-acquire" // a thread took the lock
+	KindGILRelease Kind = "gil-release" // the owner released it (cyc = hold time)
+	KindGILYield   Kind = "gil-yield"   // ModeGIL timer-flagged yield at a yield point
+
+	// Simulated memory (internal/simmem).
+	KindDoom Kind = "doom" // a running transaction was doomed (cause, region)
+
+	// HTM micro-architecture (internal/htm).
+	KindInterrupt Kind = "interrupt" // external interrupt delivered mid-transaction
+	KindLearning  Kind = "learning"  // Intel-style predictor eagerly doomed a fresh transaction
+
+	// Scheduler (internal/sched).
+	KindThreadSpawn Kind = "thread-spawn" // note = thread name
+	KindThreadDone  Kind = "thread-done"
+
+	// Garbage collector (internal/vm).
+	KindGCStart Kind = "gc-start"
+	KindGCEnd   Kind = "gc-end" // cyc = collection cycles
+)
+
+// Event is one structured trace record. Unused fields are left at their
+// zero value (or -1 for the id fields, where 0 is meaningful) and omitted
+// from the JSONL encoding where that is unambiguous.
+type Event struct {
+	T      int64  `json:"t"`              // virtual time of the event
+	Kind   Kind   `json:"k"`              // event kind
+	Ctx    int    `json:"ctx"`            // transactional context id; -1 when not applicable
+	Thread int    `json:"th"`             // scheduler thread id; -1 when not applicable
+	PC     int    `json:"pc"`             // owning yield-point id; -1 when not applicable
+	Len    int32  `json:"len,omitempty"`  // transaction length (tx-begin) or new length (len-adjust)
+	OldLen int32  `json:"old,omitempty"`  // previous length (len-adjust)
+	Cycles int64  `json:"cyc,omitempty"`  // duration payload (gil-release hold, gc-end span)
+	Cause  string `json:"cause,omitempty"`
+	Region string `json:"region,omitempty"`
+	Note   string `json:"note,omitempty"`
+}
+
+// Ev returns an Event at time t with the id fields marked not-applicable.
+// Emit sites fill in what they know.
+func Ev(t int64, k Kind) Event {
+	return Event{T: t, Kind: k, Ctx: -1, Thread: -1, PC: -1}
+}
+
+// Sink consumes events. Sinks attached to one Recorder are invoked in
+// attachment order under the Recorder's lock, so a Sink needs no locking of
+// its own unless it is shared between Recorders.
+type Sink interface {
+	Emit(ev Event)
+}
+
+// DefaultRingCap is the per-thread ring capacity of a Recorder.
+const DefaultRingCap = 256
+
+// ring is a fixed-capacity overwriting buffer of recent events.
+type ring struct {
+	buf  []Event
+	next int
+	full bool
+}
+
+func (r *ring) add(ev Event) {
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// snapshot returns the ring contents oldest-first.
+func (r *ring) snapshot() []Event {
+	if !r.full {
+		out := make([]Event, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Recorder receives events from the instrumented subsystems and fans them
+// out to sinks, keeping a per-thread ring of recent events. A nil *Recorder
+// is valid and discards everything: the disabled-tracing fast path is a
+// single nil check at each emit site.
+//
+// The simulator itself is single-threaded, but the Recorder is safe for
+// concurrent use so that host-parallel harnesses (and the race-detector test
+// belt) can share one.
+type Recorder struct {
+	mu      sync.Mutex
+	sinks   []Sink
+	rings   map[int]*ring
+	ringCap int
+	count   uint64
+}
+
+// NewRecorder creates a Recorder forwarding to the given sinks.
+func NewRecorder(sinks ...Sink) *Recorder {
+	return &Recorder{
+		sinks:   sinks,
+		rings:   make(map[int]*ring),
+		ringCap: DefaultRingCap,
+	}
+}
+
+// AddSink attaches another sink.
+func (r *Recorder) AddSink(s Sink) {
+	if r == nil || s == nil {
+		return
+	}
+	r.mu.Lock()
+	r.sinks = append(r.sinks, s)
+	r.mu.Unlock()
+}
+
+// Enabled reports whether the recorder is live (non-nil). Instrumentation
+// may use it to skip expensive event-payload preparation.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Count returns the number of events recorded so far.
+func (r *Recorder) Count() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// ringKey chooses the per-thread ring for an event: the transactional
+// context when known, else the scheduler thread, else a shared ring.
+func ringKey(ev *Event) int {
+	if ev.Ctx >= 0 {
+		return ev.Ctx
+	}
+	if ev.Thread >= 0 {
+		return ^ev.Thread // avoid colliding with context ids
+	}
+	return int(^uint(0) >> 1) // shared ring for unattributed events
+}
+
+// Emit records one event. Safe on a nil Recorder (discards).
+func (r *Recorder) Emit(ev Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.count++
+	key := ringKey(&ev)
+	rg := r.rings[key]
+	if rg == nil {
+		rg = &ring{buf: make([]Event, r.ringCap)}
+		r.rings[key] = rg
+	}
+	rg.add(ev)
+	for _, s := range r.sinks {
+		s.Emit(ev)
+	}
+	r.mu.Unlock()
+}
+
+// Recent returns the most recent events attributed to a transactional
+// context id, oldest first.
+func (r *Recorder) Recent(ctx int) []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rg := r.rings[ctx]
+	if rg == nil {
+		return nil
+	}
+	return rg.snapshot()
+}

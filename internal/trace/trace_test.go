@@ -1,0 +1,225 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Emit(Ev(1, KindTxBegin)) // must not panic
+	r.AddSink(NewAggregator())
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	if r.Count() != 0 {
+		t.Fatal("nil recorder has nonzero count")
+	}
+	if got := r.Recent(0); got != nil {
+		t.Fatalf("nil recorder returned events: %v", got)
+	}
+}
+
+func TestEvDefaults(t *testing.T) {
+	ev := Ev(42, KindTxAbort)
+	if ev.T != 42 || ev.Kind != KindTxAbort {
+		t.Fatalf("bad event: %+v", ev)
+	}
+	if ev.Ctx != -1 || ev.Thread != -1 || ev.PC != -1 {
+		t.Fatalf("id fields must default to -1: %+v", ev)
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	r := NewRecorder()
+	r.ringCap = 4
+	for i := 0; i < 10; i++ {
+		ev := Ev(int64(i), KindTxBegin)
+		ev.Ctx = 7
+		r.Emit(ev)
+	}
+	got := r.Recent(7)
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(got))
+	}
+	for i, ev := range got {
+		if want := int64(6 + i); ev.T != want {
+			t.Fatalf("event %d has t=%d, want %d (oldest-first)", i, ev.T, want)
+		}
+	}
+	if r.Count() != 10 {
+		t.Fatalf("count = %d, want 10", r.Count())
+	}
+}
+
+func TestRingKeysDoNotCollide(t *testing.T) {
+	r := NewRecorder()
+	ctxEv := Ev(1, KindTxBegin)
+	ctxEv.Ctx = 0
+	r.Emit(ctxEv)
+	thEv := Ev(2, KindThreadSpawn)
+	thEv.Thread = 0
+	r.Emit(thEv)
+	if got := r.Recent(0); len(got) != 1 || got[0].Kind != KindTxBegin {
+		t.Fatalf("ctx 0 ring polluted: %v", got)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	r := NewRecorder(j)
+
+	events := []Event{
+		{T: 0, Kind: KindThreadSpawn, Ctx: -1, Thread: 0, PC: -1, Note: "main"},
+		{T: 5, Kind: KindTxBegin, Ctx: 1, Thread: 1, PC: 0, Len: 256},
+		{T: 9, Kind: KindTxAbort, Ctx: 1, Thread: 1, PC: 0, Cause: "conflict", Region: "heap"},
+		{T: 12, Kind: KindLenAdjust, Ctx: 1, Thread: 1, PC: 0, OldLen: 256, Len: 29},
+		{T: 20, Kind: KindTxCommit, Ctx: 1, Thread: 1, PC: 0},
+		{T: 30, Kind: KindGILRelease, Ctx: -1, Thread: 1, PC: -1, Cycles: 17},
+	}
+	for _, ev := range events {
+		r.Emit(ev)
+	}
+	if j.Err() != nil {
+		t.Fatalf("jsonl error: %v", j.Err())
+	}
+
+	var replayed []Event
+	n, err := ReadJSONL(&buf, sinkFunc(func(ev Event) { replayed = append(replayed, ev) }))
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if n != len(events) {
+		t.Fatalf("replayed %d events, want %d", n, len(events))
+	}
+	if !reflect.DeepEqual(replayed, events) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", replayed, events)
+	}
+}
+
+type sinkFunc func(Event)
+
+func (f sinkFunc) Emit(ev Event) { f(ev) }
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	_, err := ReadJSONL(strings.NewReader("{\"t\":1,\"k\":\"tx-begin\"}\nnot json\n"), NewAggregator())
+	if err == nil {
+		t.Fatal("malformed line accepted")
+	}
+}
+
+func TestAggregator(t *testing.T) {
+	a := NewAggregator()
+	emit := func(ev Event) { a.Emit(ev) }
+
+	for i := 0; i < 5; i++ {
+		emit(Event{T: int64(i), Kind: KindTxBegin, Ctx: 0, Thread: 0, PC: 0})
+	}
+	emit(Event{T: 10, Kind: KindTxCommit, Ctx: 0, Thread: 0, PC: 0})
+	emit(Event{T: 11, Kind: KindTxAbort, Ctx: 0, Thread: 0, PC: 0, Cause: "conflict", Region: "heap"})
+	emit(Event{T: 12, Kind: KindTxAbort, Ctx: 0, Thread: 0, PC: 2, Cause: "conflict", Region: "gil"})
+	emit(Event{T: 13, Kind: KindTxAbort, Ctx: 0, Thread: 0, PC: 2, Cause: "read-overflow"})
+	emit(Event{T: 14, Kind: KindGILFallback, Ctx: -1, Thread: 0, PC: -1, Note: "persistent-abort"})
+	emit(Event{T: 15, Kind: KindLenAdjust, Ctx: 0, Thread: 0, PC: 2, OldLen: 256, Len: 29})
+	emit(Event{T: 16, Kind: KindGILRelease, Ctx: -1, Thread: 0, PC: -1, Cycles: 40})
+	emit(Event{T: 17, Kind: KindGCStart, Ctx: -1, Thread: 0, PC: -1})
+	emit(Event{T: 19, Kind: KindGCEnd, Ctx: -1, Thread: 0, PC: -1, Cycles: 2})
+
+	if a.Begins != 5 || a.Commits != 1 || a.Aborts != 3 {
+		t.Fatalf("tx counters: begins=%d commits=%d aborts=%d", a.Begins, a.Commits, a.Aborts)
+	}
+	if a.AbortCauses["conflict"] != 2 || a.AbortCauses["read-overflow"] != 1 {
+		t.Fatalf("abort causes: %v", a.AbortCauses)
+	}
+	if a.Fallbacks != 1 || a.FallbackReasons["persistent-abort"] != 1 {
+		t.Fatalf("fallbacks: %d %v", a.Fallbacks, a.FallbackReasons)
+	}
+	if a.GILHeld != 40 || a.GILReleases != 1 {
+		t.Fatalf("gil held=%d releases=%d", a.GILHeld, a.GILReleases)
+	}
+	if a.GCs != 1 || a.GCCycles != 2 {
+		t.Fatalf("gc: %d/%d", a.GCs, a.GCCycles)
+	}
+	if got := a.LengthSeries[2]; len(got) != 1 || got[0].Old != 256 || got[0].New != 29 {
+		t.Fatalf("length series: %v", a.LengthSeries)
+	}
+
+	pcs := a.TopAbortPCs(10)
+	if len(pcs) != 2 || pcs[0].PC != 2 || pcs[0].Count != 2 || pcs[1].PC != 0 {
+		t.Fatalf("top abort pcs: %v", pcs)
+	}
+	regions := a.TopAbortRegions(1)
+	if len(regions) != 1 || regions[0].Key != "gil" {
+		// counts tie at 1; "gil" < "heap" so it ranks first deterministically
+		t.Fatalf("top abort regions: %v", regions)
+	}
+
+	var sb strings.Builder
+	a.WriteSummary(&sb, 5)
+	out := sb.String()
+	for _, want := range []string{"5 begin", "3 abort", "conflict=2", "yp2=2", "256->29"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMultiSink(t *testing.T) {
+	a, b := NewAggregator(), NewAggregator()
+	m := MultiSink{a, b}
+	m.Emit(Ev(1, KindTxBegin))
+	if a.Begins != 1 || b.Begins != 1 {
+		t.Fatalf("multisink did not fan out: %d/%d", a.Begins, b.Begins)
+	}
+}
+
+// TestConcurrentEmit exercises the Recorder under the race detector: the
+// simulator is single-threaded, but the Recorder is documented as safe for
+// concurrent use by host-parallel harnesses.
+func TestConcurrentEmit(t *testing.T) {
+	r := NewRecorder(NewAggregator())
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ev := Ev(int64(i), KindTxBegin)
+				ev.Ctx = id
+				r.Emit(ev)
+				if i%64 == 0 {
+					r.Recent(id)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", r.Count(), workers*per)
+	}
+}
+
+// BenchmarkEmitDisabled measures the nil-recorder fast path that every
+// instrumented subsystem takes when tracing is off.
+func BenchmarkEmitDisabled(b *testing.B) {
+	var r *Recorder
+	for i := 0; i < b.N; i++ {
+		if r != nil {
+			r.Emit(Ev(int64(i), KindTxBegin))
+		}
+	}
+}
+
+func BenchmarkEmitEnabled(b *testing.B) {
+	r := NewRecorder(NewAggregator())
+	for i := 0; i < b.N; i++ {
+		ev := Ev(int64(i), KindTxBegin)
+		ev.Ctx = i & 7
+		r.Emit(ev)
+	}
+}

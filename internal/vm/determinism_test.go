@@ -1,0 +1,108 @@
+package vm
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"htmgil/internal/htm"
+)
+
+// detProgram exercises the sources of nondeterminism the simulator must not
+// have: thread scheduling, GIL handoff, transactional conflicts and the
+// random interrupt/abort models.
+const detProgram = `
+counts = Array.new(6, 0)
+m = Mutex.new
+total = 0
+threads = []
+i = 0
+while i < 6
+  threads << Thread.new(i) do |me|
+    local = 0
+    j = 1
+    while j <= 400
+      local += j * (me + 1)
+      j += 1
+    end
+    counts[me] = local
+    m.synchronize do
+      total += local
+    end
+  end
+  i += 1
+end
+threads.each do |t|
+  t.join
+end
+puts "total = #{total}"
+`
+
+// detRun executes the program once and returns the full JSONL trace plus
+// the headline statistics.
+func detRun(t *testing.T, prof *htm.Profile, mode Mode, seed int64) (string, string) {
+	t.Helper()
+	var buf bytes.Buffer
+	opt := DefaultOptions(prof, mode)
+	opt.Seed = seed
+	opt.Trace = NewTraceRecorder(NewTraceJSONL(&buf))
+	v := New(opt)
+	iseq, err := v.CompileSource(detProgram, "det")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := v.Run(iseq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	summary := fmt.Sprintf("out=%q cycles=%d bytecodes=%d yields=%d gcs=%d fallbacks=%d adjustments=%d",
+		res.Output, res.Cycles, st.Bytecodes, st.Yields, st.GCs, st.GILFallbacks, st.Adjustments)
+	if st.HTM != nil {
+		summary += fmt.Sprintf(" begins=%d commits=%d aborts=%d", st.HTM.Begins, st.HTM.Commits, st.HTM.Aborts)
+	}
+	return buf.String(), summary
+}
+
+// TestDeterministicReplay re-runs the same seeded program and demands
+// byte-identical traces and statistics — the property every experiment in
+// EXPERIMENTS.md and the trace tooling itself depend on.
+func TestDeterministicReplay(t *testing.T) {
+	cases := []struct {
+		name string
+		prof *htm.Profile
+		mode Mode
+	}{
+		{"htm-zec12", htm.ZEC12(), ModeHTM},
+		{"htm-xeon", htm.XeonE3(), ModeHTM},
+		{"gil-zec12", htm.ZEC12(), ModeGIL},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			trace1, stats1 := detRun(t, tc.prof, tc.mode, 7)
+			trace2, stats2 := detRun(t, tc.prof, tc.mode, 7)
+			if stats1 != stats2 {
+				t.Fatalf("stats differ across identical runs:\n  %s\n  %s", stats1, stats2)
+			}
+			if trace1 != trace2 {
+				t.Fatalf("traces differ across identical runs (lens %d vs %d)", len(trace1), len(trace2))
+			}
+			if len(trace1) == 0 {
+				t.Fatal("trace is empty")
+			}
+		})
+	}
+}
+
+// TestSeedChangesSchedule is the control: with the interrupt model active a
+// different seed must actually change the interleaving, proving the replay
+// test is not vacuously comparing constant output.
+func TestSeedChangesSchedule(t *testing.T) {
+	// Xeon's interrupt and learning models consume randomness heavily.
+	trace1, _ := detRun(t, htm.XeonE3(), ModeHTM, 7)
+	trace2, _ := detRun(t, htm.XeonE3(), ModeHTM, 8)
+	if trace1 == trace2 {
+		t.Fatal("different seeds produced identical traces; determinism test is vacuous")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"htmgil/internal/object"
 	"htmgil/internal/sched"
 	"htmgil/internal/simmem"
+	"htmgil/internal/trace"
 )
 
 // runGC performs a stop-the-world collection. In GIL/HTM modes the caller
@@ -16,10 +17,27 @@ func (t *RThread) runGC() error {
 	if v.Opt.Mode == ModeFGL || v.Opt.Mode == ModeIdeal {
 		return t.requestGC()
 	}
+	t.traceGC(trace.KindGCStart, 0)
 	cycles := v.Heap.Collect(v.gcRoots, v.gcTraverse)
 	t.charge(CatGILHeld, cycles)
 	t.pendingGC += cycles // the dispatcher adds this to the step's clock
+	t.traceGC(trace.KindGCEnd, cycles)
 	return nil
+}
+
+// traceGC emits a GC lifecycle event attributed to the collecting thread.
+// gc-end events are stamped at collection end and carry the span in Cycles.
+func (t *RThread) traceGC(kind trace.Kind, span int64) {
+	tr := t.vm.Opt.Trace
+	if tr == nil {
+		return
+	}
+	ev := trace.Ev(t.vm.Engine.Now()+span, kind)
+	if t.sth != nil {
+		ev.Thread = t.sth.ID
+	}
+	ev.Cycles = span
+	tr.Emit(ev)
 }
 
 // requestGC implements the FGL/Ideal safepoint protocol: every running
@@ -83,6 +101,7 @@ func (v *VM) gcReady() bool {
 // performSafepointGC runs the collection in FGL/Ideal mode.
 func (t *RThread) performSafepointGC(now int64) {
 	v := t.vm
+	t.traceGC(trace.KindGCStart, 0)
 	cycles := v.Heap.Collect(v.gcRoots, v.gcTraverse)
 	// Parallel collectors (the JVM's, for JRuby) spread the work over
 	// cores; charge the span, not the total.
@@ -93,6 +112,7 @@ func (t *RThread) performSafepointGC(now int64) {
 	t.charge(CatOther, cycles)
 	t.pendingGC += span
 	v.gcRequested = false
+	t.traceGC(trace.KindGCEnd, span)
 }
 
 // errGCWait signals that the allocating thread parked for a safepoint GC

@@ -679,7 +679,6 @@ func (v *VM) installThreading(threadC, mutexC, condC *object.RClass) {
 			// like CRuby's atomic lock word. Conflicts are detected by the
 			// HTM substrate.
 			t.acc.Store(self.Ref.AddrOf(object.SlotA), simmem.Word{Bits: uint64(t.ctxID + 1)})
-			trace("t%d LOCK ok inTx=%v", t.ctxID, t.inTx())
 			return self, nil
 		}
 		// Contended: parking is a scheduling side effect.
@@ -695,7 +694,6 @@ func (v *VM) installThreading(threadC, mutexC, condC *object.RClass) {
 		}
 		md.waiters = append(md.waiters, t)
 		t.nativeState = "mutex-wait"
-		trace("t%d LOCK enqueue (owner=%d)", t.ctxID, owner)
 		return object.Nil, ErrBlocked
 	})
 	v.DefineNative(mutexC, "unlock", 0, false, func(t *RThread, self object.Value, args []object.Value, blk BlockArg, now int64) (object.Value, error) {
@@ -714,11 +712,9 @@ func (v *VM) installThreading(threadC, mutexC, condC *object.RClass) {
 			md.waiters = md.waiters[1:]
 			t.acc.Store(self.Ref.AddrOf(object.SlotA), simmem.Word{Bits: uint64(next.ctxID + 1)})
 			t.vm.Engine.Wake(next.sth, now+200)
-			trace("t%d UNLOCK handoff to %d", t.ctxID, next.ctxID)
 			return self, nil
 		}
 		t.acc.Store(self.Ref.AddrOf(object.SlotA), simmem.Word{Bits: 0})
-		trace("t%d UNLOCK free inTx=%v", t.ctxID, t.inTx())
 		return self, nil
 	})
 

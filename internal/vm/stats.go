@@ -56,6 +56,13 @@ type Stats struct {
 
 	HTM *htm.Stats // nil outside HTM mode
 
+	// GILFallbacks counts critical sections that fell back to the GIL
+	// instead of committing transactionally (HTM mode only).
+	GILFallbacks uint64
+
+	// Adjustments counts transaction-length attenuations (HTM-dynamic only).
+	Adjustments uint64
+
 	GCs      uint64
 	GCCycles int64
 

@@ -5,6 +5,7 @@ import (
 	"htmgil/internal/core"
 	"htmgil/internal/sched"
 	"htmgil/internal/simmem"
+	"htmgil/internal/trace"
 )
 
 // step executes one scheduling step of the thread: usually one bytecode,
@@ -99,11 +100,9 @@ func (t *RThread) afterBegin(cycles int64, out core.Outcome, now int64) sched.St
 	v := t.vm
 	t.charge(CatBeginEnd, cycles)
 	if out == core.Block {
-		trace("t%d afterBegin BLOCK", t.ctxID)
 		t.park(CatGILWait, rsBeginResume)
 		return sched.StepResult{Cycles: cycles, Status: sched.Blocked}
 	}
-	trace("t%d afterBegin proceed gilmode=%v pc=%d depth=%d", t.ctxID, t.tle.GILMode, t.frames[len(t.frames)-1].pc, len(t.frames))
 	t.resume = rsDispatch
 	t.skipYieldOnce = true
 	if t.tle.GILMode {
@@ -135,7 +134,6 @@ func (t *RThread) afterBegin(cycles int64, out core.Outcome, now int64) sched.St
 // doAbort rolls back and runs the Figure 1 abort path.
 func (t *RThread) doAbort(now int64) sched.StepResult {
 	v := t.vm
-	trace("t%d doAbort ckpc=%d depth(before)=%d ckdepth=%d", t.ctxID, t.ckPC, len(t.frames), t.ckDepth)
 	t.rollbackPrivate()
 	t.charge(CatTxAborted, t.txCycles)
 	t.txCycles = 0
@@ -194,7 +192,6 @@ func (t *RThread) atYieldPoint(in *compile.Instr, now int64) *sched.StepResult {
 		t.stats.Yields++
 		v.stats.Yields++
 		endCycles, ok := v.Elision.TransactionEnd(t.tle, t.sth, now)
-		trace("t%d yield-end ok=%v pc=%d iseq=%s", t.ctxID, ok, t.frames[len(t.frames)-1].pc, t.frames[len(t.frames)-1].iseq.Name)
 		if !ok {
 			r := t.doAbort(now)
 			r.Cycles += endCycles
@@ -221,6 +218,11 @@ func (t *RThread) atYieldPoint(in *compile.Instr, now int64) *sched.StepResult {
 		// Yield the GIL: release, sched_yield, re-acquire.
 		t.stats.Yields++
 		v.stats.Yields++
+		if tr := v.Opt.Trace; tr != nil {
+			ev := trace.Ev(now, trace.KindGILYield)
+			ev.Thread = t.sth.ID
+			tr.Emit(ev)
+		}
 		rel := v.GIL.Release(t.sth, now)
 		t.holdingGIL = false
 		cost := rel + v.GIL.CostModel().SchedYield

@@ -184,6 +184,7 @@ func (v *VM) newRThread(name string) *RThread {
 	if v.Opt.Mode == ModeHTM {
 		if v.htmCtxs[id] == nil {
 			v.htmCtxs[id] = htm.NewContext(v.Opt.Prof, v.Mem, id, v.Opt.Seed+int64(id)*7919)
+			v.htmCtxs[id].Tracer = v.Opt.Trace
 		}
 		t.hctx = v.htmCtxs[id]
 		t.tle = v.Elision.NewThread(t.hctx)

@@ -1,17 +1,47 @@
 package vm
 
-import "fmt"
+// This file is the VM-facing surface of the structured tracing subsystem in
+// internal/trace. A run is traced by attaching a recorder via Options.Trace;
+// the recorder fans events out to sinks. Two sinks are built in:
+//
+//   - trace.JSONL streams one JSON object per event to an io.Writer
+//     (`htmgil --trace out.jsonl`);
+//   - trace.Aggregator reconstructs run statistics (transaction counts,
+//     abort causes and regions, GIL fallbacks) and per-yield-point
+//     transaction-length time-series from the event stream
+//     (`htmgil-bench -trace-summary`).
+//
+// The aliases below let VM clients configure tracing without importing
+// internal/trace themselves.
 
-// debugTrace is a development aid: a small ring of recent control events.
-var debugTrace []string
-var debugOn = false
+import (
+	"io"
 
-func trace(format string, args ...any) {
-	if !debugOn {
-		return
-	}
-	debugTrace = append(debugTrace, fmt.Sprintf(format, args...))
-	if len(debugTrace) > 400 {
-		debugTrace = debugTrace[len(debugTrace)-400:]
-	}
+	"htmgil/internal/trace"
+)
+
+// Trace type aliases for clients of the vm package.
+type (
+	// TraceRecorder receives events from every instrumented subsystem.
+	TraceRecorder = trace.Recorder
+	// TraceEvent is one structured trace record.
+	TraceEvent = trace.Event
+	// TraceSink consumes events emitted during a run.
+	TraceSink = trace.Sink
+	// TraceAggregator reconstructs Stats-equivalent counters from events.
+	TraceAggregator = trace.Aggregator
+	// TraceJSONL streams events as JSON lines.
+	TraceJSONL = trace.JSONL
+)
+
+// NewTraceRecorder creates a recorder forwarding to the given sinks; assign
+// it to Options.Trace before vm.New.
+func NewTraceRecorder(sinks ...trace.Sink) *trace.Recorder {
+	return trace.NewRecorder(sinks...)
 }
+
+// NewTraceJSONL creates a sink writing one JSON object per event to w.
+func NewTraceJSONL(w io.Writer) *trace.JSONL { return trace.NewJSONL(w) }
+
+// NewTraceAggregator creates an in-memory aggregating sink.
+func NewTraceAggregator() *trace.Aggregator { return trace.NewAggregator() }

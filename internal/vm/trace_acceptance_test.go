@@ -1,0 +1,133 @@
+package vm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"htmgil/internal/htm"
+	"htmgil/internal/trace"
+)
+
+// TestTraceReproducesStats is the acceptance criterion of the tracing
+// subsystem: a run traced to JSONL, parsed back and aggregated must
+// reproduce the run's Stats exactly — transaction counts, abort causes,
+// GIL fallbacks, length adjustments and conflict-doom attribution. Any
+// drift means an emit site is missing, duplicated or mislabelled.
+func TestTraceReproducesStats(t *testing.T) {
+	for _, prof := range []*htm.Profile{htm.ZEC12(), htm.XeonE3()} {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			var jsonl bytes.Buffer
+			opt := DefaultOptions(prof, ModeHTM)
+			opt.Trace = NewTraceRecorder(NewTraceJSONL(&jsonl))
+			v := New(opt)
+			iseq, err := v.CompileSource(detProgram, "acceptance")
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := v.Run(iseq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := res.Stats
+			if st.HTM == nil || st.HTM.Begins == 0 {
+				t.Fatal("run executed no transactions; acceptance test is vacuous")
+			}
+
+			// Every line must be valid JSON with a known shape.
+			agg := trace.NewAggregator()
+			n, err := trace.ReadJSONL(strings.NewReader(jsonl.String()), agg)
+			if err != nil {
+				t.Fatalf("trace is not valid JSONL: %v", err)
+			}
+			if n == 0 {
+				t.Fatal("no events in trace")
+			}
+
+			// Transaction lifecycle counts: all htm begin/end/abort calls go
+			// through the TLE layer, which is where the events come from.
+			if agg.Begins != st.HTM.Begins {
+				t.Errorf("begins: trace %d, stats %d", agg.Begins, st.HTM.Begins)
+			}
+			if agg.Commits != st.HTM.Commits {
+				t.Errorf("commits: trace %d, stats %d", agg.Commits, st.HTM.Commits)
+			}
+			if agg.Aborts != st.HTM.Aborts {
+				t.Errorf("aborts: trace %d, stats %d", agg.Aborts, st.HTM.Aborts)
+			}
+			if agg.Fallbacks != st.GILFallbacks {
+				t.Errorf("gil fallbacks: trace %d, stats %d", agg.Fallbacks, st.GILFallbacks)
+			}
+			if agg.Adjustments != st.Adjustments {
+				t.Errorf("adjustments: trace %d, stats %d", agg.Adjustments, st.Adjustments)
+			}
+			if agg.GCs != st.GCs {
+				t.Errorf("gcs: trace %d, stats %d", agg.GCs, st.GCs)
+			}
+
+			// Abort causes, cause by cause.
+			var totalCauses uint64
+			for cause, want := range st.AbortCauses {
+				if got := agg.AbortCauses[cause.String()]; got != want {
+					t.Errorf("abort cause %s: trace %d, stats %d", cause, got, want)
+				}
+				totalCauses += want
+			}
+			if totalCauses != st.HTM.Aborts {
+				t.Errorf("stats internally inconsistent: causes sum %d, aborts %d", totalCauses, st.HTM.Aborts)
+			}
+			for cs := range agg.AbortCauses {
+				found := false
+				for cause := range st.AbortCauses {
+					if cause.String() == cs {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("trace has abort cause %q unknown to stats", cs)
+				}
+			}
+
+			// Conflict attribution: simmem emits one doom event exactly where
+			// it counts a conflict against a region.
+			for region, want := range st.ConflictRegions {
+				if got := agg.DoomRegions[region]; got != want {
+					t.Errorf("conflict region %s: trace %d, stats %d", region, got, want)
+				}
+			}
+			for region := range agg.DoomRegions {
+				if _, ok := st.ConflictRegions[region]; !ok {
+					t.Errorf("trace dooms in region %q unknown to stats", region)
+				}
+			}
+		})
+	}
+}
+
+// TestTraceDisabledIsIdentical checks the nil fast path does not perturb
+// execution: the same seeded run with and without a recorder attached must
+// produce identical cycle counts and statistics.
+func TestTraceDisabledIsIdentical(t *testing.T) {
+	run := func(withTrace bool) (int64, uint64, uint64) {
+		opt := DefaultOptions(htm.ZEC12(), ModeHTM)
+		if withTrace {
+			opt.Trace = NewTraceRecorder(NewTraceAggregator())
+		}
+		v := New(opt)
+		iseq, err := v.CompileSource(detProgram, "fastpath")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := v.Run(iseq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles, res.Stats.HTM.Begins, res.Stats.HTM.Aborts
+	}
+	c1, b1, a1 := run(false)
+	c2, b2, a2 := run(true)
+	if c1 != c2 || b1 != b2 || a1 != a2 {
+		t.Fatalf("tracing changed the run: cycles %d/%d begins %d/%d aborts %d/%d", c1, c2, b1, b2, a1, a2)
+	}
+}

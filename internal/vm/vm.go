@@ -32,6 +32,7 @@ import (
 	"htmgil/internal/object"
 	"htmgil/internal/sched"
 	"htmgil/internal/simmem"
+	"htmgil/internal/trace"
 )
 
 // Mode selects the concurrency design.
@@ -89,6 +90,11 @@ type Options struct {
 	MaxCycles     int64 // stop the run after this much virtual time (0 = off)
 
 	Out io.Writer // program output (nil = discard)
+
+	// Trace, when non-nil, receives structured events from every layer of
+	// the machine (TLE protocol, GIL, simulated memory, scheduler, GC).
+	// Nil (the default) keeps all emit sites on their nil-check fast path.
+	Trace *trace.Recorder
 }
 
 // DefaultOptions returns the paper's optimized configuration for a machine.
@@ -236,6 +242,14 @@ func New(opt Options) *VM {
 	params.ConstantLength = opt.TxLength
 	v.Elision = core.New(params, v.GIL, v.Engine, 1024)
 	v.Elision.LiveAppThreads = func() int { return v.liveApp }
+
+	if opt.Trace != nil {
+		v.Mem.Tracer = opt.Trace
+		v.Mem.Clock = v.Engine.Now
+		v.Engine.Tracer = opt.Trace
+		v.GIL.Tracer = opt.Trace
+		v.Elision.Tracer = opt.Trace
+	}
 
 	v.stats.ConflictRegions = make(map[string]uint64)
 	v.stats.AbortCauses = make(map[simmem.AbortCause]uint64)
@@ -480,6 +494,8 @@ func (v *VM) finishRun() *RunResult {
 				s.HTM.Add(c.Stats)
 			}
 		}
+		s.GILFallbacks = v.Elision.Fallbacks
+		s.Adjustments = v.Elision.Adjustments
 		for r, n := range v.Mem.ConflictCounts() {
 			s.ConflictRegions[r] += n
 		}

@@ -12,6 +12,7 @@ import (
 	"htmgil/internal/htm"
 	"htmgil/internal/netsim"
 	"htmgil/internal/rbregexp"
+	"htmgil/internal/trace"
 	"htmgil/internal/vm"
 )
 
@@ -122,6 +123,9 @@ type Config struct {
 	// with HEAPPOOLS, the paper's WEBrick-on-zEC12 conflict source.
 	ZOSMalloc bool
 	Source    string // defaults to ServerSource
+	// Trace, when non-nil, is attached to the run's VM (vm.Options.Trace)
+	// so callers can observe the server's transaction events.
+	Trace *trace.Recorder
 }
 
 // Run executes the server benchmark and reports client-side throughput.
@@ -131,6 +135,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	opt := vm.DefaultOptions(cfg.Prof, cfg.Mode)
 	opt.TxLength = cfg.TxLength
+	opt.Trace = cfg.Trace
 	if cfg.ZOSMalloc {
 		opt.ThreadLocalArenas = false
 	}
