@@ -1,7 +1,7 @@
 // Command htmgil-bench regenerates the paper's tables and figures.
 //
 //	htmgil-bench -experiment all -quick
-//	htmgil-bench -experiment fig5
+//	htmgil-bench -experiment fig5 -parallel 8
 //	htmgil-bench -experiment fig6b -quick -trace-summary
 //	htmgil-bench -experiment fig8 -quick -report reports.json
 //
@@ -10,16 +10,23 @@
 // counts; without it the full (paper-shaped) sweep runs, which takes tens
 // of minutes on one host core.
 //
+// Each configuration point is an independent deterministic simulation;
+// -parallel N executes points on N workers (default: GOMAXPROCS). The
+// tables, reports, and trace digests are byte-identical whatever N is.
+//
 // -trace-summary attaches an event aggregator to every run and appends
 // per-point digests (top abort-causing yield points, length-adjustment
 // timelines). -report FILE writes one machine-readable JSON record per
-// configuration point ("-" for stdout).
+// configuration point ("-" for stdout). -cpuprofile/-memprofile write
+// pprof profiles of the sweep for performance work.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"htmgil/internal/bench"
 )
@@ -27,12 +34,28 @@ import (
 func main() {
 	experiment := flag.String("experiment", "all", "which experiment to regenerate")
 	quick := flag.Bool("quick", false, "scaled-down problem sizes")
+	parallel := flag.Int("parallel", 0, "workers executing configuration points (0 = GOMAXPROCS, 1 = sequential)")
 	traceSummary := flag.Bool("trace-summary", false, "print per-point trace digests (abort PCs, length timelines)")
 	report := flag.String("report", "", "write per-point JSON reports to this file (\"-\" = stdout)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile after the sweep to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	s := bench.NewSession(os.Stdout, *quick)
 	s.TraceSummary = *traceSummary
+	s.Parallel = *parallel
 	if err := s.Run(*experiment); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
@@ -45,15 +68,29 @@ func main() {
 		if *report != "-" {
 			f, err := os.Create(*report)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "error:", err)
-				os.Exit(1)
+				fatal(err)
 			}
 			defer f.Close()
 			out = f
 		}
 		if err := s.WriteReports(out); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
 }

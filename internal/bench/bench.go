@@ -10,6 +10,12 @@
 // show the dynamic length-adjustment timeline (WriteTraceSummaries). The
 // package-level Fig*/Table functions are thin wrappers over a fresh Session
 // for callers that only want the plain-text tables.
+//
+// Every configuration point is an independent, fully deterministic
+// single-threaded simulation, so each experiment first enumerates its points
+// into a plan and then executes them on a pool of Session.Parallel workers
+// (see plan.go); results are merged in point order, keeping the output
+// byte-identical to a sequential run.
 package bench
 
 import (
@@ -19,11 +25,9 @@ import (
 
 	"htmgil/internal/htm"
 	"htmgil/internal/npb"
-	"htmgil/internal/railslite"
 	"htmgil/internal/simmem"
 	"htmgil/internal/trace"
 	"htmgil/internal/vm"
-	"htmgil/internal/webrick"
 )
 
 // Config names one interpreter configuration of Figure 5/7.
@@ -75,8 +79,13 @@ type Session struct {
 	// (and WriteTraceSummaries has something to print).
 	TraceSummary bool
 	// TopN bounds the abort-PC rankings kept per report (default 5).
-	TopN    int
-	Reports []Report
+	TopN int
+	// Parallel is the number of workers executing configuration points;
+	// 0 selects runtime.GOMAXPROCS(0) and 1 forces sequential execution.
+	// Whatever the value, tables and Reports come out in the same order
+	// with the same bytes.
+	Parallel int
+	Reports  []Report
 }
 
 // NewSession returns a Session writing plain-text tables to w.
@@ -102,169 +111,115 @@ func (s *Session) attach() (*trace.Aggregator, *trace.Recorder) {
 	return agg, trace.NewRecorder(agg)
 }
 
-// runNPB executes one NPB point under explicit options and records it.
-func (s *Session) runNPB(exp, config string, b npb.Bench, opt vm.Options, threads int, c npb.Class) (*npb.Result, error) {
-	agg, rec := s.attach()
-	opt.Trace = rec
-	r, err := npb.Run(b, opt, threads, npb.ParamsFor(b, c))
-	if err != nil {
-		return nil, err
-	}
-	s.Reports = append(s.Reports,
-		newReport(exp, opt.Prof.Name, string(b), config, threads, 0, r.Cycles, 0, r.Stats, agg, s.topN()))
-	return r, nil
-}
-
-// runKernel executes one NPB configuration point.
-func (s *Session) runKernel(exp string, b npb.Bench, p *htm.Profile, cfg Config, threads int, c npb.Class) (*npb.Result, error) {
-	opt := vm.DefaultOptions(p, cfg.Mode)
-	opt.TxLength = cfg.TxLength
-	return s.runNPB(exp, cfg.Name, b, opt, threads, c)
-}
-
-// serverPoint executes one Figure 7 server point and records it.
-func (s *Session) serverPoint(exp, app string, prof *htm.Profile, cfg Config, clients, requests int, zos bool) (float64, float64, error) {
-	agg, rec := s.attach()
-	var (
-		tp, ab float64
-		cycles int64
-		st     *vm.Stats
-	)
-	switch app {
-	case "webrick":
-		r, err := webrick.Run(webrick.Config{Prof: prof, Mode: cfg.Mode, TxLength: cfg.TxLength,
-			Clients: clients, Requests: requests, ZOSMalloc: zos, Trace: rec})
-		if err != nil {
-			return 0, 0, err
-		}
-		tp, ab, cycles, st = r.Throughput, r.AbortRatio, r.Cycles, r.Stats
-	default:
-		r, err := railslite.Run(railslite.Config{Prof: prof, Mode: cfg.Mode, TxLength: cfg.TxLength,
-			Clients: clients, Requests: requests, Trace: rec})
-		if err != nil {
-			return 0, 0, err
-		}
-		tp, ab, cycles, st = r.Throughput, r.AbortRatio, r.Cycles, r.Stats
-	}
-	s.Reports = append(s.Reports,
-		newReport(exp, prof.Name, app, cfg.Name, 0, clients, cycles, tp, st, agg, s.topN()))
-	return tp, ab, nil
-}
-
-// Fig5 regenerates Figure 5: NPB throughput against threads for the five
+// buildFig5 enumerates Figure 5: NPB throughput against threads for the five
 // configurations on both machines, normalized to 1-thread GIL.
-func (s *Session) Fig5() error {
-	w, quick := s.W, s.Quick
+func (s *Session) buildFig5(p *plan) {
+	quick := s.Quick
 	for _, prof := range []*htm.Profile{htm.ZEC12(), htm.XeonE3()} {
 		for _, bench := range npb.Kernels {
-			fmt.Fprintf(w, "\n# Figure 5 — %s on %s (throughput, 1 = 1-thread GIL)\n", bench, prof.Name)
-			base, err := s.runKernel("fig5", bench, prof, Configs()[0], 1, classFor(quick))
-			if err != nil {
-				return fmt.Errorf("fig5 baseline %s: %w", bench, err)
-			}
-			fmt.Fprintf(w, "%-12s", "threads")
+			p.printf("\n# Figure 5 — %s on %s (throughput, 1 = 1-thread GIL)\n", bench, prof.Name)
+			base := p.kernel(fmt.Sprintf("fig5 baseline %s", bench),
+				"fig5", bench, prof, Configs()[0], 1, classFor(quick), false)
+			p.printf("%-12s", "threads")
 			for _, cfg := range Configs() {
-				fmt.Fprintf(w, "%14s", cfg.Name)
+				p.printf("%14s", cfg.Name)
 			}
-			fmt.Fprintln(w)
+			p.printf("\n")
 			for _, th := range threadsFor(prof, quick) {
-				fmt.Fprintf(w, "%-12d", th)
+				p.printf("%-12d", th)
 				for _, cfg := range Configs() {
-					r, err := s.runKernel("fig5", bench, prof, cfg, th, classFor(quick))
-					if err != nil {
-						return fmt.Errorf("fig5 %s/%s/%d: %w", bench, cfg.Name, th, err)
-					}
-					if !r.Valid {
-						return fmt.Errorf("fig5 %s/%s/%d: validation failed", bench, cfg.Name, th)
-					}
-					fmt.Fprintf(w, "%14.2f", float64(base.Cycles)/float64(r.Cycles))
+					r := p.kernel(fmt.Sprintf("fig5 %s/%s/%d", bench, cfg.Name, th),
+						"fig5", bench, prof, cfg, th, classFor(quick), true)
+					p.cell(func(w io.Writer) error {
+						_, err := fmt.Fprintf(w, "%14.2f", float64(base.res.Cycles)/float64(r.res.Cycles))
+						return err
+					})
 				}
-				fmt.Fprintln(w)
+				p.printf("\n")
 			}
 		}
 	}
-	return nil
 }
 
-// Fig6a regenerates Figure 6(a): the TSX learning behaviour. A synthetic
+// buildFig6a enumerates Figure 6(a): the TSX learning behaviour. A synthetic
 // transaction writes a shrinking working set; the success ratio recovers
 // only gradually after the set drops below capacity. It drives the HTM
-// layer directly (no VM run), so it contributes no Reports.
-func (s *Session) Fig6a() error {
-	w, quick := s.W, s.Quick
-	prof := htm.XeonE3()
-	prof.InterruptMeanCycles = 0
-	mem := simmem.NewMemory(simmem.Config{LineBytes: prof.LineBytes}, 1)
-	base := mem.Reserve("data", 1<<21)
-	ctx := htm.NewContext(prof, mem, 0, 42)
-	iters := 10000
-	if quick {
-		iters = 2000
-	}
-	fmt.Fprintf(w, "\n# Figure 6a — write-set shrink on %s (success ratio per %d-iteration window)\n", prof.Name, 100)
-	fmt.Fprintf(w, "%-12s%-12s%-12s\n", "iteration", "sizeKB", "success%")
-	window, succ := 0, 0
-	iter := 0
-	for _, sizeKB := range []int{24, 20, 16, 12, 8, 4} {
-		lines := sizeKB << 10 / prof.LineBytes
-		for i := 0; i < iters; i++ {
-			ctx.Begin(0)
-			for l := 0; l < lines && !ctx.Tx.Doomed(); l++ {
-				ctx.Tx.Store(base+simmem.Addr(l*prof.LineBytes), simmem.Word{Bits: 1})
-			}
-			if _, ok := ctx.End(0); ok {
-				succ++
-			} else {
-				ctx.Abort()
-			}
-			window++
-			iter++
-			if window == 100 {
-				fmt.Fprintf(w, "%-12d%-12d%-12d\n", iter, sizeKB, succ)
-				window, succ = 0, 0
+// layer directly (no VM run), so it contributes no Reports and forms a
+// single plan point.
+func (s *Session) buildFig6a(p *plan) {
+	quick := s.Quick
+	p.raw("fig6a", func(w io.Writer) error {
+		prof := htm.XeonE3()
+		prof.InterruptMeanCycles = 0
+		mem := simmem.NewMemory(simmem.Config{LineBytes: prof.LineBytes}, 1)
+		base := mem.Reserve("data", 1<<21)
+		ctx := htm.NewContext(prof, mem, 0, 42)
+		iters := 10000
+		if quick {
+			iters = 2000
+		}
+		fmt.Fprintf(w, "\n# Figure 6a — write-set shrink on %s (success ratio per %d-iteration window)\n", prof.Name, 100)
+		fmt.Fprintf(w, "%-12s%-12s%-12s\n", "iteration", "sizeKB", "success%")
+		window, succ := 0, 0
+		iter := 0
+		for _, sizeKB := range []int{24, 20, 16, 12, 8, 4} {
+			lines := sizeKB << 10 / prof.LineBytes
+			for i := 0; i < iters; i++ {
+				ctx.Begin(0)
+				for l := 0; l < lines && !ctx.Tx.Doomed(); l++ {
+					ctx.Tx.Store(base+simmem.Addr(l*prof.LineBytes), simmem.Word{Bits: 1})
+				}
+				if _, ok := ctx.End(0); ok {
+					succ++
+				} else {
+					ctx.Abort()
+				}
+				window++
+				iter++
+				if window == 100 {
+					fmt.Fprintf(w, "%-12d%-12d%-12d\n", iter, sizeKB, succ)
+					window, succ = 0, 0
+				}
 			}
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
-// Fig6b regenerates Figure 6(b): BT with the larger class on Xeon, where
+// buildFig6b enumerates Figure 6(b): BT with the larger class on Xeon, where
 // the longer run lets HTM-dynamic reach and beat the fixed lengths.
-func (s *Session) Fig6b() error {
-	w, quick := s.W, s.Quick
+func (s *Session) buildFig6b(p *plan) {
+	quick := s.Quick
 	prof := htm.XeonE3()
 	class := npb.ClassW
 	if quick {
 		class = npb.ClassS
 	}
-	fmt.Fprintf(w, "\n# Figure 6b — BT class W on %s (throughput, 1 = 1-thread GIL)\n", prof.Name)
-	base, err := s.runKernel("fig6b", npb.BT, prof, Configs()[0], 1, class)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "%-12s", "threads")
+	p.printf("\n# Figure 6b — BT class W on %s (throughput, 1 = 1-thread GIL)\n", prof.Name)
+	base := p.kernel("fig6b baseline", "fig6b", npb.BT, prof, Configs()[0], 1, class, false)
+	p.printf("%-12s", "threads")
 	for _, cfg := range Configs() {
-		fmt.Fprintf(w, "%14s", cfg.Name)
+		p.printf("%14s", cfg.Name)
 	}
-	fmt.Fprintln(w)
+	p.printf("\n")
 	for _, th := range threadsFor(prof, quick) {
-		fmt.Fprintf(w, "%-12d", th)
+		p.printf("%-12d", th)
 		for _, cfg := range Configs() {
-			r, err := s.runKernel("fig6b", npb.BT, prof, cfg, th, class)
-			if err != nil {
+			r := p.kernel(fmt.Sprintf("fig6b %s/%d", cfg.Name, th),
+				"fig6b", npb.BT, prof, cfg, th, class, false)
+			p.cell(func(w io.Writer) error {
+				_, err := fmt.Fprintf(w, "%14.2f", float64(base.res.Cycles)/float64(r.res.Cycles))
 				return err
-			}
-			fmt.Fprintf(w, "%14.2f", float64(base.Cycles)/float64(r.Cycles))
+			})
 		}
-		fmt.Fprintln(w)
+		p.printf("\n")
 	}
-	return nil
 }
 
-// Fig7 regenerates Figure 7: WEBrick on both machines and Rails on Xeon,
+// buildFig7 enumerates Figure 7: WEBrick on both machines and Rails on Xeon,
 // throughput normalized to 1-client GIL, plus HTM-dynamic abort ratios.
-func (s *Session) Fig7() error {
-	w, quick := s.W, s.Quick
+func (s *Session) buildFig7(p *plan) {
+	quick := s.Quick
 	// The dynamic adjustment needs enough requests to adapt the handler
 	// sites' transaction lengths (the paper served 30,000 per point).
 	requests := 3000
@@ -284,88 +239,92 @@ func (s *Session) Fig7() error {
 		{"rails", htm.XeonE3(), false},
 	}
 	for _, a := range apps {
-		fmt.Fprintf(w, "\n# Figure 7 — %s on %s (throughput, 1 = 1-client GIL; rightmost: HTM-dynamic abort%%)\n", a.name, a.prof.Name)
-		baseTp, _, err := s.serverPoint("fig7", a.name, a.prof, Configs()[0], 1, requests, a.zos)
-		if err != nil {
-			return fmt.Errorf("fig7 %s baseline: %w", a.name, err)
-		}
-		fmt.Fprintf(w, "%-10s", "clients")
+		p.printf("\n# Figure 7 — %s on %s (throughput, 1 = 1-client GIL; rightmost: HTM-dynamic abort%%)\n", a.name, a.prof.Name)
+		base := p.server(fmt.Sprintf("fig7 %s baseline", a.name),
+			"fig7", a.name, a.prof, Configs()[0], 1, requests, a.zos)
+		p.printf("%-10s", "clients")
 		for _, cfg := range Configs() {
-			fmt.Fprintf(w, "%14s", cfg.Name)
+			p.printf("%14s", cfg.Name)
 		}
-		fmt.Fprintf(w, "%14s\n", "abort%")
+		p.printf("%14s\n", "abort%")
 		for _, cl := range clientsList {
-			fmt.Fprintf(w, "%-10d", cl)
-			var dynAbort float64
+			p.printf("%-10d", cl)
+			var dyn *serverRun
 			for _, cfg := range Configs() {
-				tp, ab, err := s.serverPoint("fig7", a.name, a.prof, cfg, cl, requests, a.zos)
-				if err != nil {
-					return fmt.Errorf("fig7 %s/%s/%d: %w", a.name, cfg.Name, cl, err)
-				}
+				r := p.server(fmt.Sprintf("fig7 %s/%s/%d", a.name, cfg.Name, cl),
+					"fig7", a.name, a.prof, cfg, cl, requests, a.zos)
 				if cfg.Name == "HTM-dynamic" {
-					dynAbort = ab
+					dyn = r
 				}
-				fmt.Fprintf(w, "%14.2f", tp/baseTp)
+				p.cell(func(w io.Writer) error {
+					_, err := fmt.Fprintf(w, "%14.2f", r.tp/base.tp)
+					return err
+				})
 			}
-			fmt.Fprintf(w, "%14.1f\n", dynAbort*100)
+			last := dyn
+			p.cell(func(w io.Writer) error {
+				_, err := fmt.Fprintf(w, "%14.1f\n", last.ab*100)
+				return err
+			})
 		}
 	}
-	return nil
 }
 
-// Fig8 regenerates Figure 8: HTM-dynamic abort ratios of the NPB against
+// buildFig8 enumerates Figure 8: HTM-dynamic abort ratios of the NPB against
 // threads on both machines, and the cycle breakdown at 12 threads on zEC12.
-func (s *Session) Fig8() error {
-	w, quick := s.W, s.Quick
+func (s *Session) buildFig8(p *plan) {
+	quick := s.Quick
 	class := classFor(quick)
 	dyn := Configs()[4]
 	for _, prof := range []*htm.Profile{htm.ZEC12(), htm.XeonE3()} {
-		fmt.Fprintf(w, "\n# Figure 8 — HTM-dynamic abort ratios (%%) on %s\n", prof.Name)
-		fmt.Fprintf(w, "%-10s", "threads")
+		p.printf("\n# Figure 8 — HTM-dynamic abort ratios (%%) on %s\n", prof.Name)
+		p.printf("%-10s", "threads")
 		for _, b := range npb.Kernels {
-			fmt.Fprintf(w, "%8s", b)
+			p.printf("%8s", b)
 		}
-		fmt.Fprintln(w)
+		p.printf("\n")
 		for _, th := range threadsFor(prof, quick) {
-			fmt.Fprintf(w, "%-10d", th)
+			p.printf("%-10d", th)
 			for _, b := range npb.Kernels {
-				r, err := s.runKernel("fig8", b, prof, dyn, th, class)
-				if err != nil {
+				r := p.kernel(fmt.Sprintf("fig8 %s/%d", b, th),
+					"fig8", b, prof, dyn, th, class, false)
+				p.cell(func(w io.Writer) error {
+					_, err := fmt.Fprintf(w, "%8.1f", r.res.Stats.AbortRatio()*100)
 					return err
-				}
-				fmt.Fprintf(w, "%8.1f", r.Stats.AbortRatio()*100)
+				})
 			}
-			fmt.Fprintln(w)
+			p.printf("\n")
 		}
 	}
 	// Cycle breakdown, 12 threads on zEC12.
-	fmt.Fprintf(w, "\n# Figure 8 — cycle breakdown, HTM-dynamic, 12 threads, zEC12 (%%)\n")
-	fmt.Fprintf(w, "%-8s%14s%14s%14s%14s%14s\n", "bench",
+	p.printf("\n# Figure 8 — cycle breakdown, HTM-dynamic, 12 threads, zEC12 (%%)\n")
+	p.printf("%-8s%14s%14s%14s%14s%14s\n", "bench",
 		vm.CatBeginEnd, vm.CatTxSuccess, vm.CatTxAborted, vm.CatGILHeld, vm.CatGILWait)
 	for _, b := range npb.Kernels {
-		r, err := s.runKernel("fig8", b, htm.ZEC12(), dyn, 12, class)
-		if err != nil {
+		r := p.kernel(fmt.Sprintf("fig8 breakdown %s", b),
+			"fig8", b, htm.ZEC12(), dyn, 12, class, false)
+		p.cell(func(w io.Writer) error {
+			st := r.res.Stats
+			total := float64(st.Cycles[vm.CatBeginEnd] + st.Cycles[vm.CatTxSuccess] +
+				st.Cycles[vm.CatTxAborted] + st.Cycles[vm.CatGILHeld] + st.Cycles[vm.CatGILWait])
+			if total == 0 {
+				total = 1
+			}
+			fmt.Fprintf(w, "%-8s", b)
+			for _, cat := range []vm.CycleCat{vm.CatBeginEnd, vm.CatTxSuccess, vm.CatTxAborted, vm.CatGILHeld, vm.CatGILWait} {
+				fmt.Fprintf(w, "%14.1f", 100*float64(st.Cycles[cat])/total)
+			}
+			_, err := fmt.Fprintln(w)
 			return err
-		}
-		total := float64(r.Stats.Cycles[vm.CatBeginEnd] + r.Stats.Cycles[vm.CatTxSuccess] +
-			r.Stats.Cycles[vm.CatTxAborted] + r.Stats.Cycles[vm.CatGILHeld] + r.Stats.Cycles[vm.CatGILWait])
-		if total == 0 {
-			total = 1
-		}
-		fmt.Fprintf(w, "%-8s", b)
-		for _, cat := range []vm.CycleCat{vm.CatBeginEnd, vm.CatTxSuccess, vm.CatTxAborted, vm.CatGILHeld, vm.CatGILWait} {
-			fmt.Fprintf(w, "%14.1f", 100*float64(r.Stats.Cycles[cat])/total)
-		}
-		fmt.Fprintln(w)
+		})
 	}
-	return nil
 }
 
-// Fig9 regenerates Figure 9: scalability of HTM-dynamic (zEC12), the
+// buildFig9 enumerates Figure 9: scalability of HTM-dynamic (zEC12), the
 // JRuby-style fine-grained-locking runtime, and the Ideal runtime (the
 // Java NPB stand-in), each normalized to its own 1-thread run.
-func (s *Session) Fig9() error {
-	w, quick := s.W, s.Quick
+func (s *Session) buildFig9(p *plan) {
+	quick := s.Quick
 	class := classFor(quick)
 	runtimes := []struct {
 		name string
@@ -377,152 +336,144 @@ func (s *Session) Fig9() error {
 		{"Ideal (Java-like)", htm.ZEC12(), vm.ModeIdeal},
 	}
 	for _, rt := range runtimes {
-		fmt.Fprintf(w, "\n# Figure 9 — scalability of %s (1 = own 1-thread)\n", rt.name)
-		fmt.Fprintf(w, "%-10s", "threads")
+		p.printf("\n# Figure 9 — scalability of %s (1 = own 1-thread)\n", rt.name)
+		p.printf("%-10s", "threads")
 		for _, b := range npb.Kernels {
-			fmt.Fprintf(w, "%8s", b)
+			p.printf("%8s", b)
 		}
-		fmt.Fprintln(w)
-		bases := map[npb.Bench]int64{}
+		p.printf("\n")
+		bases := map[npb.Bench]*kernelRun{}
 		for _, b := range npb.Kernels {
 			opt := vm.DefaultOptions(rt.prof, rt.mode)
-			r, err := s.runNPB("fig9", rt.name, b, opt, 1, class)
-			if err != nil {
-				return err
-			}
-			bases[b] = r.Cycles
+			bases[b] = p.npb(fmt.Sprintf("fig9 %s/%s/1", rt.name, b),
+				"fig9", rt.name, b, opt, 1, class, false)
 		}
 		for _, th := range threadsFor(rt.prof, quick) {
-			fmt.Fprintf(w, "%-10d", th)
+			p.printf("%-10d", th)
 			for _, b := range npb.Kernels {
 				opt := vm.DefaultOptions(rt.prof, rt.mode)
-				r, err := s.runNPB("fig9", rt.name, b, opt, th, class)
-				if err != nil {
+				r := p.npb(fmt.Sprintf("fig9 %s/%s/%d", rt.name, b, th),
+					"fig9", rt.name, b, opt, th, class, false)
+				base := bases[b]
+				p.cell(func(w io.Writer) error {
+					_, err := fmt.Fprintf(w, "%8.2f", float64(base.res.Cycles)/float64(r.res.Cycles))
 					return err
-				}
-				fmt.Fprintf(w, "%8.2f", float64(bases[b])/float64(r.Cycles))
+				})
 			}
-			fmt.Fprintln(w)
+			p.printf("\n")
 		}
 	}
-	return nil
 }
 
-// MicroTable regenerates the Section 5.3 micro-benchmark result: While and
+// buildMicro enumerates the Section 5.3 micro-benchmark result: While and
 // Iterator speedups of the best HTM configuration over the GIL at 12
 // threads on zEC12 (the paper reports 11- and 10-fold).
-func (s *Session) MicroTable() error {
-	w, quick := s.W, s.Quick
+func (s *Session) buildMicro(p *plan) {
+	quick := s.Quick
 	prof := htm.ZEC12()
 	class := classFor(quick)
-	fmt.Fprintf(w, "\n# Section 5.3 — micro-benchmark throughput over 1-thread GIL on %s\n", prof.Name)
-	fmt.Fprintf(w, "# (Figure 4 workloads run per thread, so throughput = threads * cycle ratio)\n")
-	fmt.Fprintf(w, "%-10s%10s%16s%16s\n", "bench", "threads", "GIL", "HTM-dynamic")
+	p.printf("\n# Section 5.3 — micro-benchmark throughput over 1-thread GIL on %s\n", prof.Name)
+	p.printf("# (Figure 4 workloads run per thread, so throughput = threads * cycle ratio)\n")
+	p.printf("%-10s%10s%16s%16s\n", "bench", "threads", "GIL", "HTM-dynamic")
 	for _, b := range npb.Micro {
-		base, err := s.runKernel("micro", b, prof, Configs()[0], 1, class)
-		if err != nil {
-			return err
-		}
+		base := p.kernel(fmt.Sprintf("micro baseline %s", b),
+			"micro", b, prof, Configs()[0], 1, class, false)
 		for _, th := range []int{1, 12} {
-			g, err := s.runKernel("micro", b, prof, Configs()[0], th, class)
-			if err != nil {
+			g := p.kernel(fmt.Sprintf("micro %s/GIL/%d", b, th),
+				"micro", b, prof, Configs()[0], th, class, false)
+			h := p.kernel(fmt.Sprintf("micro %s/HTM-dynamic/%d", b, th),
+				"micro", b, prof, Configs()[4], th, class, false)
+			p.cell(func(w io.Writer) error {
+				work := float64(th)
+				_, err := fmt.Fprintf(w, "%-10s%10d%16.2f%16.2f\n", b, th,
+					work*float64(base.res.Cycles)/float64(g.res.Cycles),
+					work*float64(base.res.Cycles)/float64(h.res.Cycles))
 				return err
-			}
-			h, err := s.runKernel("micro", b, prof, Configs()[4], th, class)
-			if err != nil {
-				return err
-			}
-			work := float64(th)
-			fmt.Fprintf(w, "%-10s%10d%16.2f%16.2f\n", b, th,
-				work*float64(base.Cycles)/float64(g.Cycles), work*float64(base.Cycles)/float64(h.Cycles))
+			})
 		}
 	}
-	return nil
 }
 
-// AbortsTable regenerates the Section 5.6 analyses: abort causes and the
+// buildAborts enumerates the Section 5.6 analyses: abort causes and the
 // memory regions responsible for conflict aborts.
-func (s *Session) AbortsTable() error {
-	w, quick := s.W, s.Quick
+func (s *Session) buildAborts(p *plan) {
+	quick := s.Quick
 	class := classFor(quick)
 	dyn := Configs()[4]
-	fmt.Fprintf(w, "\n# Section 5.6 — abort causes and conflict regions, HTM-dynamic, 12 threads, zEC12\n")
+	p.printf("\n# Section 5.6 — abort causes and conflict regions, HTM-dynamic, 12 threads, zEC12\n")
 	for _, b := range npb.Kernels {
-		r, err := s.runKernel("aborts", b, htm.ZEC12(), dyn, 12, class)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "%-6s causes:", b)
-		var causes []string
-		for c := range r.Stats.AbortCauses {
-			causes = append(causes, c.String())
-		}
-		sort.Strings(causes)
-		total := uint64(0)
-		for _, n := range r.Stats.AbortCauses {
-			total += n
-		}
-		for _, cs := range causes {
-			for c, n := range r.Stats.AbortCauses {
-				if c.String() == cs && total > 0 {
-					fmt.Fprintf(w, " %s=%.0f%%", cs, 100*float64(n)/float64(total))
+		r := p.kernel(fmt.Sprintf("aborts %s", b),
+			"aborts", b, htm.ZEC12(), dyn, 12, class, false)
+		p.cell(func(w io.Writer) error {
+			st := r.res.Stats
+			fmt.Fprintf(w, "%-6s causes:", b)
+			var causes []string
+			for c := range st.AbortCauses {
+				causes = append(causes, c.String())
+			}
+			sort.Strings(causes)
+			total := uint64(0)
+			for _, n := range st.AbortCauses {
+				total += n
+			}
+			for _, cs := range causes {
+				for c, n := range st.AbortCauses {
+					if c.String() == cs && total > 0 {
+						fmt.Fprintf(w, " %s=%.0f%%", cs, 100*float64(n)/float64(total))
+					}
 				}
 			}
-		}
-		fmt.Fprintf(w, " | conflict regions:")
-		var regions []string
-		ctotal := uint64(0)
-		for reg, n := range r.Stats.ConflictRegions {
-			regions = append(regions, reg)
-			ctotal += n
-		}
-		sort.Strings(regions)
-		for _, reg := range regions {
-			if ctotal > 0 {
-				fmt.Fprintf(w, " %s=%.0f%%", reg, 100*float64(r.Stats.ConflictRegions[reg])/float64(ctotal))
+			fmt.Fprintf(w, " | conflict regions:")
+			var regions []string
+			ctotal := uint64(0)
+			for reg, n := range st.ConflictRegions {
+				regions = append(regions, reg)
+				ctotal += n
 			}
-		}
-		fmt.Fprintln(w)
+			sort.Strings(regions)
+			for _, reg := range regions {
+				if ctotal > 0 {
+					fmt.Fprintf(w, " %s=%.0f%%", reg, 100*float64(st.ConflictRegions[reg])/float64(ctotal))
+				}
+			}
+			_, err := fmt.Fprintln(w)
+			return err
+		})
 	}
-	return nil
 }
 
-// OverheadTable regenerates the Section 5.6 single-thread overhead: the
+// buildOverhead enumerates the Section 5.6 single-thread overhead: the
 // paper reports HTM-dynamic 18–35% slower than the GIL with one thread.
-func (s *Session) OverheadTable() error {
-	w, quick := s.W, s.Quick
+func (s *Session) buildOverhead(p *plan) {
+	quick := s.Quick
 	class := classFor(quick)
-	fmt.Fprintf(w, "\n# Section 5.6 — single-thread overhead of HTM-dynamic vs GIL (zEC12)\n")
-	fmt.Fprintf(w, "%-8s%14s\n", "bench", "overhead%")
+	p.printf("\n# Section 5.6 — single-thread overhead of HTM-dynamic vs GIL (zEC12)\n")
+	p.printf("%-8s%14s\n", "bench", "overhead%")
 	for _, b := range npb.Kernels {
-		g, err := s.runKernel("overhead", b, htm.ZEC12(), Configs()[0], 1, class)
-		if err != nil {
+		g := p.kernel(fmt.Sprintf("overhead %s/GIL", b),
+			"overhead", b, htm.ZEC12(), Configs()[0], 1, class, false)
+		h := p.kernel(fmt.Sprintf("overhead %s/HTM-dynamic", b),
+			"overhead", b, htm.ZEC12(), Configs()[4], 1, class, false)
+		p.cell(func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "%-8s%14.1f\n", b,
+				100*(float64(h.res.Cycles)/float64(g.res.Cycles)-1))
 			return err
-		}
-		h, err := s.runKernel("overhead", b, htm.ZEC12(), Configs()[4], 1, class)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "%-8s%14.1f\n", b, 100*(float64(h.Cycles)/float64(g.Cycles)-1))
+		})
 	}
-	return nil
 }
 
-// AblationTable regenerates the Section 4.2/4.4 findings: removing the new
+// buildAblation enumerates the Section 4.2/4.4 findings: removing the new
 // yield points or the conflict removals destroys the HTM speedup.
-func (s *Session) AblationTable() error {
-	w, quick := s.W, s.Quick
+func (s *Session) buildAblation(p *plan) {
+	quick := s.Quick
 	class := classFor(quick)
 	prof := htm.ZEC12()
 	threads := 8
 	bench := npb.FT
 	baseOpt := vm.DefaultOptions(prof, vm.ModeGIL)
-	baseRun, err := s.runNPB("ablation", "GIL", bench, baseOpt, threads, class)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "\n# Ablations — %s, %d threads, zEC12 (speedup over GIL at same threads)\n", bench, threads)
-	fmt.Fprintf(w, "%-38s%14s\n", "configuration", "speedup")
+	baseRun := p.npb("ablation baseline", "ablation", "GIL", bench, baseOpt, threads, class, false)
+	p.printf("\n# Ablations — %s, %d threads, zEC12 (speedup over GIL at same threads)\n", bench, threads)
+	p.printf("%-38s%14s\n", "configuration", "speedup")
 	type variant struct {
 		name string
 		mut  func(*vm.Options)
@@ -544,46 +495,88 @@ func (s *Session) AblationTable() error {
 	for _, va := range variants {
 		opt := vm.DefaultOptions(prof, vm.ModeHTM)
 		va.mut(&opt)
-		r, err := s.runNPB("ablation", va.name, bench, opt, threads, class)
-		if err != nil {
-			return fmt.Errorf("ablation %q: %w", va.name, err)
-		}
-		fmt.Fprintf(w, "%-38s%14.2f\n", va.name, float64(baseRun.Cycles)/float64(r.Cycles))
+		r := p.npb(fmt.Sprintf("ablation %q", va.name),
+			"ablation", va.name, bench, opt, threads, class, false)
+		p.cell(func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "%-38s%14.2f\n", va.name,
+				float64(baseRun.res.Cycles)/float64(r.res.Cycles))
+			return err
+		})
 	}
-	return nil
 }
 
-// All runs every experiment.
+// Fig5 regenerates Figure 5 (see buildFig5).
+func (s *Session) Fig5() error { return s.runPlan(s.buildFig5) }
+
+// Fig6a regenerates Figure 6(a) (see buildFig6a).
+func (s *Session) Fig6a() error { return s.runPlan(s.buildFig6a) }
+
+// Fig6b regenerates Figure 6(b) (see buildFig6b).
+func (s *Session) Fig6b() error { return s.runPlan(s.buildFig6b) }
+
+// Fig7 regenerates Figure 7 (see buildFig7).
+func (s *Session) Fig7() error { return s.runPlan(s.buildFig7) }
+
+// Fig8 regenerates Figure 8 (see buildFig8).
+func (s *Session) Fig8() error { return s.runPlan(s.buildFig8) }
+
+// Fig9 regenerates Figure 9 (see buildFig9).
+func (s *Session) Fig9() error { return s.runPlan(s.buildFig9) }
+
+// MicroTable regenerates the Section 5.3 micro-benchmark table.
+func (s *Session) MicroTable() error { return s.runPlan(s.buildMicro) }
+
+// AbortsTable regenerates the Section 5.6 abort analyses.
+func (s *Session) AbortsTable() error { return s.runPlan(s.buildAborts) }
+
+// OverheadTable regenerates the Section 5.6 single-thread overhead table.
+func (s *Session) OverheadTable() error { return s.runPlan(s.buildOverhead) }
+
+// AblationTable regenerates the Section 4.2/4.4 ablations.
+func (s *Session) AblationTable() error { return s.runPlan(s.buildAblation) }
+
+// runPlan enumerates one experiment into a fresh plan and flushes it.
+func (s *Session) runPlan(build func(*plan)) error {
+	p := s.newPlan()
+	build(p)
+	return p.flush()
+}
+
+// All runs every experiment in one plan, so the worker pool spans experiment
+// boundaries and the tail of one experiment overlaps the head of the next.
 func (s *Session) All() error {
-	steps := []struct {
-		name string
-		fn   func() error
+	p := s.newPlan()
+	for _, st := range s.steps() {
+		st.build(p)
+	}
+	return p.flush()
+}
+
+func (s *Session) steps() []struct {
+	name  string
+	build func(*plan)
+} {
+	return []struct {
+		name  string
+		build func(*plan)
 	}{
-		{"micro", s.MicroTable}, {"fig5", s.Fig5}, {"fig6a", s.Fig6a}, {"fig6b", s.Fig6b},
-		{"fig7", s.Fig7}, {"fig8", s.Fig8}, {"fig9", s.Fig9},
-		{"aborts", s.AbortsTable}, {"overhead", s.OverheadTable}, {"ablation", s.AblationTable},
+		{"micro", s.buildMicro}, {"fig5", s.buildFig5}, {"fig6a", s.buildFig6a}, {"fig6b", s.buildFig6b},
+		{"fig7", s.buildFig7}, {"fig8", s.buildFig8}, {"fig9", s.buildFig9},
+		{"aborts", s.buildAborts}, {"overhead", s.buildOverhead}, {"ablation", s.buildAblation},
 	}
-	for _, st := range steps {
-		if err := st.fn(); err != nil {
-			return fmt.Errorf("%s: %w", st.name, err)
-		}
-	}
-	return nil
 }
 
 // Run dispatches one experiment by id.
 func (s *Session) Run(name string) error {
-	m := map[string]func() error{
-		"micro": s.MicroTable, "fig5": s.Fig5, "fig6a": s.Fig6a, "fig6b": s.Fig6b,
-		"fig7": s.Fig7, "fig8": s.Fig8, "fig9": s.Fig9,
-		"aborts": s.AbortsTable, "overhead": s.OverheadTable, "ablation": s.AblationTable,
-		"all": s.All,
+	if name == "all" {
+		return s.All()
 	}
-	fn, ok := m[name]
-	if !ok {
-		return fmt.Errorf("unknown experiment %q (try: micro fig5 fig6a fig6b fig7 fig8 fig9 aborts overhead ablation all)", name)
+	for _, st := range s.steps() {
+		if st.name == name {
+			return s.runPlan(st.build)
+		}
 	}
-	return fn()
+	return fmt.Errorf("unknown experiment %q (try: micro fig5 fig6a fig6b fig7 fig8 fig9 aborts overhead ablation all)", name)
 }
 
 // Package-level wrappers retain the original one-shot API: each runs the

@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"htmgil/internal/htm"
+	"htmgil/internal/npb"
+	"htmgil/internal/railslite"
+	"htmgil/internal/vm"
+	"htmgil/internal/webrick"
+)
+
+// Every experiment is enumerated into a plan before anything executes: each
+// configuration point becomes one self-contained exec closure (building its
+// own Memory/Engine/VM, so points share nothing), and every piece of table
+// output becomes an ordered render op. flush then executes the points — on a
+// worker pool when the Session's parallelism allows, sequentially otherwise —
+// and merges results strictly in point order, so tables, Reports, and trace
+// summaries are byte-identical whatever the worker count.
+
+var errValidation = errors.New("validation failed")
+
+// point is one independently executable unit of a plan: one simulator run
+// plus the Report it yields.
+type point struct {
+	label  string // error-wrapping context; empty = propagate bare
+	exec   func() error
+	rep    Report
+	hasRep bool
+	err    error
+}
+
+// kernelRun is the plan-side handle to an NPB point; res is valid once the
+// plan has flushed.
+type kernelRun struct {
+	res *npb.Result
+}
+
+// serverRun is the handle to a Figure 7 server point.
+type serverRun struct {
+	tp, ab float64
+}
+
+// plan accumulates points and render ops for one or more experiments.
+type plan struct {
+	s   *Session
+	pts []*point
+	ops []func(w io.Writer) error
+}
+
+func (s *Session) newPlan() *plan { return &plan{s: s} }
+
+// parallelism returns the worker count for executing points: Session.Parallel
+// when positive, else runtime.GOMAXPROCS(0).
+func (s *Session) parallelism() int {
+	if s.Parallel > 0 {
+		return s.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// printf appends a static piece of table output. Arguments are formatted at
+// flush time but must not depend on point results; use cell for those.
+func (p *plan) printf(format string, args ...any) {
+	p.ops = append(p.ops, func(w io.Writer) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	})
+}
+
+// cell appends a render op that may read point handles.
+func (p *plan) cell(fn func(w io.Writer) error) {
+	p.ops = append(p.ops, fn)
+}
+
+// npb enumerates one NPB point under explicit options. checkValid makes the
+// point fail when the kernel's numerics do not validate.
+func (p *plan) npb(label, exp, config string, b npb.Bench, opt vm.Options, threads int, c npb.Class, checkValid bool) *kernelRun {
+	kr := &kernelRun{}
+	pt := &point{label: label}
+	s := p.s
+	pt.exec = func() error {
+		agg, rec := s.attach()
+		o := opt
+		o.Trace = rec
+		r, err := npb.Run(b, o, threads, npb.ParamsFor(b, c))
+		if err != nil {
+			return err
+		}
+		if checkValid && !r.Valid {
+			return errValidation
+		}
+		kr.res = r
+		pt.rep = newReport(exp, opt.Prof.Name, string(b), config, threads, 0, r.Cycles, 0, r.Stats, agg, s.topN())
+		pt.hasRep = true
+		return nil
+	}
+	p.pts = append(p.pts, pt)
+	return kr
+}
+
+// kernel enumerates one NPB point for a named interpreter configuration.
+func (p *plan) kernel(label, exp string, b npb.Bench, prof *htm.Profile, cfg Config, threads int, c npb.Class, checkValid bool) *kernelRun {
+	opt := vm.DefaultOptions(prof, cfg.Mode)
+	opt.TxLength = cfg.TxLength
+	return p.npb(label, exp, cfg.Name, b, opt, threads, c, checkValid)
+}
+
+// server enumerates one Figure 7 server point.
+func (p *plan) server(label, exp, app string, prof *htm.Profile, cfg Config, clients, requests int, zos bool) *serverRun {
+	sr := &serverRun{}
+	pt := &point{label: label}
+	s := p.s
+	pt.exec = func() error {
+		agg, rec := s.attach()
+		var (
+			cycles int64
+			st     *vm.Stats
+		)
+		switch app {
+		case "webrick":
+			r, err := webrick.Run(webrick.Config{Prof: prof, Mode: cfg.Mode, TxLength: cfg.TxLength,
+				Clients: clients, Requests: requests, ZOSMalloc: zos, Trace: rec})
+			if err != nil {
+				return err
+			}
+			sr.tp, sr.ab, cycles, st = r.Throughput, r.AbortRatio, r.Cycles, r.Stats
+		default:
+			r, err := railslite.Run(railslite.Config{Prof: prof, Mode: cfg.Mode, TxLength: cfg.TxLength,
+				Clients: clients, Requests: requests, Trace: rec})
+			if err != nil {
+				return err
+			}
+			sr.tp, sr.ab, cycles, st = r.Throughput, r.AbortRatio, r.Cycles, r.Stats
+		}
+		pt.rep = newReport(exp, prof.Name, app, cfg.Name, 0, clients, cycles, sr.tp, st, agg, s.topN())
+		pt.hasRep = true
+		return nil
+	}
+	p.pts = append(p.pts, pt)
+	return sr
+}
+
+// raw enumerates a self-contained point (no Report) that renders its whole
+// output into a buffer; the buffer is replayed at its place in the op order.
+func (p *plan) raw(label string, fn func(w io.Writer) error) {
+	var buf bytes.Buffer
+	pt := &point{label: label, exec: func() error { return fn(&buf) }}
+	p.pts = append(p.pts, pt)
+	p.cell(func(w io.Writer) error {
+		_, err := w.Write(buf.Bytes())
+		return err
+	})
+}
+
+// flush executes every enumerated point and then merges in point order:
+// Reports first, then the render ops against the Session writer. Whatever
+// the worker count, the merged output is identical; on a point error the
+// Reports of the points preceding it (in point order) are kept, matching the
+// sequential harness, and rendering is skipped.
+func (p *plan) flush() error {
+	s := p.s
+	workers := s.parallelism()
+	if workers > len(p.pts) {
+		workers = len(p.pts)
+	}
+	if workers <= 1 {
+		for _, pt := range p.pts {
+			if pt.err = pt.exec(); pt.err != nil {
+				break
+			}
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(p.pts) {
+						return
+					}
+					pt := p.pts[i]
+					pt.err = pt.exec()
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, pt := range p.pts {
+		if pt.err != nil {
+			if pt.label != "" {
+				return fmt.Errorf("%s: %w", pt.label, pt.err)
+			}
+			return pt.err
+		}
+		if pt.hasRep {
+			s.Reports = append(s.Reports, pt.rep)
+		}
+	}
+	if s.W == nil {
+		return nil
+	}
+	for _, op := range p.ops {
+		if err := op(s.W); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -34,6 +34,9 @@ type Report struct {
 
 	AbortCauses     map[string]uint64 `json:"abortCauses,omitempty"`
 	ConflictRegions map[string]uint64 `json:"conflictRegions,omitempty"`
+	// ConflictWriterRegions is the subset of ConflictRegions where the
+	// doomed transaction held the conflicting line in its write set.
+	ConflictWriterRegions map[string]uint64 `json:"conflictWriterRegions,omitempty"`
 
 	// Trace attribution, present only when the Session ran with
 	// TraceSummary (it requires attaching an event recorder to the run).
@@ -76,6 +79,12 @@ func newReport(exp, machine, workload, config string, threads, clients int,
 			r.ConflictRegions = make(map[string]uint64, len(st.ConflictRegions))
 			for reg, n := range st.ConflictRegions {
 				r.ConflictRegions[reg] = n
+			}
+		}
+		if len(st.ConflictWriterRegions) > 0 {
+			r.ConflictWriterRegions = make(map[string]uint64, len(st.ConflictWriterRegions))
+			for reg, n := range st.ConflictWriterRegions {
+				r.ConflictWriterRegions[reg] = n
 			}
 		}
 	}

@@ -9,15 +9,25 @@ import (
 	"htmgil/internal/npb"
 )
 
+// runKernelPoint runs one kernel configuration point through the plan
+// machinery, as the experiments do, and returns its result.
+func runKernelPoint(t *testing.T, s *Session, exp string, b npb.Bench, prof *htm.Profile, cfg Config, threads int, c npb.Class) *npb.Result {
+	t.Helper()
+	p := s.newPlan()
+	kr := p.kernel("test point", exp, b, prof, cfg, threads, c, false)
+	if err := p.flush(); err != nil {
+		t.Fatal(err)
+	}
+	return kr.res
+}
+
 // TestSessionReports runs one small kernel point per configuration and
 // checks that the Session records a coherent Report for each.
 func TestSessionReports(t *testing.T) {
 	var sb strings.Builder
 	s := NewSession(&sb, true)
 	for _, cfg := range []Config{Configs()[0], Configs()[4]} {
-		if _, err := s.runKernel("test", npb.While, htm.ZEC12(), cfg, 2, npb.ClassTest); err != nil {
-			t.Fatal(err)
-		}
+		runKernelPoint(t, s, "test", npb.While, htm.ZEC12(), cfg, 2, npb.ClassTest)
 	}
 	if len(s.Reports) != 2 {
 		t.Fatalf("reports = %d, want 2", len(s.Reports))
@@ -49,10 +59,7 @@ func TestSessionTraceSummary(t *testing.T) {
 	var sb strings.Builder
 	s := NewSession(&sb, true)
 	s.TraceSummary = true
-	r, err := s.runKernel("test", npb.While, htm.ZEC12(), Configs()[4], 4, npb.ClassTest)
-	if err != nil {
-		t.Fatal(err)
-	}
+	r := runKernelPoint(t, s, "test", npb.While, htm.ZEC12(), Configs()[4], 4, npb.ClassTest)
 	rep := s.Reports[len(s.Reports)-1]
 	// The aggregator watched the same run that produced Stats; the counts
 	// must agree exactly.
@@ -74,9 +81,7 @@ func TestSessionTraceSummary(t *testing.T) {
 func TestWriteReportsJSON(t *testing.T) {
 	var sb strings.Builder
 	s := NewSession(&sb, true)
-	if _, err := s.runKernel("test", npb.Iterator, htm.XeonE3(), Configs()[1], 2, npb.ClassTest); err != nil {
-		t.Fatal(err)
-	}
+	runKernelPoint(t, s, "test", npb.Iterator, htm.XeonE3(), Configs()[1], 2, npb.ClassTest)
 	var out strings.Builder
 	if err := s.WriteReports(&out); err != nil {
 		t.Fatal(err)

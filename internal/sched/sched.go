@@ -50,7 +50,8 @@ type HWContext struct {
 	ID      int
 	clock   int64 // time at which this hardware thread is next free
 	sibling *HWContext
-	nlive   int // live software threads affined to this context
+	nlive   int       // live software threads affined to this context
+	runset  []*Thread // Running threads affined to this context
 }
 
 // Clock returns the virtual time at which the context is next free.
@@ -73,7 +74,9 @@ type Thread struct {
 	step       StepFunc
 	blockStart int64
 	lastWait   int64
-	runIdx     int // index in the engine's running set, -1 when not running
+	runIdx     int   // index in the engine's run-heap, -1 when not running
+	ctxIdx     int   // index in Ctx.runset, -1 when not running
+	key        int64 // cached effective start time ordering the run-heap
 	Name       string
 }
 
@@ -104,18 +107,97 @@ func (q *eventPQ) Push(x any)       { *q = append(*q, x.(*timedEvent)) }
 func (q *eventPQ) Pop() any         { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
 func (q eventPQ) peek() *timedEvent { return q[0] }
 
+// Dispatch strategy. The Running set lives in one slice (runHeap.th); what
+// varies is how the minimum is found. Below heapDispatchMin threads the
+// engine scans the slice — a handful of inline comparisons per step beats
+// any structure. At heapDispatchMin the slice is heapified in place and
+// maintained as an indexed min-heap keyed on effective start time, turning
+// each step's dispatch from O(running) into O(log running); below
+// heapDispatchExit it falls back to scanning (the gap is hysteresis, so a
+// workload oscillating around the threshold does not re-heapify every
+// step). Both orders are the same strict total order, so the dispatched
+// thread — and therefore the whole schedule — is identical in either mode.
+// BenchmarkStepDispatch measures the crossover.
+const (
+	heapDispatchMin  = 64
+	heapDispatchExit = 48
+)
+
+// runHeap holds the Running threads; in heap mode it is an indexed min-heap
+// keyed on effective start time. The comparator reproduces the scan's
+// preference order exactly — earliest effective start, then smallest own
+// clock (longest waiter), then lowest ID — so schedules stay bit-identical.
+//
+// The heap orders by the CACHED key (Thread.key), not by live clocks. The
+// engine keeps the invariant "key == effStart" for every queued thread: a
+// push stamps the key, and when a step advances a context's clock, every
+// thread queued on that context gets its key restamped and re-sifted
+// (refreshCtx). Caching matters for correctness, not just speed: heap.Fix
+// repairs a single changed key against an otherwise-valid heap, so if the
+// comparator read live clocks, a context-clock advance would change many
+// keys at once and per-node Fix could leave the heap invalid (an up-move
+// during one node's fix compares against another not-yet-fixed node). With
+// cached keys each restamp+Fix is a valid single-key transition.
+type runHeap struct {
+	th []*Thread
+}
+
+// before reports whether thread a must be dispatched before thread b.
+// IDs are unique, so this is a strict total order.
+func before(a, b *Thread) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	if a.Clock != b.Clock {
+		return a.Clock < b.Clock
+	}
+	return a.ID < b.ID
+}
+
+func (h runHeap) Len() int           { return len(h.th) }
+func (h runHeap) Less(i, j int) bool { return before(h.th[i], h.th[j]) }
+func (h runHeap) Swap(i, j int) {
+	h.th[i], h.th[j] = h.th[j], h.th[i]
+	h.th[i].runIdx = i
+	h.th[j].runIdx = j
+}
+func (h *runHeap) Push(x any) {
+	t := x.(*Thread)
+	t.runIdx = len(h.th)
+	h.th = append(h.th, t)
+}
+func (h *runHeap) Pop() any {
+	old := h.th
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	h.th = old[:n-1]
+	t.runIdx = -1
+	return t
+}
+
+// effStart returns the earliest virtual time th could begin its next step:
+// its own clock or the time its hardware context becomes free.
+func effStart(th *Thread) int64 {
+	if th.Ctx.clock > th.Clock {
+		return th.Ctx.clock
+	}
+	return th.Clock
+}
+
 // Engine drives the simulation.
 type Engine struct {
-	cfg     Config
-	ctxs    []*HWContext
-	running []*Thread // unordered set of Running threads
-	timed   eventPQ
-	seq     int64
-	now     int64
-	live    int
-	nthread int
-	stopped bool
-	nextCtx int
+	cfg      Config
+	ctxs     []*HWContext
+	run      runHeap // Running threads; min-heap when heapMode
+	heapMode bool    // see the dispatch-strategy comment on runHeap
+	timed    eventPQ
+	seq      int64
+	now      int64
+	live     int
+	nthread  int
+	stopped  bool
+	nextCtx  int
 
 	// Tracer, when non-nil, receives thread-spawn/thread-done events.
 	Tracer *trace.Recorder
@@ -140,9 +222,12 @@ func NewEngine(cfg Config) *Engine {
 	if cfg.SMTWays == 2 {
 		// Contexts are ordered core-first: ctx i and ctx i+cores share core i,
 		// so that spreading threads round-robin fills distinct cores first,
-		// as the paper's thread placement does.
-		cores := cfg.HWThreads / 2
-		for i := 0; i < cores; i++ {
+		// as the paper's thread placement does. cores rounds up so that an
+		// odd context count yields one sibling-less core among the primaries
+		// rather than a sibling-less context *after* them (which round-robin
+		// placement would fill only after doubling up a core).
+		cores := (cfg.HWThreads + 1) / 2
+		for i := 0; i+cores < cfg.HWThreads; i++ {
 			e.ctxs[i].sibling = e.ctxs[i+cores]
 			e.ctxs[i+cores].sibling = e.ctxs[i]
 		}
@@ -169,6 +254,7 @@ func (e *Engine) Spawn(name string, startAt int64, step StepFunc) *Thread {
 		Ctx:    ctx,
 		step:   step,
 		runIdx: -1,
+		ctxIdx: -1,
 	}
 	e.nthread++
 	ctx.nlive++
@@ -184,17 +270,95 @@ func (e *Engine) Spawn(name string, startAt int64, step StepFunc) *Thread {
 }
 
 func (e *Engine) addRunning(th *Thread) {
-	th.runIdx = len(e.running)
-	e.running = append(e.running, th)
+	if e.heapMode {
+		th.key = effStart(th)
+		heap.Push(&e.run, th)
+		th.ctxIdx = len(th.Ctx.runset)
+		th.Ctx.runset = append(th.Ctx.runset, th)
+	} else {
+		// Scan mode keeps no per-context run sets (only heap mode's
+		// refreshCtx needs them); they are rebuilt on the next transition.
+		th.runIdx = len(e.run.th)
+		e.run.th = append(e.run.th, th)
+	}
 }
 
-func (e *Engine) removeRunning(th *Thread) {
-	i := th.runIdx
-	last := len(e.running) - 1
-	e.running[i] = e.running[last]
-	e.running[i].runIdx = i
-	e.running = e.running[:last]
-	th.runIdx = -1
+// removePick takes a thread that just finished a step (Blocked or Done) out
+// of the Running set. In heap mode the heap sifts by cached keys, which are
+// still mutually consistent here, so heap.Remove is sound even though the
+// pick's live effective start moved.
+func (e *Engine) removePick(pick *Thread) {
+	if e.heapMode {
+		heap.Remove(&e.run, pick.runIdx)
+		e.detachCtx(pick)
+	} else {
+		e.run.removeAt(pick.runIdx)
+	}
+}
+
+// removeAt detaches the thread at slice index i without any sifting; scan
+// mode keeps no ordering invariant to repair.
+func (h *runHeap) removeAt(i int) {
+	last := len(h.th) - 1
+	t := h.th[i]
+	h.th[i] = h.th[last]
+	h.th[i].runIdx = i
+	h.th[last] = nil
+	h.th = h.th[:last]
+	t.runIdx = -1
+}
+
+// detachCtx removes th from its context's run set.
+func (e *Engine) detachCtx(th *Thread) {
+	set := th.Ctx.runset
+	i := th.ctxIdx
+	last := len(set) - 1
+	set[i] = set[last]
+	set[i].ctxIdx = i
+	set[last] = nil
+	th.Ctx.runset = set[:last]
+	th.ctxIdx = -1
+}
+
+// refreshCtx restamps the cached key of every thread queued on ctx and
+// re-sifts each; called after a step advanced ctx's clock in heap mode.
+// Each restamp is a single-key change against a heap that is valid for the
+// cached keys, so per-node heap.Fix is sound (see the runHeap comment).
+// Typically ctx holds O(threads/contexts) queued threads, so this stays
+// cheaper than a full scan of the Running set.
+func (e *Engine) refreshCtx(ctx *HWContext) {
+	for _, th := range ctx.runset {
+		if k := effStart(th); k != th.key {
+			th.key = k
+			heap.Fix(&e.run, th.runIdx)
+		}
+	}
+}
+
+// setDispatchMode flips between scan and heap dispatch with hysteresis.
+// Entering heap mode stamps every key, rebuilds the per-context run sets
+// (scan mode does not maintain them) and heapifies in place; leaving it
+// costs nothing, since scan mode ignores both slice order and run sets.
+func (e *Engine) setDispatchMode() {
+	if n := len(e.run.th); e.heapMode {
+		if n < heapDispatchExit {
+			e.heapMode = false
+		}
+	} else if n >= heapDispatchMin {
+		for _, c := range e.ctxs {
+			for i := range c.runset {
+				c.runset[i] = nil
+			}
+			c.runset = c.runset[:0]
+		}
+		for _, th := range e.run.th {
+			th.key = effStart(th)
+			th.ctxIdx = len(th.Ctx.runset)
+			th.Ctx.runset = append(th.Ctx.runset, th)
+		}
+		heap.Init(&e.run)
+		e.heapMode = true
+	}
 }
 
 // At schedules fn to run at virtual time t.
@@ -224,15 +388,6 @@ func (e *Engine) Stop() { e.stopped = true }
 // Live returns the number of threads that have not finished.
 func (e *Engine) Live() int { return e.live }
 
-// effStart returns the earliest virtual time th could begin its next step:
-// its own clock or the time its hardware context becomes free.
-func (e *Engine) effStart(th *Thread) int64 {
-	if th.Ctx.clock > th.Clock {
-		return th.Ctx.clock
-	}
-	return th.Clock
-}
-
 // Run drives the simulation until every thread is Done, Stop is called, or
 // no progress is possible. It returns an error on deadlock (blocked threads
 // with no pending timed events).
@@ -245,24 +400,31 @@ func (e *Engine) Run() error {
 			if len(e.timed) > 0 {
 				peekAt = e.timed.peek().at
 			}
-			fmt.Fprintf(os.Stderr, "sched: loop live=%d running=%d timed=%d peek=%d\n", e.live, len(e.running), len(e.timed), peekAt)
+			fmt.Fprintf(os.Stderr, "sched: loop live=%d running=%d timed=%d peek=%d\n", e.live, len(e.run.th), len(e.timed), peekAt)
 		}
 		if e.live == 0 {
 			// Every thread finished; pending timed events (timers,
 			// watchdogs) must not advance the clock past the makespan.
 			return nil
 		}
+		e.setDispatchMode()
 		var pick *Thread
 		var pickAt int64
-		for _, th := range e.running {
-			at := e.effStart(th)
-			// Prefer the earliest start time; among ties, the thread that
-			// has waited longest (smallest own clock) so threads sharing a
-			// core round-robin; among full ties, the lowest ID (determinism).
-			if pick == nil || at < pickAt ||
-				(at == pickAt && (th.Clock < pick.Clock ||
-					(th.Clock == pick.Clock && th.ID < pick.ID))) {
-				pick, pickAt = th, at
+		if e.heapMode {
+			pick = e.run.th[0]
+			pickAt = pick.key // == effStart(pick); see refreshCtx
+		} else {
+			for _, th := range e.run.th {
+				at := effStart(th)
+				// Prefer the earliest start time; among ties, the thread
+				// that has waited longest (smallest own clock) so threads
+				// sharing a core round-robin; among full ties, the lowest
+				// ID (determinism).
+				if pick == nil || at < pickAt ||
+					(at == pickAt && (th.Clock < pick.Clock ||
+						(th.Clock == pick.Clock && th.ID < pick.ID))) {
+					pick, pickAt = th, at
+				}
 			}
 		}
 		// Fire timed events due before the next step.
@@ -277,6 +439,10 @@ func (e *Engine) Run() error {
 		if pick == nil {
 			return fmt.Errorf("sched: deadlock with %d live threads", e.live)
 		}
+		// The pick stays in the Running set while its step runs; a step may
+		// Spawn or Wake threads into the set, which is safe in either mode
+		// (a heap push compares against the pick's still-cached key, and its
+		// restamp comes in refreshCtx below).
 		e.now = pickAt
 		pick.Clock = pickAt
 		res := pick.step(pickAt)
@@ -292,20 +458,28 @@ func (e *Engine) Run() error {
 		pick.Ctx.clock = end
 		switch res.Status {
 		case Running:
+			// Still in the Running set; heap mode repairs its key below.
 		case Blocked:
 			pick.status = Blocked
 			pick.blockStart = end
-			e.removeRunning(pick)
+			e.removePick(pick)
 		case Done:
 			pick.status = Done
 			pick.Ctx.nlive--
 			e.live--
-			e.removeRunning(pick)
+			e.removePick(pick)
 			if e.Tracer != nil {
 				ev := trace.Ev(end, trace.KindThreadDone)
 				ev.Thread = pick.ID
 				e.Tracer.Emit(ev)
 			}
+		}
+		// The context's clock advanced: every thread still queued on it —
+		// including the pick itself when it stays Running — has a new
+		// effective start time (scan mode reads the live clocks, so only
+		// heap mode has cached keys to repair).
+		if e.heapMode {
+			e.refreshCtx(pick.Ctx)
 		}
 	}
 	return nil

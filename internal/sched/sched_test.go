@@ -101,6 +101,66 @@ func TestSMTPairsFillCoresFirst(t *testing.T) {
 	}
 }
 
+func TestSMTPairingOddHWThreads(t *testing.T) {
+	// 7 hardware threads at SMT-2: three full cores plus one sibling-less
+	// context. The truncation hazard is pairing ctx i with ctx i+3 (7/2=3),
+	// which would leave the odd context *after* the primaries and make
+	// round-robin placement double up a core while a whole core sat idle.
+	e := NewEngine(Config{HWThreads: 7, SMTWays: 2, SMTPenalty: 2})
+	ctxs := e.Contexts()
+	// Pairing must be symmetric and involve exactly 6 contexts.
+	paired := 0
+	for _, c := range ctxs {
+		if s := c.Sibling(); s != nil {
+			paired++
+			if s.Sibling() != c {
+				t.Fatalf("asymmetric sibling pairing: ctx %d", c.ID)
+			}
+			if s == c {
+				t.Fatalf("ctx %d is its own sibling", c.ID)
+			}
+		}
+	}
+	if paired != 6 {
+		t.Fatalf("paired contexts = %d, want 6", paired)
+	}
+	// The first ceil(7/2) = 4 spawns must land on four distinct cores: no
+	// two of them on the same context or on sibling contexts.
+	var ths []*Thread
+	for i := 0; i < 7; i++ {
+		ths = append(ths, e.Spawn("t", 0, counterStep(1, 1, nil, i)))
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if ths[i].Ctx == ths[j].Ctx || ths[i].Ctx.Sibling() == ths[j].Ctx {
+				t.Fatalf("threads %d and %d share a core before all cores are filled", i, j)
+			}
+		}
+	}
+	// The remaining three spawns fill the siblings of already-used cores.
+	for i := 4; i < 7; i++ {
+		sib := ths[i].Ctx.Sibling()
+		if sib == nil {
+			t.Fatalf("thread %d landed on the sibling-less core out of order", i)
+		}
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvenSMTPairingUnchanged(t *testing.T) {
+	// The even case must keep the historical layout: ctx i pairs with
+	// ctx i+cores, so existing schedules stay bit-identical.
+	e := NewEngine(Config{HWThreads: 8, SMTWays: 2, SMTPenalty: 2})
+	ctxs := e.Contexts()
+	for i := 0; i < 4; i++ {
+		if ctxs[i].Sibling() != ctxs[i+4] || ctxs[i+4].Sibling() != ctxs[i] {
+			t.Fatalf("ctx %d not paired with ctx %d", i, i+4)
+		}
+	}
+}
+
 func TestBlockAndWake(t *testing.T) {
 	e := NewEngine(Config{HWThreads: 2})
 	var waiter *Thread

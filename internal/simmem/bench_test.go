@@ -1,0 +1,74 @@
+package simmem
+
+import "testing"
+
+// The benchmarks model the interpreter's access mix: long runs of
+// consecutive accesses within a line (the last-line cache's case) mixed
+// with strides across a working set (the paged table's case).
+
+func BenchmarkTxLoadSameLine(b *testing.B) {
+	b.ReportAllocs()
+	m := NewMemory(Config{LineBytes: 256}, 2)
+	base := m.Reserve("data", 1<<16)
+	tx := m.Tx(0)
+	tx.Begin(1<<20, 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx.Load(base + Addr(i&31)*8)
+	}
+}
+
+func BenchmarkTxLoadStride(b *testing.B) {
+	b.ReportAllocs()
+	m := NewMemory(Config{LineBytes: 256}, 2)
+	base := m.Reserve("data", 1<<20)
+	tx := m.Tx(0)
+	tx.Begin(1<<20, 1<<20)
+	lines := (1 << 20) / 256
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx.Load(base + Addr(i%lines)*256)
+	}
+}
+
+func BenchmarkTxStoreCommit(b *testing.B) {
+	b.ReportAllocs()
+	m := NewMemory(Config{LineBytes: 256}, 2)
+	base := m.Reserve("data", 1<<16)
+	tx := m.Tx(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx.Begin(1<<20, 1<<20)
+		for j := 0; j < 16; j++ {
+			tx.Store(base+Addr(j)*8, Word{Bits: uint64(i)})
+		}
+		if !tx.Commit() {
+			b.Fatal("commit failed")
+		}
+	}
+}
+
+func BenchmarkDirectLoadStore(b *testing.B) {
+	b.ReportAllocs()
+	m := NewMemory(Config{LineBytes: 256}, 2)
+	base := m.Reserve("data", 1<<18)
+	words := (1 << 18) / 8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := base + Addr(i%words)*8
+		m.Store(a, Word{Bits: uint64(i)})
+		m.Load(a)
+	}
+}
+
+func BenchmarkRegionLabel(b *testing.B) {
+	m := NewMemory(Config{LineBytes: 64}, 1)
+	var addrs []Addr
+	for i := 0; i < 64; i++ {
+		addrs = append(addrs, m.Reserve("r", 4096)+128)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.RegionLabel(addrs[i&63])
+	}
+}

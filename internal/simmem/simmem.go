@@ -13,11 +13,20 @@
 // The simulator that drives the interpreter is single-threaded, so simmem
 // performs no locking of its own: determinism comes for free and every
 // experiment is exactly reproducible.
+//
+// Every interpreter memory access funnels through this package, so the line
+// lookup is the hottest path of the whole simulator. Lines live in a paged
+// table (fixed-size pages of line structs, addressed by line number) rather
+// than a hash map, and both the Memory and each Tx keep a last-line cache
+// that short-circuits the common run of consecutive accesses to one line.
+// Line pointers are stable for the life of the Memory — pages are never
+// moved or freed — which is what makes the caches safe.
 package simmem
 
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"htmgil/internal/trace"
 )
@@ -98,18 +107,35 @@ type line struct {
 	writer  int32  // context with this line in its write set, or -1
 }
 
+// pageLineShift sizes the pages of the line table: 2^9 = 512 lines per page
+// (32 KB at 64-byte lines, 128 KB at 256-byte lines).
+const (
+	pageLineShift = 9
+	pageLines     = 1 << pageLineShift
+	pageLineMask  = pageLines - 1
+)
+
+// page is a fixed block of lines. Lines are stored by value so one page is
+// one allocation and the line structs of hot neighbouring addresses share
+// cache locality on the host, and because the backing array of a page never
+// moves, &page.lines[i] is stable for the life of the Memory.
+type page struct {
+	lines [pageLines]line
+}
+
+func newPage() *page {
+	p := &page{}
+	for i := range p.lines {
+		p.lines[i].writer = -1
+	}
+	return p
+}
+
 // Config describes the geometry of a Memory.
 type Config struct {
 	// LineBytes is the cache-line size in bytes (256 on zEC12, 64 on the
 	// Xeon E3-1275 v3). Must be a power of two and a multiple of WordBytes.
 	LineBytes int
-}
-
-// Conflict records one conflict event for attribution statistics.
-type Conflict struct {
-	Region string     // label of the region where the conflict occurred
-	Cause  AbortCause // always CauseConflict today; kept for symmetry
-	Writer bool       // true when the doomed side held the line dirty
 }
 
 // Memory is a simulated shared memory. It owns the line table, the
@@ -120,16 +146,21 @@ type Memory struct {
 	lineShift    uint
 	wordsPerLine int
 
-	lines map[Addr]*line
+	pages []*page
 	txs   []*Tx
 
-	// address-space reservations
+	// last-line cache for the direct (non-transactional) access path
+	lastLA   Addr
+	lastLine *line
+
+	// address-space reservations, sorted by base (brk only grows)
 	brk     Addr
 	regions []region
 
 	// statistics
-	conflictCounts map[string]uint64 // region label -> times a tx was doomed there
-	doomCount      uint64
+	conflictCounts       map[string]uint64 // region label -> times a tx was doomed there
+	conflictWriterCounts map[string]uint64 // subset of the above where the victim held the line dirty
+	doomCount            uint64
 
 	// Tracer, when non-nil, receives a doom event for every transaction
 	// kill. The memory has no time source of its own, so Clock (typically
@@ -158,12 +189,12 @@ func NewMemory(cfg Config, nctx int) *Memory {
 		shift++
 	}
 	m := &Memory{
-		cfg:            cfg,
-		lineShift:      shift,
-		wordsPerLine:   cfg.LineBytes / WordBytes,
-		lines:          make(map[Addr]*line),
-		brk:            Addr(cfg.LineBytes), // keep address 0 unused
-		conflictCounts: make(map[string]uint64),
+		cfg:                  cfg,
+		lineShift:            shift,
+		wordsPerLine:         cfg.LineBytes / WordBytes,
+		brk:                  Addr(cfg.LineBytes), // keep address 0 unused
+		conflictCounts:       make(map[string]uint64),
+		conflictWriterCounts: make(map[string]uint64),
 	}
 	m.txs = make([]*Tx, nctx)
 	for i := range m.txs {
@@ -198,10 +229,14 @@ func (m *Memory) Reserve(label string, bytes int) Addr {
 }
 
 // RegionLabel returns the label of the region containing addr, or "unknown".
+// Reservations are handed out from a monotonically growing break, so the
+// region list is sorted by base and a binary search replaces the former
+// linear scan.
 func (m *Memory) RegionLabel(addr Addr) string {
-	for i := len(m.regions) - 1; i >= 0; i-- {
-		r := m.regions[i]
-		if addr >= r.base && addr < r.end {
+	// First region with base > addr; the candidate is the one before it.
+	i := sort.Search(len(m.regions), func(i int) bool { return m.regions[i].base > addr })
+	if i > 0 {
+		if r := &m.regions[i-1]; addr < r.end {
 			return r.label
 		}
 	}
@@ -212,13 +247,38 @@ func (m *Memory) RegionLabel(addr Addr) string {
 // each region label.
 func (m *Memory) ConflictCounts() map[string]uint64 { return m.conflictCounts }
 
+// ConflictWriterCounts returns, per region label, how many of the
+// conflict-induced dooms hit a transaction that held the conflicting line
+// dirty (the victim was the line's writer, not just a reader).
+func (m *Memory) ConflictWriterCounts() map[string]uint64 { return m.conflictWriterCounts }
+
 // lineOf returns (creating on demand) the line containing addr.
 func (m *Memory) lineOf(addr Addr) *line {
 	la := addr >> m.lineShift
-	l := m.lines[la]
-	if l == nil {
-		l = &line{words: make([]Word, m.wordsPerLine), writer: -1}
-		m.lines[la] = l
+	if la == m.lastLA && m.lastLine != nil {
+		return m.lastLine
+	}
+	l := m.lineAt(la)
+	m.lastLA, m.lastLine = la, l
+	return l
+}
+
+// lineAt returns (creating on demand) the line with line-number la.
+func (m *Memory) lineAt(la Addr) *line {
+	pi := int(la >> pageLineShift)
+	if pi >= len(m.pages) {
+		grown := make([]*page, pi+1)
+		copy(grown, m.pages)
+		m.pages = grown
+	}
+	p := m.pages[pi]
+	if p == nil {
+		p = newPage()
+		m.pages[pi] = p
+	}
+	l := &p.lines[la&pageLineMask]
+	if l.words == nil {
+		l.words = make([]Word, m.wordsPerLine)
 	}
 	return l
 }
@@ -235,7 +295,10 @@ func (m *Memory) wordIndex(addr Addr) int {
 }
 
 // doom marks the transaction with the given id as conflict-doomed and
-// records attribution for the region of addr.
+// records attribution for the region of addr. wasWriter records whether the
+// victim held the conflicting line dirty (its write set) rather than merely
+// in its read set; the split feeds the per-region writer-doom statistics and
+// the doom trace event.
 func (m *Memory) doom(victim int32, addr Addr, wasWriter bool) {
 	tx := m.txs[victim]
 	if !tx.active || tx.doomed {
@@ -244,10 +307,27 @@ func (m *Memory) doom(victim int32, addr Addr, wasWriter bool) {
 	tx.doomed = true
 	tx.doomCause = CauseConflict
 	tx.doomAddr = addr
+	tx.doomWasWriter = wasWriter
 	m.doomCount++
-	m.conflictCounts[m.RegionLabel(addr)]++
-	m.traceDoom(victim, CauseConflict, addr)
-	_ = wasWriter
+	label := m.RegionLabel(addr)
+	m.conflictCounts[label]++
+	if wasWriter {
+		m.conflictWriterCounts[label]++
+	}
+	m.traceDoomConflict(victim, addr, label, wasWriter)
+}
+
+// traceDoomConflict emits the doom event for a coherence conflict.
+func (m *Memory) traceDoomConflict(victim int32, addr Addr, label string, wasWriter bool) {
+	if m.Tracer == nil {
+		return
+	}
+	ev := m.doomEv(victim, CauseConflict)
+	if addr != 0 {
+		ev.Region = label
+	}
+	ev.Writer = wasWriter
+	m.Tracer.Emit(ev)
 }
 
 // traceDoom emits a doom event when tracing is enabled. addr 0 (never a
@@ -256,6 +336,14 @@ func (m *Memory) traceDoom(victim int32, cause AbortCause, addr Addr) {
 	if m.Tracer == nil {
 		return
 	}
+	ev := m.doomEv(victim, cause)
+	if addr != 0 {
+		ev.Region = m.RegionLabel(addr)
+	}
+	m.Tracer.Emit(ev)
+}
+
+func (m *Memory) doomEv(victim int32, cause AbortCause) trace.Event {
 	var now int64
 	if m.Clock != nil {
 		now = m.Clock()
@@ -263,10 +351,7 @@ func (m *Memory) traceDoom(victim int32, cause AbortCause, addr Addr) {
 	ev := trace.Ev(now, trace.KindDoom)
 	ev.Ctx = int(victim)
 	ev.Cause = cause.String()
-	if addr != 0 {
-		ev.Region = m.RegionLabel(addr)
-	}
-	m.Tracer.Emit(ev)
+	return ev
 }
 
 // Load performs a direct, non-transactional read. It dooms any transaction
@@ -324,10 +409,16 @@ type Tx struct {
 	id  int32
 	mem *Memory
 
-	active    bool
-	doomed    bool
-	doomCause AbortCause
-	doomAddr  Addr
+	active        bool
+	doomed        bool
+	doomWasWriter bool
+	doomCause     AbortCause
+	doomAddr      Addr
+
+	// last-line cache for the transactional access path (pointers into the
+	// page table are stable, so the cache never needs invalidation)
+	lastLA   Addr
+	lastLine *line
 
 	readLines  []Addr // line numbers newly added to the read set
 	writeLines []Addr // line numbers newly added to the write set
@@ -355,11 +446,27 @@ func (t *Tx) DoomCause() AbortCause { return t.doomCause }
 // DoomAddr returns the simulated address implicated in the doom, when known.
 func (t *Tx) DoomAddr() Addr { return t.doomAddr }
 
+// DoomedAsWriter reports whether the doomed transaction held the conflicting
+// line in its write set (it was the line's dirty owner) rather than merely
+// its read set. Only meaningful when DoomCause is CauseConflict.
+func (t *Tx) DoomedAsWriter() bool { return t.doomWasWriter }
+
 // ReadSetLines returns the current read-set size in cache lines.
 func (t *Tx) ReadSetLines() int { return len(t.readLines) }
 
 // WriteSetLines returns the current write-set size in cache lines.
 func (t *Tx) WriteSetLines() int { return len(t.writeLines) }
+
+// lineOf is the transactional-path line lookup with the per-Tx cache.
+func (t *Tx) lineOf(addr Addr) *line {
+	la := addr >> t.mem.lineShift
+	if la == t.lastLA && t.lastLine != nil {
+		return t.lastLine
+	}
+	l := t.mem.lineAt(la)
+	t.lastLA, t.lastLine = la, l
+	return l
+}
 
 // Begin starts a transaction in this context with the given capacity limits
 // (in cache lines). It panics if a transaction is already active: the
@@ -371,6 +478,7 @@ func (t *Tx) Begin(readCap, writeCap int) {
 	}
 	t.active = true
 	t.doomed = false
+	t.doomWasWriter = false
 	t.doomCause = CauseNone
 	t.doomAddr = 0
 	t.readLines = t.readLines[:0]
@@ -396,14 +504,14 @@ func (t *Tx) SelfDoom(cause AbortCause) {
 // ReadCapacity dooms the transaction itself with CauseReadOverflow.
 func (t *Tx) Load(addr Addr) Word {
 	m := t.mem
-	l := m.lineOf(addr)
+	l := t.lineOf(addr)
 	if w := l.writer; w >= 0 && w != t.id {
 		m.doom(w, addr, true)
 	}
 	bit := uint64(1) << uint(t.id)
 	if l.readers&bit == 0 {
 		l.readers |= bit
-		t.readLines = append(t.readLines, m.LineAddr(addr))
+		t.readLines = append(t.readLines, addr>>m.lineShift)
 		if len(t.readLines) > t.ReadCapacity {
 			t.doomed = true
 			t.doomCause = CauseReadOverflow
@@ -423,7 +531,7 @@ func (t *Tx) Load(addr Addr) Word {
 // CauseWriteOverflow.
 func (t *Tx) Store(addr Addr, w Word) {
 	m := t.mem
-	l := m.lineOf(addr)
+	l := t.lineOf(addr)
 	if wr := l.writer; wr != t.id {
 		if wr >= 0 {
 			m.doom(wr, addr, true)
@@ -432,7 +540,7 @@ func (t *Tx) Store(addr Addr, w Word) {
 			m.doomReaders(l, addr, t.id)
 		}
 		l.writer = t.id
-		t.writeLines = append(t.writeLines, m.LineAddr(addr))
+		t.writeLines = append(t.writeLines, addr>>m.lineShift)
 		if len(t.writeLines) > t.WriteCapacity {
 			t.doomed = true
 			t.doomCause = CauseWriteOverflow
@@ -456,7 +564,7 @@ func (t *Tx) Commit() bool {
 	}
 	m := t.mem
 	for addr, w := range t.writeBuf {
-		l := m.lineOf(addr)
+		l := t.lineOf(addr)
 		l.words[m.wordIndex(addr)] = w
 	}
 	t.cleanup()
@@ -483,12 +591,10 @@ func (t *Tx) cleanup() {
 	m := t.mem
 	bit := uint64(1) << uint(t.id)
 	for _, la := range t.readLines {
-		if l := m.lines[la]; l != nil {
-			l.readers &^= bit
-		}
+		m.lineAt(la).readers &^= bit
 	}
 	for _, la := range t.writeLines {
-		if l := m.lines[la]; l != nil && l.writer == t.id {
+		if l := m.lineAt(la); l.writer == t.id {
 			l.writer = -1
 		}
 	}
@@ -497,5 +603,6 @@ func (t *Tx) cleanup() {
 	clear(t.writeBuf)
 	t.active = false
 	t.doomed = false
+	t.doomWasWriter = false
 	t.doomCause = CauseNone
 }

@@ -65,6 +65,9 @@ type Event struct {
 	Cycles int64  `json:"cyc,omitempty"`  // duration payload (gil-release hold, gc-end span)
 	Cause  string `json:"cause,omitempty"`
 	Region string `json:"region,omitempty"`
+	// Writer marks a conflict doom whose victim held the conflicting line
+	// dirty (in its write set) rather than merely in its read set.
+	Writer bool   `json:"writer,omitempty"`
 	Note   string `json:"note,omitempty"`
 }
 

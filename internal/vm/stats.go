@@ -70,6 +70,11 @@ type Stats struct {
 	// (freelist, malloc, ic, threadstruct, gil, heap data, ...).
 	ConflictRegions map[string]uint64
 
+	// ConflictWriterRegions counts, per region, the conflict dooms whose
+	// victim held the conflicting line dirty (write-set side of the
+	// conflict) rather than merely in its read set.
+	ConflictWriterRegions map[string]uint64
+
 	// AbortCauses counts aborts by cause.
 	AbortCauses map[simmem.AbortCause]uint64
 

@@ -252,6 +252,7 @@ func New(opt Options) *VM {
 	}
 
 	v.stats.ConflictRegions = make(map[string]uint64)
+	v.stats.ConflictWriterRegions = make(map[string]uint64)
 	v.stats.AbortCauses = make(map[simmem.AbortCause]uint64)
 	v.stats.LengthHistogram = make(map[int32]int)
 
@@ -498,6 +499,9 @@ func (v *VM) finishRun() *RunResult {
 		s.Adjustments = v.Elision.Adjustments
 		for r, n := range v.Mem.ConflictCounts() {
 			s.ConflictRegions[r] += n
+		}
+		for r, n := range v.Mem.ConflictWriterCounts() {
+			s.ConflictWriterRegions[r] += n
 		}
 		for c, n := range s.HTM.ByCause {
 			s.AbortCauses[c] += n

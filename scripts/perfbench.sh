@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# perfbench.sh — the measurement harness behind EXPERIMENTS.md's
+# "Performance" section. Runs the Go micro-benchmarks of the simulator's
+# hot paths (simmem access, sched dispatch, one end-to-end sweep point),
+# times a quick sweep at one worker and at N workers, and writes the
+# results as machine-readable JSON (default: BENCH_2.json at the repo
+# root).
+#
+# Environment knobs:
+#   BENCH_EXPERIMENT   experiment for the timed sweep   (default fig6b)
+#   BENCH_PARALLEL     worker count for the second run  (default nproc)
+#   BENCH_BENCHTIME    go test -benchtime value         (default 2s)
+#   BENCH_BASELINE_BIN optional path to a pre-built htmgil-bench from an
+#                      older revision; when set, the same sweep is timed
+#                      with it so the JSON carries a direct before/after.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT=${1:-BENCH_2.json}
+EXPERIMENT=${BENCH_EXPERIMENT:-fig6b}
+PAR=${BENCH_PARALLEL:-$(nproc)}
+BENCHTIME=${BENCH_BENCHTIME:-2s}
+BASE_BIN=${BENCH_BASELINE_BIN:-}
+
+echo "== building =="
+go build -o /tmp/htmgil-bench-perf ./cmd/htmgil-bench
+
+echo "== micro-benchmarks (${BENCHTIME}) =="
+BENCHOUT=$(go test -run='^$' -bench=. -benchtime="$BENCHTIME" \
+	./internal/simmem/ ./internal/sched/ ./internal/bench/ | tee /dev/stderr)
+
+# time_sweep BIN WORKERS -> seconds (wall clock) on stdout. Older binaries
+# (a pre-optimization baseline) may lack -parallel; they only run sequentially.
+time_sweep() {
+	local bin=$1 par=$2 t0 t1
+	local flags=()
+	if "$bin" -h 2>&1 | grep -q -- -parallel; then
+		flags=(-parallel "$par")
+	elif [ "$par" != 1 ]; then
+		echo "error: $bin has no -parallel flag" >&2
+		return 1
+	fi
+	t0=$(date +%s.%N)
+	"$bin" -experiment "$EXPERIMENT" -quick "${flags[@]}" >/dev/null
+	t1=$(date +%s.%N)
+	awk -v a="$t0" -v b="$t1" 'BEGIN {printf "%.3f", b-a}'
+}
+
+echo "== timed quick sweep ($EXPERIMENT) =="
+SEQ=$(time_sweep /tmp/htmgil-bench-perf 1)
+echo "parallel=1:    ${SEQ}s"
+PARSEC=$(time_sweep /tmp/htmgil-bench-perf "$PAR")
+echo "parallel=$PAR:    ${PARSEC}s"
+
+BASESEQ=null
+if [ -n "$BASE_BIN" ]; then
+	BASESEQ=$(time_sweep "$BASE_BIN" 1)
+	echo "baseline ($BASE_BIN) parallel=1: ${BASESEQ}s"
+fi
+
+{
+	echo "{"
+	echo "  \"date\": \"$(date -u +%FT%TZ)\","
+	echo "  \"host\": {\"cores\": $(nproc), \"go\": \"$(go version | awk '{print $3}')\"},"
+	echo "  \"sweep\": {"
+	echo "    \"experiment\": \"$EXPERIMENT\","
+	echo "    \"quick\": true,"
+	echo "    \"seconds_parallel_1\": $SEQ,"
+	echo "    \"parallel\": $PAR,"
+	echo "    \"seconds_parallel_n\": $PARSEC,"
+	echo "    \"seconds_baseline_parallel_1\": $BASESEQ"
+	echo "  },"
+	echo "  \"benchmarks\": ["
+	echo "$BENCHOUT" | awk '
+		/^Benchmark/ {
+			printf "%s    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s}", sep, $1, $2, $3
+			sep = ",\n"
+		}
+		END {print ""}'
+	echo "  ]"
+	echo "}"
+} >"$OUT"
+echo "wrote $OUT"
