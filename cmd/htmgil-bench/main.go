@@ -4,11 +4,15 @@
 //	htmgil-bench -experiment fig5 -parallel 8
 //	htmgil-bench -experiment fig6b -quick -trace-summary
 //	htmgil-bench -experiment fig8 -quick -report reports.json
+//	htmgil-bench -experiment policy -quick -csv policy.csv
 //
-// Experiments: micro fig5 fig6a fig6b fig7 fig8 fig9 aborts overhead
-// ablation all. -quick uses scaled-down problem sizes and fewer thread
-// counts; without it the full (paper-shaped) sweep runs, which takes tens
-// of minutes on one host core.
+// -list prints the experiment names: micro fig5 fig6a fig6b fig7 fig8
+// fig9 aborts overhead ablation policy all. -quick uses scaled-down
+// problem sizes and fewer thread counts; without it the full
+// (paper-shaped) sweep runs, which takes tens of minutes on one host
+// core. The policy experiment sweeps every contention-management policy
+// of internal/policy over the NPB kernels and WEBrick, with per-policy
+// abort-cause and fallback-reason attribution.
 //
 // Each configuration point is an independent deterministic simulation;
 // -parallel N executes points on N workers (default: GOMAXPROCS). The
@@ -17,8 +21,9 @@
 // -trace-summary attaches an event aggregator to every run and appends
 // per-point digests (top abort-causing yield points, length-adjustment
 // timelines). -report FILE writes one machine-readable JSON record per
-// configuration point ("-" for stdout). -cpuprofile/-memprofile write
-// pprof profiles of the sweep for performance work.
+// configuration point ("-" for stdout); -csv FILE writes the same points
+// as flat CSV rows. -cpuprofile/-memprofile write pprof profiles of the
+// sweep for performance work.
 package main
 
 import (
@@ -32,14 +37,23 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to regenerate")
+	experiment := flag.String("experiment", "all", "which experiment to regenerate (see -list)")
+	list := flag.Bool("list", false, "print the valid experiment names and exit")
 	quick := flag.Bool("quick", false, "scaled-down problem sizes")
 	parallel := flag.Int("parallel", 0, "workers executing configuration points (0 = GOMAXPROCS, 1 = sequential)")
 	traceSummary := flag.Bool("trace-summary", false, "print per-point trace digests (abort PCs, length timelines)")
 	report := flag.String("report", "", "write per-point JSON reports to this file (\"-\" = stdout)")
+	csvOut := flag.String("csv", "", "write per-point CSV reports to this file (\"-\" = stdout)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile after the sweep to this file")
 	flag.Parse()
+
+	if *list {
+		for _, name := range bench.Experiments() {
+			fmt.Println(name)
+		}
+		return
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -74,6 +88,20 @@ func main() {
 			out = f
 		}
 		if err := s.WriteReports(out); err != nil {
+			fatal(err)
+		}
+	}
+	if *csvOut != "" {
+		out := os.Stdout
+		if *csvOut != "-" {
+			f, err := os.Create(*csvOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := s.WriteReportsCSV(out); err != nil {
 			fatal(err)
 		}
 	}

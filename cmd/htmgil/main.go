@@ -2,6 +2,11 @@
 //
 //	htmgil -mode htm -machine zec12 script.rb
 //	htmgil -mode gil -e 'puts 1 + 2'
+//	htmgil -mode htm -policy backoff script.rb
+//
+// -policy selects the contention-management policy driving lock elision
+// (paper-dynamic, fixed-N, backoff, lazy-subscription, occ-adaptive);
+// "-policy list" prints them with descriptions.
 //
 // After the program finishes it can print the execution statistics the
 // paper's evaluation is built from (-stats), and -trace out.jsonl streams
@@ -23,10 +28,25 @@ func main() {
 	machine := flag.String("machine", "zec12", "machine profile: zec12, xeon")
 	expr := flag.String("e", "", "program text (instead of a file)")
 	txlen := flag.Int("txlen", 0, "fixed transaction length (0 = dynamic adjustment)")
+	policyName := flag.String("policy", "", "contention-management policy (\"\" = paper default, \"list\" = show choices)")
 	stats := flag.Bool("stats", false, "print execution statistics")
 	dump := flag.Bool("dump", false, "disassemble the program instead of running it")
 	traceOut := flag.String("trace", "", "write structured trace events to this JSONL file")
 	flag.Parse()
+
+	if *policyName == "list" {
+		for _, line := range htmgil.DescribePolicies() {
+			fmt.Println(line)
+		}
+		return
+	}
+	if !htmgil.ValidPolicy(*policyName) {
+		fmt.Fprintf(os.Stderr, "unknown policy %q; valid policies:\n", *policyName)
+		for _, line := range htmgil.DescribePolicies() {
+			fmt.Fprintln(os.Stderr, " ", line)
+		}
+		os.Exit(2)
+	}
 
 	var prof *htmgil.Profile
 	switch *machine {
@@ -69,6 +89,7 @@ func main() {
 
 	opt := htmgil.DefaultOptions(prof, m)
 	opt.TxLength = int32(*txlen)
+	opt.Policy = *policyName
 	opt.Out = os.Stdout
 	var traceSink *htmgil.TraceJSONL
 	if *traceOut != "" {

@@ -1,0 +1,51 @@
+// Policies example: two contention-management policies from internal/policy
+// side by side on one NPB kernel. paper-dynamic is the paper's Figure 3
+// adjustment; occ-adaptive commits optimistically until a site proves hot,
+// then pins it short. The table shows throughput (normalized to 1-thread
+// GIL) and abort ratio for each as the thread count grows.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"htmgil"
+	"htmgil/internal/npb"
+	"htmgil/internal/vm"
+)
+
+func main() {
+	const kernel = npb.CG
+	policies := [2]string{"paper-dynamic", "occ-adaptive"}
+
+	prof := htmgil.ZEC12()
+	params := npb.ParamsFor(kernel, npb.ClassS)
+
+	baseOpt := vm.DefaultOptions(prof, htmgil.ModeGIL)
+	base, err := npb.Run(kernel, baseOpt, 1, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s on zEC12: %s vs %s (speedup over 1-thread GIL)\n",
+		kernel, policies[0], policies[1])
+	fmt.Printf("%-8s %14s %8s   %14s %8s\n",
+		"threads", policies[0], "abort%", policies[1], "abort%")
+	for _, threads := range []int{1, 2, 4, 8, 12} {
+		row := fmt.Sprintf("%-8d", threads)
+		for _, name := range policies {
+			opt := vm.DefaultOptions(prof, htmgil.ModeHTM)
+			opt.Policy = name
+			r, err := npb.Run(kernel, opt, threads, params)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !r.Valid {
+				log.Fatalf("%s with %d threads: checksum mismatch", name, threads)
+			}
+			row += fmt.Sprintf(" %14.2f %7.1f%%  ",
+				float64(base.Cycles)/float64(r.Cycles), r.Stats.AbortRatio()*100)
+		}
+		fmt.Println(row)
+	}
+}

@@ -25,6 +25,7 @@ import (
 
 	"htmgil/internal/htm"
 	"htmgil/internal/npb"
+	"htmgil/internal/policy"
 	"htmgil/internal/railslite"
 	"htmgil/internal/vm"
 	"htmgil/internal/webrick"
@@ -52,11 +53,25 @@ func ZEC12() *Profile { return htm.ZEC12() }
 // 64-byte lines, TSX-style learning aborts).
 func XeonE3() *Profile { return htm.XeonE3() }
 
-// Options configures a Machine; see DefaultOptions.
+// Options configures a Machine; see DefaultOptions. Options.Policy selects
+// the contention-management policy by name (see Policies).
 type Options = vm.Options
 
 // DefaultOptions returns the paper's optimized configuration.
 func DefaultOptions(p *Profile, mode Mode) Options { return vm.DefaultOptions(p, mode) }
+
+// Policies returns the canonical contention-management policy names
+// accepted by Options.Policy (and the -policy flag of cmd/htmgil):
+// paper-dynamic, fixed-1/16/256 (any fixed-N works), backoff,
+// lazy-subscription and occ-adaptive.
+func Policies() []string { return policy.Names() }
+
+// DescribePolicies returns one "name  description" line per policy.
+func DescribePolicies() []string { return policy.Describe() }
+
+// ValidPolicy reports whether name resolves to a policy ("" selects the
+// default paper configuration).
+func ValidPolicy(name string) bool { return policy.Known(name) }
 
 // Stats is the per-run statistics bundle (cycle breakdown, abort causes,
 // conflict regions, transaction-length histogram).

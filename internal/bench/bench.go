@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"htmgil/internal/htm"
 	"htmgil/internal/npb"
@@ -35,16 +36,20 @@ type Config struct {
 	Name     string
 	Mode     vm.Mode
 	TxLength int32
+	// Policy selects a contention-management policy by registry name
+	// (internal/policy); empty keeps the historical TxLength semantics,
+	// so the paper's five configurations are unaffected.
+	Policy string
 }
 
 // Configs returns the paper's five configurations.
 func Configs() []Config {
 	return []Config{
-		{"GIL", vm.ModeGIL, 0},
-		{"HTM-1", vm.ModeHTM, 1},
-		{"HTM-16", vm.ModeHTM, 16},
-		{"HTM-256", vm.ModeHTM, 256},
-		{"HTM-dynamic", vm.ModeHTM, 0},
+		{Name: "GIL", Mode: vm.ModeGIL},
+		{Name: "HTM-1", Mode: vm.ModeHTM, TxLength: 1},
+		{Name: "HTM-16", Mode: vm.ModeHTM, TxLength: 16},
+		{Name: "HTM-256", Mode: vm.ModeHTM, TxLength: 256},
+		{Name: "HTM-dynamic", Mode: vm.ModeHTM},
 	}
 }
 
@@ -563,7 +568,19 @@ func (s *Session) steps() []struct {
 		{"micro", s.buildMicro}, {"fig5", s.buildFig5}, {"fig6a", s.buildFig6a}, {"fig6b", s.buildFig6b},
 		{"fig7", s.buildFig7}, {"fig8", s.buildFig8}, {"fig9", s.buildFig9},
 		{"aborts", s.buildAborts}, {"overhead", s.buildOverhead}, {"ablation", s.buildAblation},
+		{"policy", s.buildPolicy},
 	}
+}
+
+// Experiments returns every experiment name accepted by Run, "all" last.
+func Experiments() []string {
+	var s Session
+	steps := s.steps()
+	out := make([]string, 0, len(steps)+1)
+	for _, st := range steps {
+		out = append(out, st.name)
+	}
+	return append(out, "all")
 }
 
 // Run dispatches one experiment by id.
@@ -576,7 +593,7 @@ func (s *Session) Run(name string) error {
 			return s.runPlan(st.build)
 		}
 	}
-	return fmt.Errorf("unknown experiment %q (try: micro fig5 fig6a fig6b fig7 fig8 fig9 aborts overhead ablation all)", name)
+	return fmt.Errorf("unknown experiment %q (valid: %s)", name, strings.Join(Experiments(), " "))
 }
 
 // Package-level wrappers retain the original one-shot API: each runs the

@@ -109,6 +109,7 @@ func (p *plan) npb(label, exp, config string, b npb.Bench, opt vm.Options, threa
 func (p *plan) kernel(label, exp string, b npb.Bench, prof *htm.Profile, cfg Config, threads int, c npb.Class, checkValid bool) *kernelRun {
 	opt := vm.DefaultOptions(prof, cfg.Mode)
 	opt.TxLength = cfg.TxLength
+	opt.Policy = cfg.Policy
 	return p.npb(label, exp, cfg.Name, b, opt, threads, c, checkValid)
 }
 
@@ -126,14 +127,14 @@ func (p *plan) server(label, exp, app string, prof *htm.Profile, cfg Config, cli
 		switch app {
 		case "webrick":
 			r, err := webrick.Run(webrick.Config{Prof: prof, Mode: cfg.Mode, TxLength: cfg.TxLength,
-				Clients: clients, Requests: requests, ZOSMalloc: zos, Trace: rec})
+				Policy: cfg.Policy, Clients: clients, Requests: requests, ZOSMalloc: zos, Trace: rec})
 			if err != nil {
 				return err
 			}
 			sr.tp, sr.ab, cycles, st = r.Throughput, r.AbortRatio, r.Cycles, r.Stats
 		default:
 			r, err := railslite.Run(railslite.Config{Prof: prof, Mode: cfg.Mode, TxLength: cfg.TxLength,
-				Clients: clients, Requests: requests, Trace: rec})
+				Policy: cfg.Policy, Clients: clients, Requests: requests, Trace: rec})
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,253 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"htmgil/internal/htm"
+	"htmgil/internal/npb"
+	"htmgil/internal/policy"
+	"htmgil/internal/trace"
+	"htmgil/internal/vm"
+	"htmgil/internal/webrick"
+)
+
+// The policy experiment sweeps every registered contention-management
+// policy (internal/policy) over the NPB kernels and the WEBrick server,
+// with the same normalization as Figures 5 and 7 so the paper-dynamic
+// column reproduces the HTM-dynamic numbers bit for bit. Unlike the other
+// experiments, every point always attaches a trace aggregator: the
+// attribution tables break the abort causes and GIL-fallback reasons down
+// per policy, which is the whole point of comparing them.
+
+// PolicyConfigs returns one ModeHTM configuration per registered
+// contention-management policy, in registry order.
+func PolicyConfigs() []Config {
+	names := policy.Names()
+	out := make([]Config, 0, len(names))
+	for _, n := range names {
+		out = append(out, Config{Name: n, Mode: vm.ModeHTM, Policy: n})
+	}
+	return out
+}
+
+// policyRun is the handle to a policy-experiment kernel point: the kernel
+// result plus the always-attached aggregator for fallback attribution.
+type policyRun struct {
+	res *npb.Result
+	agg *trace.Aggregator
+}
+
+// policyKernel enumerates one NPB point of the policy experiment. It
+// differs from plan.kernel in always attaching a trace aggregator, so the
+// attribution tables work without the Session's TraceSummary switch.
+func (p *plan) policyKernel(label string, b npb.Bench, prof *htm.Profile, cfg Config, threads int, c npb.Class) *policyRun {
+	pr := &policyRun{}
+	pt := &point{label: label}
+	s := p.s
+	pt.exec = func() error {
+		agg := trace.NewAggregator()
+		opt := vm.DefaultOptions(prof, cfg.Mode)
+		opt.TxLength = cfg.TxLength
+		opt.Policy = cfg.Policy
+		opt.Trace = trace.NewRecorder(agg)
+		r, err := npb.Run(b, opt, threads, npb.ParamsFor(b, c))
+		if err != nil {
+			return err
+		}
+		if !r.Valid {
+			return errValidation
+		}
+		pr.res, pr.agg = r, agg
+		pt.rep = newReport("policy", prof.Name, string(b), cfg.Name, threads, 0, r.Cycles, 0, r.Stats, agg, s.topN())
+		pt.hasRep = true
+		return nil
+	}
+	p.pts = append(p.pts, pt)
+	return pr
+}
+
+// policyServerRun is the handle to a policy-experiment WEBrick point.
+type policyServerRun struct {
+	tp, ab float64
+	st     *vm.Stats
+	agg    *trace.Aggregator
+}
+
+// policyServer enumerates one WEBrick point of the policy experiment.
+func (p *plan) policyServer(label string, prof *htm.Profile, cfg Config, clients, requests int, zos bool) *policyServerRun {
+	pr := &policyServerRun{}
+	pt := &point{label: label}
+	s := p.s
+	pt.exec = func() error {
+		agg := trace.NewAggregator()
+		r, err := webrick.Run(webrick.Config{Prof: prof, Mode: cfg.Mode, TxLength: cfg.TxLength,
+			Policy: cfg.Policy, Clients: clients, Requests: requests, ZOSMalloc: zos,
+			Trace: trace.NewRecorder(agg)})
+		if err != nil {
+			return err
+		}
+		pr.tp, pr.ab, pr.st, pr.agg = r.Throughput, r.AbortRatio, r.Stats, agg
+		pt.rep = newReport("policy", prof.Name, "webrick", cfg.Name, 0, clients, r.Cycles, r.Throughput, r.Stats, agg, s.topN())
+		pt.hasRep = true
+		return nil
+	}
+	p.pts = append(p.pts, pt)
+	return pr
+}
+
+// attribution renders one per-policy attribution line: abort ratio,
+// fallback and adjustment counts, then the sorted abort causes and the
+// sorted GIL-fallback reasons observed by the trace aggregator.
+func attribution(w io.Writer, name string, st *vm.Stats, agg *trace.Aggregator) error {
+	fallbacks, adjusts := uint64(0), uint64(0)
+	if st != nil {
+		fallbacks, adjusts = st.GILFallbacks, st.Adjustments
+	}
+	fmt.Fprintf(w, "%-18s%9.1f%%%12d%12d  ", name, st.AbortRatio()*100, fallbacks, adjusts)
+	var parts []string
+	for c, n := range st.AbortCauses {
+		parts = append(parts, fmt.Sprintf("%s=%d", c, n))
+	}
+	sort.Strings(parts)
+	for i, s := range parts {
+		if i > 0 {
+			fmt.Fprint(w, " ")
+		}
+		fmt.Fprint(w, s)
+	}
+	if len(parts) == 0 {
+		fmt.Fprint(w, "-")
+	}
+	fmt.Fprint(w, " | ")
+	parts = parts[:0]
+	for reason, n := range agg.FallbackReasons {
+		parts = append(parts, fmt.Sprintf("%s=%d", reason, n))
+	}
+	sort.Strings(parts)
+	for i, s := range parts {
+		if i > 0 {
+			fmt.Fprint(w, " ")
+		}
+		fmt.Fprint(w, s)
+	}
+	if len(parts) == 0 {
+		fmt.Fprint(w, "-")
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// policyKernels returns the NPB kernels the policy experiment sweeps.
+func policyKernels(quick bool) []npb.Bench {
+	if quick {
+		return []npb.Bench{npb.CG, npb.FT, npb.SP}
+	}
+	return npb.Kernels
+}
+
+// buildPolicy enumerates the policy-comparison experiment: every registered
+// policy against threads on the NPB kernels (normalized to 1-thread GIL,
+// like Figure 5 — the paper-dynamic column is bit-identical to fig5's
+// HTM-dynamic column) and against clients on WEBrick (normalized to
+// 1-client GIL, like Figure 7), each table followed by a per-policy abort
+// attribution at the highest contention point.
+func (s *Session) buildPolicy(p *plan) {
+	quick := s.Quick
+	class := classFor(quick)
+	pols := PolicyConfigs()
+	for _, prof := range []*htm.Profile{htm.ZEC12(), htm.XeonE3()} {
+		ths := threadsFor(prof, quick)
+		maxTh := ths[len(ths)-1]
+		for _, bench := range policyKernels(quick) {
+			p.printf("\n# Policy comparison — %s on %s (throughput, 1 = 1-thread GIL)\n", bench, prof.Name)
+			base := p.kernel(fmt.Sprintf("policy baseline %s", bench),
+				"policy", bench, prof, Configs()[0], 1, class, false)
+			p.printf("%-10s", "threads")
+			for _, pc := range pols {
+				p.printf("%18s", pc.Name)
+			}
+			p.printf("\n")
+			top := map[string]*policyRun{}
+			for _, th := range ths {
+				p.printf("%-10d", th)
+				for _, pc := range pols {
+					r := p.policyKernel(fmt.Sprintf("policy %s/%s/%d", bench, pc.Name, th),
+						bench, prof, pc, th, class)
+					if th == maxTh {
+						top[pc.Name] = r
+					}
+					p.cell(func(w io.Writer) error {
+						_, err := fmt.Fprintf(w, "%18.2f", float64(base.res.Cycles)/float64(r.res.Cycles))
+						return err
+					})
+				}
+				p.printf("\n")
+			}
+			p.printf("\n# Policy abort attribution — %s on %s, %d threads\n", bench, prof.Name, maxTh)
+			p.printf("%-18s%10s%12s%12s  %s\n", "policy", "abort%", "fallbacks", "adjusts", "causes | fallback reasons")
+			for _, pc := range pols {
+				r := top[pc.Name]
+				name := pc.Name
+				p.cell(func(w io.Writer) error {
+					return attribution(w, name, r.res.Stats, r.agg)
+				})
+			}
+		}
+	}
+	// WEBrick: the server workload the paper used on both machines. Requests
+	// and client counts match Figure 7 so the numbers stay comparable.
+	requests := 3000
+	clientsList := []int{1, 2, 4, 6}
+	if quick {
+		requests = 800
+		clientsList = []int{1, 4}
+	}
+	for _, a := range []struct {
+		prof *htm.Profile
+		zos  bool
+	}{{htm.ZEC12(), true}, {htm.XeonE3(), false}} {
+		prof := a.prof
+		maxCl := clientsList[len(clientsList)-1]
+		p.printf("\n# Policy comparison — webrick on %s (throughput, 1 = 1-client GIL)\n", prof.Name)
+		base := p.server(fmt.Sprintf("policy webrick baseline %s", prof.Name),
+			"policy", "webrick", prof, Configs()[0], 1, requests, a.zos)
+		p.printf("%-10s", "clients")
+		for _, pc := range pols {
+			p.printf("%18s", pc.Name)
+		}
+		p.printf("\n")
+		top := map[string]*policyServerRun{}
+		for _, cl := range clientsList {
+			p.printf("%-10d", cl)
+			for _, pc := range pols {
+				r := p.policyServer(fmt.Sprintf("policy webrick/%s/%s/%d", prof.Name, pc.Name, cl),
+					prof, pc, cl, requests, a.zos)
+				if cl == maxCl {
+					top[pc.Name] = r
+				}
+				p.cell(func(w io.Writer) error {
+					_, err := fmt.Fprintf(w, "%18.2f", r.tp/base.tp)
+					return err
+				})
+			}
+			p.printf("\n")
+		}
+		p.printf("\n# Policy abort attribution — webrick on %s, %d clients\n", prof.Name, maxCl)
+		p.printf("%-18s%10s%12s%12s  %s\n", "policy", "abort%", "fallbacks", "adjusts", "causes | fallback reasons")
+		for _, pc := range pols {
+			r := top[pc.Name]
+			name := pc.Name
+			p.cell(func(w io.Writer) error {
+				return attribution(w, name, r.st, r.agg)
+			})
+		}
+	}
+}
+
+// PolicyTable regenerates the policy-comparison experiment (see buildPolicy).
+func (s *Session) PolicyTable() error { return s.runPlan(s.buildPolicy) }
+
+// PolicyTable regenerates the policy comparison in a fresh Session.
+func PolicyTable(w io.Writer, quick bool) error { return NewSession(w, quick).PolicyTable() }

@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"encoding/csv"
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 
 	"htmgil/internal/trace"
 	"htmgil/internal/vm"
@@ -105,6 +107,40 @@ func (s *Session) WriteReports(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(s.Reports)
+}
+
+// WriteReportsCSV emits the accumulated Reports as one flat CSV row per
+// configuration point: the scalar columns of the JSON reports, for
+// spreadsheet/plotting pipelines that don't want to parse JSON.
+func (s *Session) WriteReportsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"experiment", "machine", "workload", "config", "threads", "clients",
+		"cycles", "throughput", "abortRatio",
+		"txBegins", "txCommits", "txAborts", "gilFallbacks", "lengthAdjustments", "gcs",
+	}); err != nil {
+		return err
+	}
+	for i := range s.Reports {
+		r := &s.Reports[i]
+		if err := cw.Write([]string{
+			r.Experiment, r.Machine, r.Workload, r.Config,
+			strconv.Itoa(r.Threads), strconv.Itoa(r.Clients),
+			strconv.FormatInt(r.Cycles, 10),
+			strconv.FormatFloat(r.Throughput, 'g', -1, 64),
+			strconv.FormatFloat(r.AbortRatio, 'g', -1, 64),
+			strconv.FormatUint(r.Begins, 10),
+			strconv.FormatUint(r.Commits, 10),
+			strconv.FormatUint(r.Aborts, 10),
+			strconv.FormatUint(r.Fallbacks, 10),
+			strconv.FormatUint(r.Adjustments, 10),
+			strconv.FormatUint(r.GCs, 10),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // WriteTraceSummaries prints the per-point trace digests collected while

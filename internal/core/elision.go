@@ -1,28 +1,20 @@
 // Package core implements the paper's primary contribution: elimination of
-// the Global Interpreter Lock through Transactional Lock Elision with
-// dynamic per-yield-point transaction-length adjustment.
+// the Global Interpreter Lock through Transactional Lock Elision.
 //
-// It is a faithful translation of the algorithms of Figures 1–3 of the
-// paper onto the simulated machine:
-//
-//   - transaction_begin (Figure 1): run Ruby code as a hardware transaction
-//     subscribed to the GIL word; spin while the GIL is held; retry
-//     transient aborts up to TRANSIENT_RETRY_MAX times; wait out up to
-//     GIL_RETRY_MAX GIL conflicts; fall back to acquiring the GIL on
-//     persistent aborts or exhausted retries.
-//   - transaction_end / transaction_yield (Figure 2): transactions end and
-//     restart at yield points, but only after a per-yield-point number of
-//     yield points (the transaction length) has been passed.
-//   - set/adjust_transaction_length (Figure 3): each yield point starts at
-//     INITIAL_TRANSACTION_LENGTH and is attenuated by ATTENUATION_RATE
-//     whenever the abort ratio observed during its profiling period exceeds
-//     ADJUSTMENT_THRESHOLD/PROFILING_PERIOD (1% on zEC12, 6% on Xeon).
+// core owns the *mechanics* of elision on the simulated machine — issuing
+// TBEGIN, subscribing transactions to the GIL word, parking and resuming
+// threads at the blocking points of Figure 1, acquiring the fallback lock,
+// and emitting the tx lifecycle trace events. Every *decision* (elide or
+// take the GIL, at what transaction length, and how to react to an abort)
+// is delegated to an internal/policy.Policy. The paper's Figure 1-3
+// algorithm is policy.PaperDynamic; see internal/policy for the full family
+// of strategies.
 //
 // Because the simulator schedules threads cooperatively, the blocking
-// points of Figure 1 (spinning on the GIL, acquiring the GIL) are expressed
-// as a small per-thread state machine: TransactionBegin/HandleAbort return
-// Block when the thread must park, and ResumeBegin continues the algorithm
-// after the scheduler wakes the thread.
+// points of Figure 1 (spinning on the GIL, acquiring the GIL, backing off
+// after an abort) are expressed as a small per-thread state machine:
+// TransactionBegin/HandleAbort return Block when the thread must park, and
+// ResumeBegin continues the algorithm after the scheduler wakes the thread.
 package core
 
 import (
@@ -30,39 +22,19 @@ import (
 
 	"htmgil/internal/gil"
 	"htmgil/internal/htm"
+	"htmgil/internal/policy"
 	"htmgil/internal/sched"
 	"htmgil/internal/simmem"
 	"htmgil/internal/trace"
 )
 
-// Params are the tuning constants of Figures 1 and 3, with the paper's
-// published values as defaults (see Section 5.1).
-type Params struct {
-	TransientRetryMax int     // retries of transiently aborted transactions (3)
-	GILRetryMax       int     // spin-wait rounds on GIL conflicts before acquiring (16)
-	InitialLength     int32   // INITIAL_TRANSACTION_LENGTH (255)
-	ProfilingPeriod   int32   // transactions profiled per yield point (300)
-	AdjustThreshold   int32   // aborts tolerated within a profiling period (3 or 18)
-	AttenuationRate   float64 // length multiplier on adjustment (0.75)
-
-	// ConstantLength, when > 0, disables the dynamic adjustment and runs
-	// every transaction with this fixed length (the paper's HTM-1, HTM-16
-	// and HTM-256 configurations).
-	ConstantLength int32
-}
+// Params are the tuning constants of Figures 1 and 3. They live in
+// internal/policy now; the alias keeps the historical core API.
+type Params = policy.Params
 
 // DefaultParams returns the paper's constants for the given machine profile
 // (the adjustment threshold differs between zEC12 and Xeon).
-func DefaultParams(prof *htm.Profile) Params {
-	return Params{
-		TransientRetryMax: 3,
-		GILRetryMax:       16,
-		InitialLength:     255,
-		ProfilingPeriod:   int32(prof.ProfilingPeriod),
-		AdjustThreshold:   int32(prof.AdjustmentThreshold),
-		AttenuationRate:   0.75,
-	}
-}
+func DefaultParams(prof *htm.Profile) Params { return policy.DefaultParams(prof) }
 
 // Outcome tells the interpreter how to continue after a TLE step.
 type Outcome uint8
@@ -82,13 +54,16 @@ type beginState uint8
 const (
 	stIdle        beginState = iota
 	stWaitPreTx              // parked at lines 6-8, waiting for GIL release
-	stWaitRetry              // parked at lines 22-26 after a GIL conflict
+	stWaitRetry              // parked after an abort (GIL spin or backoff)
 	stWaitAcquire            // parked in gil_acquire; wakes owning the GIL
 )
 
 // Thread is the per-Ruby-thread TLE state.
 type Thread struct {
 	HTM *htm.Context
+
+	// PS is the policy's per-thread state (retry budgets, backoff ladders).
+	PS policy.ThreadState
 
 	// GILMode is true while the current critical section runs under the
 	// GIL instead of a transaction (fallback path).
@@ -99,11 +74,9 @@ type Thread struct {
 	// structure's yield_point_counter in simulated memory.
 	ChosenLength int32
 
-	state          beginState
-	pc             int
-	transientRetry int
-	gilRetry       int
-	firstRetry     bool
+	state beginState
+	pc    int
+	lazy  bool // current section runs with lazy GIL subscription
 
 	// LastAbortCause is the cause of the most recent abort (stats).
 	LastAbortCause simmem.AbortCause
@@ -113,20 +86,16 @@ type Thread struct {
 // (transactionally or under the GIL).
 func (t *Thread) InCriticalSection() bool { return t.GILMode || t.HTM.InTx() }
 
-// Elision is the global TLE state: the per-yield-point length tables and
-// the machinery shared by all threads.
+// Elision is the global TLE state: the contention-management policy and the
+// machinery shared by all threads.
 type Elision struct {
-	Params Params
+	Policy policy.Policy
 	GIL    *gil.GIL
 	Engine *sched.Engine
 
 	// LiveAppThreads reports the number of live Ruby application threads;
-	// with a single live thread the algorithm reverts to the GIL.
+	// the policies revert to the GIL when only one thread is live.
 	LiveAppThreads func() int
-
-	lengths    []int32
-	txCounter  []int32
-	abortCount []int32
 
 	// Tracer, when non-nil, receives the tx lifecycle events: tx-begin,
 	// tx-commit, tx-abort, gil-fallback and len-adjust. All htm.Context
@@ -139,110 +108,72 @@ type Elision struct {
 	Fallbacks   uint64 // critical sections that fell back to the GIL
 }
 
-// New creates the TLE runtime for a program with numYieldPoints yield-point
-// sites (the compiler assigns each yield-point instruction a dense id).
+// New creates the TLE runtime with the paper's algorithm selected by
+// params: ConstantLength > 0 builds the fixed-length configuration,
+// otherwise the dynamic Figure 3 policy. numYieldPoints is retained for API
+// compatibility; policy tables grow on demand.
 func New(params Params, g *gil.GIL, engine *sched.Engine, numYieldPoints int) *Elision {
+	var p policy.Policy
+	if params.ConstantLength > 0 {
+		p = policy.NewFixedLength(params, params.ConstantLength)
+	} else {
+		p = policy.NewPaperDynamic(params)
+	}
+	return NewWithPolicy(p, g, engine)
+}
+
+// NewWithPolicy creates the TLE runtime driven by an arbitrary policy.
+func NewWithPolicy(p policy.Policy, g *gil.GIL, engine *sched.Engine) *Elision {
+	if policy.UsesLazySubscription(p) && g != nil {
+		g.HazardTrack = true
+	}
 	return &Elision{
-		Params:     params,
-		GIL:        g,
-		Engine:     engine,
-		lengths:    make([]int32, numYieldPoints),
-		txCounter:  make([]int32, numYieldPoints),
-		abortCount: make([]int32, numYieldPoints),
+		Policy: p,
+		GIL:    g,
+		Engine: engine,
 	}
 }
 
 // NewThread creates the TLE state for one Ruby thread bound to an HTM
 // context.
 func (e *Elision) NewThread(ctx *htm.Context) *Thread {
-	return &Thread{HTM: ctx}
+	return &Thread{HTM: ctx, PS: e.Policy.NewThread()}
 }
 
-// grow ensures the per-PC tables cover pc (programs can load code at
-// runtime, adding yield points).
-func (e *Elision) grow(pc int) {
-	for pc >= len(e.lengths) {
-		e.lengths = append(e.lengths, 0)
-		e.txCounter = append(e.txCounter, 0)
-		e.abortCount = append(e.abortCount, 0)
-	}
-}
-
-// LengthAt returns the current transaction length for a yield point
-// (Figure 3 semantics: 0 means not yet initialized).
+// LengthAt returns the current transaction length for a yield point when
+// the policy keeps a length table (0 otherwise; Figure 3 semantics: 0 also
+// means not yet initialized).
 func (e *Elision) LengthAt(pc int) int32 {
-	if pc < len(e.lengths) {
-		return e.lengths[pc]
+	type lengthAt interface{ LengthAt(pc int) int32 }
+	if la, ok := e.Policy.(lengthAt); ok {
+		return la.LengthAt(pc)
 	}
 	return 0
 }
 
-// Lengths returns a copy of the per-yield-point length table.
-func (e *Elision) Lengths() []int32 {
-	out := make([]int32, len(e.lengths))
-	copy(out, e.lengths)
-	return out
-}
+// Lengths returns a copy of the policy's per-yield-point length table, or
+// nil when the policy keeps none.
+func (e *Elision) Lengths() []int32 { return e.Policy.Lengths() }
 
-// setTransactionLength implements set_transaction_length of Figure 3.
-func (e *Elision) setTransactionLength(t *Thread, pc int) {
-	if e.Params.ConstantLength > 0 {
-		t.ChosenLength = e.Params.ConstantLength
-		return
-	}
-	e.grow(pc)
-	if e.lengths[pc] == 0 {
-		e.lengths[pc] = e.Params.InitialLength
-	}
-	t.ChosenLength = e.lengths[pc]
-	if e.txCounter[pc] < e.Params.ProfilingPeriod {
-		e.txCounter[pc]++
-	}
-}
-
-// adjustTransactionLength implements adjust_transaction_length of Figure 3,
-// called on the first retry of an aborted transaction.
-func (e *Elision) adjustTransactionLength(pc int) {
-	if e.Params.ConstantLength > 0 {
-		return
-	}
-	e.grow(pc)
-	// Figure 3 line 14 as written never ends the profiling period because
-	// line 8 caps the counter at PROFILING_PERIOD; the text makes the
-	// intent clear ("before the PROFILING_PERIOD number of transactions
-	// began"), so monitoring stops once the counter saturates.
-	if e.lengths[pc] <= 1 || e.txCounter[pc] >= e.Params.ProfilingPeriod {
-		return
-	}
-	if e.abortCount[pc] <= e.Params.AdjustThreshold {
-		e.abortCount[pc]++
-		return
-	}
-	old := e.lengths[pc]
-	nl := int32(float64(old) * e.Params.AttenuationRate)
-	if nl < 1 {
-		nl = 1
-	}
-	e.lengths[pc] = nl
-	e.txCounter[pc] = 0
-	e.abortCount[pc] = 0
-	e.Adjustments++
-	if e.Tracer != nil {
-		ev := trace.Ev(e.timeNow(), trace.KindLenAdjust)
-		ev.PC = pc
-		ev.OldLen = old
-		ev.Len = nl
-		e.Tracer.Emit(ev)
-	}
-}
-
-// timeNow returns the engine's virtual time; unit tests build Elision
-// without an engine, in which case events carry time 0.
-func (e *Elision) timeNow() int64 {
+// Now implements policy.Runtime: the engine's virtual time; unit tests
+// build Elision without an engine, in which case events carry time 0.
+func (e *Elision) Now() int64 {
 	if e.Engine != nil {
 		return e.Engine.Now()
 	}
 	return 0
+}
+
+// EmitLenAdjust implements policy.Runtime: one length attenuation.
+func (e *Elision) EmitLenAdjust(pc int, oldLen, newLen int32) {
+	e.Adjustments++
+	if e.Tracer != nil {
+		ev := trace.Ev(e.Now(), trace.KindLenAdjust)
+		ev.PC = pc
+		ev.OldLen = oldLen
+		ev.Len = newLen
+		e.Tracer.Emit(ev)
+	}
 }
 
 // sthID returns a scheduler thread's id for event attribution, -1 when the
@@ -254,27 +185,26 @@ func sthID(sth *sched.Thread) int {
 	return sth.ID
 }
 
-// TransactionBegin implements transaction_begin of Figure 1 for the yield
-// point pc. On Proceed the thread either runs inside a fresh transaction
-// (t.GILMode false) or holds the GIL (t.GILMode true). On Block the thread
-// must park and call ResumeBegin when woken.
+// TransactionBegin opens a critical section at yield point pc, asking the
+// policy whether to elide. On Proceed the thread either runs inside a fresh
+// transaction (t.GILMode false) or holds the GIL (t.GILMode true). On Block
+// the thread must park and call ResumeBegin when woken.
 func (e *Elision) TransactionBegin(t *Thread, sth *sched.Thread, now int64, pc int) (int64, Outcome) {
 	if t.state != stIdle {
 		panic(fmt.Sprintf("core: TransactionBegin in state %d", t.state))
 	}
 	t.pc = pc
-	// Lines 2-3: a lone thread needs no concurrency; use the GIL.
-	if e.LiveAppThreads() <= 1 {
-		return e.acquireGIL(t, sth, now, "single-thread")
+	d := e.Policy.OnBegin(e, t.PS, pc, e.LiveAppThreads())
+	if !d.Elide {
+		t.lazy = false
+		return e.acquireGIL(t, sth, now, d.Reason)
 	}
-	// Line 5.
-	e.setTransactionLength(t, pc)
-	// Lines 9-11.
-	t.transientRetry = e.Params.TransientRetryMax
-	t.gilRetry = e.Params.GILRetryMax
-	t.firstRetry = true
-	// Lines 6-8: wait until the GIL is free before beginning.
-	if e.GIL.Acquired() {
+	t.ChosenLength = d.Length
+	t.lazy = d.Lazy
+	// Lines 6-8 of Figure 1: wait until the GIL is free before beginning.
+	// Lazy subscription skips the wait along with the subscription: a held
+	// GIL is only discovered at commit.
+	if !t.lazy && e.GIL.Acquired() {
 		e.GIL.WaitFree(sth)
 		t.state = stWaitPreTx
 		return 2, Block
@@ -282,7 +212,8 @@ func (e *Elision) TransactionBegin(t *Thread, sth *sched.Thread, now int64, pc i
 	return e.tryBegin(t, sth, now)
 }
 
-// tryBegin issues TBEGIN and subscribes to the GIL word (lines 13-15).
+// tryBegin issues TBEGIN and, unless the section is lazy, subscribes to the
+// GIL word (lines 13-15 of Figure 1).
 func (e *Elision) tryBegin(t *Thread, sth *sched.Thread, now int64) (int64, Outcome) {
 	cycles := t.HTM.Begin(now)
 	if e.Tracer != nil {
@@ -293,10 +224,12 @@ func (e *Elision) tryBegin(t *Thread, sth *sched.Thread, now int64) (int64, Outc
 		ev.Len = t.ChosenLength
 		e.Tracer.Emit(ev)
 	}
-	w := t.HTM.Tx.Load(e.GIL.Addr)
-	if w.Bits != 0 {
-		// Line 15: the GIL was grabbed between our check and TBEGIN.
-		t.HTM.ExplicitAbort()
+	if !t.lazy {
+		w := t.HTM.Tx.Load(e.GIL.Addr)
+		if w.Bits != 0 {
+			// Line 15: the GIL was grabbed between our check and TBEGIN.
+			t.HTM.ExplicitAbort()
+		}
 	}
 	t.state = stIdle
 	t.GILMode = false
@@ -334,9 +267,10 @@ func (e *Elision) acquireGIL(t *Thread, sth *sched.Thread, now int64, reason str
 func (e *Elision) ResumeBegin(t *Thread, sth *sched.Thread, now int64) (int64, Outcome) {
 	switch t.state {
 	case stWaitPreTx, stWaitRetry:
-		// The GIL was released while we spun; begin (or re-begin) the
-		// transaction. If it was re-acquired in the meantime the TBEGIN
-		// subscription aborts us and we come back through HandleAbort.
+		// The GIL was released while we spun (or the backoff expired);
+		// begin (or re-begin) the transaction. If the GIL was re-acquired
+		// in the meantime the TBEGIN subscription aborts us and we come
+		// back through HandleAbort.
 		return e.tryBegin(t, sth, now)
 	case stWaitAcquire:
 		// Woken by the GIL handoff: we own the lock.
@@ -351,7 +285,7 @@ func (e *Elision) ResumeBegin(t *Thread, sth *sched.Thread, now int64) (int64, O
 	}
 }
 
-// HandleAbort implements the abort path (lines 16-37 of Figure 1). The
+// HandleAbort completes an abort and asks the policy how to continue. The
 // interpreter calls it after rolling its private state back to the
 // beginning of the transaction. Outcomes are as for TransactionBegin.
 func (e *Elision) HandleAbort(t *Thread, sth *sched.Thread, now int64) (int64, Outcome) {
@@ -373,34 +307,29 @@ func (e *Elision) HandleAbort(t *Thread, sth *sched.Thread, now int64) (int64, O
 		e.Tracer.Emit(ev)
 	}
 	cycles := penalty
-	// Lines 17-20: adjust the length on the first retry only.
-	if t.firstRetry {
-		t.firstRetry = false
-		e.adjustTransactionLength(t.pc)
-	}
-	switch {
-	case e.GIL.Acquired():
-		// Lines 21-27: conflict at the GIL.
-		t.gilRetry--
-		if t.gilRetry > 0 {
-			e.GIL.WaitFree(sth)
-			t.state = stWaitRetry
-			return cycles, Block
-		}
-		c, out := e.acquireGIL(t, sth, now+cycles, "gil-contention")
+	d := e.Policy.OnAbort(e, t.PS, t.pc, cause, e.GIL.Acquired())
+	switch d.Kind {
+	case policy.AbortSpinRetry:
+		// Lines 22-26 of Figure 1: park until the GIL is released, then
+		// re-begin.
+		e.GIL.WaitFree(sth)
+		t.state = stWaitRetry
+		return cycles, Block
+	case policy.AbortRetry:
+		c, out := e.tryBegin(t, sth, now+cycles)
 		return cycles + c, out
-	case !cause.Transient():
-		// Lines 28-29: persistent abort; retrying cannot succeed.
-		c, out := e.acquireGIL(t, sth, now+cycles, "persistent-abort")
-		return cycles + c, out
-	default:
-		// Lines 31-35: transient abort; retry a bounded number of times.
-		t.transientRetry--
-		if t.transientRetry > 0 {
-			c, out := e.tryBegin(t, sth, now+cycles)
-			return cycles + c, out
-		}
-		c, out := e.acquireGIL(t, sth, now+cycles, "retry-exhausted")
+	case policy.AbortBackoff:
+		// Park for the backoff duration, then re-begin. The thread is not
+		// registered with the GIL, so only this timed event wakes it; it
+		// fires after this step returns, by which time the thread is
+		// Blocked (steps complete synchronously).
+		e.Engine.At(now+cycles+d.Backoff, func(at int64) {
+			e.Engine.Wake(sth, at)
+		})
+		t.state = stWaitRetry
+		return cycles, Block
+	default: // policy.AbortFallback
+		c, out := e.acquireGIL(t, sth, now+cycles, d.Reason)
 		return cycles + c, out
 	}
 }
@@ -408,20 +337,30 @@ func (e *Elision) HandleAbort(t *Thread, sth *sched.Thread, now int64) (int64, O
 // TransactionEnd implements transaction_end of Figure 2. It returns the
 // cycle cost and whether the critical section committed; on false the
 // transaction failed at commit and the interpreter must roll back its
-// private state and call HandleAbort.
+// private state and call HandleAbort. Lazy sections perform their GIL
+// subscription here, immediately before the commit attempt.
 func (e *Elision) TransactionEnd(t *Thread, sth *sched.Thread, now int64) (int64, bool) {
 	if t.GILMode {
 		cost := e.GIL.Release(sth, now)
 		t.GILMode = false
 		return cost, true
 	}
+	if t.lazy && t.HTM.InTx() {
+		w := t.HTM.Tx.Load(e.GIL.Addr)
+		if w.Bits != 0 {
+			t.HTM.ExplicitAbort()
+		}
+	}
 	cycles, ok := t.HTM.End(now)
-	if ok && e.Tracer != nil {
-		ev := trace.Ev(now, trace.KindTxCommit)
-		ev.Ctx = t.HTM.Tx.ID()
-		ev.Thread = sthID(sth)
-		ev.PC = t.pc
-		e.Tracer.Emit(ev)
+	if ok {
+		e.Policy.OnCommit(e, t.PS, t.pc)
+		if e.Tracer != nil {
+			ev := trace.Ev(now, trace.KindTxCommit)
+			ev.Ctx = t.HTM.Tx.ID()
+			ev.Thread = sthID(sth)
+			ev.PC = t.pc
+			e.Tracer.Emit(ev)
+		}
 	}
 	return cycles, ok
 }

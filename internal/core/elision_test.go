@@ -2,10 +2,10 @@ package core
 
 import (
 	"testing"
-	"testing/quick"
 
 	"htmgil/internal/gil"
 	"htmgil/internal/htm"
+	"htmgil/internal/policy"
 	"htmgil/internal/sched"
 	"htmgil/internal/simmem"
 )
@@ -27,6 +27,20 @@ func newRig(t *testing.T, prof *htm.Profile, params Params, nthreads int) *rig {
 	eng := sched.NewEngine(sched.Config{HWThreads: prof.HWThreads(), SMTWays: prof.SMTWays, SMTPenalty: 1.9})
 	g := gil.New(mem, eng, gil.DefaultCosts())
 	el := New(params, g, eng, 64)
+	r := &rig{mem: mem, eng: eng, gil: g, el: el, live: nthreads}
+	el.LiveAppThreads = func() int { return r.live }
+	r.ctrAdr = mem.Reserve("counter", 64)
+	return r
+}
+
+// newRigPolicy wires the rig around an arbitrary contention policy.
+func newRigPolicy(t *testing.T, prof *htm.Profile, p policy.Policy, nthreads int) *rig {
+	t.Helper()
+	prof.InterruptMeanCycles = 0
+	mem := simmem.NewMemory(simmem.Config{LineBytes: prof.LineBytes}, prof.HWThreads())
+	eng := sched.NewEngine(sched.Config{HWThreads: prof.HWThreads(), SMTWays: prof.SMTWays, SMTPenalty: 1.9})
+	g := gil.New(mem, eng, gil.DefaultCosts())
+	el := NewWithPolicy(p, g, eng)
 	r := &rig{mem: mem, eng: eng, gil: g, el: el, live: nthreads}
 	el.LiveAppThreads = func() int { return r.live }
 	r.ctrAdr = mem.Reserve("counter", 64)
@@ -153,6 +167,54 @@ func TestMultiThreadAtomicity(t *testing.T) {
 	}
 }
 
+// TestAllPoliciesPreserveAtomicity drives every registered policy through
+// the full TLE protocol on a contended counter: whatever the policy decides
+// (immediate retries, backoff parking, lazy commit-time subscription, OCC
+// pessimistic phases), no update may be lost. The mixed footprints force
+// capacity aborts too, exercising every OnAbort branch.
+func TestAllPoliciesPreserveAtomicity(t *testing.T) {
+	for _, name := range policy.Names() {
+		t.Run(name, func(t *testing.T) {
+			prof := htm.ZEC12()
+			p, err := policy.New(name, prof)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n, iters = 6, 400
+			r := newRigPolicy(t, prof, p, n)
+			scratch := r.mem.Reserve("scratch", 1<<20)
+			for i := 0; i < n; i++ {
+				r.worker(t, prof, i, iters, i%3, scratch+simmem.Addr(i*64*256))
+			}
+			if err := r.eng.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if got := r.mem.Peek(r.ctrAdr).Bits; got != uint64(n*iters) {
+				t.Fatalf("policy %s: counter = %d, want %d (lost updates!)", name, got, n*iters)
+			}
+		})
+	}
+}
+
+// TestLazySubscriptionArmsHazardTracking guards the wiring that keeps lazy
+// subscription safe: building the runtime with the lazy policy must arm the
+// GIL's hazard window.
+func TestLazySubscriptionArmsHazardTracking(t *testing.T) {
+	prof := htm.ZEC12()
+	p, err := policy.New("lazy-subscription", prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRigPolicy(t, prof, p, 2)
+	if !r.gil.HazardTrack {
+		t.Fatalf("lazy-subscription policy did not arm GIL hazard tracking")
+	}
+	r2 := newRig(t, prof, DefaultParams(prof), 2)
+	if r2.gil.HazardTrack {
+		t.Fatalf("paper policy armed GIL hazard tracking")
+	}
+}
+
 func TestPersistentAbortFallsBackToGIL(t *testing.T) {
 	prof := htm.ZEC12()
 	r := newRig(t, prof, DefaultParams(prof), 2)
@@ -169,118 +231,6 @@ func TestPersistentAbortFallsBackToGIL(t *testing.T) {
 	}
 	if r.gil.Stats.Acquisitions == 0 {
 		t.Fatalf("persistent aborts never acquired the GIL")
-	}
-}
-
-func TestAdjustmentShortensLengthUnderAborts(t *testing.T) {
-	prof := htm.ZEC12()
-	params := DefaultParams(prof)
-	el := New(params, nil, nil, 8)
-	pc := 3
-	// Simulate: every transaction at pc aborts on first retry.
-	el.setTransactionLength(&Thread{}, pc)
-	if el.LengthAt(pc) != 255 {
-		t.Fatalf("initial length = %d", el.LengthAt(pc))
-	}
-	for i := 0; i < 10000 && el.LengthAt(pc) > 1; i++ {
-		th := &Thread{}
-		el.setTransactionLength(th, pc)
-		el.adjustTransactionLength(pc)
-	}
-	if el.LengthAt(pc) != 1 {
-		t.Fatalf("length did not converge to 1: %d", el.LengthAt(pc))
-	}
-	// Attenuation sequence head: 255 -> 191 -> 143 ...
-	// The paper's code tolerates AdjustThreshold+1 aborts (the counter is
-	// incremented while <= threshold) before the first attenuation.
-	el2 := New(params, nil, nil, 8)
-	el2.setTransactionLength(&Thread{}, 0)
-	for i := 0; i <= int(params.AdjustThreshold); i++ {
-		el2.adjustTransactionLength(0)
-	}
-	if el2.LengthAt(0) != 255 {
-		t.Fatalf("attenuated too early: %d", el2.LengthAt(0))
-	}
-	el2.adjustTransactionLength(0)
-	if el2.LengthAt(0) != 191 {
-		t.Fatalf("first attenuation: %d, want 191", el2.LengthAt(0))
-	}
-}
-
-func TestNoAdjustmentBelowAbortThreshold(t *testing.T) {
-	prof := htm.ZEC12()
-	params := DefaultParams(prof)
-	el := New(params, nil, nil, 8)
-	el.setTransactionLength(&Thread{}, 0)
-	// AdjustThreshold aborts are tolerated without attenuation.
-	for i := 0; i < int(params.AdjustThreshold); i++ {
-		el.adjustTransactionLength(0)
-	}
-	if el.LengthAt(0) != 255 {
-		t.Fatalf("length changed below threshold: %d", el.LengthAt(0))
-	}
-}
-
-func TestConstantLengthNeverAdjusts(t *testing.T) {
-	prof := htm.ZEC12()
-	params := DefaultParams(prof)
-	params.ConstantLength = 16
-	el := New(params, nil, nil, 8)
-	th := &Thread{}
-	el.setTransactionLength(th, 0)
-	if th.ChosenLength != 16 {
-		t.Fatalf("constant length = %d", th.ChosenLength)
-	}
-	for i := 0; i < 100; i++ {
-		el.adjustTransactionLength(0)
-	}
-	if el.LengthAt(0) != 0 {
-		t.Fatalf("constant config mutated the table: %d", el.LengthAt(0))
-	}
-}
-
-// Property: the length table never leaves [1, InitialLength] once
-// initialized, under any interleaving of set/adjust calls.
-func TestLengthBoundsProperty(t *testing.T) {
-	prof := htm.ZEC12()
-	f := func(ops []bool, pc8 uint8) bool {
-		params := DefaultParams(prof)
-		el := New(params, nil, nil, 4)
-		pc := int(pc8 % 4)
-		el.setTransactionLength(&Thread{}, pc)
-		for _, set := range ops {
-			if set {
-				el.setTransactionLength(&Thread{}, pc)
-			} else {
-				el.adjustTransactionLength(pc)
-			}
-			l := el.LengthAt(pc)
-			if l < 1 || l > params.InitialLength {
-				return false
-			}
-		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestProfilingPeriodFreezesLength(t *testing.T) {
-	prof := htm.ZEC12()
-	params := DefaultParams(prof)
-	el := New(params, nil, nil, 8)
-	// Exhaust the profiling period with successful transactions.
-	for i := 0; i < int(params.ProfilingPeriod)+5; i++ {
-		el.setTransactionLength(&Thread{}, 0)
-	}
-	before := el.LengthAt(0)
-	// Aborts after the profiling period must not shorten the length.
-	for i := 0; i < 100; i++ {
-		el.adjustTransactionLength(0)
-	}
-	if el.LengthAt(0) != before {
-		t.Fatalf("length adjusted after profiling period: %d -> %d", before, el.LengthAt(0))
 	}
 }
 
@@ -301,32 +251,6 @@ func TestDeterministicTLERun(t *testing.T) {
 	if c1 != c2 || a1 != a2 {
 		t.Fatalf("nondeterministic: (%d,%d) vs (%d,%d)", c1, a1, c2, a2)
 	}
-}
-
-func TestLengthsSnapshot(t *testing.T) {
-	prof := htm.ZEC12()
-	el := New(DefaultParams(prof), nil, nil, 4)
-	el.setTransactionLength(&Thread{}, 2)
-	ls := el.Lengths()
-	if ls[2] != 255 {
-		t.Fatalf("lengths = %v", ls)
-	}
-	// Snapshot is a copy: mutating it must not affect the table.
-	ls[2] = 1
-	if el.LengthAt(2) != 255 {
-		t.Fatalf("snapshot aliases the table")
-	}
-}
-
-func TestTableGrowsForLateYieldPoints(t *testing.T) {
-	prof := htm.ZEC12()
-	el := New(DefaultParams(prof), nil, nil, 2)
-	th := &Thread{}
-	el.setTransactionLength(th, 500) // beyond the initial table size
-	if th.ChosenLength != 255 {
-		t.Fatalf("length at grown pc = %d", th.ChosenLength)
-	}
-	el.adjustTransactionLength(997) // must not panic either
 }
 
 func TestGILRetrySpinPath(t *testing.T) {

@@ -1,0 +1,102 @@
+package gil
+
+import (
+	"testing"
+
+	"htmgil/internal/sched"
+	"htmgil/internal/simmem"
+)
+
+// TestWaiterQueueFIFOFairnessUnderTimer is the waiter-queue fairness
+// regression test: with several threads contending for the GIL while the
+// timer thread flags the owner, handoff must stay strictly FIFO — after the
+// initial enqueue, the acquisition sequence is a perfect round-robin of the
+// contenders, and no thread acquires twice before every other contender
+// acquired once.
+func TestWaiterQueueFIFOFairnessUnderTimer(t *testing.T) {
+	const (
+		nthreads = 5 // >= 4 contenders per the regression's scope
+		rounds   = 20
+		interval = 5000 // timer period in cycles, >> the re-enqueue latency
+	)
+	mem := simmem.NewMemory(simmem.Config{LineBytes: 64}, nthreads)
+	eng := sched.NewEngine(sched.Config{HWThreads: nthreads})
+	g := New(mem, eng, DefaultCosts())
+
+	var order []int
+	running := nthreads
+	for i := 0; i < nthreads; i++ {
+		id := i
+		var th *sched.Thread
+		held := 0
+		const (
+			phAcquire = iota
+			phWake
+			phHold
+		)
+		phase := phAcquire
+		// Threads start staggered so their first BlockingAcquire calls (and
+		// hence the initial waiter order) are deterministic: 0 gets the GIL,
+		// 1..4 enqueue in id order.
+		th = eng.Spawn("w", int64(10*i), func(now int64) sched.StepResult {
+			switch phase {
+			case phAcquire:
+				c, ok := g.BlockingAcquire(th, now)
+				if !ok {
+					phase = phWake
+					return sched.StepResult{Cycles: 1, Status: sched.Blocked}
+				}
+				order = append(order, id)
+				phase = phHold
+				return sched.StepResult{Cycles: c, Status: sched.Running}
+			case phWake:
+				// Woken by the handoff: we must own the lock.
+				if !g.HeldBy(th) {
+					t.Fatalf("thread %d woke without ownership", id)
+				}
+				order = append(order, id)
+				phase = phHold
+				return sched.StepResult{Cycles: 0, Status: sched.Running}
+			default: // phHold: run until the timer flags us, then yield.
+				if g.ConsumeInterrupt(th) {
+					g.Release(th, now)
+					held++
+					if held == rounds {
+						running--
+						return sched.StepResult{Cycles: 1, Status: sched.Done}
+					}
+					phase = phAcquire
+					return sched.StepResult{Cycles: 1, Status: sched.Running}
+				}
+				return sched.StepResult{Cycles: 100, Status: sched.Running}
+			}
+		})
+	}
+	g.StartTimer(interval, func() bool { return running > 0 })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(order) != nthreads*rounds {
+		t.Fatalf("acquisitions = %d, want %d", len(order), nthreads*rounds)
+	}
+	// The first cycle fixes the round-robin permutation; every later
+	// acquisition must repeat it with period nthreads.
+	for i := nthreads; i < len(order); i++ {
+		if order[i] != order[i-nthreads] {
+			t.Fatalf("FIFO violated at acquisition %d: %v", i, order[:i+1])
+		}
+	}
+	// No thread may acquire twice within any window of nthreads
+	// acquisitions (the no-starvation reading of FIFO handoff).
+	for start := 0; start+nthreads <= len(order); start++ {
+		seen := make(map[int]bool, nthreads)
+		for _, id := range order[start : start+nthreads] {
+			if seen[id] {
+				t.Fatalf("thread %d acquired twice in window %d: %v",
+					id, start, order[start:start+nthreads])
+			}
+			seen[id] = true
+		}
+	}
+}

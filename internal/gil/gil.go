@@ -63,6 +63,13 @@ type GIL struct {
 
 	// Tracer, when non-nil, receives gil-acquire/gil-release events.
 	Tracer *trace.Recorder
+
+	// HazardTrack, when set (by the TLE runtime when a lazy-subscription
+	// policy is active), opens a simmem hazard window for the duration of
+	// every GIL hold: lines the holder writes non-transactionally doom
+	// transactions that touch them, standing in for the begin-time
+	// subscription those transactions skipped.
+	HazardTrack bool
 }
 
 // New creates a GIL whose state word lives in its own line of mem.
@@ -105,6 +112,9 @@ func (g *GIL) take(th *sched.Thread, now int64) {
 	g.ownedSince = now
 	g.Stats.Acquisitions++
 	g.mem.Store(g.Addr, simmem.Word{Bits: 1})
+	if g.HazardTrack {
+		g.mem.StartHazard()
+	}
 	if g.Tracer != nil {
 		ev := trace.Ev(now, trace.KindGILAcquire)
 		ev.Thread = th.ID
@@ -148,6 +158,9 @@ func (g *GIL) Release(th *sched.Thread, now int64) int64 {
 	}
 	g.owner = nil
 	g.mem.Store(g.Addr, simmem.Word{Bits: 0})
+	if g.HazardTrack {
+		g.mem.EndHazard()
+	}
 	cost := g.costs.Release
 
 	// Wake spinners: the lock is (momentarily) free.

@@ -1,0 +1,133 @@
+package policy_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"testing"
+
+	"htmgil/internal/htm"
+	"htmgil/internal/npb"
+	"htmgil/internal/vm"
+)
+
+// digest is the serialized per-run fingerprint captured from the seed tree
+// (before internal/core's decisions were extracted into internal/policy).
+// Field set and JSON layout must stay in sync with
+// testdata/paperdynamic_golden.json.
+type digest struct {
+	Bench       string            `json:"bench"`
+	Machine     string            `json:"machine"`
+	Threads     int               `json:"threads"`
+	Cycles      int64             `json:"cycles"`
+	Checksum    string            `json:"checksum"`
+	Valid       bool              `json:"valid"`
+	Bytecodes   uint64            `json:"bytecodes"`
+	Yields      uint64            `json:"yields"`
+	Begins      uint64            `json:"txBegins"`
+	Commits     uint64            `json:"txCommits"`
+	Aborts      uint64            `json:"txAborts"`
+	Fallbacks   uint64            `json:"gilFallbacks"`
+	Adjustments uint64            `json:"adjustments"`
+	GCs         uint64            `json:"gcs"`
+	AbortCauses map[string]uint64 `json:"abortCauses,omitempty"`
+	Conflicts   map[string]uint64 `json:"conflictRegions,omitempty"`
+	LengthHist  map[string]int    `json:"lengthHistogram,omitempty"`
+}
+
+// digestRun executes one NPB kernel under ModeHTM and fingerprints the run.
+func digestRun(t *testing.T, prof *htm.Profile, bench npb.Bench, threads int, policyName string) digest {
+	t.Helper()
+	opt := vm.DefaultOptions(prof, vm.ModeHTM)
+	opt.Policy = policyName
+	r, err := npb.Run(bench, opt, threads, npb.ParamsFor(bench, npb.ClassS))
+	if err != nil {
+		t.Fatalf("%s/%s/%d: %v", prof.Name, bench, threads, err)
+	}
+	st := r.Stats
+	d := digest{
+		Bench: string(bench), Machine: prof.Name, Threads: threads,
+		Cycles: r.Cycles, Checksum: r.Checksum, Valid: r.Valid,
+		Bytecodes: st.Bytecodes, Yields: st.Yields,
+		Fallbacks: st.GILFallbacks, Adjustments: st.Adjustments, GCs: st.GCs,
+	}
+	if st.HTM != nil {
+		d.Begins, d.Commits, d.Aborts = st.HTM.Begins, st.HTM.Commits, st.HTM.Aborts
+	}
+	if len(st.AbortCauses) > 0 {
+		d.AbortCauses = map[string]uint64{}
+		for c, n := range st.AbortCauses {
+			d.AbortCauses[c.String()] = n
+		}
+	}
+	if len(st.ConflictRegions) > 0 {
+		d.Conflicts = map[string]uint64{}
+		for reg, n := range st.ConflictRegions {
+			d.Conflicts[reg] = n
+		}
+	}
+	if len(st.LengthHistogram) > 0 {
+		d.LengthHist = map[string]int{}
+		for l, n := range st.LengthHistogram {
+			d.LengthHist[fmt.Sprint(l)] = n
+		}
+	}
+	return d
+}
+
+func profileFor(t *testing.T, name string) *htm.Profile {
+	t.Helper()
+	for _, p := range []*htm.Profile{htm.ZEC12(), htm.XeonE3()} {
+		if p.Name == name {
+			return p
+		}
+	}
+	t.Fatalf("unknown machine profile %q in golden file", name)
+	return nil
+}
+
+// TestPaperDynamicMatchesPreRefactorGolden guards the policy extraction:
+// every Fig. 5 golden point re-run through the refactored core (policy
+// selected by the default-options path, i.e. PaperDynamic) must reproduce
+// the seed tree's Stats digest byte for byte.
+func TestPaperDynamicMatchesPreRefactorGolden(t *testing.T) {
+	raw, err := os.ReadFile("testdata/paperdynamic_golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []digest
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("empty golden file")
+	}
+	for _, w := range want {
+		w := w
+		t.Run(fmt.Sprintf("%s-%s-%d", w.Machine, w.Bench, w.Threads), func(t *testing.T) {
+			got := digestRun(t, profileFor(t, w.Machine), npb.Bench(w.Bench), w.Threads, "")
+			if !reflect.DeepEqual(got, w) {
+				gj, _ := json.Marshal(got)
+				wj, _ := json.Marshal(w)
+				t.Errorf("digest drifted from pre-refactor seed\n got: %s\nwant: %s", gj, wj)
+			}
+		})
+	}
+}
+
+// TestExplicitPaperDynamicEqualsDefault checks that naming the policy
+// ("paper-dynamic") is bit-identical to the default-options path, so the
+// policy experiment's PaperDynamic rows equal the fig5 HTM-dynamic rows.
+func TestExplicitPaperDynamicEqualsDefault(t *testing.T) {
+	prof := htm.ZEC12()
+	for _, threads := range []int{1, 4} {
+		def := digestRun(t, prof, npb.CG, threads, "")
+		named := digestRun(t, prof, npb.CG, threads, "paper-dynamic")
+		if !reflect.DeepEqual(def, named) {
+			dj, _ := json.Marshal(def)
+			nj, _ := json.Marshal(named)
+			t.Errorf("threads=%d: explicit paper-dynamic diverged\n default: %s\n   named: %s", threads, dj, nj)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"htmgil/internal/htm"
+)
+
+// invariantParams returns the paper's constants with a small profiling
+// period so the tests can cycle through several adjustment rounds quickly.
+func invariantParams() Params {
+	p := DefaultParams(htm.ZEC12())
+	p.ProfilingPeriod = 10
+	p.AdjustThreshold = 3
+	return p
+}
+
+// TestLengthNeverRaisedNeverBelowOne hammers one yield point with abort
+// notifications and checks the Figure 3 invariants: the length only moves
+// downward, never drops below 1, and each attenuation multiplies the old
+// value by exactly AttenuationRate (floored, clamped to 1).
+func TestLengthNeverRaisedNeverBelowOne(t *testing.T) {
+	params := invariantParams()
+	p := NewPaperDynamic(params)
+	const pc = 2
+
+	prev := params.InitialLength
+	for round := 0; round < 200; round++ {
+		// Begin some transactions (fewer than the profiling period, which
+		// would freeze monitoring), then report aborts until the threshold
+		// trips.
+		for i := int32(0); i < params.ProfilingPeriod-1; i++ {
+			got := p.setLength(pc)
+			if got > prev {
+				t.Fatalf("round %d: length raised %d -> %d", round, prev, got)
+			}
+			if got < 1 {
+				t.Fatalf("round %d: length %d < 1", round, got)
+			}
+		}
+		before := p.Lengths()[pc]
+		aborts := int32(0)
+		for p.Lengths()[pc] == before && aborts < params.AdjustThreshold+2 {
+			p.adjust(nil, pc)
+			aborts++
+		}
+		after := p.Lengths()[pc]
+		if before == 1 {
+			if after != 1 {
+				t.Fatalf("round %d: length moved off the floor: %d", round, after)
+			}
+			return // reached and held the minimum: invariant proven
+		}
+		// The first AdjustThreshold+1 notifications only count; the next
+		// one attenuates.
+		if aborts != params.AdjustThreshold+2 {
+			t.Fatalf("round %d: attenuated after %d aborts, want %d", round, aborts, params.AdjustThreshold+2)
+		}
+		want := int32(float64(before) * params.AttenuationRate)
+		if want < 1 {
+			want = 1
+		}
+		if after != want {
+			t.Fatalf("round %d: %d attenuated to %d, want exactly %d (rate %v)",
+				round, before, after, want, params.AttenuationRate)
+		}
+		if after > before {
+			t.Fatalf("round %d: length raised %d -> %d", round, before, after)
+		}
+		prev = after
+	}
+	t.Fatalf("length never reached 1 after 200 rounds (stuck at %d)", p.Lengths()[pc])
+}
+
+// TestLengthAdjustmentRespectsProfilingPeriod checks that aborts arriving
+// after the profiling window saturates do not attenuate the length: Figure 3
+// only monitors the first ProfilingPeriod transactions of each round.
+func TestLengthAdjustmentRespectsProfilingPeriod(t *testing.T) {
+	params := invariantParams()
+	p := NewPaperDynamic(params)
+	const pc = 1
+
+	// Saturate the profiling counter.
+	for i := int32(0); i < params.ProfilingPeriod; i++ {
+		p.setLength(pc)
+	}
+	before := p.Lengths()[pc]
+	if before != params.InitialLength {
+		t.Fatalf("initial length = %d, want %d", before, params.InitialLength)
+	}
+	for i := 0; i < 50; i++ {
+		p.adjust(nil, pc)
+	}
+	if got := p.Lengths()[pc]; got != before {
+		t.Fatalf("length changed after the profiling window closed: %d -> %d", before, got)
+	}
+}
+
+// TestConstantLengthDisablesAdjustment checks the HTM-1/16/256 configs:
+// with a fixed length, the chosen length is constant and abort
+// notifications never touch the table.
+func TestConstantLengthDisablesAdjustment(t *testing.T) {
+	p := NewFixedLength(invariantParams(), 16)
+	for i := 0; i < 100; i++ {
+		if got := p.setLength(3); got != 16 {
+			t.Fatalf("chosen length = %d, want constant 16", got)
+		}
+		p.adjust(nil, 3)
+	}
+	if got := p.LengthAt(3); got != 0 {
+		t.Fatalf("constant config mutated the table: %d", got)
+	}
+}
+
+func TestAdjustmentShortensLengthUnderAborts(t *testing.T) {
+	params := DefaultParams(htm.ZEC12())
+	p := NewPaperDynamic(params)
+	pc := 3
+	// Simulate: every transaction at pc aborts on first retry.
+	p.setLength(pc)
+	if p.LengthAt(pc) != 255 {
+		t.Fatalf("initial length = %d", p.LengthAt(pc))
+	}
+	for i := 0; i < 10000 && p.LengthAt(pc) > 1; i++ {
+		p.setLength(pc)
+		p.adjust(nil, pc)
+	}
+	if p.LengthAt(pc) != 1 {
+		t.Fatalf("length did not converge to 1: %d", p.LengthAt(pc))
+	}
+	// Attenuation sequence head: 255 -> 191 -> 143 ...
+	// The paper's code tolerates AdjustThreshold+1 aborts (the counter is
+	// incremented while <= threshold) before the first attenuation.
+	p2 := NewPaperDynamic(params)
+	p2.setLength(0)
+	for i := 0; i <= int(params.AdjustThreshold); i++ {
+		p2.adjust(nil, 0)
+	}
+	if p2.LengthAt(0) != 255 {
+		t.Fatalf("attenuated too early: %d", p2.LengthAt(0))
+	}
+	p2.adjust(nil, 0)
+	if p2.LengthAt(0) != 191 {
+		t.Fatalf("first attenuation: %d, want 191", p2.LengthAt(0))
+	}
+}
+
+func TestNoAdjustmentBelowAbortThreshold(t *testing.T) {
+	params := DefaultParams(htm.ZEC12())
+	p := NewPaperDynamic(params)
+	p.setLength(0)
+	// AdjustThreshold aborts are tolerated without attenuation.
+	for i := 0; i < int(params.AdjustThreshold); i++ {
+		p.adjust(nil, 0)
+	}
+	if p.LengthAt(0) != 255 {
+		t.Fatalf("length changed below threshold: %d", p.LengthAt(0))
+	}
+}
+
+// Property: the length table never leaves [1, InitialLength] once
+// initialized, under any interleaving of set/adjust calls.
+func TestLengthBoundsProperty(t *testing.T) {
+	params := DefaultParams(htm.ZEC12())
+	f := func(ops []bool, pc8 uint8) bool {
+		p := NewPaperDynamic(params)
+		pc := int(pc8 % 4)
+		p.setLength(pc)
+		for _, set := range ops {
+			if set {
+				p.setLength(pc)
+			} else {
+				p.adjust(nil, pc)
+			}
+			l := p.LengthAt(pc)
+			if l < 1 || l > params.InitialLength {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLengthsSnapshot(t *testing.T) {
+	p := NewPaperDynamic(DefaultParams(htm.ZEC12()))
+	p.setLength(2)
+	ls := p.Lengths()
+	if ls[2] != 255 {
+		t.Fatalf("lengths = %v", ls)
+	}
+	// Snapshot is a copy: mutating it must not affect the table.
+	ls[2] = 1
+	if p.LengthAt(2) != 255 {
+		t.Fatalf("snapshot aliases the table")
+	}
+}
+
+func TestTableGrowsForLateYieldPoints(t *testing.T) {
+	p := NewPaperDynamic(DefaultParams(htm.ZEC12()))
+	if got := p.setLength(500); got != 255 {
+		t.Fatalf("length at grown pc = %d", got)
+	}
+	p.adjust(nil, 997) // must not panic either
+}

@@ -1,0 +1,108 @@
+package policy
+
+import (
+	"htmgil/internal/simmem"
+)
+
+// OCC tuning defaults.
+const (
+	defaultOCCLength  = 64  // fixed transaction length in yield points
+	defaultOCCWindow  = 100 // outcomes sampled per decision window
+	defaultOCCMinRate = 0.5 // minimum commit rate to keep eliding
+	defaultOCCCooloff = 50  // GIL-mode sections served before re-probing
+)
+
+// OCC is an optimistic-concurrency-control-style adaptive gate after Zhang
+// et al. ("Optimistic Concurrency Control for Real-world Go Programs"):
+// each yield point is classified by its observed commit rate over a sliding
+// window of outcomes. While a site commits often enough it runs elided at a
+// fixed transaction length; when the commit rate of a window drops below
+// MinRate the site turns pessimistic and its next Cooloff critical sections
+// take the GIL immediately (no doomed work, no retry storms), after which
+// the site is probed optimistically again.
+//
+// Unlike the paper's algorithm, which adapts the *length* of transactions,
+// OCC adapts the *admission* of transactions — the two react to different
+// pathologies (capacity pressure vs. inherent data contention).
+type OCC struct {
+	*Paper
+	Window  int     // outcomes per decision window
+	MinRate float64 // commit-rate floor for staying optimistic
+	Cooloff int32   // pessimistic sections after a failed window
+
+	sites []occSite
+}
+
+// occSite is the per-yield-point admission state.
+type occSite struct {
+	commits int32
+	aborts  int32
+	gilLeft int32 // pending pessimistic executions
+}
+
+// NewOCCAdaptive builds the OCC admission-gate policy. The fixed length
+// rides on Paper's ConstantLength, which also disables length adjustment.
+func NewOCCAdaptive(p Params) *OCC {
+	p.ConstantLength = defaultOCCLength
+	return &OCC{
+		Paper:   &Paper{Params: p, name: "occ-adaptive"},
+		Window:  defaultOCCWindow,
+		MinRate: defaultOCCMinRate,
+		Cooloff: defaultOCCCooloff,
+	}
+}
+
+// Name implements Policy.
+func (o *OCC) Name() string { return o.Paper.name }
+
+// site returns the admission state for pc, growing the table on demand.
+func (o *OCC) site(pc int) *occSite {
+	for pc >= len(o.sites) {
+		o.sites = append(o.sites, occSite{})
+	}
+	return &o.sites[pc]
+}
+
+// record folds one outcome into pc's window and closes the window when it
+// is full, turning the site pessimistic if the commit rate fell short.
+func (o *OCC) record(pc int, committed bool) {
+	s := o.site(pc)
+	if committed {
+		s.commits++
+	} else {
+		s.aborts++
+	}
+	total := s.commits + s.aborts
+	if int(total) < o.Window {
+		return
+	}
+	if float64(s.commits) < o.MinRate*float64(total) {
+		s.gilLeft = o.Cooloff
+	}
+	s.commits, s.aborts = 0, 0
+}
+
+// OnBegin implements Policy: the admission gate in front of the paper's
+// begin path.
+func (o *OCC) OnBegin(rt Runtime, ts ThreadState, pc, live int) BeginDecision {
+	if live <= 1 {
+		return BeginDecision{Reason: "single-thread"}
+	}
+	if s := o.site(pc); s.gilLeft > 0 {
+		s.gilLeft--
+		return BeginDecision{Reason: "occ-pessimistic"}
+	}
+	return o.Paper.OnBegin(rt, ts, pc, live)
+}
+
+// OnAbort implements Policy: Figure 1's retry reaction, with the outcome
+// recorded against pc's admission window.
+func (o *OCC) OnAbort(rt Runtime, ts ThreadState, pc int, cause simmem.AbortCause, gilHeld bool) AbortDecision {
+	o.record(pc, false)
+	return o.Paper.OnAbort(rt, ts, pc, cause, gilHeld)
+}
+
+// OnCommit implements Policy.
+func (o *OCC) OnCommit(rt Runtime, ts ThreadState, pc int) {
+	o.record(pc, true)
+}

@@ -77,6 +77,7 @@ type Config struct {
 	Prof       *htm.Profile
 	Mode       vm.Mode
 	TxLength   int32
+	Policy     string // contention policy name ("" = TxLength semantics)
 	Clients    int
 	Requests   int
 	GlobalLock bool // Rails' compatibility lock (paper: disabled)
@@ -102,6 +103,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	opt := vm.DefaultOptions(cfg.Prof, cfg.Mode)
 	opt.TxLength = cfg.TxLength
+	opt.Policy = cfg.Policy
 	opt.Trace = cfg.Trace
 	machine := vm.New(opt)
 	net := netsim.NewNetwork(machine.Engine)

@@ -1,0 +1,68 @@
+package simmem
+
+import "testing"
+
+// TestHazardWindowDoomsLazyReaders covers the lazy-subscription doom model:
+// inside a hazard window, a transactional access to a line previously
+// written by a non-transactional Store dooms the transaction with a
+// conflict; outside the window (or on untouched lines) nothing happens.
+func TestHazardWindowDoomsLazyReaders(t *testing.T) {
+	m := NewMemory(Config{LineBytes: 64}, 2)
+	a := m.Reserve("shared", 256)
+	b := m.Reserve("other", 256)
+
+	// Without a window, non-tx stores never doom later transactional reads.
+	m.Store(a, Word{Bits: 7})
+	tx := m.Tx(0)
+	tx.Begin(1024, 1024)
+	if tx.Load(a); tx.Doomed() {
+		t.Fatalf("doomed without a hazard window")
+	}
+	tx.Rollback()
+
+	// Inside a window, a line written by the (simulated) lock holder dooms
+	// the transaction that touches it — read or write.
+	for _, write := range []bool{false, true} {
+		m.StartHazard()
+		m.Store(a, Word{Bits: 8})
+		tx.Begin(1024, 1024)
+		if write {
+			tx.Store(a, Word{Bits: 9})
+		} else {
+			tx.Load(a)
+		}
+		if !tx.Doomed() || tx.DoomCause() != CauseConflict {
+			t.Fatalf("write=%v: not doomed by hazard (cause %v)", write, tx.DoomCause())
+		}
+		if tx.DoomAddr() != a {
+			t.Fatalf("doom addr = %#x, want %#x", tx.DoomAddr(), a)
+		}
+		tx.Rollback()
+		m.EndHazard()
+	}
+
+	// Untouched lines are safe, and the doom attributes to the region.
+	m.StartHazard()
+	m.Store(a, Word{Bits: 10})
+	tx.Begin(1024, 1024)
+	tx.Load(b)
+	if tx.Doomed() {
+		t.Fatalf("doomed on a line outside the hazard set")
+	}
+	tx.Rollback()
+	if m.ConflictCounts()["shared"] != 2 {
+		t.Fatalf("hazard dooms not attributed: %v", m.ConflictCounts())
+	}
+
+	// Closing the window clears the recorded lines.
+	m.EndHazard()
+	if m.HazardActive() {
+		t.Fatalf("window still active after EndHazard")
+	}
+	tx.Begin(1024, 1024)
+	tx.Load(a)
+	if tx.Doomed() {
+		t.Fatalf("doomed after the window closed")
+	}
+	tx.Rollback()
+}

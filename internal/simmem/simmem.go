@@ -157,6 +157,14 @@ type Memory struct {
 	brk     Addr
 	regions []region
 
+	// hazard window for lazy-subscription elision: while non-nil, every
+	// non-transactional Store records its line here, and a transactional
+	// access to a recorded line dooms the accessing transaction (it would
+	// observe the lock holder's intermediate state — Dice et al.'s unsafe
+	// read). nil whenever no window is open, so the common policies pay
+	// only a nil check per access.
+	hazard map[Addr]struct{}
+
 	// statistics
 	conflictCounts       map[string]uint64 // region label -> times a tx was doomed there
 	conflictWriterCounts map[string]uint64 // subset of the above where the victim held the line dirty
@@ -242,6 +250,22 @@ func (m *Memory) RegionLabel(addr Addr) string {
 	}
 	return "unknown"
 }
+
+// StartHazard opens a hazard window: until EndHazard, lines written by
+// non-transactional Stores doom any transaction that later touches them
+// transactionally. The GIL opens a window for the duration of each hold
+// when lazy-subscription elision is active (gil.GIL.HazardTrack).
+func (m *Memory) StartHazard() {
+	if m.hazard == nil {
+		m.hazard = make(map[Addr]struct{})
+	}
+}
+
+// EndHazard closes the hazard window and discards the recorded lines.
+func (m *Memory) EndHazard() { m.hazard = nil }
+
+// HazardActive reports whether a hazard window is open.
+func (m *Memory) HazardActive() bool { return m.hazard != nil }
 
 // ConflictCounts returns the number of conflict-induced dooms attributed to
 // each region label.
@@ -374,6 +398,9 @@ func (m *Memory) Store(addr Addr, w Word) {
 	if l.readers != 0 {
 		m.doomReaders(l, addr, -1)
 	}
+	if m.hazard != nil {
+		m.hazard[addr>>m.lineShift] = struct{}{}
+	}
 	l.words[m.wordIndex(addr)] = w
 }
 
@@ -499,11 +526,35 @@ func (t *Tx) SelfDoom(cause AbortCause) {
 	t.mem.traceDoom(t.id, cause, 0)
 }
 
+// hazardCheck dooms the transaction when addr's line was written
+// non-transactionally inside the current hazard window: without a begin-time
+// lock subscription the transaction would be reading the lock holder's
+// intermediate state, so the simulated hardware extension kills it with a
+// conflict (attributed to addr's region like any other conflict doom).
+func (t *Tx) hazardCheck(addr Addr) {
+	m := t.mem
+	if m.hazard == nil || t.doomed {
+		return
+	}
+	if _, ok := m.hazard[addr>>m.lineShift]; !ok {
+		return
+	}
+	t.doomed = true
+	t.doomCause = CauseConflict
+	t.doomAddr = addr
+	t.doomWasWriter = false
+	m.doomCount++
+	label := m.RegionLabel(addr)
+	m.conflictCounts[label]++
+	m.traceDoomConflict(t.id, addr, label, false)
+}
+
 // Load performs a transactional read. The line joins the read set; a
 // conflicting dirty line dooms its writer (requester wins). Reading beyond
 // ReadCapacity dooms the transaction itself with CauseReadOverflow.
 func (t *Tx) Load(addr Addr) Word {
 	m := t.mem
+	t.hazardCheck(addr)
 	l := t.lineOf(addr)
 	if w := l.writer; w >= 0 && w != t.id {
 		m.doom(w, addr, true)
@@ -531,6 +582,7 @@ func (t *Tx) Load(addr Addr) Word {
 // CauseWriteOverflow.
 func (t *Tx) Store(addr Addr, w Word) {
 	m := t.mem
+	t.hazardCheck(addr)
 	l := t.lineOf(addr)
 	if wr := l.writer; wr != t.id {
 		if wr >= 0 {

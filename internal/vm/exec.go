@@ -52,6 +52,18 @@ func (t *RThread) dispatch(now int64) sched.StepResult {
 		t.park(CatIOWait, rsDispatch)
 		return sched.StepResult{Cycles: cycles, Status: sched.Blocked}
 	default:
+		if t.inTx() && t.hctx.Tx.Doomed() {
+			// Sandboxing: a doomed transaction may have executed on
+			// inconsistent reads — e.g. a lazy-subscription transaction
+			// racing the GIL holder through a half-filled inline cache —
+			// and its misbehaviour is architecturally squashed by the
+			// abort. Re-execution from the checkpoint sees sane state; a
+			// genuine program error recurs there and fails the VM then.
+			t.chargeExec(cycles)
+			res := t.doAbort(now + cycles)
+			res.Cycles += cycles
+			return res
+		}
 		v.fail(fmt.Errorf("%s:%d: %w", f.iseq.Name, in.Line, err))
 		return sched.StepResult{Cycles: cycles, Status: sched.Done}
 	}

@@ -17,6 +17,18 @@ func (t *RThread) runGC() error {
 	if v.Opt.Mode == ModeFGL || v.Opt.Mode == ModeIdeal {
 		return t.requestGC()
 	}
+	// Eagerly subscribed transactions were conflict-doomed the moment the
+	// collector's thread stored the GIL word, but lazy-subscription
+	// transactions have no begin-time subscription and would keep running —
+	// and could commit — across the collection, holding references the
+	// collector cannot see (their speculative write buffers). Real
+	// implementations fence every core before collecting; model that by
+	// dooming any transaction still live (a no-op for already-doomed ones).
+	for _, th := range v.threads {
+		if th.hctx != nil && th.hctx.Tx.Active() {
+			th.hctx.Tx.SelfDoom(simmem.CauseInterrupt)
+		}
+	}
 	t.traceGC(trace.KindGCStart, 0)
 	cycles := v.Heap.Collect(v.gcRoots, v.gcTraverse)
 	t.charge(CatGILHeld, cycles)
@@ -136,7 +148,14 @@ func (v *VM) gcRoots(mark func(*object.RObject)) {
 		mark(o)
 	}
 	for _, t := range v.threads {
-		for i := int32(0); i < t.sp; i++ {
+		// Inside a transaction the operand stack may have been popped below
+		// the begin-time checkpoint; an abort restores sp to ckSP, so the
+		// slots in [sp, ckSP) come back to life and must stay marked.
+		top := t.sp
+		if t.logging && t.ckSP > top {
+			top = t.ckSP
+		}
+		for i := int32(0); i < top; i++ {
 			markVal(t.stack[i])
 		}
 		for fi := range t.frames {

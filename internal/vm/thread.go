@@ -314,7 +314,12 @@ func (t *RThread) rollbackPrivate() {
 		case uPush:
 			t.frames = t.frames[:len(t.frames)-1]
 		case uPop:
-			t.frames[len(t.frames)-1].pc = e.a
+			// The bottom frame has no caller to restore a pc into (pushFrame
+			// records callerPC 0 for it); commit-time aborts — e.g. a lazy
+			// subscription failing in finishThread — roll back past it.
+			if len(t.frames) > 0 {
+				t.frames[len(t.frames)-1].pc = e.a
+			}
 			t.frames = append(t.frames, *e.frame)
 		}
 	}

@@ -30,6 +30,7 @@ import (
 	"htmgil/internal/heap"
 	"htmgil/internal/htm"
 	"htmgil/internal/object"
+	"htmgil/internal/policy"
 	"htmgil/internal/sched"
 	"htmgil/internal/simmem"
 	"htmgil/internal/trace"
@@ -69,6 +70,13 @@ type Options struct {
 	// TxLength: 0 selects the paper's dynamic per-yield-point adjustment;
 	// a positive value runs fixed-length transactions (HTM-1/16/256).
 	TxLength int32
+
+	// Policy selects the contention-management policy by its
+	// internal/policy registry name (ModeHTM only). Empty keeps the
+	// historical TxLength semantics: fixed-N when TxLength > 0,
+	// paper-dynamic otherwise. New panics on an unknown name; callers
+	// taking user input should validate with policy.New first.
+	Policy string
 
 	// ExtendedYieldPoints enables the paper's additional yield points
 	// (Section 4.2). Without them only back-edges and leaves yield.
@@ -238,9 +246,11 @@ func New(opt Options) *VM {
 		v.ctxPool = append(v.ctxPool, maxContexts-1-i) // pop from the end: 0 first
 	}
 
-	params := core.DefaultParams(opt.Prof)
-	params.ConstantLength = opt.TxLength
-	v.Elision = core.New(params, v.GIL, v.Engine, 1024)
+	pol, err := policy.FromOptions(opt.Policy, opt.Prof, opt.TxLength)
+	if err != nil {
+		panic(err.Error())
+	}
+	v.Elision = core.NewWithPolicy(pol, v.GIL, v.Engine)
 	v.Elision.LiveAppThreads = func() int { return v.liveApp }
 
 	if opt.Trace != nil {

@@ -1,0 +1,33 @@
+package webrick
+
+import (
+	"testing"
+
+	"htmgil/internal/htm"
+	"htmgil/internal/vm"
+)
+
+// TestLazySubscriptionServesUnderContention is a regression test for three
+// bugs the lazy-subscription policy exposed in the VM:
+//
+//   - rollbackPrivate underflowed when a commit-time abort rolled back past
+//     the thread's bottom frame (finishThread);
+//   - runGC collected while unsubscribed transactions were still live, so
+//     write-buffer-only references went unmarked (fixed by the GC fence);
+//   - gcRoots ignored operand-stack slots between sp and the transaction
+//     checkpoint ckSP, which an abort resurrects.
+//
+// Any regression shows up as a VM failure ("undefined method ...") or a
+// panic while serving requests under contention.
+func TestLazySubscriptionServesUnderContention(t *testing.T) {
+	for _, cl := range []int{1, 4} {
+		r, err := Run(Config{Prof: htm.XeonE3(), Mode: vm.ModeHTM, Policy: "lazy-subscription",
+			Clients: cl, Requests: 800})
+		if err != nil {
+			t.Fatalf("clients=%d: %v", cl, err)
+		}
+		if r.Completed < 800 {
+			t.Fatalf("clients=%d: only %d requests completed", cl, r.Completed)
+		}
+	}
+}

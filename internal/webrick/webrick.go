@@ -116,7 +116,8 @@ type Result struct {
 type Config struct {
 	Prof     *htm.Profile
 	Mode     vm.Mode
-	TxLength int32 // 0 = dynamic
+	TxLength int32  // 0 = dynamic
+	Policy   string // contention policy name ("" = TxLength semantics)
 	Clients  int
 	Requests int // total requests to serve
 	// ZOSMalloc models z/OS malloc: arena operations on global state even
@@ -135,6 +136,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	opt := vm.DefaultOptions(cfg.Prof, cfg.Mode)
 	opt.TxLength = cfg.TxLength
+	opt.Policy = cfg.Policy
 	opt.Trace = cfg.Trace
 	if cfg.ZOSMalloc {
 		opt.ThreadLocalArenas = false
