@@ -7,12 +7,17 @@
 //	htmgil-bench -experiment policy -quick -csv policy.csv
 //
 // -list prints the experiment names: micro fig5 fig6a fig6b fig7 fig8
-// fig9 aborts overhead ablation policy all. -quick uses scaled-down
+// fig9 aborts overhead ablation policy chaos all. -quick uses scaled-down
 // problem sizes and fewer thread counts; without it the full
 // (paper-shaped) sweep runs, which takes tens of minutes on one host
 // core. The policy experiment sweeps every contention-management policy
 // of internal/policy over the NPB kernels and WEBrick, with per-policy
-// abort-cause and fallback-reason attribution.
+// abort-cause and fallback-reason attribution. The chaos experiment
+// sweeps the deterministic fault profiles of internal/fault (spurious
+// aborts, capacity jitter, network resets, timer jitter) with the elision
+// circuit breaker and degradation watchdog on, reporting throughput under
+// faults and time-to-recover; its reports carry the fault spec, seed,
+// injection counters and breaker transitions.
 //
 // Each configuration point is an independent deterministic simulation;
 // -parallel N executes points on N workers (default: GOMAXPROCS). The

@@ -11,6 +11,12 @@
 // After the program finishes it can print the execution statistics the
 // paper's evaluation is built from (-stats), and -trace out.jsonl streams
 // every transaction/GIL/GC event of the run as JSON lines.
+//
+// -faults arms the deterministic fault-injection harness, e.g.
+// "-faults spurious=30000,timerjitter=0.3,until=20000000", and -breaker
+// enables the elision circuit breaker (with the livelock watchdog riding
+// along when tracing is active). Injected faults and breaker transitions
+// appear in -stats and in the -trace stream.
 package main
 
 import (
@@ -32,6 +38,8 @@ func main() {
 	stats := flag.Bool("stats", false, "print execution statistics")
 	dump := flag.Bool("dump", false, "disassemble the program instead of running it")
 	traceOut := flag.String("trace", "", "write structured trace events to this JSONL file")
+	faultSpec := flag.String("faults", "", "fault-injection spec, e.g. spurious=30000,connreset=0.02,until=20000000")
+	breaker := flag.Bool("breaker", false, "enable the elision circuit breaker (+ degradation watchdog)")
 	flag.Parse()
 
 	if *policyName == "list" {
@@ -91,6 +99,18 @@ func main() {
 	opt.TxLength = int32(*txlen)
 	opt.Policy = *policyName
 	opt.Out = os.Stdout
+	if *faultSpec != "" {
+		spec, err := htmgil.ParseFaultSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opt.Faults = spec
+	}
+	if *breaker {
+		opt.Breaker = true
+		opt.Watchdog = true
+	}
 	var traceSink *htmgil.TraceJSONL
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -140,6 +160,37 @@ func main() {
 			for _, r := range regions {
 				fmt.Fprintf(os.Stderr, "  conflicts at %-14s %d\n", r, res.Stats.ConflictRegions[r])
 			}
+		}
+		if len(res.Stats.FaultCounts) > 0 {
+			var chans []string
+			for ch := range res.Stats.FaultCounts {
+				chans = append(chans, ch)
+			}
+			sort.Strings(chans)
+			fmt.Fprintf(os.Stderr, "injected faults:")
+			for _, ch := range chans {
+				fmt.Fprintf(os.Stderr, " %s=%d", ch, res.Stats.FaultCounts[ch])
+			}
+			fmt.Fprintln(os.Stderr)
+		}
+		if len(res.Stats.BreakerTransitions) > 0 {
+			fmt.Fprintf(os.Stderr, "breaker (%d trips):", res.Stats.BreakerOpens)
+			for _, tr := range res.Stats.BreakerTransitions {
+				fmt.Fprintf(os.Stderr, " t=%d %s", tr.T, tr.State)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
+		if len(res.Stats.Degradations) > 0 {
+			var reasons []string
+			for r := range res.Stats.Degradations {
+				reasons = append(reasons, r)
+			}
+			sort.Strings(reasons)
+			fmt.Fprintf(os.Stderr, "degradations:")
+			for _, r := range reasons {
+				fmt.Fprintf(os.Stderr, " %s=%d", r, res.Stats.Degradations[r])
+			}
+			fmt.Fprintln(os.Stderr)
 		}
 	}
 }

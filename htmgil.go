@@ -23,6 +23,8 @@ package htmgil
 import (
 	"io"
 
+	"htmgil/internal/core"
+	"htmgil/internal/fault"
 	"htmgil/internal/htm"
 	"htmgil/internal/npb"
 	"htmgil/internal/policy"
@@ -101,6 +103,19 @@ func NewTraceJSONL(w io.Writer) *TraceJSONL { return vm.NewTraceJSONL(w) }
 
 // NewTraceAggregator creates an in-memory aggregating sink.
 func NewTraceAggregator() *TraceAggregator { return vm.NewTraceAggregator() }
+
+// Fault injection: a FaultSpec (Options.Faults) arms the deterministic
+// chaos harness — spurious HTM aborts, capacity jitter, network resets and
+// latency spikes, timer and wake jitter — all reproducible from a seed.
+type FaultSpec = fault.Spec
+
+// ParseFaultSpec parses the comma-separated fault grammar, e.g.
+// "spurious=30000,connreset=0.02,until=30000000". See fault.ParseSpec.
+func ParseFaultSpec(text string) (*FaultSpec, error) { return fault.ParseSpec(text) }
+
+// BreakerTransition is one recorded elision-circuit-breaker state change
+// (Stats.BreakerTransitions when Options.Breaker is enabled).
+type BreakerTransition = core.BreakerTransition
 
 // RunResult is the outcome of executing a program.
 type RunResult = vm.RunResult

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// runChaos executes the quick chaos experiment and returns the table, the
+// JSON reports and the CSV reports.
+func runChaos(t *testing.T, parallel int) (table, reports, csv string) {
+	t.Helper()
+	var tb strings.Builder
+	s := NewSession(&tb, true)
+	s.Parallel = parallel
+	if err := s.ChaosTable(); err != nil {
+		t.Fatal(err)
+	}
+	var rep, cv strings.Builder
+	if err := s.WriteReports(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteReportsCSV(&cv); err != nil {
+		t.Fatal(err)
+	}
+	return tb.String(), rep.String(), cv.String()
+}
+
+// TestChaosExperimentDeterministic: the fixed-seed chaos sweep — table,
+// JSON reports and CSV — is byte-identical across runs and across worker
+// counts. This is the in-process version of the CI chaos job.
+func TestChaosExperimentDeterministic(t *testing.T) {
+	t1, r1, c1 := runChaos(t, 0)
+	t2, r2, c2 := runChaos(t, 1)
+	if t1 != t2 {
+		t.Errorf("chaos tables differ:\n--- a ---\n%s\n--- b ---\n%s", t1, t2)
+	}
+	if r1 != r2 {
+		t.Errorf("chaos reports differ")
+	}
+	if c1 != c2 {
+		t.Errorf("chaos CSV differs")
+	}
+
+	// Sanity on the content: every profile row renders, the reports carry
+	// the fault provenance, and at least one bounded-horizon profile
+	// reports a recovery time.
+	for _, want := range []string{"clean", "abort-storm", "abort-recover", "capacity",
+		"net-chaos", "jitter", "mixed", "recover"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("chaos table missing %q:\n%s", want, t1)
+		}
+	}
+	for _, want := range []string{`"faultSpec"`, `"seed"`, `"faultCounts"`, `"breakerTransitions"`} {
+		if !strings.Contains(r1, want) {
+			t.Errorf("chaos reports missing %s", want)
+		}
+	}
+	if !strings.Contains(c1, "faultSpec") || !strings.Contains(c1, "recoverCycles") {
+		t.Errorf("chaos CSV header missing fault columns:\n%s", strings.SplitN(c1, "\n", 2)[0])
+	}
+}

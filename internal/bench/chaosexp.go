@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"htmgil/internal/core"
+	"htmgil/internal/fault"
+	"htmgil/internal/htm"
+	"htmgil/internal/npb"
+	"htmgil/internal/trace"
+	"htmgil/internal/vm"
+	"htmgil/internal/webrick"
+)
+
+// The chaos experiment sweeps the named fault profiles (fault.ChaosProfiles)
+// over the WEBrick server and one NPB kernel with the elision circuit
+// breaker and the degradation watchdog always on. Each row reports the
+// throughput under faults (absolute and relative to the clean profile), the
+// abort ratio, the GIL fallbacks, the per-run injection/trip/degradation
+// counters, and — for profiles with an until= horizon — the time-to-recover:
+// the cycles between the fault horizon clearing and the breaker settling
+// closed. Like the policy experiment, every point attaches an aggregator so
+// the fault and breaker events land in the Reports, which also carry the
+// canonical spec text and the effective fault-stream seed that reproduce the
+// run byte for byte.
+
+// chaosRun is the handle to one chaos point.
+type chaosRun struct {
+	tp      float64 // webrick: requests per virtual second; kernels: 0
+	cycles  int64
+	ab      float64
+	st      *vm.Stats
+	faults  uint64 // total injected faults, all channels
+	trips   uint64 // breaker opens
+	degr    uint64 // watchdog degradation events
+	recover *int64 // see timeToRecover
+}
+
+func (cr *chaosRun) fill(tp, ab float64, cycles int64, st *vm.Stats, spec *fault.Spec) {
+	cr.tp, cr.ab, cr.cycles, cr.st = tp, ab, cycles, st
+	for _, n := range st.FaultCounts {
+		cr.faults += n
+	}
+	for _, n := range st.Degradations {
+		cr.degr += n
+	}
+	cr.trips = st.BreakerOpens
+	cr.recover = timeToRecover(st, spec)
+}
+
+// timeToRecover measures graceful degradation: the cycles between the
+// spec's fault horizon clearing (until=) and the breaker's final settle
+// into the closed state. nil when the profile has no bounded horizon (there
+// is nothing to recover from); -1 when the breaker tripped and never closed
+// again within the run; 0 when it never tripped at all.
+func timeToRecover(st *vm.Stats, spec *fault.Spec) *int64 {
+	if spec == nil || spec.Until <= 0 {
+		return nil
+	}
+	var v int64
+	if n := len(st.BreakerTransitions); n > 0 {
+		v = -1
+		if last := st.BreakerTransitions[n-1]; last.State == core.BreakerClosed.String() {
+			if v = last.T - spec.Until; v < 0 {
+				v = 0
+			}
+		}
+	}
+	return &v
+}
+
+// chaosSeed is the effective fault-stream seed of a chaos point: the spec's
+// own override when set, else the run seed the workload harnesses use
+// (vm.DefaultOptions).
+func chaosSeed(spec *fault.Spec, prof *htm.Profile) int64 {
+	if spec.Seed != 0 {
+		return spec.Seed
+	}
+	return vm.DefaultOptions(prof, vm.ModeHTM).Seed
+}
+
+// chaosReport decorates the point's Report with the fault provenance.
+func (s *Session) chaosReport(prof *htm.Profile, workload, config string, threads, clients int,
+	cycles int64, tp float64, st *vm.Stats, agg *trace.Aggregator, spec *fault.Spec, cr *chaosRun) Report {
+	rep := newReport("chaos", prof.Name, workload, config, threads, clients, cycles, tp, st, agg, s.topN())
+	rep.FaultSpec = spec.String()
+	if rep.FaultSpec != "" {
+		rep.Seed = chaosSeed(spec, prof)
+	}
+	rep.RecoverCycles = cr.recover
+	return rep
+}
+
+// chaosServer enumerates one WEBrick point of the chaos experiment.
+func (p *plan) chaosServer(label string, prof *htm.Profile, ns fault.NamedSpec, clients, requests int, zos bool) *chaosRun {
+	cr := &chaosRun{}
+	pt := &point{label: label}
+	s := p.s
+	pt.exec = func() error {
+		spec, err := fault.ParseSpec(ns.Text)
+		if err != nil {
+			return err
+		}
+		agg := trace.NewAggregator()
+		r, err := webrick.Run(webrick.Config{Prof: prof, Mode: vm.ModeHTM,
+			Clients: clients, Requests: requests, ZOSMalloc: zos,
+			Trace: trace.NewRecorder(agg), Faults: spec, Breaker: true, Watchdog: true})
+		if err != nil {
+			return err
+		}
+		cr.fill(r.Throughput, r.AbortRatio, r.Cycles, r.Stats, spec)
+		pt.rep = s.chaosReport(prof, "webrick", ns.Name, 0, clients, r.Cycles, r.Throughput, r.Stats, agg, spec, cr)
+		pt.hasRep = true
+		return nil
+	}
+	p.pts = append(p.pts, pt)
+	return cr
+}
+
+// chaosKernel enumerates one NPB point of the chaos experiment. The kernel
+// must still validate numerically: faults may slow the run down, never
+// corrupt it.
+func (p *plan) chaosKernel(label string, b npb.Bench, prof *htm.Profile, ns fault.NamedSpec, threads int, c npb.Class) *chaosRun {
+	cr := &chaosRun{}
+	pt := &point{label: label}
+	s := p.s
+	pt.exec = func() error {
+		spec, err := fault.ParseSpec(ns.Text)
+		if err != nil {
+			return err
+		}
+		agg := trace.NewAggregator()
+		opt := vm.DefaultOptions(prof, vm.ModeHTM)
+		opt.Trace = trace.NewRecorder(agg)
+		opt.Faults = spec
+		opt.Breaker = true
+		opt.Watchdog = true
+		r, err := npb.Run(b, opt, threads, npb.ParamsFor(b, c))
+		if err != nil {
+			return err
+		}
+		if !r.Valid {
+			return errValidation
+		}
+		cr.fill(0, r.Stats.AbortRatio(), r.Cycles, r.Stats, spec)
+		pt.rep = s.chaosReport(prof, string(b), ns.Name, threads, 0, r.Cycles, 0, r.Stats, agg, spec, cr)
+		pt.hasRep = true
+		return nil
+	}
+	p.pts = append(p.pts, pt)
+	return cr
+}
+
+// chaosRow renders one profile row; tput and rel are computed by the caller
+// (server rows use request throughput, kernel rows use cycle ratios).
+func chaosRow(w io.Writer, name string, tput, rel float64, r *chaosRun) error {
+	rec := "-"
+	if r.recover != nil {
+		rec = strconv.FormatInt(*r.recover, 10)
+	}
+	_, err := fmt.Fprintf(w, "%-14s%12.1f%8.2f%8.1f%%%11d%8d%7d%7d%10s\n",
+		name, tput, rel, r.ab*100, r.st.GILFallbacks, r.faults, r.trips, r.degr, rec)
+	return err
+}
+
+const chaosHeader = "%-14s%12s%8s%9s%11s%8s%7s%7s%10s\n"
+
+// buildChaos enumerates the chaos experiment: every fault profile against
+// WEBrick on zEC12 and against the CG kernel, breaker and watchdog on.
+func (s *Session) buildChaos(p *plan) {
+	quick := s.Quick
+	profiles := fault.ChaosProfiles()
+	p.printf("\n# Chaos — fault profiles (elision breaker + degradation watchdog on)\n")
+	for _, ns := range profiles {
+		text := ns.Text
+		if text == "" {
+			text = "(no faults)"
+		}
+		p.printf("#   %-14s %s\n", ns.Name, text)
+	}
+
+	// WEBrick runs on the Xeon profile, where elision works well enough
+	// (Figure 7) that the clean baseline keeps the breaker closed; on zEC12
+	// the server's intrinsic abort storm would drown out the injected
+	// faults this experiment is about.
+	srvProf := htm.XeonE3()
+	requests := 1500
+	clients := 4
+	if quick {
+		requests = 400
+	}
+	p.printf("\n# Chaos — webrick on %s, %d clients, %d requests (rel = tput/clean)\n",
+		srvProf.Name, clients, requests)
+	p.printf(chaosHeader, "profile", "tput", "rel", "abort%", "fallbacks", "faults", "trips", "degr", "recover")
+	var base *chaosRun
+	for i, ns := range profiles {
+		r := p.chaosServer(fmt.Sprintf("chaos webrick/%s", ns.Name), srvProf, ns, clients, requests, false)
+		if i == 0 {
+			base = r
+		}
+		name, b := ns.Name, base
+		p.cell(func(w io.Writer) error {
+			return chaosRow(w, name, r.tp, r.tp/b.tp, r)
+		})
+	}
+
+	prof := htm.ZEC12()
+	threads := 8
+	class := classFor(quick)
+	p.printf("\n# Chaos — %s on %s, %d threads (validated; rel = clean-cycles/cycles; tput in Mcycles)\n",
+		npb.CG, prof.Name, threads)
+	p.printf(chaosHeader, "profile", "Mcycles", "rel", "abort%", "fallbacks", "faults", "trips", "degr", "recover")
+	base = nil
+	for i, ns := range profiles {
+		r := p.chaosKernel(fmt.Sprintf("chaos %s/%s", npb.CG, ns.Name), npb.CG, prof, ns, threads, class)
+		if i == 0 {
+			base = r
+		}
+		name, b := ns.Name, base
+		p.cell(func(w io.Writer) error {
+			return chaosRow(w, name, float64(r.cycles)/1e6, float64(b.cycles)/float64(r.cycles), r)
+		})
+	}
+}
+
+// ChaosTable regenerates the chaos experiment (see buildChaos).
+func (s *Session) ChaosTable() error { return s.runPlan(s.buildChaos) }
+
+// ChaosTable regenerates the chaos experiment in a fresh Session.
+func ChaosTable(w io.Writer, quick bool) error { return NewSession(w, quick).ChaosTable() }

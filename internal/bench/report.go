@@ -7,6 +7,7 @@ import (
 	"io"
 	"strconv"
 
+	"htmgil/internal/core"
 	"htmgil/internal/trace"
 	"htmgil/internal/vm"
 )
@@ -45,6 +46,21 @@ type Report struct {
 	TopAbortPCs  []trace.PCCount                `json:"topAbortPCs,omitempty"`
 	LengthSeries map[int][]trace.LengthSample   `json:"lengthSeries,omitempty"`
 	FallbackWhy  map[string]uint64              `json:"fallbackReasons,omitempty"`
+
+	// Fault-injection provenance, present when the run was executed under a
+	// fault spec (the chaos experiment, or any caller arming Options.Faults):
+	// the canonical spec text and effective fault-stream seed that reproduce
+	// the run, the per-channel injection counters, the breaker's state
+	// history, the watchdog's degradation counters, and the cycles between
+	// the fault horizon clearing (spec until=) and the breaker settling
+	// closed again (-1 when the breaker never recovered in the run).
+	FaultSpec          string                   `json:"faultSpec,omitempty"`
+	Seed               int64                    `json:"seed,omitempty"`
+	FaultCounts        map[string]uint64        `json:"faultCounts,omitempty"`
+	BreakerTransitions []core.BreakerTransition `json:"breakerTransitions,omitempty"`
+	BreakerOpens       uint64                   `json:"breakerOpens,omitempty"`
+	Degradations       map[string]uint64        `json:"degradations,omitempty"`
+	RecoverCycles      *int64                   `json:"recoverCycles,omitempty"`
 }
 
 // newReport builds a Report from a run's Stats plus, optionally, the
@@ -89,6 +105,12 @@ func newReport(exp, machine, workload, config string, threads, clients int,
 				r.ConflictWriterRegions[reg] = n
 			}
 		}
+		r.FaultCounts = st.FaultCounts
+		r.Degradations = st.Degradations
+		r.BreakerOpens = st.BreakerOpens
+		if len(st.BreakerTransitions) > 0 {
+			r.BreakerTransitions = st.BreakerTransitions
+		}
 	}
 	if agg != nil {
 		r.TopAbortPCs = agg.TopAbortPCs(topN)
@@ -118,11 +140,23 @@ func (s *Session) WriteReportsCSV(w io.Writer) error {
 		"experiment", "machine", "workload", "config", "threads", "clients",
 		"cycles", "throughput", "abortRatio",
 		"txBegins", "txCommits", "txAborts", "gilFallbacks", "lengthAdjustments", "gcs",
+		"faultSpec", "seed", "faultsInjected", "breakerOpens", "recoverCycles",
 	}); err != nil {
 		return err
 	}
 	for i := range s.Reports {
 		r := &s.Reports[i]
+		var faults uint64
+		for _, n := range r.FaultCounts {
+			faults += n
+		}
+		seed, recover := "", ""
+		if r.FaultSpec != "" {
+			seed = strconv.FormatInt(r.Seed, 10)
+		}
+		if r.RecoverCycles != nil {
+			recover = strconv.FormatInt(*r.RecoverCycles, 10)
+		}
 		if err := cw.Write([]string{
 			r.Experiment, r.Machine, r.Workload, r.Config,
 			strconv.Itoa(r.Threads), strconv.Itoa(r.Clients),
@@ -135,6 +169,10 @@ func (s *Session) WriteReportsCSV(w io.Writer) error {
 			strconv.FormatUint(r.Fallbacks, 10),
 			strconv.FormatUint(r.Adjustments, 10),
 			strconv.FormatUint(r.GCs, 10),
+			r.FaultSpec, seed,
+			strconv.FormatUint(faults, 10),
+			strconv.FormatUint(r.BreakerOpens, 10),
+			recover,
 		}); err != nil {
 			return err
 		}

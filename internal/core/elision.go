@@ -103,6 +103,11 @@ type Elision struct {
 	// reconstruct htm.Stats exactly.
 	Tracer *trace.Recorder
 
+	// Breaker, when non-nil, is the elision circuit breaker: while open,
+	// every critical section goes straight to the GIL without consulting
+	// the policy (fallback reason BreakerReason).
+	Breaker *Breaker
+
 	// Stats
 	Adjustments uint64 // number of length attenuations performed
 	Fallbacks   uint64 // critical sections that fell back to the GIL
@@ -194,10 +199,19 @@ func (e *Elision) TransactionBegin(t *Thread, sth *sched.Thread, now int64, pc i
 		panic(fmt.Sprintf("core: TransactionBegin in state %d", t.state))
 	}
 	t.pc = pc
-	d := e.Policy.OnBegin(e, t.PS, pc, e.LiveAppThreads())
+	if !e.Breaker.Allow(now) {
+		// Open breaker: GIL-only, and the forced fallback stays out of
+		// the breaker's own outcome window.
+		t.lazy = false
+		return e.acquireGIL(t, sth, now, BreakerReason, false)
+	}
+	live := e.LiveAppThreads()
+	d := e.Policy.OnBegin(e, t.PS, pc, live)
 	if !d.Elide {
 		t.lazy = false
-		return e.acquireGIL(t, sth, now, d.Reason)
+		// Single-threaded phases take the GIL by design; recording them
+		// as fallbacks would trip the breaker on idle workloads.
+		return e.acquireGIL(t, sth, now, d.Reason, live > 1)
 	}
 	t.ChosenLength = d.Length
 	t.lazy = d.Lazy
@@ -242,9 +256,13 @@ func (e *Elision) tryBegin(t *Thread, sth *sched.Thread, now int64) (int64, Outc
 // acquireGIL performs gil_acquire, blocking when contended. reason records
 // why the critical section fell back to the GIL (stats and tracing); every
 // entry here is one fallback, counted once even when the acquisition blocks
-// (ResumeBegin does not re-enter).
-func (e *Elision) acquireGIL(t *Thread, sth *sched.Thread, now int64, reason string) (int64, Outcome) {
+// (ResumeBegin does not re-enter). record marks fallbacks that should enter
+// the circuit breaker's outcome window.
+func (e *Elision) acquireGIL(t *Thread, sth *sched.Thread, now int64, reason string, record bool) (int64, Outcome) {
 	e.Fallbacks++
+	if record {
+		e.Breaker.RecordFallback(now)
+	}
 	if e.Tracer != nil {
 		ev := trace.Ev(now, trace.KindGILFallback)
 		ev.Ctx = t.HTM.Tx.ID()
@@ -289,12 +307,18 @@ func (e *Elision) ResumeBegin(t *Thread, sth *sched.Thread, now int64) (int64, O
 // interpreter calls it after rolling its private state back to the
 // beginning of the transaction. Outcomes are as for TransactionBegin.
 func (e *Elision) HandleAbort(t *Thread, sth *sched.Thread, now int64) (int64, Outcome) {
-	var doomAddr simmem.Addr
-	if e.Tracer != nil {
-		doomAddr = t.HTM.Tx.DoomAddr() // Rollback clears it; read first
-	}
+	doomAddr := t.HTM.Tx.DoomAddr() // Rollback clears it; read first
 	cause, penalty := t.HTM.Abort()
 	t.LastAbortCause = cause
+	// GIL-artifact aborts — a conflict on the GIL word itself, or the
+	// Figure 1 line-15 explicit abort on finding the GIL held — are caused
+	// by *other* sections running under the lock, not by this section's own
+	// inability to elide. Feeding them to the breaker would make open-state
+	// GIL traffic doom every half-open probe and latch the breaker open, so
+	// only root-cause fallbacks (data conflict, capacity, spurious, ...)
+	// enter its outcome window.
+	gilArtifact := cause == simmem.CauseExplicit ||
+		(cause == simmem.CauseConflict && doomAddr == e.GIL.Addr)
 	if e.Tracer != nil {
 		ev := trace.Ev(now, trace.KindTxAbort)
 		ev.Ctx = t.HTM.Tx.ID()
@@ -329,7 +353,7 @@ func (e *Elision) HandleAbort(t *Thread, sth *sched.Thread, now int64) (int64, O
 		t.state = stWaitRetry
 		return cycles, Block
 	default: // policy.AbortFallback
-		c, out := e.acquireGIL(t, sth, now+cycles, d.Reason)
+		c, out := e.acquireGIL(t, sth, now+cycles, d.Reason, !gilArtifact)
 		return cycles + c, out
 	}
 }
@@ -354,6 +378,7 @@ func (e *Elision) TransactionEnd(t *Thread, sth *sched.Thread, now int64) (int64
 	cycles, ok := t.HTM.End(now)
 	if ok {
 		e.Policy.OnCommit(e, t.PS, t.pc)
+		e.Breaker.RecordCommit(now)
 		if e.Tracer != nil {
 			ev := trace.Ev(now, trace.KindTxCommit)
 			ev.Ctx = t.HTM.Tx.ID()

@@ -49,8 +49,9 @@ func newRigPolicy(t *testing.T, prof *htm.Profile, p policy.Policy, nthreads int
 
 // worker runs `iters` critical sections, each incrementing the shared
 // counter once, beginning/ending a TLE critical section per iteration.
-// It follows the exact protocol the interpreter uses.
-func (r *rig) worker(t *testing.T, prof *htm.Profile, ctxID int, iters int, extraLines int, scratch simmem.Addr) func() {
+// It follows the exact protocol the interpreter uses. Returns the worker's
+// HTM context so chaos tests can hang fault hooks on it.
+func (r *rig) worker(t *testing.T, prof *htm.Profile, ctxID int, iters int, extraLines int, scratch simmem.Addr) *htm.Context {
 	hctx := htm.NewContext(prof, r.mem, ctxID, int64(ctxID+1))
 	tle := r.el.NewThread(hctx)
 	var sth *sched.Thread
@@ -130,7 +131,7 @@ func (r *rig) worker(t *testing.T, prof *htm.Profile, ctxID int, iters int, extr
 		panic("unreachable")
 	}
 	sth = r.eng.Spawn("w", 0, step)
-	return func() {}
+	return hctx
 }
 
 func TestSingleThreadUsesGIL(t *testing.T) {

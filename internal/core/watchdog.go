@@ -1,0 +1,260 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"htmgil/internal/trace"
+)
+
+// Watchdog degradation reasons (the Note field of KindDegrade events).
+const (
+	DegradeLivelock   = "livelock"   // many attempts, zero commits, system-wide
+	DegradeStarvation = "starvation" // one thread attempts but never progresses
+	DegradeSiteStorm  = "site-storm" // one yield point aborts nearly always
+)
+
+// WatchdogConfig tunes the livelock/starvation watchdog.
+type WatchdogConfig struct {
+	// WindowCycles is the evaluation window in virtual cycles.
+	WindowCycles int64
+	// MinBegins is the minimum number of transaction begins in a window
+	// for a zero-commit window to count as livelock (below it the system
+	// is idle, not stuck).
+	MinBegins uint64
+	// StarveWindows raises starvation after this many consecutive windows
+	// in which a thread attempted at least StarveMinBegins sections but
+	// made no progress (no transactional commit and no GIL release).
+	StarveWindows   int
+	StarveMinBegins uint64
+	// SiteAbortRatio flags a yield point whose aborts/begins ratio in a
+	// window reaches this value with at least SiteMinBegins begins.
+	SiteAbortRatio float64
+	SiteMinBegins  uint64
+}
+
+// DefaultWatchdogConfig returns the default thresholds.
+func DefaultWatchdogConfig() WatchdogConfig {
+	return WatchdogConfig{
+		WindowCycles:    2_000_000,
+		MinBegins:       16,
+		StarveWindows:   3,
+		StarveMinBegins: 4,
+		SiteAbortRatio:  0.9,
+		SiteMinBegins:   16,
+	}
+}
+
+// threadWindow is one thread's activity within the current window.
+type threadWindow struct {
+	begins   uint64
+	progress uint64 // transactional commits + GIL releases
+}
+
+// siteWindow is one yield point's activity within the current window.
+type siteWindow struct {
+	begins uint64
+	aborts uint64
+}
+
+// Watchdog observes the transaction-event stream (as a trace.Sink) and
+// raises structured degradation events when forward progress looks broken:
+// livelock (the whole system attempts but never commits), per-thread
+// starvation, and per-site abort storms. Raised events are emitted back
+// through the same Recorder (KindDegrade) so they appear in traces, in the
+// Aggregator and in bench reports alongside the events that triggered them.
+//
+// Evaluation is windowed on virtual time and all iteration is sorted, so a
+// given event stream produces a byte-identical degradation stream.
+type Watchdog struct {
+	Cfg WatchdogConfig
+
+	rec         *trace.Recorder
+	started     bool
+	windowStart int64
+
+	begins  uint64
+	commits uint64
+	threads map[int]*threadWindow
+	sites   map[int]*siteWindow
+	starved map[int]int // thread -> consecutive no-progress windows
+
+	// Raised counts degradation events by reason.
+	Raised map[string]uint64
+	// Events is the raised degradation history.
+	Events []trace.Event
+}
+
+// NewWatchdog creates a watchdog. Zero config fields take defaults.
+func NewWatchdog(cfg WatchdogConfig) *Watchdog {
+	def := DefaultWatchdogConfig()
+	if cfg.WindowCycles <= 0 {
+		cfg.WindowCycles = def.WindowCycles
+	}
+	if cfg.MinBegins == 0 {
+		cfg.MinBegins = def.MinBegins
+	}
+	if cfg.StarveWindows <= 0 {
+		cfg.StarveWindows = def.StarveWindows
+	}
+	if cfg.StarveMinBegins == 0 {
+		cfg.StarveMinBegins = def.StarveMinBegins
+	}
+	if cfg.SiteAbortRatio <= 0 {
+		cfg.SiteAbortRatio = def.SiteAbortRatio
+	}
+	if cfg.SiteMinBegins == 0 {
+		cfg.SiteMinBegins = def.SiteMinBegins
+	}
+	return &Watchdog{
+		Cfg:     cfg,
+		threads: make(map[int]*threadWindow),
+		sites:   make(map[int]*siteWindow),
+		starved: make(map[int]int),
+		Raised:  make(map[string]uint64),
+	}
+}
+
+// AttachTo registers the watchdog as a sink on rec and remembers rec as the
+// destination for degradation events. The Recorder's re-entrant Emit
+// delivers those to every sink, this one included (it ignores them).
+func (w *Watchdog) AttachTo(rec *trace.Recorder) {
+	w.rec = rec
+	rec.AddSink(w)
+}
+
+func (w *Watchdog) thread(id int) *threadWindow {
+	tw := w.threads[id]
+	if tw == nil {
+		tw = &threadWindow{}
+		w.threads[id] = tw
+	}
+	return tw
+}
+
+func (w *Watchdog) site(pc int) *siteWindow {
+	sw := w.sites[pc]
+	if sw == nil {
+		sw = &siteWindow{}
+		w.sites[pc] = sw
+	}
+	return sw
+}
+
+// Emit implements trace.Sink.
+func (w *Watchdog) Emit(ev trace.Event) {
+	if !w.started {
+		w.started = true
+		w.windowStart = ev.T
+	}
+	for ev.T >= w.windowStart+w.Cfg.WindowCycles {
+		w.evaluate(w.windowStart + w.Cfg.WindowCycles)
+	}
+	switch ev.Kind {
+	case trace.KindTxBegin:
+		w.begins++
+		if ev.Thread >= 0 {
+			w.thread(ev.Thread).begins++
+		}
+		if ev.PC >= 0 {
+			w.site(ev.PC).begins++
+		}
+	case trace.KindTxCommit:
+		w.commits++
+		if ev.Thread >= 0 {
+			w.thread(ev.Thread).progress++
+		}
+	case trace.KindTxAbort:
+		if ev.PC >= 0 {
+			w.site(ev.PC).aborts++
+		}
+	case trace.KindGILFallback:
+		if ev.Thread >= 0 {
+			w.thread(ev.Thread).begins++
+		}
+	case trace.KindGILRelease:
+		// A thread finishing a GIL-held section is making progress even
+		// if it never commits transactionally (e.g. breaker open).
+		w.commits++
+		if ev.Thread >= 0 {
+			w.thread(ev.Thread).progress++
+		}
+	}
+}
+
+// raise emits one degradation event and records it.
+func (w *Watchdog) raise(ev trace.Event) {
+	w.Raised[ev.Note]++
+	w.Events = append(w.Events, ev)
+	if w.rec != nil {
+		w.rec.Emit(ev)
+	}
+}
+
+// evaluate closes the window ending at end and resets the per-window state.
+func (w *Watchdog) evaluate(end int64) {
+	if w.begins >= w.Cfg.MinBegins && w.commits == 0 {
+		ev := trace.Ev(end, trace.KindDegrade)
+		ev.Note = DegradeLivelock
+		ev.Cause = fmt.Sprintf("%d begins, 0 commits in %d cycles", w.begins, w.Cfg.WindowCycles)
+		w.raise(ev)
+	}
+
+	// Starvation: threads that attempted but made no progress this window.
+	tids := make([]int, 0, len(w.threads))
+	for id := range w.threads {
+		tids = append(tids, id)
+	}
+	sort.Ints(tids)
+	for _, id := range tids {
+		tw := w.threads[id]
+		if tw.begins >= w.Cfg.StarveMinBegins && tw.progress == 0 {
+			w.starved[id]++
+			if w.starved[id] == w.Cfg.StarveWindows {
+				ev := trace.Ev(end, trace.KindDegrade)
+				ev.Note = DegradeStarvation
+				ev.Thread = id
+				ev.Cause = fmt.Sprintf("no progress for %d windows", w.Cfg.StarveWindows)
+				w.raise(ev)
+				w.starved[id] = 0 // re-arm; a still-starved thread re-raises
+			}
+		} else if tw.progress > 0 {
+			delete(w.starved, id)
+		}
+	}
+
+	// Site storms: yield points aborting (nearly) every attempt.
+	pcs := make([]int, 0, len(w.sites))
+	for pc := range w.sites {
+		pcs = append(pcs, pc)
+	}
+	sort.Ints(pcs)
+	for _, pc := range pcs {
+		sw := w.sites[pc]
+		if sw.begins >= w.Cfg.SiteMinBegins &&
+			float64(sw.aborts) >= w.Cfg.SiteAbortRatio*float64(sw.begins) {
+			ev := trace.Ev(end, trace.KindDegrade)
+			ev.Note = DegradeSiteStorm
+			ev.PC = pc
+			ev.Cause = fmt.Sprintf("%d/%d aborts", sw.aborts, sw.begins)
+			w.raise(ev)
+		}
+	}
+
+	w.windowStart = end
+	w.begins, w.commits = 0, 0
+	w.threads = make(map[int]*threadWindow)
+	w.sites = make(map[int]*siteWindow)
+}
+
+// Counts returns a copy of the raised-degradation counters (nil-safe).
+func (w *Watchdog) Counts() map[string]uint64 {
+	if w == nil || len(w.Raised) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(w.Raised))
+	for k, v := range w.Raised {
+		out[k] = v
+	}
+	return out
+}

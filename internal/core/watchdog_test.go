@@ -1,0 +1,221 @@
+package core
+
+import (
+	"testing"
+
+	"htmgil/internal/trace"
+)
+
+// wcfg is a tiny watchdog configuration the tests can walk by hand.
+func wcfg() WatchdogConfig {
+	return WatchdogConfig{
+		WindowCycles:    1000,
+		MinBegins:       4,
+		StarveWindows:   2,
+		StarveMinBegins: 2,
+		SiteAbortRatio:  0.9,
+		SiteMinBegins:   4,
+	}
+}
+
+// wire builds a recorder with an aggregator and an attached watchdog.
+func wire(cfg WatchdogConfig) (*Watchdog, *trace.Recorder, *trace.Aggregator) {
+	agg := trace.NewAggregator()
+	rec := trace.NewRecorder(agg)
+	w := NewWatchdog(cfg)
+	w.AttachTo(rec)
+	return w, rec, agg
+}
+
+func tx(t int64, kind trace.Kind, thread, pc int) trace.Event {
+	ev := trace.Ev(t, kind)
+	ev.Thread = thread
+	ev.PC = pc
+	return ev
+}
+
+func TestWatchdogDefaults(t *testing.T) {
+	w := NewWatchdog(WatchdogConfig{})
+	if w.Cfg != DefaultWatchdogConfig() {
+		t.Fatalf("zero config not defaulted: %+v", w.Cfg)
+	}
+}
+
+// TestWatchdogLivelock: a window full of begins with zero commits raises a
+// livelock degradation; a window with even one commit does not.
+func TestWatchdogLivelock(t *testing.T) {
+	w, rec, agg := wire(wcfg())
+	// Window 1: 6 begins, one commit -> healthy.
+	for i := 0; i < 6; i++ {
+		rec.Emit(tx(int64(10*i), trace.KindTxBegin, i%2, 1))
+	}
+	rec.Emit(tx(900, trace.KindTxCommit, 0, 1))
+	// Window 2: 6 begins, only aborts -> livelock raised when the window
+	// closes (first event at t >= 2000). Begins spread over six sites and
+	// six fresh threads so neither site-storm nor starvation fires too.
+	for i := 0; i < 6; i++ {
+		rec.Emit(tx(int64(1000+10*i), trace.KindTxBegin, 2+i, 10+i))
+		rec.Emit(tx(int64(1005+10*i), trace.KindTxAbort, 2+i, 10+i))
+	}
+	rec.Emit(tx(2500, trace.KindTxBegin, 0, 1))
+	if got := w.Raised[DegradeLivelock]; got != 1 {
+		t.Fatalf("livelock raised %d times, want 1 (raised=%v)", got, w.Raised)
+	}
+	// The degradation must round-trip through the recorder into sinks
+	// attached alongside the watchdog (re-entrant Emit).
+	if agg.Degradations[DegradeLivelock] != 1 {
+		t.Fatalf("degradation not in aggregator: %v", agg.Degradations)
+	}
+	if len(w.Events) != 1 || w.Events[0].Kind != trace.KindDegrade || w.Events[0].Note != DegradeLivelock {
+		t.Fatalf("events = %+v", w.Events)
+	}
+}
+
+// TestWatchdogStarvation: a thread that attempts sections but makes no
+// progress for StarveWindows consecutive windows is flagged; threads that
+// progress are not, and progress resets the streak.
+func TestWatchdogStarvation(t *testing.T) {
+	w, rec, _ := wire(wcfg())
+	emitWindow := func(base int64, starvedProgress bool) {
+		// Thread 0 progresses every window; thread 1 only when asked.
+		rec.Emit(tx(base+0, trace.KindTxBegin, 0, 1))
+		rec.Emit(tx(base+1, trace.KindTxCommit, 0, 1))
+		rec.Emit(tx(base+10, trace.KindTxBegin, 1, 1))
+		rec.Emit(tx(base+11, trace.KindTxAbort, 1, 1))
+		rec.Emit(tx(base+20, trace.KindTxBegin, 1, 1))
+		if starvedProgress {
+			rec.Emit(tx(base+21, trace.KindTxCommit, 1, 1))
+		} else {
+			rec.Emit(tx(base+21, trace.KindTxAbort, 1, 1))
+		}
+	}
+	emitWindow(0, false)
+	emitWindow(1000, true) // progress resets thread 1's streak
+	emitWindow(2000, false)
+	emitWindow(3000, false)
+	rec.Emit(tx(5000, trace.KindTxBegin, 0, 1)) // close window 4
+	if got := w.Raised[DegradeStarvation]; got != 1 {
+		t.Fatalf("starvation raised %d times, want 1 (%v)", got, w.Raised)
+	}
+	ev := w.Events[len(w.Events)-1]
+	if ev.Note != DegradeStarvation || ev.Thread != 1 {
+		t.Fatalf("starvation event = %+v, want thread 1", ev)
+	}
+}
+
+// TestWatchdogSiteStorm: a yield point aborting >= SiteAbortRatio of its
+// begins in a window raises site-storm with the PC attributed.
+func TestWatchdogSiteStorm(t *testing.T) {
+	w, rec, _ := wire(wcfg())
+	// Site 7: 6 begins, 6 aborts (ratio 1.0). Site 3: 6 begins, 1 abort.
+	// Commits keep the window clear of livelock.
+	for i := 0; i < 6; i++ {
+		rec.Emit(tx(int64(10*i), trace.KindTxBegin, 0, 7))
+		rec.Emit(tx(int64(10*i+1), trace.KindTxAbort, 0, 7))
+		rec.Emit(tx(int64(10*i+2), trace.KindTxBegin, 0, 3))
+	}
+	rec.Emit(tx(800, trace.KindTxAbort, 0, 3))
+	rec.Emit(tx(900, trace.KindTxCommit, 0, 3))
+	rec.Emit(tx(1500, trace.KindTxBegin, 0, 3)) // close the window
+	if got := w.Raised[DegradeSiteStorm]; got != 1 {
+		t.Fatalf("site-storm raised %d times, want 1 (%v)", got, w.Raised)
+	}
+	ev := w.Events[0]
+	if ev.Note != DegradeSiteStorm || ev.PC != 7 {
+		t.Fatalf("site-storm event = %+v, want PC 7", ev)
+	}
+}
+
+// TestWatchdogGILProgressCountsAsCommit: GIL-held sections completing
+// (KindGILRelease) are forward progress — an open breaker routing everything
+// through the GIL must not read as livelock.
+func TestWatchdogGILProgressCountsAsCommit(t *testing.T) {
+	w, rec, _ := wire(wcfg())
+	for i := 0; i < 6; i++ {
+		rec.Emit(tx(int64(10*i), trace.KindGILFallback, 0, 1))
+		rec.Emit(tx(int64(10*i+5), trace.KindGILRelease, 0, -1))
+	}
+	rec.Emit(tx(1500, trace.KindTxBegin, 0, 1))
+	if len(w.Raised) != 0 {
+		t.Fatalf("GIL-only progress raised degradations: %v", w.Raised)
+	}
+}
+
+// TestWatchdogDeterministicStream: the same event stream produces the same
+// degradation stream, byte for byte.
+func TestWatchdogDeterministicStream(t *testing.T) {
+	run := func() []trace.Event {
+		w, rec, _ := wire(wcfg())
+		for i := 0; i < 500; i++ {
+			th := i % 3
+			rec.Emit(tx(int64(37*i), trace.KindTxBegin, th, i%5))
+			if i%4 == 0 {
+				rec.Emit(tx(int64(37*i+5), trace.KindTxCommit, th, i%5))
+			} else {
+				rec.Emit(tx(int64(37*i+5), trace.KindTxAbort, th, i%5))
+			}
+		}
+		return w.Events
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatalf("stream raised nothing; test is vacuous")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic: %d vs %d events", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestWatchdogCountsNilSafe mirrors the stats plumbing: nil watchdog and
+// empty watchdog both report nil.
+func TestWatchdogCountsNilSafe(t *testing.T) {
+	var w *Watchdog
+	if w.Counts() != nil {
+		t.Fatalf("nil watchdog has counts")
+	}
+	if NewWatchdog(wcfg()).Counts() != nil {
+		t.Fatalf("fresh watchdog has counts")
+	}
+}
+
+// TestRecorderReentrantSinkOrder: a sink emitting on its own recorder (as
+// the watchdog does) must deadlock-free deliver the nested event to every
+// sink after the current one — one totally ordered stream.
+func TestRecorderReentrantSinkOrder(t *testing.T) {
+	var rec *trace.Recorder
+	var seen []trace.Event
+	tap := sinkFunc(func(ev trace.Event) { seen = append(seen, ev) })
+	reemit := sinkFunc(func(ev trace.Event) {
+		if ev.Kind == trace.KindTxAbort {
+			echo := trace.Ev(ev.T+1, trace.KindDegrade)
+			echo.Note = "echo"
+			rec.Emit(echo)
+		}
+	})
+	rec = trace.NewRecorder(tap, reemit)
+	rec.Emit(trace.Ev(10, trace.KindTxBegin))
+	rec.Emit(trace.Ev(20, trace.KindTxAbort))
+	rec.Emit(trace.Ev(30, trace.KindTxCommit))
+	kinds := make([]trace.Kind, len(seen))
+	for i, ev := range seen {
+		kinds[i] = ev.Kind
+	}
+	want := []trace.Kind{trace.KindTxBegin, trace.KindTxAbort, trace.KindDegrade, trace.KindTxCommit}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+}
+
+type sinkFunc func(trace.Event)
+
+func (f sinkFunc) Emit(ev trace.Event) { f(ev) }

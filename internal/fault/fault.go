@@ -1,0 +1,553 @@
+// Package fault is the deterministic fault-injection harness of the
+// simulator. A Spec describes which fault channels are armed (spurious HTM
+// aborts, capacity jitter, network resets/latency spikes/slow clients, GIL
+// timer jitter, scheduler wake jitter) and an Injector turns the spec into
+// concrete, seeded fault decisions consulted by internal/htm, internal/gil,
+// internal/sched and internal/netsim.
+//
+// Determinism is the whole point: every channel draws from its own
+// rand.Rand stream (and every HTM context from its own sub-stream), so the
+// same spec and seed reproduce the exact same fault schedule byte-for-byte,
+// and arming one channel never perturbs the draws of another. The engine is
+// consulted from the single-threaded discrete-event loop, so the Injector
+// needs no locking; all methods are nil-safe so the disabled path costs one
+// pointer check.
+//
+// Specs support an `until=T` horizon after which every channel goes quiet —
+// the knob the chaos benchmark uses to measure time-to-recover once a fault
+// profile clears.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"htmgil/internal/trace"
+)
+
+// Fault channel names, used for trace attribution and injection counters.
+const (
+	ChanSpurious   = "spurious-abort"
+	ChanCapacity   = "capacity-jitter"
+	ChanConnReset  = "conn-reset"
+	ChanLatSpike   = "latency-spike"
+	ChanSlowClient = "slow-client"
+	ChanTimer      = "timer-jitter"
+	ChanWake       = "wake-jitter"
+)
+
+// Defaults for the optional magnitude halves of spec entries.
+const (
+	DefaultCapScale         = 0.25    // capjitter=P -> capacities scaled to 25%
+	DefaultLatSpikeCycles   = 200_000 // latspike=P -> +200k cycles on the wire
+	DefaultSlowClientCycles = 400_000 // slowclient=P -> client stalls 400k cycles
+	DefaultWakeJitterCycles = 50_000  // wakejitter=P -> wakeups delayed up to 50k
+)
+
+// Spec is a parsed fault profile: which channels are armed and how hard.
+// The zero Spec injects nothing.
+type Spec struct {
+	// Seed overrides the run seed for the fault streams; 0 means derive
+	// from the run seed so `-faults` alone stays reproducible.
+	Seed int64
+	// SpuriousMean is the mean number of cycles between injected spurious
+	// transient aborts per HTM context (exponentially distributed); 0 off.
+	SpuriousMean int64
+	// CapJitterP is the per-transaction-begin probability that the
+	// read/write capacities are scaled down by CapScale (cache pressure /
+	// eviction jitter); 0 off.
+	CapJitterP float64
+	CapScale   float64
+	// ConnResetP is the probability that a client connect is dropped in
+	// transit (connection reset); 0 off.
+	ConnResetP float64
+	// LatSpikeP adds LatSpikeCycles of extra latency to a network hop with
+	// this probability; 0 off.
+	LatSpikeP      float64
+	LatSpikeCycles int64
+	// SlowClientP stalls a client for SlowClientCycles before it writes
+	// its request with this probability; 0 off.
+	SlowClientP      float64
+	SlowClientCycles int64
+	// TimerJitterFrac perturbs each GIL timer interval uniformly in
+	// [1-f, 1+f] of the nominal period; 0 off.
+	TimerJitterFrac float64
+	// WakeJitterP delays a thread wakeup by 1..WakeJitterCycles extra
+	// cycles with this probability (preemption jitter); 0 off.
+	WakeJitterP      float64
+	WakeJitterCycles int64
+	// Until silences every channel at virtual time >= Until; 0 = forever.
+	Until int64
+}
+
+// Enabled reports whether any channel is armed.
+func (s *Spec) Enabled() bool {
+	if s == nil {
+		return false
+	}
+	return s.SpuriousMean > 0 || s.CapJitterP > 0 || s.ConnResetP > 0 ||
+		s.LatSpikeP > 0 || s.SlowClientP > 0 || s.TimerJitterFrac > 0 ||
+		s.WakeJitterP > 0
+}
+
+// String renders the spec back in the canonical comma-separated grammar
+// ParseSpec accepts, with keys in a fixed order so it is stable for reports.
+func (s *Spec) String() string {
+	if s == nil {
+		return ""
+	}
+	var parts []string
+	if s.SpuriousMean > 0 {
+		parts = append(parts, fmt.Sprintf("spurious=%d", s.SpuriousMean))
+	}
+	if s.CapJitterP > 0 {
+		parts = append(parts, fmt.Sprintf("capjitter=%s:%s",
+			ftoa(s.CapJitterP), ftoa(s.CapScale)))
+	}
+	if s.ConnResetP > 0 {
+		parts = append(parts, "connreset="+ftoa(s.ConnResetP))
+	}
+	if s.LatSpikeP > 0 {
+		parts = append(parts, fmt.Sprintf("latspike=%s:%d", ftoa(s.LatSpikeP), s.LatSpikeCycles))
+	}
+	if s.SlowClientP > 0 {
+		parts = append(parts, fmt.Sprintf("slowclient=%s:%d", ftoa(s.SlowClientP), s.SlowClientCycles))
+	}
+	if s.TimerJitterFrac > 0 {
+		parts = append(parts, "timerjitter="+ftoa(s.TimerJitterFrac))
+	}
+	if s.WakeJitterP > 0 {
+		parts = append(parts, fmt.Sprintf("wakejitter=%s:%d", ftoa(s.WakeJitterP), s.WakeJitterCycles))
+	}
+	if s.Until > 0 {
+		parts = append(parts, fmt.Sprintf("until=%d", s.Until))
+	}
+	if s.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", s.Seed))
+	}
+	return strings.Join(parts, ",")
+}
+
+func ftoa(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// ParseSpec parses the comma-separated fault grammar:
+//
+//	spurious=MEAN        mean cycles between spurious aborts per HTM context
+//	capjitter=P[:SCALE]  per-begin capacity-scaling probability (scale 0.25)
+//	connreset=P          connection-reset probability per connect
+//	latspike=P[:CYCLES]  extra network latency probability (default 200000)
+//	slowclient=P[:CYCLES] client write-stall probability (default 400000)
+//	timerjitter=F        GIL timer interval jitter fraction in [0,1)
+//	wakejitter=P[:CYCLES] wakeup-delay probability (default max 50000)
+//	until=T              all channels off at virtual time >= T
+//	seed=N               fault-stream seed override (default: run seed)
+//
+// An empty string yields a valid, inert spec.
+func ParseSpec(text string) (*Spec, error) {
+	s := &Spec{
+		CapScale:         DefaultCapScale,
+		LatSpikeCycles:   DefaultLatSpikeCycles,
+		SlowClientCycles: DefaultSlowClientCycles,
+		WakeJitterCycles: DefaultWakeJitterCycles,
+	}
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return s, nil
+	}
+	for _, field := range strings.Split(text, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: %q: want key=value", field)
+		}
+		val, arg, hasArg := strings.Cut(val, ":")
+		argInt := func(dst *int64) error {
+			if !hasArg {
+				return nil
+			}
+			n, err := strconv.ParseInt(arg, 10, 64)
+			if err != nil || n <= 0 {
+				return fmt.Errorf("fault: %s: bad cycle count %q", key, arg)
+			}
+			*dst = n
+			return nil
+		}
+		noArg := func() error {
+			if hasArg {
+				return fmt.Errorf("fault: %s takes no :argument", key)
+			}
+			return nil
+		}
+		switch key {
+		case "spurious":
+			if err := noArg(); err != nil {
+				return nil, err
+			}
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("fault: spurious: bad mean %q", val)
+			}
+			s.SpuriousMean = n
+		case "capjitter":
+			p, err := parseProb(key, val)
+			if err != nil {
+				return nil, err
+			}
+			s.CapJitterP = p
+			if hasArg {
+				f, err := strconv.ParseFloat(arg, 64)
+				if err != nil || !(f > 0 && f < 1) {
+					return nil, fmt.Errorf("fault: capjitter: bad scale %q (want (0,1))", arg)
+				}
+				s.CapScale = f
+			}
+		case "connreset":
+			if err := noArg(); err != nil {
+				return nil, err
+			}
+			p, err := parseProb(key, val)
+			if err != nil {
+				return nil, err
+			}
+			s.ConnResetP = p
+		case "latspike":
+			p, err := parseProb(key, val)
+			if err != nil {
+				return nil, err
+			}
+			s.LatSpikeP = p
+			if err := argInt(&s.LatSpikeCycles); err != nil {
+				return nil, err
+			}
+		case "slowclient":
+			p, err := parseProb(key, val)
+			if err != nil {
+				return nil, err
+			}
+			s.SlowClientP = p
+			if err := argInt(&s.SlowClientCycles); err != nil {
+				return nil, err
+			}
+		case "timerjitter":
+			if err := noArg(); err != nil {
+				return nil, err
+			}
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || !(f >= 0 && f < 1) {
+				return nil, fmt.Errorf("fault: timerjitter: bad fraction %q (want [0,1))", val)
+			}
+			s.TimerJitterFrac = f
+		case "wakejitter":
+			p, err := parseProb(key, val)
+			if err != nil {
+				return nil, err
+			}
+			s.WakeJitterP = p
+			if err := argInt(&s.WakeJitterCycles); err != nil {
+				return nil, err
+			}
+		case "until":
+			if err := noArg(); err != nil {
+				return nil, err
+			}
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("fault: until: bad time %q", val)
+			}
+			s.Until = n
+		case "seed":
+			if err := noArg(); err != nil {
+				return nil, err
+			}
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: seed: bad value %q", val)
+			}
+			s.Seed = n
+		default:
+			return nil, fmt.Errorf("fault: unknown channel %q", key)
+		}
+	}
+	return s, nil
+}
+
+func parseProb(key, val string) (float64, error) {
+	// The range checks are written in positive form so NaN (for which every
+	// comparison is false) is rejected rather than slipping through.
+	p, err := strconv.ParseFloat(val, 64)
+	if err != nil || !(p >= 0 && p <= 1) {
+		return 0, fmt.Errorf("fault: %s: bad probability %q (want [0,1])", key, val)
+	}
+	return p, nil
+}
+
+// mix derives a sub-stream seed from the base seed and a channel tag. The
+// multipliers are the usual splitmix64-ish odd constants; the only property
+// needed is that distinct (tag, lane) pairs give distinct, fixed seeds.
+func mix(base, tag, lane int64) int64 {
+	h := base ^ (tag * -7046029254386353131)
+	h ^= lane * -4417276706812531889
+	h ^= h >> 33
+	return h
+}
+
+// Injector is the live fault engine for one VM run: per-channel seeded RNG
+// streams plus injection counters. All methods are nil-safe no-ops, and the
+// per-HTM-context hooks live on HTMFaults so each context keeps its own
+// stream regardless of how many contexts a run recycles.
+type Injector struct {
+	Spec   *Spec
+	Tracer *trace.Recorder
+
+	seed   int64
+	net    *rand.Rand
+	timer  *rand.Rand
+	wake   *rand.Rand
+	counts map[string]uint64
+}
+
+// NewInjector builds the injector for a run. runSeed is the VM seed; the
+// spec's own Seed, when non-zero, overrides it for the fault streams.
+// Returns nil when the spec is nil or inert, so callers can wire the result
+// unconditionally.
+func NewInjector(spec *Spec, runSeed int64, tracer *trace.Recorder) *Injector {
+	if !spec.Enabled() {
+		return nil
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = runSeed
+	}
+	return &Injector{
+		Spec:   spec,
+		Tracer: tracer,
+		seed:   seed,
+		net:    rand.New(rand.NewSource(mix(seed, 0x6e6574, 0))),
+		timer:  rand.New(rand.NewSource(mix(seed, 0x74696d, 0))),
+		wake:   rand.New(rand.NewSource(mix(seed, 0x77616b, 0))),
+		counts: make(map[string]uint64),
+	}
+}
+
+// active reports whether the spec's injection horizon is still open at now.
+func (in *Injector) active(now int64) bool {
+	return in.Spec.Until == 0 || now < in.Spec.Until
+}
+
+// inject records one fired fault: counter plus (when tracing) a KindFault
+// event attributing channel, context and magnitude.
+func (in *Injector) inject(now int64, ch string, ctx int, cycles int64) {
+	in.counts[ch]++
+	if in.Tracer != nil {
+		ev := trace.Ev(now, trace.KindFault)
+		ev.Ctx = ctx
+		ev.Cycles = cycles
+		ev.Note = ch
+		in.Tracer.Emit(ev)
+	}
+}
+
+// Counts returns a copy of the per-channel injection counters.
+func (in *Injector) Counts() map[string]uint64 {
+	if in == nil || len(in.counts) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(in.counts))
+	for k, v := range in.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Total returns the total number of injected faults across all channels.
+func (in *Injector) Total() uint64 {
+	if in == nil {
+		return 0
+	}
+	var n uint64
+	for _, v := range in.counts {
+		n += v
+	}
+	return n
+}
+
+// Channels returns the armed/fired channel names sorted, for display.
+func (in *Injector) Channels() []string {
+	if in == nil {
+		return nil
+	}
+	out := make([]string, 0, len(in.counts))
+	for k := range in.counts {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HTMFaults is the per-HTM-context slice of the injector: its own RNG
+// stream driving the spurious-abort schedule and capacity jitter, so that
+// context recycling and per-context interrupt models never perturb it.
+type HTMFaults struct {
+	inj          *Injector
+	ctx          int
+	rng          *rand.Rand
+	nextSpurious int64
+}
+
+// HTMContext returns the fault hooks for HTM context id, or nil when no HTM
+// channel is armed. Safe on a nil Injector.
+func (in *Injector) HTMContext(id int) *HTMFaults {
+	if in == nil || (in.Spec.SpuriousMean <= 0 && in.Spec.CapJitterP <= 0) {
+		return nil
+	}
+	h := &HTMFaults{
+		inj: in,
+		ctx: id,
+		rng: rand.New(rand.NewSource(mix(in.seed, 0x68746d, int64(id)))),
+	}
+	h.scheduleSpurious(0)
+	return h
+}
+
+func (h *HTMFaults) scheduleSpurious(now int64) {
+	if h.inj.Spec.SpuriousMean <= 0 {
+		h.nextSpurious = 1 << 62
+		return
+	}
+	h.nextSpurious = now + 1 + int64(h.rng.ExpFloat64()*float64(h.inj.Spec.SpuriousMean))
+}
+
+// SpuriousDue reports whether an injected spurious abort fires at now,
+// rescheduling the stream either way. Past the spec's horizon the schedule
+// keeps advancing silently so recovery runs see no faults but identical
+// stream state. Safe on nil.
+func (h *HTMFaults) SpuriousDue(now int64) bool {
+	if h == nil || now < h.nextSpurious {
+		return false
+	}
+	h.scheduleSpurious(now)
+	if !h.inj.active(now) {
+		return false
+	}
+	h.inj.inject(now, ChanSpurious, h.ctx, 0)
+	return true
+}
+
+// CapacityScale returns the factor to apply to the transaction's read/write
+// capacity at begin: CapScale with probability CapJitterP, else 1. The draw
+// is taken even past the horizon to keep the stream stable. Safe on nil.
+func (h *HTMFaults) CapacityScale(now int64) float64 {
+	if h == nil || h.inj.Spec.CapJitterP <= 0 {
+		return 1
+	}
+	draw := h.rng.Float64()
+	if !h.inj.active(now) || draw >= h.inj.Spec.CapJitterP {
+		return 1
+	}
+	h.inj.inject(now, ChanCapacity, h.ctx, 0)
+	return h.inj.Spec.CapScale
+}
+
+// ConnReset reports whether the connect issued at now is dropped in
+// transit. Safe on nil.
+func (in *Injector) ConnReset(now int64) bool {
+	if in == nil || in.Spec.ConnResetP <= 0 {
+		return false
+	}
+	draw := in.net.Float64()
+	if !in.active(now) || draw >= in.Spec.ConnResetP {
+		return false
+	}
+	in.inject(now, ChanConnReset, -1, 0)
+	return true
+}
+
+// LatencySpike returns extra cycles to add to a network hop at now (0 most
+// of the time). Safe on nil.
+func (in *Injector) LatencySpike(now int64) int64 {
+	if in == nil || in.Spec.LatSpikeP <= 0 {
+		return 0
+	}
+	draw := in.net.Float64()
+	if !in.active(now) || draw >= in.Spec.LatSpikeP {
+		return 0
+	}
+	in.inject(now, ChanLatSpike, -1, in.Spec.LatSpikeCycles)
+	return in.Spec.LatSpikeCycles
+}
+
+// SlowClient returns the stall (in cycles) a client inserts before writing
+// its request at now. Safe on nil.
+func (in *Injector) SlowClient(now int64) int64 {
+	if in == nil || in.Spec.SlowClientP <= 0 {
+		return 0
+	}
+	draw := in.net.Float64()
+	if !in.active(now) || draw >= in.Spec.SlowClientP {
+		return 0
+	}
+	in.inject(now, ChanSlowClient, -1, in.Spec.SlowClientCycles)
+	return in.Spec.SlowClientCycles
+}
+
+// TimerInterval perturbs one GIL timer period: uniform in [1-f, 1+f] of the
+// nominal interval, at least 1 cycle. Safe on nil (returns the nominal).
+func (in *Injector) TimerInterval(now, interval int64) int64 {
+	if in == nil || in.Spec.TimerJitterFrac <= 0 {
+		return interval
+	}
+	f := 1 + in.Spec.TimerJitterFrac*(2*in.timer.Float64()-1)
+	if !in.active(now) {
+		return interval
+	}
+	j := int64(float64(interval) * f)
+	if j < 1 {
+		j = 1
+	}
+	if j != interval {
+		in.inject(now, ChanTimer, -1, j-interval)
+	}
+	return j
+}
+
+// WakeDelay returns extra cycles to delay a thread wakeup scheduled for at.
+// Safe on nil.
+func (in *Injector) WakeDelay(at int64) int64 {
+	if in == nil || in.Spec.WakeJitterP <= 0 {
+		return 0
+	}
+	draw := in.wake.Float64()
+	if !in.active(at) || draw >= in.Spec.WakeJitterP {
+		return 0
+	}
+	d := 1 + in.wake.Int63n(in.Spec.WakeJitterCycles)
+	in.inject(at, ChanWake, -1, d)
+	return d
+}
+
+// NamedSpec is a named chaos profile for sweeps and demos.
+type NamedSpec struct {
+	Name string
+	Text string
+}
+
+// ChaosProfiles returns the named fault profiles the `chaos` benchmark
+// sweeps, from a clean baseline to a mixed adversarial schedule. Profiles
+// with an `until=` horizon let the sweep measure time-to-recover.
+func ChaosProfiles() []NamedSpec {
+	return []NamedSpec{
+		{"clean", ""},
+		{"abort-storm", "spurious=30000"},
+		{"abort-recover", "spurious=6000,until=30000000"},
+		{"capacity", "capjitter=0.3:0.2"},
+		{"net-chaos", "connreset=0.02,latspike=0.05:250000,slowclient=0.03"},
+		{"jitter", "timerjitter=0.5,wakejitter=0.1:40000"},
+		{"mixed", "spurious=100000,connreset=0.01,latspike=0.03,timerjitter=0.3,until=30000000"},
+	}
+}

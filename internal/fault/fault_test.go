@@ -1,0 +1,345 @@
+package fault
+
+import (
+	"testing"
+
+	"htmgil/internal/trace"
+)
+
+func mustParse(t *testing.T, text string) *Spec {
+	t.Helper()
+	s, err := ParseSpec(text)
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", text, err)
+	}
+	return s
+}
+
+func TestParseSpecEmptyIsInert(t *testing.T) {
+	s := mustParse(t, "")
+	if s.Enabled() {
+		t.Fatalf("empty spec is enabled: %+v", s)
+	}
+	if s.String() != "" {
+		t.Fatalf("empty spec renders %q", s.String())
+	}
+	if inj := NewInjector(s, 1, nil); inj != nil {
+		t.Fatalf("inert spec built an injector")
+	}
+	var nilSpec *Spec
+	if nilSpec.Enabled() || nilSpec.String() != "" {
+		t.Fatalf("nil spec not inert")
+	}
+	if inj := NewInjector(nil, 1, nil); inj != nil {
+		t.Fatalf("nil spec built an injector")
+	}
+	// Defaults for the optional magnitude halves must be populated even on
+	// the inert spec, so later field-by-field arming works.
+	if s.CapScale != DefaultCapScale || s.LatSpikeCycles != DefaultLatSpikeCycles ||
+		s.SlowClientCycles != DefaultSlowClientCycles || s.WakeJitterCycles != DefaultWakeJitterCycles {
+		t.Fatalf("defaults missing: %+v", s)
+	}
+}
+
+// TestParseSpecRoundTrip checks that String() renders the canonical grammar:
+// re-parsing it yields the same spec, and the rendering is stable.
+func TestParseSpecRoundTrip(t *testing.T) {
+	cases := []struct {
+		text string
+		want string // "" means identical to text
+	}{
+		{"spurious=30000", ""},
+		{"capjitter=0.3:0.2", ""},
+		{"capjitter=0.3", "capjitter=0.3:0.25"}, // default scale made explicit
+		{"connreset=0.02", ""},
+		{"latspike=0.05:250000", ""},
+		{"latspike=0.05", "latspike=0.05:200000"},
+		{"slowclient=0.03:123456", ""},
+		{"timerjitter=0.5", ""},
+		{"wakejitter=0.1:40000", ""},
+		{"until=30000000,spurious=6000", "spurious=6000,until=30000000"}, // key order canonicalized
+		{"seed=42,connreset=1", "connreset=1,seed=42"},
+		{" spurious=100 , connreset=0.5 ", "spurious=100,connreset=0.5"},
+		{"spurious=100000,connreset=0.01,latspike=0.03,timerjitter=0.3,until=30000000",
+			"spurious=100000,connreset=0.01,latspike=0.03:200000,timerjitter=0.3,until=30000000"},
+	}
+	for _, c := range cases {
+		s := mustParse(t, c.text)
+		want := c.want
+		if want == "" {
+			want = c.text
+		}
+		got := s.String()
+		if got != want {
+			t.Errorf("ParseSpec(%q).String() = %q, want %q", c.text, got, want)
+			continue
+		}
+		again := mustParse(t, got)
+		if again.String() != got {
+			t.Errorf("%q not a fixed point: re-renders as %q", got, again.String())
+		}
+		if *again != *s {
+			t.Errorf("round trip changed the spec: %+v vs %+v", again, s)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"spurious",            // no value
+		"spurious=0",          // mean must be positive
+		"spurious=-5",         //
+		"spurious=1000:2",     // no :argument
+		"capjitter=1.5",       // probability out of range
+		"capjitter=0.5:1.5",   // scale out of (0,1)
+		"capjitter=0.5:0",     //
+		"connreset=nan",       // NaN passes naive range checks
+		"timerjitter=nan",     //
+		"capjitter=0.5:nan",   //
+		"connreset=0.1:5",     // no :argument
+		"latspike=0.1:-3",     // bad cycle count
+		"latspike=0.1:x",      //
+		"slowclient=2",        // probability out of range
+		"timerjitter=1",       // fraction must be < 1
+		"timerjitter=-0.1",    //
+		"wakejitter=0.1:0",    // bad cycle count
+		"until=0",             // must be positive
+		"until=soon",          //
+		"seed=abc",            //
+		"frobnicate=1",        // unknown channel
+		"spurious100",         // not key=value
+	}
+	for _, text := range bad {
+		if _, err := ParseSpec(text); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", text)
+		}
+	}
+}
+
+func TestChaosProfilesParse(t *testing.T) {
+	profs := ChaosProfiles()
+	if len(profs) == 0 || profs[0].Name != "clean" {
+		t.Fatalf("profiles = %+v", profs)
+	}
+	for _, ns := range profs {
+		s := mustParse(t, ns.Text)
+		if ns.Name == "clean" {
+			if s.Enabled() {
+				t.Errorf("clean profile is armed")
+			}
+			continue
+		}
+		if !s.Enabled() {
+			t.Errorf("profile %s is inert", ns.Name)
+		}
+		if again := mustParse(t, s.String()); *again != *s {
+			t.Errorf("profile %s does not round-trip", ns.Name)
+		}
+	}
+}
+
+// drain samples every channel of an injector for a while and returns a
+// fingerprint of all decisions, advancing virtual time deterministically.
+func drain(inj *Injector, h *HTMFaults, steps int) []int64 {
+	var out []int64
+	now := int64(0)
+	for i := 0; i < steps; i++ {
+		now += 1000
+		b2i := func(b bool) int64 {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		out = append(out,
+			b2i(h.SpuriousDue(now)),
+			int64(h.CapacityScale(now)*1000),
+			b2i(inj.ConnReset(now)),
+			inj.LatencySpike(now),
+			inj.SlowClient(now),
+			inj.TimerInterval(now, 10_000),
+			inj.WakeDelay(now),
+		)
+	}
+	return out
+}
+
+func equalI64(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+const allChannels = "spurious=5000,capjitter=0.2,connreset=0.1,latspike=0.1,slowclient=0.1,timerjitter=0.4,wakejitter=0.2"
+
+// TestInjectorDeterminism: the same spec and seed reproduce the exact same
+// fault schedule; a different seed produces a different one.
+func TestInjectorDeterminism(t *testing.T) {
+	run := func(seed int64) []int64 {
+		inj := NewInjector(mustParse(t, allChannels), seed, nil)
+		return drain(inj, inj.HTMContext(0), 400)
+	}
+	a, b := run(7), run(7)
+	if !equalI64(a, b) {
+		t.Fatalf("same seed diverged")
+	}
+	if equalI64(a, run(8)) {
+		t.Fatalf("different seeds produced an identical schedule")
+	}
+}
+
+// TestSpecSeedOverridesRunSeed: seed=N in the spec pins the fault streams
+// whatever run seed the harness passes.
+func TestSpecSeedOverridesRunSeed(t *testing.T) {
+	spec := mustParse(t, allChannels+",seed=99")
+	inj1 := NewInjector(spec, 1, nil)
+	a := drain(inj1, inj1.HTMContext(0), 100)
+	inj2 := NewInjector(spec, 12345, nil)
+	b := drain(inj2, inj2.HTMContext(0), 100)
+	if !equalI64(a, b) {
+		t.Fatalf("seed= override did not pin the schedule across run seeds")
+	}
+}
+
+// TestChannelIndependence: arming an extra channel must not perturb the
+// draws of the others — each channel owns its RNG stream.
+func TestChannelIndependence(t *testing.T) {
+	spurOnly := NewInjector(mustParse(t, "spurious=5000"), 3, nil)
+	both := NewInjector(mustParse(t, "spurious=5000,connreset=0.3,timerjitter=0.4"), 3, nil)
+	ha, hb := spurOnly.HTMContext(0), both.HTMContext(0)
+	for now := int64(1000); now < 2_000_000; now += 1000 {
+		if ha.SpuriousDue(now) != hb.SpuriousDue(now) {
+			t.Fatalf("connreset/timerjitter arming perturbed the spurious stream at t=%d", now)
+		}
+		both.ConnReset(now) // consume the net stream; must not matter
+		both.TimerInterval(now, 10_000)
+	}
+}
+
+// TestHTMContextStreamsAreIndependent: each context draws its own spurious
+// schedule, so context recycling cannot shift another context's faults.
+func TestHTMContextStreamsAreIndependent(t *testing.T) {
+	inj := NewInjector(mustParse(t, "spurious=5000"), 3, nil)
+	sched := func(h *HTMFaults) []int64 {
+		var fired []int64
+		for now := int64(1000); now < 500_000; now += 1000 {
+			if h.SpuriousDue(now) {
+				fired = append(fired, now)
+			}
+		}
+		return fired
+	}
+	a := sched(inj.HTMContext(0))
+	b := sched(inj.HTMContext(1))
+	if len(a) == 0 || len(b) == 0 {
+		t.Fatalf("no spurious aborts fired: %d/%d", len(a), len(b))
+	}
+	if equalI64(a, b) {
+		t.Fatalf("contexts 0 and 1 share a spurious schedule")
+	}
+	// And rebuilding context 0 replays its schedule exactly.
+	inj2 := NewInjector(mustParse(t, "spurious=5000"), 3, nil)
+	if !equalI64(a, sched(inj2.HTMContext(0))) {
+		t.Fatalf("context stream not reproducible")
+	}
+}
+
+// TestUntilHorizonSilencesChannels: past until=T no channel fires and no
+// counter advances, but the streams keep drawing so a recovery phase sees
+// identical state to a run that never had the horizon.
+func TestUntilHorizonSilencesChannels(t *testing.T) {
+	const horizon = 200_000
+	spec := mustParse(t, allChannels)
+	spec.Until = horizon
+	inj := NewInjector(spec, 5, nil)
+	h := inj.HTMContext(0)
+	for now := int64(1000); now < 2*horizon; now += 1000 {
+		past := now >= horizon
+		fired := h.SpuriousDue(now) || inj.ConnReset(now) ||
+			h.CapacityScale(now) != 1 || inj.LatencySpike(now) != 0 ||
+			inj.SlowClient(now) != 0 || inj.WakeDelay(now) != 0 ||
+			inj.TimerInterval(now, 10_000) != 10_000
+		if past && fired {
+			t.Fatalf("channel fired past the horizon at t=%d", now)
+		}
+	}
+	before := inj.Total()
+	if before == 0 {
+		t.Fatalf("nothing fired before the horizon")
+	}
+	for now := int64(2 * horizon); now < 4*horizon; now += 1000 {
+		h.SpuriousDue(now)
+		inj.ConnReset(now)
+	}
+	if inj.Total() != before {
+		t.Fatalf("counters advanced past the horizon: %d -> %d", before, inj.Total())
+	}
+}
+
+// TestInjectionCountersAndTrace: every fired fault is counted per channel
+// and attributed as a KindFault event on the tracer.
+func TestInjectionCountersAndTrace(t *testing.T) {
+	agg := trace.NewAggregator()
+	rec := trace.NewRecorder(agg)
+	inj := NewInjector(mustParse(t, "connreset=1,latspike=1:777"), 5, rec)
+	inj.ConnReset(1000)
+	inj.LatencySpike(2000)
+	inj.LatencySpike(3000)
+	counts := inj.Counts()
+	if counts[ChanConnReset] != 1 || counts[ChanLatSpike] != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if inj.Total() != 3 {
+		t.Fatalf("total = %d", inj.Total())
+	}
+	chans := inj.Channels()
+	if len(chans) != 2 || chans[0] != ChanConnReset || chans[1] != ChanLatSpike {
+		t.Fatalf("channels = %v", chans)
+	}
+	if agg.Faults[ChanConnReset] != 1 || agg.Faults[ChanLatSpike] != 2 {
+		t.Fatalf("trace attribution = %v", agg.Faults)
+	}
+	// Counts returns a copy: mutating it must not corrupt the injector.
+	counts[ChanConnReset] = 99
+	if inj.Counts()[ChanConnReset] != 1 {
+		t.Fatalf("Counts exposed internal state")
+	}
+}
+
+// TestNilInjectorSafe: every hook is a cheap no-op on nil, so subsystems
+// wire the injector unconditionally.
+func TestNilInjectorSafe(t *testing.T) {
+	var inj *Injector
+	if inj.ConnReset(1) || inj.LatencySpike(1) != 0 || inj.SlowClient(1) != 0 ||
+		inj.WakeDelay(1) != 0 || inj.TimerInterval(1, 500) != 500 {
+		t.Fatalf("nil injector injected something")
+	}
+	if inj.Total() != 0 || inj.Counts() != nil || inj.Channels() != nil {
+		t.Fatalf("nil injector has state")
+	}
+	if h := inj.HTMContext(0); h != nil {
+		t.Fatalf("nil injector built HTM hooks")
+	}
+	var h *HTMFaults
+	if h.SpuriousDue(1) || h.CapacityScale(1) != 1 {
+		t.Fatalf("nil HTM hooks injected something")
+	}
+}
+
+// TestHTMContextNilWhenNoHTMChannel: network-only specs must not hang HTM
+// hooks on every context.
+func TestHTMContextNilWhenNoHTMChannel(t *testing.T) {
+	inj := NewInjector(mustParse(t, "connreset=0.5"), 1, nil)
+	if inj == nil {
+		t.Fatalf("armed spec built no injector")
+	}
+	if h := inj.HTMContext(0); h != nil {
+		t.Fatalf("network-only spec armed HTM hooks")
+	}
+}

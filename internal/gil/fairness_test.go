@@ -3,6 +3,7 @@ package gil
 import (
 	"testing"
 
+	"htmgil/internal/fault"
 	"htmgil/internal/sched"
 	"htmgil/internal/simmem"
 )
@@ -13,19 +14,64 @@ import (
 // initial enqueue, the acquisition sequence is a perfect round-robin of the
 // contenders, and no thread acquires twice before every other contender
 // acquired once.
+//
+// The table sweeps the fault harness's timer-jitter channel (fixed seeds):
+// fairness is a property of the waiter queue, so perturbing every timer
+// period must never break the round-robin, only shift its phase.
 func TestWaiterQueueFIFOFairnessUnderTimer(t *testing.T) {
-	const (
-		nthreads = 5 // >= 4 contenders per the regression's scope
-		rounds   = 20
-		interval = 5000 // timer period in cycles, >> the re-enqueue latency
-	)
-	mem := simmem.NewMemory(simmem.Config{LineBytes: 64}, nthreads)
-	eng := sched.NewEngine(sched.Config{HWThreads: nthreads})
+	cases := []struct {
+		name string
+		spec string // fault spec text; "" = undisturbed timer
+		seed int64
+	}{
+		{"no-jitter", "", 0},
+		{"jitter-mild", "timerjitter=0.2", 1},
+		{"jitter-heavy", "timerjitter=0.9", 2},
+		{"jitter-heavy-reseeded", "timerjitter=0.9", 3},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			order := fairnessRun(t, c.spec, c.seed)
+			checkRoundRobin(t, order)
+			// Same spec and seed: the full acquisition schedule replays.
+			again := fairnessRun(t, c.spec, c.seed)
+			if len(again) != len(order) {
+				t.Fatalf("replay length %d != %d", len(again), len(order))
+			}
+			for i := range order {
+				if order[i] != again[i] {
+					t.Fatalf("replay diverged at acquisition %d", i)
+				}
+			}
+		})
+	}
+}
+
+const (
+	fairThreads  = 5 // >= 4 contenders per the regression's scope
+	fairRounds   = 20
+	fairInterval = 5000 // timer period in cycles, >> the re-enqueue latency
+)
+
+// fairnessRun drives fairThreads contenders through fairRounds timer-paced
+// GIL acquisitions each, with the given fault spec's timer jitter installed,
+// and returns the acquisition order.
+func fairnessRun(t *testing.T, specText string, seed int64) []int {
+	t.Helper()
+	mem := simmem.NewMemory(simmem.Config{LineBytes: 64}, fairThreads)
+	eng := sched.NewEngine(sched.Config{HWThreads: fairThreads})
 	g := New(mem, eng, DefaultCosts())
+	if specText != "" {
+		spec, err := fault.ParseSpec(specText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.TimerJitter = fault.NewInjector(spec, seed, nil).TimerInterval
+	}
 
 	var order []int
-	running := nthreads
-	for i := 0; i < nthreads; i++ {
+	running := fairThreads
+	for i := 0; i < fairThreads; i++ {
 		id := i
 		var th *sched.Thread
 		held := 0
@@ -61,7 +107,7 @@ func TestWaiterQueueFIFOFairnessUnderTimer(t *testing.T) {
 				if g.ConsumeInterrupt(th) {
 					g.Release(th, now)
 					held++
-					if held == rounds {
+					if held == fairRounds {
 						running--
 						return sched.StepResult{Cycles: 1, Status: sched.Done}
 					}
@@ -72,29 +118,33 @@ func TestWaiterQueueFIFOFairnessUnderTimer(t *testing.T) {
 			}
 		})
 	}
-	g.StartTimer(interval, func() bool { return running > 0 })
+	g.StartTimer(fairInterval, func() bool { return running > 0 })
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
 	}
+	return order
+}
 
-	if len(order) != nthreads*rounds {
-		t.Fatalf("acquisitions = %d, want %d", len(order), nthreads*rounds)
+// checkRoundRobin asserts the FIFO-fairness invariants on an acquisition
+// order: the first cycle fixes the round-robin permutation, every later
+// acquisition repeats it with period fairThreads, and no thread acquires
+// twice within any window of fairThreads acquisitions.
+func checkRoundRobin(t *testing.T, order []int) {
+	t.Helper()
+	if len(order) != fairThreads*fairRounds {
+		t.Fatalf("acquisitions = %d, want %d", len(order), fairThreads*fairRounds)
 	}
-	// The first cycle fixes the round-robin permutation; every later
-	// acquisition must repeat it with period nthreads.
-	for i := nthreads; i < len(order); i++ {
-		if order[i] != order[i-nthreads] {
+	for i := fairThreads; i < len(order); i++ {
+		if order[i] != order[i-fairThreads] {
 			t.Fatalf("FIFO violated at acquisition %d: %v", i, order[:i+1])
 		}
 	}
-	// No thread may acquire twice within any window of nthreads
-	// acquisitions (the no-starvation reading of FIFO handoff).
-	for start := 0; start+nthreads <= len(order); start++ {
-		seen := make(map[int]bool, nthreads)
-		for _, id := range order[start : start+nthreads] {
+	for start := 0; start+fairThreads <= len(order); start++ {
+		seen := make(map[int]bool, fairThreads)
+		for _, id := range order[start : start+fairThreads] {
 			if seen[id] {
 				t.Fatalf("thread %d acquired twice in window %d: %v",
-					id, start, order[start:start+nthreads])
+					id, start, order[start:start+fairThreads])
 			}
 			seen[id] = true
 		}

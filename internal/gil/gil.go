@@ -64,6 +64,11 @@ type GIL struct {
 	// Tracer, when non-nil, receives gil-acquire/gil-release events.
 	Tracer *trace.Recorder
 
+	// TimerJitter, when non-nil, perturbs each timer period: it receives
+	// the current virtual time and the nominal interval and returns the
+	// interval actually used. Installed by the fault-injection harness.
+	TimerJitter func(now, interval int64) int64
+
 	// HazardTrack, when set (by the TLE runtime when a lazy-subscription
 	// policy is active), opens a simmem hazard window for the duration of
 	// every GIL hold: lines the holder writes non-transactionally doom
@@ -199,19 +204,38 @@ func (g *GIL) ConsumeInterrupt(th *sched.Thread) bool {
 	return false
 }
 
+// ThreadExited drops any interrupt flag still pending for a dead thread. A
+// thread that exits between being flagged by the timer and reaching its next
+// yield point would otherwise leave its entry in the map forever — on a long
+// server run that is one leaked entry per flagged-then-finished request
+// thread.
+func (g *GIL) ThreadExited(th *sched.Thread) {
+	delete(g.interruptFlagged, th)
+}
+
+// FlaggedCount returns the number of threads with a pending interrupt flag
+// (test hook for the bookkeeping above).
+func (g *GIL) FlaggedCount() int { return len(g.interruptFlagged) }
+
 // StartTimer installs the CRuby timer thread: every interval cycles it
 // flags the current GIL owner (if any), which will then yield the GIL at
 // its next yield point. It keeps rescheduling itself until the engine
 // stops; `while` gates rescheduling so benchmarks can end the timer.
 func (g *GIL) StartTimer(interval int64, while func() bool) {
 	var tick func(now int64)
+	next := func(now int64) int64 {
+		if g.TimerJitter == nil {
+			return interval
+		}
+		return g.TimerJitter(now, interval)
+	}
 	tick = func(now int64) {
 		if g.owner != nil {
 			g.FlagInterrupt(g.owner)
 		}
 		if while == nil || while() {
-			g.engine.At(now+interval, tick)
+			g.engine.At(now+next(now), tick)
 		}
 	}
-	g.engine.At(interval, tick)
+	g.engine.At(next(0), tick)
 }

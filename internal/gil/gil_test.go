@@ -174,3 +174,58 @@ func TestTimerFlagsOwner(t *testing.T) {
 		t.Fatalf("interrupt flag never observed")
 	}
 }
+
+// TestInterruptFlagClearedOnThreadExit is the regression test for the
+// interrupt-flag leak: a thread that exits between being flagged by the
+// timer and reaching its next yield point must not leave its entry in the
+// flag map behind (one leaked entry per flagged-then-finished request
+// thread on a long server run).
+func TestInterruptFlagClearedOnThreadExit(t *testing.T) {
+	_, eng, g := setup()
+	var th *sched.Thread
+	th = eng.Spawn("t", 0, func(now int64) sched.StepResult {
+		if !g.HeldBy(th) {
+			c, _ := g.TryAcquire(th, now)
+			return sched.StepResult{Cycles: c, Status: sched.Running}
+		}
+		// Run past one timer period so the timer flags us, then exit
+		// without ever consuming the flag.
+		if now < 20_000 {
+			return sched.StepResult{Cycles: 1000, Status: sched.Running}
+		}
+		g.Release(th, now)
+		g.ThreadExited(th)
+		return sched.StepResult{Cycles: 1, Status: sched.Done}
+	})
+	g.StartTimer(5000, func() bool { return g.FlaggedCount() == 0 })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if g.FlaggedCount() != 0 {
+		t.Fatalf("exited thread leaked %d interrupt-flag entries", g.FlaggedCount())
+	}
+}
+
+// TestThreadExitedWithoutFlagIsNoop: clearing a never-flagged thread must
+// not disturb other threads' pending flags.
+func TestThreadExitedWithoutFlagIsNoop(t *testing.T) {
+	_, eng, g := setup()
+	a := eng.Spawn("a", 0, func(now int64) sched.StepResult {
+		return sched.StepResult{Cycles: 1, Status: sched.Done}
+	})
+	b := eng.Spawn("b", 0, func(now int64) sched.StepResult {
+		return sched.StepResult{Cycles: 1, Status: sched.Done}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	g.FlagInterrupt(a)
+	g.ThreadExited(b)
+	if g.FlaggedCount() != 1 || !g.ConsumeInterrupt(a) {
+		t.Fatalf("ThreadExited(b) disturbed a's flag (count=%d)", g.FlaggedCount())
+	}
+	g.ThreadExited(a)
+	if g.FlaggedCount() != 0 {
+		t.Fatalf("count = %d after all exits", g.FlaggedCount())
+	}
+}

@@ -15,6 +15,7 @@ package htm
 import (
 	"math/rand"
 
+	"htmgil/internal/fault"
 	"htmgil/internal/simmem"
 	"htmgil/internal/trace"
 )
@@ -160,6 +161,11 @@ type Context struct {
 	// events (the TLE layer traces the tx lifecycle itself).
 	Tracer *trace.Recorder
 
+	// Faults, when non-nil, is this context's slice of the fault-injection
+	// harness: spurious transient aborts delivered like interrupts, and
+	// capacity jitter applied at Begin.
+	Faults *fault.HTMFaults
+
 	suspicion     float64 // Intel learning predictor state
 	rng           *rand.Rand
 	nextInterrupt int64
@@ -204,7 +210,18 @@ func (c *Context) capLines(bytes int) int {
 // abort that the program observes shortly after begin).
 func (c *Context) Begin(now int64) int64 {
 	c.Stats.Begins++
-	c.Tx.Begin(c.capLines(c.Prof.ReadCapBytes), c.capLines(c.Prof.WriteCapBytes))
+	readCap, writeCap := c.capLines(c.Prof.ReadCapBytes), c.capLines(c.Prof.WriteCapBytes)
+	if scale := c.Faults.CapacityScale(now); scale != 1 {
+		// Injected eviction pressure: the footprint available to this
+		// transaction shrinks, making capacity overflows more likely.
+		if readCap = int(float64(readCap) * scale); readCap < 1 {
+			readCap = 1
+		}
+		if writeCap = int(float64(writeCap) * scale); writeCap < 1 {
+			writeCap = 1
+		}
+	}
+	c.Tx.Begin(readCap, writeCap)
 	if c.Prof.Learning && c.suspicion > 0 {
 		if c.rng.Float64() < c.suspicion {
 			c.Tx.SelfDoom(simmem.CauseLearning)
@@ -232,6 +249,10 @@ func (c *Context) Doomed(now int64) bool {
 			ev.Ctx = c.Tx.ID()
 			c.Tracer.Emit(ev)
 		}
+	}
+	if c.Faults.SpuriousDue(now) {
+		// Injected spurious abort: transient, like a delivered interrupt.
+		c.Tx.SelfDoom(simmem.CauseSpurious)
 	}
 	return c.Tx.Doomed()
 }

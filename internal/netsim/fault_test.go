@@ -1,0 +1,108 @@
+package netsim
+
+import (
+	"testing"
+
+	"htmgil/internal/fault"
+	"htmgil/internal/htm"
+	"htmgil/internal/rbregexp"
+	"htmgil/internal/trace"
+	"htmgil/internal/vm"
+)
+
+// kindCounter tallies trace events by kind.
+type kindCounter map[trace.Kind]uint64
+
+func (k kindCounter) Emit(ev trace.Event) { k[ev.Kind]++ }
+
+// runServerFaults runs the echo server with the given fault spec armed on
+// the network fabric and returns the load generator, the trace aggregator
+// and a per-kind event tally observing the run.
+func runServerFaults(t *testing.T, specText string, clients, requests int) (*LoadGen, *trace.Aggregator, kindCounter) {
+	t.Helper()
+	spec, err := fault.ParseSpec(specText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := trace.NewAggregator()
+	kinds := kindCounter{}
+	opt := vm.DefaultOptions(htm.XeonE3(), vm.ModeGIL)
+	opt.Trace = trace.NewRecorder(agg, kinds)
+	opt.Faults = spec
+	machine := vm.New(opt)
+	net := NewNetwork(machine.Engine)
+	net.Tracer = machine.Opt.Trace
+	net.Faults = machine.Faults
+	Install(machine, net)
+	rbregexp.Install(machine)
+	iseq, err := machine.CompileSource(echoServer, "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := &LoadGen{Net: net, Eng: machine.Engine, Port: 9090, Request: "ping\r\n",
+		ThinkTime: 5000, Target: requests, OnDone: machine.Engine.Stop}
+	gen.Start(clients)
+	if _, err := machine.Run(iseq); err != nil {
+		t.Fatal(err)
+	}
+	return gen, agg, kinds
+}
+
+// TestNetChaosAllRequestsComplete: with resets, latency spikes and
+// slow-client stalls armed, every request must still complete — faults slow
+// the run down, never wedge or corrupt it.
+func TestNetChaosAllRequestsComplete(t *testing.T) {
+	const spec = "connreset=0.15,latspike=0.2:50000,slowclient=0.1:20000"
+	gen, agg, kinds := runServerFaults(t, spec, 4, 40)
+	if gen.Completed != 40 {
+		t.Fatalf("completed = %d, want 40", gen.Completed)
+	}
+	if gen.Resets == 0 {
+		t.Fatalf("reset channel armed at p=0.15 but no connection was dropped")
+	}
+	if gen.Stalls == 0 {
+		t.Fatalf("slow-client channel armed but no stall fired")
+	}
+	// The injected faults must be attributed in the trace stream.
+	if agg.Faults[fault.ChanConnReset] == 0 || agg.Faults[fault.ChanLatSpike] == 0 ||
+		agg.Faults[fault.ChanSlowClient] == 0 {
+		t.Fatalf("fault attribution incomplete: %v", agg.Faults)
+	}
+	// Every dropped connect must also appear as a net-reset event (the
+	// structured replacement for the old stderr Debug tracing).
+	if kinds[trace.KindNetReset] != uint64(gen.Resets) {
+		t.Fatalf("net-reset events = %d, want %d", kinds[trace.KindNetReset], gen.Resets)
+	}
+}
+
+// TestNetChaosDeterministic: the same spec and seed reproduce the same
+// reset/stall schedule and the same completion cycle count.
+func TestNetChaosDeterministic(t *testing.T) {
+	const spec = "connreset=0.1,latspike=0.1:30000,slowclient=0.05,seed=11"
+	g1, a1, _ := runServerFaults(t, spec, 4, 30)
+	g2, a2, _ := runServerFaults(t, spec, 4, 30)
+	if g1.Resets != g2.Resets || g1.Stalls != g2.Stalls || g1.TotalWait != g2.TotalWait {
+		t.Fatalf("nondeterministic: resets %d/%d stalls %d/%d wait %d/%d",
+			g1.Resets, g2.Resets, g1.Stalls, g2.Stalls, g1.TotalWait, g2.TotalWait)
+	}
+	for ch, n := range a1.Faults {
+		if a2.Faults[ch] != n {
+			t.Fatalf("fault channel %s: %d vs %d", ch, n, a2.Faults[ch])
+		}
+	}
+}
+
+// TestNetTraceEventsReplaceDebug: a clean traced run emits the structured
+// connect/arrive/accept lifecycle for every request.
+func TestNetTraceEventsReplaceDebug(t *testing.T) {
+	gen, agg, kinds := runServerFaults(t, "", 2, 10)
+	if gen.Completed != 10 {
+		t.Fatalf("completed = %d", gen.Completed)
+	}
+	if kinds[trace.KindNetConnect] < 10 || kinds[trace.KindNetAccept] < 10 {
+		t.Fatalf("net lifecycle events missing: %v", kinds)
+	}
+	if agg.NetEvents == 0 {
+		t.Fatalf("aggregator counted no network events")
+	}
+}

@@ -11,16 +11,14 @@ package netsim
 
 import (
 	"fmt"
-	"os"
 	"strings"
 
+	"htmgil/internal/fault"
 	"htmgil/internal/object"
 	"htmgil/internal/sched"
+	"htmgil/internal/trace"
 	"htmgil/internal/vm"
 )
-
-// Debug enables stderr event tracing (tests only).
-var Debug = false
 
 // Latency constants (virtual cycles).
 const (
@@ -33,11 +31,33 @@ const (
 type Network struct {
 	eng       *sched.Engine
 	listeners map[int64]*Listener
+
+	// Tracer, when non-nil, receives net-connect/net-arrive/net-accept/
+	// net-park/net-reset events — the structured replacement for the old
+	// stderr Debug tracing, sharing the stream (and ordering) of the
+	// transaction events.
+	Tracer *trace.Recorder
+
+	// Faults, when non-nil, injects connection resets, latency spikes and
+	// slow-client stalls into the fabric.
+	Faults *fault.Injector
 }
 
 // NewNetwork creates a network bound to the machine's scheduler.
 func NewNetwork(eng *sched.Engine) *Network {
 	return &Network{eng: eng, listeners: make(map[int64]*Listener)}
+}
+
+// emit sends one network trace event (no-op without a Tracer).
+func (n *Network) emit(t int64, kind trace.Kind, thread int, cycles int64, note string) {
+	if n.Tracer == nil {
+		return
+	}
+	ev := trace.Ev(t, kind)
+	ev.Thread = thread
+	ev.Cycles = cycles
+	ev.Note = note
+	n.Tracer.Emit(ev)
 }
 
 // Listener is a bound server port.
@@ -57,6 +77,10 @@ type Conn struct {
 	toServer strings.Builder
 	// onResponse delivers the server's reply to the client side.
 	onResponse func(now int64, data string)
+	// OnReset, when set, fires instead of delivery if the connection was
+	// dropped in transit by an injected reset; the connection never
+	// reaches the listener.
+	OnReset func(at int64)
 	// serverReader is a parked server thread waiting for request data.
 	serverReader func(now int64)
 	closed       bool
@@ -78,14 +102,23 @@ func (n *Network) Connect(now int64, port int64, onResponse func(now int64, data
 		return nil, fmt.Errorf("netsim: connection refused on port %d", port)
 	}
 	c := &Conn{net: n, onResponse: onResponse}
-	if Debug {
-		fmt.Fprintf(os.Stderr, "[%d] Connect issued -> arrival at %d\n", now, now+connectLatency)
+	latency := int64(connectLatency) + n.Faults.LatencySpike(now)
+	n.emit(now, trace.KindNetConnect, -1, latency, "")
+	if n.Faults.ConnReset(now) {
+		// The connect dies in transit: it never reaches the listener, and
+		// the client learns at would-be-arrival time.
+		n.eng.At(now+latency, func(at int64) {
+			n.emit(at, trace.KindNetReset, -1, 0, "")
+			if c.OnReset != nil {
+				c.OnReset(at)
+			}
+		})
+		return c, nil
 	}
-	n.eng.At(now+connectLatency, func(at int64) {
+	n.eng.At(now+latency, func(at int64) {
 		l.backlog = append(l.backlog, c)
-		if Debug {
-			fmt.Fprintf(os.Stderr, "[%d] conn arrives, backlog=%d acceptors=%d\n", at, len(l.backlog), len(l.acceptors))
-		}
+		n.emit(at, trace.KindNetArrive, -1, 0,
+			fmt.Sprintf("backlog=%d acceptors=%d", len(l.backlog), len(l.acceptors)))
 		if len(l.acceptors) > 0 {
 			wake := l.acceptors[0]
 			l.acceptors = l.acceptors[1:]
@@ -97,7 +130,8 @@ func (n *Network) Connect(now int64, port int64, onResponse func(now int64, data
 
 // Send delivers request bytes from the client to the server side.
 func (c *Conn) Send(now int64, data string) {
-	c.net.eng.At(now+writeLatency+int64(len(data))*perByteCost, func(at int64) {
+	latency := writeLatency + int64(len(data))*perByteCost + c.net.Faults.LatencySpike(now)
+	c.net.eng.At(now+latency, func(at int64) {
 		c.toServer.WriteString(data)
 		if c.serverReader != nil {
 			wake := c.serverReader
@@ -129,19 +163,13 @@ func Install(machine *vm.VM, n *Network) {
 		if len(l.backlog) == 0 {
 			sth := t.Sched()
 			l.acceptors = append(l.acceptors, func(at int64) {
-				if Debug {
-					fmt.Fprintf(os.Stderr, "[%d] waking acceptor\n", at)
-				}
 				machine.Engine.Wake(sth, at)
 			})
-			if Debug {
-				fmt.Fprintf(os.Stderr, "[%d] acceptor parked (n=%d)\n", now, len(l.acceptors))
-			}
+			n.emit(now, trace.KindNetPark, sth.ID, 0, "accept")
 			return object.Nil, vm.ErrBlocked
 		}
-		if Debug {
-			fmt.Fprintf(os.Stderr, "[%d] accept pops conn, backlog=%d\n", now, len(l.backlog))
-		}
+		n.emit(now, trace.KindNetAccept, t.Sched().ID, 0,
+			fmt.Sprintf("backlog=%d", len(l.backlog)))
 		conn := l.backlog[0]
 		l.backlog = l.backlog[1:]
 		o, err := t.AllocNativeObject(object.TSocket, sockC, conn)
@@ -156,6 +184,7 @@ func Install(machine *vm.VM, n *Network) {
 		if conn.toServer.Len() == 0 {
 			sth := t.Sched()
 			conn.serverReader = func(at int64) { machine.Engine.Wake(sth, at) }
+			n.emit(now, trace.KindNetPark, sth.ID, 0, "read")
 			return object.Nil, vm.ErrBlocked
 		}
 		data := conn.toServer.String()
@@ -176,7 +205,8 @@ func Install(machine *vm.VM, n *Network) {
 		data := args[0].Ref.Str
 		if conn.onResponse != nil && !conn.closed {
 			cb := conn.onResponse
-			machine.Engine.At(now+writeLatency+int64(len(data))*perByteCost, func(at int64) {
+			latency := writeLatency + int64(len(data))*perByteCost + n.Faults.LatencySpike(now)
+			machine.Engine.At(now+latency, func(at int64) {
 				cb(at, data)
 			})
 		}
@@ -206,6 +236,11 @@ type LoadGen struct {
 
 	// Refused counts connection attempts made before the server was up.
 	Refused int
+	// Resets counts connections dropped by injected resets (each is
+	// retried after the usual client backoff).
+	Resets int
+	// Stalls counts injected slow-client stalls.
+	Stalls int
 
 	// Stop ends the run after this many total responses.
 	Target int
@@ -221,9 +256,6 @@ func (g *LoadGen) Start(nclients int) {
 }
 
 func (g *LoadGen) runClient(at int64) {
-	if Debug {
-		fmt.Fprintf(os.Stderr, "[..] runClient scheduled at %d\n", at)
-	}
 	g.Eng.At(at, func(now int64) {
 		if g.Target > 0 && g.Completed >= g.Target {
 			return
@@ -248,7 +280,19 @@ func (g *LoadGen) runClient(at int64) {
 			g.runClient(now + 50_000)
 			return
 		}
-		conn.Send(now, g.Request)
+		conn.OnReset = func(resetAt int64) {
+			// The connect was dropped in transit; back off and retry like
+			// a refused connection.
+			g.Resets++
+			g.runClient(resetAt + 50_000)
+		}
+		// An injected slow-client stall delays the request write, pinning
+		// a server thread in read_request for the duration.
+		stall := g.Net.Faults.SlowClient(now)
+		if stall > 0 {
+			g.Stalls++
+		}
+		conn.Send(now+stall, g.Request)
 	})
 }
 

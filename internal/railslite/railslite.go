@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"htmgil/internal/db"
+	"htmgil/internal/fault"
 	"htmgil/internal/htm"
 	"htmgil/internal/netsim"
 	"htmgil/internal/rbregexp"
@@ -84,6 +85,11 @@ type Config struct {
 	// Trace, when non-nil, is attached to the run's VM (vm.Options.Trace)
 	// so callers can observe the server's transaction events.
 	Trace *trace.Recorder
+	// Faults arms the deterministic fault-injection harness for the run.
+	Faults *fault.Spec
+	// Breaker / Watchdog enable the graceful-degradation machinery.
+	Breaker  bool
+	Watchdog bool
 }
 
 // Result mirrors webrick.Result.
@@ -105,8 +111,15 @@ func Run(cfg Config) (*Result, error) {
 	opt.TxLength = cfg.TxLength
 	opt.Policy = cfg.Policy
 	opt.Trace = cfg.Trace
+	opt.Faults = cfg.Faults
+	opt.Breaker = cfg.Breaker
+	opt.Watchdog = cfg.Watchdog
 	machine := vm.New(opt)
 	net := netsim.NewNetwork(machine.Engine)
+	// machine.Opt.Trace (not cfg.Trace): the VM may have created a
+	// recorder for the watchdog.
+	net.Tracer = machine.Opt.Trace
+	net.Faults = machine.Faults
 	netsim.Install(machine, net)
 	rbregexp.Install(machine)
 	rbregexp.InstallStringMethods(machine)

@@ -201,6 +201,11 @@ type Engine struct {
 
 	// Tracer, when non-nil, receives thread-spawn/thread-done events.
 	Tracer *trace.Recorder
+
+	// WakeJitter, when non-nil, returns extra cycles to delay a wakeup
+	// scheduled for the given time — the fault harness's stand-in for OS
+	// preemption/dispatch jitter. It must be deterministic.
+	WakeJitter func(at int64) int64
 }
 
 // NewEngine builds a simulated machine.
@@ -372,6 +377,9 @@ func (e *Engine) At(t int64, fn func(now int64)) {
 func (e *Engine) Wake(t *Thread, at int64) {
 	if t.status != Blocked {
 		panic(fmt.Sprintf("sched: waking thread %d in state %d", t.ID, t.status))
+	}
+	if e.WakeJitter != nil {
+		at += e.WakeJitter(at)
 	}
 	if at < t.Clock {
 		at = t.Clock

@@ -67,6 +67,7 @@ const (
 	CauseRestricted               // restricted operation (e.g. system call)
 	CauseInterrupt                // external interrupt delivered mid-transaction
 	CauseLearning                 // eager abort by the Intel-style predictor
+	CauseSpurious                 // injected transient abort (fault harness)
 )
 
 // String returns a short human-readable name for the cause.
@@ -88,6 +89,8 @@ func (c AbortCause) String() string {
 		return "interrupt"
 	case CauseLearning:
 		return "learning"
+	case CauseSpurious:
+		return "spurious"
 	default:
 		return fmt.Sprintf("cause(%d)", uint8(c))
 	}
@@ -96,7 +99,7 @@ func (c AbortCause) String() string {
 // Transient reports whether retrying a transaction aborted for this cause is
 // likely to succeed, following the paper's transient/persistent split.
 func (c AbortCause) Transient() bool {
-	return c == CauseConflict || c == CauseInterrupt
+	return c == CauseConflict || c == CauseInterrupt || c == CauseSpurious
 }
 
 // line is one simulated cache line: its backing words plus the transactional

@@ -99,6 +99,11 @@ type Aggregator struct {
 	Interrupts     uint64
 	LearningAborts uint64
 
+	Faults       map[string]uint64 // injected faults by channel
+	Breaker      map[string]uint64 // breaker transitions by new state
+	Degradations map[string]uint64 // watchdog degradation events by reason
+	NetEvents    uint64            // simulated network events of any kind
+
 	Events uint64 // total events consumed
 }
 
@@ -111,6 +116,9 @@ func NewAggregator() *Aggregator {
 		FallbackReasons: make(map[string]uint64),
 		DoomRegions:     make(map[string]uint64),
 		LengthSeries:    make(map[int][]LengthSample),
+		Faults:          make(map[string]uint64),
+		Breaker:         make(map[string]uint64),
+		Degradations:    make(map[string]uint64),
 	}
 }
 
@@ -168,6 +176,14 @@ func (a *Aggregator) Emit(ev Event) {
 		a.GCs++
 	case KindGCEnd:
 		a.GCCycles += ev.Cycles
+	case KindFault:
+		a.Faults[ev.Note]++
+	case KindBreaker:
+		a.Breaker[ev.Note]++
+	case KindDegrade:
+		a.Degradations[ev.Note]++
+	case KindNetConnect, KindNetArrive, KindNetAccept, KindNetPark, KindNetReset:
+		a.NetEvents++
 	}
 }
 
@@ -234,6 +250,27 @@ func (a *Aggregator) WriteSummary(w io.Writer, n int) {
 	if len(a.AbortCauses) > 0 {
 		fmt.Fprintf(w, "  abort causes:")
 		for _, kv := range topN(a.AbortCauses, 0) {
+			fmt.Fprintf(w, " %s=%d", kv.Key, kv.Count)
+		}
+		fmt.Fprintln(w)
+	}
+	if len(a.Faults) > 0 {
+		fmt.Fprintf(w, "  injected faults:")
+		for _, kv := range topN(a.Faults, 0) {
+			fmt.Fprintf(w, " %s=%d", kv.Key, kv.Count)
+		}
+		fmt.Fprintln(w)
+	}
+	if len(a.Breaker) > 0 {
+		fmt.Fprintf(w, "  breaker transitions:")
+		for _, kv := range topN(a.Breaker, 0) {
+			fmt.Fprintf(w, " %s=%d", kv.Key, kv.Count)
+		}
+		fmt.Fprintln(w)
+	}
+	if len(a.Degradations) > 0 {
+		fmt.Fprintf(w, "  degradations:")
+		for _, kv := range topN(a.Degradations, 0) {
 			fmt.Fprintf(w, " %s=%d", kv.Key, kv.Count)
 		}
 		fmt.Fprintln(w)

@@ -49,6 +49,21 @@ const (
 	// Garbage collector (internal/vm).
 	KindGCStart Kind = "gc-start"
 	KindGCEnd   Kind = "gc-end" // cyc = collection cycles
+
+	// Fault injection (internal/fault). note = channel, cyc = magnitude
+	// (extra latency, stall, or timer skew) when the fault has one.
+	KindFault Kind = "fault"
+
+	// Graceful degradation (internal/core).
+	KindBreaker Kind = "breaker" // elision circuit breaker transition (note = new state)
+	KindDegrade Kind = "degrade" // watchdog degradation event (note = reason)
+
+	// Simulated network (internal/netsim).
+	KindNetConnect Kind = "net-connect" // client issued a connect (cyc = latency)
+	KindNetArrive  Kind = "net-arrive"  // connection reached the listener backlog
+	KindNetAccept  Kind = "net-accept"  // server thread popped a connection
+	KindNetPark    Kind = "net-park"    // server thread parked (note = accept|read)
+	KindNetReset   Kind = "net-reset"   // injected connection reset dropped a connect
 )
 
 // Event is one structured trace record. Unused fields are left at their
@@ -78,8 +93,11 @@ func Ev(t int64, k Kind) Event {
 }
 
 // Sink consumes events. Sinks attached to one Recorder are invoked in
-// attachment order under the Recorder's lock, so a Sink needs no locking of
-// its own unless it is shared between Recorders.
+// attachment order by a single dispatching goroutine at a time, so a Sink
+// needs no locking of its own unless it is shared between Recorders. A Sink
+// may itself Emit on the same Recorder (e.g. a watchdog raising degradation
+// events): the nested event is queued and dispatched to every sink after the
+// current event, preserving a single totally-ordered stream.
 type Sink interface {
 	Emit(ev Event)
 }
@@ -130,6 +148,11 @@ type Recorder struct {
 	rings   map[int]*ring
 	ringCap int
 	count   uint64
+	// dispatching marks that some goroutine is inside the sink-dispatch
+	// loop; events emitted re-entrantly (by a sink) or concurrently are
+	// parked on pending and drained by that goroutine in order.
+	dispatching bool
+	pending     []Event
 }
 
 // NewRecorder creates a Recorder forwarding to the given sinks.
@@ -177,12 +200,8 @@ func ringKey(ev *Event) int {
 	return int(^uint(0) >> 1) // shared ring for unattributed events
 }
 
-// Emit records one event. Safe on a nil Recorder (discards).
-func (r *Recorder) Emit(ev Event) {
-	if r == nil {
-		return
-	}
-	r.mu.Lock()
+// record adds the event to its ring and bumps the counter. Caller holds r.mu.
+func (r *Recorder) record(ev Event) {
 	r.count++
 	key := ringKey(&ev)
 	rg := r.rings[key]
@@ -191,9 +210,41 @@ func (r *Recorder) Emit(ev Event) {
 		r.rings[key] = rg
 	}
 	rg.add(ev)
-	for _, s := range r.sinks {
-		s.Emit(ev)
+}
+
+// Emit records one event. Safe on a nil Recorder (discards). Re-entrant: a
+// Sink may Emit on its own Recorder and the nested event is delivered to all
+// sinks after the current one.
+func (r *Recorder) Emit(ev Event) {
+	if r == nil {
+		return
 	}
+	r.mu.Lock()
+	if r.dispatching {
+		// Another frame (or goroutine) owns the dispatch loop; hand the
+		// event to it so sinks still see one ordered stream.
+		r.record(ev)
+		r.pending = append(r.pending, ev)
+		r.mu.Unlock()
+		return
+	}
+	r.dispatching = true
+	r.record(ev)
+	for {
+		sinks := r.sinks
+		r.mu.Unlock()
+		for _, s := range sinks {
+			s.Emit(ev)
+		}
+		r.mu.Lock()
+		if len(r.pending) == 0 {
+			break
+		}
+		ev = r.pending[0]
+		copy(r.pending, r.pending[1:])
+		r.pending = r.pending[:len(r.pending)-1]
+	}
+	r.dispatching = false
 	r.mu.Unlock()
 }
 

@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"htmgil/internal/core"
 	"htmgil/internal/htm"
 	"htmgil/internal/simmem"
 )
@@ -81,6 +82,18 @@ type Stats struct {
 	// LengthHistogram samples the per-yield-point transaction lengths at
 	// the end of the run (HTM-dynamic only): length -> yield-point count.
 	LengthHistogram map[int32]int
+
+	// FaultCounts counts injected faults by channel (nil on clean runs).
+	FaultCounts map[string]uint64
+
+	// BreakerTransitions is the elision circuit breaker's state history
+	// (nil unless Options.Breaker); BreakerOpens counts its trips.
+	BreakerTransitions []core.BreakerTransition
+	BreakerOpens       uint64
+
+	// Degradations counts watchdog degradation events by reason (nil
+	// unless Options.Watchdog raised any).
+	Degradations map[string]uint64
 }
 
 // AbortRatio returns aborted transactions over started transactions.

@@ -270,6 +270,9 @@ func (t *RThread) finishThread(now int64) sched.StepResult {
 	}
 	t.finished = true
 	v.liveApp--
+	// Drop any timer-interrupt flag still pending for this thread; it will
+	// never reach another yield point to consume it.
+	v.GIL.ThreadExited(t.sth)
 	v.stats.Threads++
 	v.stats.Bytecodes += t.stats.Bytecodes
 	for _, j := range t.joiners {

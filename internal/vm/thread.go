@@ -185,6 +185,9 @@ func (v *VM) newRThread(name string) *RThread {
 		if v.htmCtxs[id] == nil {
 			v.htmCtxs[id] = htm.NewContext(v.Opt.Prof, v.Mem, id, v.Opt.Seed+int64(id)*7919)
 			v.htmCtxs[id].Tracer = v.Opt.Trace
+			// Each context keeps its own fault stream for the life of the
+			// run, so context recycling never perturbs the schedule.
+			v.htmCtxs[id].Faults = v.Faults.HTMContext(id)
 		}
 		t.hctx = v.htmCtxs[id]
 		t.tle = v.Elision.NewThread(t.hctx)

@@ -26,6 +26,7 @@ import (
 
 	"htmgil/internal/compile"
 	"htmgil/internal/core"
+	"htmgil/internal/fault"
 	"htmgil/internal/gil"
 	"htmgil/internal/heap"
 	"htmgil/internal/htm"
@@ -103,6 +104,25 @@ type Options struct {
 	// the machine (TLE protocol, GIL, simulated memory, scheduler, GC).
 	// Nil (the default) keeps all emit sites on their nil-check fast path.
 	Trace *trace.Recorder
+
+	// Faults, when non-nil and armed, enables the deterministic
+	// fault-injection harness (internal/fault): spurious HTM aborts,
+	// capacity jitter, GIL timer jitter and scheduler wake jitter are
+	// wired here; network faults reach internal/netsim via VM.Faults.
+	Faults *fault.Spec
+
+	// Breaker enables the elision circuit breaker (ModeHTM): sustained
+	// fallback storms open it and route critical sections straight to the
+	// GIL until half-open probes commit again. BreakerConfig overrides the
+	// default thresholds when any field is non-zero.
+	Breaker       bool
+	BreakerConfig core.BreakerConfig
+
+	// Watchdog enables the livelock/starvation watchdog, which observes
+	// the trace stream and raises structured degradation events. It needs
+	// a Trace recorder; when Trace is nil one is created internally.
+	Watchdog       bool
+	WatchdogConfig core.WatchdogConfig
 }
 
 // DefaultOptions returns the paper's optimized configuration for a machine.
@@ -172,6 +192,11 @@ type VM struct {
 	globalsRegion simmem.Addr
 	globalsUsed   int
 	curThreadAddr simmem.Addr // running-thread global (conflict source)
+
+	// Faults is the live fault injector (nil on clean runs).
+	Faults *fault.Injector
+	// Watchdog is the live degradation watchdog (nil unless enabled).
+	Watchdog *core.Watchdog
 
 	ctxPool           []int // free simmem context ids
 	htmCtxs           [maxContexts]*htm.Context
@@ -253,12 +278,32 @@ func New(opt Options) *VM {
 	v.Elision = core.NewWithPolicy(pol, v.GIL, v.Engine)
 	v.Elision.LiveAppThreads = func() int { return v.liveApp }
 
+	if opt.Watchdog && opt.Trace == nil {
+		// The watchdog observes the event stream; give it one even when
+		// the caller did not ask for tracing.
+		opt.Trace = trace.NewRecorder()
+		v.Opt.Trace = opt.Trace
+	}
+
 	if opt.Trace != nil {
 		v.Mem.Tracer = opt.Trace
 		v.Mem.Clock = v.Engine.Now
 		v.Engine.Tracer = opt.Trace
 		v.GIL.Tracer = opt.Trace
 		v.Elision.Tracer = opt.Trace
+	}
+
+	if opt.Breaker {
+		v.Elision.Breaker = core.NewBreaker(opt.BreakerConfig)
+		v.Elision.Breaker.Tracer = opt.Trace
+	}
+	if opt.Watchdog {
+		v.Watchdog = core.NewWatchdog(opt.WatchdogConfig)
+		v.Watchdog.AttachTo(opt.Trace)
+	}
+	if v.Faults = fault.NewInjector(opt.Faults, opt.Seed, opt.Trace); v.Faults != nil {
+		v.GIL.TimerJitter = v.Faults.TimerInterval
+		v.Engine.WakeJitter = v.Faults.WakeDelay
 	}
 
 	v.stats.ConflictRegions = make(map[string]uint64)
@@ -521,7 +566,13 @@ func (v *VM) finishRun() *RunResult {
 				s.LengthHistogram[l]++
 			}
 		}
+		if b := v.Elision.Breaker; b != nil {
+			s.BreakerTransitions = append([]core.BreakerTransition(nil), b.Transitions...)
+			s.BreakerOpens = b.Opens
+		}
 	}
+	s.FaultCounts = v.Faults.Counts()
+	s.Degradations = v.Watchdog.Counts()
 	return &RunResult{
 		Cycles: v.Engine.Now(),
 		Output: v.output.String(),

@@ -9,6 +9,7 @@ package webrick
 import (
 	"fmt"
 
+	"htmgil/internal/fault"
 	"htmgil/internal/htm"
 	"htmgil/internal/netsim"
 	"htmgil/internal/rbregexp"
@@ -127,6 +128,12 @@ type Config struct {
 	// Trace, when non-nil, is attached to the run's VM (vm.Options.Trace)
 	// so callers can observe the server's transaction events.
 	Trace *trace.Recorder
+	// Faults arms the deterministic fault-injection harness for the run
+	// (HTM, network, timer and scheduler channels).
+	Faults *fault.Spec
+	// Breaker / Watchdog enable the graceful-degradation machinery.
+	Breaker  bool
+	Watchdog bool
 }
 
 // Run executes the server benchmark and reports client-side throughput.
@@ -138,11 +145,18 @@ func Run(cfg Config) (*Result, error) {
 	opt.TxLength = cfg.TxLength
 	opt.Policy = cfg.Policy
 	opt.Trace = cfg.Trace
+	opt.Faults = cfg.Faults
+	opt.Breaker = cfg.Breaker
+	opt.Watchdog = cfg.Watchdog
 	if cfg.ZOSMalloc {
 		opt.ThreadLocalArenas = false
 	}
 	machine := vm.New(opt)
 	net := netsim.NewNetwork(machine.Engine)
+	// machine.Opt.Trace (not cfg.Trace): the VM may have created a
+	// recorder for the watchdog.
+	net.Tracer = machine.Opt.Trace
+	net.Faults = machine.Faults
 	netsim.Install(machine, net)
 	rbregexp.Install(machine)
 	rbregexp.InstallStringMethods(machine)
