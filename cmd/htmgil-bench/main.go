@@ -5,9 +5,11 @@
 //	htmgil-bench -experiment fig6b -quick -trace-summary
 //	htmgil-bench -experiment fig8 -quick -report reports.json
 //	htmgil-bench -experiment policy -quick -csv policy.csv
+//	htmgil-bench -experiment explore -quick
+//	htmgil-bench -replay-schedule internal/explore/testdata/schedules/counter-flip2.json
 //
 // -list prints the experiment names: micro fig5 fig6a fig6b fig7 fig8
-// fig9 aborts overhead ablation policy chaos all. -quick uses scaled-down
+// fig9 aborts overhead ablation policy chaos explore all. -quick uses scaled-down
 // problem sizes and fewer thread counts; without it the full
 // (paper-shaped) sweep runs, which takes tens of minutes on one host
 // core. The policy experiment sweeps every contention-management policy
@@ -17,7 +19,12 @@
 // aborts, capacity jitter, network resets, timer jitter) with the elision
 // circuit breaker and degradation watchdog on, reporting throughput under
 // faults and time-to-recover; its reports carry the fault spec, seed,
-// injection counters and breaker transitions.
+// injection counters and breaker transitions. The explore experiment runs
+// the systematic schedule explorer (internal/explore) over its checker
+// programs and fails on any serializability, progress, or trace-invariant
+// violation; -replay-schedule FILE re-executes one schedule file emitted
+// by the explorer byte-deterministically and verifies it still reproduces
+// its recorded violation or clean fingerprint.
 //
 // Each configuration point is an independent deterministic simulation;
 // -parallel N executes points on N workers (default: GOMAXPROCS). The
@@ -44,6 +51,7 @@ import (
 func main() {
 	experiment := flag.String("experiment", "all", "which experiment to regenerate (see -list)")
 	list := flag.Bool("list", false, "print the valid experiment names and exit")
+	replaySchedule := flag.String("replay-schedule", "", "replay a schedule file emitted by the explorer and verify it reproduces its recorded result")
 	quick := flag.Bool("quick", false, "scaled-down problem sizes")
 	parallel := flag.Int("parallel", 0, "workers executing configuration points (0 = GOMAXPROCS, 1 = sequential)")
 	traceSummary := flag.Bool("trace-summary", false, "print per-point trace digests (abort PCs, length timelines)")
@@ -56,6 +64,13 @@ func main() {
 	if *list {
 		for _, name := range bench.Experiments() {
 			fmt.Println(name)
+		}
+		return
+	}
+
+	if *replaySchedule != "" {
+		if err := bench.ReplaySchedule(os.Stdout, *replaySchedule); err != nil {
+			fatal(err)
 		}
 		return
 	}

@@ -1,0 +1,80 @@
+// Package choice defines the pluggable nondeterminism interface used by the
+// systematic schedule explorer (internal/explore). Every layer of the stack
+// that makes a scheduling-relevant decision — thread dispatch in sched, timer
+// firing, GIL yield and hand-off order in gil/vm, conflict-winner selection
+// in simmem — consults a Chooser when one is installed, and falls back to its
+// historical deterministic behavior (always index 0) otherwise.
+//
+// The package is a dependency leaf: sched, gil, simmem and vm all import it,
+// so it must import nothing from this repository.
+package choice
+
+// Kind identifies one class of nondeterministic choice point.
+type Kind uint8
+
+// The choice points of the stack. At every point, index 0 is the decision
+// the un-instrumented simulator would have made, so a Chooser that always
+// returns 0 reproduces the vanilla schedule exactly.
+const (
+	// Dispatch picks which runnable thread executes the next step
+	// (sched.Engine). n = number of runnable threads, ordered by the
+	// engine's deterministic preference (effective start, own clock, ID).
+	Dispatch Kind = iota
+	// Timer decides whether a due timed event fires before the next thread
+	// step (0) or is deferred past one step (1). n = 2.
+	Timer
+	// Yield decides whether a GIL-mode thread voluntarily yields the GIL at
+	// an unflagged yield point (1) or keeps running (0), modelling a timer
+	// interrupt landing at exactly that yield point. n = 2.
+	Yield
+	// Handoff picks which blocked waiter receives the GIL on release
+	// (gil.Release). n = number of waiters; 0 is FIFO order.
+	Handoff
+	// Conflict picks the winner of a transactional conflict in simmem:
+	// 0 dooms the current holder(s) (requester wins, the hardware's eager
+	// policy), 1 dooms the requester. n = 2.
+	Conflict
+)
+
+// String returns the schedule-file tag of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Dispatch:
+		return "dispatch"
+	case Timer:
+		return "timer"
+	case Yield:
+		return "yield"
+	case Handoff:
+		return "handoff"
+	case Conflict:
+		return "conflict"
+	}
+	return "unknown"
+}
+
+// ParseKind is the inverse of String; ok is false for unknown tags.
+func ParseKind(s string) (Kind, bool) {
+	switch s {
+	case "dispatch":
+		return Dispatch, true
+	case "timer":
+		return Timer, true
+	case "yield":
+		return Yield, true
+	case "handoff":
+		return Handoff, true
+	case "conflict":
+		return Conflict, true
+	}
+	return 0, false
+}
+
+// Chooser resolves one nondeterministic choice point. n is the number of
+// alternatives (always >= 2 when consulted); the return value must be in
+// [0, n). Implementations must be deterministic functions of the choice
+// sequence so far — the explorer both records and replays through this
+// interface.
+type Chooser interface {
+	Choose(kind Kind, n int) int
+}

@@ -1,0 +1,52 @@
+package core_test
+
+// Schedule-exploration entry points for the elision engine: the explorer
+// (internal/explore) enumerates bounded interleavings of programs that
+// exercise the TLE protocol core owns — transaction begin/commit, the
+// GIL-acquire fallback, and conflict-winner choice — and checks every
+// committed schedule against the GIL-only serializability oracle.
+
+import (
+	"testing"
+
+	"htmgil/internal/explore"
+)
+
+func exploreClean(t *testing.T, cfg explore.Config) {
+	t.Helper()
+	res, err := explore.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("%s: %s", res.Program, v.Violation)
+	}
+	if res.Truncated {
+		t.Errorf("%s: exploration truncated (%d schedules)", res.Program, res.Schedules())
+	}
+}
+
+// TestExploreElisionFallback explores the mutex program, whose critical
+// sections force the blocking-native fallback from elision onto the real
+// GIL: hand-off order and spinner wakeups both become choice points.
+func TestExploreElisionFallback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bounded exploration is slow")
+	}
+	exploreClean(t, explore.Config{Program: explore.ProgramByName("mutex"), Bound: 1})
+}
+
+// TestExploreBreakerLegality explores with the circuit breaker armed: the
+// trace invariant sink rejects any illegal breaker state transition, and
+// serializability must hold whether elision is on, broken open, or probing
+// half-open.
+func TestExploreBreakerLegality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bounded exploration is slow")
+	}
+	exploreClean(t, explore.Config{
+		Program: explore.ProgramByName("counter"),
+		Bound:   1,
+		Breaker: true,
+	})
+}

@@ -1,0 +1,79 @@
+package explore
+
+import (
+	"fmt"
+
+	"htmgil/internal/choice"
+)
+
+// Choice is one resolved choice point: its kind, how many alternatives the
+// simulator offered, and which one was taken. Pick 0 is always the decision
+// the un-instrumented simulator would have made.
+type Choice struct {
+	Kind choice.Kind `json:"-"`
+	K    string      `json:"k"` // Kind's schedule-file tag
+	N    int         `json:"n"`
+	Pick int         `json:"p"`
+}
+
+func mkChoice(kind choice.Kind, n, pick int) Choice {
+	return Choice{Kind: kind, K: kind.String(), N: n, Pick: pick}
+}
+
+// recorder is the Chooser driving one explored run: it replays a forced
+// prefix of choices and picks the default (0) everywhere after it, logging
+// every choice point it is consulted at. A recorder with an empty prefix
+// reproduces the vanilla deterministic schedule.
+type recorder struct {
+	prefix   []Choice
+	log      []Choice
+	mismatch error // first replay divergence, if any
+}
+
+func (r *recorder) Choose(kind choice.Kind, n int) int {
+	i := len(r.log)
+	pick := 0
+	if i < len(r.prefix) {
+		p := r.prefix[i]
+		if p.Kind != kind || p.N != n {
+			if r.mismatch == nil {
+				r.mismatch = fmt.Errorf(
+					"explore: replay divergence at choice %d: schedule has %s/%d, run offered %s/%d",
+					i, p.Kind, p.N, kind, n)
+			}
+		} else {
+			pick = p.Pick
+		}
+	}
+	if pick < 0 || pick >= n {
+		if r.mismatch == nil {
+			r.mismatch = fmt.Errorf(
+				"explore: choice %d pick %d out of range [0,%d)", i, pick, n)
+		}
+		pick = 0
+	}
+	r.log = append(r.log, mkChoice(kind, n, pick))
+	return pick
+}
+
+// nonDefault counts the non-default picks in a choice sequence — the
+// divergence count bounded by Config.Bound (the preemption bound).
+func nonDefault(cs []Choice) int {
+	n := 0
+	for _, c := range cs {
+		if c.Pick != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// trimDefaults drops trailing default picks: running a prefix is identical
+// to running it with any number of appended defaults.
+func trimDefaults(cs []Choice) []Choice {
+	end := len(cs)
+	for end > 0 && cs[end-1].Pick == 0 {
+		end--
+	}
+	return cs[:end]
+}

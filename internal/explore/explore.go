@@ -1,0 +1,398 @@
+// Package explore is a systematic schedule explorer and serializability
+// checker for the simulated HTM-GIL stack. It takes control of every
+// nondeterministic choice point — thread dispatch and timer firing in
+// internal/sched, GIL yield and hand-off in internal/gil and the VM,
+// conflict-winner selection in internal/simmem — through the pluggable
+// choice.Chooser interface, and enumerates bounded schedule trees of small
+// multi-threaded programs (CHESS-style preemption bounding: at most Bound
+// non-default choices per schedule).
+//
+// For every explored schedule it checks:
+//
+//   - serializability: the final VM state (program output + every global,
+//     deep) of an HTM-elided run must equal the final state of some
+//     GIL-only schedule of the same program — the paper's invisibility
+//     claim, decided against an oracle set built by exploring ModeGIL;
+//   - GIL mutual exclusion and breaker state-machine legality, from the
+//     structured trace stream;
+//   - progress: no deadlocks (lost wakeups) and no livelock past the cycle
+//     budget.
+//
+// A violation is minimized to the shortest reproducing choice prefix and
+// emitted as a replayable schedule file (htmgil-bench -replay-schedule).
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"htmgil/internal/htm"
+	"htmgil/internal/trace"
+	"htmgil/internal/vm"
+)
+
+// Explorer machine defaults. Exploration wants runs that are cheap and
+// fully choice-controlled: no random interrupts (htm.Explore), a timer
+// pushed past the horizon (yields are explicit choice points instead), and
+// a cycle budget small enough that livelocks fail fast but generous enough
+// that no legal schedule of the tiny checker programs comes near it.
+const (
+	exploreHeapSlots     = 3_000
+	exploreArenaBytes    = 1 << 20
+	exploreTimerInterval = int64(1) << 40
+	exploreMaxCycles     = 50_000_000
+)
+
+// Config parameterizes one exploration.
+type Config struct {
+	Program *Program
+
+	// Bound is the preemption bound: the maximum number of non-default
+	// choices per explored schedule (default 3).
+	Bound int
+	// OracleBound bounds the ModeGIL oracle exploration (default: Bound).
+	OracleBound int
+	// MaxSchedules caps the schedules enumerated per mode (default 50000);
+	// Result.Truncated reports whether the cap cut the tree.
+	MaxSchedules int
+	// DepthCap stops branching past this many choice points into a run
+	// (default 2048).
+	DepthCap int
+	// MaxViolations stops the HTM phase after this many violating
+	// schedules have been collected (default 3); each is minimized.
+	MaxViolations int
+
+	// Policy selects the contention-management policy of the HTM phase.
+	// The default is "fixed-1" (the paper's HTM-1): one-yield-point
+	// transactions make elision atomicity exactly as fine-grained as the
+	// GIL oracle's, maximizing the schedules where conflicts and aborts
+	// can land. Set "paper-dynamic" (or any registered name) explicitly to
+	// explore other policies. Breaker arms the elision circuit breaker.
+	Policy  string
+	Breaker bool
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Bound == 0 {
+		out.Bound = 3
+	}
+	if out.OracleBound == 0 {
+		out.OracleBound = out.Bound
+	}
+	if out.MaxSchedules == 0 {
+		out.MaxSchedules = 50_000
+	}
+	if out.DepthCap == 0 {
+		out.DepthCap = 2048
+	}
+	if out.MaxViolations == 0 {
+		out.MaxViolations = 3
+	}
+	if out.Policy == "" {
+		out.Policy = "fixed-1"
+	}
+	return out
+}
+
+// Result summarizes one exploration.
+type Result struct {
+	Program      string
+	Bound        int
+	GILSchedules int // oracle-phase schedules enumerated
+	HTMSchedules int // HTM-phase schedules enumerated
+	Oracle       []string // sorted GIL-reachable final-state fingerprints
+	Outcomes     []string // sorted distinct HTM final-state fingerprints
+	Violations   []*FoundViolation
+	Truncated    bool // a MaxSchedules cap cut one of the trees
+}
+
+// Schedules returns the total number of schedules executed.
+func (r *Result) Schedules() int { return r.GILSchedules + r.HTMSchedules }
+
+// FoundViolation pairs a violation with its minimized replayable schedule.
+type FoundViolation struct {
+	Violation *Violation
+	Schedule  *Schedule
+}
+
+// Run explores cfg.Program: first ModeGIL to build the serializability
+// oracle, then ModeHTM checking every schedule against it and the trace
+// invariants. The whole exploration is deterministic: same config, same
+// result, bit for bit.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Program == nil {
+		return nil, fmt.Errorf("explore: Config.Program required")
+	}
+	c := cfg.withDefaults()
+	e := &explorer{cfg: c}
+
+	gil := e.exploreMode("gil", c.OracleBound, nil)
+	oracle := make([]string, 0, len(gil.fingerprints))
+	for fp := range gil.fingerprints {
+		oracle = append(oracle, fp)
+	}
+	sort.Strings(oracle)
+
+	htmRun := e.exploreMode("htm", c.Bound, oracle)
+	outcomes := make([]string, 0, len(htmRun.fingerprints))
+	for fp := range htmRun.fingerprints {
+		outcomes = append(outcomes, fp)
+	}
+	sort.Strings(outcomes)
+
+	res := &Result{
+		Program:      c.Program.Name,
+		Bound:        c.Bound,
+		GILSchedules: gil.schedules,
+		HTMSchedules: htmRun.schedules,
+		Oracle:       oracle,
+		Outcomes:     outcomes,
+		Truncated:    gil.truncated || htmRun.truncated,
+	}
+	// A GIL-phase violation (mutual exclusion, lost wakeup, livelock) is a
+	// bug in the baseline itself; report those too.
+	for _, raw := range append(gil.violations, htmRun.violations...) {
+		if len(res.Violations) >= c.MaxViolations {
+			break
+		}
+		res.Violations = append(res.Violations, e.minimize(raw, oracle))
+	}
+	return res, nil
+}
+
+// explorer carries the per-run configuration through the phases.
+type explorer struct {
+	cfg Config
+}
+
+// rawViolation is a violating schedule before minimization.
+type rawViolation struct {
+	mode      string
+	prefix    []Choice
+	violation *Violation
+}
+
+type modeOutcome struct {
+	schedules    int
+	fingerprints map[string]int
+	violations   []*rawViolation
+	truncated    bool
+}
+
+// exploreMode runs a bounded DFS over the schedule tree of one mode. Each
+// iteration replays a forced prefix and takes defaults beyond it; every
+// choice point at or after the prefix spawns sibling prefixes for each
+// untaken alternative, as long as the divergence budget allows.
+func (e *explorer) exploreMode(mode string, bound int, oracle []string) *modeOutcome {
+	mo := &modeOutcome{fingerprints: make(map[string]int)}
+	stack := [][]Choice{nil}
+	for len(stack) > 0 {
+		if mo.schedules >= e.cfg.MaxSchedules {
+			mo.truncated = true
+			break
+		}
+		prefix := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out := e.run(mode, prefix)
+		mo.schedules++
+		if out.runErr == nil && out.fingerprint != "" {
+			mo.fingerprints[out.fingerprint]++
+		}
+		if v := out.violation(oracle); v != nil {
+			mo.violations = append(mo.violations, &rawViolation{
+				mode:      mode,
+				prefix:    append([]Choice(nil), trimDefaults(out.log)...),
+				violation: v,
+			})
+			if len(mo.violations) >= e.cfg.MaxViolations {
+				// Enough evidence; minimization narrows these down.
+				break
+			}
+		}
+		if nonDefault(prefix) >= bound {
+			continue
+		}
+		limit := len(out.log)
+		if limit > e.cfg.DepthCap {
+			limit = e.cfg.DepthCap
+		}
+		for i := limit - 1; i >= len(prefix); i-- {
+			c := out.log[i]
+			for alt := c.N - 1; alt >= 1; alt-- {
+				np := make([]Choice, i+1)
+				copy(np, out.log[:i])
+				np[i] = mkChoice(c.Kind, c.N, alt)
+				stack = append(stack, np)
+			}
+		}
+	}
+	return mo
+}
+
+// minimize shrinks a violating prefix to the shortest prefix that still
+// reproduces the same violation kind, dropping trailing choices greedily.
+func (e *explorer) minimize(raw *rawViolation, oracle []string) *FoundViolation {
+	if raw.mode == "gil" {
+		oracle = nil
+	}
+	best := trimDefaults(raw.prefix)
+	for len(best) > 0 {
+		shorter := trimDefaults(best[:len(best)-1])
+		out := e.run(raw.mode, shorter)
+		v := out.violation(oracle)
+		if v == nil || v.Kind != raw.violation.Kind {
+			break
+		}
+		best = shorter
+		raw.violation = v
+	}
+	// Re-run the minimized prefix to record the reproduced fingerprint.
+	out := e.run(raw.mode, best)
+	s := &Schedule{
+		Version:     ScheduleVersion,
+		Program:     e.cfg.Program.Name,
+		Desc:        e.cfg.Program.Desc,
+		Source:      e.cfg.Program.Source,
+		Mode:        raw.mode,
+		Policy:      e.cfg.Policy,
+		Breaker:     e.cfg.Breaker,
+		HeapSlots:   e.cfg.Program.HeapSlots,
+		Choices:     append([]Choice(nil), best...),
+		Violation:   raw.violation,
+		Fingerprint: out.fingerprint,
+	}
+	if raw.violation.Kind == "serializability" {
+		s.Oracle = append([]string(nil), oracle...)
+	}
+	return &FoundViolation{Violation: raw.violation, Schedule: s}
+}
+
+// run executes one schedule of the configured program.
+func (e *explorer) run(mode string, prefix []Choice) *outcome {
+	return runSpec(&spec{
+		source:    e.cfg.Program.Source,
+		name:      e.cfg.Program.Name,
+		mode:      mode,
+		policy:    e.cfg.Policy,
+		breaker:   e.cfg.Breaker,
+		heapSlots: e.cfg.Program.HeapSlots,
+		prefix:    prefix,
+	})
+}
+
+// runSchedule executes a loaded schedule file through the same machinery.
+func runSchedule(s *Schedule) *outcome {
+	return runSpec(&spec{
+		source:    s.Source,
+		name:      s.Program,
+		mode:      s.Mode,
+		policy:    s.Policy,
+		breaker:   s.Breaker,
+		heapSlots: s.HeapSlots,
+		prefix:    s.Choices,
+	})
+}
+
+type spec struct {
+	source    string
+	name      string
+	mode      string
+	policy    string
+	breaker   bool
+	heapSlots int
+	prefix    []Choice
+}
+
+// outcome is everything one explored run produced.
+type outcome struct {
+	log         []Choice
+	fingerprint string
+	cycles      int64
+	runErr      error
+	invariants  []string
+	replayErr   error
+}
+
+// violation classifies the outcome, worst first. A nil return means the
+// run is clean (modulo the oracle when none was supplied).
+func (o *outcome) violation(oracle []string) *Violation {
+	if o.replayErr != nil {
+		return &Violation{Kind: "replay-divergence", Detail: o.replayErr.Error()}
+	}
+	if o.runErr != nil {
+		msg := o.runErr.Error()
+		if strings.Contains(msg, "MaxCycles") || strings.Contains(msg, "deadlock") {
+			return &Violation{Kind: "progress", Detail: msg}
+		}
+		return &Violation{Kind: "error", Detail: msg}
+	}
+	if len(o.invariants) > 0 {
+		return &Violation{Kind: "invariant", Detail: strings.Join(o.invariants, "; ")}
+	}
+	if oracle != nil {
+		i := sort.SearchStrings(oracle, o.fingerprint)
+		if i >= len(oracle) || oracle[i] != o.fingerprint {
+			return &Violation{
+				Kind: "serializability",
+				Detail: fmt.Sprintf("final state %q not reachable by any explored GIL schedule (%d oracle states)",
+					o.fingerprint, len(oracle)),
+			}
+		}
+	}
+	return nil
+}
+
+// runSpec builds a fresh machine for the spec and executes one run under
+// the recording chooser.
+func runSpec(sp *spec) *outcome {
+	rec := &recorder{prefix: sp.prefix}
+	inv := newInvariantSink()
+	vmMode := vm.ModeGIL
+	if sp.mode == "htm" {
+		vmMode = vm.ModeHTM
+	}
+	heapSlots := sp.heapSlots
+	if heapSlots == 0 {
+		heapSlots = exploreHeapSlots
+	}
+	opt := vm.Options{
+		Mode:                 vmMode,
+		Prof:                 htm.Explore(),
+		ExtendedYieldPoints:  false, // both modes must share yield-point placement
+		GlobalVarsToTLS:      true,
+		ThreadLocalFreeLists: true,
+		FillOnceInlineCaches: true,
+		IvarTableGuard:       true,
+		PaddedThreadStructs:  true,
+		HeapSlots:            heapSlots,
+		ArenaBytes:           exploreArenaBytes,
+		ThreadLocalArenas:    true,
+		TimerInterval:        exploreTimerInterval,
+		Seed:                 1,
+		MaxCycles:            exploreMaxCycles,
+		Policy:               sp.policy,
+		Breaker:              sp.breaker,
+		Chooser:              rec,
+		Trace:                trace.NewRecorder(inv),
+	}
+	v := vm.New(opt)
+	out := &outcome{}
+	iseq, err := v.CompileSource(sp.source, sp.name)
+	if err != nil {
+		out.runErr = fmt.Errorf("compile: %w", err)
+		return out
+	}
+	res, err := v.Run(iseq)
+	out.log = rec.log
+	out.replayErr = rec.mismatch
+	out.invariants = inv.violations
+	if err != nil {
+		out.runErr = err
+		return out
+	}
+	out.cycles = res.Cycles
+	out.fingerprint = v.StateFingerprint()
+	return out
+}

@@ -1,0 +1,215 @@
+package explore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestProgramsCleanAtBoundOne explores every registry program at preemption
+// bound 1 in both modes. The unmutated tree must be violation-free, and the
+// oracle must contain at least one final state.
+func TestProgramsCleanAtBoundOne(t *testing.T) {
+	for _, p := range Programs() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			res, err := Run(Config{Program: p, Bound: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("violation: %s", v.Violation)
+			}
+			if res.Truncated {
+				t.Errorf("exploration truncated at bound 1 (%d schedules)", res.Schedules())
+			}
+			if len(res.Oracle) == 0 {
+				t.Fatalf("empty oracle")
+			}
+			for _, fp := range res.Outcomes {
+				t.Logf("outcome %q", fp)
+			}
+		})
+	}
+}
+
+// TestExhaustiveReaderBoundThree is the acceptance bar: exhaustive
+// exploration of a two-thread program at preemption bound 3, zero
+// violations, no truncation.
+func TestExhaustiveReaderBoundThree(t *testing.T) {
+	res, err := Run(Config{Program: ProgramByName("reader"), Bound: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatalf("truncated: %d schedules", res.Schedules())
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v.Violation)
+	}
+	if len(res.Outcomes) < 2 {
+		t.Errorf("HTM exploration reached %d final states, want >= 2 (both join orders)", len(res.Outcomes))
+	}
+	t.Logf("reader bound 3: %d GIL + %d HTM schedules, %d oracle states, %d HTM outcomes",
+		res.GILSchedules, res.HTMSchedules, len(res.Oracle), len(res.Outcomes))
+}
+
+// TestExhaustiveCounterBoundTwo explores the racier counter program
+// exhaustively at bound 2 (several thousand schedules).
+func TestExhaustiveCounterBoundTwo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("counter bound 2 takes ~10s")
+	}
+	res, err := Run(Config{Program: ProgramByName("counter"), Bound: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatalf("truncated: %d schedules", res.Schedules())
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v.Violation)
+	}
+	if want := []string{"out:6\n|$c=6"}; !reflect.DeepEqual(res.Oracle, want) {
+		t.Errorf("oracle = %q, want %q", res.Oracle, want)
+	}
+}
+
+// TestRunDeterminism: the same config must produce the identical Result.
+func TestRunDeterminism(t *testing.T) {
+	cfg := Config{Program: ProgramByName("polymorphic"), Bound: 1}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two identical explorations diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestReplayByteDeterminism drives a non-default schedule twice through
+// Replay and through serialization: fingerprints, results, and the schedule
+// file bytes must be identical run to run.
+func TestReplayByteDeterminism(t *testing.T) {
+	p := ProgramByName("counter")
+	cfg := Config{Program: p}
+	e := &explorer{cfg: cfg.withDefaults()}
+
+	// Build a non-trivial prefix: flip the first three multi-way choices.
+	probe := e.run("htm", nil)
+	var prefix []Choice
+	flips := 0
+	for i := 0; i < len(probe.log) && flips < 3; i++ {
+		c := probe.log[i]
+		if c.N > 1 {
+			prefix = append(append([]Choice{}, probe.log[:i]...), mkChoice(c.Kind, c.N, 1))
+			flips++
+			probe = e.run("htm", prefix)
+		}
+	}
+	out := e.run("htm", prefix)
+	if out.runErr != nil || out.replayErr != nil {
+		t.Fatalf("prefix run failed: %v / %v", out.runErr, out.replayErr)
+	}
+
+	s := &Schedule{
+		Version:     ScheduleVersion,
+		Program:     p.Name,
+		Desc:        p.Desc,
+		Source:      p.Source,
+		Mode:        "htm",
+		Policy:      e.cfg.Policy,
+		Choices:     trimDefaults(out.log),
+		Fingerprint: out.fingerprint,
+	}
+	dir := t.TempDir()
+	pathA := filepath.Join(dir, "a.json")
+	pathB := filepath.Join(dir, "b.json")
+	if err := s.WriteFile(pathA); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := LoadSchedule(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := loaded.Verify()
+	if err != nil {
+		t.Fatalf("first replay: %v", err)
+	}
+	r2, err := loaded.Verify()
+	if err != nil {
+		t.Fatalf("second replay: %v", err)
+	}
+	if r1.Fingerprint != r2.Fingerprint || r1.Choices != r2.Choices || r1.Cycles != r2.Cycles {
+		t.Fatalf("replays diverged: %+v vs %+v", r1, r2)
+	}
+	if err := loaded.WriteFile(pathB); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.ReadFile(pathA)
+	b, _ := os.ReadFile(pathB)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("schedule file round-trip changed bytes:\n%s\n---\n%s", a, b)
+	}
+}
+
+// TestScheduleValidation: corrupt schedules must be rejected with clear
+// errors, not replayed.
+func TestScheduleValidation(t *testing.T) {
+	dir := t.TempDir()
+	for name, body := range map[string]string{
+		"bad-version": `{"version": 99, "program": "x", "source": "", "mode": "htm", "choices": []}`,
+		"bad-mode":    `{"version": 1, "program": "x", "source": "", "mode": "fgl", "choices": []}`,
+		"bad-kind":    `{"version": 1, "program": "x", "source": "", "mode": "htm", "choices": [{"k": "quantum", "n": 2, "p": 1}]}`,
+		"bad-json":    `{`,
+	} {
+		path := filepath.Join(dir, name+".json")
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadSchedule(path); err == nil {
+			t.Errorf("%s: loaded without error", name)
+		}
+	}
+}
+
+// TestChooserReplayDivergence: a prefix that no longer matches the run's
+// choice points must surface as a replay-divergence violation.
+func TestChooserReplayDivergence(t *testing.T) {
+	cfg := Config{Program: ProgramByName("reader")}
+	e := &explorer{cfg: cfg.withDefaults()}
+	probe := e.run("htm", nil)
+	if len(probe.log) == 0 {
+		t.Fatal("no choice points")
+	}
+	// Lie about the first choice point's arity.
+	c := probe.log[0]
+	bad := []Choice{mkChoice(c.Kind, c.N+7, 0)}
+	out := e.run("htm", bad)
+	v := out.violation(nil)
+	if v == nil || v.Kind != "replay-divergence" {
+		t.Fatalf("violation = %v, want replay-divergence", v)
+	}
+}
+
+func TestTrimAndCount(t *testing.T) {
+	cs := []Choice{
+		mkChoice(0, 3, 0), mkChoice(0, 2, 1), mkChoice(1, 2, 0), mkChoice(0, 4, 0),
+	}
+	if got := nonDefault(cs); got != 1 {
+		t.Errorf("nonDefault = %d, want 1", got)
+	}
+	if got := trimDefaults(cs); len(got) != 2 {
+		t.Errorf("trimDefaults kept %d, want 2", len(got))
+	}
+	if got := trimDefaults(nil); len(got) != 0 {
+		t.Errorf("trimDefaults(nil) = %v", got)
+	}
+}

@@ -1,0 +1,59 @@
+package explore
+
+import (
+	"fmt"
+
+	"htmgil/internal/trace"
+)
+
+// invariantSink is a trace sink checking event-stream invariants while a
+// run executes:
+//
+//   - GIL mutual exclusion: gil-acquire only when free, gil-release only by
+//     the owner.
+//   - Breaker state-machine legality: closed→open, open→half-open,
+//     half-open→{closed,open} are the only transitions.
+//
+// Violations are recorded, never panicked — the run completes and the
+// explorer turns them into minimized schedules.
+type invariantSink struct {
+	gilOwner   int // thread id, -1 when free
+	breaker    string
+	violations []string
+}
+
+func newInvariantSink() *invariantSink {
+	return &invariantSink{gilOwner: -1, breaker: "closed"}
+}
+
+func (s *invariantSink) fail(format string, args ...any) {
+	if len(s.violations) < 8 {
+		s.violations = append(s.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+func (s *invariantSink) Emit(ev trace.Event) {
+	switch ev.Kind {
+	case trace.KindGILAcquire:
+		if s.gilOwner != -1 {
+			s.fail("gil-exclusion: thread %d acquired at t=%d while thread %d holds the lock",
+				ev.Thread, ev.T, s.gilOwner)
+		}
+		s.gilOwner = ev.Thread
+	case trace.KindGILRelease:
+		if s.gilOwner != ev.Thread {
+			s.fail("gil-exclusion: thread %d released at t=%d but owner is %d",
+				ev.Thread, ev.T, s.gilOwner)
+		}
+		s.gilOwner = -1
+	case trace.KindBreaker:
+		from, to := s.breaker, ev.Note
+		ok := (from == "closed" && to == "open") ||
+			(from == "open" && to == "half-open") ||
+			(from == "half-open" && (to == "closed" || to == "open"))
+		if !ok {
+			s.fail("breaker-legality: transition %s -> %s at t=%d", from, to, ev.T)
+		}
+		s.breaker = to
+	}
+}

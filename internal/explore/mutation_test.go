@@ -1,0 +1,78 @@
+//go:build mutation
+
+package explore
+
+import (
+	"testing"
+
+	"htmgil/internal/gil"
+	"htmgil/internal/vm"
+)
+
+// The mutation belt validates the checker itself: each seeded bug below is a
+// build-tagged fault (go test -tags mutation) the explorer MUST detect
+// within the default preemption bound. A checker that passes a broken tree
+// checks nothing.
+
+func runMutated(t *testing.T, program string, bound int) *Result {
+	t.Helper()
+	p := ProgramByName(program)
+	if p == nil {
+		t.Fatalf("unknown program %q", program)
+	}
+	res, err := Run(Config{Program: p, Bound: bound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func wantViolation(t *testing.T, res *Result, kinds ...string) {
+	t.Helper()
+	if len(res.Violations) == 0 {
+		t.Fatalf("explorer missed the seeded bug: %d schedules explored, zero violations",
+			res.Schedules())
+	}
+	v := res.Violations[0]
+	for _, k := range kinds {
+		if v.Violation.Kind == k {
+			t.Logf("caught: %s (minimized to %d choices, %d schedules explored)",
+				v.Violation, len(v.Schedule.Choices), res.Schedules())
+			// The minimized schedule must replay the same failure.
+			if _, err := v.Schedule.Verify(); err != nil {
+				t.Fatalf("minimized schedule does not replay: %v", err)
+			}
+			return
+		}
+	}
+	t.Fatalf("caught a violation of kind %q, want one of %v: %s",
+		v.Violation.Kind, kinds, v.Violation)
+}
+
+// TestMutationSkipRollback seeds a transaction rollback that leaks
+// speculative operand-stack and local-variable writes into the retry.
+// A leaked loop counter skips increments, so the counter program commits
+// totals no GIL schedule can produce.
+func TestMutationSkipRollback(t *testing.T) {
+	vm.MutSkipRollback = true
+	defer func() { vm.MutSkipRollback = false }()
+	wantViolation(t, runMutated(t, "localcounter", 3), "serializability", "error")
+}
+
+// TestMutationDropWakeup seeds a GIL release that skips waking spinning
+// acquirers (a lost wakeup). A spinner then parks forever and the run
+// livelocks into the cycle budget: a progress violation.
+func TestMutationDropWakeup(t *testing.T) {
+	gil.MutDropWakeup = true
+	defer func() { gil.MutDropWakeup = false }()
+	wantViolation(t, runMutated(t, "mutex", 3), "progress")
+}
+
+// TestMutationUnguardedIC seeds an inline-cache hit that trusts a filled
+// cache without comparing the receiver-class guard. The polymorphic
+// program's shared call site then dispatches the wrong class's method.
+func TestMutationUnguardedIC(t *testing.T) {
+	vm.MutUnguardedIC = true
+	defer func() { vm.MutUnguardedIC = false }()
+	wantViolation(t, runMutated(t, "polymorphic", 3), "serializability")
+}

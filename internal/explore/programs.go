@@ -1,0 +1,254 @@
+package explore
+
+// Program is one small multi-threaded mini-Ruby program explored by the
+// checker. Programs keep their observable state in globals and print a
+// digest from the main thread after joining, so the final-state fingerprint
+// (vm.StateFingerprint) captures everything schedules can influence.
+// They are deliberately tiny: the schedule tree grows with the number of
+// executed choice points, and exhaustive bounded exploration needs the
+// per-thread step count in the tens, not thousands.
+type Program struct {
+	Name   string
+	Desc   string
+	Source string
+	// HeapSlots overrides the explorer's default heap size when non-zero
+	// (the GC-pressure program shrinks it to force collections mid-run).
+	HeapSlots int
+}
+
+// Programs returns the registry of checker programs in deterministic order.
+func Programs() []*Program {
+	return []*Program{CounterProgram(), LocalCounterProgram(), MutexProgram(),
+		OrderProgram(), ReaderProgram(), PolymorphicProgram(), GCStressProgram()}
+}
+
+// ProgramByName resolves a registry name; nil when unknown.
+func ProgramByName(name string) *Program {
+	for _, p := range Programs() {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// CounterProgram is the workhorse: two threads race unsynchronized
+// increments of a global. Each `$c += 1` sits between yield points, so it
+// is atomic under both the GIL and yield-point-bounded transactions: every
+// correct schedule ends with $c == 6. Lost increments (a rollback that
+// leaks speculative local state into the retry) or duplicated increments
+// change the printed digest.
+func CounterProgram() *Program {
+	return &Program{
+		Name: "counter",
+		Desc: "2 threads x 3 unsynchronized increments of $c",
+		Source: `$c = 0
+t1 = Thread.new do
+  j = 0
+  while j < 3
+    $c += 1
+    j += 1
+  end
+end
+t2 = Thread.new do
+  j = 0
+  while j < 3
+    $c += 1
+    j += 1
+  end
+end
+t1.join
+t2.join
+puts $c
+`,
+	}
+}
+
+// LocalCounterProgram is the counter with the loop moved into a method:
+// thread-body locals live in heap environments (blocks capture the
+// enclosing scope), but a method frame's locals are interpreter-private
+// state protected only by the undo log. An abort that leaks the speculative
+// loop counter into the retry skips iterations — the program that catches
+// the MutSkipRollback seeded bug.
+func LocalCounterProgram() *Program {
+	return &Program{
+		Name: "localcounter",
+		Desc: "2 threads increment $c from a method-frame-local loop",
+		Source: `$c = 0
+def work
+  i = 0
+  while i < 3
+    $c += 1
+    i += 1
+  end
+end
+t1 = Thread.new do
+  work
+end
+t2 = Thread.new do
+  work
+end
+t1.join
+t2.join
+puts $c
+`,
+	}
+}
+
+// MutexProgram exercises the blocking-native fallback path: synchronize
+// forces each critical section onto the GIL, so hand-off order, spinner
+// wakeups and the spin-and-acquire path of the TLE protocol all matter.
+func MutexProgram() *Program {
+	return &Program{
+		Name: "mutex",
+		Desc: "2 threads x 2 mutex-protected increments",
+		Source: `$c = 0
+m = Mutex.new
+t1 = Thread.new do
+  j = 0
+  while j < 2
+    m.synchronize do
+      $c += 1
+    end
+    j += 1
+  end
+end
+t2 = Thread.new do
+  j = 0
+  while j < 2
+    m.synchronize do
+      $c += 1
+    end
+    j += 1
+  end
+end
+t1.join
+t2.join
+puts $c
+`,
+	}
+}
+
+// OrderProgram has several legal outcomes: three threads append their id to
+// a shared array under a mutex. The oracle set is the set of reachable
+// permutations — checking that HTM never commits an order the GIL could not
+// have produced.
+func OrderProgram() *Program {
+	return &Program{
+		Name: "order",
+		Desc: "3 threads append ids to $order under a mutex",
+		Source: `$order = []
+m = Mutex.new
+threads = []
+i = 1
+while i <= 3
+  threads << Thread.new(i) do |me|
+    m.synchronize do
+      $order << me
+    end
+  end
+  i += 1
+end
+threads.each do |th|
+  th.join
+end
+puts $order.join(",")
+`,
+	}
+}
+
+// ReaderProgram checks write-order visibility: the writer publishes $a then
+// $b; the reader samples both in one atomic statement. Seeing $b == 1 with
+// $a == 0 would be a reordering neither the GIL nor a serializable
+// transaction schedule permits.
+func ReaderProgram() *Program {
+	return &Program{
+		Name: "reader",
+		Desc: "write-order visibility across two globals",
+		Source: `$a = 0
+$b = 0
+$r = 0
+w = Thread.new do
+  $a = 1
+  $b = 1
+end
+r = Thread.new do
+  $r = $b * 10 + $a
+end
+w.join
+r.join
+puts $r
+`,
+	}
+}
+
+// PolymorphicProgram shares one inline-cache call site between two receiver
+// classes from two threads. A racy or unguarded cache fill dispatches the
+// wrong class's method, which the digest exposes ($x + $y*10 != 21). This
+// is the program that catches the MutUnguardedIC seeded bug.
+func PolymorphicProgram() *Program {
+	return &Program{
+		Name: "polymorphic",
+		Desc: "2 classes through one shared inline-cache site",
+		Source: `class A
+  def m
+    1
+  end
+end
+class B
+  def m
+    2
+  end
+end
+def call(o)
+  o.m
+end
+$x = 0
+$y = 0
+a = A.new
+b = B.new
+t1 = Thread.new do
+  $x = call(a)
+end
+t2 = Thread.new do
+  $y = call(b)
+end
+t1.join
+t2.join
+puts $x + $y * 10
+`,
+	}
+}
+
+// GCStressProgram allocates arrays inside transactional loops on a small
+// heap, forcing collections while transactions are live — the regression
+// territory of the PR 3 rollback fixes (bottom-frame underflow, gcRoots
+// stack hole). Every correct schedule sums to the same digest.
+func GCStressProgram() *Program {
+	return &Program{
+		Name:      "gcstress",
+		Desc:      "allocation loops on a tiny heap (GC during transactions)",
+		HeapSlots: 2000,
+		Source: `$acc = 0
+t1 = Thread.new do
+  j = 0
+  while j < 3
+    s = [j, j + 1]
+    $acc += s[0] + s[1]
+    j += 1
+  end
+end
+t2 = Thread.new do
+  j = 0
+  while j < 3
+    s = [j + 2, j + 3]
+    $acc += s[0] + s[1]
+    j += 1
+  end
+end
+t1.join
+t2.join
+puts $acc
+`,
+	}
+}

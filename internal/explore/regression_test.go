@@ -1,0 +1,113 @@
+package explore
+
+import (
+	"flag"
+	"path/filepath"
+	"testing"
+
+	"htmgil/internal/choice"
+)
+
+var update = flag.Bool("update", false, "regenerate testdata/schedules")
+
+// regressionSpecs describes the committed regression schedules: clean
+// (violation-free) schedules with non-default choices pinned into the
+// territory of the PR 3 rollback fixes — GC during live transactions
+// (gcstress), conflict-winner flips on the racy counter, and method-frame
+// rollback (localcounter). Each file records the fingerprint its choices
+// must reproduce; Verify fails on any drift.
+var regressionSpecs = []struct {
+	file    string
+	program string
+	flips   int // leading multi-way choices to flip
+	kind    int // restrict flips to this choice.Kind; -1 = any
+}{
+	{"counter-flip2.json", "counter", 2, -1},
+	{"counter-conflict.json", "counter", 1, int(choice.Conflict)},
+	{"localcounter-flip2.json", "localcounter", 2, -1},
+	{"gcstress-flip2.json", "gcstress", 2, -1},
+	{"gcstress-conflict.json", "gcstress", 1, int(choice.Conflict)},
+	{"mutex-flip2.json", "mutex", 2, -1},
+}
+
+// buildRegressionSchedule runs the program with the first `flips` eligible
+// multi-way choices flipped to alternative 1 and records the resulting
+// clean schedule.
+func buildRegressionSchedule(t *testing.T, program string, flips, kind int) *Schedule {
+	t.Helper()
+	p := ProgramByName(program)
+	if p == nil {
+		t.Fatalf("unknown program %q", program)
+	}
+	cfg := Config{Program: p}
+	e := &explorer{cfg: cfg.withDefaults()}
+	var prefix []Choice
+	probe := e.run("htm", prefix)
+	done := 0
+	for i := 0; i < len(probe.log) && done < flips; i++ {
+		c := probe.log[i]
+		if c.N < 2 || (kind >= 0 && int(c.Kind) != kind) {
+			continue
+		}
+		prefix = append(append([]Choice{}, probe.log[:i]...), mkChoice(c.Kind, c.N, 1))
+		done++
+		probe = e.run("htm", prefix)
+	}
+	if done < flips {
+		t.Fatalf("%s: only %d/%d eligible choice points (kind %v)", program, done, flips, kind)
+	}
+	out := e.run("htm", prefix)
+	if out.runErr != nil || out.replayErr != nil || len(out.invariants) > 0 {
+		t.Fatalf("%s: schedule not clean: %v / %v / %v", program, out.runErr, out.replayErr, out.invariants)
+	}
+	return &Schedule{
+		Version:     ScheduleVersion,
+		Program:     p.Name,
+		Desc:        p.Desc,
+		Source:      p.Source,
+		Mode:        "htm",
+		Policy:      e.cfg.Policy,
+		HeapSlots:   p.HeapSlots,
+		Choices:     trimDefaults(out.log),
+		Fingerprint: out.fingerprint,
+	}
+}
+
+// TestRegressionSchedules replays every committed schedule file and fails
+// if one no longer reproduces its recorded fingerprint — the replayable
+// regression belt for schedule-sensitive fixes. Run with -update to
+// regenerate the files after an intentional machine change.
+func TestRegressionSchedules(t *testing.T) {
+	dir := filepath.Join("testdata", "schedules")
+	if *update {
+		for _, spec := range regressionSpecs {
+			s := buildRegressionSchedule(t, spec.program, spec.flips, spec.kind)
+			if err := s.WriteFile(filepath.Join(dir, spec.file)); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("wrote %s (%d choices)", spec.file, len(s.Choices))
+		}
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < len(regressionSpecs) {
+		t.Fatalf("found %d schedule files in %s, want >= %d (run go test -run TestRegressionSchedules -update)",
+			len(files), dir, len(regressionSpecs))
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			s, err := LoadSchedule(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.Verify()
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("replayed %d choice points, fingerprint %q", res.Choices, res.Fingerprint)
+		})
+	}
+}

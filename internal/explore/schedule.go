@@ -1,0 +1,153 @@
+package explore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"htmgil/internal/choice"
+)
+
+// ScheduleVersion is the schedule-file format version.
+const ScheduleVersion = 1
+
+// Schedule is a replayable schedule file: everything needed to reproduce
+// one explored run byte-deterministically — the program (embedded, so the
+// file stays valid even if the registry changes), the configuration knobs
+// that shape the machine, and the choice prefix. Choices beyond the prefix
+// are implicitly the default (0), which is how minimization shrinks files.
+type Schedule struct {
+	Version   int        `json:"version"`
+	Program   string     `json:"program"`
+	Desc      string     `json:"desc,omitempty"`
+	Source    string     `json:"source"`
+	Mode      string     `json:"mode"` // "gil" or "htm"
+	Policy    string     `json:"policy,omitempty"`
+	Breaker   bool       `json:"breaker,omitempty"`
+	HeapSlots int        `json:"heapSlots,omitempty"`
+	Choices   []Choice   `json:"choices"`
+	Violation *Violation `json:"violation,omitempty"`
+	// Fingerprint is the final-state digest the schedule must reproduce.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Oracle is the sorted GIL-reachable fingerprint set recorded when the
+	// schedule captures a serializability violation, so replay can re-judge
+	// membership without re-running the oracle exploration.
+	Oracle []string `json:"oracle,omitempty"`
+}
+
+// Violation describes one invariant failure found by the explorer.
+type Violation struct {
+	// Kind is one of: serializability, progress, invariant, error,
+	// replay-divergence.
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
+}
+
+func (v *Violation) String() string {
+	if v == nil {
+		return "none"
+	}
+	return v.Kind + ": " + v.Detail
+}
+
+// normalize restores the parsed Kind field of each choice (the JSON form
+// carries only the string tag) and validates tags.
+func (s *Schedule) normalize() error {
+	if s.Version != ScheduleVersion {
+		return fmt.Errorf("explore: schedule version %d, want %d", s.Version, ScheduleVersion)
+	}
+	if s.Mode != "gil" && s.Mode != "htm" {
+		return fmt.Errorf("explore: schedule mode %q, want gil or htm", s.Mode)
+	}
+	for i := range s.Choices {
+		k, ok := choice.ParseKind(s.Choices[i].K)
+		if !ok {
+			return fmt.Errorf("explore: choice %d has unknown kind %q", i, s.Choices[i].K)
+		}
+		s.Choices[i].Kind = k
+	}
+	return nil
+}
+
+// WriteFile saves the schedule as indented JSON.
+func (s *Schedule) WriteFile(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadSchedule reads and validates a schedule file.
+func LoadSchedule(path string) (*Schedule, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Schedule
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("explore: %s: %w", path, err)
+	}
+	if err := s.normalize(); err != nil {
+		return nil, fmt.Errorf("explore: %s: %v", path, err)
+	}
+	return &s, nil
+}
+
+// ReplayResult is the outcome of replaying one schedule.
+type ReplayResult struct {
+	Fingerprint string
+	Violation   *Violation // nil when the replayed run is clean
+	Choices     int        // total choice points the run consulted
+	Cycles      int64
+}
+
+// Replay re-executes the schedule and reports what happened. It does not
+// judge the result against the schedule's expectations — Verify does.
+func (s *Schedule) Replay() (*ReplayResult, error) {
+	if err := s.normalize(); err != nil {
+		return nil, err
+	}
+	out := runSchedule(s)
+	res := &ReplayResult{
+		Fingerprint: out.fingerprint,
+		Violation:   out.violation(s.Oracle),
+		Choices:     len(out.log),
+		Cycles:      out.cycles,
+	}
+	return res, nil
+}
+
+// Verify replays the schedule and checks it byte-deterministically
+// reproduces what it records: the same fingerprint, and the same violation
+// kind (or a clean run for regression schedules with no violation).
+func (s *Schedule) Verify() (*ReplayResult, error) {
+	res, err := s.Replay()
+	if err != nil {
+		return nil, err
+	}
+	if s.Violation == nil {
+		if res.Violation != nil {
+			return res, fmt.Errorf("explore: schedule %s expects a clean run, got %s",
+				s.Program, res.Violation)
+		}
+		if s.Fingerprint != "" && res.Fingerprint != s.Fingerprint {
+			return res, fmt.Errorf("explore: schedule %s fingerprint drifted:\n  recorded %q\n  replayed %q",
+				s.Program, s.Fingerprint, res.Fingerprint)
+		}
+		return res, nil
+	}
+	if res.Violation == nil {
+		return res, fmt.Errorf("explore: schedule %s no longer reproduces its %s violation",
+			s.Program, s.Violation.Kind)
+	}
+	if res.Violation.Kind != s.Violation.Kind {
+		return res, fmt.Errorf("explore: schedule %s reproduces %s, recorded %s",
+			s.Program, res.Violation.Kind, s.Violation.Kind)
+	}
+	if s.Fingerprint != "" && res.Fingerprint != s.Fingerprint {
+		return res, fmt.Errorf("explore: schedule %s fingerprint drifted:\n  recorded %q\n  replayed %q",
+			s.Program, s.Fingerprint, res.Fingerprint)
+	}
+	return res, nil
+}

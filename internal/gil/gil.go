@@ -13,6 +13,7 @@
 package gil
 
 import (
+	"htmgil/internal/choice"
 	"htmgil/internal/sched"
 	"htmgil/internal/simmem"
 	"htmgil/internal/trace"
@@ -75,6 +76,11 @@ type GIL struct {
 	// transactions that touch them, standing in for the begin-time
 	// subscription those transactions skipped.
 	HazardTrack bool
+
+	// Chooser, when non-nil, picks which waiter receives the GIL on
+	// release instead of strict FIFO order. Installed by internal/explore;
+	// index 0 is the FIFO head, so a zero chooser changes nothing.
+	Chooser choice.Chooser
 }
 
 // New creates a GIL whose state word lives in its own line of mem.
@@ -168,20 +174,34 @@ func (g *GIL) Release(th *sched.Thread, now int64) int64 {
 	}
 	cost := g.costs.Release
 
-	// Wake spinners: the lock is (momentarily) free.
-	for _, sp := range g.spinners {
-		g.engine.Wake(sp, now+cost)
+	// Wake spinners: the lock is (momentarily) free. MutDropWakeup is the
+	// explorer-validation mutation: it silently loses the wakeups, leaving
+	// the spinners parked forever (a lost-wakeup bug the schedule explorer
+	// must detect as a deadlock).
+	if !MutDropWakeup {
+		for _, sp := range g.spinners {
+			g.engine.Wake(sp, now+cost)
+		}
 	}
 	g.spinners = g.spinners[:0]
 
 	if len(g.waiters) > 0 {
-		next := g.waiters[0]
-		g.waiters = g.waiters[1:]
+		idx := 0
+		if g.Chooser != nil && len(g.waiters) > 1 {
+			idx = g.Chooser.Choose(choice.Handoff, len(g.waiters))
+		}
+		next := g.waiters[idx]
+		g.waiters = append(g.waiters[:idx], g.waiters[idx+1:]...)
 		g.take(next, now+cost+g.costs.Handoff)
 		g.engine.Wake(next, now+cost+g.costs.Handoff)
 	}
 	return cost
 }
+
+// WaiterCount returns the number of threads blocked waiting to own the GIL.
+// The explorer uses it to offer voluntary-yield choice points only when
+// there is somebody to yield to.
+func (g *GIL) WaiterCount() int { return len(g.waiters) }
 
 // YieldCost returns the cost of a full GIL yield (release + sched_yield +
 // re-acquire), used by the GIL-mode interpreter at flagged yield points.

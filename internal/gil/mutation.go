@@ -1,0 +1,8 @@
+//go:build mutation
+
+package gil
+
+// MutDropWakeup, when set under the mutation build tag, makes Release lose
+// the spinner wakeups — a seeded lost-wakeup bug the schedule explorer must
+// detect (internal/explore mutation validation).
+var MutDropWakeup = false

@@ -1,0 +1,9 @@
+//go:build !mutation
+
+package gil
+
+// MutDropWakeup is a seeded bug used to validate the schedule explorer
+// (see internal/explore): when true, Release loses the spinner wakeups.
+// In normal builds it is a false constant, so the guarded branch compiles
+// away; `go test -tags mutation` turns it into a settable variable.
+const MutDropWakeup = false

@@ -273,6 +273,126 @@ func TestAbortedAllocationRollsBack(t *testing.T) {
 	}
 }
 
+// TestExhaustionAndRefill drives the heap dry and back through GC with
+// thread-local free lists on and off: allocation must hand out every slot
+// exactly once, fail with ErrNeedGC when dry, and resume cleanly after a
+// collection refills the global list.
+func TestExhaustionAndRefill(t *testing.T) {
+	for _, tl := range []bool{false, true} {
+		name := "global-only"
+		if tl {
+			name = "thread-local"
+		}
+		t.Run(name, func(t *testing.T) {
+			const slots = 700 // 2 TL batches + a partial third
+			mem, h := mkHeap(slots, tl)
+			ts := ThreadSlots{}
+			if tl {
+				ts = mkThreadSlots(mem)
+			}
+			seen := map[int32]bool{}
+			for i := 0; i < slots; i++ {
+				o, err := h.AllocObject(mem, ts, object.TObject, nil)
+				if err != nil {
+					t.Fatalf("alloc %d/%d failed early: %v", i, slots, err)
+				}
+				if seen[o.Index] {
+					t.Fatalf("slot %d handed out twice", o.Index)
+				}
+				seen[o.Index] = true
+			}
+			if _, err := h.AllocObject(mem, ts, object.TObject, nil); err != ErrNeedGC {
+				t.Fatalf("exhausted heap: err = %v, want ErrNeedGC", err)
+			}
+			if tl {
+				// The last refill was partial: slots mod TLBatch objects.
+				wantRefills := uint64((slots + h.Cfg.TLBatch - 1) / h.Cfg.TLBatch)
+				if h.Stats.TLRefills != wantRefills {
+					t.Errorf("TL refills = %d, want %d", h.Stats.TLRefills, wantRefills)
+				}
+				if got := mem.Peek(ts.TLCount).Bits; got != 0 {
+					t.Errorf("TL count after exhaustion = %d, want 0", got)
+				}
+			}
+			// GC with no roots reclaims everything; allocation resumes.
+			h.Collect(
+				func(mark func(*object.RObject)) {},
+				func(o *object.RObject, mark func(*object.RObject)) {},
+			)
+			if h.FreeCount() != slots {
+				t.Fatalf("free count after GC = %d, want %d", h.FreeCount(), slots)
+			}
+			for i := 0; i < slots; i++ {
+				if _, err := h.AllocObject(mem, ts, object.TObject, nil); err != nil {
+					t.Fatalf("post-GC alloc %d: %v", i, err)
+				}
+			}
+			if _, err := h.AllocObject(mem, ts, object.TObject, nil); err != ErrNeedGC {
+				t.Fatalf("post-GC exhaustion: err = %v, want ErrNeedGC", err)
+			}
+		})
+	}
+}
+
+// TestThreadLocalPartialRefill: when the global list holds fewer objects
+// than a full batch, the refill must move what remains and leave the global
+// list empty — not wrap, not under-count.
+func TestThreadLocalPartialRefill(t *testing.T) {
+	const slots = 300 // one full batch of 256 + 44 stragglers
+	mem, h := mkHeap(slots, true)
+	ts := mkThreadSlots(mem)
+	// Drain one full batch through the TL list.
+	for i := 0; i < h.Cfg.TLBatch; i++ {
+		if _, err := h.AllocObject(mem, ts, object.TObject, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := h.FreeCount(); got != slots-uint64(h.Cfg.TLBatch) {
+		t.Fatalf("global count = %d, want %d", got, slots-h.Cfg.TLBatch)
+	}
+	// The next allocation triggers a partial refill of the 44 leftovers.
+	if _, err := h.AllocObject(mem, ts, object.TObject, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.FreeCount(); got != 0 {
+		t.Fatalf("global count after partial refill = %d, want 0", got)
+	}
+	if got := mem.Peek(ts.TLCount).Bits; got != uint64(slots-h.Cfg.TLBatch-1) {
+		t.Fatalf("TL count = %d, want %d", got, slots-h.Cfg.TLBatch-1)
+	}
+	// Exactly the leftovers remain allocatable.
+	for i := 0; i < slots-h.Cfg.TLBatch-1; i++ {
+		if _, err := h.AllocObject(mem, ts, object.TObject, nil); err != nil {
+			t.Fatalf("leftover alloc %d: %v", i, err)
+		}
+	}
+	if _, err := h.AllocObject(mem, ts, object.TObject, nil); err != ErrNeedGC {
+		t.Fatalf("err = %v, want ErrNeedGC", err)
+	}
+}
+
+// TestThreadLocalListsIsolateThreads: two threads draining their own lists
+// must only touch the global list once per batch each — the paper's whole
+// point: allocation conflicts disappear from the transactional footprint.
+func TestThreadLocalListsIsolateThreads(t *testing.T) {
+	mem, h := mkHeap(2000, true)
+	ts1, ts2 := mkThreadSlots(mem), mkThreadSlots(mem)
+	for i := 0; i < h.Cfg.TLBatch; i++ {
+		if _, err := h.AllocObject(mem, ts1, object.TObject, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.AllocObject(mem, ts2, object.TObject, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Stats.TLRefills != 2 {
+		t.Fatalf("refills = %d, want 2 (one per thread)", h.Stats.TLRefills)
+	}
+	if h.Stats.GlobalPops != 0 {
+		t.Fatalf("global pops = %d, want 0", h.Stats.GlobalPops)
+	}
+}
+
 func TestConcurrentAllocationConflictsOnGlobalList(t *testing.T) {
 	mem, h := mkHeap(1000, false) // no thread-local lists: the paper's conflict
 	a, b := mem.Tx(0), mem.Tx(1)

@@ -98,6 +98,31 @@ func XeonE3() *Profile {
 	}
 }
 
+// Explore returns the machine profile used by the systematic schedule
+// explorer (internal/explore): a small SMT-less machine with no random
+// external interrupts and no learning predictor, so that every remaining
+// source of nondeterminism is a choice point under the explorer's control.
+// Capacities are kept generous — the explorer's programs are tiny and
+// capacity aborts are not among the behaviors it enumerates.
+func Explore() *Profile {
+	return &Profile{
+		Name:                "explore",
+		Cores:               4,
+		SMTWays:             1,
+		LineBytes:           64,
+		WriteCapBytes:       8 << 10,
+		ReadCapBytes:        1 << 20,
+		TBeginCycles:        140,
+		TEndCycles:          70,
+		AbortCycles:         280,
+		InterruptMeanCycles: 0,
+		Learning:            false,
+		TargetAbortRatio:    0.01,
+		ProfilingPeriod:     300,
+		AdjustmentThreshold: 3,
+	}
+}
+
 // Stats aggregates per-context transaction outcomes.
 type Stats struct {
 	Begins   uint64

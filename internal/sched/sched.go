@@ -11,7 +11,9 @@ import (
 	"container/heap"
 	"fmt"
 	"os"
+	"sort"
 
+	"htmgil/internal/choice"
 	"htmgil/internal/trace"
 )
 
@@ -206,6 +208,13 @@ type Engine struct {
 	// scheduled for the given time — the fault harness's stand-in for OS
 	// preemption/dispatch jitter. It must be deterministic.
 	WakeJitter func(at int64) int64
+
+	// Chooser, when non-nil, takes control of thread dispatch and timer
+	// firing: Run switches to the exploration loop, which offers every
+	// dispatch decision (and every fire-or-defer decision for due timed
+	// events) to the Chooser. Index 0 always reproduces the vanilla
+	// schedule. Installed by internal/explore.
+	Chooser choice.Chooser
 }
 
 // NewEngine builds a simulated machine.
@@ -400,6 +409,9 @@ func (e *Engine) Live() int { return e.live }
 // no progress is possible. It returns an error on deadlock (blocked threads
 // with no pending timed events).
 func (e *Engine) Run() error {
+	if e.Chooser != nil {
+		return e.runExplore()
+	}
 	dbgCount := 0
 	for !e.stopped {
 		if DebugSched && dbgCount < 30 {
@@ -447,48 +459,117 @@ func (e *Engine) Run() error {
 		if pick == nil {
 			return fmt.Errorf("sched: deadlock with %d live threads", e.live)
 		}
-		// The pick stays in the Running set while its step runs; a step may
-		// Spawn or Wake threads into the set, which is safe in either mode
-		// (a heap push compares against the pick's still-cached key, and its
-		// restamp comes in refreshCtx below).
-		e.now = pickAt
-		pick.Clock = pickAt
-		res := pick.step(pickAt)
-		cost := res.Cycles
-		if cost < 0 {
-			panic("sched: negative step cost")
-		}
-		if e.cfg.SMTWays == 2 && pick.Ctx.sibling != nil && pick.Ctx.sibling.Busy() {
-			cost = int64(float64(cost) * e.cfg.SMTPenalty)
-		}
-		end := pickAt + cost
-		pick.Clock = end
-		pick.Ctx.clock = end
-		switch res.Status {
-		case Running:
-			// Still in the Running set; heap mode repairs its key below.
-		case Blocked:
-			pick.status = Blocked
-			pick.blockStart = end
-			e.removePick(pick)
-		case Done:
-			pick.status = Done
-			pick.Ctx.nlive--
-			e.live--
-			e.removePick(pick)
-			if e.Tracer != nil {
-				ev := trace.Ev(end, trace.KindThreadDone)
-				ev.Thread = pick.ID
-				e.Tracer.Emit(ev)
-			}
-		}
-		// The context's clock advanced: every thread still queued on it —
-		// including the pick itself when it stays Running — has a new
-		// effective start time (scan mode reads the live clocks, so only
-		// heap mode has cached keys to repair).
-		if e.heapMode {
-			e.refreshCtx(pick.Ctx)
-		}
+		e.execStep(pick, pickAt)
 	}
 	return nil
+}
+
+// execStep runs one step of pick starting at pickAt and applies the outcome
+// to the Running set. The pick stays in the Running set while its step runs;
+// a step may Spawn or Wake threads into the set, which is safe in either
+// mode (a heap push compares against the pick's still-cached key, and its
+// restamp comes in refreshCtx below).
+func (e *Engine) execStep(pick *Thread, pickAt int64) {
+	e.now = pickAt
+	pick.Clock = pickAt
+	res := pick.step(pickAt)
+	cost := res.Cycles
+	if cost < 0 {
+		panic("sched: negative step cost")
+	}
+	if e.cfg.SMTWays == 2 && pick.Ctx.sibling != nil && pick.Ctx.sibling.Busy() {
+		cost = int64(float64(cost) * e.cfg.SMTPenalty)
+	}
+	end := pickAt + cost
+	pick.Clock = end
+	pick.Ctx.clock = end
+	switch res.Status {
+	case Running:
+		// Still in the Running set; heap mode repairs its key below.
+	case Blocked:
+		pick.status = Blocked
+		pick.blockStart = end
+		e.removePick(pick)
+	case Done:
+		pick.status = Done
+		pick.Ctx.nlive--
+		e.live--
+		e.removePick(pick)
+		if e.Tracer != nil {
+			ev := trace.Ev(end, trace.KindThreadDone)
+			ev.Thread = pick.ID
+			e.Tracer.Emit(ev)
+		}
+	}
+	// The context's clock advanced: every thread still queued on it —
+	// including the pick itself when it stays Running — has a new
+	// effective start time (scan mode reads the live clocks, so only
+	// heap mode has cached keys to repair).
+	if e.heapMode {
+		e.refreshCtx(pick.Ctx)
+	}
+}
+
+// runExplore is the dispatch loop used when a Chooser is installed. It stays
+// in scan mode (exploration targets small thread counts), computes the full
+// deterministic candidate order each iteration, and lets the Chooser pick
+// which runnable thread steps next and whether due timed events fire before
+// the step or after it. When every choice is 0 the schedule is identical to
+// the vanilla Run loop's.
+func (e *Engine) runExplore() error {
+	var cands []*Thread
+	for !e.stopped {
+		if e.live == 0 {
+			return nil
+		}
+		// The engine never enters heap mode here; candidate order is the
+		// scan preference as a total order: effective start, then own
+		// clock (longest waiter), then ID.
+		cands = append(cands[:0], e.run.th...)
+		sort.Slice(cands, func(i, j int) bool {
+			ai, aj := effStart(cands[i]), effStart(cands[j])
+			if ai != aj {
+				return ai < aj
+			}
+			if cands[i].Clock != cands[j].Clock {
+				return cands[i].Clock < cands[j].Clock
+			}
+			return cands[i].ID < cands[j].ID
+		})
+		if len(cands) == 0 {
+			// No runnable thread: a due timed event (a wakeup source) must
+			// fire — there is no alternative to offer.
+			if len(e.timed) == 0 {
+				return fmt.Errorf("sched: deadlock with %d live threads", e.live)
+			}
+			e.fireTimed()
+			continue
+		}
+		defaultAt := effStart(cands[0])
+		if len(e.timed) > 0 && e.timed.peek().at <= defaultAt {
+			// A timed event is due before the preferred thread step: offer
+			// the choice to defer it past one step. Each deferral is one
+			// non-default choice, so bounded exploration terminates.
+			if e.Chooser.Choose(choice.Timer, 2) == 0 {
+				e.fireTimed()
+				continue
+			}
+		}
+		idx := 0
+		if len(cands) > 1 {
+			idx = e.Chooser.Choose(choice.Dispatch, len(cands))
+		}
+		pick := cands[idx]
+		e.execStep(pick, effStart(pick))
+	}
+	return nil
+}
+
+// fireTimed pops and runs the earliest timed event.
+func (e *Engine) fireTimed() {
+	ev := heap.Pop(&e.timed).(*timedEvent)
+	if ev.at > e.now {
+		e.now = ev.at
+	}
+	ev.fn(e.now)
 }

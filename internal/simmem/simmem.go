@@ -28,6 +28,7 @@ import (
 	"math/bits"
 	"sort"
 
+	"htmgil/internal/choice"
 	"htmgil/internal/trace"
 )
 
@@ -179,6 +180,13 @@ type Memory struct {
 	// time 0.
 	Tracer *trace.Recorder
 	Clock  func() int64
+
+	// Chooser, when non-nil, picks the winner of each transactional
+	// conflict: 0 keeps the hardware's eager requester-wins policy,
+	// 1 dooms the requester instead. Installed by internal/explore.
+	// Non-transactional accesses always win (strong isolation), so no
+	// choice is offered there.
+	Chooser choice.Chooser
 }
 
 type region struct {
@@ -560,6 +568,13 @@ func (t *Tx) Load(addr Addr) Word {
 	t.hazardCheck(addr)
 	l := t.lineOf(addr)
 	if w := l.writer; w >= 0 && w != t.id {
+		if m.Chooser != nil && m.Chooser.Choose(choice.Conflict, 2) == 1 {
+			// Explored alternative: the requester loses the conflict. It is
+			// doomed without touching the line state; the value read is
+			// irrelevant, the transaction rolls back at its next boundary.
+			m.doom(t.id, addr, false)
+			return l.words[m.wordIndex(addr)]
+		}
 		m.doom(w, addr, true)
 	}
 	bit := uint64(1) << uint(t.id)
@@ -588,6 +603,13 @@ func (t *Tx) Store(addr Addr, w Word) {
 	t.hazardCheck(addr)
 	l := t.lineOf(addr)
 	if wr := l.writer; wr != t.id {
+		if m.Chooser != nil && (wr >= 0 || l.readers&^(1<<uint(t.id)) != 0) &&
+			m.Chooser.Choose(choice.Conflict, 2) == 1 {
+			// Explored alternative: the requester loses instead of dooming
+			// the holder(s); the line and write buffer stay untouched.
+			m.doom(t.id, addr, false)
+			return
+		}
 		if wr >= 0 {
 			m.doom(wr, addr, true)
 		}

@@ -346,11 +346,15 @@ func (t *RThread) exec(f *Frame, in *compile.Instr, now int64) (int64, error) {
 		}
 		cls := v.defTarget(f.self)
 		child := f.iseq.Children[in.C]
-		cls.Methods[object.SymID(in.A)] = &object.Method{
+		cls.Define(object.SymID(in.A), &object.Method{
 			Name:  object.SymID(in.A),
 			Arity: child.Params,
 			Code:  child,
-		}
+		})
+		// Bump the VM-wide method state: inline caches filled under the old
+		// serial must miss, or a redefined method would keep dispatching
+		// its stale body through warm call sites.
+		v.methodSerial++
 		f.pc++
 		return c.HashOp, nil
 	case compile.OpDefineClass:
@@ -798,7 +802,7 @@ func (t *RThread) sendGeneric(f *Frame, mid object.SymID, argc int32, blkIdx int
 		// identity (each class object is unique).
 		icA := v.icAddr(f.iseq, icSlot)
 		guard := t.acc.Load(icA)
-		if guard.Ref == any(recv.Ref) {
+		if guard.Ref == any(recv.Ref) && guard.Bits == v.methodSerial {
 			m = t.acc.Load(icA + simmem.WordBytes).Ref.(*object.Method)
 		} else {
 			cost += c.SendMiss
@@ -808,7 +812,7 @@ func (t *RThread) sendGeneric(f *Frame, mid object.SymID, argc int32, blkIdx int
 				m = v.ClassClass.Lookup(mid)
 			}
 			if m != nil && (!v.Opt.FillOnceInlineCaches || guard.Ref == nil) {
-				t.acc.Store(icA, simmem.Word{Ref: recv.Ref})
+				t.acc.Store(icA, simmem.Word{Bits: v.methodSerial, Ref: recv.Ref})
 				t.acc.Store(icA+simmem.WordBytes, simmem.Word{Ref: m})
 			}
 		}
@@ -819,13 +823,20 @@ func (t *RThread) sendGeneric(f *Frame, mid object.SymID, argc int32, blkIdx int
 		}
 		icA := v.icAddr(f.iseq, icSlot)
 		guard := t.acc.Load(icA)
-		if guard.Ref == any(cls) {
+		hit := guard.Ref == any(cls) && guard.Bits == v.methodSerial
+		if MutUnguardedIC && v.Opt.Mode == ModeHTM && guard.Ref != nil {
+			// Seeded bug (mutation builds only): use whatever the cache
+			// holds without comparing the guard — a racily shared call
+			// site dispatches another class's method.
+			hit = true
+		}
+		if hit {
 			m = t.acc.Load(icA + simmem.WordBytes).Ref.(*object.Method)
 		} else {
 			cost += c.SendMiss
 			m = cls.Lookup(mid)
 			if m != nil && (!v.Opt.FillOnceInlineCaches || guard.Ref == nil) {
-				t.acc.Store(icA, simmem.Word{Ref: cls})
+				t.acc.Store(icA, simmem.Word{Bits: v.methodSerial, Ref: cls})
 				t.acc.Store(icA+simmem.WordBytes, simmem.Word{Ref: m})
 			}
 		}

@@ -1,0 +1,50 @@
+package vm_test
+
+// Schedule-exploration entry points for the VM: these tests drive the
+// systematic explorer (internal/explore) over the programs that stress
+// VM-owned state — transaction rollback of interpreter-private frames and
+// the shared inline-cache site — so a regression in thread.go/step.go
+// surfaces here as a serializability violation, not only in the explore
+// package's own belt.
+
+import (
+	"testing"
+
+	"htmgil/internal/explore"
+)
+
+func exploreClean(t *testing.T, program string, bound int) {
+	t.Helper()
+	p := explore.ProgramByName(program)
+	if p == nil {
+		t.Fatalf("unknown explorer program %q", program)
+	}
+	res, err := explore.Run(explore.Config{Program: p, Bound: bound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("%s: %s", program, v.Violation)
+	}
+	if res.Truncated {
+		t.Errorf("%s: exploration truncated (%d schedules)", program, res.Schedules())
+	}
+}
+
+// TestExploreRollbackPrivateState explores the program whose loop counter
+// lives in a method frame: only the undo log protects it across aborts.
+func TestExploreRollbackPrivateState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bounded exploration is slow")
+	}
+	exploreClean(t, "localcounter", 2)
+}
+
+// TestExploreInlineCacheRaces explores two receiver classes racing through
+// one shared inline-cache call site.
+func TestExploreInlineCacheRaces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bounded exploration is slow")
+	}
+	exploreClean(t, "polymorphic", 2)
+}

@@ -1,0 +1,100 @@
+package vm
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"htmgil/internal/object"
+	"htmgil/internal/simmem"
+)
+
+// StateFingerprint digests the observable final state of a finished run:
+// the program output plus the deep value of every global variable, read
+// side-effect-free through simmem.Peek. Two runs that end in equivalent
+// states produce identical fingerprints regardless of the schedule that
+// got them there — which is exactly what the serializability oracle of
+// internal/explore compares. Heap slot indices and addresses never enter
+// the digest (they vary with allocation order between equivalent runs).
+func (v *VM) StateFingerprint() string {
+	var b strings.Builder
+	b.WriteString("out:")
+	b.WriteString(v.Output())
+	names := make([]string, 0, len(v.globals))
+	addrs := make(map[string]simmem.Addr, len(v.globals))
+	for sym, addr := range v.globals {
+		n := v.Syms.Name(sym)
+		names = append(names, n)
+		addrs[n] = addr
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		b.WriteString("|")
+		b.WriteString(n)
+		b.WriteString("=")
+		v.encodeValue(&b, object.FromWord(v.Mem.Peek(addrs[n])), 0)
+	}
+	return b.String()
+}
+
+// encodeValue writes a schedule-independent encoding of val. Recursion is
+// bounded: cyclic or very deep structures degrade to a type marker, which
+// is still deterministic (both sides of an oracle comparison degrade the
+// same way).
+func (v *VM) encodeValue(b *strings.Builder, val object.Value, depth int) {
+	if depth > 6 {
+		b.WriteString("<deep>")
+		return
+	}
+	switch val.Kind {
+	case object.KNil:
+		b.WriteString("nil")
+	case object.KTrue:
+		b.WriteString("true")
+	case object.KFalse:
+		b.WriteString("false")
+	case object.KFixnum:
+		b.WriteString(strconv.FormatInt(val.Fix, 10))
+	case object.KSymbol:
+		b.WriteString(":")
+		b.WriteString(v.Syms.Name(object.SymID(val.Fix)))
+	case object.KRef:
+		switch val.Ref.Type {
+		case object.TString:
+			b.WriteString(strconv.Quote(val.Ref.Str))
+		case object.TFloat:
+			bits := v.Mem.Peek(val.Ref.AddrOf(object.SlotA)).Bits
+			b.WriteString("f")
+			b.WriteString(strconv.FormatUint(bits, 16))
+		case object.TArray:
+			n := int64(v.Mem.Peek(val.Ref.AddrOf(object.SlotB)).Bits)
+			base := simmem.Addr(v.Mem.Peek(val.Ref.AddrOf(object.SlotA)).Bits)
+			b.WriteString("[")
+			const maxElems = 64
+			for i := int64(0); i < n && i < maxElems; i++ {
+				if i > 0 {
+					b.WriteString(",")
+				}
+				el := object.FromWord(v.Mem.Peek(base + simmem.Addr(i*simmem.WordBytes)))
+				v.encodeValue(b, el, depth+1)
+			}
+			if n > maxElems {
+				b.WriteString(",...")
+			}
+			b.WriteString("]")
+		case object.TClass:
+			b.WriteString("class:")
+			b.WriteString(val.Ref.Cls.Name)
+		default:
+			// Other heap objects: identity-free type marker. The explorer's
+			// programs keep their observable state in immediates, strings
+			// and arrays, so this branch is a safety net, not a lossy path
+			// on checked state.
+			b.WriteString("#<")
+			if val.Ref.Class != nil {
+				b.WriteString(val.Ref.Class.Name)
+			}
+			b.WriteString(">")
+		}
+	}
+}

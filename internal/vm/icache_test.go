@@ -1,0 +1,198 @@
+package vm
+
+import (
+	"testing"
+
+	"htmgil/internal/htm"
+)
+
+// runSrcOpts is runSrc with an options hook, for toggling cache flags.
+func runSrcOpts(t *testing.T, mode Mode, src string, tweak func(*Options)) *RunResult {
+	t.Helper()
+	opt := DefaultOptions(htm.ZEC12(), mode)
+	opt.HeapSlots = 50_000
+	opt.MaxCycles = 10_000_000_000
+	if tweak != nil {
+		tweak(&opt)
+	}
+	v := New(opt)
+	iseq, err := v.CompileSource(src, "test")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := v.Run(iseq)
+	if err != nil {
+		t.Fatalf("run (%v): %v\noutput so far: %s", mode, err, v.Output())
+	}
+	return res
+}
+
+// TestInlineCacheInvalidationOnRedefinition: filling an inline cache and
+// then redefining the method must bump the VM-wide method serial, so the
+// warm call site misses its guard and dispatches the new body. Covers
+// top-level methods, reopened classes, and inherited methods overridden
+// after the cache warmed, across modes and both cache-fill policies.
+func TestInlineCacheInvalidationOnRedefinition(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "toplevel-method",
+			src: `def m
+  1
+end
+a = m
+def m
+  2
+end
+puts a * 10 + m
+`,
+			want: "12\n",
+		},
+		{
+			name: "reopened-class",
+			src: `class A
+  def m
+    1
+  end
+end
+a = A.new
+r1 = a.m
+class A
+  def m
+    2
+  end
+end
+puts r1 * 10 + a.m
+`,
+			want: "12\n",
+		},
+		{
+			name: "override-after-inherited-hit",
+			src: `class Base
+  def m
+    1
+  end
+end
+class Sub < Base
+end
+s = Sub.new
+r1 = s.m
+class Sub
+  def m
+    2
+  end
+end
+puts r1 * 10 + s.m
+`,
+			want: "12\n",
+		},
+		{
+			name: "two-sites-one-redefinition",
+			src: `class A
+  def m
+    1
+  end
+end
+def site1(o)
+  o.m
+end
+def site2(o)
+  o.m
+end
+a = A.new
+r = site1(a) + site2(a)
+class A
+  def m
+    10
+  end
+end
+puts r + site1(a) + site2(a)
+`,
+			want: "22\n",
+		},
+	}
+	for _, tc := range cases {
+		for _, mode := range []Mode{ModeGIL, ModeHTM} {
+			for _, fillOnce := range []bool{false, true} {
+				tc, mode, fillOnce := tc, mode, fillOnce
+				name := tc.name + "/" + mode.String()
+				if fillOnce {
+					name += "/fill-once"
+				}
+				t.Run(name, func(t *testing.T) {
+					res := runSrcOpts(t, mode, tc.src, func(o *Options) {
+						o.FillOnceInlineCaches = fillOnce
+					})
+					if res.Output != tc.want {
+						t.Fatalf("output = %q, want %q", res.Output, tc.want)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestInlineCacheFillOnceKeepsFirstGuard: with the paper's fill-once policy
+// a cache that warmed for one receiver class never refills for another, but
+// dispatch must still be correct for both classes through the slow path.
+func TestInlineCacheFillOnceKeepsFirstGuard(t *testing.T) {
+	src := `class A
+  def m
+    1
+  end
+end
+class B
+  def m
+    2
+  end
+end
+def call(o)
+  o.m
+end
+a = A.new
+b = B.new
+r = 0
+i = 0
+while i < 3
+  r = r + call(a) + call(b)
+  i += 1
+end
+puts r
+`
+	for _, fillOnce := range []bool{false, true} {
+		res := runSrcOpts(t, ModeGIL, src, func(o *Options) {
+			o.FillOnceInlineCaches = fillOnce
+		})
+		if res.Output != "9\n" {
+			t.Fatalf("fillOnce=%v: output = %q, want %q", fillOnce, res.Output, "9\n")
+		}
+	}
+}
+
+// TestClassLevelCacheInvalidation: class-object sends (A.new) cache on the
+// class object's identity and the same method serial; defining any method
+// afterwards must not break warm class-level sites.
+func TestClassLevelCacheInvalidation(t *testing.T) {
+	src := `class A
+  def m
+    1
+  end
+end
+a = A.new
+r1 = a.m
+class A
+  def n
+    5
+  end
+end
+b = A.new
+puts r1 + b.m + b.n
+`
+	res := runSrcOpts(t, ModeGIL, src, nil)
+	if res.Output != "7\n" {
+		t.Fatalf("output = %q, want %q", res.Output, "7\n")
+	}
+}

@@ -1,0 +1,11 @@
+//go:build mutation
+
+package vm
+
+// Seeded bugs used to validate the schedule explorer (internal/explore);
+// see mutation_off.go. Under the mutation build tag they are variables the
+// validation tests flip one at a time.
+var (
+	MutSkipRollback = false
+	MutUnguardedIC  = false
+)

@@ -1,0 +1,15 @@
+//go:build !mutation
+
+package vm
+
+// Seeded bugs used to validate the schedule explorer (internal/explore).
+// In normal builds they are false constants, so every guarded branch
+// compiles away; `go test -tags mutation` turns them into settable
+// variables.
+const (
+	// MutSkipRollback makes rollbackPrivate forget stack/local value undos.
+	MutSkipRollback = false
+	// MutUnguardedIC makes HTM-mode instance sends trust the inline cache
+	// without comparing its guard.
+	MutUnguardedIC = false
+)

@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"htmgil/internal/choice"
 	"htmgil/internal/compile"
 	"htmgil/internal/core"
 	"htmgil/internal/sched"
@@ -213,7 +214,14 @@ func (t *RThread) atYieldPoint(in *compile.Instr, now int64) *sched.StepResult {
 			return nil
 		}
 		if !v.GIL.ConsumeInterrupt(t.sth) {
-			return nil
+			// Under exploration, every yield point where another thread is
+			// waiting is a choice point: a timer interrupt could have
+			// landed exactly here. Index 0 (keep running) matches the
+			// unflagged behavior.
+			if v.Opt.Chooser == nil || v.GIL.WaiterCount() == 0 ||
+				v.Opt.Chooser.Choose(choice.Yield, 2) == 0 {
+				return nil
+			}
 		}
 		// Yield the GIL: release, sched_yield, re-acquire.
 		t.stats.Yields++

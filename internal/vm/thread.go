@@ -307,6 +307,17 @@ func (t *RThread) commitPrivate() {
 
 // rollbackPrivate restores the private interpreter state to the checkpoint.
 func (t *RThread) rollbackPrivate() {
+	if MutSkipRollback {
+		// Seeded bug (mutation builds only): the abort handler forgets to
+		// roll back the private interpreter state. Execution resumes at the
+		// abort point as if the transaction had committed, even though its
+		// memory effects were discarded — the classic TLE abort-path bug,
+		// and exactly the silent corruption the schedule explorer's
+		// serializability oracle must catch.
+		t.log = t.log[:0]
+		t.logging = false
+		return
+	}
 	for i := len(t.log) - 1; i >= 0; i-- {
 		e := &t.log[i]
 		switch e.kind {

@@ -24,6 +24,7 @@ import (
 	"math"
 	"strings"
 
+	"htmgil/internal/choice"
 	"htmgil/internal/compile"
 	"htmgil/internal/core"
 	"htmgil/internal/fault"
@@ -123,6 +124,13 @@ type Options struct {
 	// a Trace recorder; when Trace is nil one is created internally.
 	Watchdog       bool
 	WatchdogConfig core.WatchdogConfig
+
+	// Chooser, when non-nil, hands every nondeterministic choice point of
+	// the stack — thread dispatch, timer firing, GIL yield and hand-off,
+	// conflict-winner selection — to the systematic schedule explorer
+	// (internal/explore). Index 0 at every point reproduces the vanilla
+	// deterministic schedule.
+	Chooser choice.Chooser
 }
 
 // DefaultOptions returns the paper's optimized configuration for a machine.
@@ -188,6 +196,12 @@ type VM struct {
 	icBases map[*compile.ISeq]simmem.Addr
 	floats  map[*compile.ISeq][]object.Value
 	pinned  []*object.RObject
+
+	// methodSerial is the VM-wide method-state generation, bumped by every
+	// runtime method (re)definition. Inline-cache guard words store the
+	// serial they were filled under, so a redefinition invalidates every
+	// cache at once (CRuby's global method-state scheme).
+	methodSerial uint64
 
 	globalsRegion simmem.Addr
 	globalsUsed   int
@@ -304,6 +318,12 @@ func New(opt Options) *VM {
 	if v.Faults = fault.NewInjector(opt.Faults, opt.Seed, opt.Trace); v.Faults != nil {
 		v.GIL.TimerJitter = v.Faults.TimerInterval
 		v.Engine.WakeJitter = v.Faults.WakeDelay
+	}
+
+	if opt.Chooser != nil {
+		v.Engine.Chooser = opt.Chooser
+		v.GIL.Chooser = opt.Chooser
+		v.Mem.Chooser = opt.Chooser
 	}
 
 	v.stats.ConflictRegions = make(map[string]uint64)

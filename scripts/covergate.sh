@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# covergate.sh — fail when statement coverage of ./internal/... (short mode)
+# drops more than half a point below the recorded baseline.
+#
+#   scripts/covergate.sh           # check against scripts/coverage_baseline.txt
+#   scripts/covergate.sh -update   # re-record the baseline
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline_file=scripts/coverage_baseline.txt
+profile=$(mktemp)
+trap 'rm -f "$profile"' EXIT
+
+go test -short -count=1 -coverprofile="$profile" ./internal/... > /dev/null
+total=$(go tool cover -func="$profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+
+if [ "${1:-}" = "-update" ]; then
+    echo "$total" > "$baseline_file"
+    echo "coverage baseline updated to ${total}%"
+    exit 0
+fi
+
+baseline=$(cat "$baseline_file")
+awk -v t="$total" -v b="$baseline" 'BEGIN {
+    if (t + 0.5 < b) {
+        printf "FAIL: coverage %.1f%% fell below baseline %.1f%% (tolerance 0.5)\n", t, b
+        exit 1
+    }
+    printf "coverage %.1f%% (baseline %.1f%%)\n", t, b
+}'
