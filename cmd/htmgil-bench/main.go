@@ -5,11 +5,12 @@
 //	htmgil-bench -experiment fig6b -quick -trace-summary
 //	htmgil-bench -experiment fig8 -quick -report reports.json
 //	htmgil-bench -experiment policy -quick -csv policy.csv
+//	htmgil-bench -experiment serving -quick -report serving.json
 //	htmgil-bench -experiment explore -quick
 //	htmgil-bench -replay-schedule internal/explore/testdata/schedules/counter-flip2.json
 //
 // -list prints the experiment names: micro fig5 fig6a fig6b fig7 fig8
-// fig9 aborts overhead ablation policy chaos explore all. -quick uses scaled-down
+// fig9 aborts overhead ablation policy chaos serving explore all. -quick uses scaled-down
 // problem sizes and fewer thread counts; without it the full
 // (paper-shaped) sweep runs, which takes tens of minutes on one host
 // core. The policy experiment sweeps every contention-management policy
@@ -19,7 +20,13 @@
 // aborts, capacity jitter, network resets, timer jitter) with the elision
 // circuit breaker and degradation watchdog on, reporting throughput under
 // faults and time-to-recover; its reports carry the fault spec, seed,
-// injection counters and breaker transitions. The explore experiment runs
+// injection counters and breaker transitions. The serving experiment drives
+// the WEBrick and Rails-lite worker pools open-loop on the large simulated
+// server machines (htm.Server, 128/256 cores, 1200 client sessions):
+// seeded Poisson/bursty/diurnal arrivals, Zipf route popularity, session
+// affinity, slow-draining clients and a fault scenario, reporting exact
+// p50/p99/p99.9/max latency and per-route SLO attainment. The explore
+// experiment runs
 // the systematic schedule explorer (internal/explore) over its checker
 // programs and fails on any serializability, progress, or trace-invariant
 // violation; -replay-schedule FILE re-executes one schedule file emitted

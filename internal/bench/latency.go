@@ -1,0 +1,114 @@
+package bench
+
+import "math"
+
+// Latency accounting for the serving experiment. Percentiles are exact
+// nearest-rank order statistics — the k-th smallest sample with
+// k = ceil(q*n) — not interpolations or sketch estimates: the sample sets
+// are small enough to keep, and exactness is what lets the property tests
+// pin the implementation against a brute-force sort-and-index oracle.
+
+// LatencySummary is the digest of one route class's latency samples.
+type LatencySummary struct {
+	Count      int     `json:"count"`
+	P50        int64   `json:"p50"`
+	P99        int64   `json:"p99"`
+	P999       int64   `json:"p999"`
+	Max        int64   `json:"max"`
+	SLO        int64   `json:"slo,omitempty"`
+	Attainment float64 `json:"attainment"` // fraction of samples <= SLO
+}
+
+// Summarize digests latency samples against an SLO (slo <= 0: attainment is
+// reported as 1). The input slice is not modified.
+func Summarize(samples []int64, slo int64) LatencySummary {
+	s := LatencySummary{Count: len(samples), SLO: slo, Attainment: 1}
+	if len(samples) == 0 {
+		return s
+	}
+	scratch := make([]int64, len(samples))
+	copy(scratch, samples)
+	s.P50 = Percentile(scratch, 0.50)
+	s.P99 = Percentile(scratch, 0.99)
+	s.P999 = Percentile(scratch, 0.999)
+	met := 0
+	for _, v := range samples {
+		if v > s.Max {
+			s.Max = v
+		}
+		if slo > 0 && v <= slo {
+			met++
+		}
+	}
+	if slo > 0 {
+		s.Attainment = float64(met) / float64(len(samples))
+	}
+	return s
+}
+
+// Percentile returns the exact nearest-rank q-quantile of samples: the k-th
+// smallest with k = ceil(q*n), clamped to [1, n]. The slice is reordered
+// (quickselect), not sorted; repeated calls on the same scratch slice are
+// fine since the multiset is preserved.
+func Percentile(samples []int64, q float64) int64 {
+	n := len(samples)
+	if n == 0 {
+		return 0
+	}
+	k := int(math.Ceil(q * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return kthSmallest(samples, k-1)
+}
+
+// kthSmallest selects the 0-indexed k-th order statistic by quickselect
+// with a deterministic median-of-three pivot and three-way partitioning
+// (ties collapse into the pivot band in one pass, so heavily tied sample
+// sets — common for cached fast-path responses — stay O(n)).
+func kthSmallest(a []int64, k int) int64 {
+	lo, hi := 0, len(a)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		pv := median3(a[lo], a[mid], a[hi])
+		lt, i, gt := lo, lo, hi
+		for i <= gt {
+			switch {
+			case a[i] < pv:
+				a[i], a[lt] = a[lt], a[i]
+				lt++
+				i++
+			case a[i] > pv:
+				a[i], a[gt] = a[gt], a[i]
+				gt--
+			default:
+				i++
+			}
+		}
+		switch {
+		case k < lt:
+			hi = lt - 1
+		case k > gt:
+			lo = gt + 1
+		default:
+			return pv
+		}
+	}
+	return a[lo]
+}
+
+func median3(a, b, c int64) int64 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}

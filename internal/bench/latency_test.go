@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// oraclePercentile is the brute-force reference: sort a copy, index the
+// nearest rank k = ceil(q*n).
+func oraclePercentile(samples []int64, q float64) int64 {
+	sorted := make([]int64, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	k := int(math.Ceil(q * float64(len(sorted))))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[k-1]
+}
+
+func oracleAttainment(samples []int64, slo int64) float64 {
+	met := 0
+	for _, v := range samples {
+		if v <= slo {
+			met++
+		}
+	}
+	return float64(met) / float64(len(samples))
+}
+
+// genSamples produces the seeded distributions the estimator must handle:
+// heavy ties, constant, single-sample, uniform, and heavy-tail (Pareto-ish,
+// the shape open-loop overload actually produces).
+func genSamples(rng *rand.Rand, shape string, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		switch shape {
+		case "ties":
+			out[i] = int64(rng.Intn(4)) * 1000 // only 4 distinct values
+		case "constant":
+			out[i] = 42
+		case "uniform":
+			out[i] = rng.Int63n(1_000_000)
+		case "heavytail":
+			// Pareto with alpha=1.2: finite mean, infinite variance.
+			u := rng.Float64()
+			out[i] = int64(10_000 * math.Pow(1/(1-u), 1/1.2))
+		}
+	}
+	return out
+}
+
+func TestPercentileMatchesSortOracle(t *testing.T) {
+	quantiles := []float64{0.001, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}
+	shapes := []string{"ties", "constant", "uniform", "heavytail"}
+	sizes := []int{1, 2, 3, 10, 100, 997, 10_000}
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for _, shape := range shapes {
+			for _, n := range sizes {
+				samples := genSamples(rng, shape, n)
+				for _, q := range quantiles {
+					scratch := make([]int64, len(samples))
+					copy(scratch, samples)
+					got := Percentile(scratch, q)
+					want := oraclePercentile(samples, q)
+					if got != want {
+						t.Fatalf("seed=%d shape=%s n=%d q=%g: Percentile=%d oracle=%d",
+							seed, shape, n, q, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSummarizeMatchesOracle(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for _, shape := range []string{"ties", "uniform", "heavytail"} {
+			samples := genSamples(rng, shape, 5000)
+			slo := oraclePercentile(samples, 0.9) // ~90% should attain
+			s := Summarize(samples, slo)
+			if s.Count != len(samples) {
+				t.Fatalf("count %d != %d", s.Count, len(samples))
+			}
+			for _, chk := range []struct {
+				name string
+				got  int64
+				q    float64
+			}{
+				{"p50", s.P50, 0.5}, {"p99", s.P99, 0.99}, {"p999", s.P999, 0.999}, {"max", s.Max, 1.0},
+			} {
+				if want := oraclePercentile(samples, chk.q); chk.got != want {
+					t.Fatalf("seed=%d shape=%s %s: got %d want %d", seed, shape, chk.name, chk.got, want)
+				}
+			}
+			if want := oracleAttainment(samples, slo); s.Attainment != want {
+				t.Fatalf("seed=%d shape=%s attainment: got %g want %g", seed, shape, s.Attainment, want)
+			}
+		}
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil, 100); s.Count != 0 || s.P50 != 0 || s.Attainment != 1 {
+		t.Fatalf("empty: %+v", s)
+	}
+	s := Summarize([]int64{7}, 10)
+	if s.P50 != 7 || s.P99 != 7 || s.P999 != 7 || s.Max != 7 || s.Attainment != 1 {
+		t.Fatalf("single sample: %+v", s)
+	}
+	s = Summarize([]int64{7}, 5)
+	if s.Attainment != 0 {
+		t.Fatalf("single sample over SLO: %+v", s)
+	}
+	// No SLO: attainment defaults to 1.
+	if s := Summarize([]int64{1, 2, 3}, 0); s.Attainment != 1 {
+		t.Fatalf("no-SLO attainment: %+v", s)
+	}
+	// Summarize must not mutate its input.
+	in := []int64{5, 1, 4, 2, 3}
+	Summarize(in, 3)
+	for i, v := range []int64{5, 1, 4, 2, 3} {
+		if in[i] != v {
+			t.Fatalf("input mutated: %v", in)
+		}
+	}
+}

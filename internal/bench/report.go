@@ -61,6 +61,26 @@ type Report struct {
 	BreakerOpens       uint64                   `json:"breakerOpens,omitempty"`
 	Degradations       map[string]uint64        `json:"degradations,omitempty"`
 	RecoverCycles      *int64                   `json:"recoverCycles,omitempty"`
+
+	// Open-loop serving fields (the serving experiment): the machine size
+	// and pool shape, the offered traffic, connection accounting, and the
+	// latency digest — aggregate and per route class. Latency values are in
+	// virtual cycles; attainment is judged against each route's SLO.
+	Cores        int             `json:"cores,omitempty"`
+	Workers      int             `json:"workers,omitempty"`
+	Sessions     int             `json:"sessions,omitempty"`
+	RatePerSec   float64         `json:"ratePerSec,omitempty"`
+	Arrivals     int             `json:"arrivals,omitempty"`
+	ConnsTotal   int             `json:"connsTotal,omitempty"`
+	ConnsPeak    int             `json:"connsPeak,omitempty"`
+	Latency      *LatencySummary `json:"latency,omitempty"`
+	RouteLatency []RouteLatency  `json:"routeLatency,omitempty"`
+}
+
+// RouteLatency is the latency digest of one route class of a serving point.
+type RouteLatency struct {
+	Route string `json:"route"`
+	LatencySummary
 }
 
 // newReport builds a Report from a run's Stats plus, optionally, the
@@ -141,6 +161,8 @@ func (s *Session) WriteReportsCSV(w io.Writer) error {
 		"cycles", "throughput", "abortRatio",
 		"txBegins", "txCommits", "txAborts", "gilFallbacks", "lengthAdjustments", "gcs",
 		"faultSpec", "seed", "faultsInjected", "breakerOpens", "recoverCycles",
+		"cores", "workers", "sessions", "ratePerSec", "arrivals", "connsTotal", "connsPeak",
+		"p50", "p99", "p999", "latMax", "sloAttainment",
 	}); err != nil {
 		return err
 	}
@@ -156,6 +178,14 @@ func (s *Session) WriteReportsCSV(w io.Writer) error {
 		}
 		if r.RecoverCycles != nil {
 			recover = strconv.FormatInt(*r.RecoverCycles, 10)
+		}
+		p50, p99, p999, latMax, slo := "", "", "", "", ""
+		if r.Latency != nil {
+			p50 = strconv.FormatInt(r.Latency.P50, 10)
+			p99 = strconv.FormatInt(r.Latency.P99, 10)
+			p999 = strconv.FormatInt(r.Latency.P999, 10)
+			latMax = strconv.FormatInt(r.Latency.Max, 10)
+			slo = strconv.FormatFloat(r.Latency.Attainment, 'g', -1, 64)
 		}
 		if err := cw.Write([]string{
 			r.Experiment, r.Machine, r.Workload, r.Config,
@@ -173,6 +203,10 @@ func (s *Session) WriteReportsCSV(w io.Writer) error {
 			strconv.FormatUint(faults, 10),
 			strconv.FormatUint(r.BreakerOpens, 10),
 			recover,
+			strconv.Itoa(r.Cores), strconv.Itoa(r.Workers), strconv.Itoa(r.Sessions),
+			strconv.FormatFloat(r.RatePerSec, 'g', -1, 64),
+			strconv.Itoa(r.Arrivals), strconv.Itoa(r.ConnsTotal), strconv.Itoa(r.ConnsPeak),
+			p50, p99, p999, latMax, slo,
 		}); err != nil {
 			return err
 		}

@@ -265,16 +265,42 @@ func (h *Heap) AllocArena(acc Accessor, ts ThreadSlots, n int) (simmem.Addr, err
 		headAddr := ts.TLArena + simmem.Addr(ci*simmem.WordBytes)
 		head := acc.Load(headAddr).Bits
 		if head == 0 {
-			// Refill with a line-aligned chunk from the global cursor, so
-			// buffers of different threads never share a cache line (the
-			// HEAPPOOLS per-thread pool behaviour); split it onto the
-			// thread-local list.
 			classBytes := sizeClasses[ci] * simmem.WordBytes
 			chunk := classBytes
 			lineBytes := h.Mem.LineBytes()
 			if chunk < 4*lineBytes {
 				chunk = 4 * lineBytes
 			}
+			// Refill from the central free list first (the collector frees
+			// buffers there): HEAPPOOLS thread pools draw on the main pool
+			// before extending the heap, and without this the bump cursor
+			// would grow without bound on long-running servers, however much
+			// garbage each collection recovers.
+			gheadAddr := h.classHeads + simmem.Addr(ci*simmem.WordBytes)
+			ghead := acc.Load(gheadAddr).Bits
+			h.Stats.ArenaGlobalOps++
+			if ghead != 0 {
+				// Move up to one chunk's worth of buffers to the local list.
+				take := chunk / classBytes
+				tail := ghead
+				for n := 1; n < take; n++ {
+					next := acc.Load(simmem.Addr(tail)).Bits
+					if next == 0 {
+						break
+					}
+					tail = next
+				}
+				rest := acc.Load(simmem.Addr(tail)).Bits
+				acc.Store(gheadAddr, simmem.Word{Bits: rest})
+				acc.Store(simmem.Addr(tail), simmem.Word{Bits: 0})
+				next := acc.Load(simmem.Addr(ghead)).Bits
+				acc.Store(headAddr, simmem.Word{Bits: next})
+				return simmem.Addr(ghead), nil
+			}
+			// Central pool empty: extend with a line-aligned chunk from the
+			// global cursor, so fresh buffers of different threads never
+			// share a cache line (the HEAPPOOLS per-thread pool behaviour);
+			// split it onto the thread-local list.
 			cur := acc.Load(h.arenaCursor).Bits
 			base := (cur + uint64(lineBytes) - 1) &^ uint64(lineBytes-1)
 			h.Stats.ArenaGlobalOps++

@@ -13,6 +13,7 @@
 package htm
 
 import (
+	"fmt"
 	"math/rand"
 
 	"htmgil/internal/fault"
@@ -120,6 +121,32 @@ func Explore() *Profile {
 		TargetAbortRatio:    0.01,
 		ProfilingPeriod:     300,
 		AdjustmentThreshold: 3,
+	}
+}
+
+// Server returns a scaled-out serving-machine profile for the open-loop
+// experiments: cores SMT-less cores with Haswell-like cache geometry,
+// capacities and instruction costs, and no learning predictor. It is not
+// either machine the paper measured — it extrapolates the paper's HTM
+// parameters to the large server parts the serving scenario targets
+// (64–256 cores), so dispatch and contention at scale can be studied with
+// per-core behavior held at published values.
+func Server(cores int) *Profile {
+	return &Profile{
+		Name:                fmt.Sprintf("server-%dc", cores),
+		Cores:               cores,
+		SMTWays:             1,
+		LineBytes:           64,
+		WriteCapBytes:       19 << 10,
+		ReadCapBytes:        6 << 20,
+		TBeginCycles:        110,
+		TEndCycles:          60,
+		AbortCycles:         180,
+		InterruptMeanCycles: 4_000_000,
+		Learning:            false,
+		TargetAbortRatio:    0.06,
+		ProfilingPeriod:     300,
+		AdjustmentThreshold: 18,
 	}
 }
 

@@ -23,7 +23,7 @@ func benchDispatch(b *testing.B, threads, ctxs int) {
 
 func BenchmarkStepDispatch(b *testing.B) {
 	for _, shape := range []struct{ threads, ctxs int }{
-		{4, 4}, {12, 12}, {64, 8}, {256, 8},
+		{4, 4}, {12, 12}, {64, 8}, {256, 8}, {1024, 64}, {1024, 256},
 	} {
 		b.Run(fmt.Sprintf("threads=%d/ctxs=%d", shape.threads, shape.ctxs), func(b *testing.B) {
 			benchDispatch(b, shape.threads, shape.ctxs)

@@ -1,0 +1,142 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// This file pins the central dispatch invariant: scan mode and ctx mode
+// implement the same strict total order (effective start, own clock, ID),
+// so every workload must yield a bit-identical schedule whichever structure
+// maintains the runnable set — and however often the hybrid flips between
+// them. The corpus is randomized over thread counts that straddle the mode
+// thresholds, SMT shapes, step costs, block/wake via timed events, and
+// spawn-during-step.
+
+type stepRec struct {
+	id int
+	at int64
+}
+
+// spawnCorpusThread adds one randomized thread: 1–40 steps of varying cost,
+// possibly blocking once mid-run (woken by a timed event), possibly
+// spawning a child thread from inside a step. All randomness is drawn at
+// construction time so a step's behavior depends only on the schedule.
+func spawnCorpusThread(rng *rand.Rand, e *Engine, out *[]stepRec, startAt int64, depth int) {
+	nsteps := 1 + rng.Intn(40)
+	costs := make([]int64, nsteps)
+	for j := range costs {
+		costs[j] = 1 + rng.Int63n(500)
+	}
+	blockAt := -1
+	var blockDelay int64
+	if nsteps > 1 && rng.Intn(3) == 0 {
+		blockAt = rng.Intn(nsteps - 1)
+		blockDelay = 1 + rng.Int63n(2000)
+	}
+	spawnAt := -1
+	var childSeed int64
+	if depth > 0 && rng.Intn(4) == 0 {
+		spawnAt = rng.Intn(nsteps)
+		childSeed = rng.Int63()
+	}
+	step := 0
+	var th *Thread
+	th = e.Spawn("corpus", startAt, func(now int64) StepResult {
+		*out = append(*out, stepRec{th.ID, now})
+		c := costs[step]
+		if step == spawnAt {
+			crng := rand.New(rand.NewSource(childSeed))
+			spawnCorpusThread(crng, e, out, now+c/2, depth-1)
+		}
+		isBlock := step == blockAt
+		step++
+		if step == nsteps {
+			return StepResult{Cycles: c, Status: Done}
+		}
+		if isBlock {
+			me := th
+			e.At(now+c+blockDelay, func(at int64) { e.Wake(me, at) })
+			return StepResult{Cycles: c, Status: Blocked}
+		}
+		return StepResult{Cycles: c, Status: Running}
+	})
+}
+
+// runDispatchCase executes the seed's workload under the given mode
+// thresholds and returns the full dispatch trace (thread ID and start time
+// of every step).
+func runDispatchCase(t *testing.T, seed int64, min, exit int) []stepRec {
+	t.Helper()
+	savedMin, savedExit := dispatchCtxMin, dispatchCtxExit
+	dispatchCtxMin, dispatchCtxExit = min, exit
+	defer func() { dispatchCtxMin, dispatchCtxExit = savedMin, savedExit }()
+
+	ctxs := 1 + int(seed%16)
+	smt := 1
+	if seed%3 == 0 {
+		smt = 2
+	}
+	e := NewEngine(Config{HWThreads: ctxs, SMTWays: smt, SMTPenalty: 1.9})
+	var tr []stepRec
+	rng := rand.New(rand.NewSource(seed))
+	nthreads := 3 + rng.Intn(298)
+	for i := 0; i < nthreads; i++ {
+		spawnCorpusThread(rng, e, &tr, rng.Int63n(5000), 2)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("seed %d (min=%d exit=%d): %v", seed, min, exit, err)
+	}
+	return tr
+}
+
+func TestDispatchModesBitIdentical(t *testing.T) {
+	const never = 1 << 30
+	for seed := int64(1); seed <= 30; seed++ {
+		scan := runDispatchCase(t, seed, never, 0) // pure scan: the reference order
+		variants := []struct {
+			name      string
+			min, exit int
+		}{
+			{"hybrid-default", 64, 48}, // shipping thresholds
+			{"ctx-always", 1, 0},       // ctx mode from the first step
+			{"ctx-churn", 8, 6},        // flips modes constantly at corpus sizes
+		}
+		for _, v := range variants {
+			got := runDispatchCase(t, seed, v.min, v.exit)
+			if len(got) != len(scan) {
+				t.Fatalf("seed %d: %s ran %d steps, scan ran %d", seed, v.name, len(got), len(scan))
+			}
+			for i := range scan {
+				if got[i] != scan[i] {
+					t.Fatalf("seed %d: %s diverges from scan at step %d: got thread %d @%d, want thread %d @%d",
+						seed, v.name, i, got[i].id, got[i].at, scan[i].id, scan[i].at)
+				}
+			}
+		}
+	}
+}
+
+// TestDispatchCtxModeEngages guards the threshold plumbing itself: a
+// workload larger than dispatchCtxMin must actually enter ctx mode (a
+// regression here would silently re-run everything through the scan path,
+// making the corpus comparison vacuous).
+func TestDispatchCtxModeEngages(t *testing.T) {
+	e := NewEngine(Config{HWThreads: 8})
+	sawCtxMode := false
+	for i := 0; i < dispatchCtxMin+10; i++ {
+		e.Spawn(fmt.Sprintf("t%d", i), 0, func(now int64) StepResult {
+			if e.ctxMode {
+				sawCtxMode = true
+			}
+			return StepResult{Cycles: 10, Status: Done}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawCtxMode {
+		t.Fatal("engine never entered ctx dispatch mode above dispatchCtxMin threads")
+	}
+}

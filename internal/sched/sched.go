@@ -52,8 +52,15 @@ type HWContext struct {
 	ID      int
 	clock   int64 // time at which this hardware thread is next free
 	sibling *HWContext
-	nlive   int       // live software threads affined to this context
-	runset  []*Thread // Running threads affined to this context
+	nlive   int // live software threads affined to this context
+
+	// runq holds the Running threads affined to this context. In ctx
+	// dispatch mode it is a min-heap ordered by (Clock, ID); in scan mode
+	// it is unused (emptied, rebuilt on mode entry).
+	runq []*Thread
+	// heapIdx is this context's index in the engine's context heap, -1
+	// while the context has no runnable thread (or in scan mode).
+	heapIdx int
 }
 
 // Clock returns the virtual time at which the context is next free.
@@ -76,9 +83,8 @@ type Thread struct {
 	step       StepFunc
 	blockStart int64
 	lastWait   int64
-	runIdx     int   // index in the engine's run-heap, -1 when not running
-	ctxIdx     int   // index in Ctx.runset, -1 when not running
-	key        int64 // cached effective start time ordering the run-heap
+	runIdx     int // index in the engine's flat Running list, -1 when not running
+	ctxIdx     int // index in Ctx.runq (ctx mode), -1 when not queued
 	Name       string
 }
 
@@ -109,73 +115,57 @@ func (q *eventPQ) Push(x any)       { *q = append(*q, x.(*timedEvent)) }
 func (q *eventPQ) Pop() any         { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
 func (q eventPQ) peek() *timedEvent { return q[0] }
 
-// Dispatch strategy. The Running set lives in one slice (runHeap.th); what
-// varies is how the minimum is found. Below heapDispatchMin threads the
-// engine scans the slice — a handful of inline comparisons per step beats
-// any structure. At heapDispatchMin the slice is heapified in place and
-// maintained as an indexed min-heap keyed on effective start time, turning
-// each step's dispatch from O(running) into O(log running); below
-// heapDispatchExit it falls back to scanning (the gap is hysteresis, so a
-// workload oscillating around the threshold does not re-heapify every
-// step). Both orders are the same strict total order, so the dispatched
-// thread — and therefore the whole schedule — is identical in either mode.
-// BenchmarkStepDispatch measures the crossover.
-const (
-	heapDispatchMin  = 64
-	heapDispatchExit = 48
+// Dispatch strategy. The Running threads always live in one flat slice
+// (runList); what varies is how the minimum of the dispatch order —
+// (effective start, own clock, ID) — is found. Below dispatchCtxMin threads
+// the engine scans the slice: a handful of inline comparisons per step beats
+// any structure. At dispatchCtxMin it switches to incremental two-level
+// maintenance: each context keeps a min-heap of its runnable threads ordered
+// by (Clock, ID), and a top-level heap orders the contexts by their head's
+// dispatch key. Below dispatchCtxExit it falls back to scanning (the gap is
+// hysteresis, so a workload oscillating around the threshold does not
+// rebuild the structures every step).
+//
+// The two-level split is what makes large-N dispatch cheap. Within one
+// context, effStart = max(ctx.clock, th.Clock), so ordering by (Clock, ID)
+// refines the dispatch order exactly AND is invariant under advances of the
+// context's clock: a step never reorders the stepping context's queue, it
+// only changes that one context's key in the small top-level heap. Each
+// step therefore costs O(log threads-per-context + log contexts) instead of
+// restamping every thread queued on the context (the previous design). Both
+// orders are the same strict total order, so the dispatched thread — and
+// therefore the whole schedule — is identical in either mode.
+// BenchmarkStepDispatch measures the crossover;
+// TestDispatchModesBitIdentical pins the equivalence on a randomized corpus.
+//
+// The thresholds are variables only so the corpus test can force one mode.
+var (
+	dispatchCtxMin  = 64
+	dispatchCtxExit = 48
 )
 
-// runHeap holds the Running threads; in heap mode it is an indexed min-heap
-// keyed on effective start time. The comparator reproduces the scan's
-// preference order exactly — earliest effective start, then smallest own
-// clock (longest waiter), then lowest ID — so schedules stay bit-identical.
-//
-// The heap orders by the CACHED key (Thread.key), not by live clocks. The
-// engine keeps the invariant "key == effStart" for every queued thread: a
-// push stamps the key, and when a step advances a context's clock, every
-// thread queued on that context gets its key restamped and re-sifted
-// (refreshCtx). Caching matters for correctness, not just speed: heap.Fix
-// repairs a single changed key against an otherwise-valid heap, so if the
-// comparator read live clocks, a context-clock advance would change many
-// keys at once and per-node Fix could leave the heap invalid (an up-move
-// during one node's fix compares against another not-yet-fixed node). With
-// cached keys each restamp+Fix is a valid single-key transition.
-type runHeap struct {
+// runList holds the Running threads as an unordered slice; threads track
+// their index for O(1) removal. It is the only structure scan mode needs,
+// and ctx mode keeps it current so mode exits cost nothing.
+type runList struct {
 	th []*Thread
 }
 
-// before reports whether thread a must be dispatched before thread b.
-// IDs are unique, so this is a strict total order.
-func before(a, b *Thread) bool {
-	if a.key != b.key {
-		return a.key < b.key
-	}
-	if a.Clock != b.Clock {
-		return a.Clock < b.Clock
-	}
-	return a.ID < b.ID
+func (l *runList) add(t *Thread) {
+	t.runIdx = len(l.th)
+	l.th = append(l.th, t)
 }
 
-func (h runHeap) Len() int           { return len(h.th) }
-func (h runHeap) Less(i, j int) bool { return before(h.th[i], h.th[j]) }
-func (h runHeap) Swap(i, j int) {
-	h.th[i], h.th[j] = h.th[j], h.th[i]
-	h.th[i].runIdx = i
-	h.th[j].runIdx = j
-}
-func (h *runHeap) Push(x any) {
-	t := x.(*Thread)
-	t.runIdx = len(h.th)
-	h.th = append(h.th, t)
-}
-func (h *runHeap) Pop() any {
-	old := h.th
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	h.th = old[:n-1]
+// removeAt detaches the thread at slice index i by swapping in the last
+// element; no ordering invariant exists to repair.
+func (l *runList) removeAt(i int) {
+	last := len(l.th) - 1
+	t := l.th[i]
+	l.th[i] = l.th[last]
+	l.th[i].runIdx = i
+	l.th[last] = nil
+	l.th = l.th[:last]
 	t.runIdx = -1
-	return t
 }
 
 // effStart returns the earliest virtual time th could begin its next step:
@@ -187,19 +177,111 @@ func effStart(th *Thread) int64 {
 	return th.Clock
 }
 
+// runqLess orders threads within one context's run queue: smallest own
+// clock first (the longest waiter), then lowest ID. IDs are unique, so this
+// is a strict total order — and because every thread in the queue shares
+// the same context clock, it refines the global dispatch order
+// (effStart, Clock, ID) restricted to the queue, whatever the context
+// clock is.
+func runqLess(a, b *Thread) bool {
+	if a.Clock != b.Clock {
+		return a.Clock < b.Clock
+	}
+	return a.ID < b.ID
+}
+
+func (c *HWContext) runqSwap(i, j int) {
+	c.runq[i], c.runq[j] = c.runq[j], c.runq[i]
+	c.runq[i].ctxIdx = i
+	c.runq[j].ctxIdx = j
+}
+
+func (c *HWContext) runqUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !runqLess(c.runq[i], c.runq[parent]) {
+			break
+		}
+		c.runqSwap(i, parent)
+		i = parent
+	}
+}
+
+func (c *HWContext) runqDown(i int) {
+	n := len(c.runq)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && runqLess(c.runq[r], c.runq[l]) {
+			m = r
+		}
+		if !runqLess(c.runq[m], c.runq[i]) {
+			return
+		}
+		c.runqSwap(i, m)
+		i = m
+	}
+}
+
+func (c *HWContext) runqPush(th *Thread) {
+	th.ctxIdx = len(c.runq)
+	c.runq = append(c.runq, th)
+	c.runqUp(th.ctxIdx)
+}
+
+// runqPopHead removes and returns the queue head.
+func (c *HWContext) runqPopHead() *Thread {
+	h := c.runq[0]
+	last := len(c.runq) - 1
+	c.runqSwap(0, last)
+	c.runq[last] = nil
+	c.runq = c.runq[:last]
+	h.ctxIdx = -1
+	if last > 0 {
+		c.runqDown(0)
+	}
+	return h
+}
+
+// ctxBefore orders two contexts by their queue heads' dispatch keys:
+// earliest effective start, then smallest own clock, then lowest ID. Both
+// queues are non-empty while their contexts sit in the engine's context
+// heap, and thread IDs are unique, so this is a strict total order.
+func ctxBefore(a, b *HWContext) bool {
+	ha, hb := a.runq[0], b.runq[0]
+	ea, eb := ha.Clock, hb.Clock
+	if a.clock > ea {
+		ea = a.clock
+	}
+	if b.clock > eb {
+		eb = b.clock
+	}
+	if ea != eb {
+		return ea < eb
+	}
+	if ha.Clock != hb.Clock {
+		return ha.Clock < hb.Clock
+	}
+	return ha.ID < hb.ID
+}
+
 // Engine drives the simulation.
 type Engine struct {
-	cfg      Config
-	ctxs     []*HWContext
-	run      runHeap // Running threads; min-heap when heapMode
-	heapMode bool    // see the dispatch-strategy comment on runHeap
-	timed    eventPQ
-	seq      int64
-	now      int64
-	live     int
-	nthread  int
-	stopped  bool
-	nextCtx  int
+	cfg     Config
+	ctxs    []*HWContext
+	run     runList // all Running threads, unordered
+	ctxMode bool    // see the dispatch-strategy comment above
+	ctxq    []*HWContext
+	timed   eventPQ
+	seq     int64
+	now     int64
+	live    int
+	nthread int
+	stopped bool
+	nextCtx int
 
 	// Tracer, when non-nil, receives thread-spawn/thread-done events.
 	Tracer *trace.Recorder
@@ -231,7 +313,7 @@ func NewEngine(cfg Config) *Engine {
 	e := &Engine{cfg: cfg}
 	e.ctxs = make([]*HWContext, cfg.HWThreads)
 	for i := range e.ctxs {
-		e.ctxs[i] = &HWContext{ID: i}
+		e.ctxs[i] = &HWContext{ID: i, heapIdx: -1}
 	}
 	if cfg.SMTWays == 2 {
 		// Contexts are ordered core-first: ctx i and ctx i+cores share core i,
@@ -283,95 +365,130 @@ func (e *Engine) Spawn(name string, startAt int64, step StepFunc) *Thread {
 	return th
 }
 
+// addRunning inserts a thread into the Running structures. In ctx mode the
+// thread also enters its context's queue; the context's top-level key is
+// repaired immediately, so the heaps stay valid between any two mutations
+// (a step's Spawns and Wakes interleave with the stepping thread being
+// temporarily dequeued).
 func (e *Engine) addRunning(th *Thread) {
-	if e.heapMode {
-		th.key = effStart(th)
-		heap.Push(&e.run, th)
-		th.ctxIdx = len(th.Ctx.runset)
-		th.Ctx.runset = append(th.Ctx.runset, th)
-	} else {
-		// Scan mode keeps no per-context run sets (only heap mode's
-		// refreshCtx needs them); they are rebuilt on the next transition.
-		th.runIdx = len(e.run.th)
-		e.run.th = append(e.run.th, th)
-	}
-}
-
-// removePick takes a thread that just finished a step (Blocked or Done) out
-// of the Running set. In heap mode the heap sifts by cached keys, which are
-// still mutually consistent here, so heap.Remove is sound even though the
-// pick's live effective start moved.
-func (e *Engine) removePick(pick *Thread) {
-	if e.heapMode {
-		heap.Remove(&e.run, pick.runIdx)
-		e.detachCtx(pick)
-	} else {
-		e.run.removeAt(pick.runIdx)
-	}
-}
-
-// removeAt detaches the thread at slice index i without any sifting; scan
-// mode keeps no ordering invariant to repair.
-func (h *runHeap) removeAt(i int) {
-	last := len(h.th) - 1
-	t := h.th[i]
-	h.th[i] = h.th[last]
-	h.th[i].runIdx = i
-	h.th[last] = nil
-	h.th = h.th[:last]
-	t.runIdx = -1
-}
-
-// detachCtx removes th from its context's run set.
-func (e *Engine) detachCtx(th *Thread) {
-	set := th.Ctx.runset
-	i := th.ctxIdx
-	last := len(set) - 1
-	set[i] = set[last]
-	set[i].ctxIdx = i
-	set[last] = nil
-	th.Ctx.runset = set[:last]
-	th.ctxIdx = -1
-}
-
-// refreshCtx restamps the cached key of every thread queued on ctx and
-// re-sifts each; called after a step advanced ctx's clock in heap mode.
-// Each restamp is a single-key change against a heap that is valid for the
-// cached keys, so per-node heap.Fix is sound (see the runHeap comment).
-// Typically ctx holds O(threads/contexts) queued threads, so this stays
-// cheaper than a full scan of the Running set.
-func (e *Engine) refreshCtx(ctx *HWContext) {
-	for _, th := range ctx.runset {
-		if k := effStart(th); k != th.key {
-			th.key = k
-			heap.Fix(&e.run, th.runIdx)
+	e.run.add(th)
+	if e.ctxMode {
+		c := th.Ctx
+		c.runqPush(th)
+		if c.heapIdx < 0 {
+			e.ctxqPush(c)
+		} else if th.ctxIdx == 0 {
+			e.ctxqFix(c) // new head: the context's key changed
 		}
 	}
 }
 
-// setDispatchMode flips between scan and heap dispatch with hysteresis.
-// Entering heap mode stamps every key, rebuilds the per-context run sets
-// (scan mode does not maintain them) and heapifies in place; leaving it
-// costs nothing, since scan mode ignores both slice order and run sets.
+// Context-heap maintenance (ctx mode): a hand-rolled indexed min-heap over
+// the contexts with runnable threads, ordered by ctxBefore. The comparator
+// reads live clocks; that is sound because every single-context mutation
+// (queue push/pop, clock advance) is followed by one fix of that context
+// before any other context is touched.
+
+func (e *Engine) ctxqSwap(i, j int) {
+	e.ctxq[i], e.ctxq[j] = e.ctxq[j], e.ctxq[i]
+	e.ctxq[i].heapIdx = i
+	e.ctxq[j].heapIdx = j
+}
+
+func (e *Engine) ctxqUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !ctxBefore(e.ctxq[i], e.ctxq[parent]) {
+			break
+		}
+		e.ctxqSwap(i, parent)
+		i = parent
+	}
+}
+
+func (e *Engine) ctxqDown(i int) {
+	n := len(e.ctxq)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && ctxBefore(e.ctxq[r], e.ctxq[l]) {
+			m = r
+		}
+		if !ctxBefore(e.ctxq[m], e.ctxq[i]) {
+			return
+		}
+		e.ctxqSwap(i, m)
+		i = m
+	}
+}
+
+func (e *Engine) ctxqPush(c *HWContext) {
+	c.heapIdx = len(e.ctxq)
+	e.ctxq = append(e.ctxq, c)
+	e.ctxqUp(c.heapIdx)
+}
+
+func (e *Engine) ctxqRemove(c *HWContext) {
+	i := c.heapIdx
+	last := len(e.ctxq) - 1
+	e.ctxqSwap(i, last)
+	e.ctxq[last] = nil
+	e.ctxq = e.ctxq[:last]
+	c.heapIdx = -1
+	if i < last {
+		e.ctxqFixAt(i)
+	}
+}
+
+// ctxqFix repairs c's position after its key changed.
+func (e *Engine) ctxqFix(c *HWContext) { e.ctxqFixAt(c.heapIdx) }
+
+func (e *Engine) ctxqFixAt(i int) {
+	e.ctxqUp(i)
+	if e.ctxq[i].heapIdx == i {
+		e.ctxqDown(i)
+	}
+}
+
+// setDispatchMode flips between scan and ctx dispatch with hysteresis.
+// Entering ctx mode rebuilds the per-context queues from the flat Running
+// list and heapifies the context heap; leaving tears the structures down
+// (scan mode maintains neither).
 func (e *Engine) setDispatchMode() {
-	if n := len(e.run.th); e.heapMode {
-		if n < heapDispatchExit {
-			e.heapMode = false
-		}
-	} else if n >= heapDispatchMin {
-		for _, c := range e.ctxs {
-			for i := range c.runset {
-				c.runset[i] = nil
+	if n := len(e.run.th); e.ctxMode {
+		if n < dispatchCtxExit {
+			e.ctxMode = false
+			for _, c := range e.ctxs {
+				for i := range c.runq {
+					c.runq[i].ctxIdx = -1
+					c.runq[i] = nil
+				}
+				c.runq = c.runq[:0]
+				c.heapIdx = -1
 			}
-			c.runset = c.runset[:0]
+			for i := range e.ctxq {
+				e.ctxq[i] = nil
+			}
+			e.ctxq = e.ctxq[:0]
 		}
+	} else if n >= dispatchCtxMin {
 		for _, th := range e.run.th {
-			th.key = effStart(th)
-			th.ctxIdx = len(th.Ctx.runset)
-			th.Ctx.runset = append(th.Ctx.runset, th)
+			th.ctxIdx = len(th.Ctx.runq)
+			th.Ctx.runq = append(th.Ctx.runq, th)
 		}
-		heap.Init(&e.run)
-		e.heapMode = true
+		for _, c := range e.ctxs {
+			if len(c.runq) == 0 {
+				continue
+			}
+			for i := len(c.runq)/2 - 1; i >= 0; i-- {
+				c.runqDown(i)
+			}
+			e.ctxqPush(c)
+		}
+		e.ctxMode = true
 	}
 }
 
@@ -430,9 +547,11 @@ func (e *Engine) Run() error {
 		e.setDispatchMode()
 		var pick *Thread
 		var pickAt int64
-		if e.heapMode {
-			pick = e.run.th[0]
-			pickAt = pick.key // == effStart(pick); see refreshCtx
+		if e.ctxMode {
+			if len(e.ctxq) > 0 {
+				pick = e.ctxq[0].runq[0]
+				pickAt = effStart(pick)
+			}
 		} else {
 			for _, th := range e.run.th {
 				at := effStart(th)
@@ -465,11 +584,21 @@ func (e *Engine) Run() error {
 }
 
 // execStep runs one step of pick starting at pickAt and applies the outcome
-// to the Running set. The pick stays in the Running set while its step runs;
-// a step may Spawn or Wake threads into the set, which is safe in either
-// mode (a heap push compares against the pick's still-cached key, and its
-// restamp comes in refreshCtx below).
+// to the Running structures. In ctx mode the pick — always its context's
+// queue head — is dequeued before the step runs, because the step mutates
+// the pick's clock (the queue's ordering key) and may Spawn or Wake threads
+// into any queue; it re-enters with its final clock afterwards. The flat
+// Running list keeps the pick throughout, as scan mode always has.
 func (e *Engine) execStep(pick *Thread, pickAt int64) {
+	ctx := pick.Ctx
+	if e.ctxMode {
+		ctx.runqPopHead()
+		if len(ctx.runq) == 0 {
+			e.ctxqRemove(ctx)
+		} else {
+			e.ctxqFix(ctx)
+		}
+	}
 	e.now = pickAt
 	pick.Clock = pickAt
 	res := pick.step(pickAt)
@@ -477,36 +606,44 @@ func (e *Engine) execStep(pick *Thread, pickAt int64) {
 	if cost < 0 {
 		panic("sched: negative step cost")
 	}
-	if e.cfg.SMTWays == 2 && pick.Ctx.sibling != nil && pick.Ctx.sibling.Busy() {
+	if e.cfg.SMTWays == 2 && ctx.sibling != nil && ctx.sibling.Busy() {
 		cost = int64(float64(cost) * e.cfg.SMTPenalty)
 	}
 	end := pickAt + cost
 	pick.Clock = end
-	pick.Ctx.clock = end
+	ctx.clock = end
 	switch res.Status {
 	case Running:
-		// Still in the Running set; heap mode repairs its key below.
+		if e.ctxMode {
+			ctx.runqPush(pick)
+			if ctx.heapIdx < 0 {
+				e.ctxqPush(ctx)
+			} else {
+				// Clock advance and possible new head: one key change,
+				// one fix.
+				e.ctxqFix(ctx)
+			}
+		}
 	case Blocked:
 		pick.status = Blocked
 		pick.blockStart = end
-		e.removePick(pick)
+		e.run.removeAt(pick.runIdx)
+		if e.ctxMode && ctx.heapIdx >= 0 {
+			e.ctxqFix(ctx) // the context's clock advanced under its queue
+		}
 	case Done:
 		pick.status = Done
-		pick.Ctx.nlive--
+		ctx.nlive--
 		e.live--
-		e.removePick(pick)
+		e.run.removeAt(pick.runIdx)
+		if e.ctxMode && ctx.heapIdx >= 0 {
+			e.ctxqFix(ctx)
+		}
 		if e.Tracer != nil {
 			ev := trace.Ev(end, trace.KindThreadDone)
 			ev.Thread = pick.ID
 			e.Tracer.Emit(ev)
 		}
-	}
-	// The context's clock advanced: every thread still queued on it —
-	// including the pick itself when it stays Running — has a new
-	// effective start time (scan mode reads the live clocks, so only
-	// heap mode has cached keys to repair).
-	if e.heapMode {
-		e.refreshCtx(pick.Ctx)
 	}
 }
 
@@ -522,7 +659,7 @@ func (e *Engine) runExplore() error {
 		if e.live == 0 {
 			return nil
 		}
-		// The engine never enters heap mode here; candidate order is the
+		// The engine never enters ctx mode here; candidate order is the
 		// scan preference as a total order: effective start, then own
 		// clock (longest waiter), then ID.
 		cands = append(cands[:0], e.run.th...)

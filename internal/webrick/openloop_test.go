@@ -1,0 +1,111 @@
+package webrick
+
+import (
+	"testing"
+
+	"htmgil/internal/htm"
+	"htmgil/internal/netsim"
+	"htmgil/internal/vm"
+)
+
+// openRoutes is a small route mix for the open-loop tests: a popular cheap
+// page, a second page, and the 404 path.
+func openRoutes() []netsim.OpenRoute {
+	mk := func(path string) string {
+		return "GET " + path + " HTTP/1.1\r\nHost: sim.example\r\nUser-Agent: open/1.0\r\nAccept: text/html\r\nConnection: close\r\n\r\n"
+	}
+	return []netsim.OpenRoute{
+		{Name: "index", Request: mk("/index.html"), SLOCycles: 40_000_000},
+		{Name: "about", Request: mk("/about"), SLOCycles: 40_000_000},
+		{Name: "missing", Request: mk("/missing"), SLOCycles: 40_000_000},
+	}
+}
+
+func TestWebrickOpenLoopPoolServes(t *testing.T) {
+	res, err := Run(Config{
+		Prof:    htm.XeonE3(),
+		Mode:    vm.ModeHTM,
+		Workers: 8,
+		Open: &netsim.OpenLoadGen{
+			Seed: 7,
+			Arrivals: netsim.ArrivalOpts{
+				Kind:       netsim.ArrivalPoisson,
+				RatePerSec: 300,
+				Horizon:    50_000_000, // 10 virtual seconds, ~3000 requests
+			},
+			Routes:   openRoutes(),
+			Sessions: 40,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Open
+	if g.Generated == 0 || g.Completed != g.Generated {
+		t.Fatalf("completed %d of %d generated", g.Completed, g.Generated)
+	}
+	total := 0
+	for _, s := range g.Samples {
+		for _, lat := range s {
+			if lat <= 0 {
+				t.Fatalf("non-positive latency sample %d", lat)
+			}
+		}
+		total += len(s)
+	}
+	if total != g.Completed {
+		t.Fatalf("samples %d != completed %d", total, g.Completed)
+	}
+	// Zipf skew: the first route must dominate.
+	if len(g.Samples[0]) <= len(g.Samples[2]) {
+		t.Fatalf("route popularity not Zipf-skewed: %d vs %d", len(g.Samples[0]), len(g.Samples[2]))
+	}
+	if g.ConnsPeak < 1 || g.ConnsTotal < g.Completed {
+		t.Fatalf("conn accounting: total=%d peak=%d", g.ConnsTotal, g.ConnsPeak)
+	}
+}
+
+// TestWebrickOpenLoopDeterministic pins byte-identical end-to-end behavior:
+// two runs with the same seed must produce identical counters and identical
+// latency samples in identical order.
+func TestWebrickOpenLoopDeterministic(t *testing.T) {
+	run := func() *netsim.OpenLoadGen {
+		res, err := Run(Config{
+			Prof:    htm.XeonE3(),
+			Mode:    vm.ModeHTM,
+			Workers: 6,
+			Open: &netsim.OpenLoadGen{
+				Seed: 11,
+				Arrivals: netsim.ArrivalOpts{
+					Kind:       netsim.ArrivalBursty,
+					RatePerSec: 150,
+					Horizon:    40_000_000,
+				},
+				Routes:       openRoutes(),
+				Sessions:     30,
+				SlowFraction: 0.1,
+				SlowStall:    200_000,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Open
+	}
+	a, b := run(), run()
+	if a.Generated != b.Generated || a.Completed != b.Completed ||
+		a.ConnsTotal != b.ConnsTotal || a.ConnsPeak != b.ConnsPeak ||
+		a.Stalls != b.Stalls {
+		t.Fatalf("counters diverge: %+v vs %+v", a, b)
+	}
+	for r := range a.Samples {
+		if len(a.Samples[r]) != len(b.Samples[r]) {
+			t.Fatalf("route %d: %d vs %d samples", r, len(a.Samples[r]), len(b.Samples[r]))
+		}
+		for i := range a.Samples[r] {
+			if a.Samples[r][i] != b.Samples[r][i] {
+				t.Fatalf("route %d sample %d: %d vs %d", r, i, a.Samples[r][i], b.Samples[r][i])
+			}
+		}
+	}
+}

@@ -93,6 +93,104 @@ while true
 end
 `
 
+// PoolSource returns the WEBrick server with a bounded worker pool instead
+// of thread-per-request: workers Ruby threads (the main thread serves as
+// one of them) loop accepting and handling connections sequentially. The
+// open-loop experiments need this shape — under overload, thread-per-request
+// would spawn an unbounded number of live Ruby threads and hit the VM's
+// 64-context cap, whereas a pool makes excess connections queue in the
+// listener backlog, which is where open-loop latency tails come from. The
+// request handling itself mirrors ServerSource.
+func PoolSource(workers int) string {
+	if workers < 2 {
+		workers = 2
+	}
+	return `
+$reqline = Regexp.new("^(GET|POST) ([^ ]+) HTTP/([0-9.]+)")
+$hdrline = Regexp.new("^([A-Za-z-]+): *(.+)$")
+
+def html_escape(s)
+  out = ""
+  i = 0
+  n = s.length
+  while i < n
+    c = s[i]
+    if c == "<"
+      out = out + "&lt;"
+    elsif c == ">"
+      out = out + "&gt;"
+    elsif c == "&"
+      out = out + "&amp;"
+    else
+      out = out + c
+    end
+    i += 1
+  end
+  out
+end
+
+def build_page(path, headers)
+  rows = ""
+  ks = headers.keys
+  i = 0
+  while i < ks.length
+    k = ks[i]
+    rows = rows + "<tr><td>" + html_escape(k) + "</td><td>" + html_escape(headers[k]) + "</td></tr>"
+    i += 1
+  end
+  "<html><head><title>" + html_escape(path) + "</title></head><body><h1>hello from webrick</h1><table>" + rows + "</table></body></html>"
+end
+
+def handle_conn(s)
+  req = s.read_request
+  m = $reqline.match(req)
+  path = "/"
+  unless m.nil?
+    path = m[2]
+  end
+  headers = {}
+  lines = req.split("\r\n")
+  hi = 1
+  while hi < lines.length
+    line = lines[hi]
+    unless line.empty?
+      hm = $hdrline.match(line)
+      unless hm.nil?
+        headers[hm[1].downcase] = hm[2]
+      end
+    end
+    hi += 1
+  end
+  status = "200 OK"
+  if path == "/missing"
+    status = "404 Not Found"
+  end
+  body = build_page(path, headers)
+  resp = "HTTP/1.1 " + status + "\r\n"
+  resp = resp + "Content-Type: text/html\r\n"
+  resp = resp + "Content-Length: #{body.length}\r\n"
+  resp = resp + "Connection: close\r\n"
+  resp = resp + "Server: MiniWEBrick/1.3.1\r\n\r\n"
+  s.write(resp + body)
+  s.close
+end
+
+server = TCPServer.new(80)
+w = 1
+while w < ` + fmt.Sprint(workers) + `
+  Thread.new do
+    while true
+      handle_conn(server.accept)
+    end
+  end
+  w += 1
+end
+while true
+  handle_conn(server.accept)
+end
+`
+}
+
 // Request is what the load generator sends.
 const Request = "GET /index.html HTTP/1.1\r\n" +
 	"Host: sim.example\r\n" +
@@ -111,6 +209,9 @@ type Result struct {
 	Throughput float64 // requests per virtual second
 	AbortRatio float64
 	Stats      *vm.Stats
+	// Open is the finished open-loop generator (counters, latency samples)
+	// when the run was driven open-loop; nil for closed-loop runs.
+	Open *netsim.OpenLoadGen
 }
 
 // Config parameterizes a run.
@@ -124,7 +225,15 @@ type Config struct {
 	// ZOSMalloc models z/OS malloc: arena operations on global state even
 	// with HEAPPOOLS, the paper's WEBrick-on-zEC12 conflict source.
 	ZOSMalloc bool
-	Source    string // defaults to ServerSource
+	Source    string // defaults to ServerSource (or PoolSource with Workers set)
+	// Workers, when > 0, serves with the bounded worker-pool source instead
+	// of thread-per-request (see PoolSource).
+	Workers int
+	// Open, when non-nil, replaces the closed-loop clients with the
+	// open-loop generator: Run fills in its network plumbing (Net, Eng,
+	// Port, OnDone), starts it, and returns it in Result.Open. The caller
+	// sets the traffic shape (Seed, Arrivals, Routes, Sessions, ...).
+	Open *netsim.OpenLoadGen
 	// Trace, when non-nil, is attached to the run's VM (vm.Options.Trace)
 	// so callers can observe the server's transaction events.
 	Trace *trace.Recorder
@@ -163,11 +272,40 @@ func Run(cfg Config) (*Result, error) {
 
 	src := cfg.Source
 	if src == "" {
-		src = ServerSource
+		if cfg.Workers > 0 {
+			src = PoolSource(cfg.Workers)
+		} else {
+			src = ServerSource
+		}
 	}
 	iseq, err := machine.CompileSource(src, "webrick")
 	if err != nil {
 		return nil, fmt.Errorf("webrick: %w", err)
+	}
+
+	if cfg.Open != nil {
+		gen := cfg.Open
+		gen.Net = net
+		gen.Eng = machine.Engine
+		gen.Port = 80
+		gen.OnDone = machine.Engine.Stop
+		gen.Start()
+		res, err := machine.Run(iseq)
+		if err != nil {
+			return nil, fmt.Errorf("webrick run: %w", err)
+		}
+		if gen.Completed < gen.Generated {
+			return nil, fmt.Errorf("webrick: only %d/%d open-loop requests completed", gen.Completed, gen.Generated)
+		}
+		return &Result{
+			Clients:    gen.Sessions,
+			Completed:  gen.Completed,
+			Cycles:     res.Cycles,
+			Throughput: gen.Throughput(),
+			AbortRatio: res.Stats.AbortRatio(),
+			Stats:      res.Stats,
+			Open:       gen,
+		}, nil
 	}
 
 	gen := &netsim.LoadGen{
