@@ -5,17 +5,23 @@
 //	htmgil-bench -experiment fig6b -quick -trace-summary
 //	htmgil-bench -experiment fig8 -quick -report reports.json
 //	htmgil-bench -experiment policy -quick -csv policy.csv
+//	htmgil-bench -experiment hybrid -quick -report hybrid.json
 //	htmgil-bench -experiment serving -quick -report serving.json
 //	htmgil-bench -experiment explore -quick
 //	htmgil-bench -replay-schedule internal/explore/testdata/schedules/counter-flip2.json
 //
 // -list prints the experiment names: micro fig5 fig6a fig6b fig7 fig8
-// fig9 aborts overhead ablation policy chaos serving explore all. -quick uses scaled-down
+// fig9 aborts overhead ablation policy hybrid chaos serving explore all.
+// -quick uses scaled-down
 // problem sizes and fewer thread counts; without it the full
 // (paper-shaped) sweep runs, which takes tens of minutes on one host
 // core. The policy experiment sweeps every contention-management policy
 // of internal/policy over the NPB kernels and WEBrick, with per-policy
-// abort-cause and fallback-reason attribution. The chaos experiment
+// abort-cause and fallback-reason attribution. The hybrid experiment
+// compares the three-tier elision pipeline (HTM -> OCC -> GIL) against
+// the two-tier paper runtime and the all-GIL baseline on the NPB kernels
+// and WEBrick, with per-tier commit/abort attribution including OCC
+// validation failures. The chaos experiment
 // sweeps the deterministic fault profiles of internal/fault (spurious
 // aborts, capacity jitter, network resets, timer jitter) with the elision
 // circuit breaker and degradation watchdog on, reporting throughput under

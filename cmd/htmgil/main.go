@@ -161,6 +161,10 @@ func main() {
 				fmt.Fprintf(os.Stderr, "  conflicts at %-14s %d\n", r, res.Stats.ConflictRegions[r])
 			}
 		}
+		if res.Stats.OCC != nil {
+			fmt.Fprintf(os.Stderr, "sw transactions: %d begun, %d committed, %d aborted (%d validation failures)\n",
+				res.Stats.OCC.Begins, res.Stats.OCC.Commits, res.Stats.OCC.Aborts, res.Stats.OCC.ValidationFailures)
+		}
 		if len(res.Stats.FaultCounts) > 0 {
 			var chans []string
 			for ch := range res.Stats.FaultCounts {

@@ -568,8 +568,8 @@ func (s *Session) steps() []struct {
 		{"micro", s.buildMicro}, {"fig5", s.buildFig5}, {"fig6a", s.buildFig6a}, {"fig6b", s.buildFig6b},
 		{"fig7", s.buildFig7}, {"fig8", s.buildFig8}, {"fig9", s.buildFig9},
 		{"aborts", s.buildAborts}, {"overhead", s.buildOverhead}, {"ablation", s.buildAblation},
-		{"policy", s.buildPolicy}, {"chaos", s.buildChaos}, {"serving", s.buildServing},
-		{"explore", s.buildExplore},
+		{"policy", s.buildPolicy}, {"hybrid", s.buildHybrid}, {"chaos", s.buildChaos},
+		{"serving", s.buildServing}, {"explore", s.buildExplore},
 	}
 }
 

@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"htmgil/internal/htm"
+	"htmgil/internal/vm"
+)
+
+// The hybrid experiment evaluates the three-tier elision pipeline: where
+// does the software-transaction (OCC) tier between HTM and the GIL pay
+// off? It sweeps five runtimes over the NPB kernels and WEBrick:
+//
+//   GIL            every critical section under the lock (the baseline)
+//   paper-dynamic  the paper's two tiers: HTM with a GIL fallback
+//   occ-adaptive   three tiers: per-site routing HTM -> OCC -> GIL
+//   occ-adpt-sbx   occ-adaptive with sandboxed HTM: hardware transactions
+//                  skip the OCC sequence-word subscription and rely on
+//                  per-line publication conflicts alone
+//   occ-first      the software tier only: OCC with a GIL fallback
+//
+// Every point attaches a trace aggregator (like the policy experiment),
+// and the per-tier attribution tables break commits and aborts down by
+// tier — hardware, software, and lock — including OCC validation
+// failures. The headline question each summary line answers: at the
+// highest thread count, does replacing the GIL fallback with OCC beat
+// running the contended sections under the lock?
+
+// hybridConfig pairs a swept runtime with its machine-profile tweak.
+type hybridConfig struct {
+	name    string
+	cfg     Config
+	sandbox bool // htm.Profile.OCCSandbox: skip the seq-word subscription
+}
+
+func hybridConfigs() []hybridConfig {
+	return []hybridConfig{
+		{"GIL", Config{Name: "GIL", Mode: vm.ModeGIL}, false},
+		{"paper-dynamic", Config{Name: "paper-dynamic", Mode: vm.ModeHTM, Policy: "paper-dynamic"}, false},
+		{"occ-adaptive", Config{Name: "occ-adaptive", Mode: vm.ModeHTM, Policy: "occ-adaptive"}, false},
+		{"occ-adpt-sbx", Config{Name: "occ-adpt-sbx", Mode: vm.ModeHTM, Policy: "occ-adaptive"}, true},
+		{"occ-first", Config{Name: "occ-first", Mode: vm.ModeHTM, Policy: "occ-first"}, false},
+	}
+}
+
+// hybridProfile builds the per-config machine profile.
+func hybridProfile(base func() *htm.Profile, sandbox bool) *htm.Profile {
+	p := base()
+	p.OCCSandbox = sandbox
+	return p
+}
+
+// hybridAttribution renders one per-tier attribution line: hardware
+// begin/commit/abort, software begin/commit/abort plus commit-time
+// validation failures, and sections that ended up under the lock.
+func hybridAttribution(w io.Writer, name string, st *vm.Stats) error {
+	var hb, hc, ha uint64
+	if st.HTM != nil {
+		hb, hc, ha = st.HTM.Begins, st.HTM.Commits, st.HTM.Aborts
+	}
+	var ob, oc, oa, ovf uint64
+	if st.OCC != nil {
+		ob, oc, oa, ovf = st.OCC.Begins, st.OCC.Commits, st.OCC.Aborts, st.OCC.ValidationFailures
+	}
+	_, err := fmt.Fprintf(w, "%-16s%10d%10d%10d%10d%10d%10d%10d%10d\n",
+		name, hb, hc, ha, ob, oc, oa, ovf, st.GILFallbacks)
+	return err
+}
+
+func hybridAttributionHeader(p *plan) {
+	p.printf("%-16s%10s%10s%10s%10s%10s%10s%10s%10s\n", "policy",
+		"htmBegin", "htmCommit", "htmAbort", "occBegin", "occCommit", "occAbort", "valFail", "gilFall")
+}
+
+// buildHybrid enumerates the hybrid-TM experiment: throughput tables
+// normalized to 1-thread (1-client) GIL, a per-tier attribution table at
+// the highest contention point, and a summary line comparing the
+// OCC-using runtimes against the all-GIL baseline at that point.
+func (s *Session) buildHybrid(p *plan) {
+	quick := s.Quick
+	class := classFor(quick)
+	cfgs := hybridConfigs()
+	for _, base := range []func() *htm.Profile{htm.ZEC12, htm.XeonE3} {
+		prof := base()
+		ths := threadsFor(prof, quick)
+		maxTh := ths[len(ths)-1]
+		for _, bench := range policyKernels(quick) {
+			p.printf("\n# Hybrid TM — %s on %s (throughput, 1 = 1-thread GIL)\n", bench, prof.Name)
+			baseRun := p.kernel(fmt.Sprintf("hybrid baseline %s/%s", prof.Name, bench),
+				"hybrid", bench, prof, cfgs[0].cfg, 1, class, false)
+			p.printf("%-10s", "threads")
+			for _, hc := range cfgs {
+				p.printf("%16s", hc.name)
+			}
+			p.printf("\n")
+			top := map[string]*policyRun{}
+			for _, th := range ths {
+				p.printf("%-10d", th)
+				for _, hc := range cfgs {
+					r := p.policyKernel(fmt.Sprintf("hybrid %s/%s/%s/%d", prof.Name, bench, hc.name, th),
+						"hybrid", bench, hybridProfile(base, hc.sandbox), hc.cfg, th, class)
+					if th == maxTh {
+						top[hc.name] = r
+					}
+					p.cell(func(w io.Writer) error {
+						_, err := fmt.Fprintf(w, "%16.2f", float64(baseRun.res.Cycles)/float64(r.res.Cycles))
+						return err
+					})
+				}
+				p.printf("\n")
+			}
+			p.printf("\n# Hybrid per-tier attribution — %s on %s, %d threads\n", bench, prof.Name, maxTh)
+			hybridAttributionHeader(p)
+			for _, hc := range cfgs {
+				r := top[hc.name]
+				name := hc.name
+				p.cell(func(w io.Writer) error {
+					return hybridAttribution(w, name, r.res.Stats)
+				})
+			}
+			gilTop := top["GIL"]
+			p.cell(func(w io.Writer) error {
+				_, err := fmt.Fprintf(w, "# vs all-GIL at %d threads: occ-first %.2fx, occ-adaptive %.2fx, paper-dynamic %.2fx\n",
+					maxTh,
+					float64(gilTop.res.Cycles)/float64(top["occ-first"].res.Cycles),
+					float64(gilTop.res.Cycles)/float64(top["occ-adaptive"].res.Cycles),
+					float64(gilTop.res.Cycles)/float64(top["paper-dynamic"].res.Cycles))
+				return err
+			})
+		}
+	}
+	// WEBrick on zEC12 (z/OS malloc shadowing, like the policy sweep).
+	requests := 3000
+	clientsList := []int{1, 2, 4, 6}
+	if quick {
+		requests = 800
+		clientsList = []int{1, 4}
+	}
+	maxCl := clientsList[len(clientsList)-1]
+	p.printf("\n# Hybrid TM — webrick on zEC12 (throughput, 1 = 1-client GIL)\n")
+	baseSrv := p.server("hybrid webrick baseline", "hybrid", "webrick", htm.ZEC12(), cfgs[0].cfg, 1, requests, true)
+	p.printf("%-10s", "clients")
+	for _, hc := range cfgs {
+		p.printf("%16s", hc.name)
+	}
+	p.printf("\n")
+	topSrv := map[string]*policyServerRun{}
+	for _, cl := range clientsList {
+		p.printf("%-10d", cl)
+		for _, hc := range cfgs {
+			r := p.policyServer(fmt.Sprintf("hybrid webrick/%s/%d", hc.name, cl),
+				"hybrid", hybridProfile(htm.ZEC12, hc.sandbox), hc.cfg, cl, requests, true)
+			if cl == maxCl {
+				topSrv[hc.name] = r
+			}
+			p.cell(func(w io.Writer) error {
+				_, err := fmt.Fprintf(w, "%16.2f", r.tp/baseSrv.tp)
+				return err
+			})
+		}
+		p.printf("\n")
+	}
+	p.printf("\n# Hybrid per-tier attribution — webrick on zEC12, %d clients\n", maxCl)
+	hybridAttributionHeader(p)
+	for _, hc := range cfgs {
+		r := topSrv[hc.name]
+		name := hc.name
+		p.cell(func(w io.Writer) error {
+			return hybridAttribution(w, name, r.st)
+		})
+	}
+	gilSrv := topSrv["GIL"]
+	p.cell(func(w io.Writer) error {
+		_, err := fmt.Fprintf(w, "# vs all-GIL at %d clients: occ-first %.2fx, occ-adaptive %.2fx, paper-dynamic %.2fx\n",
+			maxCl,
+			topSrv["occ-first"].tp/gilSrv.tp,
+			topSrv["occ-adaptive"].tp/gilSrv.tp,
+			topSrv["paper-dynamic"].tp/gilSrv.tp)
+		return err
+	})
+}
+
+// HybridTable regenerates the hybrid-TM experiment (see buildHybrid).
+func (s *Session) HybridTable() error { return s.runPlan(s.buildHybrid) }
+
+// HybridTable regenerates the hybrid-TM experiment in a fresh Session.
+func HybridTable(w io.Writer, quick bool) error { return NewSession(w, quick).HybridTable() }

@@ -39,10 +39,11 @@ type policyRun struct {
 	agg *trace.Aggregator
 }
 
-// policyKernel enumerates one NPB point of the policy experiment. It
-// differs from plan.kernel in always attaching a trace aggregator, so the
-// attribution tables work without the Session's TraceSummary switch.
-func (p *plan) policyKernel(label string, b npb.Bench, prof *htm.Profile, cfg Config, threads int, c npb.Class) *policyRun {
+// policyKernel enumerates one NPB point of the policy or hybrid
+// experiment. It differs from plan.kernel in always attaching a trace
+// aggregator, so the attribution tables work without the Session's
+// TraceSummary switch.
+func (p *plan) policyKernel(label, exp string, b npb.Bench, prof *htm.Profile, cfg Config, threads int, c npb.Class) *policyRun {
 	pr := &policyRun{}
 	pt := &point{label: label}
 	s := p.s
@@ -60,7 +61,7 @@ func (p *plan) policyKernel(label string, b npb.Bench, prof *htm.Profile, cfg Co
 			return errValidation
 		}
 		pr.res, pr.agg = r, agg
-		pt.rep = newReport("policy", prof.Name, string(b), cfg.Name, threads, 0, r.Cycles, 0, r.Stats, agg, s.topN())
+		pt.rep = newReport(exp, prof.Name, string(b), cfg.Name, threads, 0, r.Cycles, 0, r.Stats, agg, s.topN())
 		pt.hasRep = true
 		return nil
 	}
@@ -75,8 +76,9 @@ type policyServerRun struct {
 	agg    *trace.Aggregator
 }
 
-// policyServer enumerates one WEBrick point of the policy experiment.
-func (p *plan) policyServer(label string, prof *htm.Profile, cfg Config, clients, requests int, zos bool) *policyServerRun {
+// policyServer enumerates one WEBrick point of the policy or hybrid
+// experiment.
+func (p *plan) policyServer(label, exp string, prof *htm.Profile, cfg Config, clients, requests int, zos bool) *policyServerRun {
 	pr := &policyServerRun{}
 	pt := &point{label: label}
 	s := p.s
@@ -89,7 +91,7 @@ func (p *plan) policyServer(label string, prof *htm.Profile, cfg Config, clients
 			return err
 		}
 		pr.tp, pr.ab, pr.st, pr.agg = r.Throughput, r.AbortRatio, r.Stats, agg
-		pt.rep = newReport("policy", prof.Name, "webrick", cfg.Name, 0, clients, r.Cycles, r.Throughput, r.Stats, agg, s.topN())
+		pt.rep = newReport(exp, prof.Name, "webrick", cfg.Name, 0, clients, r.Cycles, r.Throughput, r.Stats, agg, s.topN())
 		pt.hasRep = true
 		return nil
 	}
@@ -174,7 +176,7 @@ func (s *Session) buildPolicy(p *plan) {
 				p.printf("%-10d", th)
 				for _, pc := range pols {
 					r := p.policyKernel(fmt.Sprintf("policy %s/%s/%d", bench, pc.Name, th),
-						bench, prof, pc, th, class)
+						"policy", bench, prof, pc, th, class)
 					if th == maxTh {
 						top[pc.Name] = r
 					}
@@ -223,7 +225,7 @@ func (s *Session) buildPolicy(p *plan) {
 			p.printf("%-10d", cl)
 			for _, pc := range pols {
 				r := p.policyServer(fmt.Sprintf("policy webrick/%s/%s/%d", prof.Name, pc.Name, cl),
-					prof, pc, cl, requests, a.zos)
+					"policy", prof, pc, cl, requests, a.zos)
 				if cl == maxCl {
 					top[pc.Name] = r
 				}

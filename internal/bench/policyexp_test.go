@@ -56,7 +56,7 @@ func TestPolicyPaperDynamicMatchesFig5HTMDynamic(t *testing.T) {
 	p := s.newPlan()
 	prof := htm.ZEC12()
 	fig5 := p.kernel("fig5 point", "fig5", npb.CG, prof, Configs()[4], 4, npb.ClassS, true)
-	pol := p.policyKernel("policy point", npb.CG, prof,
+	pol := p.policyKernel("policy point", "policy", npb.CG, prof,
 		Config{Name: "paper-dynamic", Mode: vm.ModeHTM, Policy: "paper-dynamic"}, 4, npb.ClassS)
 	if err := p.flush(); err != nil {
 		t.Fatal(err)
@@ -83,7 +83,7 @@ func TestPolicyPaperDynamicMatchesFig5HTMDynamic(t *testing.T) {
 func TestWriteReportsCSV(t *testing.T) {
 	s := NewSession(nil, true)
 	p := s.newPlan()
-	p.policyKernel("pt", npb.CG, htm.ZEC12(),
+	p.policyKernel("pt", "policy", npb.CG, htm.ZEC12(),
 		Config{Name: "fixed-16", Mode: vm.ModeHTM, Policy: "fixed-16"}, 2, npb.ClassS)
 	if err := p.flush(); err != nil {
 		t.Fatal(err)

@@ -35,6 +35,13 @@ type Report struct {
 	Adjustments uint64 `json:"lengthAdjustments,omitempty"`
 	GCs         uint64 `json:"gcs,omitempty"`
 
+	// Software-transaction (OCC) tier accounting, present only when the
+	// point ran under a policy using the tier (the hybrid experiment).
+	OCCBegins             uint64 `json:"occBegins,omitempty"`
+	OCCCommits            uint64 `json:"occCommits,omitempty"`
+	OCCAborts             uint64 `json:"occAborts,omitempty"`
+	OCCValidationFailures uint64 `json:"occValidationFailures,omitempty"`
+
 	AbortCauses     map[string]uint64 `json:"abortCauses,omitempty"`
 	ConflictRegions map[string]uint64 `json:"conflictRegions,omitempty"`
 	// ConflictWriterRegions is the subset of ConflictRegions where the
@@ -107,6 +114,12 @@ func newReport(exp, machine, workload, config string, threads, clients int,
 			r.Commits = st.HTM.Commits
 			r.Aborts = st.HTM.Aborts
 		}
+		if st.OCC != nil {
+			r.OCCBegins = st.OCC.Begins
+			r.OCCCommits = st.OCC.Commits
+			r.OCCAborts = st.OCC.Aborts
+			r.OCCValidationFailures = st.OCC.ValidationFailures
+		}
 		if len(st.AbortCauses) > 0 {
 			r.AbortCauses = make(map[string]uint64, len(st.AbortCauses))
 			for c, n := range st.AbortCauses {
@@ -160,6 +173,7 @@ func (s *Session) WriteReportsCSV(w io.Writer) error {
 		"experiment", "machine", "workload", "config", "threads", "clients",
 		"cycles", "throughput", "abortRatio",
 		"txBegins", "txCommits", "txAborts", "gilFallbacks", "lengthAdjustments", "gcs",
+		"occBegins", "occCommits", "occAborts", "occValidationFailures",
 		"faultSpec", "seed", "faultsInjected", "breakerOpens", "recoverCycles",
 		"cores", "workers", "sessions", "ratePerSec", "arrivals", "connsTotal", "connsPeak",
 		"p50", "p99", "p999", "latMax", "sloAttainment",
@@ -199,6 +213,10 @@ func (s *Session) WriteReportsCSV(w io.Writer) error {
 			strconv.FormatUint(r.Fallbacks, 10),
 			strconv.FormatUint(r.Adjustments, 10),
 			strconv.FormatUint(r.GCs, 10),
+			strconv.FormatUint(r.OCCBegins, 10),
+			strconv.FormatUint(r.OCCCommits, 10),
+			strconv.FormatUint(r.OCCAborts, 10),
+			strconv.FormatUint(r.OCCValidationFailures, 10),
 			r.FaultSpec, seed,
 			strconv.FormatUint(faults, 10),
 			strconv.FormatUint(r.BreakerOpens, 10),

@@ -57,7 +57,10 @@ func TestPoliciesUnderSpuriousStorm(t *testing.T) {
 					t.Fatalf("policy %s under %s: counter = %d, want %d (lost updates!)",
 						name, c.spec, got, n*iters)
 				}
-				if inj.Total() == 0 {
+				// occ-first never begins hardware transactions, so an
+				// HTM-channel storm cannot bite it; the lost-update check
+				// above still exercises the software tier under contention.
+				if inj.Total() == 0 && name != "occ-first" {
 					t.Fatalf("storm injected nothing; test is vacuous")
 				}
 			})

@@ -22,6 +22,7 @@ import (
 
 	"htmgil/internal/gil"
 	"htmgil/internal/htm"
+	"htmgil/internal/occ"
 	"htmgil/internal/policy"
 	"htmgil/internal/sched"
 	"htmgil/internal/simmem"
@@ -52,15 +53,20 @@ const (
 type beginState uint8
 
 const (
-	stIdle        beginState = iota
-	stWaitPreTx              // parked at lines 6-8, waiting for GIL release
-	stWaitRetry              // parked after an abort (GIL spin or backoff)
-	stWaitAcquire            // parked in gil_acquire; wakes owning the GIL
+	stIdle         beginState = iota
+	stWaitPreTx               // parked at lines 6-8, waiting for GIL release
+	stWaitRetry               // parked after an abort (GIL spin or backoff)
+	stWaitAcquire             // parked in gil_acquire; wakes owning the GIL
+	stWaitRetryOCC            // parked after a software-tier abort; re-begins in the tier
 )
 
 // Thread is the per-Ruby-thread TLE state.
 type Thread struct {
 	HTM *htm.Context
+
+	// OCC is the thread's software-transaction context, non-nil only when
+	// the active policy uses the tier (Elision.OCCRT).
+	OCC *occ.Tx
 
 	// PS is the policy's per-thread state (retry budgets, backoff ladders).
 	PS policy.ThreadState
@@ -68,6 +74,10 @@ type Thread struct {
 	// GILMode is true while the current critical section runs under the
 	// GIL instead of a transaction (fallback path).
 	GILMode bool
+
+	// OCCMode is true while the current critical section runs in the
+	// software-transaction tier.
+	OCCMode bool
 
 	// ChosenLength is the transaction length selected by the most recent
 	// TransactionBegin; the interpreter stores it into the thread
@@ -84,7 +94,7 @@ type Thread struct {
 
 // InCriticalSection reports whether the thread currently runs Ruby code
 // (transactionally or under the GIL).
-func (t *Thread) InCriticalSection() bool { return t.GILMode || t.HTM.InTx() }
+func (t *Thread) InCriticalSection() bool { return t.GILMode || t.OCCMode || t.HTM.InTx() }
 
 // Elision is the global TLE state: the contention-management policy and the
 // machinery shared by all threads.
@@ -108,6 +118,10 @@ type Elision struct {
 	// the policy (fallback reason BreakerReason).
 	Breaker *Breaker
 
+	// OCCRT is the software-transaction tier runtime, non-nil only when
+	// the policy uses the tier (set by the VM after construction).
+	OCCRT *occ.Runtime
+
 	// Stats
 	Adjustments uint64 // number of length attenuations performed
 	Fallbacks   uint64 // critical sections that fell back to the GIL
@@ -129,7 +143,10 @@ func New(params Params, g *gil.GIL, engine *sched.Engine, numYieldPoints int) *E
 
 // NewWithPolicy creates the TLE runtime driven by an arbitrary policy.
 func NewWithPolicy(p policy.Policy, g *gil.GIL, engine *sched.Engine) *Elision {
-	if policy.UsesLazySubscription(p) && g != nil {
+	if (policy.UsesLazySubscription(p) || policy.UsesOCCTier(p)) && g != nil {
+		// Both lazy subscription and the software tier read memory while a
+		// GIL holder may be mid-section; the hazard window models the
+		// resulting unsafe-read dooms.
 		g.HazardTrack = true
 	}
 	return &Elision{
@@ -142,7 +159,11 @@ func NewWithPolicy(p policy.Policy, g *gil.GIL, engine *sched.Engine) *Elision {
 // NewThread creates the TLE state for one Ruby thread bound to an HTM
 // context.
 func (e *Elision) NewThread(ctx *htm.Context) *Thread {
-	return &Thread{HTM: ctx, PS: e.Policy.NewThread()}
+	t := &Thread{HTM: ctx, PS: e.Policy.NewThread()}
+	if e.OCCRT != nil {
+		t.OCC = e.OCCRT.NewTx(ctx.Tx.ID())
+	}
+	return t
 }
 
 // LengthAt returns the current transaction length for a yield point when
@@ -214,6 +235,13 @@ func (e *Elision) TransactionBegin(t *Thread, sth *sched.Thread, now int64, pc i
 		return e.acquireGIL(t, sth, now, d.Reason, live > 1)
 	}
 	t.ChosenLength = d.Length
+	if d.OCC {
+		// Software tier: no GIL pre-wait — an OCC transaction runs
+		// concurrently with a GIL holder and resolves against it at
+		// read (hazard window) and commit (BlockCommit) time.
+		t.lazy = false
+		return e.beginOCC(t, sth, now)
+	}
 	t.lazy = d.Lazy
 	// Lines 6-8 of Figure 1: wait until the GIL is free before beginning.
 	// Lazy subscription skips the wait along with the subscription: a held
@@ -253,6 +281,28 @@ func (e *Elision) tryBegin(t *Thread, sth *sched.Thread, now int64) (int64, Outc
 	// this returns, which routes into HandleAbort.
 }
 
+// beginOCC opens the critical section in the software-transaction tier.
+func (e *Elision) beginOCC(t *Thread, sth *sched.Thread, now int64) (int64, Outcome) {
+	if t.OCC == nil {
+		// The policy asked for the tier but the runtime lacks it
+		// (defensive; the VM creates OCCRT for every UsesOCCTier policy).
+		return e.acquireGIL(t, sth, now, "occ-unavailable", false)
+	}
+	cycles := t.OCC.Begin()
+	if e.Tracer != nil {
+		ev := trace.Ev(now, trace.KindOCCBegin)
+		ev.Ctx = t.HTM.Tx.ID()
+		ev.Thread = sthID(sth)
+		ev.PC = t.pc
+		ev.Len = t.ChosenLength
+		e.Tracer.Emit(ev)
+	}
+	t.state = stIdle
+	t.GILMode = false
+	t.OCCMode = true
+	return cycles, Proceed
+}
+
 // acquireGIL performs gil_acquire, blocking when contended. reason records
 // why the critical section fell back to the GIL (stats and tracing); every
 // entry here is one fallback, counted once even when the acquisition blocks
@@ -284,6 +334,10 @@ func (e *Elision) acquireGIL(t *Thread, sth *sched.Thread, now int64, reason str
 // ResumeBegin continues the Figure 1 state machine after a wake-up.
 func (e *Elision) ResumeBegin(t *Thread, sth *sched.Thread, now int64) (int64, Outcome) {
 	switch t.state {
+	case stWaitRetryOCC:
+		// The GIL was released (or the backoff expired); re-run the
+		// section in the software tier.
+		return e.beginOCC(t, sth, now)
 	case stWaitPreTx, stWaitRetry:
 		// The GIL was released while we spun (or the backoff expired);
 		// begin (or re-begin) the transaction. If the GIL was re-acquired
@@ -307,6 +361,9 @@ func (e *Elision) ResumeBegin(t *Thread, sth *sched.Thread, now int64) (int64, O
 // interpreter calls it after rolling its private state back to the
 // beginning of the transaction. Outcomes are as for TransactionBegin.
 func (e *Elision) HandleAbort(t *Thread, sth *sched.Thread, now int64) (int64, Outcome) {
+	if t.OCCMode {
+		return e.handleOCCAbort(t, sth, now)
+	}
 	doomAddr := t.HTM.Tx.DoomAddr() // Rollback clears it; read first
 	cause, penalty := t.HTM.Abort()
 	t.LastAbortCause = cause
@@ -352,8 +409,60 @@ func (e *Elision) HandleAbort(t *Thread, sth *sched.Thread, now int64) (int64, O
 		})
 		t.state = stWaitRetry
 		return cycles, Block
+	case policy.AbortOCC:
+		// Degrade the failing section to the software tier instead of
+		// the GIL: still concurrent, no capacity limits.
+		c, out := e.beginOCC(t, sth, now+cycles)
+		return cycles + c, out
 	default: // policy.AbortFallback
 		c, out := e.acquireGIL(t, sth, now+cycles, d.Reason, !gilArtifact)
+		return cycles + c, out
+	}
+}
+
+// handleOCCAbort completes a software-transaction abort and asks the policy
+// how to continue. The interpreter has already rolled its private state
+// back; the buffered writes are simply discarded.
+func (e *Elision) handleOCCAbort(t *Thread, sth *sched.Thread, now int64) (int64, Outcome) {
+	gilBlocked := t.OCC.GILBlocked() // Rollback clears it; read first
+	cause, penalty := t.OCC.Rollback()
+	t.OCCMode = false
+	t.LastAbortCause = cause
+	if e.Tracer != nil {
+		ev := trace.Ev(now, trace.KindOCCAbort)
+		ev.Ctx = t.HTM.Tx.ID()
+		ev.Thread = sthID(sth)
+		ev.PC = t.pc
+		ev.Cause = cause.String()
+		e.Tracer.Emit(ev)
+	}
+	cycles := penalty
+	var d policy.AbortDecision
+	if op, ok := e.Policy.(policy.OCCPolicy); ok {
+		d = op.OnOCCAbort(e, t.PS, t.pc, cause, e.GIL.Acquired())
+	} else {
+		d = e.Policy.OnAbort(e, t.PS, t.pc, cause, e.GIL.Acquired())
+	}
+	switch d.Kind {
+	case policy.AbortSpinRetry:
+		// Park until the GIL is released, then re-run in the tier.
+		e.GIL.WaitFree(sth)
+		t.state = stWaitRetryOCC
+		return cycles, Block
+	case policy.AbortRetry, policy.AbortOCC:
+		c, out := e.beginOCC(t, sth, now+cycles)
+		return cycles + c, out
+	case policy.AbortBackoff:
+		e.Engine.At(now+cycles+d.Backoff, func(at int64) {
+			e.Engine.Wake(sth, at)
+		})
+		t.state = stWaitRetryOCC
+		return cycles, Block
+	default: // policy.AbortFallback
+		// A commit blocked by a held GIL is the lock's fault, not this
+		// section's; keep it out of the breaker window like the GIL
+		// artifacts of the hardware path.
+		c, out := e.acquireGIL(t, sth, now+cycles, d.Reason, !gilBlocked)
 		return cycles + c, out
 	}
 }
@@ -368,6 +477,34 @@ func (e *Elision) TransactionEnd(t *Thread, sth *sched.Thread, now int64) (int64
 		cost := e.GIL.Release(sth, now)
 		t.GILMode = false
 		return cost, true
+	}
+	if t.OCCMode {
+		if e.GIL.Acquired() {
+			// The GIL holder assumes exclusion; publishing (or even
+			// linearizing a read-only commit) now would race its critical
+			// section. Doom the transaction and let the abort path spin
+			// until the lock clears.
+			t.OCC.BlockCommit()
+			return 2, false
+		}
+		cycles, ok := t.OCC.Commit()
+		if ok {
+			t.OCCMode = false
+			if op, okp := e.Policy.(policy.OCCPolicy); okp {
+				op.OnOCCCommit(e, t.PS, t.pc)
+			} else {
+				e.Policy.OnCommit(e, t.PS, t.pc)
+			}
+			e.Breaker.RecordCommit(now)
+			if e.Tracer != nil {
+				ev := trace.Ev(now, trace.KindOCCCommit)
+				ev.Ctx = t.HTM.Tx.ID()
+				ev.Thread = sthID(sth)
+				ev.PC = t.pc
+				e.Tracer.Emit(ev)
+			}
+		}
+		return cycles, ok
 	}
 	if t.lazy && t.HTM.InTx() {
 		w := t.HTM.Tx.Load(e.GIL.Addr)

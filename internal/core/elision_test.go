@@ -5,6 +5,7 @@ import (
 
 	"htmgil/internal/gil"
 	"htmgil/internal/htm"
+	"htmgil/internal/occ"
 	"htmgil/internal/policy"
 	"htmgil/internal/sched"
 	"htmgil/internal/simmem"
@@ -41,6 +42,9 @@ func newRigPolicy(t *testing.T, prof *htm.Profile, p policy.Policy, nthreads int
 	eng := sched.NewEngine(sched.Config{HWThreads: prof.HWThreads(), SMTWays: prof.SMTWays, SMTPenalty: 1.9})
 	g := gil.New(mem, eng, gil.DefaultCosts())
 	el := NewWithPolicy(p, g, eng)
+	if policy.UsesOCCTier(p) {
+		el.OCCRT = occ.NewRuntime(mem)
+	}
 	r := &rig{mem: mem, eng: eng, gil: g, el: el, live: nthreads}
 	el.LiveAppThreads = func() int { return r.live }
 	r.ctrAdr = mem.Reserve("counter", 64)
@@ -80,7 +84,7 @@ func (r *rig) worker(t *testing.T, prof *htm.Profile, ctxID int, iters int, extr
 			phase = phWork
 			return sched.StepResult{Cycles: cycles, Status: sched.Running}
 		case phWork:
-			if !tle.GILMode && hctx.Doomed(now) {
+			if !tle.GILMode && !tle.OCCMode && hctx.Doomed(now) {
 				c, out := r.el.HandleAbort(tle, sth, now)
 				if out == Block {
 					phase = phResume
@@ -91,6 +95,20 @@ func (r *rig) worker(t *testing.T, prof *htm.Profile, ctxID int, iters int, extr
 			if tle.GILMode {
 				v := r.mem.Load(r.ctrAdr)
 				r.mem.Store(r.ctrAdr, simmem.Word{Bits: v.Bits + 1})
+			} else if tle.OCCMode {
+				v := tle.OCC.Load(r.ctrAdr)
+				tle.OCC.Store(r.ctrAdr, simmem.Word{Bits: v.Bits + 1})
+				for l := 0; l < extraLines; l++ {
+					tle.OCC.Store(scratch+simmem.Addr(l*prof.LineBytes), simmem.Word{Bits: 1})
+				}
+				if tle.OCC.Doomed() {
+					c, out := r.el.HandleAbort(tle, sth, now)
+					if out == Block {
+						phase = phResume
+						return sched.StepResult{Cycles: c, Status: sched.Blocked}
+					}
+					return sched.StepResult{Cycles: c, Status: sched.Running}
+				}
 			} else {
 				v := hctx.Tx.Load(r.ctrAdr)
 				hctx.Tx.Store(r.ctrAdr, simmem.Word{Bits: v.Bits + 1})

@@ -13,6 +13,8 @@
 //	SELECT * FROM name
 //	SELECT * FROM name WHERE col = value
 //	SELECT COUNT(*) FROM name
+//	DELETE FROM name
+//	DELETE FROM name WHERE col = value
 package db
 
 import (
@@ -70,6 +72,12 @@ func (s *Store) Exec(t *vm.RThread, sql string) ([][]Value, []string, error) {
 		return [][]Value{{{IsInt: true, Int: int64(len(tab.Rows))}}}, []string{"count"}, nil
 	case strings.HasPrefix(upper, "SELECT * FROM"):
 		return s.selectAll(t, q)
+	case strings.HasPrefix(upper, "DELETE FROM"):
+		n, err := s.deleteRows(t, q)
+		if err != nil {
+			return nil, nil, err
+		}
+		return [][]Value{{{IsInt: true, Int: int64(n)}}}, []string{"deleted"}, nil
 	default:
 		return nil, nil, fmt.Errorf("db: unsupported statement %q", sql)
 	}
@@ -191,36 +199,82 @@ func (s *Store) scan(t *vm.RThread, tab *Table, col int, want Value) []int {
 	return hits
 }
 
+// parseWhere resolves an optional WHERE clause against tab's columns.
+// Without one it returns col -1 (match everything).
+func parseWhere(tab *Table, q string) (int, Value, error) {
+	wi := strings.Index(strings.ToUpper(q), "WHERE")
+	if wi < 0 {
+		return -1, Value{}, nil
+	}
+	cond := strings.TrimSpace(q[wi+5:])
+	parts := strings.SplitN(cond, "=", 2)
+	if len(parts) != 2 {
+		return 0, Value{}, fmt.Errorf("db: bad WHERE clause %q", cond)
+	}
+	cname := strings.TrimSpace(parts[0])
+	col := -1
+	for i, c := range tab.Cols {
+		if c == cname {
+			col = i
+		}
+	}
+	if col < 0 {
+		return 0, Value{}, fmt.Errorf("db: no column %q", cname)
+	}
+	return col, parseValue(parts[1]), nil
+}
+
 func (s *Store) selectAll(t *vm.RThread, q string) ([][]Value, []string, error) {
 	name := tableName(q, "FROM")
 	tab := s.Tables[name]
 	if tab == nil {
 		return nil, nil, fmt.Errorf("db: no such table %q", name)
 	}
-	col := -1
-	want := Value{}
-	if wi := strings.Index(strings.ToUpper(q), "WHERE"); wi >= 0 {
-		cond := strings.TrimSpace(q[wi+5:])
-		parts := strings.SplitN(cond, "=", 2)
-		if len(parts) != 2 {
-			return nil, nil, fmt.Errorf("db: bad WHERE clause %q", cond)
-		}
-		cname := strings.TrimSpace(parts[0])
-		for i, c := range tab.Cols {
-			if c == cname {
-				col = i
-			}
-		}
-		if col < 0 {
-			return nil, nil, fmt.Errorf("db: no column %q", cname)
-		}
-		want = parseValue(parts[1])
+	col, want, err := parseWhere(tab, q)
+	if err != nil {
+		return nil, nil, err
 	}
 	var rows [][]Value
 	for _, ri := range s.scan(t, tab, col, want) {
 		rows = append(rows, tab.Rows[ri])
 	}
 	return rows, tab.Cols, nil
+}
+
+// deleteRows removes every row matching the optional WHERE clause and
+// returns how many went away. The surviving rows keep their shadow spans;
+// a later scan skips the deleted spans entirely, like a real table scan
+// skipping reclaimed pages.
+func (s *Store) deleteRows(t *vm.RThread, q string) (int, error) {
+	name := tableName(q, "FROM")
+	tab := s.Tables[name]
+	if tab == nil {
+		return 0, fmt.Errorf("db: no such table %q", name)
+	}
+	col, want, err := parseWhere(tab, q)
+	if err != nil {
+		return 0, err
+	}
+	hits := s.scan(t, tab, col, want)
+	if len(hits) == 0 {
+		return 0, nil
+	}
+	doomed := make(map[int]bool, len(hits))
+	for _, ri := range hits {
+		doomed[ri] = true
+	}
+	keptRows := tab.Rows[:0]
+	keptShadows := tab.shadows[:0]
+	for ri, row := range tab.Rows {
+		if doomed[ri] {
+			continue
+		}
+		keptRows = append(keptRows, row)
+		keptShadows = append(keptShadows, tab.shadows[ri])
+	}
+	tab.Rows = keptRows
+	tab.shadows = keptShadows
+	return len(hits), nil
 }
 
 // Install adds the SQLite3-ish API to a VM:

@@ -90,6 +90,138 @@ func TestQuotedCommas(t *testing.T) {
 	}
 }
 
+func TestScanEmptyRange(t *testing.T) {
+	_, th := newThread(t)
+	s := NewStore()
+	mustExec := func(q string) [][]Value {
+		rows, _, err := s.Exec(th, q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		return rows
+	}
+	mustExec("CREATE TABLE t (id, name)")
+	// A scan over a table with no rows returns the empty result, not an
+	// error, for every query shape.
+	if rows := mustExec("SELECT * FROM t"); len(rows) != 0 {
+		t.Fatalf("empty table scan = %+v", rows)
+	}
+	if rows := mustExec("SELECT COUNT(*) FROM t"); rows[0][0].Int != 0 {
+		t.Fatalf("empty table count = %+v", rows)
+	}
+	if rows := mustExec("DELETE FROM t"); rows[0][0].Int != 0 {
+		t.Fatalf("empty table delete = %+v", rows)
+	}
+	// A WHERE range that matches nothing is equally empty.
+	mustExec("INSERT INTO t VALUES (1, 'one')")
+	if rows := mustExec("SELECT * FROM t WHERE id = 99"); len(rows) != 0 {
+		t.Fatalf("no-match scan = %+v", rows)
+	}
+	if rows := mustExec("SELECT * FROM t WHERE name = 'missing'"); len(rows) != 0 {
+		t.Fatalf("no-match string scan = %+v", rows)
+	}
+}
+
+func TestScanSkipsDeletedKeys(t *testing.T) {
+	_, th := newThread(t)
+	s := NewStore()
+	mustExec := func(q string) [][]Value {
+		rows, _, err := s.Exec(th, q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		return rows
+	}
+	mustExec("CREATE TABLE t (id, name)")
+	mustExec("INSERT INTO t VALUES (1, 'one')")
+	mustExec("INSERT INTO t VALUES (2, 'two')")
+	mustExec("INSERT INTO t VALUES (3, 'three')")
+	if rows := mustExec("DELETE FROM t WHERE id = 2"); rows[0][0].Int != 1 {
+		t.Fatalf("delete count = %+v", rows)
+	}
+	// The deleted key is invisible to every later scan, and the survivors
+	// keep their order and contents.
+	if rows := mustExec("SELECT * FROM t WHERE id = 2"); len(rows) != 0 {
+		t.Fatalf("deleted key still visible: %+v", rows)
+	}
+	rows := mustExec("SELECT * FROM t")
+	if len(rows) != 2 || rows[0][1].Str != "one" || rows[1][1].Str != "three" {
+		t.Fatalf("post-delete scan = %+v", rows)
+	}
+	if rows := mustExec("SELECT COUNT(*) FROM t"); rows[0][0].Int != 2 {
+		t.Fatalf("post-delete count = %+v", rows)
+	}
+	// Deleting an already-deleted key is a zero-row no-op, not an error.
+	if rows := mustExec("DELETE FROM t WHERE id = 2"); rows[0][0].Int != 0 {
+		t.Fatalf("re-delete count = %+v", rows)
+	}
+	// Unconditional delete empties the table; inserts still work after.
+	if rows := mustExec("DELETE FROM t"); rows[0][0].Int != 2 {
+		t.Fatalf("delete-all count = %+v", rows)
+	}
+	mustExec("INSERT INTO t VALUES (4, 'four')")
+	if rows := mustExec("SELECT * FROM t"); len(rows) != 1 || rows[0][0].Int != 4 {
+		t.Fatalf("post-truncate insert = %+v", rows)
+	}
+}
+
+// TestConcurrentUpdateDuringScan interleaves a scanning Ruby thread with a
+// writer thread under the three-tier HTM runtime. Each DB#execute is one
+// native operation, so every individual scan must observe an integral
+// table state (counts only ever grow, between 0 and the final row count)
+// even while inserts and deletes race with it; mutating statements must
+// take the restricted-op path out of both transaction tiers.
+func TestConcurrentUpdateDuringScan(t *testing.T) {
+	for _, policy := range []string{"paper-dynamic", "occ-adaptive", "occ-first"} {
+		t.Run(policy, func(t *testing.T) {
+			opt := vm.DefaultOptions(htm.ZEC12(), vm.ModeHTM)
+			opt.Policy = policy
+			machine := vm.New(opt)
+			Install(machine)
+			iseq, err := machine.CompileSource(`
+$db = SQLite3.new
+$db.execute("CREATE TABLE t (id, name)")
+writer = Thread.new do
+  i = 1
+  while i <= 30
+    $db.execute("INSERT INTO t VALUES (#{i}, 'row')")
+    if i % 10 == 0
+      $db.execute("DELETE FROM t WHERE id = #{i}")
+    end
+    i += 1
+  end
+end
+bad = 0
+last = 0
+j = 0
+while j < 40
+  rows = $db.execute("SELECT COUNT(*) FROM t")
+  n = rows[0][0]
+  if n < 0
+    bad += 1
+  end
+  last = n
+  j += 1
+end
+writer.join
+final = $db.execute("SELECT COUNT(*) FROM t")
+puts bad
+puts final[0][0]
+`, "dbrace")
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := machine.Run(iseq)
+			if err != nil {
+				t.Fatalf("%s: %v", policy, err)
+			}
+			if !strings.HasSuffix(res.Output, "0\n27\n") && !strings.Contains(res.Output, "\n0\n27\n") {
+				t.Fatalf("%s: output = %q (want 0 bad scans, 27 final rows)", policy, res.Output)
+			}
+		})
+	}
+}
+
 func TestRubyBinding(t *testing.T) {
 	opt := vm.DefaultOptions(htm.ZEC12(), vm.ModeGIL)
 	machine := vm.New(opt)

@@ -13,6 +13,10 @@ import (
 //     the owner.
 //   - Breaker state-machine legality: closed→open, open→half-open,
 //     half-open→{closed,open} are the only transitions.
+//   - OCC/GIL exclusion: a software transaction may never publish its
+//     write buffer while any thread holds the GIL — GIL code runs
+//     non-transactionally and must not observe a concurrent OCC
+//     publication (the runtime refuses such commits via BlockCommit).
 //
 // Violations are recorded, never panicked — the run completes and the
 // explorer turns them into minimized schedules.
@@ -46,6 +50,11 @@ func (s *invariantSink) Emit(ev trace.Event) {
 				ev.Thread, ev.T, s.gilOwner)
 		}
 		s.gilOwner = -1
+	case trace.KindOCCCommit:
+		if s.gilOwner != -1 {
+			s.fail("occ-gil-exclusion: thread %d published an OCC commit at t=%d while thread %d holds the GIL",
+				ev.Thread, ev.T, s.gilOwner)
+		}
 	case trace.KindBreaker:
 		from, to := s.breaker, ev.Note
 		ok := (from == "closed" && to == "open") ||

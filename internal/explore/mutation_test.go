@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"htmgil/internal/gil"
+	"htmgil/internal/occ"
 	"htmgil/internal/vm"
 )
 
@@ -66,6 +67,29 @@ func TestMutationDropWakeup(t *testing.T) {
 	gil.MutDropWakeup = true
 	defer func() { gil.MutDropWakeup = false }()
 	wantViolation(t, runMutated(t, "mutex", 3), "progress")
+}
+
+// TestMutationOCCSkipLastRead seeds a commit-time validation that skips the
+// final read-log entry. On the counter program under "occ-1" the shared
+// counter is the last value a section reads, so a concurrent commit between
+// a thread's read and its commit goes unnoticed: a classic OCC lost update
+// that only the skipped entry could have caught. The explorer must find a
+// schedule whose final state no GIL interleaving can produce.
+func TestMutationOCCSkipLastRead(t *testing.T) {
+	occ.MutSkipLastRead = true
+	defer func() { occ.MutSkipLastRead = false }()
+	p := ProgramByName("counter")
+	if p == nil {
+		t.Fatal("unknown program counter")
+	}
+	// Every GIL schedule of the counter commits $c=6, so OracleBound 1
+	// already yields the complete oracle; the bug hunt happens in the
+	// software-tier phase at the default bound.
+	res, err := Run(Config{Program: p, Bound: 3, OracleBound: 1, Policy: "occ-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantViolation(t, res, "serializability", "error")
 }
 
 // TestMutationUnguardedIC seeds an inline-cache hit that trusts a filled

@@ -1,0 +1,82 @@
+package explore
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The tests below explore *mixed-tier* schedules: under "occ-1" every
+// elidable section runs as a software transaction (OCC commits racing GIL
+// fallbacks), and under "occ-adaptive" sections migrate HTM -> OCC -> GIL
+// as the per-PC gate turns pessimistic, so a single tree interleaves all
+// three tiers. The checker requirements are unchanged: every final state
+// must be GIL-reachable (serializability), the GIL stays mutually
+// exclusive, no OCC commit publishes while the GIL is held, and every
+// schedule terminates within the cycle budget (progress).
+
+// TestMixedTierCleanAtBoundOne explores racy registry programs at bound 1
+// under both OCC-using policies. The unmutated trees must be violation-free.
+func TestMixedTierCleanAtBoundOne(t *testing.T) {
+	for _, pol := range []string{"occ-1", "occ-adaptive"} {
+		for _, name := range []string{"counter", "mutex", "reader"} {
+			p := ProgramByName(name)
+			t.Run(pol+"/"+name, func(t *testing.T) {
+				res, err := Run(Config{Program: p, Bound: 1, Policy: pol})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, v := range res.Violations {
+					t.Errorf("violation: %s", v.Violation)
+				}
+				if res.Truncated {
+					t.Errorf("exploration truncated at bound 1 (%d schedules)", res.Schedules())
+				}
+				if len(res.Oracle) == 0 {
+					t.Fatalf("empty oracle")
+				}
+			})
+		}
+	}
+}
+
+// TestExhaustiveCounterOCCBoundTwo is the software-tier analogue of the
+// bound-2 counter acceptance test: exhaustive exploration with every
+// section running OCC, zero violations, and the single GIL-reachable
+// final state.
+func TestExhaustiveCounterOCCBoundTwo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("counter bound 2 takes several seconds")
+	}
+	res, err := Run(Config{Program: ProgramByName("counter"), Bound: 2, Policy: "occ-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatalf("truncated: %d schedules", res.Schedules())
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v.Violation)
+	}
+	if want := []string{"out:6\n|$c=6"}; !reflect.DeepEqual(res.Oracle, want) {
+		t.Errorf("oracle = %q, want %q", res.Oracle, want)
+	}
+	t.Logf("counter/occ-1 bound 2: %d GIL + %d OCC schedules, %d outcomes",
+		res.GILSchedules, res.HTMSchedules, len(res.Outcomes))
+}
+
+// TestMixedTierDeterminism: same config, same Result, bit for bit — with
+// the software tier in the loop.
+func TestMixedTierDeterminism(t *testing.T) {
+	cfg := Config{Program: ProgramByName("counter"), Bound: 1, Policy: "occ-adaptive"}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two identical explorations diverged:\n%+v\n%+v", a, b)
+	}
+}

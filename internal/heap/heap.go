@@ -237,6 +237,38 @@ func (h *Heap) AllocObject(acc Accessor, ts ThreadSlots, typ object.RType, cls *
 	return o, nil
 }
 
+// FreeObject returns one object to the calling thread's free list (or the
+// global list when thread-local lists are off), reversing AllocObject. The
+// software-transaction tier allocates non-speculatively — a write-buffered
+// free-list pop is invisible to every other allocator until commit, and
+// value-based validation cannot catch the resulting double allocation when
+// the interleaved lists end up holding identical words — so its aborts
+// compensate by handing each allocated object back through here.
+func (h *Heap) FreeObject(acc Accessor, ts ThreadSlots, o *object.RObject) {
+	o.Type = object.TFree
+	o.Class = nil
+	o.Str = ""
+	o.Cls = nil
+	o.Native = nil
+	acc.Store(o.AddrOf(object.SlotA), simmem.Word{})
+	acc.Store(o.AddrOf(object.SlotB), simmem.Word{})
+	acc.Store(o.AddrOf(object.SlotC), simmem.Word{})
+	acc.Store(o.AddrOf(object.SlotAlloc), simmem.Word{})
+	if h.Cfg.ThreadLocalFreeLists && ts.TLHead != 0 {
+		head := acc.Load(ts.TLHead).Bits
+		acc.Store(o.AddrOf(object.SlotLink), simmem.Word{Bits: head})
+		acc.Store(ts.TLHead, simmem.Word{Bits: uint64(o.Index + 1)})
+		tc := acc.Load(ts.TLCount).Bits
+		acc.Store(ts.TLCount, simmem.Word{Bits: tc + 1})
+		return
+	}
+	head := acc.Load(h.globalHead).Bits
+	acc.Store(o.AddrOf(object.SlotLink), simmem.Word{Bits: head})
+	acc.Store(h.globalHead, simmem.Word{Bits: uint64(o.Index + 1)})
+	cnt := acc.Load(h.globalCount).Bits
+	acc.Store(h.globalCount, simmem.Word{Bits: cnt + 1})
+}
+
 // classFor returns the smallest size class covering n words.
 func classFor(n int) (int, bool) {
 	for i, c := range sizeClasses {

@@ -393,6 +393,59 @@ func TestThreadLocalListsIsolateThreads(t *testing.T) {
 	}
 }
 
+// TestFreeObjectRoundTrip: FreeObject (the compensation path for aborted
+// software transactions) must clear the slot and push it back onto the
+// right free list, so the next allocation hands the same slot out again.
+func TestFreeObjectRoundTrip(t *testing.T) {
+	t.Run("global", func(t *testing.T) {
+		mem, h := mkHeap(100, false)
+		o, err := h.AllocObject(mem, ThreadSlots{}, object.TString, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.Str = "payload"
+		idx := o.Index
+		h.FreeObject(mem, ThreadSlots{}, o)
+		if o.Type != object.TFree || o.Str != "" || o.Native != nil {
+			t.Fatalf("freed object not cleared: %+v", o)
+		}
+		if mem.Peek(o.AddrOf(object.SlotAlloc)).Bits != 0 {
+			t.Fatalf("alloc flag survived FreeObject")
+		}
+		if h.FreeCount() != 100 {
+			t.Fatalf("free count = %d, want 100", h.FreeCount())
+		}
+		o2, err := h.AllocObject(mem, ThreadSlots{}, object.TObject, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o2.Index != idx {
+			t.Fatalf("freed slot not at list head: got %d want %d", o2.Index, idx)
+		}
+	})
+	t.Run("thread-local", func(t *testing.T) {
+		mem, h := mkHeap(1000, true)
+		ts := mkThreadSlots(mem)
+		o, err := h.AllocObject(mem, ts, object.TFloat, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx := o.Index
+		before := mem.Peek(ts.TLCount).Bits
+		h.FreeObject(mem, ts, o)
+		if got := mem.Peek(ts.TLCount).Bits; got != before+1 {
+			t.Fatalf("TL count = %d, want %d", got, before+1)
+		}
+		o2, err := h.AllocObject(mem, ts, object.TObject, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o2.Index != idx {
+			t.Fatalf("freed slot not at TL head: got %d want %d", o2.Index, idx)
+		}
+	})
+}
+
 func TestConcurrentAllocationConflictsOnGlobalList(t *testing.T) {
 	mem, h := mkHeap(1000, false) // no thread-local lists: the paper's conflict
 	a, b := mem.Tx(0), mem.Tx(1)

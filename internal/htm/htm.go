@@ -43,6 +43,16 @@ type Profile struct {
 	// Learning enables the Intel-style capacity predictor.
 	Learning bool
 
+	// OCCSandbox models hardware that sandboxes hardware transactions
+	// against concurrent software-transaction commits (Dice et al.'s
+	// hardened lazy subscription): when false (conservative default),
+	// every hardware transaction subscribes to the OCC commit-sequence
+	// word at begin time, so any software commit aborts all running
+	// hardware transactions. When true the subscription is skipped and
+	// only the per-line dooms of the published writes remain — cheaper,
+	// and sound in this model because publication is line-precise.
+	OCCSandbox bool
+
 	// TargetAbortRatio is the paper's per-machine tuning input for the
 	// dynamic transaction-length adjustment: 1% on zEC12, 6% on Xeon.
 	TargetAbortRatio float64
@@ -218,6 +228,12 @@ type Context struct {
 	// capacity jitter applied at Begin.
 	Faults *fault.HTMFaults
 
+	// OCCSeqAddr, when non-zero, is the software-transaction tier's
+	// commit-sequence word (occ.Runtime.SeqAddr). Unless the profile
+	// sandboxes hardware transactions (Prof.OCCSandbox), Begin subscribes
+	// to it so concurrent OCC commits doom this context's transaction.
+	OCCSeqAddr simmem.Addr
+
 	suspicion     float64 // Intel learning predictor state
 	rng           *rand.Rand
 	nextInterrupt int64
@@ -274,6 +290,12 @@ func (c *Context) Begin(now int64) int64 {
 		}
 	}
 	c.Tx.Begin(readCap, writeCap)
+	if c.OCCSeqAddr != 0 && !c.Prof.OCCSandbox {
+		// Subscribe to the OCC commit-sequence word: a software-tier
+		// publication bumps it and dooms this transaction before any of
+		// the published data writes could be observed.
+		c.Tx.Load(c.OCCSeqAddr)
+	}
 	if c.Prof.Learning && c.suspicion > 0 {
 		if c.rng.Float64() < c.suspicion {
 			c.Tx.SelfDoom(simmem.CauseLearning)

@@ -1,0 +1,13 @@
+//go:build mutation
+
+package occ
+
+// Seeded bug used to validate the schedule explorer (internal/explore);
+// see mutation_off.go. Under the mutation build tag it is a variable the
+// validation tests flip.
+var (
+	// MutSkipLastRead makes read-set validation skip the last read-log
+	// entry, so a transaction whose most recently first-read location went
+	// stale still commits — a lost update the explorer must catch.
+	MutSkipLastRead = false
+)

@@ -1,0 +1,9 @@
+//go:build !mutation
+
+package occ
+
+// In regular builds the seeded validation bug is a constant false, so the
+// checks compile away entirely; see mutation.go.
+const (
+	MutSkipLastRead = false
+)

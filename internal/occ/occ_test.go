@@ -1,0 +1,341 @@
+package occ
+
+import (
+	"testing"
+
+	"htmgil/internal/simmem"
+)
+
+func newMem() *simmem.Memory {
+	return simmem.NewMemory(simmem.Config{LineBytes: 64}, 4)
+}
+
+func TestCommitPublishesBufferedWrites(t *testing.T) {
+	m := newMem()
+	rt := NewRuntime(m)
+	a := m.Reserve("a", 8)
+	b := m.Reserve("b", 8)
+	m.Poke(a, simmem.Word{Bits: 1})
+
+	tx := rt.NewTx(0)
+	tx.Begin()
+	if got := tx.Load(a); got.Bits != 1 {
+		t.Fatalf("Load(a) = %d, want 1", got.Bits)
+	}
+	tx.Store(b, simmem.Word{Bits: 7})
+	if m.Peek(b).Bits != 0 {
+		t.Fatal("Store published before commit")
+	}
+	if got := tx.Load(b); got.Bits != 7 {
+		t.Fatalf("read-own-write = %d, want 7", got.Bits)
+	}
+	if _, ok := tx.Commit(); !ok {
+		t.Fatal("unconflicted commit failed")
+	}
+	if m.Peek(b).Bits != 7 {
+		t.Fatal("commit did not publish")
+	}
+	if rt.Stats.Commits != 1 || rt.Stats.Begins != 1 {
+		t.Fatalf("stats = %+v", *rt.Stats)
+	}
+}
+
+func TestCommitBumpsSequenceWord(t *testing.T) {
+	m := newMem()
+	rt := NewRuntime(m)
+	a := m.Reserve("a", 8)
+
+	tx := rt.NewTx(0)
+	tx.Begin()
+	tx.Store(a, simmem.Word{Bits: 1})
+	tx.Commit()
+	if m.Peek(rt.SeqAddr).Bits != 1 {
+		t.Fatalf("seq = %d after writing commit, want 1", m.Peek(rt.SeqAddr).Bits)
+	}
+
+	// A read-only commit must not bump the sequence word.
+	tx.Begin()
+	tx.Load(a)
+	if _, ok := tx.Commit(); !ok {
+		t.Fatal("read-only commit failed")
+	}
+	if m.Peek(rt.SeqAddr).Bits != 1 {
+		t.Fatalf("seq = %d after read-only commit, want 1", m.Peek(rt.SeqAddr).Bits)
+	}
+}
+
+func TestStaleReadFailsCommitValidation(t *testing.T) {
+	m := newMem()
+	rt := NewRuntime(m)
+	a := m.Reserve("a", 8)
+
+	tx := rt.NewTx(0)
+	tx.Begin()
+	tx.Load(a)
+	m.Store(a, simmem.Word{Bits: 99}) // concurrent writer invalidates the read
+	if _, ok := tx.Commit(); ok {
+		t.Fatal("commit succeeded over a stale read")
+	}
+	if rt.Stats.ValidationFailures != 1 {
+		t.Fatalf("ValidationFailures = %d, want 1", rt.Stats.ValidationFailures)
+	}
+	cause, _ := tx.Rollback()
+	if cause != simmem.CauseConflict {
+		t.Fatalf("cause = %v, want conflict", cause)
+	}
+	if rt.Stats.Aborts != 1 || rt.Stats.ByCause[simmem.CauseConflict] != 1 {
+		t.Fatalf("stats = %+v", *rt.Stats)
+	}
+}
+
+func TestZombieKilledAtNextRead(t *testing.T) {
+	m := newMem()
+	rt := NewRuntime(m)
+	a := m.Reserve("a", 8)
+	b := m.Reserve("b", 8)
+	m.Poke(a, simmem.Word{Bits: 1})
+	m.Poke(b, simmem.Word{Bits: 1})
+
+	tx := rt.NewTx(0)
+	tx.Begin()
+	tx.Load(a)
+	// Concurrent commit changes both locations; the transaction's snapshot
+	// of a is now stale, so its next read must not observe the new b
+	// alongside the old a.
+	m.Store(a, simmem.Word{Bits: 2})
+	m.Store(b, simmem.Word{Bits: 2})
+	tx.Load(b)
+	if !tx.Doomed() {
+		t.Fatal("inconsistent snapshot not detected at next read")
+	}
+}
+
+func TestVersionGatedRevalidationAllowsConsistentProgress(t *testing.T) {
+	m := newMem()
+	rt := NewRuntime(m)
+	a := m.Reserve("a", 8)
+	b := m.Reserve("b", 8)
+	c := m.Reserve("c", 8)
+
+	tx := rt.NewTx(0)
+	tx.Begin()
+	tx.Load(a)
+	// A concurrent write to an unrelated location moves the version but
+	// leaves the snapshot valid: revalidation passes, the tx lives on.
+	m.Store(c, simmem.Word{Bits: 5})
+	tx.Load(b)
+	if tx.Doomed() {
+		t.Fatal("doomed despite consistent snapshot")
+	}
+	if _, ok := tx.Commit(); !ok {
+		t.Fatal("commit failed despite consistent snapshot")
+	}
+	if rt.Stats.Validations == 0 {
+		t.Fatal("revalidation never ran")
+	}
+}
+
+func TestHazardWindowDoomsReader(t *testing.T) {
+	m := newMem()
+	rt := NewRuntime(m)
+	a := m.Reserve("a", 8)
+
+	tx := rt.NewTx(0)
+	tx.Begin()
+	m.StartHazard()
+	m.Store(a, simmem.Word{Bits: 3}) // lock holder's intermediate write
+	tx.Load(a)
+	if !tx.Doomed() {
+		t.Fatal("hazard-window read did not doom the transaction")
+	}
+	m.EndHazard()
+}
+
+func TestLoadDoomsDirtyHTMWriter(t *testing.T) {
+	m := newMem()
+	rt := NewRuntime(m)
+	a := m.Reserve("a", 8)
+
+	htx := m.Tx(1)
+	htx.Begin(64, 64)
+	htx.Store(a, simmem.Word{Bits: 9})
+
+	tx := rt.NewTx(0)
+	tx.Begin()
+	tx.Load(a)
+	if !htx.Doomed() {
+		t.Fatal("OCC read did not doom the dirty hardware writer")
+	}
+	if tx.Doomed() {
+		t.Fatal("requester must win the conflict")
+	}
+	htx.Rollback()
+}
+
+func TestCommitDoomsConflictingHTMReader(t *testing.T) {
+	m := newMem()
+	rt := NewRuntime(m)
+	a := m.Reserve("a", 8)
+
+	htx := m.Tx(1)
+	htx.Begin(64, 64)
+	htx.Load(a)
+
+	tx := rt.NewTx(0)
+	tx.Begin()
+	tx.Store(a, simmem.Word{Bits: 4})
+	if htx.Doomed() {
+		t.Fatal("buffered OCC write must be invisible")
+	}
+	if _, ok := tx.Commit(); !ok {
+		t.Fatal("commit failed")
+	}
+	if !htx.Doomed() {
+		t.Fatal("publication did not doom the hardware reader")
+	}
+	htx.Rollback()
+}
+
+func TestBlockCommitDoomsAndRecordsGIL(t *testing.T) {
+	m := newMem()
+	rt := NewRuntime(m)
+	a := m.Reserve("a", 8)
+
+	tx := rt.NewTx(0)
+	tx.Begin()
+	tx.Store(a, simmem.Word{Bits: 1})
+	tx.BlockCommit()
+	if !tx.Doomed() || !tx.GILBlocked() {
+		t.Fatal("BlockCommit must doom and flag the transaction")
+	}
+	if _, ok := tx.Commit(); ok {
+		t.Fatal("blocked commit must fail")
+	}
+	if m.Peek(a).Bits != 0 {
+		t.Fatal("blocked commit published")
+	}
+	if rt.Stats.GILBlockedCommits != 1 {
+		t.Fatalf("GILBlockedCommits = %d, want 1", rt.Stats.GILBlockedCommits)
+	}
+	tx.Rollback()
+	if tx.GILBlocked() {
+		t.Fatal("rollback must clear the GIL-blocked flag")
+	}
+}
+
+func TestSelfDoomRestricted(t *testing.T) {
+	m := newMem()
+	rt := NewRuntime(m)
+
+	tx := rt.NewTx(0)
+	tx.Begin()
+	tx.SelfDoom(simmem.CauseRestricted)
+	if _, ok := tx.Commit(); ok {
+		t.Fatal("self-doomed commit succeeded")
+	}
+	cause, _ := tx.Rollback()
+	if cause != simmem.CauseRestricted {
+		t.Fatalf("cause = %v, want restricted", cause)
+	}
+}
+
+func TestAccessorsAndStatsClone(t *testing.T) {
+	m := newMem()
+	rt := NewRuntime(m)
+	a := m.Reserve("a", 8)
+	b := m.Reserve("b", 8)
+
+	tx := rt.NewTx(3)
+	if tx.ID() != 3 {
+		t.Fatalf("ID = %d, want 3", tx.ID())
+	}
+	if tx.Active() {
+		t.Fatal("active before Begin")
+	}
+	// SelfDoom outside a transaction is a no-op, not a panic.
+	tx.SelfDoom(simmem.CauseRestricted)
+	if tx.Doomed() {
+		t.Fatal("SelfDoom doomed an inactive context")
+	}
+
+	tx.Begin()
+	if !tx.Active() {
+		t.Fatal("inactive after Begin")
+	}
+	tx.Store(a, simmem.Word{Bits: 1})
+	tx.Store(a, simmem.Word{Bits: 2}) // rewrite: same entry
+	tx.Store(b, simmem.Word{Bits: 3})
+	if tx.WriteLogLen() != 2 {
+		t.Fatalf("write log = %d entries, want 2", tx.WriteLogLen())
+	}
+	tx.SelfDoom(simmem.CauseInterrupt)
+	tx.SelfDoom(simmem.CauseRestricted) // first cause sticks
+	if tx.DoomCause() != simmem.CauseInterrupt {
+		t.Fatalf("cause = %v, want interrupt", tx.DoomCause())
+	}
+	tx.Rollback()
+	if tx.Active() {
+		t.Fatal("active after Rollback")
+	}
+
+	clone := rt.Stats.Clone()
+	if clone.Begins != rt.Stats.Begins || clone.Aborts != rt.Stats.Aborts {
+		t.Fatalf("clone = %+v, want %+v", *clone, *rt.Stats)
+	}
+	clone.ByCause[simmem.CauseConflict] += 10
+	if rt.Stats.ByCause[simmem.CauseConflict] == clone.ByCause[simmem.CauseConflict] {
+		t.Fatal("Clone shares the cause map")
+	}
+}
+
+func TestPanicOnDoomRaisesSentinel(t *testing.T) {
+	m := newMem()
+	rt := NewRuntime(m)
+	a := m.Reserve("a", 8)
+	b := m.Reserve("b", 8)
+
+	tx := rt.NewTx(0)
+	tx.PanicOnDoom = true
+	tx.Begin()
+	tx.Load(a)
+	// A concurrent commit makes the snapshot stale: the next read must
+	// raise the sentinel instead of returning a value.
+	m.Store(a, simmem.Word{Bits: 2})
+	m.Store(b, simmem.Word{Bits: 2})
+	func() {
+		defer func() {
+			if r := recover(); r != ErrDoomed {
+				t.Fatalf("recover = %v, want ErrDoomed", r)
+			}
+		}()
+		tx.Load(b)
+		t.Fatal("doomed Load returned instead of panicking")
+	}()
+	// Zombie reads after the doom raise it too.
+	func() {
+		defer func() {
+			if r := recover(); r != ErrDoomed {
+				t.Fatalf("zombie recover = %v, want ErrDoomed", r)
+			}
+		}()
+		tx.Load(a)
+		t.Fatal("zombie Load returned instead of panicking")
+	}()
+	tx.Rollback()
+}
+
+func TestReadLogDedup(t *testing.T) {
+	m := newMem()
+	rt := NewRuntime(m)
+	a := m.Reserve("a", 8)
+
+	tx := rt.NewTx(0)
+	tx.Begin()
+	tx.Load(a)
+	tx.Load(a)
+	tx.Load(a)
+	if tx.ReadLogLen() != 1 {
+		t.Fatalf("read log = %d entries, want 1", tx.ReadLogLen())
+	}
+	tx.Commit()
+}

@@ -1,6 +1,8 @@
 package policy
 
 import (
+	"fmt"
+
 	"htmgil/internal/simmem"
 )
 
@@ -15,11 +17,19 @@ const (
 // OCC is an optimistic-concurrency-control-style adaptive gate after Zhang
 // et al. ("Optimistic Concurrency Control for Real-world Go Programs"):
 // each yield point is classified by its observed commit rate over a sliding
-// window of outcomes. While a site commits often enough it runs elided at a
-// fixed transaction length; when the commit rate of a window drops below
-// MinRate the site turns pessimistic and its next Cooloff critical sections
-// take the GIL immediately (no doomed work, no retry storms), after which
-// the site is probed optimistically again.
+// window of outcomes. While a site commits often enough it runs hardware-
+// elided at a fixed transaction length; when the commit rate of a window
+// drops below MinRate the site turns pessimistic and its next Cooloff
+// critical sections run in the software-transaction tier (internal/occ) —
+// still concurrent, but immune to capacity overflows and interrupts —
+// after which the site is probed with hardware elision again.
+//
+// Hardware aborts that retrying cannot cure (capacity, learning, exhausted
+// transient retries) also route the failing section into the software tier
+// instead of the GIL; only restricted operations and sustained GIL
+// contention still serialize. The result is a three-tier pipeline:
+// HTM while it works, OCC while optimism still pays, the GIL only when it
+// must.
 //
 // Unlike the paper's algorithm, which adapts the *length* of transactions,
 // OCC adapts the *admission* of transactions — the two react to different
@@ -82,27 +92,177 @@ func (o *OCC) record(pc int, committed bool) {
 	s.commits, s.aborts = 0, 0
 }
 
+// resetBudgets re-arms the Figure 1 retry budgets for a fresh section.
+func resetBudgets(ts ThreadState, p Params) *paperThread {
+	t := ts.(*paperThread)
+	t.transientRetry = p.TransientRetryMax
+	t.gilRetry = p.GILRetryMax
+	t.firstRetry = true
+	return t
+}
+
 // OnBegin implements Policy: the admission gate in front of the paper's
-// begin path.
+// begin path. Pessimistic sites run in the software tier instead of
+// grabbing the GIL.
 func (o *OCC) OnBegin(rt Runtime, ts ThreadState, pc, live int) BeginDecision {
 	if live <= 1 {
 		return BeginDecision{Reason: "single-thread"}
 	}
 	if s := o.site(pc); s.gilLeft > 0 {
 		s.gilLeft--
-		return BeginDecision{Reason: "occ-pessimistic"}
+		resetBudgets(ts, o.Params)
+		return BeginDecision{Elide: true, OCC: true, Length: o.Params.ConstantLength}
 	}
 	return o.Paper.OnBegin(rt, ts, pc, live)
 }
 
-// OnAbort implements Policy: Figure 1's retry reaction, with the outcome
-// recorded against pc's admission window.
+// OnAbort implements Policy, reacting to *hardware* aborts: GIL contention
+// keeps Figure 1's spin semantics, restricted operations must serialize,
+// and everything hardware retry cannot cure — capacity overflows, learning
+// dooms, exhausted transient retries — degrades to the software tier
+// rather than the GIL.
 func (o *OCC) OnAbort(rt Runtime, ts ThreadState, pc int, cause simmem.AbortCause, gilHeld bool) AbortDecision {
 	o.record(pc, false)
-	return o.Paper.OnAbort(rt, ts, pc, cause, gilHeld)
+	t := ts.(*paperThread)
+	if t.firstRetry {
+		t.firstRetry = false
+	}
+	switch {
+	case gilHeld:
+		t.gilRetry--
+		if t.gilRetry > 0 {
+			return AbortDecision{Kind: AbortSpinRetry}
+		}
+		return AbortDecision{Kind: AbortFallback, Reason: "gil-contention"}
+	case cause == simmem.CauseRestricted:
+		// The software tier cannot run restricted operations either.
+		return AbortDecision{Kind: AbortFallback, Reason: "persistent-abort"}
+	case !cause.Transient():
+		// Capacity / learning / explicit: hardware is out of its depth,
+		// but the section can still run optimistically in software.
+		return AbortDecision{Kind: AbortOCC}
+	default:
+		t.transientRetry--
+		if t.transientRetry > 0 {
+			return AbortDecision{Kind: AbortRetry}
+		}
+		return AbortDecision{Kind: AbortOCC}
+	}
 }
 
 // OnCommit implements Policy.
 func (o *OCC) OnCommit(rt Runtime, ts ThreadState, pc int) {
 	o.record(pc, true)
 }
+
+// UsesOCC implements OCCPolicy.
+func (o *OCC) UsesOCC() bool { return true }
+
+// OnOCCAbort implements OCCPolicy: software-tier aborts retry a bounded
+// number of times (spinning on the GIL when the commit was lock-blocked)
+// before serializing.
+func (o *OCC) OnOCCAbort(rt Runtime, ts ThreadState, pc int, cause simmem.AbortCause, gilHeld bool) AbortDecision {
+	o.record(pc, false)
+	t := ts.(*paperThread)
+	switch {
+	case gilHeld:
+		t.gilRetry--
+		if t.gilRetry > 0 {
+			return AbortDecision{Kind: AbortSpinRetry}
+		}
+		return AbortDecision{Kind: AbortFallback, Reason: "gil-contention"}
+	case cause == simmem.CauseRestricted:
+		return AbortDecision{Kind: AbortFallback, Reason: "restricted"}
+	default:
+		t.transientRetry--
+		if t.transientRetry > 0 {
+			return AbortDecision{Kind: AbortRetry}
+		}
+		return AbortDecision{Kind: AbortFallback, Reason: "occ-retry-exhausted"}
+	}
+}
+
+// OnOCCCommit implements OCCPolicy.
+func (o *OCC) OnOCCCommit(rt Runtime, ts ThreadState, pc int) {
+	o.record(pc, true)
+}
+
+// OCCFirst routes every multi-thread critical section into the software-
+// transaction tier: no hardware transactions at all, the GIL only for
+// single-thread execution, restricted operations and retry exhaustion.
+// It is the software-TM baseline of the hybrid experiments ("occ-first",
+// or "occ-N" for an explicit transaction length) and the explorer's
+// handle for forcing software-tier schedules.
+type OCCFirst struct {
+	Params Params
+	name   string
+	length int32
+}
+
+// NewOCCFirst builds the software-tier-only policy with the given
+// transaction length in yield points.
+func NewOCCFirst(p Params, length int32) *OCCFirst {
+	if length < 1 {
+		panic(fmt.Sprintf("policy: invalid occ length %d", length))
+	}
+	name := "occ-first"
+	if length != defaultOCCLength {
+		name = fmt.Sprintf("occ-%d", length)
+	}
+	return &OCCFirst{Params: p, name: name, length: length}
+}
+
+// Name implements Policy.
+func (o *OCCFirst) Name() string { return o.name }
+
+// NewThread implements Policy.
+func (o *OCCFirst) NewThread() ThreadState { return &paperThread{} }
+
+// OnBegin implements Policy: every contended section runs in the tier.
+func (o *OCCFirst) OnBegin(rt Runtime, ts ThreadState, pc, live int) BeginDecision {
+	if live <= 1 {
+		return BeginDecision{Reason: "single-thread"}
+	}
+	resetBudgets(ts, o.Params)
+	return BeginDecision{Elide: true, OCC: true, Length: o.length}
+}
+
+// OnAbort implements Policy. The policy never begins hardware transactions,
+// so a hardware abort can only mean the runtime lacks the tier; serialize.
+func (o *OCCFirst) OnAbort(rt Runtime, ts ThreadState, pc int, cause simmem.AbortCause, gilHeld bool) AbortDecision {
+	return AbortDecision{Kind: AbortFallback, Reason: "persistent-abort"}
+}
+
+// OnCommit implements Policy.
+func (o *OCCFirst) OnCommit(rt Runtime, ts ThreadState, pc int) {}
+
+// Lengths implements Policy.
+func (o *OCCFirst) Lengths() []int32 { return nil }
+
+// UsesOCC implements OCCPolicy.
+func (o *OCCFirst) UsesOCC() bool { return true }
+
+// OnOCCAbort implements OCCPolicy: bounded retries, Figure 1's spin when
+// the commit was blocked by a held GIL, the lock as the last resort.
+func (o *OCCFirst) OnOCCAbort(rt Runtime, ts ThreadState, pc int, cause simmem.AbortCause, gilHeld bool) AbortDecision {
+	t := ts.(*paperThread)
+	switch {
+	case gilHeld:
+		t.gilRetry--
+		if t.gilRetry > 0 {
+			return AbortDecision{Kind: AbortSpinRetry}
+		}
+		return AbortDecision{Kind: AbortFallback, Reason: "gil-contention"}
+	case cause == simmem.CauseRestricted:
+		return AbortDecision{Kind: AbortFallback, Reason: "restricted"}
+	default:
+		t.transientRetry--
+		if t.transientRetry > 0 {
+			return AbortDecision{Kind: AbortRetry}
+		}
+		return AbortDecision{Kind: AbortFallback, Reason: "occ-retry-exhausted"}
+	}
+}
+
+// OnOCCCommit implements OCCPolicy.
+func (o *OCCFirst) OnOCCCommit(rt Runtime, ts ThreadState, pc int) {}

@@ -59,6 +59,11 @@ type BeginDecision struct {
 	// lazy subscription). The unsafe window this opens is modelled by
 	// simmem's strong-isolation hazard tracking (see Memory.StartHazard).
 	Lazy bool
+	// OCC runs the section in the software-transaction tier (internal/occ)
+	// instead of hardware elision: read/write logs with commit-time
+	// validation, concurrent with both HTM transactions and GIL holders.
+	// Requires Elide == true; Lazy is ignored.
+	OCC bool
 	// Reason labels the GIL fallback for stats/tracing (Elide==false only).
 	Reason string
 }
@@ -78,6 +83,11 @@ const (
 	// AbortBackoff parks the thread for Backoff virtual cycles, then
 	// re-issues the transaction.
 	AbortBackoff
+	// AbortOCC re-runs the critical section in the software-transaction
+	// tier (internal/occ) — the middle ground between hardware retry and
+	// the serializing GIL fallback. Only meaningful from a hardware abort
+	// under a policy that uses the tier (see OCCPolicy).
+	AbortOCC
 )
 
 // AbortDecision is a Policy's answer to a transaction abort.
@@ -121,6 +131,29 @@ func UsesLazySubscription(p Policy) bool {
 	return ok && ls.LazySubscribes()
 }
 
+// OCCPolicy is implemented by policies that route critical sections into
+// the software-transaction tier (BeginDecision.OCC or AbortOCC). The TLE
+// runtime probes it at construction to create the occ.Runtime and arm the
+// GIL hazard window, and dispatches software-tier outcomes to the dedicated
+// hooks (the hardware OnAbort/OnCommit signatures stay untouched).
+type OCCPolicy interface {
+	// UsesOCC reports whether the policy may ever choose the tier.
+	UsesOCC() bool
+	// OnOCCAbort decides how to continue after a software-transaction
+	// abort at pc. gilHeld reports whether the abort came from a commit
+	// blocked by a held GIL (retry should wait for the release).
+	// AbortRetry and AbortOCC both re-run the section in the tier.
+	OnOCCAbort(rt Runtime, ts ThreadState, pc int, cause simmem.AbortCause, gilHeld bool) AbortDecision
+	// OnOCCCommit observes a successful software-transaction commit at pc.
+	OnOCCCommit(rt Runtime, ts ThreadState, pc int)
+}
+
+// UsesOCCTier reports whether p may route sections into the software tier.
+func UsesOCCTier(p Policy) bool {
+	op, ok := p.(OCCPolicy)
+	return ok && op.UsesOCC()
+}
+
 // ---------------------------------------------------------------------------
 // Registry.
 
@@ -144,8 +177,26 @@ var builders = []builder{
 		func(p *htm.Profile) Policy { return NewExponentialBackoff(DefaultParams(p)) }},
 	{"lazy-subscription", "GIL word checked only at commit (Dice et al.)",
 		func(p *htm.Profile) Policy { return NewLazySubscription(DefaultParams(p)) }},
-	{"occ-adaptive", "per-PC success-rate gate between elision and GIL (Zhang et al.)",
+	{"occ-adaptive", "per-PC success-rate gate routing hot sites HTM -> OCC -> GIL",
 		func(p *htm.Profile) Policy { return NewOCCAdaptive(DefaultParams(p)) }},
+	{"occ-first", "every multi-thread section runs in the software-transaction tier",
+		func(p *htm.Profile) Policy { return NewOCCFirst(DefaultParams(p), defaultOCCLength) }},
+}
+
+// Register adds a policy to the registry. It fails loudly on an empty or
+// duplicate name so a misconfigured build cannot silently shadow an
+// existing policy.
+func Register(name, doc string, make func(prof *htm.Profile) Policy) error {
+	if name == "" {
+		return fmt.Errorf("policy: Register with empty name")
+	}
+	for _, b := range builders {
+		if b.name == name {
+			return fmt.Errorf("policy: duplicate registration of %q", name)
+		}
+	}
+	builders = append(builders, builder{name, doc, make})
+	return nil
 }
 
 // Names returns the canonical policy names in registry order.
@@ -175,7 +226,8 @@ func Known(name string) bool {
 
 // New builds the named policy for a machine profile. The empty name selects
 // paper-dynamic. "fixed-N" is accepted for any N >= 1, not only the three
-// registered lengths.
+// registered lengths, and "occ-N" selects the occ-first policy with
+// transaction length N.
 func New(name string, prof *htm.Profile) (Policy, error) {
 	if name == "" {
 		name = "paper-dynamic"
@@ -188,6 +240,11 @@ func New(name string, prof *htm.Profile) (Policy, error) {
 	if n, ok := strings.CutPrefix(name, "fixed-"); ok {
 		if v, err := strconv.Atoi(n); err == nil && v >= 1 {
 			return NewFixedLength(DefaultParams(prof), int32(v)), nil
+		}
+	}
+	if n, ok := strings.CutPrefix(name, "occ-"); ok {
+		if v, err := strconv.Atoi(n); err == nil && v >= 1 {
+			return NewOCCFirst(DefaultParams(prof), int32(v)), nil
 		}
 	}
 	known := Names()

@@ -33,6 +33,67 @@ func TestRegistryUnknownNameListsKnown(t *testing.T) {
 	}
 }
 
+func TestRegistryErrorPaths(t *testing.T) {
+	prof := htm.ZEC12()
+	unknown := []struct {
+		name  string
+		input string
+	}{
+		{"misspelled", "paper-dynamik"},
+		{"fixed without length", "fixed-"},
+		{"fixed negative", "fixed--3"},
+		{"occ without length", "occ-"},
+		{"occ zero length", "occ-0"},
+		{"occ garbage length", "occ-x"},
+		{"case sensitive", "Paper-Dynamic"},
+	}
+	for _, tc := range unknown {
+		t.Run("unknown/"+tc.name, func(t *testing.T) {
+			p, err := New(tc.input, prof)
+			if err == nil {
+				t.Fatalf("New(%q) accepted: %v", tc.input, p.Name())
+			}
+			if !strings.Contains(err.Error(), tc.input) {
+				t.Fatalf("error %q does not name the rejected input %q", err, tc.input)
+			}
+		})
+	}
+
+	mk := func(p *htm.Profile) Policy { return NewPaperDynamic(DefaultParams(p)) }
+	register := []struct {
+		name    string
+		regName string
+		wantErr string
+	}{
+		{"empty name", "", "empty name"},
+		{"duplicate builtin", "paper-dynamic", `duplicate registration of "paper-dynamic"`},
+		{"duplicate occ tier", "occ-first", `duplicate registration of "occ-first"`},
+	}
+	for _, tc := range register {
+		t.Run("register/"+tc.name, func(t *testing.T) {
+			err := Register(tc.regName, "test entry", mk)
+			if err == nil {
+				t.Fatalf("Register(%q) succeeded", tc.regName)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Register(%q) error %q, want substring %q", tc.regName, err, tc.wantErr)
+			}
+		})
+	}
+
+	// A successful registration resolves through New and rejects a rerun.
+	fresh := "test-registered-policy"
+	if err := Register(fresh, "registry round-trip test", mk); err != nil {
+		t.Fatalf("Register(%q): %v", fresh, err)
+	}
+	if _, err := New(fresh, prof); err != nil {
+		t.Fatalf("New(%q) after Register: %v", fresh, err)
+	}
+	if err := Register(fresh, "registry round-trip test", mk); err == nil {
+		t.Fatalf("re-registration of %q accepted", fresh)
+	}
+}
+
 func TestRegistryDefaultsAndFixedN(t *testing.T) {
 	prof := htm.ZEC12()
 	p, err := New("", prof)
@@ -205,15 +266,14 @@ func TestOCCGateTurnsPessimisticAndRecovers(t *testing.T) {
 	}
 	for i := int32(0); i < o.Cooloff; i++ {
 		d := o.OnBegin(nil, ts, pc, 4)
-		if d.Elide {
-			t.Fatalf("pessimistic section %d elided", i)
-		}
-		if d.Reason != "occ-pessimistic" {
-			t.Fatalf("pessimistic reason = %q", d.Reason)
+		if !d.Elide || !d.OCC {
+			t.Fatalf("pessimistic section %d not routed to the software tier: %+v", i, d)
 		}
 	}
-	// Cooloff spent: the site probes optimistically again.
-	beginElided(t, o, ts, pc)
+	// Cooloff spent: the site probes hardware elision again.
+	if d := beginElided(t, o, ts, pc); d.OCC {
+		t.Fatalf("post-cooloff probe stayed in the software tier: %+v", d)
+	}
 
 	// A healthy window keeps the site optimistic.
 	o2 := NewOCCAdaptive(DefaultParams(htm.ZEC12()))

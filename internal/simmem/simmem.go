@@ -161,6 +161,13 @@ type Memory struct {
 	brk     Addr
 	regions []region
 
+	// version counts committed memory updates: every direct Store bumps it,
+	// and every Tx.Commit that publishes writes bumps it once. The OCC tier
+	// (internal/occ) uses it NOrec-style to gate read-set revalidation: a
+	// software transaction whose snapshot predates the current version must
+	// revalidate before consuming any further value.
+	version uint64
+
 	// hazard window for lazy-subscription elision: while non-nil, every
 	// non-transactional Store records its line here, and a transactional
 	// access to a recorded line dooms the accessing transaction (it would
@@ -412,7 +419,25 @@ func (m *Memory) Store(addr Addr, w Word) {
 	if m.hazard != nil {
 		m.hazard[addr>>m.lineShift] = struct{}{}
 	}
+	m.version++
 	l.words[m.wordIndex(addr)] = w
+}
+
+// Version returns the global commit counter: the number of times memory has
+// been updated by direct Stores or committed transactions. A stable Version
+// across two observations means no write was published in between.
+func (m *Memory) Version() uint64 { return m.version }
+
+// HazardHit reports whether addr's line was written non-transactionally
+// inside the currently open hazard window. The OCC tier uses it to refuse
+// values that may be a lock holder's intermediate state; hardware
+// transactions get the same check via Tx.hazardCheck.
+func (m *Memory) HazardHit(addr Addr) bool {
+	if m.hazard == nil {
+		return false
+	}
+	_, ok := m.hazard[addr>>m.lineShift]
+	return ok
 }
 
 // Peek reads a word without any coherence side effects. It is intended for
@@ -640,6 +665,9 @@ func (t *Tx) Commit() bool {
 		return false
 	}
 	m := t.mem
+	if len(t.writeBuf) > 0 {
+		m.version++
+	}
 	for addr, w := range t.writeBuf {
 		l := t.lineOf(addr)
 		l.words[m.wordIndex(addr)] = w

@@ -75,6 +75,11 @@ type Aggregator struct {
 	Aborts    uint64
 	Fallbacks uint64
 
+	OCCBegins      uint64
+	OCCCommits     uint64
+	OCCAborts      uint64
+	OCCAbortCauses map[string]uint64 // occ-abort by cause
+
 	AbortCauses     map[string]uint64 // tx-abort by cause
 	AbortRegions    map[string]uint64 // conflict tx-aborts by memory region
 	AbortsByPC      map[int]uint64    // tx-abort by owning yield point
@@ -111,6 +116,7 @@ type Aggregator struct {
 func NewAggregator() *Aggregator {
 	return &Aggregator{
 		AbortCauses:     make(map[string]uint64),
+		OCCAbortCauses:  make(map[string]uint64),
 		AbortRegions:    make(map[string]uint64),
 		AbortsByPC:      make(map[int]uint64),
 		FallbackReasons: make(map[string]uint64),
@@ -140,6 +146,15 @@ func (a *Aggregator) Emit(ev Event) {
 		}
 		if ev.PC >= 0 {
 			a.AbortsByPC[ev.PC]++
+		}
+	case KindOCCBegin:
+		a.OCCBegins++
+	case KindOCCCommit:
+		a.OCCCommits++
+	case KindOCCAbort:
+		a.OCCAborts++
+		if ev.Cause != "" {
+			a.OCCAbortCauses[ev.Cause]++
 		}
 	case KindGILFallback:
 		a.Fallbacks++
@@ -247,6 +262,17 @@ func (a *Aggregator) TopAbortPCs(n int) []PCCount {
 func (a *Aggregator) WriteSummary(w io.Writer, n int) {
 	fmt.Fprintf(w, "trace: %d events | tx %d begin / %d commit / %d abort | gil %d acquire / %d fallback | %d adjustments | %d gc\n",
 		a.Events, a.Begins, a.Commits, a.Aborts, a.GILAcquires, a.Fallbacks, a.Adjustments, a.GCs)
+	if a.OCCBegins+a.OCCCommits+a.OCCAborts > 0 {
+		fmt.Fprintf(w, "  occ tier: %d begin / %d commit / %d abort\n",
+			a.OCCBegins, a.OCCCommits, a.OCCAborts)
+		if len(a.OCCAbortCauses) > 0 {
+			fmt.Fprintf(w, "  occ abort causes:")
+			for _, kv := range topN(a.OCCAbortCauses, 0) {
+				fmt.Fprintf(w, " %s=%d", kv.Key, kv.Count)
+			}
+			fmt.Fprintln(w)
+		}
+	}
 	if len(a.AbortCauses) > 0 {
 		fmt.Fprintf(w, "  abort causes:")
 		for _, kv := range topN(a.AbortCauses, 0) {

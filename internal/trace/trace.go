@@ -30,6 +30,11 @@ const (
 	KindGILFallback Kind = "gil-fallback" // critical section fell back to the GIL (note = reason)
 	KindLenAdjust   Kind = "len-adjust"   // transaction length attenuated (pc, old -> len)
 
+	// Software-transaction tier (internal/occ via internal/core).
+	KindOCCBegin  Kind = "occ-begin"  // software transaction started (pc, len)
+	KindOCCCommit Kind = "occ-commit" // validation passed, writes published
+	KindOCCAbort  Kind = "occ-abort"  // validation failed or self-doomed (cause)
+
 	// Giant VM Lock (internal/gil).
 	KindGILAcquire Kind = "gil-acquire" // a thread took the lock
 	KindGILRelease Kind = "gil-release" // the owner released it (cyc = hold time)

@@ -97,7 +97,7 @@ func (t *RThread) setIvar(f *Frame, sym object.SymID, icSlot int32, val object.V
 			t.acc.Store(buf+simmem.Addr(i*simmem.WordBytes), object.Nil.Word())
 		}
 		if base != 0 {
-			v.Heap.FreeArena(t.acc, t.ts, base, capWords)
+			t.freeArena(base, capWords)
 		}
 		t.acc.Store(self.Ref.AddrOf(object.SlotA), simmem.Word{Bits: uint64(buf)})
 		t.acc.Store(self.Ref.AddrOf(object.SlotB), simmem.Word{Bits: uint64(newCap)})
@@ -217,7 +217,7 @@ func (t *RThread) arrayEnsure(a *object.RObject, want int64) (int64, error) {
 		w := t.acc.Load(oldBase + simmem.Addr(i*simmem.WordBytes))
 		t.acc.Store(buf+simmem.Addr(i*simmem.WordBytes), w)
 	}
-	t.vm.Heap.FreeArena(t.acc, t.ts, oldBase, int(capW))
+	t.freeArena(oldBase, int(capW))
 	t.acc.Store(a.AddrOf(object.SlotA), simmem.Word{Bits: uint64(buf)})
 	t.acc.Store(a.AddrOf(object.SlotC), simmem.Word{Bits: uint64(newCap)})
 	return t.vm.Costs.ArenaAlloc + n*2, nil
@@ -436,7 +436,7 @@ func (t *RThread) hashGrow(h *object.RObject) (int64, error) {
 		cost += 12
 	}
 	t.acc.Store(h.AddrOf(object.SlotB), simmem.Word{Bits: uint64(count)})
-	t.vm.Heap.FreeArena(t.acc, t.ts, oldBase, int(oldCap*2))
+	t.freeArena(oldBase, int(oldCap*2))
 	return cost, nil
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"htmgil/internal/compile"
 	"htmgil/internal/object"
+	"htmgil/internal/occ"
 	"htmgil/internal/sched"
 	"htmgil/internal/simmem"
 )
@@ -35,7 +36,7 @@ func (t *RThread) dispatch(now int64) sched.StepResult {
 		}
 	}
 
-	extra, err := t.exec(f, in, now)
+	extra, err := t.execGuarded(f, in, now)
 	cycles += extra
 	switch err {
 	case nil:
@@ -52,7 +53,7 @@ func (t *RThread) dispatch(now int64) sched.StepResult {
 		t.park(CatIOWait, rsDispatch)
 		return sched.StepResult{Cycles: cycles, Status: sched.Blocked}
 	default:
-		if t.inTx() && t.hctx.Tx.Doomed() {
+		if (t.inTx() && t.hctx.Tx.Doomed()) || (t.inSTx() && t.tle.OCC.Doomed()) {
 			// Sandboxing: a doomed transaction may have executed on
 			// inconsistent reads — e.g. a lazy-subscription transaction
 			// racing the GIL holder through a half-filled inline cache —
@@ -78,6 +79,28 @@ func (t *RThread) dispatch(now int64) sched.StepResult {
 		return res
 	}
 	return sched.StepResult{Cycles: cycles, Status: sched.Running}
+}
+
+// execGuarded runs one instruction, converting the software tier's
+// doom-on-inconsistent-read panic (occ.ErrDoomed) into errRedo: the
+// transaction is already doomed, so the doom check at the next step rolls
+// everything — operand stack, locals, frames, pc — back to the checkpoint
+// and retries. The partial instruction's speculative writes were buffered
+// in the write log and its private-state mutations are in the undo log, so
+// unwinding mid-instruction leaves no residue.
+func (t *RThread) execGuarded(f *Frame, in *compile.Instr, now int64) (cycles int64, err error) {
+	if t.inSTx() {
+		defer func() {
+			if r := recover(); r != nil {
+				if r == occ.ErrDoomed {
+					err = errRedo
+					return
+				}
+				panic(r)
+			}
+		}()
+	}
+	return t.exec(f, in, now)
 }
 
 // blockForNative parks the thread after a native returned ErrBlocked,
@@ -229,8 +252,8 @@ func (t *RThread) exec(f *Frame, in *compile.Instr, now int64) (int64, error) {
 		f.pc++
 		return c.LocalGo, nil
 	case compile.OpSetConst:
-		if t.inTx() {
-			t.hctx.RestrictedOp()
+		if t.inAnyTx() {
+			t.restrictedOp()
 			return 0, errRedo
 		}
 		v.consts[object.SymID(in.A)] = t.pop()
@@ -340,8 +363,8 @@ func (t *RThread) exec(f *Frame, in *compile.Instr, now int64) (int64, error) {
 		t.popFrame()
 		t.push(val)
 	case compile.OpDefineMethod:
-		if t.inTx() {
-			t.hctx.RestrictedOp()
+		if t.inAnyTx() {
+			t.restrictedOp()
 			return 0, errRedo
 		}
 		cls := v.defTarget(f.self)
@@ -358,8 +381,8 @@ func (t *RThread) exec(f *Frame, in *compile.Instr, now int64) (int64, error) {
 		f.pc++
 		return c.HashOp, nil
 	case compile.OpDefineClass:
-		if t.inTx() {
-			t.hctx.RestrictedOp()
+		if t.inAnyTx() {
+			t.restrictedOp()
 			return 0, errRedo
 		}
 		var super *object.RClass
@@ -868,8 +891,8 @@ func (t *RThread) sendGeneric(f *Frame, mid object.SymID, argc int32, blkIdx int
 	}
 
 	if nm, ok := m.Native.(*NativeMethod); ok {
-		if nm.Blocking && t.inTx() {
-			t.hctx.RestrictedOp()
+		if nm.Blocking && t.inAnyTx() {
+			t.restrictedOp()
 			return cost, errRedo
 		}
 		if m.Arity >= 0 && int32(m.Arity) != argc {

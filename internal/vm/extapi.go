@@ -74,13 +74,14 @@ func (t *RThread) ToS(v object.Value) string {
 	return s
 }
 
-// InTx reports whether the thread currently runs inside a transaction;
-// extensions use it to turn un-speculatable work into a restricted abort.
-func (t *RThread) InTx() bool { return t.inTx() }
+// InTx reports whether the thread currently runs inside a transaction of
+// either tier (hardware or software); extensions use it to turn
+// un-speculatable work into a restricted abort.
+func (t *RThread) InTx() bool { return t.inAnyTx() }
 
-// RestrictedOp dooms the current transaction (extension equivalent of
-// performing a system call).
-func (t *RThread) RestrictedOp() { t.hctx.RestrictedOp() }
+// RestrictedOp dooms the current transaction, whatever its tier (extension
+// equivalent of performing a system call).
+func (t *RThread) RestrictedOp() { t.restrictedOp() }
 
 // ErrRedo tells the dispatcher to re-execute the current instruction after
 // the (just-doomed) transaction aborts and falls back to the GIL.

@@ -28,6 +28,16 @@ func (t *RThread) runGC() error {
 		if th.hctx != nil && th.hctx.Tx.Active() {
 			th.hctx.Tx.SelfDoom(simmem.CauseInterrupt)
 		}
+		// Software transactions must die too, and not only because of their
+		// invisible write buffers: their value-based validation cannot see
+		// the collector recycling an object behind a reference they already
+		// consumed (the host-side type mutates in place), so letting one
+		// survive a collection risks dispatching on a reused object. The
+		// doomed thread aborts at its next step boundary, before it can
+		// touch anything the collector moved.
+		if th.tle != nil && th.tle.OCC != nil && th.tle.OCC.Active() {
+			th.tle.OCC.SelfDoom(simmem.CauseInterrupt)
+		}
 	}
 	t.traceGC(trace.KindGCStart, 0)
 	cycles := v.Heap.Collect(v.gcRoots, v.gcTraverse)
@@ -186,6 +196,12 @@ func (v *VM) gcRoots(mark func(*object.RObject)) {
 			mark(t.thrObj)
 		}
 		for _, o := range t.tempRoots {
+			mark(o)
+		}
+		// Objects a software transaction allocated stay pinned until its
+		// commit or abort settles them: an abort returns them to the free
+		// lists itself, and sweeping them here first would free them twice.
+		for _, o := range t.stxAllocObjs {
 			mark(o)
 		}
 		markVal(t.result)

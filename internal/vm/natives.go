@@ -607,9 +607,9 @@ func (v *VM) installThreading(threadC, mutexC, condC *object.RClass) {
 		if !blk.valid() {
 			return object.Nil, fmt.Errorf("Thread.new requires a block")
 		}
-		if t.inTx() {
+		if t.inAnyTx() {
 			// Spawning a thread is a scheduling side effect: GIL territory.
-			t.hctx.RestrictedOp()
+			t.restrictedOp()
 			return object.Nil, errRedo
 		}
 		thObj, err := t.allocObject(object.TThread, threadC)
@@ -682,8 +682,8 @@ func (v *VM) installThreading(threadC, mutexC, condC *object.RClass) {
 			return self, nil
 		}
 		// Contended: parking is a scheduling side effect.
-		if t.inTx() {
-			t.hctx.RestrictedOp()
+		if t.inAnyTx() {
+			t.restrictedOp()
 			return object.Nil, errRedo
 		}
 		if owner == 0 {
@@ -703,9 +703,9 @@ func (v *VM) installThreading(threadC, mutexC, condC *object.RClass) {
 			return object.Nil, fmt.Errorf("unlock of mutex not owned (owner=%d, self=%d)", owner, t.ctxID+1)
 		}
 		if len(md.waiters) > 0 {
-			if t.inTx() {
+			if t.inAnyTx() {
 				// Waking a waiter cannot happen speculatively.
-				t.hctx.RestrictedOp()
+				t.restrictedOp()
 				return object.Nil, errRedo
 			}
 			next := md.waiters[0]
@@ -775,8 +775,8 @@ func (v *VM) installThreading(threadC, mutexC, condC *object.RClass) {
 			if len(cd.waiters) == 0 {
 				return self, nil
 			}
-			if t.inTx() {
-				t.hctx.RestrictedOp()
+			if t.inAnyTx() {
+				t.restrictedOp()
 				return object.Nil, errRedo
 			}
 			n := 1

@@ -3,6 +3,7 @@ package vm
 import (
 	"htmgil/internal/core"
 	"htmgil/internal/htm"
+	"htmgil/internal/occ"
 	"htmgil/internal/simmem"
 )
 
@@ -56,6 +57,7 @@ type Stats struct {
 	Yields    uint64
 
 	HTM *htm.Stats // nil outside HTM mode
+	OCC *occ.Stats // nil unless the policy uses the software tier
 
 	// GILFallbacks counts critical sections that fell back to the GIL
 	// instead of committing transactionally (HTM mode only).

@@ -68,8 +68,9 @@ func (t *RThread) step(now int64) sched.StepResult {
 		return t.finishThread(now)
 	}
 
-	// Doomed transactions abort at their next instruction boundary.
-	if t.inTx() && t.hctx.Doomed(now) {
+	// Doomed transactions (either tier) abort at their next instruction
+	// boundary.
+	if t.txDoomed(now) {
 		return t.doAbort(now)
 	}
 	return t.dispatch(now)
@@ -113,6 +114,20 @@ func (t *RThread) afterBegin(cycles int64, out core.Outcome, now int64) sched.St
 			v.Mem.Store(v.curThreadAddr, simmem.Word{Bits: uint64(t.ctxID + 1)})
 		}
 		v.Mem.Store(t.counterAddr, simmem.Word{Bits: uint64(t.tle.ChosenLength)})
+	} else if t.tle.OCCMode {
+		// Software tier: run over the OCC read/write logs. The same
+		// running-thread global and counter stores happen, buffered in
+		// the write log like any other speculative write.
+		t.acc = t.tle.OCC
+		t.checkpoint()
+		t.txCycles = 0
+		if !v.Opt.GlobalVarsToTLS {
+			t.tle.OCC.Store(v.curThreadAddr, simmem.Word{Bits: uint64(t.ctxID + 1)})
+		}
+		t.tle.OCC.Store(t.counterAddr, simmem.Word{Bits: uint64(t.tle.ChosenLength)})
+		if t.tle.OCC.Doomed() {
+			return t.doAbort(now)
+		}
 	} else {
 		t.acc = t.hctx.Tx
 		t.checkpoint()
@@ -179,7 +194,7 @@ func (t *RThread) atYieldPoint(in *compile.Instr, now int64) *sched.StepResult {
 		}
 		cnt := int64(t.acc.Load(t.counterAddr).Bits)
 		cnt--
-		if t.inTx() && t.hctx.Doomed(now) {
+		if t.txDoomed(now) {
 			// The counter access itself may doom the transaction
 			// (false sharing on unpadded thread structs).
 			r := t.doAbort(now)

@@ -129,6 +129,23 @@ type RThread struct {
 	// (native methods build results in host locals the collector cannot
 	// otherwise see). Cleared at the next dispatch.
 	tempRoots []*object.RObject
+
+	// Allocator compensation state for the software (OCC) tier, which
+	// allocates non-speculatively (see allocAcc): objects and buffers the
+	// running software transaction obtained (returned to the free lists on
+	// abort) and buffers it released (applied only at commit, because the
+	// committed state still references them until the write buffer
+	// publishes).
+	stxAllocObjs []*object.RObject
+	stxAllocBufs []arenaRec
+	stxFreeBufs  []arenaRec
+}
+
+// arenaRec identifies one malloc-arena buffer for the software tier's
+// allocation/free compensation logs.
+type arenaRec struct {
+	base  simmem.Addr
+	words int
 }
 
 // threadStructBytes returns the spacing of thread structs in simulated
@@ -189,8 +206,20 @@ func (v *VM) newRThread(name string) *RThread {
 			// run, so context recycling never perturbs the schedule.
 			v.htmCtxs[id].Faults = v.Faults.HTMContext(id)
 		}
+		if rt := v.Elision.OCCRT; rt != nil {
+			// Hardware transactions subscribe to the software tier's
+			// commit-sequence word (unless the profile sandboxes them).
+			v.htmCtxs[id].OCCSeqAddr = rt.SeqAddr
+		}
 		t.hctx = v.htmCtxs[id]
 		t.tle = v.Elision.NewThread(t.hctx)
+		if t.tle.OCC != nil {
+			// A mid-instruction doom must unwind immediately: the interpreter
+			// recovers the sentinel at its dispatch boundary (execGuarded)
+			// instead of running the rest of the instruction on a snapshot
+			// that no longer exists.
+			t.tle.OCC.PanicOnDoom = true
+		}
 		t.resume = rsBeginEntry
 	} else if v.Opt.Mode == ModeGIL {
 		t.resume = rsBeginEntry
@@ -237,9 +266,39 @@ func (t *RThread) pushEntry(iseq *compile.ISeq, self object.Value, parentEnv obj
 	t.pendingYP = iseq.EntryYP
 }
 
-// inTx reports whether the thread currently runs inside a transaction.
+// inTx reports whether the thread currently runs inside a hardware
+// transaction.
 func (t *RThread) inTx() bool {
 	return t.vm.Opt.Mode == ModeHTM && t.tle != nil && !t.tle.GILMode && t.hctx.InTx()
+}
+
+// inSTx reports whether the thread currently runs inside a software (OCC)
+// transaction.
+func (t *RThread) inSTx() bool {
+	return t.vm.Opt.Mode == ModeHTM && t.tle != nil && t.tle.OCCMode
+}
+
+// inAnyTx reports whether the thread runs inside a transaction of either
+// tier.
+func (t *RThread) inAnyTx() bool { return t.inTx() || t.inSTx() }
+
+// txDoomed reports whether the thread's running transaction (either tier)
+// has been doomed and must abort at the next boundary.
+func (t *RThread) txDoomed(now int64) bool {
+	if t.inSTx() {
+		return t.tle.OCC.Doomed()
+	}
+	return t.inTx() && t.hctx.Doomed(now)
+}
+
+// restrictedOp dooms the running transaction — whatever its tier — because
+// the program reached an operation that cannot run speculatively.
+func (t *RThread) restrictedOp() {
+	if t.inSTx() {
+		t.tle.OCC.SelfDoom(simmem.CauseRestricted)
+		return
+	}
+	t.hctx.RestrictedOp()
 }
 
 // inCritical reports whether the thread is in any critical section.
@@ -263,7 +322,7 @@ func (t *RThread) charge(cat CycleCat, cycles int64) {
 // chargeExec attributes execution cycles by current criticality.
 func (t *RThread) chargeExec(cycles int64) {
 	switch {
-	case t.inTx():
+	case t.inTx(), t.inSTx():
 		t.txCycles += cycles
 	case t.inCritical():
 		t.charge(CatGILHeld, cycles)
@@ -299,14 +358,37 @@ func (t *RThread) checkpoint() {
 	t.ckPC = t.frames[len(t.frames)-1].pc
 }
 
-// commitPrivate drops the undo log after a successful commit.
+// commitPrivate drops the undo log after a successful commit and settles
+// the software tier's allocator logs: deferred buffer frees are applied
+// now that the write buffer has published, and the allocation logs are
+// dropped (the allocations are permanent).
 func (t *RThread) commitPrivate() {
 	t.logging = false
 	t.log = t.log[:0]
+	v := t.vm
+	for _, r := range t.stxFreeBufs {
+		v.Heap.FreeArena(v.Mem, t.ts, r.base, r.words)
+	}
+	t.stxFreeBufs = t.stxFreeBufs[:0]
+	t.stxAllocObjs = t.stxAllocObjs[:0]
+	t.stxAllocBufs = t.stxAllocBufs[:0]
 }
 
 // rollbackPrivate restores the private interpreter state to the checkpoint.
 func (t *RThread) rollbackPrivate() {
+	// Undo the software tier's non-speculative allocations and drop its
+	// deferred frees (the committed state never saw the aborted buffers).
+	v := t.vm
+	for i := len(t.stxAllocObjs) - 1; i >= 0; i-- {
+		v.Heap.FreeObject(v.Mem, t.ts, t.stxAllocObjs[i])
+	}
+	for i := len(t.stxAllocBufs) - 1; i >= 0; i-- {
+		r := t.stxAllocBufs[i]
+		v.Heap.FreeArena(v.Mem, t.ts, r.base, r.words)
+	}
+	t.stxAllocObjs = t.stxAllocObjs[:0]
+	t.stxAllocBufs = t.stxAllocBufs[:0]
+	t.stxFreeBufs = t.stxFreeBufs[:0]
 	if MutSkipRollback {
 		// Seeded bug (mutation builds only): the abort handler forgets to
 		// roll back the private interpreter state. Execution resumes at the
@@ -452,7 +534,7 @@ func (t *RThread) allocEnv(nlocals int, parent object.Value, args []object.Value
 	if err != nil {
 		return object.Nil, err
 	}
-	buf, err := v.Heap.AllocArena(t.acc, t.ts, nlocals+1)
+	buf, err := t.allocArena(nlocals + 1)
 	if err != nil {
 		return object.Nil, err
 	}
@@ -479,21 +561,54 @@ func roundClass(n int) int {
 	return c
 }
 
+// allocAcc returns the accessor for allocator metadata. Hardware
+// transactions allocate speculatively — the paper's free-list conflicts
+// depend on it — but the software tier must not: its write buffer hides a
+// free-list pop from every other allocator until commit, and NOrec's
+// value-based validation cannot see the resulting collision when the
+// interleaved allocators leave identical list words behind, so two threads
+// would initialize the same host-side object shell (Type, Class, Native)
+// as different types. As in real STMs, software transactions therefore
+// allocate directly and compensate on abort (see commitPrivate and
+// rollbackPrivate).
+func (t *RThread) allocAcc() heap.Accessor {
+	if t.inSTx() {
+		return t.vm.Mem
+	}
+	return t.acc
+}
+
+// freeArena releases an arena buffer. Inside a software transaction the
+// release is deferred to commit: the committed state still references the
+// buffer until the write buffer publishes, so freeing it eagerly would
+// hand live memory to a concurrent allocator — and an abort would
+// resurrect the buffer after its reuse.
+func (t *RThread) freeArena(base simmem.Addr, words int) {
+	if t.inSTx() {
+		t.stxFreeBufs = append(t.stxFreeBufs, arenaRec{base: base, words: words})
+		return
+	}
+	t.vm.Heap.FreeArena(t.acc, t.ts, base, words)
+}
+
 // allocObject allocates a heap object, handling GC-needed conditions per
 // the current execution mode.
 func (t *RThread) allocObject(typ object.RType, cls *object.RClass) (*object.RObject, error) {
 	v := t.vm
-	o, err := v.Heap.AllocObject(t.acc, t.ts, typ, cls)
+	o, err := v.Heap.AllocObject(t.allocAcc(), t.ts, typ, cls)
 	if err == nil {
 		t.tempRoots = append(t.tempRoots, o)
+		if t.inSTx() {
+			t.stxAllocObjs = append(t.stxAllocObjs, o)
+		}
 		return o, nil
 	}
 	if !errors.Is(err, heap.ErrNeedGC) {
 		return nil, err
 	}
-	if t.inTx() {
+	if t.inAnyTx() {
 		// GC cannot run inside a transaction: abort to the GIL and redo.
-		t.hctx.RestrictedOp()
+		t.restrictedOp()
 		return nil, errRedo
 	}
 	if err := t.runGC(); err != nil {
@@ -510,12 +625,15 @@ func (t *RThread) allocObject(typ object.RType, cls *object.RClass) (*object.ROb
 // allocArena allocates an arena buffer with the same GC protocol.
 func (t *RThread) allocArena(words int) (simmem.Addr, error) {
 	v := t.vm
-	a, err := v.Heap.AllocArena(t.acc, t.ts, words)
+	a, err := v.Heap.AllocArena(t.allocAcc(), t.ts, words)
 	if err == nil {
+		if t.inSTx() {
+			t.stxAllocBufs = append(t.stxAllocBufs, arenaRec{base: a, words: words})
+		}
 		return a, nil
 	}
-	if t.inTx() {
-		t.hctx.RestrictedOp()
+	if t.inAnyTx() {
+		t.restrictedOp()
 		return 0, errRedo
 	}
 	if gerr := t.runGC(); gerr != nil {

@@ -32,6 +32,7 @@ import (
 	"htmgil/internal/heap"
 	"htmgil/internal/htm"
 	"htmgil/internal/object"
+	"htmgil/internal/occ"
 	"htmgil/internal/policy"
 	"htmgil/internal/sched"
 	"htmgil/internal/simmem"
@@ -291,6 +292,12 @@ func New(opt Options) *VM {
 	}
 	v.Elision = core.NewWithPolicy(pol, v.GIL, v.Engine)
 	v.Elision.LiveAppThreads = func() int { return v.liveApp }
+	if policy.UsesOCCTier(pol) {
+		// The policy routes sections into the software-transaction tier:
+		// create its runtime (reserving the commit-sequence word the
+		// hardware contexts subscribe to).
+		v.Elision.OCCRT = occ.NewRuntime(v.Mem)
+	}
 
 	if opt.Watchdog && opt.Trace == nil {
 		// The watchdog observes the event stream; give it one even when
@@ -589,6 +596,9 @@ func (v *VM) finishRun() *RunResult {
 		if b := v.Elision.Breaker; b != nil {
 			s.BreakerTransitions = append([]core.BreakerTransition(nil), b.Transitions...)
 			s.BreakerOpens = b.Opens
+		}
+		if rt := v.Elision.OCCRT; rt != nil {
+			s.OCC = rt.Stats.Clone()
 		}
 	}
 	s.FaultCounts = v.Faults.Counts()

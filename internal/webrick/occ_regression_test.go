@@ -1,0 +1,33 @@
+package webrick
+
+import (
+	"testing"
+
+	"htmgil/internal/htm"
+	"htmgil/internal/vm"
+)
+
+// TestOCCPoliciesServeWEBrick runs the server under the software-transaction
+// policies at increasing client counts. This is the regression net for the
+// OCC tier's two host-level soundness holes: a doomed transaction continuing
+// on an inconsistent snapshot mid-instruction (fixed by the ErrDoomed unwind
+// in the dispatcher) and the allocator double-handing a free-list span to a
+// software transaction and a concurrent GIL holder (fixed by non-speculative
+// allocation with abort compensation). Both manifested here as bogus Ruby
+// type errors from recycled objects, only at 2+ clients.
+func TestOCCPoliciesServeWEBrick(t *testing.T) {
+	for _, pol := range []string{"occ-first", "occ-adaptive"} {
+		for _, cl := range []int{1, 2, 4} {
+			r, err := Run(Config{Prof: htm.ZEC12(), Mode: vm.ModeHTM, Policy: pol,
+				Clients: cl, Requests: 800, ZOSMalloc: true})
+			if err != nil {
+				t.Errorf("%s/%d: %v", pol, cl, err)
+				continue
+			}
+			if r.Throughput <= 0 {
+				t.Errorf("%s/%d: non-positive throughput %.2f", pol, cl, r.Throughput)
+			}
+			t.Logf("%s/%d tp=%.1f", pol, cl, r.Throughput)
+		}
+	}
+}
