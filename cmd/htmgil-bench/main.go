@@ -7,11 +7,13 @@
 //	htmgil-bench -experiment policy -quick -csv policy.csv
 //	htmgil-bench -experiment hybrid -quick -report hybrid.json
 //	htmgil-bench -experiment serving -quick -report serving.json
+//	htmgil-bench -experiment resilience -quick -report resilience.json
 //	htmgil-bench -experiment explore -quick
 //	htmgil-bench -replay-schedule internal/explore/testdata/schedules/counter-flip2.json
 //
 // -list prints the experiment names: micro fig5 fig6a fig6b fig7 fig8
-// fig9 aborts overhead ablation policy hybrid chaos serving explore all.
+// fig9 aborts overhead ablation policy hybrid chaos serving resilience
+// explore all.
 // -quick uses scaled-down
 // problem sizes and fewer thread counts; without it the full
 // (paper-shaped) sweep runs, which takes tens of minutes on one host
@@ -31,7 +33,13 @@
 // server machines (htm.Server, 128/256 cores, 1200 client sessions):
 // seeded Poisson/bursty/diurnal arrivals, Zipf route popularity, session
 // affinity, slow-draining clients and a fault scenario, reporting exact
-// p50/p99/p99.9/max latency and per-route SLO attainment. The explore
+// p50/p99/p99.9/max latency and per-route SLO attainment. The resilience
+// experiment stages a metastable failure on the WEBrick pool — an overload
+// pulse co-timed with a connection-reset burst — and walks the protection
+// ladder (legacy retries, client retry budgets, server admission control,
+// full deadlines + brownout), reporting shed/gave-up/deadline-cancelled
+// counts, SLO attainment and request-level time-to-recover (-1 when the
+// service never climbs back out of the trap). The explore
 // experiment runs
 // the systematic schedule explorer (internal/explore) over its checker
 // programs and fails on any serializability, progress, or trace-invariant

@@ -1,0 +1,128 @@
+// Resilience example: a metastable failure and the way out. The WEBrick
+// worker pool serves open-loop traffic at ~75% utilization when an
+// overload pulse (arrivals triple) lands together with a connection-reset
+// burst. Unprotected, the stored backlog plus retry pressure keeps the
+// service collapsed long after the pulse clears — recover stays -1. With
+// the request-level protections on (client retry budgets, server admission
+// control, deadlines, brownout priorities) the overload resolves into
+// fast sheds and bounded queues, and the service snaps back within a
+// couple of virtual seconds of the pulse ending. Both runs are
+// byte-deterministic.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"htmgil/internal/fault"
+	"htmgil/internal/htm"
+	"htmgil/internal/netsim"
+	"htmgil/internal/resilience"
+	"htmgil/internal/vm"
+	"htmgil/internal/webrick"
+)
+
+func get(path string) string {
+	return "GET " + path + " HTTP/1.1\r\nHost: sim.example\r\nUser-Agent: open/1.0\r\nAccept: text/html\r\nConnection: close\r\n\r\n"
+}
+
+func main() {
+	const (
+		horizon    = 150_000_000 // 30 virtual seconds
+		pulseStart = 50_000_000
+		pulseEnd   = 100_000_000
+		baseRate   = 21.0
+	)
+	prof := htm.Server(128)
+
+	configs := []struct {
+		name  string
+		res   *resilience.Config
+		retry *resilience.RetryConfig
+	}{
+		{name: "unprotected"},
+		{name: "protected",
+			res: &resilience.Config{
+				MaxQueue:      16,
+				Deadlines:     true,
+				DeadlineSlack: 300_000,
+				Brownout: &resilience.BrownoutConfig{
+					EnterDelay: 1_000_000,
+					ShedDelay:  2_500_000,
+				},
+			},
+			retry: &resilience.RetryConfig{
+				MaxAttempts: 4, Budget: 8, Refill: 0.5,
+				BaseBackoff: 100_000, MaxBackoff: 3_200_000, JitterFrac: 0.5,
+			}},
+	}
+
+	fmt.Printf("WEBrick pool on %s, 16 workers — 3x overload pulse + reset burst over [%dM,%dM)\n",
+		prof.Name, pulseStart/1_000_000, pulseEnd/1_000_000)
+	fmt.Printf("%-12s %6s %6s %7s %5s %7s %8s %10s\n",
+		"config", "gen", "shed", "gaveup", "dlx", "tput", "slo", "recover")
+
+	for _, c := range configs {
+		deadlines := c.res != nil && c.res.Deadlines
+		routes := []netsim.OpenRoute{
+			{Name: "index", Request: get("/index.html"), SLOCycles: 2_000_000, Priority: 0},
+			{Name: "about", Request: get("/about"), SLOCycles: 2_000_000, Priority: 2},
+			{Name: "missing", Request: get("/missing"), SLOCycles: 1_500_000, Priority: 1},
+		}
+		if deadlines {
+			routes[0].DeadlineCycles = 12_000_000
+			routes[1].DeadlineCycles = 12_000_000
+			routes[2].DeadlineCycles = 3_000_000
+		}
+		tracker := &resilience.RecoveryTracker{}
+		gen := &netsim.OpenLoadGen{
+			Seed: 7,
+			Arrivals: netsim.ArrivalOpts{
+				Kind:       netsim.ArrivalPoisson,
+				RatePerSec: baseRate,
+				Horizon:    horizon,
+				PulseStart: pulseStart,
+				PulseEnd:   pulseEnd,
+				PulseMult:  3,
+			},
+			Routes:   routes,
+			Sessions: 1200,
+			Retry:    c.retry,
+			OnOutcome: func(_, route int, arrival, done int64, outcome string) {
+				ok := outcome == netsim.OutcomeCompleted &&
+					done-arrival <= routes[route].SLOCycles
+				tracker.Observe(done, ok)
+			},
+		}
+		spec, err := fault.ParseSpec(fmt.Sprintf("connreset=0.3,from=%d,until=%d", pulseStart, pulseEnd))
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := webrick.Run(webrick.Config{
+			Prof: prof, Mode: vm.ModeHTM, Workers: 16,
+			Open: gen, Faults: spec, Breaker: true, Watchdog: true,
+			Resilience: c.res,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		met, judged := 0, 0
+		for i, route := range routes {
+			for _, lat := range gen.Samples[i] {
+				judged++
+				if lat <= route.SLOCycles {
+					met++
+				}
+			}
+		}
+		judged += gen.Shed + gen.GaveUp + gen.DeadlineExceeded
+		recover := tracker.RecoverAt(pulseEnd)
+		rec := fmt.Sprintf("%dM", recover/1_000_000)
+		if recover < 0 {
+			rec = "never"
+		}
+		fmt.Printf("%-12s %6d %6d %7d %5d %7.1f %7.1f%% %10s\n",
+			c.name, gen.Generated, gen.Shed, gen.GaveUp, gen.DeadlineExceeded,
+			r.Throughput, 100*float64(met)/float64(judged), rec)
+	}
+}

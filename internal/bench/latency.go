@@ -16,7 +16,9 @@ type LatencySummary struct {
 	P999       int64   `json:"p999"`
 	Max        int64   `json:"max"`
 	SLO        int64   `json:"slo,omitempty"`
-	Attainment float64 `json:"attainment"` // fraction of samples <= SLO
+	Met        int     `json:"met"`              // completed samples within the SLO
+	Failed     int     `json:"failed,omitempty"` // non-completed requests folded in (shed/gave-up/expired)
+	Attainment float64 `json:"attainment"`       // fraction of samples <= SLO
 }
 
 // Summarize digests latency samples against an SLO (slo <= 0: attainment is
@@ -31,18 +33,32 @@ func Summarize(samples []int64, slo int64) LatencySummary {
 	s.P50 = Percentile(scratch, 0.50)
 	s.P99 = Percentile(scratch, 0.99)
 	s.P999 = Percentile(scratch, 0.999)
-	met := 0
 	for _, v := range samples {
 		if v > s.Max {
 			s.Max = v
 		}
-		if slo > 0 && v <= slo {
-			met++
+		if slo <= 0 || v <= slo {
+			s.Met++
 		}
 	}
 	if slo > 0 {
-		s.Attainment = float64(met) / float64(len(samples))
+		s.Attainment = float64(s.Met) / float64(len(samples))
 	}
+	return s
+}
+
+// WithFailures folds failed requests — shed, gave-up, or past-deadline, i.e.
+// generated for this route but never completed — into the SLO accounting. A
+// request the server refused or cancelled is an SLO miss by definition, even
+// when slo <= 0 (no latency target): attainment becomes met / (count +
+// failed) as soon as any request failed. Latency percentiles keep describing
+// the completed samples only.
+func (s LatencySummary) WithFailures(failed int) LatencySummary {
+	if failed <= 0 {
+		return s
+	}
+	s.Failed = failed
+	s.Attainment = float64(s.Met) / float64(s.Count+failed)
 	return s
 }
 

@@ -132,3 +132,40 @@ func TestSummarizeEdgeCases(t *testing.T) {
 		}
 	}
 }
+
+// TestWithFailures: non-completed requests (shed, gave-up, deadline-exceeded)
+// count as SLO misses — even without a latency target — while percentiles
+// keep describing the completed samples only.
+func TestWithFailures(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []int64
+		slo     int64
+		failed  int
+		want    float64
+	}{
+		{"none-shed", []int64{10, 20, 30, 40}, 25, 0, 0.5},
+		{"all-shed", nil, 25, 8, 0},
+		{"mixed", []int64{10, 20, 30, 40}, 25, 4, 0.25},      // 2 met of 8 resolved
+		{"mixed-no-slo", []int64{10, 20, 30, 40}, 0, 4, 0.5}, // 4 met of 8 resolved
+		{"all-met-some-shed", []int64{10, 20}, 100, 2, 0.5},
+		{"no-slo-no-failures", []int64{10, 20}, 0, 0, 1},
+	}
+	for _, c := range cases {
+		s := Summarize(c.samples, c.slo).WithFailures(c.failed)
+		if s.Attainment != c.want {
+			t.Errorf("%s: attainment = %g, want %g (%+v)", c.name, s.Attainment, c.want, s)
+		}
+		if s.Failed != c.failed && c.failed > 0 {
+			t.Errorf("%s: failed = %d, want %d", c.name, s.Failed, c.failed)
+		}
+		if s.Count != len(c.samples) {
+			t.Errorf("%s: count = %d, want %d", c.name, s.Count, len(c.samples))
+		}
+		// Percentiles must be untouched by folding failures in.
+		base := Summarize(c.samples, c.slo)
+		if s.P50 != base.P50 || s.P99 != base.P99 || s.Max != base.Max {
+			t.Errorf("%s: WithFailures changed percentiles: %+v vs %+v", c.name, s, base)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"htmgil/internal/core"
+	"htmgil/internal/resilience"
 	"htmgil/internal/trace"
 	"htmgil/internal/vm"
 )
@@ -50,9 +51,9 @@ type Report struct {
 
 	// Trace attribution, present only when the Session ran with
 	// TraceSummary (it requires attaching an event recorder to the run).
-	TopAbortPCs  []trace.PCCount                `json:"topAbortPCs,omitempty"`
-	LengthSeries map[int][]trace.LengthSample   `json:"lengthSeries,omitempty"`
-	FallbackWhy  map[string]uint64              `json:"fallbackReasons,omitempty"`
+	TopAbortPCs  []trace.PCCount              `json:"topAbortPCs,omitempty"`
+	LengthSeries map[int][]trace.LengthSample `json:"lengthSeries,omitempty"`
+	FallbackWhy  map[string]uint64            `json:"fallbackReasons,omitempty"`
 
 	// Fault-injection provenance, present when the run was executed under a
 	// fault spec (the chaos experiment, or any caller arming Options.Faults):
@@ -82,6 +83,14 @@ type Report struct {
 	ConnsPeak    int             `json:"connsPeak,omitempty"`
 	Latency      *LatencySummary `json:"latency,omitempty"`
 	RouteLatency []RouteLatency  `json:"routeLatency,omitempty"`
+
+	// Resilience accounting (the resilience experiment, or any serving point
+	// run with an admission/retry/deadline config): how each non-completed
+	// request was resolved, plus the brownout controller's state history.
+	Shed                int                             `json:"shed,omitempty"`
+	GaveUp              int                             `json:"gaveUp,omitempty"`
+	DeadlineExceeded    int                             `json:"deadlineExceeded,omitempty"`
+	BrownoutTransitions []resilience.BrownoutTransition `json:"brownoutTransitions,omitempty"`
 }
 
 // RouteLatency is the latency digest of one route class of a serving point.
@@ -177,6 +186,7 @@ func (s *Session) WriteReportsCSV(w io.Writer) error {
 		"faultSpec", "seed", "faultsInjected", "breakerOpens", "recoverCycles",
 		"cores", "workers", "sessions", "ratePerSec", "arrivals", "connsTotal", "connsPeak",
 		"p50", "p99", "p999", "latMax", "sloAttainment",
+		"shed", "gaveUp", "deadlineExceeded",
 	}); err != nil {
 		return err
 	}
@@ -225,6 +235,7 @@ func (s *Session) WriteReportsCSV(w io.Writer) error {
 			strconv.FormatFloat(r.RatePerSec, 'g', -1, 64),
 			strconv.Itoa(r.Arrivals), strconv.Itoa(r.ConnsTotal), strconv.Itoa(r.ConnsPeak),
 			p50, p99, p999, latMax, slo,
+			strconv.Itoa(r.Shed), strconv.Itoa(r.GaveUp), strconv.Itoa(r.DeadlineExceeded),
 		}); err != nil {
 			return err
 		}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// runResilience executes the quick resilience ladder and returns the
+// table, the JSON reports and the CSV reports.
+func runResilience(t *testing.T, parallel int) (table, reports, csv string) {
+	t.Helper()
+	var tb strings.Builder
+	s := NewSession(&tb, true)
+	s.Parallel = parallel
+	if err := s.ResilienceTable(); err != nil {
+		t.Fatal(err)
+	}
+	var rep, cv strings.Builder
+	if err := s.WriteReports(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteReportsCSV(&cv); err != nil {
+		t.Fatal(err)
+	}
+	return tb.String(), rep.String(), cv.String()
+}
+
+// TestResilienceExperimentDeterministic: the metastable-failure ladder —
+// table, JSON reports and CSV — is byte-identical across runs and across
+// worker counts. This is the in-process version of the CI resilience job.
+func TestResilienceExperimentDeterministic(t *testing.T) {
+	t1, r1, c1 := runResilience(t, 0)
+	t2, r2, c2 := runResilience(t, 1)
+	if t1 != t2 {
+		t.Errorf("resilience tables differ:\n--- a ---\n%s\n--- b ---\n%s", t1, t2)
+	}
+	if r1 != r2 {
+		t.Errorf("resilience reports differ")
+	}
+	if c1 != c2 {
+		t.Errorf("resilience CSVs differ")
+	}
+
+	// The headline must hold: the unprotected server never recovers from
+	// the pulse, the fully protected one does — and every row's outcome
+	// counters account for every generated request.
+	var reps []Report
+	if err := json.Unmarshal([]byte(r1), &reps); err != nil {
+		t.Fatal(err)
+	}
+	byConfig := make(map[string]*Report)
+	for i := range reps {
+		if reps[i].Experiment == "resilience" {
+			byConfig[reps[i].Config] = &reps[i]
+		}
+	}
+	for _, want := range []string{"unprotected", "budgets", "admission", "full"} {
+		r, ok := byConfig[want]
+		if !ok {
+			t.Fatalf("no report for config %q (have %d resilience reports)", want, len(byConfig))
+		}
+		if r.RecoverCycles == nil {
+			t.Fatalf("%s: no recover cycles recorded", want)
+		}
+		resolved := r.Latency.Count + r.Shed + r.GaveUp + r.DeadlineExceeded
+		if resolved != r.Arrivals {
+			t.Errorf("%s: resolved %d != generated %d (completed %d shed %d gaveup %d dlx %d)",
+				want, resolved, r.Arrivals, r.Latency.Count, r.Shed, r.GaveUp, r.DeadlineExceeded)
+		}
+	}
+	if got := *byConfig["unprotected"].RecoverCycles; got != -1 {
+		t.Errorf("unprotected recovered at %d, want -1 (collapse must outlive the pulse)", got)
+	}
+	if got := *byConfig["full"].RecoverCycles; got < 0 {
+		t.Errorf("full protection never recovered (recover = %d)", got)
+	}
+	if byConfig["full"].Shed == 0 {
+		t.Errorf("full protection shed nothing — admission/brownout not engaged")
+	}
+	if len(byConfig["full"].BrownoutTransitions) == 0 {
+		t.Errorf("full protection recorded no brownout transitions")
+	}
+}

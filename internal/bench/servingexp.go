@@ -117,23 +117,23 @@ type servingRun struct {
 
 // servingDigest pools the per-route samples into the aggregate summary
 // (attainment judged against each route's own SLO) and the per-route table.
+// Requests that never completed — shed by admission control, given up after
+// exhausting retries, or cancelled past their deadline — are SLO misses:
+// they fold into attainment without contributing latency samples.
 func servingDigest(g *netsim.OpenLoadGen, routes []netsim.OpenRoute) (LatencySummary, []RouteLatency) {
 	var all []int64
 	met, judged := 0, 0
 	per := make([]RouteLatency, 0, len(routes))
 	for i, r := range routes {
-		per = append(per, RouteLatency{Route: r.Name, LatencySummary: Summarize(g.Samples[i], r.SLOCycles)})
+		rs := Summarize(g.Samples[i], r.SLOCycles).WithFailures(g.FailedByRoute[i])
+		per = append(per, RouteLatency{Route: r.Name, LatencySummary: rs})
 		all = append(all, g.Samples[i]...)
 		if r.SLOCycles > 0 {
-			judged += len(g.Samples[i])
-			for _, v := range g.Samples[i] {
-				if v <= r.SLOCycles {
-					met++
-				}
-			}
+			judged += len(g.Samples[i]) + g.FailedByRoute[i]
+			met += rs.Met
 		}
 	}
-	agg := Summarize(all, 0)
+	agg := Summarize(all, 0).WithFailures(g.Shed + g.GaveUp + g.DeadlineExceeded)
 	if judged > 0 {
 		agg.Attainment = float64(met) / float64(judged)
 	}
@@ -206,6 +206,9 @@ func (p *plan) servingPoint(label string, prof *htm.Profile, app servingApp, sc 
 		rep.Arrivals = gen.Generated
 		rep.ConnsTotal = gen.ConnsTotal
 		rep.ConnsPeak = gen.ConnsPeak
+		rep.Shed = gen.Shed
+		rep.GaveUp = gen.GaveUp
+		rep.DeadlineExceeded = gen.DeadlineExceeded
 		lat := sr.agg
 		rep.Latency = &lat
 		rep.RouteLatency = sr.routes
@@ -222,17 +225,19 @@ func (p *plan) servingPoint(label string, prof *htm.Profile, app servingApp, sc 
 	return sr
 }
 
-const servingHeader = "%-12s%8s%8s%9s%8s%8s%8s%9s%8s%8s%7s%10s\n"
+const servingHeader = "%-12s%8s%8s%8s%9s%8s%8s%8s%9s%8s%8s%7s%10s\n"
 
-// servingRow renders one scenario row; latencies in milliseconds.
+// servingRow renders one scenario row; latencies in milliseconds. The gaveup
+// column counts requests abandoned after exhausting their retry attempts (a
+// distinct outcome from completions — they are SLO misses, not lost rows).
 func servingRow(w io.Writer, name string, rate float64, r *servingRun) error {
 	rec := "-"
 	if r.recover != nil {
 		rec = strconv.FormatInt(*r.recover, 10)
 	}
 	ms := func(c int64) float64 { return float64(c) / cyclesPerMs }
-	_, err := fmt.Fprintf(w, "%-12s%8.0f%8d%9.1f%8.1f%8.1f%8.1f%9.1f%7.1f%%%7.1f%%%7d%10s\n",
-		name, rate, r.gen.Generated, r.gen.Throughput(),
+	_, err := fmt.Fprintf(w, "%-12s%8.0f%8d%8d%9.1f%8.1f%8.1f%8.1f%9.1f%7.1f%%%7.1f%%%7d%10s\n",
+		name, rate, r.gen.Generated, r.gen.GaveUp, r.gen.Throughput(),
 		ms(r.agg.P50), ms(r.agg.P99), ms(r.agg.P999), ms(r.agg.Max),
 		r.agg.Attainment*100, r.ab*100, r.gen.ConnsPeak, rec)
 	return err
@@ -270,7 +275,7 @@ func (s *Session) buildServing(p *plan) {
 	for _, app := range servingApps() {
 		p.printf("\n# Serving — %s pool on %s, %d workers, %d sessions, horizon %dM cycles (open-loop)\n",
 			app.name, prof.Name, app.workers, sessions, horizon/1_000_000)
-		p.printf(servingHeader, "scenario", "rate", "gen", "tput",
+		p.printf(servingHeader, "scenario", "rate", "gen", "gaveup", "tput",
 			"p50ms", "p99ms", "p999ms", "maxms", "slo", "abort", "peak", "recover")
 		for i, sc := range scs {
 			r := p.servingPoint(fmt.Sprintf("serving %s/%s/%s", app.name, prof.Name, sc.name),
@@ -296,7 +301,7 @@ func (s *Session) buildServing(p *plan) {
 	for _, app := range servingApps() {
 		p.printf("\n# Serving — %s steady on %s across pool sizes (%d sessions)\n",
 			app.name, big.Name, sessions)
-		p.printf(servingHeader, "workers", "rate", "gen", "tput",
+		p.printf(servingHeader, "workers", "rate", "gen", "gaveup", "tput",
 			"p50ms", "p99ms", "p999ms", "maxms", "slo", "abort", "peak", "recover")
 		for _, w := range pools {
 			a := app

@@ -96,12 +96,26 @@ type Thread struct {
 // (transactionally or under the GIL).
 func (t *Thread) InCriticalSection() bool { return t.GILMode || t.OCCMode || t.HTM.InTx() }
 
+// DeadlineSource reports the absolute-deadline budget of the request a
+// scheduler thread is currently serving. Implemented by
+// resilience.DeadlineTable; wired by the VM when deadline propagation is
+// armed.
+type DeadlineSource interface {
+	// Remaining returns the cycles left until the thread's request deadline
+	// (negative once past), with ok=false when the thread carries none.
+	Remaining(thread int, now int64) (remaining int64, ok bool)
+}
+
 // Elision is the global TLE state: the contention-management policy and the
 // machinery shared by all threads.
 type Elision struct {
 	Policy policy.Policy
 	GIL    *gil.GIL
 	Engine *sched.Engine
+
+	// Deadlines, when non-nil, is the request-deadline source backing the
+	// policy seam's DeadlineRuntime probe (policy.DeadlineGate).
+	Deadlines DeadlineSource
 
 	// LiveAppThreads reports the number of live Ruby application threads;
 	// the policies revert to the GIL when only one thread is live.
@@ -125,6 +139,11 @@ type Elision struct {
 	// Stats
 	Adjustments uint64 // number of length attenuations performed
 	Fallbacks   uint64 // critical sections that fell back to the GIL
+
+	// curThread is the scheduler thread id whose policy hooks are running
+	// right now (the engine is single-threaded, so one at a time); -1
+	// outside any hook. It keys the Deadlines lookups.
+	curThread int
 }
 
 // New creates the TLE runtime with the paper's algorithm selected by
@@ -150,9 +169,10 @@ func NewWithPolicy(p policy.Policy, g *gil.GIL, engine *sched.Engine) *Elision {
 		g.HazardTrack = true
 	}
 	return &Elision{
-		Policy: p,
-		GIL:    g,
-		Engine: engine,
+		Policy:    p,
+		GIL:       g,
+		Engine:    engine,
+		curThread: -1,
 	}
 }
 
@@ -190,6 +210,17 @@ func (e *Elision) Now() int64 {
 	return 0
 }
 
+// DeadlineRemaining implements policy.DeadlineRuntime: the cycles left until
+// the deadline of the request served by the thread whose policy hook is
+// running, ok=false when no deadline source is wired or the thread carries
+// no deadline.
+func (e *Elision) DeadlineRemaining() (int64, bool) {
+	if e.Deadlines == nil || e.curThread < 0 {
+		return 0, false
+	}
+	return e.Deadlines.Remaining(e.curThread, e.Now())
+}
+
 // EmitLenAdjust implements policy.Runtime: one length attenuation.
 func (e *Elision) EmitLenAdjust(pc int, oldLen, newLen int32) {
 	e.Adjustments++
@@ -220,6 +251,7 @@ func (e *Elision) TransactionBegin(t *Thread, sth *sched.Thread, now int64, pc i
 		panic(fmt.Sprintf("core: TransactionBegin in state %d", t.state))
 	}
 	t.pc = pc
+	e.curThread = sthID(sth)
 	if !e.Breaker.Allow(now) {
 		// Open breaker: GIL-only, and the forced fallback stays out of
 		// the breaker's own outcome window.
@@ -230,9 +262,12 @@ func (e *Elision) TransactionBegin(t *Thread, sth *sched.Thread, now int64, pc i
 	d := e.Policy.OnBegin(e, t.PS, pc, live)
 	if !d.Elide {
 		t.lazy = false
-		// Single-threaded phases take the GIL by design; recording them
-		// as fallbacks would trip the breaker on idle workloads.
-		return e.acquireGIL(t, sth, now, d.Reason, live > 1)
+		// Single-threaded phases take the GIL by design, and deadline
+		// downgrades are the request's clock running out, not elision
+		// failing; recording either as fallbacks would trip the breaker
+		// on healthy workloads.
+		return e.acquireGIL(t, sth, now, d.Reason,
+			live > 1 && d.Reason != policy.DeadlineReason)
 	}
 	t.ChosenLength = d.Length
 	if d.OCC {
@@ -361,6 +396,7 @@ func (e *Elision) ResumeBegin(t *Thread, sth *sched.Thread, now int64) (int64, O
 // interpreter calls it after rolling its private state back to the
 // beginning of the transaction. Outcomes are as for TransactionBegin.
 func (e *Elision) HandleAbort(t *Thread, sth *sched.Thread, now int64) (int64, Outcome) {
+	e.curThread = sthID(sth)
 	if t.OCCMode {
 		return e.handleOCCAbort(t, sth, now)
 	}
@@ -415,7 +451,8 @@ func (e *Elision) HandleAbort(t *Thread, sth *sched.Thread, now int64) (int64, O
 		c, out := e.beginOCC(t, sth, now+cycles)
 		return cycles + c, out
 	default: // policy.AbortFallback
-		c, out := e.acquireGIL(t, sth, now+cycles, d.Reason, !gilArtifact)
+		c, out := e.acquireGIL(t, sth, now+cycles, d.Reason,
+			!gilArtifact && d.Reason != policy.DeadlineReason)
 		return cycles + c, out
 	}
 }
@@ -461,8 +498,9 @@ func (e *Elision) handleOCCAbort(t *Thread, sth *sched.Thread, now int64) (int64
 	default: // policy.AbortFallback
 		// A commit blocked by a held GIL is the lock's fault, not this
 		// section's; keep it out of the breaker window like the GIL
-		// artifacts of the hardware path.
-		c, out := e.acquireGIL(t, sth, now+cycles, d.Reason, !gilBlocked)
+		// artifacts of the hardware path. Deadline downgrades likewise.
+		c, out := e.acquireGIL(t, sth, now+cycles, d.Reason,
+			!gilBlocked && d.Reason != policy.DeadlineReason)
 		return cycles + c, out
 	}
 }
@@ -473,6 +511,7 @@ func (e *Elision) handleOCCAbort(t *Thread, sth *sched.Thread, now int64) (int64
 // private state and call HandleAbort. Lazy sections perform their GIL
 // subscription here, immediately before the commit attempt.
 func (e *Elision) TransactionEnd(t *Thread, sth *sched.Thread, now int64) (int64, bool) {
+	e.curThread = sthID(sth)
 	if t.GILMode {
 		cost := e.GIL.Release(sth, now)
 		t.GILMode = false

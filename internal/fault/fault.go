@@ -79,6 +79,10 @@ type Spec struct {
 	// cycles with this probability (preemption jitter); 0 off.
 	WakeJitterP      float64
 	WakeJitterCycles int64
+	// From keeps every channel quiet before virtual time From; 0 = from the
+	// start. Together with Until it brackets a fault window, e.g. a reset
+	// burst co-timed with an overload pulse in the resilience experiment.
+	From int64
 	// Until silences every channel at virtual time >= Until; 0 = forever.
 	Until int64
 }
@@ -122,6 +126,9 @@ func (s *Spec) String() string {
 	if s.WakeJitterP > 0 {
 		parts = append(parts, fmt.Sprintf("wakejitter=%s:%d", ftoa(s.WakeJitterP), s.WakeJitterCycles))
 	}
+	if s.From > 0 {
+		parts = append(parts, fmt.Sprintf("from=%d", s.From))
+	}
 	if s.Until > 0 {
 		parts = append(parts, fmt.Sprintf("until=%d", s.Until))
 	}
@@ -142,6 +149,7 @@ func ftoa(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
 //	slowclient=P[:CYCLES] client write-stall probability (default 400000)
 //	timerjitter=F        GIL timer interval jitter fraction in [0,1)
 //	wakejitter=P[:CYCLES] wakeup-delay probability (default max 50000)
+//	from=T               all channels off before virtual time T
 //	until=T              all channels off at virtual time >= T
 //	seed=N               fault-stream seed override (default: run seed)
 //
@@ -252,6 +260,15 @@ func ParseSpec(text string) (*Spec, error) {
 			if err := argInt(&s.WakeJitterCycles); err != nil {
 				return nil, err
 			}
+		case "from":
+			if err := noArg(); err != nil {
+				return nil, err
+			}
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("fault: from: bad time %q", val)
+			}
+			s.From = n
 		case "until":
 			if err := noArg(); err != nil {
 				return nil, err
@@ -335,9 +352,12 @@ func NewInjector(spec *Spec, runSeed int64, tracer *trace.Recorder) *Injector {
 	}
 }
 
-// active reports whether the spec's injection horizon is still open at now.
+// active reports whether now falls inside the spec's injection window.
+// Draws are still consumed outside the window so stream state stays
+// identical across from/until variations of the same spec.
 func (in *Injector) active(now int64) bool {
-	return in.Spec.Until == 0 || now < in.Spec.Until
+	return (in.Spec.From == 0 || now >= in.Spec.From) &&
+		(in.Spec.Until == 0 || now < in.Spec.Until)
 }
 
 // inject records one fired fault: counter plus (when tracing) a KindFault

@@ -58,6 +58,8 @@ func TestParseSpecRoundTrip(t *testing.T) {
 		{"timerjitter=0.5", ""},
 		{"wakejitter=0.1:40000", ""},
 		{"until=30000000,spurious=6000", "spurious=6000,until=30000000"}, // key order canonicalized
+		{"connreset=0.2,from=5000000", ""},
+		{"until=9000000,from=5000000,connreset=0.2", "connreset=0.2,from=5000000,until=9000000"},
 		{"seed=42,connreset=1", "connreset=1,seed=42"},
 		{" spurious=100 , connreset=0.5 ", "spurious=100,connreset=0.5"},
 		{"spurious=100000,connreset=0.01,latspike=0.03,timerjitter=0.3,until=30000000",
@@ -86,28 +88,32 @@ func TestParseSpecRoundTrip(t *testing.T) {
 
 func TestParseSpecErrors(t *testing.T) {
 	bad := []string{
-		"spurious",            // no value
-		"spurious=0",          // mean must be positive
-		"spurious=-5",         //
-		"spurious=1000:2",     // no :argument
-		"capjitter=1.5",       // probability out of range
-		"capjitter=0.5:1.5",   // scale out of (0,1)
-		"capjitter=0.5:0",     //
-		"connreset=nan",       // NaN passes naive range checks
-		"timerjitter=nan",     //
-		"capjitter=0.5:nan",   //
-		"connreset=0.1:5",     // no :argument
-		"latspike=0.1:-3",     // bad cycle count
-		"latspike=0.1:x",      //
-		"slowclient=2",        // probability out of range
-		"timerjitter=1",       // fraction must be < 1
-		"timerjitter=-0.1",    //
-		"wakejitter=0.1:0",    // bad cycle count
-		"until=0",             // must be positive
-		"until=soon",          //
-		"seed=abc",            //
-		"frobnicate=1",        // unknown channel
-		"spurious100",         // not key=value
+		"spurious",          // no value
+		"spurious=0",        // mean must be positive
+		"spurious=-5",       //
+		"spurious=1000:2",   // no :argument
+		"capjitter=1.5",     // probability out of range
+		"capjitter=0.5:1.5", // scale out of (0,1)
+		"capjitter=0.5:0",   //
+		"connreset=nan",     // NaN passes naive range checks
+		"timerjitter=nan",   //
+		"capjitter=0.5:nan", //
+		"connreset=0.1:5",   // no :argument
+		"latspike=0.1:-3",   // bad cycle count
+		"latspike=0.1:x",    //
+		"slowclient=2",      // probability out of range
+		"timerjitter=1",     // fraction must be < 1
+		"timerjitter=-0.1",  //
+		"wakejitter=0.1:0",  // bad cycle count
+		"until=0",           // must be positive
+		"until=soon",        //
+		"from=0",            // must be positive
+		"from=-7",           //
+		"from=later",        //
+		"from=100:5",        // no :argument
+		"seed=abc",          //
+		"frobnicate=1",      // unknown channel
+		"spurious100",       // not key=value
 	}
 	for _, text := range bad {
 		if _, err := ParseSpec(text); err == nil {
@@ -279,6 +285,43 @@ func TestUntilHorizonSilencesChannels(t *testing.T) {
 	}
 	if inj.Total() != before {
 		t.Fatalf("counters advanced past the horizon: %d -> %d", before, inj.Total())
+	}
+}
+
+// TestFromUntilWindowBracketsFaults: with from=A,until=B the channels fire
+// only inside [A, B), and the draws consumed outside the window keep the
+// in-window schedule identical to an unbracketed run's.
+func TestFromUntilWindowBracketsFaults(t *testing.T) {
+	const from, until = 100_000, 200_000
+	run := func(bracket bool) (fires map[int64]bool, total uint64) {
+		spec := mustParse(t, "connreset=0.5,latspike=0.5:777")
+		if bracket {
+			spec.From, spec.Until = from, until
+		}
+		inj := NewInjector(spec, 5, nil)
+		fires = map[int64]bool{}
+		for now := int64(1000); now < 3*until; now += 1000 {
+			// Evaluate both channels unconditionally: short-circuiting would
+			// itself desynchronize the shared net stream between runs.
+			reset := inj.ConnReset(now)
+			spike := inj.LatencySpike(now) != 0
+			fires[now] = reset || spike
+		}
+		return fires, inj.Total()
+	}
+	open, _ := run(false)
+	win, total := run(true)
+	if total == 0 {
+		t.Fatalf("nothing fired inside the window")
+	}
+	for now, fired := range win {
+		if fired && (now < from || now >= until) {
+			t.Fatalf("channel fired outside [from, until) at t=%d", now)
+		}
+		if now >= from && now < until && fired != open[now] {
+			t.Fatalf("bracketing changed the in-window schedule at t=%d: %v vs %v",
+				now, fired, open[now])
+		}
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 
 	"htmgil/internal/fault"
 	"htmgil/internal/object"
+	"htmgil/internal/resilience"
 	"htmgil/internal/sched"
 	"htmgil/internal/trace"
 	"htmgil/internal/vm"
@@ -41,6 +42,13 @@ type Network struct {
 	// Faults, when non-nil, injects connection resets, latency spikes and
 	// slow-client stalls into the fabric.
 	Faults *fault.Injector
+
+	// Res, when non-nil, is the server's request-level resilience layer:
+	// its admission gate and brownout controller judge every connection at
+	// backlog-arrival time, its deadline table tracks which worker serves
+	// which deadline, and expired requests are cancelled in the backlog and
+	// in read_request instead of occupying a worker.
+	Res *resilience.Server
 }
 
 // NewNetwork creates a network bound to the machine's scheduler.
@@ -81,9 +89,26 @@ type Conn struct {
 	// dropped in transit by an injected reset; the connection never
 	// reaches the listener.
 	OnReset func(at int64)
+	// Deadline is the absolute virtual-cycle deadline of the request this
+	// connection carries (0 = none). The server cancels expired requests in
+	// the backlog and at read_request instead of serving them.
+	Deadline int64
+	// Priority is the route priority the admission/brownout layer judges:
+	// 0 = essential (always served), higher = shed earlier.
+	Priority int
+	// OnShed fires when the admission gate rejects the connection at the
+	// listener; it never reaches the backlog.
+	OnShed func(at int64)
+	// OnDeadline fires when the server cancels the request past its
+	// deadline (backlog expiry or read_request cancellation).
+	OnDeadline func(at int64)
 	// serverReader is a parked server thread waiting for request data.
 	serverReader func(now int64)
-	closed       bool
+	// arrived is when the connection joined the backlog (queue-delay
+	// accounting for the brownout controller).
+	arrived   int64
+	closed    bool
+	cancelled bool
 }
 
 // Listen binds a port.
@@ -116,6 +141,17 @@ func (n *Network) Connect(now int64, port int64, onResponse func(now int64, data
 		return c, nil
 	}
 	n.eng.At(now+latency, func(at int64) {
+		if ok, _ := n.Res.Admit(at, len(l.backlog), c.Priority); !ok {
+			// Shed at the door: the connection never joins the backlog,
+			// so overload is rejected for the cost of one callback
+			// instead of queueing toward collapse. The Admit call has
+			// already recorded the shed and emitted the net-shed event.
+			if c.OnShed != nil {
+				c.OnShed(at)
+			}
+			return
+		}
+		c.arrived = at
 		l.backlog = append(l.backlog, c)
 		n.emit(at, trace.KindNetArrive, -1, 0,
 			fmt.Sprintf("backlog=%d acceptors=%d", len(l.backlog), len(l.acceptors)))
@@ -126,6 +162,21 @@ func (n *Network) Connect(now int64, port int64, onResponse func(now int64, data
 		}
 	})
 	return c, nil
+}
+
+// expire cancels a request past its deadline: the connection is marked dead
+// (a late server write is dropped), the cancellation is recorded and traced,
+// and the client learns through OnDeadline.
+func (n *Network) expire(c *Conn, now int64, thread int, where string) {
+	c.cancelled = true
+	if n.Res != nil {
+		n.Res.RecordExpired(now, thread, where)
+	} else {
+		n.emit(now, trace.KindDeadlineExceeded, thread, 0, where)
+	}
+	if c.OnDeadline != nil {
+		c.OnDeadline(now)
+	}
 }
 
 // Send delivers request bytes from the client to the server side.
@@ -160,7 +211,20 @@ func Install(machine *vm.VM, n *Network) {
 
 	machine.DefineNative(serverC, "accept", 0, true, func(t *vm.RThread, self object.Value, args []object.Value, blk vm.BlockArg, now int64) (object.Value, error) {
 		l := self.Ref.Native.(*Listener)
-		if len(l.backlog) == 0 {
+		// Pop the backlog, cancelling any connection whose deadline passed
+		// while it queued — an expired request must not occupy a worker.
+		var conn *Conn
+		for len(l.backlog) > 0 {
+			c := l.backlog[0]
+			l.backlog = l.backlog[1:]
+			if c.Deadline > 0 && now >= c.Deadline {
+				n.expire(c, now, t.Sched().ID, "backlog")
+				continue
+			}
+			conn = c
+			break
+		}
+		if conn == nil {
 			sth := t.Sched()
 			l.acceptors = append(l.acceptors, func(at int64) {
 				machine.Engine.Wake(sth, at)
@@ -169,9 +233,13 @@ func Install(machine *vm.VM, n *Network) {
 			return object.Nil, vm.ErrBlocked
 		}
 		n.emit(now, trace.KindNetAccept, t.Sched().ID, 0,
-			fmt.Sprintf("backlog=%d", len(l.backlog)))
-		conn := l.backlog[0]
-		l.backlog = l.backlog[1:]
+			fmt.Sprintf("backlog=%d", len(l.backlog)+1))
+		// The backlog wait of the accepted connection is the brownout
+		// controller's load signal.
+		n.Res.ObserveQueueDelay(now, now-conn.arrived)
+		if conn.Deadline > 0 && n.Res != nil && n.Res.Deadlines != nil {
+			n.Res.Deadlines.Set(t.Sched().ID, conn.Deadline)
+		}
 		o, err := t.AllocNativeObject(object.TSocket, sockC, conn)
 		if err != nil {
 			return object.Nil, err
@@ -181,9 +249,32 @@ func Install(machine *vm.VM, n *Network) {
 
 	machine.DefineNative(sockC, "read_request", 0, true, func(t *vm.RThread, self object.Value, args []object.Value, blk vm.BlockArg, now int64) (object.Value, error) {
 		conn := self.Ref.Native.(*Conn)
+		if conn.Deadline > 0 && now >= conn.Deadline {
+			// The request's clock ran out while its bytes were in flight:
+			// cancel instead of serving, freeing this worker immediately.
+			conn.toServer.Reset()
+			if n.Res != nil && n.Res.Deadlines != nil {
+				n.Res.Deadlines.Clear(t.Sched().ID)
+			}
+			n.expire(conn, now, t.Sched().ID, "read")
+			return object.Nil, nil
+		}
 		if conn.toServer.Len() == 0 {
 			sth := t.Sched()
 			conn.serverReader = func(at int64) { machine.Engine.Wake(sth, at) }
+			if conn.Deadline > 0 {
+				// Wake the worker at the deadline even if the client never
+				// delivers; the re-invocation hits the expiry branch above,
+				// so slow clients cannot pin workers past the deadline.
+				c := conn
+				machine.Engine.At(conn.Deadline, func(at int64) {
+					if c.serverReader != nil && !c.cancelled {
+						wake := c.serverReader
+						c.serverReader = nil
+						wake(at)
+					}
+				})
+			}
 			n.emit(now, trace.KindNetPark, sth.ID, 0, "read")
 			return object.Nil, vm.ErrBlocked
 		}
@@ -203,7 +294,7 @@ func Install(machine *vm.VM, n *Network) {
 			return object.Nil, fmt.Errorf("Socket#write expects a String")
 		}
 		data := args[0].Ref.Str
-		if conn.onResponse != nil && !conn.closed {
+		if conn.onResponse != nil && !conn.closed && !conn.cancelled {
 			cb := conn.onResponse
 			latency := writeLatency + int64(len(data))*perByteCost + n.Faults.LatencySpike(now)
 			machine.Engine.At(now+latency, func(at int64) {
@@ -216,6 +307,9 @@ func Install(machine *vm.VM, n *Network) {
 	machine.DefineNative(sockC, "close", 0, true, func(t *vm.RThread, self object.Value, args []object.Value, blk vm.BlockArg, now int64) (object.Value, error) {
 		conn := self.Ref.Native.(*Conn)
 		conn.closed = true
+		if n.Res != nil && n.Res.Deadlines != nil {
+			n.Res.Deadlines.Clear(t.Sched().ID)
+		}
 		return object.Nil, nil
 	})
 }

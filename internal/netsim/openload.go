@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"htmgil/internal/resilience"
 	"htmgil/internal/sched"
 	"htmgil/internal/vm"
 )
@@ -53,6 +54,12 @@ type ArrivalOpts struct {
 	// and diurnal (full sine) processes; it defaults to Horizon/8 and
 	// Horizon respectively.
 	Period int64
+	// PulseMult > 1 multiplies the rate by that factor during
+	// [PulseStart, PulseEnd) — an overload pulse layered on any base
+	// process, the trigger for metastable-failure scenarios.
+	PulseStart int64
+	PulseEnd   int64
+	PulseMult  float64
 }
 
 // ArrivalStream generates the arrival times of a (possibly nonhomogeneous)
@@ -100,6 +107,25 @@ func NewArrivalStream(o ArrivalOpts) *ArrivalStream {
 		}
 	default: // ArrivalPoisson
 		s.peak = rate
+	}
+	if o.PulseMult > 1 && o.PulseEnd > o.PulseStart {
+		// Layer the overload pulse on top of the base profile: raise the
+		// candidate rate to the pulsed peak and thin everything outside the
+		// pulse window back down by the same factor.
+		mult := o.PulseMult
+		start, end := float64(o.PulseStart), float64(o.PulseEnd)
+		base := s.profile
+		s.peak *= mult
+		s.profile = func(t float64) float64 {
+			p := 1.0
+			if base != nil {
+				p = base(t)
+			}
+			if t >= start && t < end {
+				return p
+			}
+			return p / mult
+		}
 	}
 	return s
 }
@@ -171,11 +197,30 @@ type OpenRoute struct {
 	Name      string
 	Request   string
 	SLOCycles int64
+	// DeadlineCycles > 0 stamps each request of this route with an absolute
+	// deadline of arrival+DeadlineCycles; the server cancels requests past
+	// it (see Conn.Deadline) instead of serving them.
+	DeadlineCycles int64
+	// Priority classifies the route for brownout shedding: higher values are
+	// less essential and shed first. Zero (or negative) is never shed by the
+	// brownout controller (admission-queue overflow still applies).
+	Priority int
 }
 
+// Request outcomes reported through OnOutcome. Every generated request
+// resolves to exactly one of these.
+const (
+	OutcomeCompleted = "completed"
+	OutcomeShed      = "shed"     // rejected by server-side admission/brownout
+	OutcomeGaveUp    = "gave-up"  // retries exhausted (attempt cap or budget)
+	OutcomeDeadline  = "deadline" // cancelled past its deadline
+)
+
 type openReq struct {
-	arrival int64 // latency is measured from here, queueing included
-	route   int
+	arrival  int64 // latency is measured from here, queueing included
+	route    int
+	deadline int64 // absolute cancel-after cycle; 0 = none
+	attempts int   // connect attempts made so far
 }
 
 // openSession is one logical client. A session issues its requests in
@@ -184,10 +229,11 @@ type openReq struct {
 // latency to per-client head-of-line blocking rather than treating every
 // request as an independent connection.
 type openSession struct {
-	id    int
-	busy  bool
-	slow  bool
-	queue []*openReq
+	id     int
+	busy   bool
+	slow   bool
+	queue  []*openReq
+	budget *resilience.RetryBudget // nil unless OpenLoadGen.Retry is set
 }
 
 // OpenLoadGen drives open-loop traffic: arrivals from an ArrivalStream,
@@ -212,25 +258,38 @@ type OpenLoadGen struct {
 	SlowFraction float64
 	SlowStall    int64
 
+	// Retry, when set, arms per-session retry budgets with seeded
+	// exponential backoff and jitter in place of the legacy fixed-interval
+	// retries (which stay capped at openRetryCap attempts either way).
+	Retry *resilience.RetryConfig
+
 	// OnDone fires when the arrival horizon has passed and every generated
-	// request has completed.
+	// request has resolved (completed, shed, gave up, or expired).
 	OnDone func()
 	// OnComplete, when set, observes every completed request (tests).
 	OnComplete func(session, route int, arrival, done int64)
+	// OnOutcome, when set, observes every resolution, successful or not
+	// (recovery tracking; outcome is one of the Outcome* constants).
+	OnOutcome func(session, route int, arrival, done int64, outcome string)
 
 	// Counters and samples (valid once the run finishes).
-	Generated  int // requests the arrival process produced
-	Completed  int
-	Refused    int // connect attempts before the server was up
-	Resets     int // connects dropped by injected resets (each retried)
-	Stalls     int // injected slow-client stalls (fault channel)
-	ConnsTotal int
-	ConnsPeak  int
-	Samples    [][]int64 // per-route latency samples, completion order
+	Generated        int // requests the arrival process produced
+	Completed        int
+	Shed             int // rejected by server-side admission control/brownout
+	GaveUp           int // abandoned after exhausting retries or budget
+	DeadlineExceeded int // cancelled by the server past their deadline
+	Refused          int // connect attempts before the server was up
+	Resets           int // connects dropped by injected resets (each retried)
+	Stalls           int // injected slow-client stalls (fault channel)
+	ConnsTotal       int
+	ConnsPeak        int
+	Samples          [][]int64 // per-route latency samples, completion order
+	FailedByRoute    []int     // per-route non-completed requests (shed + gave-up + expired)
 
 	stream      *ArrivalStream
 	zipf        *ZipfPicker
 	sessRng     *rand.Rand
+	retryRng    *rand.Rand
 	sessions    []*openSession
 	inflight    int
 	outstanding int
@@ -239,7 +298,19 @@ type OpenLoadGen struct {
 	lastDone    int64
 }
 
-const openRetryBackoff = 50_000 // cycles; matches LoadGen's refused/reset backoff
+const (
+	openRetryBackoff = 50_000 // cycles; matches LoadGen's refused/reset backoff
+	// openRetryCap bounds retries even on the legacy (budget-less) path: a
+	// request refused or reset this many times is abandoned as gave-up
+	// rather than retried forever.
+	openRetryCap = 64
+)
+
+// Resolved returns the number of generated requests that reached a terminal
+// outcome; a finished run has Resolved() == Generated.
+func (g *OpenLoadGen) Resolved() int {
+	return g.Completed + g.Shed + g.GaveUp + g.DeadlineExceeded
+}
 
 // Start seeds the streams and schedules the first arrival.
 func (g *OpenLoadGen) Start() {
@@ -251,11 +322,16 @@ func (g *OpenLoadGen) Start() {
 	g.stream = NewArrivalStream(a)
 	g.zipf = NewZipfPicker(mixSeed(g.Seed, 2), len(g.Routes), g.ZipfS)
 	g.sessRng = rand.New(rand.NewSource(mixSeed(g.Seed, 3)))
+	g.retryRng = rand.New(rand.NewSource(mixSeed(g.Seed, 4)))
 	g.Samples = make([][]int64, len(g.Routes))
+	g.FailedByRoute = make([]int, len(g.Routes))
 	nslow := int(math.Round(g.SlowFraction * float64(g.Sessions)))
 	g.sessions = make([]*openSession, g.Sessions)
 	for i := range g.sessions {
 		g.sessions[i] = &openSession{id: i, slow: i < nslow}
+		if g.Retry != nil {
+			g.sessions[i].budget = g.Retry.NewBudget()
+		}
 	}
 	if t, ok := g.stream.Next(); ok {
 		g.scheduleArrival(t)
@@ -270,6 +346,9 @@ func (g *OpenLoadGen) scheduleArrival(t int64) {
 		g.Generated++
 		g.outstanding++
 		req := &openReq{arrival: now, route: g.zipf.Pick()}
+		if d := g.Routes[req.route].DeadlineCycles; d > 0 {
+			req.deadline = now + d
+		}
 		s := g.sessions[g.sessRng.Intn(len(g.sessions))]
 		if s.busy {
 			s.queue = append(s.queue, req)
@@ -281,30 +360,52 @@ func (g *OpenLoadGen) scheduleArrival(t int64) {
 			g.scheduleArrival(nt)
 		} else {
 			g.drained = true
+			// The request above can resolve synchronously (e.g. a refused
+			// connect on an exhausted retry budget), in which case its
+			// maybeDone ran before drained was set — re-check here.
+			g.maybeDone()
 		}
 	})
 }
 
 func (g *OpenLoadGen) startRequest(s *openSession, req *openReq, now int64) {
+	if req.deadline > 0 && now >= req.deadline {
+		// The deadline passed while the request waited (session queue or
+		// retry backoff): don't even connect.
+		g.finish(s, req, now, OutcomeDeadline)
+		return
+	}
+	req.attempts++
 	g.ConnsTotal++
 	g.inflight++
 	if g.inflight > g.ConnsPeak {
 		g.ConnsPeak = g.inflight
 	}
 	conn, err := g.Net.Connect(now, g.Port, func(done int64, data string) {
-		g.finishRequest(s, req, done)
+		g.inflight--
+		g.finish(s, req, done, OutcomeCompleted)
 	})
 	if err != nil {
 		// Connection refused: the server has not bound the port yet.
 		g.Refused++
 		g.inflight--
-		g.Eng.At(now+openRetryBackoff, func(at int64) { g.startRequest(s, req, at) })
+		g.retry(s, req, now)
 		return
 	}
+	conn.Deadline = req.deadline
+	conn.Priority = g.Routes[req.route].Priority
 	conn.OnReset = func(resetAt int64) {
 		g.Resets++
 		g.inflight--
-		g.Eng.At(resetAt+openRetryBackoff, func(at int64) { g.startRequest(s, req, at) })
+		g.retry(s, req, resetAt)
+	}
+	conn.OnShed = func(at int64) {
+		g.inflight--
+		g.finish(s, req, at, OutcomeShed)
+	}
+	conn.OnDeadline = func(at int64) {
+		g.inflight--
+		g.finish(s, req, at, OutcomeDeadline)
 	}
 	stall := g.Net.Faults.SlowClient(now)
 	if stall > 0 {
@@ -316,14 +417,57 @@ func (g *OpenLoadGen) startRequest(s *openSession, req *openReq, now int64) {
 	conn.Send(now+stall, g.Routes[req.route].Request)
 }
 
-func (g *OpenLoadGen) finishRequest(s *openSession, req *openReq, done int64) {
-	g.inflight--
+// retry re-issues a refused or reset request, or abandons it as gave-up when
+// the attempt cap (or, with Retry armed, the session's token budget) is
+// exhausted. Budgeted retries back off exponentially with seeded jitter;
+// legacy retries keep the fixed LoadGen interval.
+func (g *OpenLoadGen) retry(s *openSession, req *openReq, now int64) {
+	limit := openRetryCap
+	if g.Retry != nil {
+		limit = g.Retry.AttemptCap()
+	}
+	if req.attempts >= limit {
+		g.finish(s, req, now, OutcomeGaveUp)
+		return
+	}
+	backoff := int64(openRetryBackoff)
+	if g.Retry != nil {
+		if !s.budget.TryConsume() {
+			g.finish(s, req, now, OutcomeGaveUp)
+			return
+		}
+		backoff = g.Retry.Backoff(req.attempts, g.retryRng.Float64())
+	}
+	g.Eng.At(now+backoff, func(at int64) { g.startRequest(s, req, at) })
+}
+
+// finish resolves a request with a terminal outcome and starts the session's
+// next queued request, if any.
+func (g *OpenLoadGen) finish(s *openSession, req *openReq, done int64, outcome string) {
 	g.outstanding--
-	g.Completed++
-	g.lastDone = done
-	g.Samples[req.route] = append(g.Samples[req.route], done-req.arrival)
-	if g.OnComplete != nil {
-		g.OnComplete(s.id, req.route, req.arrival, done)
+	switch outcome {
+	case OutcomeCompleted:
+		g.Completed++
+		g.lastDone = done
+		g.Samples[req.route] = append(g.Samples[req.route], done-req.arrival)
+		if s.budget != nil {
+			s.budget.Refund()
+		}
+		if g.OnComplete != nil {
+			g.OnComplete(s.id, req.route, req.arrival, done)
+		}
+	case OutcomeShed:
+		g.Shed++
+		g.FailedByRoute[req.route]++
+	case OutcomeGaveUp:
+		g.GaveUp++
+		g.FailedByRoute[req.route]++
+	case OutcomeDeadline:
+		g.DeadlineExceeded++
+		g.FailedByRoute[req.route]++
+	}
+	if g.OnOutcome != nil {
+		g.OnOutcome(s.id, req.route, req.arrival, done, outcome)
 	}
 	if len(s.queue) > 0 {
 		next := s.queue[0]

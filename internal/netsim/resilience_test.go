@@ -1,0 +1,329 @@
+package netsim
+
+import (
+	"testing"
+
+	"htmgil/internal/htm"
+	"htmgil/internal/rbregexp"
+	"htmgil/internal/resilience"
+	"htmgil/internal/trace"
+	"htmgil/internal/vm"
+)
+
+// guardedEchoServer is the pool echo server with the nil guard every real
+// handler needs once deadlines are armed: read_request returns nil for a
+// cancelled request and the worker must simply move on.
+const guardedEchoServer = `
+def handle(s)
+  req = s.read_request
+  unless req.nil?
+    s.write("ECHO:" + req)
+  end
+  s.close
+end
+server = TCPServer.new(9090)
+w = 1
+while w < 4
+  Thread.new do
+    while true
+      handle(server.accept)
+    end
+  end
+  w += 1
+end
+while true
+  handle(server.accept)
+end
+`
+
+// runResilientEcho drives the guarded pool echo server open-loop with a
+// resilience.Server attached to the network fabric.
+func runResilientEcho(t *testing.T, cfg resilience.Config, g *OpenLoadGen) (*resilience.Server, kindCounter) {
+	t.Helper()
+	kinds := kindCounter{}
+	opt := vm.DefaultOptions(htm.XeonE3(), vm.ModeGIL)
+	opt.Trace = trace.NewRecorder(kinds)
+	rs := resilience.NewServer(cfg)
+	if rs.Deadlines != nil {
+		opt.Deadlines = rs.Deadlines
+		opt.DeadlineSlack = cfg.DeadlineSlack
+	}
+	machine := vm.New(opt)
+	net := NewNetwork(machine.Engine)
+	net.Tracer = machine.Opt.Trace
+	net.Faults = machine.Faults
+	rs.Tracer = machine.Opt.Trace
+	net.Res = rs
+	Install(machine, net)
+	rbregexp.Install(machine)
+	iseq, err := machine.CompileSource(guardedEchoServer, "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Net, g.Eng = net, machine.Engine
+	if g.Port == 0 {
+		g.Port = 9090
+	}
+	g.OnDone = machine.Engine.Stop
+	g.Start()
+	if _, err := machine.Run(iseq); err != nil {
+		t.Fatal(err)
+	}
+	return rs, kinds
+}
+
+// TestOpenLoadAdmissionShedsOverload: with a tiny admission queue under an
+// offered load far beyond capacity, part of the traffic is shed at the
+// listener, every request still resolves, and the generator's shed counter
+// agrees with the server's and the trace stream's.
+func TestOpenLoadAdmissionShedsOverload(t *testing.T) {
+	g := &OpenLoadGen{
+		Seed: 17,
+		Arrivals: ArrivalOpts{Kind: ArrivalPoisson,
+			RatePerSec: 3_000, Horizon: 30_000_000},
+		Routes:   echoRoutes(),
+		Sessions: 64,
+	}
+	rs, kinds := runResilientEcho(t, resilience.Config{MaxQueue: 4}, g)
+	if g.Resolved() != g.Generated || g.Generated == 0 {
+		t.Fatalf("resolved %d of %d", g.Resolved(), g.Generated)
+	}
+	if g.Shed == 0 {
+		t.Fatalf("queue of 4 under 3000/s offered load shed nothing")
+	}
+	if g.Completed == 0 {
+		t.Fatalf("admission control starved the server entirely")
+	}
+	if uint64(g.Shed) != rs.ShedTotal() {
+		t.Fatalf("generator shed %d, server recorded %d", g.Shed, rs.ShedTotal())
+	}
+	if kinds[trace.KindNetShed] != rs.ShedTotal() {
+		t.Fatalf("net-shed events %d, server recorded %d", kinds[trace.KindNetShed], rs.ShedTotal())
+	}
+	if rs.Sheds[resilience.ShedQueueFull] != rs.ShedTotal() {
+		t.Fatalf("all sheds should be queue-full: %v", rs.Sheds)
+	}
+}
+
+// TestOpenLoadDeadlineCancels: routes carrying a deadline shorter than the
+// queueing delay under overload get cancelled — in the backlog or at read —
+// rather than served late, and the trace stream records each cancellation.
+func TestOpenLoadDeadlineCancels(t *testing.T) {
+	routes := echoRoutes()
+	for i := range routes {
+		routes[i].DeadlineCycles = 400_000
+	}
+	g := &OpenLoadGen{
+		Seed: 23,
+		Arrivals: ArrivalOpts{Kind: ArrivalPoisson,
+			RatePerSec: 1_000, Horizon: 30_000_000},
+		Routes:   routes,
+		Sessions: 48,
+		// Half the sessions deliver their bytes 600k cycles late — past the
+		// 400k deadline — pinning workers in read_request until the deadline
+		// wake cancels them and backing the listener queue up behind them.
+		SlowFraction: 0.5,
+		SlowStall:    600_000,
+	}
+	rs, kinds := runResilientEcho(t, resilience.Config{Deadlines: true}, g)
+	if g.Resolved() != g.Generated || g.Generated == 0 {
+		t.Fatalf("resolved %d of %d", g.Resolved(), g.Generated)
+	}
+	if g.DeadlineExceeded == 0 {
+		t.Fatalf("400k-cycle deadlines under overload: no cancellations")
+	}
+	if g.Completed == 0 {
+		t.Fatalf("nothing completed at all")
+	}
+	// Some cancellations happen server-side (backlog/read), the rest
+	// client-side before connecting (session queue or retry backoff); the
+	// server's count can only cover the former.
+	if rs.Expired > uint64(g.DeadlineExceeded) {
+		t.Fatalf("server expired %d > generator's %d", rs.Expired, g.DeadlineExceeded)
+	}
+	if kinds[trace.KindDeadlineExceeded] != rs.Expired {
+		t.Fatalf("deadline-exceeded events %d, server recorded %d",
+			kinds[trace.KindDeadlineExceeded], rs.Expired)
+	}
+	// Completed requests all started service before their deadline: the
+	// server checks at accept and at read, so completions can overshoot only
+	// by the final service-and-response time, not by queueing.
+	const overshoot = 100_000
+	for r, samples := range g.Samples {
+		for _, v := range samples {
+			if v > routes[r].DeadlineCycles+overshoot {
+				t.Fatalf("route %d served %d cycles after a %d-cycle deadline",
+					r, v, routes[r].DeadlineCycles)
+			}
+		}
+	}
+}
+
+// TestOpenLoadRetryBudgetGivesUp: against a port nobody ever binds, budgeted
+// sessions abandon their requests as gave-up after a bounded number of
+// attempts instead of retrying forever.
+func TestOpenLoadRetryBudgetGivesUp(t *testing.T) {
+	g := &OpenLoadGen{
+		Seed: 5,
+		Arrivals: ArrivalOpts{Kind: ArrivalPoisson,
+			RatePerSec: 200, Horizon: 10_000_000},
+		Routes:   echoRoutes(),
+		Sessions: 6,
+		Retry:    &resilience.RetryConfig{MaxAttempts: 3, Budget: 2, Refill: 0},
+	}
+	// No server behind this port: every connect is refused.
+	g.Port = 9999
+	rs, _ := runResilientEcho(t, resilience.Config{}, g)
+	_ = rs
+	if g.GaveUp != g.Generated || g.Generated == 0 {
+		t.Fatalf("gave up %d of %d", g.GaveUp, g.Generated)
+	}
+	if g.Completed != 0 || g.Shed != 0 {
+		t.Fatalf("no server, yet completed=%d shed=%d", g.Completed, g.Shed)
+	}
+	// Budget of 2 with no refill: each session pays at most 2 retries, so
+	// attempts stay well under generated * MaxAttempts.
+	if g.ConnsTotal >= g.Generated*3 {
+		t.Fatalf("budget did not bound retries: %d connects for %d requests",
+			g.ConnsTotal, g.Generated)
+	}
+}
+
+// TestOpenLoadLegacyRetryCapped: even without a RetryConfig the generator no
+// longer retries forever — a request that only ever sees refusals resolves
+// as gave-up at the hard attempt cap.
+func TestOpenLoadLegacyRetryCapped(t *testing.T) {
+	g := &OpenLoadGen{
+		Seed: 9,
+		Arrivals: ArrivalOpts{Kind: ArrivalPoisson,
+			RatePerSec: 50, Horizon: 5_000_000},
+		Routes:   echoRoutes(),
+		Sessions: 4,
+	}
+	g.Port = 9999 // never bound
+	runResilientEcho(t, resilience.Config{}, g)
+	if g.GaveUp != g.Generated || g.Generated == 0 {
+		t.Fatalf("gave up %d of %d", g.GaveUp, g.Generated)
+	}
+	if g.Refused != g.ConnsTotal {
+		t.Fatalf("refused %d of %d connects", g.Refused, g.ConnsTotal)
+	}
+	// Each request makes exactly openRetryCap attempts before giving up.
+	if g.ConnsTotal != g.Generated*openRetryCap {
+		t.Fatalf("connects = %d, want %d requests * %d cap",
+			g.ConnsTotal, g.Generated, openRetryCap)
+	}
+}
+
+// TestOpenLoadBrownoutShedsLowPriority: under a sustained overload with the
+// brownout controller armed, low-priority routes are shed while priority-0
+// traffic keeps being admitted (up to queue overflow).
+func TestOpenLoadBrownoutShedsLowPriority(t *testing.T) {
+	routes := echoRoutes()
+	routes[0].Priority = 0 // essential
+	routes[1].Priority = 1 // shed under brownout/shed states
+	g := &OpenLoadGen{
+		Seed: 29,
+		Arrivals: ArrivalOpts{Kind: ArrivalPoisson,
+			RatePerSec: 1_000, Horizon: 40_000_000},
+		Routes:   routes,
+		Sessions: 64,
+		// Pin workers with slow drains so accept-time queue delays grow far
+		// past the brownout thresholds.
+		SlowFraction: 0.5,
+		SlowStall:    500_000,
+	}
+	rs, kinds := runResilientEcho(t, resilience.Config{
+		MaxQueue: 256,
+		Brownout: &resilience.BrownoutConfig{
+			EnterDelay:       100_000,
+			ShedDelay:        400_000,
+			BrownoutPriority: 1,
+			ShedPriority:     1,
+			DwellCycles:      1_000_000,
+		},
+	}, g)
+	if g.Resolved() != g.Generated || g.Generated == 0 {
+		t.Fatalf("resolved %d of %d", g.Resolved(), g.Generated)
+	}
+	if rs.Sheds[resilience.ShedBrownout] == 0 {
+		t.Fatalf("sustained overload never tripped the brownout controller: %v (state %v, transitions %d)",
+			rs.Sheds, rs.Brownout.State(), len(rs.Brownout.Transitions))
+	}
+	if kinds[trace.KindBrownout] == 0 {
+		t.Fatalf("brownout transitions not traced")
+	}
+	if len(g.Samples[0]) == 0 {
+		t.Fatalf("essential route starved under brownout")
+	}
+	// Brownout sheds target only the low-priority route, so its completion
+	// share must drop below its fair Zipf share.
+	if g.Shed == 0 {
+		t.Fatalf("no requests shed")
+	}
+}
+
+// TestOpenLoadResilienceDeterministic: the full resilience stack — admission,
+// deadlines, budgets, brownout — reproduces byte-identical counters and
+// samples across runs.
+func TestOpenLoadResilienceDeterministic(t *testing.T) {
+	run := func() *OpenLoadGen {
+		routes := echoRoutes()
+		routes[0].DeadlineCycles = 2_000_000
+		routes[1].DeadlineCycles = 1_000_000
+		routes[1].Priority = 1
+		g := &OpenLoadGen{
+			Seed: 42,
+			Arrivals: ArrivalOpts{Kind: ArrivalPoisson,
+				RatePerSec: 1_500, Horizon: 30_000_000,
+				PulseStart: 10_000_000, PulseEnd: 20_000_000, PulseMult: 3},
+			Routes:   routes,
+			Sessions: 32,
+			Retry:    &resilience.RetryConfig{},
+		}
+		runResilientEcho(t, resilience.Config{
+			MaxQueue:  16,
+			Deadlines: true,
+			Brownout:  &resilience.BrownoutConfig{EnterDelay: 200_000, ShedDelay: 800_000},
+		}, g)
+		return g
+	}
+	a, b := run(), run()
+	if a.Generated != b.Generated || a.Completed != b.Completed ||
+		a.Shed != b.Shed || a.GaveUp != b.GaveUp ||
+		a.DeadlineExceeded != b.DeadlineExceeded ||
+		a.Resets != b.Resets || a.ConnsTotal != b.ConnsTotal {
+		t.Fatalf("counters diverge:\n%+v\nvs\n%+v", a, b)
+	}
+	for r := range a.Samples {
+		if len(a.Samples[r]) != len(b.Samples[r]) {
+			t.Fatalf("route %d: %d vs %d samples", r, len(a.Samples[r]), len(b.Samples[r]))
+		}
+		for i := range a.Samples[r] {
+			if a.Samples[r][i] != b.Samples[r][i] {
+				t.Fatalf("route %d sample %d: %d vs %d", r, i, a.Samples[r][i], b.Samples[r][i])
+			}
+		}
+	}
+}
+
+// TestArrivalPulseRaisesRate: the pulse window sees roughly PulseMult times
+// the out-of-pulse arrival rate.
+func TestArrivalPulseRaisesRate(t *testing.T) {
+	o := ArrivalOpts{Kind: ArrivalPoisson, Seed: 11, RatePerSec: 2_000,
+		Horizon: 900_000_000, PulseStart: 300_000_000, PulseEnd: 600_000_000, PulseMult: 4}
+	in, out := 0, 0
+	for _, v := range collectArrivals(o) {
+		if v >= o.PulseStart && v < o.PulseEnd {
+			in++
+		} else {
+			out++
+		}
+	}
+	// In/out windows are equal-length (300M in-pulse vs 600M out, so halve
+	// the out count for a per-window rate).
+	inRate, outRate := float64(in), float64(out)/2
+	if outRate == 0 || inRate < 3*outRate || inRate > 5*outRate {
+		t.Fatalf("pulse contrast off: in=%d out=%d (want ~4x)", in, out)
+	}
+}

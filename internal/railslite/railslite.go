@@ -15,6 +15,7 @@ import (
 	"htmgil/internal/htm"
 	"htmgil/internal/netsim"
 	"htmgil/internal/rbregexp"
+	"htmgil/internal/resilience"
 	"htmgil/internal/trace"
 	"htmgil/internal/vm"
 )
@@ -107,19 +108,21 @@ $route_books = Regexp.new("^/books")
 
 def handle_conn(s)
   req = s.read_request
-  m = $reqline.match(req)
-  path = "/"
-  unless m.nil?
-    path = m[2]
-  end
-  body = "<html><body>Routing Error</body></html>"
-  status = "404 Not Found"
-  if $route_books.match?(path)
-    status = "200 OK"
+  unless req.nil?
+    m = $reqline.match(req)
+    path = "/"
+    unless m.nil?
+      path = m[2]
+    end
+    body = "<html><body>Routing Error</body></html>"
+    status = "404 Not Found"
+    if $route_books.match?(path)
+      status = "200 OK"
 ` + lockPre + handler + lockPost + `
+    end
+    resp = "HTTP/1.1 " + status + "\r\nContent-Type: text/html; charset=utf-8\r\nContent-Length: #{body.length}\r\nX-Runtime: 0.003\r\n\r\n" + body
+    s.write(resp)
   end
-  resp = "HTTP/1.1 " + status + "\r\nContent-Type: text/html; charset=utf-8\r\nContent-Length: #{body.length}\r\nX-Runtime: 0.003\r\n\r\n" + body
-  s.write(resp)
   s.close
 end
 
@@ -166,6 +169,9 @@ type Config struct {
 	// Breaker / Watchdog enable the graceful-degradation machinery.
 	Breaker  bool
 	Watchdog bool
+	// Resilience arms request-level protection on the server (admission
+	// control, brownout, deadlines); see resilience.Config.
+	Resilience *resilience.Config
 }
 
 // Result mirrors webrick.Result.
@@ -179,6 +185,8 @@ type Result struct {
 	// Open is the finished open-loop generator when the run was driven
 	// open-loop; nil for closed-loop runs.
 	Open *netsim.OpenLoadGen
+	// Res is the server-side resilience state when Config.Resilience was set.
+	Res *resilience.Server
 }
 
 // Run executes the Rails-like benchmark.
@@ -193,12 +201,24 @@ func Run(cfg Config) (*Result, error) {
 	opt.Faults = cfg.Faults
 	opt.Breaker = cfg.Breaker
 	opt.Watchdog = cfg.Watchdog
+	var rs *resilience.Server
+	if cfg.Resilience != nil && cfg.Resilience.Enabled() {
+		rs = resilience.NewServer(*cfg.Resilience)
+		if rs.Deadlines != nil {
+			opt.Deadlines = rs.Deadlines
+			opt.DeadlineSlack = cfg.Resilience.DeadlineSlack
+		}
+	}
 	machine := vm.New(opt)
 	net := netsim.NewNetwork(machine.Engine)
 	// machine.Opt.Trace (not cfg.Trace): the VM may have created a
 	// recorder for the watchdog.
 	net.Tracer = machine.Opt.Trace
 	net.Faults = machine.Faults
+	if rs != nil {
+		rs.Tracer = machine.Opt.Trace
+		net.Res = rs
+	}
 	netsim.Install(machine, net)
 	rbregexp.Install(machine)
 	rbregexp.InstallStringMethods(machine)
@@ -224,8 +244,8 @@ func Run(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("railslite run: %w", err)
 		}
-		if gen.Completed < gen.Generated {
-			return nil, fmt.Errorf("railslite: only %d/%d open-loop requests completed", gen.Completed, gen.Generated)
+		if gen.Resolved() < gen.Generated {
+			return nil, fmt.Errorf("railslite: only %d/%d open-loop requests resolved", gen.Resolved(), gen.Generated)
 		}
 		return &Result{
 			Clients:    gen.Sessions,
@@ -235,6 +255,7 @@ func Run(cfg Config) (*Result, error) {
 			AbortRatio: res.Stats.AbortRatio(),
 			Stats:      res.Stats,
 			Open:       gen,
+			Res:        rs,
 		}, nil
 	}
 
@@ -262,5 +283,6 @@ func Run(cfg Config) (*Result, error) {
 		Throughput: gen.Throughput(),
 		AbortRatio: res.Stats.AbortRatio(),
 		Stats:      res.Stats,
+		Res:        rs,
 	}, nil
 }

@@ -1,0 +1,175 @@
+package resilience
+
+// BrownoutState is the degradation controller's state.
+type BrownoutState uint8
+
+// Brownout states: the serving-side mirror of the elision breaker's
+// closed / open / half-open triple. Closed serves everything; Brownout
+// disables the expensive (low-priority) routes; Shed serves only the
+// essential routes.
+const (
+	BrownoutClosed BrownoutState = iota
+	BrownoutActive
+	BrownoutShed
+)
+
+// String returns the state name used in trace events and reports.
+func (s BrownoutState) String() string {
+	switch s {
+	case BrownoutClosed:
+		return "closed"
+	case BrownoutActive:
+		return "brownout"
+	default:
+		return "shed"
+	}
+}
+
+// BrownoutConfig tunes the queue-delay degradation controller.
+type BrownoutConfig struct {
+	// Alpha is the EWMA weight of each new queue-delay sample (0 =
+	// DefaultBrownoutAlpha).
+	Alpha float64
+	// EnterDelay moves closed -> brownout when the queue-delay EWMA reaches
+	// this many cycles; ShedDelay moves brownout -> shed. Exits happen at
+	// ExitFrac of the respective threshold, after DwellCycles in the state,
+	// so the controller cannot flap around a threshold.
+	EnterDelay  int64
+	ShedDelay   int64
+	ExitFrac    float64
+	DwellCycles int64
+	// BrownoutPriority is the lowest route priority rejected while in
+	// brownout (0 = DefaultBrownoutPriority); ShedPriority likewise for the
+	// shed state. Priority 0 routes are always served — they keep delay
+	// samples flowing, which is what lets the controller observe recovery.
+	BrownoutPriority int
+	ShedPriority     int
+}
+
+// Brownout controller defaults.
+const (
+	DefaultBrownoutAlpha    = 0.2
+	DefaultBrownoutExitFrac = 0.5
+	DefaultBrownoutDwell    = 2_000_000
+	DefaultBrownoutPriority = 2
+	DefaultShedPriority     = 1
+)
+
+// BrownoutTransition is one recorded state change.
+type BrownoutTransition struct {
+	T     int64  `json:"t"`
+	State string `json:"state"`
+}
+
+// Brownout is the live controller: a queue-delay EWMA driving the
+// three-state machine. Upward (degrading) transitions are immediate —
+// overload must be met now — while downward (recovering) transitions
+// require the EWMA under ExitFrac of the entry threshold *and* DwellCycles
+// spent in the state, the same hysteresis shape as the breaker's cooldown.
+type Brownout struct {
+	Cfg BrownoutConfig
+
+	state     BrownoutState
+	ewma      float64
+	haveEwma  bool
+	enteredAt int64
+
+	// Transitions is the full state-change history (reports, tests).
+	Transitions []BrownoutTransition
+}
+
+// NewBrownout creates a closed controller. Zero config fields take defaults.
+func NewBrownout(cfg BrownoutConfig) *Brownout {
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		cfg.Alpha = DefaultBrownoutAlpha
+	}
+	if cfg.ExitFrac <= 0 || cfg.ExitFrac >= 1 {
+		cfg.ExitFrac = DefaultBrownoutExitFrac
+	}
+	if cfg.DwellCycles <= 0 {
+		cfg.DwellCycles = DefaultBrownoutDwell
+	}
+	if cfg.BrownoutPriority <= 0 {
+		cfg.BrownoutPriority = DefaultBrownoutPriority
+	}
+	if cfg.ShedPriority <= 0 {
+		cfg.ShedPriority = DefaultShedPriority
+	}
+	if cfg.ShedDelay > 0 && cfg.ShedDelay < cfg.EnterDelay {
+		cfg.ShedDelay = cfg.EnterDelay
+	}
+	return &Brownout{Cfg: cfg}
+}
+
+// State returns the current state. Nil-safe (closed).
+func (b *Brownout) State() BrownoutState {
+	if b == nil {
+		return BrownoutClosed
+	}
+	return b.state
+}
+
+// EWMA returns the current queue-delay estimate in cycles.
+func (b *Brownout) EWMA() float64 {
+	if b == nil {
+		return 0
+	}
+	return b.ewma
+}
+
+// Rejects reports whether the current state refuses a route of the given
+// priority. Priority 0 is always served.
+func (b *Brownout) Rejects(priority int) bool {
+	if b == nil || priority <= 0 {
+		return false
+	}
+	switch b.state {
+	case BrownoutActive:
+		return priority >= b.Cfg.BrownoutPriority
+	case BrownoutShed:
+		return priority >= b.Cfg.ShedPriority
+	default:
+		return false
+	}
+}
+
+// Observe feeds one queue-delay sample (the cycles an accepted connection
+// waited in the backlog) and returns the resulting state plus whether it
+// changed.
+func (b *Brownout) Observe(now, delay int64) (BrownoutState, bool) {
+	if !b.haveEwma {
+		b.ewma, b.haveEwma = float64(delay), true
+	} else {
+		b.ewma += b.Cfg.Alpha * (float64(delay) - b.ewma)
+	}
+	prev := b.state
+	switch b.state {
+	case BrownoutClosed:
+		if b.Cfg.ShedDelay > 0 && b.ewma >= float64(b.Cfg.ShedDelay) {
+			b.transition(now, BrownoutShed)
+		} else if b.Cfg.EnterDelay > 0 && b.ewma >= float64(b.Cfg.EnterDelay) {
+			b.transition(now, BrownoutActive)
+		}
+	case BrownoutActive:
+		if b.Cfg.ShedDelay > 0 && b.ewma >= float64(b.Cfg.ShedDelay) {
+			b.transition(now, BrownoutShed)
+		} else if b.dwelt(now) && b.ewma <= b.Cfg.ExitFrac*float64(b.Cfg.EnterDelay) {
+			b.transition(now, BrownoutClosed)
+		}
+	case BrownoutShed:
+		if b.dwelt(now) && b.ewma <= b.Cfg.ExitFrac*float64(b.Cfg.ShedDelay) {
+			b.transition(now, BrownoutActive)
+		}
+	}
+	return b.state, b.state != prev
+}
+
+func (b *Brownout) dwelt(now int64) bool {
+	return now-b.enteredAt >= b.Cfg.DwellCycles
+}
+
+func (b *Brownout) transition(now int64, to BrownoutState) {
+	b.state = to
+	b.enteredAt = now
+	b.Transitions = append(b.Transitions, BrownoutTransition{T: now, State: to.String()})
+}

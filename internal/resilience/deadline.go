@@ -1,0 +1,55 @@
+package resilience
+
+// DefaultDeadlineSlack is the remaining-cycle threshold below which the
+// deadline policy gate (policy.DeadlineGate) stops speculating: roughly the
+// cost of a couple of abort-retry round trips, so a near-deadline section
+// takes the guaranteed-progress GIL path instead of gambling the budget on
+// another optimistic attempt.
+const DefaultDeadlineSlack = 100_000
+
+// DeadlineTable maps scheduler thread ids to the absolute virtual-cycle
+// deadline of the request each worker is currently serving. The netsim
+// accept path sets an entry when a worker picks up a connection with a
+// deadline; read_request/close clear it. core.Elision reads it through the
+// core.DeadlineSource interface, so the policy seam never imports this
+// package's wiring.
+//
+// The table is engine-thread-local state (the simulator is single-threaded),
+// so it needs no locking.
+type DeadlineTable struct {
+	m map[int]int64
+}
+
+// NewDeadlineTable returns an empty table.
+func NewDeadlineTable() *DeadlineTable {
+	return &DeadlineTable{m: make(map[int]int64)}
+}
+
+// Set records the absolute deadline of the request thread is serving.
+// deadline <= 0 clears instead.
+func (t *DeadlineTable) Set(thread int, deadline int64) {
+	if deadline <= 0 {
+		delete(t.m, thread)
+		return
+	}
+	t.m[thread] = deadline
+}
+
+// Clear removes the thread's entry (request finished or cancelled).
+func (t *DeadlineTable) Clear(thread int) {
+	delete(t.m, thread)
+}
+
+// Remaining implements core.DeadlineSource: cycles left until the deadline
+// of the request thread is serving (negative once past it), with ok=false
+// when the thread has no deadline-carrying request.
+func (t *DeadlineTable) Remaining(thread int, now int64) (int64, bool) {
+	d, ok := t.m[thread]
+	if !ok {
+		return 0, false
+	}
+	return d - now, true
+}
+
+// Len returns the number of live entries (tests).
+func (t *DeadlineTable) Len() int { return len(t.m) }

@@ -1,0 +1,86 @@
+package resilience
+
+// RecoveryTracker measures time-to-recover at the request level: it buckets
+// every request outcome (SLO-met or not — sheds, give-ups and deadline
+// misses count as not) into fixed windows of virtual time and, after the
+// run, finds the first window past a mark (the overload pulse clearing)
+// from which attainment stays at or above the threshold for the rest of the
+// run. The same shape as the chaos experiment's breaker-based
+// time-to-recover, but judged on what clients experience rather than on
+// runtime internals.
+type RecoveryTracker struct {
+	// Window is the bucket width in cycles (0 = DefaultRecoveryWindow).
+	Window int64
+	// Threshold is the attainment a window needs to count as recovered
+	// (0 = DefaultRecoveryThreshold).
+	Threshold float64
+
+	met   map[int64]int
+	total map[int64]int
+	last  int64 // highest bucket observed
+}
+
+// Recovery defaults.
+const (
+	DefaultRecoveryWindow    = 10_000_000
+	DefaultRecoveryThreshold = 0.9
+)
+
+// Observe records one request outcome at virtual time done.
+func (r *RecoveryTracker) Observe(done int64, ok bool) {
+	if r.Window <= 0 {
+		r.Window = DefaultRecoveryWindow
+	}
+	if r.met == nil {
+		r.met = make(map[int64]int)
+		r.total = make(map[int64]int)
+	}
+	b := done / r.Window
+	r.total[b]++
+	if ok {
+		r.met[b]++
+	}
+	if b > r.last {
+		r.last = b
+	}
+}
+
+// RecoverAt returns the cycles between mark and the start of the first
+// window from which every later non-empty window meets the threshold:
+// 0 when the service was already healthy at the mark, -1 when it never
+// recovered within the observed run, and -1 when nothing was observed
+// after the mark (a fully collapsed service stops completing anything).
+func (r *RecoveryTracker) RecoverAt(mark int64) int64 {
+	if r.Window <= 0 {
+		r.Window = DefaultRecoveryWindow
+	}
+	th := r.Threshold
+	if th <= 0 {
+		th = DefaultRecoveryThreshold
+	}
+	first := mark / r.Window
+	// Walk backwards from the last bucket to find the earliest bucket b >=
+	// first such that every non-empty bucket in [b, last] meets the
+	// threshold.
+	recovered := int64(-1)
+	seen := false
+	for b := r.last; b >= first; b-- {
+		n := r.total[b]
+		if n == 0 {
+			continue
+		}
+		seen = true
+		if float64(r.met[b])/float64(n) < th {
+			break
+		}
+		recovered = b
+	}
+	if !seen || recovered < 0 {
+		return -1
+	}
+	at := recovered * r.Window
+	if at <= mark {
+		return 0
+	}
+	return at - mark
+}

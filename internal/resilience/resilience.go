@@ -1,0 +1,163 @@
+// Package resilience is the request-level graceful-degradation layer of the
+// serving stack. The elision breaker and watchdog (internal/core) protect a
+// single VM's critical sections; this package protects the *server* from its
+// own clients:
+//
+//   - Admission control: a deterministic queue-depth gate per listener that
+//     sheds connections at the door once the backlog passes a bound, so
+//     overload is rejected cheaply instead of queueing into collapse.
+//   - Brownout: a server-level degradation controller (closed / brownout /
+//     shed, mirroring the breaker's closed / open / half-open) driven by a
+//     queue-delay EWMA that progressively disables expensive routes before
+//     the hard gate has to fire.
+//   - Deadline propagation: each request carries a virtual-cycle deadline
+//     from the client through the listener backlog into the worker pool and
+//     the VM's policy seam; expired requests are cancelled instead of
+//     occupying a worker, and near-deadline critical sections are downgraded
+//     from speculative retry straight to the GIL (policy.DeadlineGate).
+//   - Retry budgets: the open-loop generator's refused/reset retries draw
+//     from a per-session token bucket with seeded exponential backoff and
+//     jitter, replacing unbounded fixed-interval retry storms.
+//
+// Everything is deterministic: the controllers observe only virtual time and
+// queue state, and the retry jitter draws from a caller-seeded stream, so
+// runs are byte-identical for a given seed.
+package resilience
+
+import "htmgil/internal/trace"
+
+// Config parameterizes the server-side resilience layer of one run. The
+// zero value disables everything.
+type Config struct {
+	// MaxQueue sheds any connection arriving while the listener backlog
+	// already holds this many connections (0 = no admission gate).
+	MaxQueue int
+	// Brownout, when non-nil, arms the queue-delay brownout controller.
+	Brownout *BrownoutConfig
+	// Deadlines propagates request deadlines into the worker pool and the
+	// VM policy seam: expired requests are cancelled, and transactions
+	// within DeadlineSlack of their deadline fall back to the GIL.
+	Deadlines bool
+	// DeadlineSlack is the remaining-cycle threshold below which the policy
+	// gate stops speculating (0 = DefaultDeadlineSlack).
+	DeadlineSlack int64
+}
+
+// Enabled reports whether any server-side mechanism is armed.
+func (c *Config) Enabled() bool {
+	if c == nil {
+		return false
+	}
+	return c.MaxQueue > 0 || c.Brownout != nil || c.Deadlines
+}
+
+// Admission-shed reasons (trace notes and counters).
+const (
+	ShedQueueFull = "queue-full"
+	ShedBrownout  = "brownout"
+	ShedOverload  = "shed"
+)
+
+// Server is the live resilience state of one simulated server: the
+// admission gate, the brownout controller, the deadline table, and the shed
+// accounting. The discrete-event engine is single-threaded, so no locking.
+type Server struct {
+	Cfg    Config
+	Tracer *trace.Recorder
+
+	// Brownout is the live controller, nil unless configured.
+	Brownout *Brownout
+	// Deadlines maps scheduler thread ids to the absolute deadline of the
+	// request that thread is serving; nil unless Cfg.Deadlines.
+	Deadlines *DeadlineTable
+
+	// Sheds counts admission rejections by reason.
+	Sheds map[string]uint64
+	// Expired counts requests the server cancelled past their deadline
+	// (in the backlog or in read_request).
+	Expired uint64
+}
+
+// NewServer builds the live resilience state for a run.
+func NewServer(cfg Config) *Server {
+	s := &Server{Cfg: cfg, Sheds: make(map[string]uint64)}
+	if cfg.Brownout != nil {
+		s.Brownout = NewBrownout(*cfg.Brownout)
+	}
+	if cfg.Deadlines {
+		s.Deadlines = NewDeadlineTable()
+	}
+	return s
+}
+
+// Admit decides whether a connection of the given route priority may join a
+// listener backlog currently depth deep. On rejection it returns the shed
+// reason, records the shed, and emits a net-shed trace event. Nil-safe:
+// a nil Server admits everything.
+func (s *Server) Admit(now int64, depth, priority int) (bool, string) {
+	if s == nil {
+		return true, ""
+	}
+	reason := ""
+	switch {
+	case s.Cfg.MaxQueue > 0 && depth >= s.Cfg.MaxQueue:
+		reason = ShedQueueFull
+	case s.Brownout != nil && s.Brownout.Rejects(priority):
+		if s.Brownout.State() == BrownoutShed {
+			reason = ShedOverload
+		} else {
+			reason = ShedBrownout
+		}
+	default:
+		return true, ""
+	}
+	s.Sheds[reason]++
+	if s.Tracer != nil {
+		ev := trace.Ev(now, trace.KindNetShed)
+		ev.Cycles = int64(depth)
+		ev.Note = reason
+		s.Tracer.Emit(ev)
+	}
+	return false, reason
+}
+
+// ObserveQueueDelay feeds one accepted connection's backlog wait into the
+// brownout controller, emitting a brownout trace event on any state change.
+// Nil-safe.
+func (s *Server) ObserveQueueDelay(now, delay int64) {
+	if s == nil || s.Brownout == nil {
+		return
+	}
+	if st, changed := s.Brownout.Observe(now, delay); changed && s.Tracer != nil {
+		ev := trace.Ev(now, trace.KindBrownout)
+		ev.Note = st.String()
+		s.Tracer.Emit(ev)
+	}
+}
+
+// RecordExpired counts one server-side deadline cancellation and emits a
+// deadline-exceeded trace event. Nil-safe.
+func (s *Server) RecordExpired(now int64, thread int, where string) {
+	if s == nil {
+		return
+	}
+	s.Expired++
+	if s.Tracer != nil {
+		ev := trace.Ev(now, trace.KindDeadlineExceeded)
+		ev.Thread = thread
+		ev.Note = where
+		s.Tracer.Emit(ev)
+	}
+}
+
+// ShedTotal returns the total admission rejections across reasons.
+func (s *Server) ShedTotal() uint64 {
+	if s == nil {
+		return 0
+	}
+	var n uint64
+	for _, v := range s.Sheds {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,222 @@
+package resilience
+
+import (
+	"testing"
+
+	"htmgil/internal/trace"
+)
+
+func TestAdmissionQueueGate(t *testing.T) {
+	s := NewServer(Config{MaxQueue: 4})
+	for depth := 0; depth < 4; depth++ {
+		if ok, _ := s.Admit(100, depth, 2); !ok {
+			t.Fatalf("depth %d rejected below MaxQueue", depth)
+		}
+	}
+	ok, reason := s.Admit(100, 4, 0)
+	if ok || reason != ShedQueueFull {
+		t.Fatalf("depth 4 admitted (ok=%v reason=%q); want queue-full shed", ok, reason)
+	}
+	if got := s.Sheds[ShedQueueFull]; got != 1 {
+		t.Fatalf("queue-full sheds = %d, want 1", got)
+	}
+	if s.ShedTotal() != 1 {
+		t.Fatalf("ShedTotal = %d, want 1", s.ShedTotal())
+	}
+}
+
+func TestAdmitNilServer(t *testing.T) {
+	var s *Server
+	if ok, _ := s.Admit(0, 1<<20, 9); !ok {
+		t.Fatal("nil server must admit everything")
+	}
+	s.ObserveQueueDelay(0, 1) // must not panic
+	s.RecordExpired(0, 1, "backlog")
+}
+
+func TestBrownoutEscalatesAndRecovers(t *testing.T) {
+	b := NewBrownout(BrownoutConfig{
+		Alpha:       1, // EWMA = last sample: exact thresholds
+		EnterDelay:  1_000,
+		ShedDelay:   10_000,
+		DwellCycles: 100,
+	})
+	if b.State() != BrownoutClosed || b.Rejects(3) {
+		t.Fatal("fresh controller must be closed and reject nothing")
+	}
+	if st, changed := b.Observe(0, 2_000); st != BrownoutActive || !changed {
+		t.Fatalf("delay 2000 -> %v (changed=%v), want brownout", st, changed)
+	}
+	if !b.Rejects(2) || b.Rejects(1) || b.Rejects(0) {
+		t.Fatal("brownout must reject priority >= 2 only")
+	}
+	if st, _ := b.Observe(10, 20_000); st != BrownoutShed {
+		t.Fatalf("delay 20000 -> %v, want shed", st)
+	}
+	if !b.Rejects(1) || b.Rejects(0) {
+		t.Fatal("shed must reject priority >= 1 but always serve priority 0")
+	}
+	// Recovery requires dwell: a low sample right away must not transition.
+	if st, changed := b.Observe(20, 0); st != BrownoutShed || changed {
+		t.Fatalf("recovery before dwell: %v (changed=%v)", st, changed)
+	}
+	if st, _ := b.Observe(200, 0); st != BrownoutActive {
+		t.Fatal("low EWMA after dwell must step shed -> brownout")
+	}
+	if st, _ := b.Observe(400, 0); st != BrownoutClosed {
+		t.Fatal("low EWMA after dwell must step brownout -> closed")
+	}
+	want := []string{"brownout", "shed", "brownout", "closed"}
+	if len(b.Transitions) != len(want) {
+		t.Fatalf("transitions %v, want states %v", b.Transitions, want)
+	}
+	for i, tr := range b.Transitions {
+		if tr.State != want[i] {
+			t.Fatalf("transition %d = %q, want %q", i, tr.State, want[i])
+		}
+	}
+}
+
+func TestBrownoutHysteresisNoFlap(t *testing.T) {
+	b := NewBrownout(BrownoutConfig{Alpha: 1, EnterDelay: 1_000, DwellCycles: 100})
+	b.Observe(0, 1_500) // -> brownout
+	// A sample just under the entry threshold is above ExitFrac*threshold:
+	// the controller must hold, not flap closed.
+	if st, _ := b.Observe(500, 900); st != BrownoutActive {
+		t.Fatal("EWMA above exit threshold must not close")
+	}
+	if st, _ := b.Observe(600, 400); st != BrownoutClosed {
+		t.Fatal("EWMA under exit threshold after dwell must close")
+	}
+}
+
+func TestServerShedEmitsTrace(t *testing.T) {
+	rec := trace.NewRecorder()
+	var got []trace.Event
+	rec.AddSink(sinkFunc(func(ev trace.Event) { got = append(got, ev) }))
+	s := NewServer(Config{MaxQueue: 1})
+	s.Tracer = rec
+	s.Admit(42, 1, 1)
+	s.RecordExpired(50, 7, "read")
+	if len(got) != 2 {
+		t.Fatalf("events = %d, want 2", len(got))
+	}
+	if got[0].Kind != trace.KindNetShed || got[0].Note != ShedQueueFull || got[0].T != 42 {
+		t.Fatalf("shed event = %+v", got[0])
+	}
+	if got[1].Kind != trace.KindDeadlineExceeded || got[1].Thread != 7 || got[1].Note != "read" {
+		t.Fatalf("deadline event = %+v", got[1])
+	}
+}
+
+type sinkFunc func(trace.Event)
+
+func (f sinkFunc) Emit(ev trace.Event) { f(ev) }
+
+func TestDeadlineTable(t *testing.T) {
+	tab := NewDeadlineTable()
+	if _, ok := tab.Remaining(3, 0); ok {
+		t.Fatal("empty table must report no deadline")
+	}
+	tab.Set(3, 1_000)
+	if rem, ok := tab.Remaining(3, 400); !ok || rem != 600 {
+		t.Fatalf("Remaining = %d,%v, want 600,true", rem, ok)
+	}
+	if rem, _ := tab.Remaining(3, 1_500); rem != -500 {
+		t.Fatalf("past-deadline Remaining = %d, want -500", rem)
+	}
+	tab.Clear(3)
+	if _, ok := tab.Remaining(3, 0); ok || tab.Len() != 0 {
+		t.Fatal("Clear must drop the entry")
+	}
+	tab.Set(4, 10)
+	tab.Set(4, 0) // deadline <= 0 clears
+	if tab.Len() != 0 {
+		t.Fatal("Set with zero deadline must clear")
+	}
+}
+
+func TestRetryBudgetAndBackoff(t *testing.T) {
+	cfg := RetryConfig{MaxAttempts: 3, Budget: 2, Refill: 0.5,
+		BaseBackoff: 100, MaxBackoff: 350, JitterFrac: 0.5}
+	b := cfg.NewBudget()
+	if !b.TryConsume() || !b.TryConsume() {
+		t.Fatal("fresh bucket must hold Budget tokens")
+	}
+	if b.TryConsume() {
+		t.Fatal("empty bucket must refuse")
+	}
+	b.Refund()
+	if b.TryConsume() {
+		t.Fatal("0.5 tokens is not a whole retry")
+	}
+	b.Refund()
+	if !b.TryConsume() {
+		t.Fatal("two refunds must buy one retry")
+	}
+
+	// Exponential, capped, deterministic in u.
+	if d := cfg.Backoff(1, 0); d != 100 {
+		t.Fatalf("attempt 1 u=0: %d, want 100", d)
+	}
+	if d := cfg.Backoff(2, 0); d != 200 {
+		t.Fatalf("attempt 2 u=0: %d, want 200", d)
+	}
+	if d := cfg.Backoff(3, 0); d != 350 {
+		t.Fatalf("attempt 3 u=0: %d, want cap 350", d)
+	}
+	if d := cfg.Backoff(1, 0.9999); d < 50 || d >= 100 {
+		t.Fatalf("jitter must shrink by at most JitterFrac: %d", d)
+	}
+	if d := (RetryConfig{}).Backoff(1, 0); d != DefaultRetryBase {
+		t.Fatalf("zero config must take defaults: %d", d)
+	}
+}
+
+func TestRecoveryTracker(t *testing.T) {
+	r := &RecoveryTracker{Window: 100, Threshold: 0.9}
+	// Healthy before and at the mark: recover = 0.
+	for i := int64(0); i < 10; i++ {
+		r.Observe(i*100, true)
+	}
+	if got := r.RecoverAt(300); got != 0 {
+		t.Fatalf("healthy service: RecoverAt = %d, want 0", got)
+	}
+
+	// Misses until t=500, healthy after: recovery at the first healthy window.
+	r = &RecoveryTracker{Window: 100, Threshold: 0.9}
+	for i := int64(0); i < 5; i++ {
+		r.Observe(i*100, false)
+	}
+	for i := int64(5); i < 10; i++ {
+		r.Observe(i*100, true)
+	}
+	if got := r.RecoverAt(200); got != 300 {
+		t.Fatalf("RecoverAt = %d, want 300", got)
+	}
+
+	// Never healthy after the mark: -1.
+	r = &RecoveryTracker{Window: 100, Threshold: 0.9}
+	for i := int64(0); i < 10; i++ {
+		r.Observe(i*100, i%2 == 0)
+	}
+	if got := r.RecoverAt(0); got != -1 {
+		t.Fatalf("collapsed service: RecoverAt = %d, want -1", got)
+	}
+
+	// Nothing observed after the mark: also -1 (total collapse).
+	r = &RecoveryTracker{Window: 100}
+	r.Observe(50, true)
+	if got := r.RecoverAt(1_000); got != -1 {
+		t.Fatalf("silent service: RecoverAt = %d, want -1", got)
+	}
+
+	// Empty windows between healthy ones don't break the run.
+	r = &RecoveryTracker{Window: 100, Threshold: 0.9}
+	r.Observe(100, false)
+	r.Observe(200, true)
+	r.Observe(500, true) // buckets 3-4 empty
+	if got := r.RecoverAt(100); got != 100 {
+		t.Fatalf("gap run: RecoverAt = %d, want 100", got)
+	}
+}

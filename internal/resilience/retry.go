@@ -1,0 +1,118 @@
+package resilience
+
+// Client-side retry budgets. The open-loop generator retries refused and
+// reset connections; unbounded fixed-interval retries are exactly how
+// transient overload becomes metastable — the retry traffic itself keeps the
+// server saturated after the original pulse has passed. A RetryConfig
+// bounds each request's attempts, makes each session draw retries from a
+// token bucket refilled by successes (a failing session backs itself off
+// the network), and spreads the surviving retries with seeded exponential
+// backoff and jitter so they cannot re-synchronize into waves.
+
+// Retry defaults.
+const (
+	DefaultRetryAttempts = 6
+	DefaultRetryBudget   = 4.0
+	DefaultRetryRefill   = 0.2
+	DefaultRetryBase     = 50_000
+	DefaultRetryMax      = 1_600_000
+	DefaultRetryJitter   = 0.5
+)
+
+// RetryConfig tunes the per-session retry budget. Zero fields take the
+// defaults above.
+type RetryConfig struct {
+	// MaxAttempts is the hard cap on connect attempts per request; a
+	// request whose last allowed attempt fails gives up.
+	MaxAttempts int
+	// Budget is the session token-bucket capacity; every retry consumes one
+	// token and a request whose session is out of tokens gives up.
+	Budget float64
+	// Refill is the tokens credited back to the session per completed
+	// request (capped at Budget).
+	Refill float64
+	// BaseBackoff is the first retry's backoff in cycles; attempt k backs
+	// off BaseBackoff*2^(k-1), capped at MaxBackoff.
+	BaseBackoff int64
+	MaxBackoff  int64
+	// JitterFrac shrinks each backoff by up to this fraction, drawn from
+	// the caller's seeded stream, de-synchronizing retry waves.
+	JitterFrac float64
+}
+
+func (c RetryConfig) norm() RetryConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = DefaultRetryAttempts
+	}
+	if c.Budget <= 0 {
+		c.Budget = DefaultRetryBudget
+	}
+	if c.Refill <= 0 {
+		c.Refill = DefaultRetryRefill
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = DefaultRetryBase
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = DefaultRetryMax
+	}
+	if c.JitterFrac < 0 || c.JitterFrac >= 1 {
+		c.JitterFrac = DefaultRetryJitter
+	}
+	return c
+}
+
+// AttemptCap returns the effective per-request attempt limit (the configured
+// MaxAttempts or its default).
+func (c RetryConfig) AttemptCap() int { return c.norm().MaxAttempts }
+
+// Backoff returns the park duration before retry attempt k (1-based): the
+// capped exponential shrunk by JitterFrac*u, where u in [0,1) comes from the
+// caller's seeded stream.
+func (c RetryConfig) Backoff(attempt int, u float64) int64 {
+	c = c.norm()
+	d := c.BaseBackoff
+	for i := 1; i < attempt && d < c.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > c.MaxBackoff {
+		d = c.MaxBackoff
+	}
+	d = int64(float64(d) * (1 - c.JitterFrac*u))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// NewBudget allocates one session's token bucket, full.
+func (c RetryConfig) NewBudget() *RetryBudget {
+	n := c.norm()
+	return &RetryBudget{cfg: n, tokens: n.Budget}
+}
+
+// RetryBudget is one session's live token bucket.
+type RetryBudget struct {
+	cfg    RetryConfig
+	tokens float64
+}
+
+// TryConsume takes one retry token, reporting whether one was available.
+func (b *RetryBudget) TryConsume() bool {
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Refund credits the per-success refill back to the bucket.
+func (b *RetryBudget) Refund() {
+	b.tokens += b.cfg.Refill
+	if b.tokens > b.cfg.Budget {
+		b.tokens = b.cfg.Budget
+	}
+}
+
+// Tokens returns the current balance (tests).
+func (b *RetryBudget) Tokens() float64 { return b.tokens }

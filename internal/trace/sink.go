@@ -109,6 +109,10 @@ type Aggregator struct {
 	Degradations map[string]uint64 // watchdog degradation events by reason
 	NetEvents    uint64            // simulated network events of any kind
 
+	Sheds            map[string]uint64 // admission-control sheds by reason
+	DeadlineExceeded uint64            // requests cancelled past their deadline
+	Brownouts        map[string]uint64 // brownout transitions by new state
+
 	Events uint64 // total events consumed
 }
 
@@ -125,6 +129,8 @@ func NewAggregator() *Aggregator {
 		Faults:          make(map[string]uint64),
 		Breaker:         make(map[string]uint64),
 		Degradations:    make(map[string]uint64),
+		Sheds:           make(map[string]uint64),
+		Brownouts:       make(map[string]uint64),
 	}
 }
 
@@ -197,6 +203,13 @@ func (a *Aggregator) Emit(ev Event) {
 		a.Breaker[ev.Note]++
 	case KindDegrade:
 		a.Degradations[ev.Note]++
+	case KindNetShed:
+		a.NetEvents++
+		a.Sheds[ev.Note]++
+	case KindDeadlineExceeded:
+		a.DeadlineExceeded++
+	case KindBrownout:
+		a.Brownouts[ev.Note]++
 	case KindNetConnect, KindNetArrive, KindNetAccept, KindNetPark, KindNetReset:
 		a.NetEvents++
 	}
@@ -297,6 +310,20 @@ func (a *Aggregator) WriteSummary(w io.Writer, n int) {
 	if len(a.Degradations) > 0 {
 		fmt.Fprintf(w, "  degradations:")
 		for _, kv := range topN(a.Degradations, 0) {
+			fmt.Fprintf(w, " %s=%d", kv.Key, kv.Count)
+		}
+		fmt.Fprintln(w)
+	}
+	if len(a.Sheds) > 0 || a.DeadlineExceeded > 0 {
+		fmt.Fprintf(w, "  resilience: %d deadline-exceeded | sheds:", a.DeadlineExceeded)
+		for _, kv := range topN(a.Sheds, 0) {
+			fmt.Fprintf(w, " %s=%d", kv.Key, kv.Count)
+		}
+		fmt.Fprintln(w)
+	}
+	if len(a.Brownouts) > 0 {
+		fmt.Fprintf(w, "  brownout transitions:")
+		for _, kv := range topN(a.Brownouts, 0) {
 			fmt.Fprintf(w, " %s=%d", kv.Key, kv.Count)
 		}
 		fmt.Fprintln(w)

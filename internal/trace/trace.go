@@ -69,20 +69,25 @@ const (
 	KindNetAccept  Kind = "net-accept"  // server thread popped a connection
 	KindNetPark    Kind = "net-park"    // server thread parked (note = accept|read)
 	KindNetReset   Kind = "net-reset"   // injected connection reset dropped a connect
+
+	// Request-level resilience (internal/resilience via internal/netsim).
+	KindNetShed          Kind = "net-shed"          // admission gate rejected a connect (note = reason, cyc = backlog depth)
+	KindDeadlineExceeded Kind = "deadline-exceeded" // request cancelled past its deadline (note = backlog|read)
+	KindBrownout         Kind = "brownout"          // brownout controller transition (note = new state)
 )
 
 // Event is one structured trace record. Unused fields are left at their
 // zero value (or -1 for the id fields, where 0 is meaningful) and omitted
 // from the JSONL encoding where that is unambiguous.
 type Event struct {
-	T      int64  `json:"t"`              // virtual time of the event
-	Kind   Kind   `json:"k"`              // event kind
-	Ctx    int    `json:"ctx"`            // transactional context id; -1 when not applicable
-	Thread int    `json:"th"`             // scheduler thread id; -1 when not applicable
-	PC     int    `json:"pc"`             // owning yield-point id; -1 when not applicable
-	Len    int32  `json:"len,omitempty"`  // transaction length (tx-begin) or new length (len-adjust)
-	OldLen int32  `json:"old,omitempty"`  // previous length (len-adjust)
-	Cycles int64  `json:"cyc,omitempty"`  // duration payload (gil-release hold, gc-end span)
+	T      int64  `json:"t"`             // virtual time of the event
+	Kind   Kind   `json:"k"`             // event kind
+	Ctx    int    `json:"ctx"`           // transactional context id; -1 when not applicable
+	Thread int    `json:"th"`            // scheduler thread id; -1 when not applicable
+	PC     int    `json:"pc"`            // owning yield-point id; -1 when not applicable
+	Len    int32  `json:"len,omitempty"` // transaction length (tx-begin) or new length (len-adjust)
+	OldLen int32  `json:"old,omitempty"` // previous length (len-adjust)
+	Cycles int64  `json:"cyc,omitempty"` // duration payload (gil-release hold, gc-end span)
 	Cause  string `json:"cause,omitempty"`
 	Region string `json:"region,omitempty"`
 	// Writer marks a conflict doom whose victim held the conflicting line

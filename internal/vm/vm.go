@@ -126,6 +126,15 @@ type Options struct {
 	Watchdog       bool
 	WatchdogConfig core.WatchdogConfig
 
+	// Deadlines, when non-nil, arms request-deadline propagation into the
+	// policy seam: the contention policy is wrapped in a DeadlineGate that
+	// downgrades critical sections within DeadlineSlack cycles of their
+	// request's deadline from speculative retry straight to the GIL. The
+	// source is typically a resilience.DeadlineTable maintained by the
+	// netsim accept/read path.
+	Deadlines     core.DeadlineSource
+	DeadlineSlack int64 // 0 = policy.NewDeadlineGate's default
+
 	// Chooser, when non-nil, hands every nondeterministic choice point of
 	// the stack — thread dispatch, timer firing, GIL yield and hand-off,
 	// conflict-winner selection — to the systematic schedule explorer
@@ -290,7 +299,11 @@ func New(opt Options) *VM {
 	if err != nil {
 		panic(err.Error())
 	}
+	if opt.Deadlines != nil {
+		pol = policy.NewDeadlineGate(pol, opt.DeadlineSlack)
+	}
 	v.Elision = core.NewWithPolicy(pol, v.GIL, v.Engine)
+	v.Elision.Deadlines = opt.Deadlines
 	v.Elision.LiveAppThreads = func() int { return v.liveApp }
 	if policy.UsesOCCTier(pol) {
 		// The policy routes sections into the software-transaction tier:

@@ -3,6 +3,7 @@ package webrick
 import (
 	"testing"
 
+	"htmgil/internal/core"
 	"htmgil/internal/htm"
 	"htmgil/internal/netsim"
 	"htmgil/internal/vm"
@@ -107,5 +108,79 @@ func TestWebrickOpenLoopDeterministic(t *testing.T) {
 				t.Fatalf("route %d sample %d: %d vs %d", r, i, a.Samples[r][i], b.Samples[r][i])
 			}
 		}
+	}
+}
+
+// TestWebrickOpenLoopWatchdogSiteStorm: under open-loop overload the GIL
+// and malloc-global conflict lines make some yield points abort nearly
+// every attempt; the watchdog must attribute the storm to those sites.
+func TestWebrickOpenLoopWatchdogSiteStorm(t *testing.T) {
+	res, err := Run(Config{
+		Prof:     htm.XeonE3(),
+		Mode:     vm.ModeHTM,
+		Workers:  8,
+		Watchdog: true,
+		Open: &netsim.OpenLoadGen{
+			Seed: 7,
+			Arrivals: netsim.ArrivalOpts{
+				Kind:       netsim.ArrivalPoisson,
+				RatePerSec: 400, // past the pool's capacity: sustained contention
+				Horizon:    50_000_000,
+			},
+			Routes:   openRoutes(),
+			Sessions: 60,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Open.Completed != res.Open.Generated {
+		t.Fatalf("completed %d of %d", res.Open.Completed, res.Open.Generated)
+	}
+	if got := res.Stats.Degradations[core.DegradeSiteStorm]; got == 0 {
+		t.Fatalf("no site-storm degradations under overload (degradations: %v)",
+			res.Stats.Degradations)
+	}
+}
+
+// TestWebrickOpenLoopWatchdogStarvation: with the window tightened below a
+// request's transaction cadence, a thread that keeps beginning but spans
+// the window without committing or releasing the GIL reads as starved. The
+// serving workload must raise it through the full Config.WatchdogConfig
+// plumbing (not by poking the watchdog directly, as the core tests do).
+func TestWebrickOpenLoopWatchdogStarvation(t *testing.T) {
+	res, err := Run(Config{
+		Prof:     htm.XeonE3(),
+		Mode:     vm.ModeHTM,
+		Workers:  8,
+		Watchdog: true,
+		WatchdogConfig: core.WatchdogConfig{
+			WindowCycles:    100_000,
+			MinBegins:       1 << 30, // keep livelock out of the way
+			StarveWindows:   1,
+			StarveMinBegins: 1,
+			SiteAbortRatio:  1.1, // unreachable: isolate starvation
+			SiteMinBegins:   1 << 30,
+		},
+		Open: &netsim.OpenLoadGen{
+			Seed: 7,
+			Arrivals: netsim.ArrivalOpts{
+				Kind:       netsim.ArrivalPoisson,
+				RatePerSec: 400,
+				Horizon:    50_000_000,
+			},
+			Routes:   openRoutes(),
+			Sessions: 60,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats.Degradations
+	if got := st[core.DegradeStarvation]; got == 0 {
+		t.Fatalf("no starvation degradations with tightened windows (degradations: %v)", st)
+	}
+	if got := st[core.DegradeSiteStorm]; got != 0 {
+		t.Fatalf("site-storm fired despite unreachable threshold: %v", st)
 	}
 }

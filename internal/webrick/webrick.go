@@ -9,10 +9,12 @@ package webrick
 import (
 	"fmt"
 
+	"htmgil/internal/core"
 	"htmgil/internal/fault"
 	"htmgil/internal/htm"
 	"htmgil/internal/netsim"
 	"htmgil/internal/rbregexp"
+	"htmgil/internal/resilience"
 	"htmgil/internal/trace"
 	"htmgil/internal/vm"
 )
@@ -143,35 +145,37 @@ end
 
 def handle_conn(s)
   req = s.read_request
-  m = $reqline.match(req)
-  path = "/"
-  unless m.nil?
-    path = m[2]
-  end
-  headers = {}
-  lines = req.split("\r\n")
-  hi = 1
-  while hi < lines.length
-    line = lines[hi]
-    unless line.empty?
-      hm = $hdrline.match(line)
-      unless hm.nil?
-        headers[hm[1].downcase] = hm[2]
-      end
+  unless req.nil?
+    m = $reqline.match(req)
+    path = "/"
+    unless m.nil?
+      path = m[2]
     end
-    hi += 1
+    headers = {}
+    lines = req.split("\r\n")
+    hi = 1
+    while hi < lines.length
+      line = lines[hi]
+      unless line.empty?
+        hm = $hdrline.match(line)
+        unless hm.nil?
+          headers[hm[1].downcase] = hm[2]
+        end
+      end
+      hi += 1
+    end
+    status = "200 OK"
+    if path == "/missing"
+      status = "404 Not Found"
+    end
+    body = build_page(path, headers)
+    resp = "HTTP/1.1 " + status + "\r\n"
+    resp = resp + "Content-Type: text/html\r\n"
+    resp = resp + "Content-Length: #{body.length}\r\n"
+    resp = resp + "Connection: close\r\n"
+    resp = resp + "Server: MiniWEBrick/1.3.1\r\n\r\n"
+    s.write(resp + body)
   end
-  status = "200 OK"
-  if path == "/missing"
-    status = "404 Not Found"
-  end
-  body = build_page(path, headers)
-  resp = "HTTP/1.1 " + status + "\r\n"
-  resp = resp + "Content-Type: text/html\r\n"
-  resp = resp + "Content-Length: #{body.length}\r\n"
-  resp = resp + "Connection: close\r\n"
-  resp = resp + "Server: MiniWEBrick/1.3.1\r\n\r\n"
-  s.write(resp + body)
   s.close
 end
 
@@ -212,6 +216,9 @@ type Result struct {
 	// Open is the finished open-loop generator (counters, latency samples)
 	// when the run was driven open-loop; nil for closed-loop runs.
 	Open *netsim.OpenLoadGen
+	// Res is the server-side resilience state (shed/expired counters,
+	// brownout transitions) when Config.Resilience was set.
+	Res *resilience.Server
 }
 
 // Config parameterizes a run.
@@ -243,6 +250,14 @@ type Config struct {
 	// Breaker / Watchdog enable the graceful-degradation machinery.
 	Breaker  bool
 	Watchdog bool
+	// WatchdogConfig overrides the watchdog thresholds (zero fields keep the
+	// defaults); it only matters with Watchdog set.
+	WatchdogConfig core.WatchdogConfig
+	// Resilience arms request-level protection on the server: admission
+	// control, brownout degradation and/or deadline enforcement (see
+	// resilience.Config). The finished server state is returned in
+	// Result.Res.
+	Resilience *resilience.Config
 }
 
 // Run executes the server benchmark and reports client-side throughput.
@@ -257,8 +272,17 @@ func Run(cfg Config) (*Result, error) {
 	opt.Faults = cfg.Faults
 	opt.Breaker = cfg.Breaker
 	opt.Watchdog = cfg.Watchdog
+	opt.WatchdogConfig = cfg.WatchdogConfig
 	if cfg.ZOSMalloc {
 		opt.ThreadLocalArenas = false
+	}
+	var rs *resilience.Server
+	if cfg.Resilience != nil && cfg.Resilience.Enabled() {
+		rs = resilience.NewServer(*cfg.Resilience)
+		if rs.Deadlines != nil {
+			opt.Deadlines = rs.Deadlines
+			opt.DeadlineSlack = cfg.Resilience.DeadlineSlack
+		}
 	}
 	machine := vm.New(opt)
 	net := netsim.NewNetwork(machine.Engine)
@@ -266,6 +290,10 @@ func Run(cfg Config) (*Result, error) {
 	// recorder for the watchdog.
 	net.Tracer = machine.Opt.Trace
 	net.Faults = machine.Faults
+	if rs != nil {
+		rs.Tracer = machine.Opt.Trace
+		net.Res = rs
+	}
 	netsim.Install(machine, net)
 	rbregexp.Install(machine)
 	rbregexp.InstallStringMethods(machine)
@@ -294,8 +322,8 @@ func Run(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("webrick run: %w", err)
 		}
-		if gen.Completed < gen.Generated {
-			return nil, fmt.Errorf("webrick: only %d/%d open-loop requests completed", gen.Completed, gen.Generated)
+		if gen.Resolved() < gen.Generated {
+			return nil, fmt.Errorf("webrick: only %d/%d open-loop requests resolved", gen.Resolved(), gen.Generated)
 		}
 		return &Result{
 			Clients:    gen.Sessions,
@@ -305,6 +333,7 @@ func Run(cfg Config) (*Result, error) {
 			AbortRatio: res.Stats.AbortRatio(),
 			Stats:      res.Stats,
 			Open:       gen,
+			Res:        rs,
 		}, nil
 	}
 
@@ -333,5 +362,6 @@ func Run(cfg Config) (*Result, error) {
 		Throughput: gen.Throughput(),
 		AbortRatio: res.Stats.AbortRatio(),
 		Stats:      res.Stats,
+		Res:        rs,
 	}, nil
 }
