@@ -17,6 +17,11 @@
 // enables the elision circuit breaker (with the livelock watchdog riding
 // along when tracing is active). Injected faults and breaker transitions
 // appear in -stats and in the -trace stream.
+//
+// The SQLite3-flavored datastore binding is always installed, so scripts
+// can `$db = SQLite3.new` and issue CREATE KEYSPACE / UPDATE ... WHERE /
+// range SELECT statements. -shards N splits keyspace fallbacks across N
+// per-shard locks (htm mode only); per-shard occupancy shows up in -stats.
 package main
 
 import (
@@ -40,6 +45,7 @@ func main() {
 	traceOut := flag.String("trace", "", "write structured trace events to this JSONL file")
 	faultSpec := flag.String("faults", "", "fault-injection spec, e.g. spurious=30000,connreset=0.02,until=20000000")
 	breaker := flag.Bool("breaker", false, "enable the elision circuit breaker (+ degradation watchdog)")
+	shards := flag.Int("shards", 0, "sharded-GIL mode: one fallback lock per keyspace shard (0 = single GIL; htm mode only)")
 	flag.Parse()
 
 	if *policyName == "list" {
@@ -98,6 +104,7 @@ func main() {
 	opt := htmgil.DefaultOptions(prof, m)
 	opt.TxLength = int32(*txlen)
 	opt.Policy = *policyName
+	opt.Shards = *shards
 	opt.Out = os.Stdout
 	if *faultSpec != "" {
 		spec, err := htmgil.ParseFaultSpec(*faultSpec)
@@ -123,6 +130,7 @@ func main() {
 		opt.Trace = htmgil.NewTraceRecorder(traceSink)
 	}
 	vmm := htmgil.NewMachineOpts(opt)
+	vmm.InstallDatastore()
 	if *dump {
 		iseq, err := vmm.VM.CompileSource(src, "main")
 		if err != nil {
@@ -160,6 +168,15 @@ func main() {
 			for _, r := range regions {
 				fmt.Fprintf(os.Stderr, "  conflicts at %-14s %d\n", r, res.Stats.ConflictRegions[r])
 			}
+		}
+		if len(res.Stats.ShardGIL) > 0 {
+			fmt.Fprintf(os.Stderr, "shard GILs:     root %d acquisitions / %d hold cycles\n",
+				res.Stats.RootGIL.Acquisitions, res.Stats.RootGIL.HoldCycles)
+			for i, sg := range res.Stats.ShardGIL {
+				fmt.Fprintf(os.Stderr, "  shard %-2d      %d acquisitions / %d hold cycles / %d fallbacks\n",
+					i, sg.Acquisitions, sg.HoldCycles, res.Stats.ShardFallbacks[i])
+			}
+			fmt.Fprintf(os.Stderr, "  cross-shard leaks: %d\n", res.Stats.CrossShardLeaks)
 		}
 		if res.Stats.OCC != nil {
 			fmt.Fprintf(os.Stderr, "sw transactions: %d begun, %d committed, %d aborted (%d validation failures)\n",

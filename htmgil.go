@@ -24,6 +24,7 @@ import (
 	"io"
 
 	"htmgil/internal/core"
+	"htmgil/internal/db"
 	"htmgil/internal/fault"
 	"htmgil/internal/htm"
 	"htmgil/internal/npb"
@@ -130,6 +131,13 @@ func NewMachine(p *Profile, mode Mode) *Machine {
 
 // NewMachineOpts builds an interpreter with explicit options.
 func NewMachineOpts(opt Options) *Machine { return &Machine{VM: vm.New(opt)} }
+
+// InstallDatastore registers the SQLite3-flavored datastore binding
+// (internal/db) on the machine: scripts gain `$db = SQLite3.new` with
+// CREATE TABLE / CREATE KEYSPACE, indexed point lookups, UPDATE ... WHERE
+// and range SELECTs. With Options.Shards > 1 the keyspace is the unit of
+// sharded-GIL routing.
+func (m *Machine) InstallDatastore() { db.Install(m.VM) }
 
 // RunSource compiles and executes mini-Ruby source.
 func (m *Machine) RunSource(src string) (*RunResult, error) {

@@ -569,7 +569,8 @@ func (s *Session) steps() []struct {
 		{"fig7", s.buildFig7}, {"fig8", s.buildFig8}, {"fig9", s.buildFig9},
 		{"aborts", s.buildAborts}, {"overhead", s.buildOverhead}, {"ablation", s.buildAblation},
 		{"policy", s.buildPolicy}, {"hybrid", s.buildHybrid}, {"chaos", s.buildChaos},
-		{"serving", s.buildServing}, {"resilience", s.buildResilience}, {"explore", s.buildExplore},
+		{"serving", s.buildServing}, {"resilience", s.buildResilience},
+		{"datastore", s.buildDatastore}, {"explore", s.buildExplore},
 	}
 }
 

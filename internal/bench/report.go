@@ -91,6 +91,14 @@ type Report struct {
 	GaveUp              int                             `json:"gaveUp,omitempty"`
 	DeadlineExceeded    int                             `json:"deadlineExceeded,omitempty"`
 	BrownoutTransitions []resilience.BrownoutTransition `json:"brownoutTransitions,omitempty"`
+
+	// Sharded-GIL accounting (the datastore experiment, or any point run
+	// with Options.Shards > 1): the shard count, the total fallbacks routed
+	// to shard locks instead of the root, and the benign cross-shard leak
+	// counter (see DESIGN.md §13).
+	Shards          int    `json:"shards,omitempty"`
+	ShardFallbacks  uint64 `json:"shardFallbacks,omitempty"`
+	CrossShardLeaks uint64 `json:"crossShardLeaks,omitempty"`
 }
 
 // RouteLatency is the latency digest of one route class of a serving point.
@@ -187,6 +195,7 @@ func (s *Session) WriteReportsCSV(w io.Writer) error {
 		"cores", "workers", "sessions", "ratePerSec", "arrivals", "connsTotal", "connsPeak",
 		"p50", "p99", "p999", "latMax", "sloAttainment",
 		"shed", "gaveUp", "deadlineExceeded",
+		"shards", "shardFallbacks", "crossShardLeaks",
 	}); err != nil {
 		return err
 	}
@@ -236,6 +245,9 @@ func (s *Session) WriteReportsCSV(w io.Writer) error {
 			strconv.Itoa(r.Arrivals), strconv.Itoa(r.ConnsTotal), strconv.Itoa(r.ConnsPeak),
 			p50, p99, p999, latMax, slo,
 			strconv.Itoa(r.Shed), strconv.Itoa(r.GaveUp), strconv.Itoa(r.DeadlineExceeded),
+			strconv.Itoa(r.Shards),
+			strconv.FormatUint(r.ShardFallbacks, 10),
+			strconv.FormatUint(r.CrossShardLeaks, 10),
 		}); err != nil {
 			return err
 		}

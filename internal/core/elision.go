@@ -19,6 +19,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"htmgil/internal/gil"
 	"htmgil/internal/htm"
@@ -84,9 +85,24 @@ type Thread struct {
 	// structure's yield_point_counter in simulated memory.
 	ChosenLength int32
 
+	// ShardMask is the set of keyspace shards the current critical section
+	// has touched (bit s = shard s), maintained by TouchShard in sharded-GIL
+	// mode and zero otherwise. It persists across an abort into HandleAbort,
+	// where it routes single-shard fallbacks to their shard's GIL.
+	ShardMask uint64
+
 	state beginState
 	pc    int
 	lazy  bool // current section runs with lazy GIL subscription
+
+	// heldShard is the shard whose GIL this thread holds while GILMode is
+	// set (-1: the root GIL). wantShard is the lock targeted by an
+	// in-flight blocked acquisition. abortShard remembers which shard's
+	// held lock triggered the most recent explicit abort (-1: the root),
+	// so HandleAbort spins on the right lock.
+	heldShard  int
+	wantShard  int
+	abortShard int
 
 	// LastAbortCause is the cause of the most recent abort (stats).
 	LastAbortCause simmem.AbortCause
@@ -136,9 +152,26 @@ type Elision struct {
 	// the policy uses the tier (set by the VM after construction).
 	OCCRT *occ.Runtime
 
+	// Sharded, when non-nil, is the multi-GIL coordinator of the sharded
+	// keyspace mode: single-shard critical sections fall back to their
+	// shard's GIL, cross-shard ones to the root. Attached by the VM via
+	// AttachSharded; GIL remains the root lock either way.
+	Sharded *gil.Sharded
+
 	// Stats
 	Adjustments uint64 // number of length attenuations performed
 	Fallbacks   uint64 // critical sections that fell back to the GIL
+
+	// ShardFallbacks counts, per shard, the fallbacks routed to that
+	// shard's GIL (a subset of Fallbacks). Nil when unsharded.
+	ShardFallbacks []uint64
+
+	// CrossShardLeaks counts statements that, while holding one shard's
+	// GIL, touched a different shard. Leaks are benign for correctness
+	// (shard-GIL sections span a single statement; see DESIGN.md §13) but
+	// mark workloads whose static shard analysis under-approximates their
+	// footprint.
+	CrossShardLeaks uint64
 
 	// curThread is the scheduler thread id whose policy hooks are running
 	// right now (the engine is single-threaded, so one at a time); -1
@@ -179,11 +212,56 @@ func NewWithPolicy(p policy.Policy, g *gil.GIL, engine *sched.Engine) *Elision {
 // NewThread creates the TLE state for one Ruby thread bound to an HTM
 // context.
 func (e *Elision) NewThread(ctx *htm.Context) *Thread {
-	t := &Thread{HTM: ctx, PS: e.Policy.NewThread()}
+	t := &Thread{HTM: ctx, PS: e.Policy.NewThread(), heldShard: -1, wantShard: -1, abortShard: -1}
 	if e.OCCRT != nil {
 		t.OCC = e.OCCRT.NewTx(ctx.Tx.ID())
 	}
 	return t
+}
+
+// AttachSharded switches the runtime into sharded-GIL mode. s.Root must be
+// the GIL this Elision was built with.
+func (e *Elision) AttachSharded(s *gil.Sharded) {
+	if s.Root != e.GIL {
+		panic("core: AttachSharded root mismatch")
+	}
+	e.Sharded = s
+	e.ShardFallbacks = make([]uint64, len(s.Shards))
+}
+
+// TouchShard records that the current critical section touches keyspace
+// shard s. The first touch of each shard per section subscribes a hardware
+// transaction to that shard's lock word (aborting immediately when it is
+// held — the per-shard analogue of Figure 1 line 15), extends a software
+// transaction's commit-blocking set, and — under a shard GIL — counts a
+// cross-shard leak when s is not the held shard. No-op when unsharded.
+func (e *Elision) TouchShard(t *Thread, s int) {
+	if e.Sharded == nil || s < 0 || s >= len(e.Sharded.Shards) {
+		return
+	}
+	bit := uint64(1) << uint(s)
+	if t.ShardMask&bit != 0 {
+		return
+	}
+	t.ShardMask |= bit
+	switch {
+	case t.GILMode:
+		if t.heldShard >= 0 && t.heldShard != s {
+			e.CrossShardLeaks++
+		}
+	case t.OCCMode:
+		// Mask only: a held shard lock blocks the commit (TransactionEnd)
+		// and its hazard window dooms unsafe reads, like the root GIL.
+	case t.HTM.InTx():
+		if t.HTM.Tx.Doomed() {
+			return // keep the original doom cause/addr for attribution
+		}
+		w := t.HTM.Tx.Load(e.Sharded.Shards[s].Addr)
+		if w.Bits != 0 {
+			t.abortShard = s
+			t.HTM.ExplicitAbort()
+		}
+	}
 }
 
 // LengthAt returns the current transaction length for a yield point when
@@ -251,6 +329,7 @@ func (e *Elision) TransactionBegin(t *Thread, sth *sched.Thread, now int64, pc i
 		panic(fmt.Sprintf("core: TransactionBegin in state %d", t.state))
 	}
 	t.pc = pc
+	t.ShardMask = 0 // fresh section: direct-to-GIL paths must route to the root
 	e.curThread = sthID(sth)
 	if !e.Breaker.Allow(now) {
 		// Open breaker: GIL-only, and the forced fallback stays out of
@@ -292,6 +371,8 @@ func (e *Elision) TransactionBegin(t *Thread, sth *sched.Thread, now int64, pc i
 // tryBegin issues TBEGIN and, unless the section is lazy, subscribes to the
 // GIL word (lines 13-15 of Figure 1).
 func (e *Elision) tryBegin(t *Thread, sth *sched.Thread, now int64) (int64, Outcome) {
+	t.ShardMask = 0 // retry attempts re-accumulate their shard footprint
+	t.abortShard = -1
 	cycles := t.HTM.Begin(now)
 	if e.Tracer != nil {
 		ev := trace.Ev(now, trace.KindTxBegin)
@@ -323,6 +404,7 @@ func (e *Elision) beginOCC(t *Thread, sth *sched.Thread, now int64) (int64, Outc
 		// (defensive; the VM creates OCCRT for every UsesOCCTier policy).
 		return e.acquireGIL(t, sth, now, "occ-unavailable", false)
 	}
+	t.ShardMask = 0
 	cycles := t.OCC.Begin()
 	if e.Tracer != nil {
 		ev := trace.Ev(now, trace.KindOCCBegin)
@@ -343,8 +425,20 @@ func (e *Elision) beginOCC(t *Thread, sth *sched.Thread, now int64) (int64, Outc
 // entry here is one fallback, counted once even when the acquisition blocks
 // (ResumeBegin does not re-enter). record marks fallbacks that should enter
 // the circuit breaker's outcome window.
+//
+// In sharded mode a section whose aborted attempt touched exactly one
+// keyspace shard is routed to that shard's GIL, with the section forced to a
+// single yield interval (one statement) so the hold provably covers only
+// accesses the shard word serializes; everything else takes the root.
 func (e *Elision) acquireGIL(t *Thread, sth *sched.Thread, now int64, reason string, record bool) (int64, Outcome) {
 	e.Fallbacks++
+	target := -1
+	if e.Sharded != nil && t.ShardMask != 0 && t.ShardMask&(t.ShardMask-1) == 0 {
+		target = bits.TrailingZeros64(t.ShardMask)
+		t.ChosenLength = 1
+		e.ShardFallbacks[target]++
+	}
+	t.wantShard = target
 	if record {
 		e.Breaker.RecordFallback(now)
 	}
@@ -354,16 +448,31 @@ func (e *Elision) acquireGIL(t *Thread, sth *sched.Thread, now int64, reason str
 		ev.Thread = sthID(sth)
 		ev.PC = t.pc
 		ev.Note = reason
+		ev.Shard = target + 1
 		e.Tracer.Emit(ev)
 	}
-	cycles, ok := e.GIL.BlockingAcquire(sth, now)
+	cycles, ok := e.lockAcquire(t, sth, now)
 	if !ok {
 		t.state = stWaitAcquire
 		return 0, Block
 	}
 	t.state = stIdle
 	t.GILMode = true
+	t.heldShard = target
 	return cycles, Proceed
+}
+
+// lockAcquire (re)runs the fallback-lock acquisition targeted by
+// t.wantShard. ok=false means the thread parked (as a lock waiter, or on the
+// sharded gate/drain queues) and must retry from ResumeBegin when woken.
+func (e *Elision) lockAcquire(t *Thread, sth *sched.Thread, now int64) (int64, bool) {
+	if e.Sharded == nil {
+		return e.GIL.BlockingAcquire(sth, now)
+	}
+	if t.wantShard >= 0 {
+		return e.Sharded.AcquireShard(sth, t.wantShard, now)
+	}
+	return e.Sharded.AcquireRoot(sth, now)
 }
 
 // ResumeBegin continues the Figure 1 state machine after a wake-up.
@@ -380,12 +489,35 @@ func (e *Elision) ResumeBegin(t *Thread, sth *sched.Thread, now int64) (int64, O
 		// back through HandleAbort.
 		return e.tryBegin(t, sth, now)
 	case stWaitAcquire:
-		// Woken by the GIL handoff: we own the lock.
-		if !e.GIL.HeldBy(sth) {
-			panic("core: woke from gil_acquire without ownership")
+		if e.Sharded == nil {
+			// Woken by the GIL handoff: we own the lock.
+			if !e.GIL.HeldBy(sth) {
+				panic("core: woke from gil_acquire without ownership")
+			}
+			t.state = stIdle
+			t.GILMode = true
+			return 0, Proceed
+		}
+		// Sharded mode: a handoff wake owns the target lock, but a wake
+		// from the gate/drain queues owns nothing and retries (the
+		// hierarchy re-checks; see gil.Sharded).
+		lock := e.Sharded.Root
+		if t.wantShard >= 0 {
+			lock = e.Sharded.Shards[t.wantShard]
+		}
+		if !lock.HeldBy(sth) {
+			cycles, ok := e.lockAcquire(t, sth, now)
+			if !ok {
+				return 0, Block // still stWaitAcquire
+			}
+			t.state = stIdle
+			t.GILMode = true
+			t.heldShard = t.wantShard
+			return cycles, Proceed
 		}
 		t.state = stIdle
 		t.GILMode = true
+		t.heldShard = t.wantShard
 		return 0, Proceed
 	default:
 		panic(fmt.Sprintf("core: ResumeBegin in state %d", t.state))
@@ -403,14 +535,31 @@ func (e *Elision) HandleAbort(t *Thread, sth *sched.Thread, now int64) (int64, O
 	doomAddr := t.HTM.Tx.DoomAddr() // Rollback clears it; read first
 	cause, penalty := t.HTM.Abort()
 	t.LastAbortCause = cause
-	// GIL-artifact aborts — a conflict on the GIL word itself, or the
-	// Figure 1 line-15 explicit abort on finding the GIL held — are caused
+	// relevant is the lock this abort is about: in sharded mode a conflict
+	// on a shard's lock word (or an explicit abort on finding one held)
+	// points at that shard's GIL; everything else points at the root.
+	relevant := e.GIL
+	if e.Sharded != nil {
+		switch cause {
+		case simmem.CauseConflict:
+			if g := e.Sharded.ByAddr(doomAddr); g != nil {
+				relevant = g
+			}
+		case simmem.CauseExplicit:
+			if t.abortShard >= 0 {
+				relevant = e.Sharded.Shards[t.abortShard]
+			}
+		}
+	}
+	// GIL-artifact aborts — a conflict on a lock word itself, or the
+	// Figure 1 line-15 explicit abort on finding a lock held — are caused
 	// by *other* sections running under the lock, not by this section's own
 	// inability to elide. Feeding them to the breaker would make open-state
 	// GIL traffic doom every half-open probe and latch the breaker open, so
 	// only root-cause fallbacks (data conflict, capacity, spurious, ...)
 	// enter its outcome window.
 	gilArtifact := cause == simmem.CauseExplicit ||
+		(cause == simmem.CauseConflict && relevant != e.GIL) ||
 		(cause == simmem.CauseConflict && doomAddr == e.GIL.Addr)
 	if e.Tracer != nil {
 		ev := trace.Ev(now, trace.KindTxAbort)
@@ -424,12 +573,12 @@ func (e *Elision) HandleAbort(t *Thread, sth *sched.Thread, now int64) (int64, O
 		e.Tracer.Emit(ev)
 	}
 	cycles := penalty
-	d := e.Policy.OnAbort(e, t.PS, t.pc, cause, e.GIL.Acquired())
+	d := e.Policy.OnAbort(e, t.PS, t.pc, cause, relevant.Acquired())
 	switch d.Kind {
 	case policy.AbortSpinRetry:
-		// Lines 22-26 of Figure 1: park until the GIL is released, then
-		// re-begin.
-		e.GIL.WaitFree(sth)
+		// Lines 22-26 of Figure 1: park until the lock at fault is
+		// released, then re-begin.
+		relevant.WaitFree(sth)
 		t.state = stWaitRetry
 		return cycles, Block
 	case policy.AbortRetry:
@@ -474,16 +623,23 @@ func (e *Elision) handleOCCAbort(t *Thread, sth *sched.Thread, now int64) (int64
 		e.Tracer.Emit(ev)
 	}
 	cycles := penalty
+	// In sharded mode the lock blocking this software transaction may be a
+	// shard GIL from its touch mask rather than the root.
+	blocking := e.blockingGIL(t)
+	gilHeld := blocking != nil
+	if blocking == nil {
+		blocking = e.GIL
+	}
 	var d policy.AbortDecision
 	if op, ok := e.Policy.(policy.OCCPolicy); ok {
-		d = op.OnOCCAbort(e, t.PS, t.pc, cause, e.GIL.Acquired())
+		d = op.OnOCCAbort(e, t.PS, t.pc, cause, gilHeld)
 	} else {
-		d = e.Policy.OnAbort(e, t.PS, t.pc, cause, e.GIL.Acquired())
+		d = e.Policy.OnAbort(e, t.PS, t.pc, cause, gilHeld)
 	}
 	switch d.Kind {
 	case policy.AbortSpinRetry:
-		// Park until the GIL is released, then re-run in the tier.
-		e.GIL.WaitFree(sth)
+		// Park until the blocking lock is released, then re-run in the tier.
+		blocking.WaitFree(sth)
 		t.state = stWaitRetryOCC
 		return cycles, Block
 	case policy.AbortRetry, policy.AbortOCC:
@@ -505,6 +661,41 @@ func (e *Elision) handleOCCAbort(t *Thread, sth *sched.Thread, now int64) (int64
 	}
 }
 
+// ReleaseLock releases whatever fallback lock t currently holds — the root
+// GIL or, in sharded mode, t's shard GIL. Used by TransactionEnd and by
+// blocking natives that drop the lock around a wait (CRuby semantics).
+func (e *Elision) ReleaseLock(t *Thread, sth *sched.Thread, now int64) int64 {
+	if e.Sharded != nil {
+		if t.heldShard >= 0 {
+			c := e.Sharded.ReleaseShard(sth, t.heldShard, now)
+			t.heldShard = -1
+			return c
+		}
+		return e.Sharded.ReleaseRoot(sth, now)
+	}
+	return e.GIL.Release(sth, now)
+}
+
+// blockingGIL returns the lock that currently blocks t's software
+// transaction from committing: the root GIL when held, else — in sharded
+// mode — the first held shard lock in t's touch mask. nil when none.
+func (e *Elision) blockingGIL(t *Thread) *gil.GIL {
+	if e.GIL.Acquired() {
+		return e.GIL
+	}
+	if e.Sharded != nil {
+		m := t.ShardMask
+		for m != 0 {
+			s := bits.TrailingZeros64(m)
+			m &= m - 1
+			if e.Sharded.Shards[s].Acquired() {
+				return e.Sharded.Shards[s]
+			}
+		}
+	}
+	return nil
+}
+
 // TransactionEnd implements transaction_end of Figure 2. It returns the
 // cycle cost and whether the critical section committed; on false the
 // transaction failed at commit and the interpreter must roll back its
@@ -513,13 +704,14 @@ func (e *Elision) handleOCCAbort(t *Thread, sth *sched.Thread, now int64) (int64
 func (e *Elision) TransactionEnd(t *Thread, sth *sched.Thread, now int64) (int64, bool) {
 	e.curThread = sthID(sth)
 	if t.GILMode {
-		cost := e.GIL.Release(sth, now)
+		cost := e.ReleaseLock(t, sth, now)
 		t.GILMode = false
+		t.ShardMask = 0
 		return cost, true
 	}
 	if t.OCCMode {
-		if e.GIL.Acquired() {
-			// The GIL holder assumes exclusion; publishing (or even
+		if e.blockingGIL(t) != nil {
+			// A lock holder assumes exclusion; publishing (or even
 			// linearizing a read-only commit) now would race its critical
 			// section. Doom the transaction and let the abort path spin
 			// until the lock clears.
@@ -529,6 +721,7 @@ func (e *Elision) TransactionEnd(t *Thread, sth *sched.Thread, now int64) (int64
 		cycles, ok := t.OCC.Commit()
 		if ok {
 			t.OCCMode = false
+			t.ShardMask = 0
 			if op, okp := e.Policy.(policy.OCCPolicy); okp {
 				op.OnOCCCommit(e, t.PS, t.pc)
 			} else {
@@ -553,6 +746,7 @@ func (e *Elision) TransactionEnd(t *Thread, sth *sched.Thread, now int64) (int64
 	}
 	cycles, ok := t.HTM.End(now)
 	if ok {
+		t.ShardMask = 0
 		e.Policy.OnCommit(e, t.PS, t.pc)
 		e.Breaker.RecordCommit(now)
 		if e.Tracer != nil {

@@ -1,20 +1,34 @@
 // Package db is an embedded, SQLite3-flavoured table store used by the
-// Rails-like benchmark. It runs as a native extension: one DB#execute call
-// is a single native operation with no yield points inside, and its row
-// storage lives in simulated memory, so queries contribute large
-// transactional footprints — mirroring how the SQLite C extension behaved
-// under the paper's GIL elision (87% of Rails aborts were footprint
-// overflows in extension code).
+// Rails-like benchmark and the datastore workloads. It runs as a native
+// extension: one DB#execute call is a single native operation with no yield
+// points inside, and its row storage lives in simulated memory, so queries
+// contribute large transactional footprints — mirroring how the SQLite C
+// extension behaved under the paper's GIL elision (87% of Rails aborts were
+// footprint overflows in extension code).
+//
+// Two table kinds exist:
+//
+//   - Regular tables hold their rows host-side with a per-row shadow span in
+//     simulated memory plus a hashed index on the first column (bucket words
+//     in simulated memory, so index probes carry transactional footprint).
+//     Mutations update host state and must run under the GIL (restricted
+//     operations in a transaction).
+//   - Keyspace tables (CREATE KEYSPACE, see ks.go) hold a dense integer
+//     keyspace entirely in simulated memory. Every statement on them is
+//     speculative-safe: updates and deletes write through the transaction
+//     and roll back with it.
 //
 // Supported statements:
 //
 //	CREATE TABLE name (col1, col2, ...)
+//	CREATE KEYSPACE name ROWS n
 //	INSERT INTO name VALUES (v1, v2, ...)
 //	SELECT * FROM name
 //	SELECT * FROM name WHERE col = value
+//	SELECT * FROM name WHERE col >= lo AND col < hi
 //	SELECT COUNT(*) FROM name
-//	DELETE FROM name
-//	DELETE FROM name WHERE col = value
+//	UPDATE name SET col = v[, col = v ...] [WHERE ...]
+//	DELETE FROM name [WHERE ...]
 package db
 
 import (
@@ -34,45 +48,104 @@ type Value struct {
 	Str   string
 }
 
-// Table is one table: column names plus rows. Each row owns a shadow span
-// in simulated memory that queries touch when they scan it.
+// idxBuckets is the bucket count of a regular table's first-column index.
+const idxBuckets = 64
+
+// Table is one regular table: column names plus host-side rows. Each row
+// owns a shadow span in simulated memory that queries touch when they scan
+// it, and the first column is indexed (host hash map + one simulated bucket
+// word per hash bucket, touched on probe and maintenance).
 type Table struct {
 	Name    string
 	Cols    []string
 	Rows    [][]Value
-	shadows []simmem.Addr // base of each row's shadow words
+	shadows []simmem.Addr // base of each row's shadow span
+	spans   []int         // word count of each row's shadow span
+
+	index   map[string][]int // first-column value -> row indices
+	idxBase simmem.Addr      // bucket words (idxBuckets)
+	hasIdx  bool
 }
 
 // Store is a database instance.
 type Store struct {
-	Tables map[string]*Table
+	Tables  map[string]*Table
+	KTables map[string]*KTable
 }
 
 // NewStore creates an empty database.
-func NewStore() *Store { return &Store{Tables: make(map[string]*Table)} }
+func NewStore() *Store {
+	return &Store{Tables: make(map[string]*Table), KTables: make(map[string]*KTable)}
+}
+
+// SpeculativeSafe reports whether a statement may execute inside a
+// transaction without a restricted-op fallback. Reads always may. Keyspace
+// tables keep all state in simulated memory, so every verb on them is
+// speculative (writes land in the transaction's write set and roll back
+// with it). Mutations of regular tables update host-side state and must
+// not.
+func (s *Store) SpeculativeSafe(sql string) bool {
+	q := strings.TrimSpace(sql)
+	upper := upperASCII(q)
+	switch {
+	case strings.HasPrefix(upper, "SELECT"):
+		return true
+	case strings.HasPrefix(upper, "UPDATE"):
+		return s.KTables[tableName(q, "UPDATE")] != nil
+	case strings.HasPrefix(upper, "INSERT INTO"):
+		return s.KTables[tableName(q, "INTO")] != nil
+	case strings.HasPrefix(upper, "DELETE FROM"):
+		return s.KTables[tableName(q, "FROM")] != nil
+	default:
+		return false
+	}
+}
 
 // Exec parses and executes one statement. Row shadow allocation and the
 // scan touches go through the thread's accessor so they participate in
 // transactions.
 func (s *Store) Exec(t *vm.RThread, sql string) ([][]Value, []string, error) {
 	q := strings.TrimSpace(sql)
-	upper := strings.ToUpper(q)
+	upper := upperASCII(q)
 	switch {
 	case strings.HasPrefix(upper, "CREATE TABLE"):
-		return nil, nil, s.create(q)
+		return nil, nil, s.create(t, q)
+	case strings.HasPrefix(upper, "CREATE KEYSPACE"):
+		return nil, nil, s.createKeyspace(t, q)
 	case strings.HasPrefix(upper, "INSERT INTO"):
+		if k := s.KTables[tableName(q, "INTO")]; k != nil {
+			return s.ksInsert(t, k, q)
+		}
 		return nil, nil, s.insert(t, q)
 	case strings.HasPrefix(upper, "SELECT COUNT(*) FROM"):
 		name := tableName(q, "FROM")
+		if k := s.KTables[name]; k != nil {
+			return s.ksCount(t, k)
+		}
 		tab := s.Tables[name]
 		if tab == nil {
 			return nil, nil, fmt.Errorf("db: no such table %q", name)
 		}
-		s.scan(t, tab, -1, Value{})
+		s.scan(t, tab, where{col: -1})
 		return [][]Value{{{IsInt: true, Int: int64(len(tab.Rows))}}}, []string{"count"}, nil
 	case strings.HasPrefix(upper, "SELECT * FROM"):
+		if k := s.KTables[tableName(q, "FROM")]; k != nil {
+			return s.ksSelect(t, k, q)
+		}
 		return s.selectAll(t, q)
+	case strings.HasPrefix(upper, "UPDATE"):
+		if k := s.KTables[tableName(q, "UPDATE")]; k != nil {
+			return s.ksUpdate(t, k, q)
+		}
+		n, err := s.updateRows(t, q)
+		if err != nil {
+			return nil, nil, err
+		}
+		return [][]Value{{{IsInt: true, Int: int64(n)}}}, []string{"updated"}, nil
 	case strings.HasPrefix(upper, "DELETE FROM"):
+		if k := s.KTables[tableName(q, "FROM")]; k != nil {
+			return s.ksDelete(t, k, q)
+		}
 		n, err := s.deleteRows(t, q)
 		if err != nil {
 			return nil, nil, err
@@ -83,8 +156,27 @@ func (s *Store) Exec(t *vm.RThread, sql string) ([][]Value, []string, error) {
 	}
 }
 
+// upperASCII uppercases ASCII letters only. Unlike strings.ToUpper it
+// never changes the byte length (invalid UTF-8 sequences stay put instead
+// of becoming replacement runes), so indexes found in its result are valid
+// in the original string.
+func upperASCII(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'a' && c <= 'z' {
+			b[i] = c - 'a' + 'A'
+		}
+	}
+	return string(b)
+}
+
+// tableName extracts the identifier following the keyword `after`. Returns
+// "" when the keyword is absent or nothing follows it.
 func tableName(q, after string) string {
-	idx := strings.Index(strings.ToUpper(q), after)
+	idx := strings.Index(upperASCII(q), after)
+	if idx < 0 {
+		return ""
+	}
 	rest := strings.TrimSpace(q[idx+len(after):])
 	end := strings.IndexAny(rest, " (")
 	if end < 0 {
@@ -93,8 +185,11 @@ func tableName(q, after string) string {
 	return rest[:end]
 }
 
-func (s *Store) create(q string) error {
+func (s *Store) create(t *vm.RThread, q string) error {
 	name := tableName(q, "TABLE")
+	if name == "" {
+		return fmt.Errorf("db: bad CREATE TABLE syntax")
+	}
 	open := strings.Index(q, "(")
 	closeP := strings.LastIndex(q, ")")
 	if open < 0 || closeP < open {
@@ -102,9 +197,26 @@ func (s *Store) create(q string) error {
 	}
 	var cols []string
 	for _, c := range strings.Split(q[open+1:closeP], ",") {
-		cols = append(cols, strings.TrimSpace(strings.Fields(strings.TrimSpace(c))[0]))
+		fields := strings.Fields(strings.TrimSpace(c))
+		if len(fields) == 0 {
+			return fmt.Errorf("db: empty column name in CREATE TABLE")
+		}
+		cols = append(cols, fields[0])
 	}
-	s.Tables[name] = &Table{Name: name, Cols: cols}
+	if len(cols) == 0 {
+		return fmt.Errorf("db: CREATE TABLE with no columns")
+	}
+	idxBase, err := t.AllocShadow(idxBuckets)
+	if err != nil {
+		return err
+	}
+	s.Tables[name] = &Table{
+		Name:    name,
+		Cols:    cols,
+		index:   make(map[string][]int),
+		idxBase: idxBase,
+		hasIdx:  true,
+	}
 	return nil
 }
 
@@ -118,6 +230,59 @@ func parseValue(tok string) Value {
 		return Value{IsInt: true, Int: n}
 	}
 	return Value{Str: tok}
+}
+
+// valKey canonicalizes a value for index lookup.
+func valKey(v Value) string {
+	if v.IsInt {
+		return "i:" + strconv.FormatInt(v.Int, 10)
+	}
+	return "s:" + v.Str
+}
+
+// bucketOf hashes a value into the regular-table index bucket range.
+func bucketOf(v Value) int {
+	var h uint64 = 0x9e3779b97f4a7c15
+	for _, b := range []byte(valKey(v)) {
+		h = mix64(h + uint64(b))
+	}
+	return int(h % idxBuckets)
+}
+
+// touchBucket touches a value's index bucket word: read on probe, write on
+// maintenance. Probes therefore subscribe to the bucket line, and any index
+// mutation of the same bucket dooms them — the index stays transactionally
+// consistent with the rows it points at.
+func (tab *Table) touchBucket(t *vm.RThread, v Value, write bool) {
+	if !tab.hasIdx {
+		return
+	}
+	a := tab.idxBase + simmem.Addr(bucketOf(v)*simmem.WordBytes)
+	if write {
+		t.TouchWrite(a, simmem.Word{Bits: t.TouchRead(a).Bits + 1})
+	} else {
+		t.TouchRead(a)
+	}
+}
+
+// rebuildIndex recomputes the host index after row indices shifted.
+func (tab *Table) rebuildIndex() {
+	if !tab.hasIdx {
+		return
+	}
+	tab.index = make(map[string][]int, len(tab.Rows))
+	for ri, row := range tab.Rows {
+		k := valKey(row[0])
+		tab.index[k] = append(tab.index[k], ri)
+	}
+}
+
+func rowWords(row []Value) int {
+	words := 0
+	for _, v := range row {
+		words += 1 + len(v.Str)/simmem.WordBytes
+	}
+	return words
 }
 
 func (s *Store) insert(t *vm.RThread, q string) error {
@@ -139,10 +304,7 @@ func (s *Store) insert(t *vm.RThread, q string) error {
 		return fmt.Errorf("db: %d values for %d columns", len(row), len(tab.Cols))
 	}
 	// Shadow storage: one word per cell plus string payload words.
-	words := 0
-	for _, v := range row {
-		words += 1 + len(v.Str)/simmem.WordBytes
-	}
+	words := rowWords(row)
 	base, err := t.AllocShadow(words)
 	if err != nil {
 		return err
@@ -150,8 +312,15 @@ func (s *Store) insert(t *vm.RThread, q string) error {
 	for i := 0; i < words; i++ {
 		t.TouchWrite(base+simmem.Addr(i*simmem.WordBytes), simmem.Word{Bits: uint64(i) + 1})
 	}
+	ri := len(tab.Rows)
 	tab.Rows = append(tab.Rows, row)
 	tab.shadows = append(tab.shadows, base)
+	tab.spans = append(tab.spans, words)
+	if tab.hasIdx {
+		k := valKey(row[0])
+		tab.index[k] = append(tab.index[k], ri)
+		tab.touchBucket(t, row[0], true)
+	}
 	return nil
 }
 
@@ -175,53 +344,138 @@ func splitCSV(s string) []string {
 	return out
 }
 
-// scan touches every row's shadow words (col < 0 scans everything).
-func (s *Store) scan(t *vm.RThread, tab *Table, col int, want Value) []int {
+// where is a parsed WHERE clause: match-all (col -1), a point predicate
+// (col = val), or a half-open integer range (col >= lo AND col < hi).
+type where struct {
+	col     int
+	isRange bool
+	val     Value
+	lo, hi  int64
+}
+
+// match reports whether a row satisfies the clause.
+func (w where) match(row []Value) bool {
+	if w.col < 0 {
+		return true
+	}
+	v := row[w.col]
+	if w.isRange {
+		return v.IsInt && v.Int >= w.lo && v.Int < w.hi
+	}
+	return v.IsInt == w.val.IsInt && v.Int == w.val.Int && v.Str == w.val.Str
+}
+
+// colIndex resolves a column name, -1 when unknown.
+func colIndex(cols []string, name string) int {
+	for i, c := range cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// splitCmp splits "col <op> value", requiring exactly the given operator.
+func splitCmp(expr, op string) (string, Value, error) {
+	i := strings.Index(expr, op)
+	if i < 0 {
+		return "", Value{}, fmt.Errorf("db: expected %q in %q", op, expr)
+	}
+	name := strings.TrimSpace(expr[:i])
+	if name == "" {
+		return "", Value{}, fmt.Errorf("db: missing column name in %q", expr)
+	}
+	return name, parseValue(expr[i+len(op):]), nil
+}
+
+// parseWhereCols parses the optional WHERE clause of q against a column
+// list. Supported forms: `col = value` and `col >= lo AND col < hi` (both
+// bounds integers, one column).
+func parseWhereCols(cols []string, q string) (where, error) {
+	w := where{col: -1}
+	upper := upperASCII(q)
+	wi := strings.Index(upper, "WHERE")
+	if wi < 0 {
+		return w, nil
+	}
+	cond := strings.TrimSpace(q[wi+5:])
+	if cond == "" {
+		return w, fmt.Errorf("db: empty WHERE clause")
+	}
+	if ai := strings.Index(upperASCII(cond), " AND "); ai >= 0 {
+		left, right := cond[:ai], cond[ai+5:]
+		lname, lv, err := splitCmp(left, ">=")
+		if err != nil {
+			return w, err
+		}
+		rname, rv, err := splitCmp(right, "<")
+		if err != nil {
+			return w, err
+		}
+		if lname != rname {
+			return w, fmt.Errorf("db: range bounds on different columns %q and %q", lname, rname)
+		}
+		if !lv.IsInt || !rv.IsInt {
+			return w, fmt.Errorf("db: range bounds must be integers")
+		}
+		col := colIndex(cols, lname)
+		if col < 0 {
+			return w, fmt.Errorf("db: no column %q", lname)
+		}
+		return where{col: col, isRange: true, lo: lv.Int, hi: rv.Int}, nil
+	}
+	parts := strings.SplitN(cond, "=", 2)
+	if len(parts) != 2 {
+		return w, fmt.Errorf("db: bad WHERE clause %q", cond)
+	}
+	cname := strings.TrimSpace(parts[0])
+	// A lone `>=`/`<=`/`!=` comparison splits at its `=`; reject the
+	// dangling operator instead of treating it as part of the column name.
+	if strings.ContainsAny(cname, "<>!") {
+		return w, fmt.Errorf("db: unsupported comparison in WHERE clause %q", cond)
+	}
+	col := colIndex(cols, cname)
+	if col < 0 {
+		return w, fmt.Errorf("db: no column %q", cname)
+	}
+	return where{col: col, val: parseValue(parts[1])}, nil
+}
+
+// parseWhere resolves an optional WHERE clause against tab's columns.
+func parseWhere(tab *Table, q string) (where, error) {
+	return parseWhereCols(tab.Cols, q)
+}
+
+// scan returns the indices of rows matching w, touching the shadow span of
+// every row it inspects. Point predicates on the indexed first column probe
+// the index instead (touching the bucket word plus only the candidate
+// rows' spans) — the indexed point lookup of a real store.
+func (s *Store) scan(t *vm.RThread, tab *Table, w where) []int {
+	if !w.isRange && w.col == 0 && tab.hasIdx {
+		tab.touchBucket(t, w.val, false)
+		var hits []int
+		for _, ri := range tab.index[valKey(w.val)] {
+			base := tab.shadows[ri]
+			for i := 0; i < tab.spans[ri]; i++ {
+				t.TouchRead(base + simmem.Addr(i*simmem.WordBytes))
+			}
+			if w.match(tab.Rows[ri]) {
+				hits = append(hits, ri)
+			}
+		}
+		return hits
+	}
 	var hits []int
 	for ri, row := range tab.Rows {
-		words := 0
-		for _, v := range row {
-			words += 1 + len(v.Str)/simmem.WordBytes
-		}
 		base := tab.shadows[ri]
-		for i := 0; i < words; i++ {
+		for i := 0; i < tab.spans[ri]; i++ {
 			t.TouchRead(base + simmem.Addr(i*simmem.WordBytes))
 		}
-		if col < 0 {
-			hits = append(hits, ri)
-			continue
-		}
-		v := row[col]
-		if v.IsInt == want.IsInt && v.Int == want.Int && v.Str == want.Str {
+		if w.match(row) {
 			hits = append(hits, ri)
 		}
 	}
 	return hits
-}
-
-// parseWhere resolves an optional WHERE clause against tab's columns.
-// Without one it returns col -1 (match everything).
-func parseWhere(tab *Table, q string) (int, Value, error) {
-	wi := strings.Index(strings.ToUpper(q), "WHERE")
-	if wi < 0 {
-		return -1, Value{}, nil
-	}
-	cond := strings.TrimSpace(q[wi+5:])
-	parts := strings.SplitN(cond, "=", 2)
-	if len(parts) != 2 {
-		return 0, Value{}, fmt.Errorf("db: bad WHERE clause %q", cond)
-	}
-	cname := strings.TrimSpace(parts[0])
-	col := -1
-	for i, c := range tab.Cols {
-		if c == cname {
-			col = i
-		}
-	}
-	if col < 0 {
-		return 0, Value{}, fmt.Errorf("db: no column %q", cname)
-	}
-	return col, parseValue(parts[1]), nil
 }
 
 func (s *Store) selectAll(t *vm.RThread, q string) ([][]Value, []string, error) {
@@ -230,15 +484,90 @@ func (s *Store) selectAll(t *vm.RThread, q string) ([][]Value, []string, error) 
 	if tab == nil {
 		return nil, nil, fmt.Errorf("db: no such table %q", name)
 	}
-	col, want, err := parseWhere(tab, q)
+	w, err := parseWhere(tab, q)
 	if err != nil {
 		return nil, nil, err
 	}
 	var rows [][]Value
-	for _, ri := range s.scan(t, tab, col, want) {
+	for _, ri := range s.scan(t, tab, w) {
 		rows = append(rows, tab.Rows[ri])
 	}
 	return rows, tab.Cols, nil
+}
+
+// updateRows applies `UPDATE name SET col = v[, ...] [WHERE ...]` to a
+// regular table: host row values change and each updated row's shadow span
+// is rewritten. Callers must be outside any transaction (the Install gate
+// makes regular-table mutations restricted operations).
+func (s *Store) updateRows(t *vm.RThread, q string) (int, error) {
+	name := tableName(q, "UPDATE")
+	tab := s.Tables[name]
+	if tab == nil {
+		return 0, fmt.Errorf("db: no such table %q", name)
+	}
+	upper := upperASCII(q)
+	si := strings.Index(upper, " SET ")
+	if si < 0 {
+		return 0, fmt.Errorf("db: UPDATE without SET")
+	}
+	setPart := q[si+5:]
+	if wi := strings.Index(upperASCII(setPart), "WHERE"); wi >= 0 {
+		setPart = setPart[:wi]
+	}
+	type assign struct {
+		col int
+		val Value
+	}
+	var assigns []assign
+	for _, a := range splitCSV(setPart) {
+		cname, v, err := splitCmp(a, "=")
+		if err != nil {
+			return 0, fmt.Errorf("db: bad SET clause %q", strings.TrimSpace(a))
+		}
+		col := colIndex(tab.Cols, cname)
+		if col < 0 {
+			return 0, fmt.Errorf("db: no column %q", cname)
+		}
+		assigns = append(assigns, assign{col, v})
+	}
+	if len(assigns) == 0 {
+		return 0, fmt.Errorf("db: empty SET clause")
+	}
+	w, err := parseWhere(tab, q)
+	if err != nil {
+		return 0, err
+	}
+	hits := s.scan(t, tab, w)
+	touchedIdx := false
+	for _, ri := range hits {
+		for _, a := range assigns {
+			if a.col == 0 && tab.hasIdx {
+				tab.touchBucket(t, tab.Rows[ri][0], true)
+				tab.touchBucket(t, a.val, true)
+				touchedIdx = true
+			}
+			tab.Rows[ri][a.col] = a.val
+		}
+		// Rewrite the row's shadow span; a row grown past its span gets a
+		// fresh one (the old span is abandoned like a reclaimed page).
+		words := rowWords(tab.Rows[ri])
+		if words > tab.spans[ri] {
+			base, aerr := t.AllocShadow(words)
+			if aerr != nil {
+				return 0, aerr
+			}
+			tab.shadows[ri] = base
+			tab.spans[ri] = words
+		}
+		base := tab.shadows[ri]
+		for i := 0; i < tab.spans[ri]; i++ {
+			t.TouchWrite(base+simmem.Addr(i*simmem.WordBytes), simmem.Word{Bits: uint64(i) + 1})
+		}
+	}
+	if touchedIdx {
+		tab.rebuildIndex()
+	}
+	return len(hits), nil
 }
 
 // deleteRows removes every row matching the optional WHERE clause and
@@ -251,29 +580,37 @@ func (s *Store) deleteRows(t *vm.RThread, q string) (int, error) {
 	if tab == nil {
 		return 0, fmt.Errorf("db: no such table %q", name)
 	}
-	col, want, err := parseWhere(tab, q)
+	w, err := parseWhere(tab, q)
 	if err != nil {
 		return 0, err
 	}
-	hits := s.scan(t, tab, col, want)
+	hits := s.scan(t, tab, w)
 	if len(hits) == 0 {
 		return 0, nil
 	}
 	doomed := make(map[int]bool, len(hits))
 	for _, ri := range hits {
 		doomed[ri] = true
+		if tab.hasIdx {
+			// Invalidate concurrent probers of the vanishing key's bucket.
+			tab.touchBucket(t, tab.Rows[ri][0], true)
+		}
 	}
 	keptRows := tab.Rows[:0]
 	keptShadows := tab.shadows[:0]
+	keptSpans := tab.spans[:0]
 	for ri, row := range tab.Rows {
 		if doomed[ri] {
 			continue
 		}
 		keptRows = append(keptRows, row)
 		keptShadows = append(keptShadows, tab.shadows[ri])
+		keptSpans = append(keptSpans, tab.spans[ri])
 	}
 	tab.Rows = keptRows
 	tab.shadows = keptShadows
+	tab.spans = keptSpans
+	tab.rebuildIndex()
 	return len(hits), nil
 }
 
@@ -296,15 +633,17 @@ func Install(machine *vm.VM) {
 			return object.Nil, fmt.Errorf("SQLite3#execute expects a String")
 		}
 		store := self.Ref.Native.(*Store)
-		upper := strings.ToUpper(strings.TrimSpace(args[0].Ref.Str))
-		if t.InTx() && !strings.HasPrefix(upper, "SELECT") {
-			// Mutating statements update host-side table state that cannot
-			// be rolled back speculatively: run them under the GIL, as the
-			// real SQLite extension's write path effectively did.
+		sql := args[0].Ref.Str
+		if t.InTx() && !store.SpeculativeSafe(sql) {
+			// Statements that mutate host-side table state cannot be rolled
+			// back speculatively: run them under the GIL, as the real SQLite
+			// extension's write path effectively did. Keyspace-table
+			// statements never take this path — their state lives entirely
+			// in simulated memory.
 			t.RestrictedOp()
 			return object.Nil, vm.ErrRedo()
 		}
-		rows, _, err := store.Exec(t, args[0].Ref.Str)
+		rows, _, err := store.Exec(t, sql)
 		if err != nil {
 			return object.Nil, err
 		}

@@ -1,0 +1,85 @@
+package db
+
+import (
+	"testing"
+
+	"htmgil/internal/htm"
+	"htmgil/internal/vm"
+)
+
+// FuzzExec throws arbitrary statements at a pre-populated store. Any input
+// may be rejected with an error, but none may panic the parser or walk an
+// executor out of bounds.
+func FuzzExec(f *testing.F) {
+	for _, seed := range []string{
+		"CREATE TABLE books (id, title, author)",
+		"CREATE TABLE broken",
+		"CREATE TABLE t ()",
+		"CREATE TABLE t (, ,)",
+		"CREATE KEYSPACE kv ROWS 100",
+		"CREATE KEYSPACE kv ROWS",
+		"CREATE KEYSPACE",
+		"CREATE KEYSPACE z ROWS -3",
+		"CREATE KEYSPACE z ROWS 99999999999999999999",
+		"INSERT INTO books VALUES (1, 'Dune', 'Herbert')",
+		"INSERT INTO t VALUES ('x, y', 2)",
+		"INSERT INTO kv VALUES (1, 2)",
+		"INSERT INTO kv VALUES (1)",
+		"INSERT INTO kv VALUES",
+		"INSERT INTO",
+		"SELECT * FROM books",
+		"SELECT * FROM books WHERE author = 'Lem'",
+		"SELECT * FROM books WHERE id = 2",
+		"SELECT * FROM kv WHERE key >= 10 AND key < 20",
+		"SELECT * FROM kv WHERE key >= 20 AND key < 10",
+		"SELECT * FROM kv WHERE key >= -9223372036854775808 AND key < 9223372036854775807",
+		"SELECT * FROM kv WHERE",
+		"SELECT * FROM kv WHERE key >= x AND key < y",
+		"SELECT * FROM kv WHERE key >= 1 AND val < 2",
+		"SELECT COUNT(*) FROM kv",
+		"SELECT COUNT(*) FROM",
+		"UPDATE kv SET val = 3 WHERE key = 1",
+		"UPDATE kv SET val = 3 WHERE key >= 1 AND key < 5",
+		"UPDATE kv SET",
+		"UPDATE kv SET val",
+		"UPDATE kv SET val = ",
+		"UPDATE books SET title = 'X' WHERE id = 1",
+		"UPDATE books SET title = 'X', author = 'Y'",
+		"UPDATE",
+		"DELETE FROM kv WHERE key = 1",
+		"DELETE FROM kv WHERE key >= 0 AND key < 100",
+		"DELETE FROM books WHERE id >= 1 AND id < 2",
+		"DELETE FROM",
+		"DROP TABLE books",
+		"",
+		" ",
+		"WHERE",
+		"SELECT * FROM kv WHERE key = 99999999999999999999",
+	} {
+		f.Add(seed)
+	}
+	opt := vm.DefaultOptions(htm.ZEC12(), vm.ModeGIL)
+	machine := vm.New(opt)
+	f.Fuzz(func(t *testing.T, sql string) {
+		// Oversize inputs only slow the fuzzer down; the parser sees the
+		// same shapes at 4 KiB as at 4 MiB.
+		if len(sql) > 4096 {
+			t.Skip()
+		}
+		th := machine.SetupThread()
+		s := NewStore()
+		if _, _, err := s.Exec(th, "CREATE TABLE t (id, name)"); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.Exec(th, "INSERT INTO t VALUES (1, 'one')"); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.Exec(th, "CREATE KEYSPACE kv ROWS 64"); err != nil {
+			t.Fatal(err)
+		}
+		s.Exec(th, sql) // must not panic
+		s.Exec(th, sql) // repeating must not corrupt the store
+		s.Exec(th, "SELECT COUNT(*) FROM t")
+		s.Exec(th, "SELECT COUNT(*) FROM kv")
+	})
+}

@@ -1,0 +1,397 @@
+// Keyspace tables: dense integer keyspaces living entirely in simulated
+// memory, sized for the YCSB/TPC-C datastore workloads (millions of keys).
+//
+// A keyspace table has two implicit columns, key and val. Keys are dense
+// integers 0..N-1; CREATE KEYSPACE bulk-loads all N rows at val 0 for free
+// because simmem materializes lines lazily as zeros. Each row owns a
+// 256-byte stride (its own cache line on the zEC12-like profiles) of which
+// 8 words are active: word 0 holds the row's generation — the stored val,
+// with ^0 as the tombstone — and words 1..7 hold payload words derived from
+// (key, val) so that readers can detect torn rows. A point lookup probes a
+// read-only index bucket region first, so index probes carry transactional
+// footprint like the regular-table index.
+//
+// Because every byte of keyspace state lives in simulated memory, every
+// verb — including UPDATE, DELETE, and INSERT — executes speculatively:
+// writes land in the transaction's write set and roll back with it. This is
+// what lets datastore mutations ride the HTM/OCC tiers instead of falling
+// back to the GIL, and what gives range scans and TPC-C row groups
+// footprints big enough to overflow HTM capacity.
+//
+// Sharding: a point statement subscribes the section to ShardOf(key, n)
+// before touching the row, so single-shard sections may fall back to that
+// shard's GIL. Range scans and counts touch every shard and therefore
+// always fall back to the root GIL.
+package db
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"htmgil/internal/simmem"
+	"htmgil/internal/vm"
+)
+
+const (
+	// ksRowStrideWords spaces rows one 256-byte line apart so two keys
+	// never share a conflict-detection granule.
+	ksRowStrideWords = 32
+	// ksRowActiveWords is the span read/written per row operation: the
+	// generation word plus seven payload words.
+	ksRowActiveWords = 8
+	// ksIdxBuckets is the size of the read-only probe region.
+	ksIdxBuckets = 4096
+	// ksTombstone in the generation word marks a deleted row.
+	ksTombstone = ^uint64(0)
+	// ksMaxRows bounds a keyspace so a full scan stays finite.
+	ksMaxRows = 1 << 24
+)
+
+// KTable is one keyspace table.
+type KTable struct {
+	Name string
+	N    int64       // keys 0..N-1
+	base simmem.Addr // row region: N * ksRowStrideWords words
+	idx  simmem.Addr // index bucket region: ksIdxBuckets words
+}
+
+// mix64 is the splitmix64 finalizer; it drives the shard map, the index
+// hash, and row payload generation.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// ShardOf maps a key onto one of n shards. The workload driver and the
+// property tests use the same mapping, so it is exported and must stay
+// stable: a splitmix64 finalizer over the key, reduced mod n.
+func ShardOf(key int64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(mix64(uint64(key)+0x9e3779b97f4a7c15) % uint64(n))
+}
+
+// payloadWord is the expected value of payload word j (1..7) of a row
+// whose generation word holds g. Generation 0 pairs with all-zero payloads
+// so freshly materialized (lazily zeroed) rows read as consistent.
+func payloadWord(key int64, g uint64, j int) uint64 {
+	if g == 0 {
+		return 0
+	}
+	return mix64(uint64(key)*0x9e3779b97f4a7c15 + g + uint64(j)<<32)
+}
+
+func (k *KTable) rowBase(key int64) simmem.Addr {
+	return k.base + simmem.Addr(key*ksRowStrideWords*simmem.WordBytes)
+}
+
+// touchKeyShard subscribes the section to the key's shard before any row
+// or index touch — the ordering matters: in sharded mode a section must
+// learn it conflicts with a held shard GIL before reading data that shard
+// lock protects.
+func touchKeyShard(t *vm.RThread, key int64) {
+	t.TouchShard(ShardOf(key, t.ShardCount()))
+}
+
+// touchAllShards pins a whole-keyspace operation to every shard, which
+// forces any GIL fallback onto the root GIL.
+func touchAllShards(t *vm.RThread) {
+	for s := 0; s < t.ShardCount(); s++ {
+		t.TouchShard(s)
+	}
+}
+
+// probe touches the key's index bucket word, giving point lookups the
+// read footprint of an index probe.
+func (k *KTable) probe(t *vm.RThread, key int64) {
+	b := mix64(uint64(key)) % ksIdxBuckets
+	t.TouchRead(k.idx + simmem.Addr(b*simmem.WordBytes))
+}
+
+// readRow reads the row's active span and returns the generation plus
+// whether the payload words are consistent with it.
+func (k *KTable) readRow(t *vm.RThread, key int64) (g uint64, consistent bool) {
+	base := k.rowBase(key)
+	g = t.TouchRead(base).Bits
+	consistent = true
+	for j := 1; j < ksRowActiveWords; j++ {
+		w := t.TouchRead(base + simmem.Addr(j*simmem.WordBytes))
+		if g != ksTombstone && w.Bits != payloadWord(key, g, j) {
+			consistent = false
+		}
+	}
+	return g, consistent
+}
+
+// writeRow rewrites the row's active span for generation g.
+func (k *KTable) writeRow(t *vm.RThread, key int64, g uint64) {
+	base := k.rowBase(key)
+	t.TouchWrite(base, simmem.Word{Bits: g})
+	for j := 1; j < ksRowActiveWords; j++ {
+		t.TouchWrite(base+simmem.Addr(j*simmem.WordBytes), simmem.Word{Bits: payloadWord(key, g, j)})
+	}
+}
+
+// tornRow handles an inconsistent row read. Inside a transaction the read
+// may be garbage from a doomed speculation — never surface it as an error;
+// doom the transaction and redo the statement, where a consistent re-read
+// (or the GIL fallback) decides for real. Outside a transaction a torn row
+// is a genuine atomicity violation: the store doubles as its own oracle.
+func tornRow(t *vm.RThread, k *KTable, key int64) error {
+	if t.InTx() {
+		t.RestrictedOp()
+		return vm.ErrRedo()
+	}
+	return fmt.Errorf("db: torn row %d in keyspace %q", key, k.Name)
+}
+
+// createKeyspace handles `CREATE KEYSPACE name ROWS n`.
+func (s *Store) createKeyspace(t *vm.RThread, q string) error {
+	f := strings.Fields(q)
+	if len(f) != 5 || !strings.EqualFold(f[3], "ROWS") {
+		return fmt.Errorf("db: bad CREATE KEYSPACE syntax (want CREATE KEYSPACE name ROWS n)")
+	}
+	name := f[2]
+	n, err := strconv.ParseInt(f[4], 10, 64)
+	if err != nil || n <= 0 {
+		return fmt.Errorf("db: bad keyspace size %q", f[4])
+	}
+	if n > ksMaxRows {
+		return fmt.Errorf("db: keyspace size %d exceeds %d", n, ksMaxRows)
+	}
+	if s.Tables[name] != nil || s.KTables[name] != nil {
+		return fmt.Errorf("db: table %q already exists", name)
+	}
+	k := &KTable{Name: name, N: n}
+	k.base = t.ReserveShadow("db:"+name, int(n)*ksRowStrideWords*simmem.WordBytes)
+	k.idx = t.ReserveShadow("db:"+name+":idx", ksIdxBuckets*simmem.WordBytes)
+	s.KTables[name] = k
+	return nil
+}
+
+// ksCols are the implicit columns of every keyspace table.
+var ksCols = []string{"key", "val"}
+
+// ksClampRange clamps a parsed range onto the keyspace.
+func (k *KTable) clamp(lo, hi int64) (int64, int64) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > k.N {
+		hi = k.N
+	}
+	return lo, hi
+}
+
+// ksSelect handles SELECT * on a keyspace: a point lookup via the index, a
+// half-open range scan, a val-match scan, or a full scan.
+func (s *Store) ksSelect(t *vm.RThread, k *KTable, q string) ([][]Value, []string, error) {
+	w, err := parseWhereCols(ksCols, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	if w.col == 0 && !w.isRange {
+		// Point lookup.
+		if !w.val.IsInt {
+			return nil, nil, fmt.Errorf("db: keyspace key must be an integer")
+		}
+		key := w.val.Int
+		if key < 0 || key >= k.N {
+			return nil, ksCols, nil
+		}
+		touchKeyShard(t, key)
+		k.probe(t, key)
+		g, ok := k.readRow(t, key)
+		if !ok {
+			return nil, nil, tornRow(t, k, key)
+		}
+		if g == ksTombstone {
+			return nil, ksCols, nil
+		}
+		return [][]Value{{{IsInt: true, Int: key}, {IsInt: true, Int: int64(g)}}}, ksCols, nil
+	}
+	// Range or full scan (including WHERE val = v): touches every shard.
+	lo, hi := int64(0), k.N
+	if w.isRange && w.col == 0 {
+		lo, hi = k.clamp(w.lo, w.hi)
+	}
+	touchAllShards(t)
+	var rows [][]Value
+	for key := lo; key < hi; key++ {
+		g, ok := k.readRow(t, key)
+		if !ok {
+			return nil, nil, tornRow(t, k, key)
+		}
+		if g == ksTombstone {
+			continue
+		}
+		row := []Value{{IsInt: true, Int: key}, {IsInt: true, Int: int64(g)}}
+		if w.match(row) {
+			rows = append(rows, row)
+		}
+	}
+	return rows, ksCols, nil
+}
+
+// ksCount counts live rows, reading every generation word.
+func (s *Store) ksCount(t *vm.RThread, k *KTable) ([][]Value, []string, error) {
+	touchAllShards(t)
+	var n int64
+	for key := int64(0); key < k.N; key++ {
+		if t.TouchRead(k.rowBase(key)).Bits != ksTombstone {
+			n++
+		}
+	}
+	return [][]Value{{{IsInt: true, Int: n}}}, []string{"count"}, nil
+}
+
+// ksUpdate handles `UPDATE ks SET val = v [WHERE ...]`: matching live rows
+// get their whole active span rewritten for the new generation. Updates of
+// deleted (tombstoned) rows match nothing.
+func (s *Store) ksUpdate(t *vm.RThread, k *KTable, q string) ([][]Value, []string, error) {
+	upper := upperASCII(q)
+	si := strings.Index(upper, " SET ")
+	if si < 0 {
+		return nil, nil, fmt.Errorf("db: UPDATE without SET")
+	}
+	setPart := q[si+5:]
+	if wi := strings.Index(upperASCII(setPart), "WHERE"); wi >= 0 {
+		setPart = setPart[:wi]
+	}
+	cname, v, err := splitCmp(setPart, "=")
+	if err != nil || !strings.EqualFold(cname, "val") || !v.IsInt || v.Int < 0 {
+		return nil, nil, fmt.Errorf("db: keyspace UPDATE must be SET val = <nonnegative int>")
+	}
+	g := uint64(v.Int)
+	w, err := parseWhereCols(ksCols, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	var updated int64
+	if w.col == 0 && !w.isRange {
+		if !w.val.IsInt {
+			return nil, nil, fmt.Errorf("db: keyspace key must be an integer")
+		}
+		key := w.val.Int
+		if key >= 0 && key < k.N {
+			touchKeyShard(t, key)
+			k.probe(t, key)
+			old, ok := k.readRow(t, key)
+			if !ok {
+				return nil, nil, tornRow(t, k, key)
+			}
+			if old != ksTombstone {
+				k.writeRow(t, key, g)
+				updated++
+			}
+		}
+	} else {
+		lo, hi := int64(0), k.N
+		if w.isRange && w.col == 0 {
+			lo, hi = k.clamp(w.lo, w.hi)
+		}
+		touchAllShards(t)
+		for key := lo; key < hi; key++ {
+			old, ok := k.readRow(t, key)
+			if !ok {
+				return nil, nil, tornRow(t, k, key)
+			}
+			row := []Value{{IsInt: true, Int: key}, {IsInt: true, Int: int64(old)}}
+			if old == ksTombstone || !w.match(row) {
+				continue
+			}
+			k.writeRow(t, key, g)
+			updated++
+		}
+	}
+	return [][]Value{{{IsInt: true, Int: updated}}}, []string{"updated"}, nil
+}
+
+// ksDelete tombstones matching live rows (one generation-word write each).
+func (s *Store) ksDelete(t *vm.RThread, k *KTable, q string) ([][]Value, []string, error) {
+	w, err := parseWhereCols(ksCols, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	var deleted int64
+	if w.col == 0 && !w.isRange {
+		if !w.val.IsInt {
+			return nil, nil, fmt.Errorf("db: keyspace key must be an integer")
+		}
+		key := w.val.Int
+		if key >= 0 && key < k.N {
+			touchKeyShard(t, key)
+			k.probe(t, key)
+			g, ok := k.readRow(t, key)
+			if !ok {
+				return nil, nil, tornRow(t, k, key)
+			}
+			if g != ksTombstone {
+				t.TouchWrite(k.rowBase(key), simmem.Word{Bits: ksTombstone})
+				deleted++
+			}
+		}
+	} else {
+		lo, hi := int64(0), k.N
+		if w.isRange && w.col == 0 {
+			lo, hi = k.clamp(w.lo, w.hi)
+		}
+		touchAllShards(t)
+		for key := lo; key < hi; key++ {
+			g, ok := k.readRow(t, key)
+			if !ok {
+				return nil, nil, tornRow(t, k, key)
+			}
+			row := []Value{{IsInt: true, Int: key}, {IsInt: true, Int: int64(g)}}
+			if g == ksTombstone || !w.match(row) {
+				continue
+			}
+			t.TouchWrite(k.rowBase(key), simmem.Word{Bits: ksTombstone})
+			deleted++
+		}
+	}
+	return [][]Value{{{IsInt: true, Int: deleted}}}, []string{"deleted"}, nil
+}
+
+// ksInsert handles `INSERT INTO ks VALUES (key, val)`. Only tombstoned
+// rows accept an insert (the keyspace is dense and bulk-loaded at create).
+// Inserting over a live row inserts nothing and reports 0 — erroring here
+// would let a doomed speculation fabricate a fatal duplicate-key error
+// from a stale read.
+func (s *Store) ksInsert(t *vm.RThread, k *KTable, q string) ([][]Value, []string, error) {
+	open := strings.Index(q, "(")
+	closeP := strings.LastIndex(q, ")")
+	if open < 0 || closeP < open {
+		return nil, nil, fmt.Errorf("db: bad INSERT syntax")
+	}
+	toks := splitCSV(q[open+1 : closeP])
+	if len(toks) != 2 {
+		return nil, nil, fmt.Errorf("db: keyspace INSERT wants (key, val)")
+	}
+	kv, vv := parseValue(toks[0]), parseValue(toks[1])
+	if !kv.IsInt || !vv.IsInt || vv.Int < 0 {
+		return nil, nil, fmt.Errorf("db: keyspace INSERT wants integer key and nonnegative val")
+	}
+	key := kv.Int
+	if key < 0 || key >= k.N {
+		return nil, nil, fmt.Errorf("db: key %d out of range [0,%d)", key, k.N)
+	}
+	touchKeyShard(t, key)
+	k.probe(t, key)
+	g, ok := k.readRow(t, key)
+	if !ok {
+		return nil, nil, tornRow(t, k, key)
+	}
+	var inserted int64
+	if g == ksTombstone {
+		k.writeRow(t, key, uint64(vv.Int))
+		inserted = 1
+	}
+	return [][]Value{{{IsInt: true, Int: inserted}}}, []string{"inserted"}, nil
+}

@@ -1,0 +1,382 @@
+package db
+
+import (
+	"strings"
+	"testing"
+
+	"htmgil/internal/htm"
+	"htmgil/internal/vm"
+)
+
+func mustKS(t *testing.T, th *vm.RThread, s *Store, q string) [][]Value {
+	t.Helper()
+	rows, _, err := s.Exec(th, q)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	return rows
+}
+
+func TestKeyspaceBasic(t *testing.T) {
+	_, th := newThread(t)
+	s := NewStore()
+	mustKS(t, th, s, "CREATE KEYSPACE kv ROWS 100")
+
+	// Bulk load: every key is live at val 0 right after create.
+	rows := mustKS(t, th, s, "SELECT COUNT(*) FROM kv")
+	if rows[0][0].Int != 100 {
+		t.Fatalf("fresh count = %+v", rows)
+	}
+	rows = mustKS(t, th, s, "SELECT * FROM kv WHERE key = 42")
+	if len(rows) != 1 || rows[0][0].Int != 42 || rows[0][1].Int != 0 {
+		t.Fatalf("fresh point = %+v", rows)
+	}
+
+	// Update rewrites the row; the point lookup sees the new val.
+	rows = mustKS(t, th, s, "UPDATE kv SET val = 7 WHERE key = 42")
+	if rows[0][0].Int != 1 {
+		t.Fatalf("update count = %+v", rows)
+	}
+	rows = mustKS(t, th, s, "SELECT * FROM kv WHERE key = 42")
+	if len(rows) != 1 || rows[0][1].Int != 7 {
+		t.Fatalf("post-update point = %+v", rows)
+	}
+
+	// Range scan is half-open and sorted by key.
+	rows = mustKS(t, th, s, "SELECT * FROM kv WHERE key >= 40 AND key < 44")
+	if len(rows) != 4 || rows[0][0].Int != 40 || rows[2][1].Int != 7 || rows[3][0].Int != 43 {
+		t.Fatalf("range = %+v", rows)
+	}
+
+	// Delete tombstones; count and scans skip it.
+	rows = mustKS(t, th, s, "DELETE FROM kv WHERE key = 42")
+	if rows[0][0].Int != 1 {
+		t.Fatalf("delete count = %+v", rows)
+	}
+	if rows = mustKS(t, th, s, "SELECT * FROM kv WHERE key = 42"); len(rows) != 0 {
+		t.Fatalf("deleted key visible: %+v", rows)
+	}
+	if rows = mustKS(t, th, s, "SELECT COUNT(*) FROM kv"); rows[0][0].Int != 99 {
+		t.Fatalf("post-delete count = %+v", rows)
+	}
+	if rows = mustKS(t, th, s, "SELECT * FROM kv WHERE key >= 40 AND key < 44"); len(rows) != 3 {
+		t.Fatalf("post-delete range = %+v", rows)
+	}
+
+	// Insert revives only tombstoned keys; a live key inserts 0 rows.
+	rows = mustKS(t, th, s, "INSERT INTO kv VALUES (42, 5)")
+	if rows[0][0].Int != 1 {
+		t.Fatalf("insert = %+v", rows)
+	}
+	rows = mustKS(t, th, s, "INSERT INTO kv VALUES (42, 9)")
+	if rows[0][0].Int != 0 {
+		t.Fatalf("double insert = %+v", rows)
+	}
+	rows = mustKS(t, th, s, "SELECT * FROM kv WHERE key = 42")
+	if len(rows) != 1 || rows[0][1].Int != 5 {
+		t.Fatalf("post-insert point = %+v", rows)
+	}
+
+	// WHERE val = v scans for matching generations.
+	rows = mustKS(t, th, s, "SELECT * FROM kv WHERE val = 5")
+	if len(rows) != 1 || rows[0][0].Int != 42 {
+		t.Fatalf("val scan = %+v", rows)
+	}
+}
+
+func TestKeyspaceEdgeCases(t *testing.T) {
+	_, th := newThread(t)
+	s := NewStore()
+	mustKS(t, th, s, "CREATE KEYSPACE kv ROWS 50")
+
+	// UPDATE of a deleted row matches nothing — the tombstone hides it.
+	mustKS(t, th, s, "DELETE FROM kv WHERE key = 10")
+	if rows := mustKS(t, th, s, "UPDATE kv SET val = 3 WHERE key = 10"); rows[0][0].Int != 0 {
+		t.Fatalf("update of deleted row = %+v", rows)
+	}
+	if rows := mustKS(t, th, s, "SELECT * FROM kv WHERE key = 10"); len(rows) != 0 {
+		t.Fatalf("deleted row resurrected: %+v", rows)
+	}
+	// Re-deleting it is a zero-row no-op.
+	if rows := mustKS(t, th, s, "DELETE FROM kv WHERE key = 10"); rows[0][0].Int != 0 {
+		t.Fatalf("re-delete = %+v", rows)
+	}
+
+	// Empty and inverted ranges return nothing for every verb.
+	if rows := mustKS(t, th, s, "SELECT * FROM kv WHERE key >= 20 AND key < 20"); len(rows) != 0 {
+		t.Fatalf("empty range select = %+v", rows)
+	}
+	if rows := mustKS(t, th, s, "SELECT * FROM kv WHERE key >= 30 AND key < 20"); len(rows) != 0 {
+		t.Fatalf("inverted range select = %+v", rows)
+	}
+	if rows := mustKS(t, th, s, "UPDATE kv SET val = 1 WHERE key >= 20 AND key < 20"); rows[0][0].Int != 0 {
+		t.Fatalf("empty range update = %+v", rows)
+	}
+	if rows := mustKS(t, th, s, "DELETE FROM kv WHERE key >= 20 AND key < 20"); rows[0][0].Int != 0 {
+		t.Fatalf("empty range delete = %+v", rows)
+	}
+
+	// Ranges clamp to the keyspace instead of walking off its end.
+	if rows := mustKS(t, th, s, "SELECT * FROM kv WHERE key >= 45 AND key < 1000"); len(rows) != 5 {
+		t.Fatalf("clamped range = %d rows", len(rows))
+	}
+	if rows := mustKS(t, th, s, "SELECT * FROM kv WHERE key >= -5 AND key < 2"); len(rows) != 2 {
+		t.Fatalf("negative-lo range = %d rows", len(rows))
+	}
+
+	// Out-of-range point operations are empty, not errors — except INSERT,
+	// whose bad key is visible in the statement text itself.
+	if rows := mustKS(t, th, s, "SELECT * FROM kv WHERE key = 999"); len(rows) != 0 {
+		t.Fatalf("out-of-range select = %+v", rows)
+	}
+	if rows := mustKS(t, th, s, "DELETE FROM kv WHERE key = -1"); rows[0][0].Int != 0 {
+		t.Fatalf("out-of-range delete = %+v", rows)
+	}
+	if _, _, err := s.Exec(th, "INSERT INTO kv VALUES (999, 1)"); err == nil {
+		t.Fatalf("out-of-range insert accepted")
+	}
+
+	// Malformed statements error cleanly.
+	for _, q := range []string{
+		"CREATE KEYSPACE kv ROWS 50",            // duplicate name
+		"CREATE KEYSPACE z ROWS 0",              // empty keyspace
+		"CREATE KEYSPACE z ROWS x",              // non-numeric size
+		"CREATE KEYSPACE z ROWS 99999999999999", // oversize
+		"UPDATE kv SET key = 3 WHERE key = 1",   // only val is writable
+		"UPDATE kv SET val = -1 WHERE key = 1",  // negative generation
+		"INSERT INTO kv VALUES (1)",             // arity
+		"SELECT * FROM kv WHERE nosuch = 1",     // unknown column
+	} {
+		if _, _, err := s.Exec(th, q); err == nil {
+			t.Fatalf("no error for %q", q)
+		}
+	}
+}
+
+func TestRegularTableUpdate(t *testing.T) {
+	_, th := newThread(t)
+	s := NewStore()
+	mustKS(t, th, s, "CREATE TABLE t (id, name, n)")
+	mustKS(t, th, s, "INSERT INTO t VALUES (1, 'one', 10)")
+	mustKS(t, th, s, "INSERT INTO t VALUES (2, 'two', 20)")
+	mustKS(t, th, s, "INSERT INTO t VALUES (3, 'three', 30)")
+
+	// Point update through the index, multiple assignments.
+	rows := mustKS(t, th, s, "UPDATE t SET name = 'TWO', n = 22 WHERE id = 2")
+	if rows[0][0].Int != 1 {
+		t.Fatalf("update count = %+v", rows)
+	}
+	rows = mustKS(t, th, s, "SELECT * FROM t WHERE id = 2")
+	if len(rows) != 1 || rows[0][1].Str != "TWO" || rows[0][2].Int != 22 {
+		t.Fatalf("post-update row = %+v", rows)
+	}
+
+	// Range update on an int column.
+	rows = mustKS(t, th, s, "UPDATE t SET n = 0 WHERE id >= 1 AND id < 3")
+	if rows[0][0].Int != 2 {
+		t.Fatalf("range update count = %+v", rows)
+	}
+	rows = mustKS(t, th, s, "SELECT * FROM t WHERE n = 0")
+	if len(rows) != 2 {
+		t.Fatalf("post-range-update rows = %+v", rows)
+	}
+
+	// Updating the indexed column keeps the index consistent.
+	mustKS(t, th, s, "UPDATE t SET id = 9 WHERE id = 3")
+	if rows = mustKS(t, th, s, "SELECT * FROM t WHERE id = 3"); len(rows) != 0 {
+		t.Fatalf("stale index hit = %+v", rows)
+	}
+	rows = mustKS(t, th, s, "SELECT * FROM t WHERE id = 9")
+	if len(rows) != 1 || rows[0][1].Str != "three" {
+		t.Fatalf("moved row = %+v", rows)
+	}
+
+	// A row grown past its original shadow span gets a fresh span.
+	mustKS(t, th, s, "UPDATE t SET name = 'a much longer name than before, long enough to outgrow the span' WHERE id = 9")
+	rows = mustKS(t, th, s, "SELECT * FROM t WHERE id = 9")
+	if len(rows) != 1 || !strings.Contains(rows[0][1].Str, "longer") {
+		t.Fatalf("grown row = %+v", rows)
+	}
+
+	// Update with no WHERE hits every row; unknown columns error.
+	if rows = mustKS(t, th, s, "UPDATE t SET n = 5"); rows[0][0].Int != 3 {
+		t.Fatalf("update-all count = %+v", rows)
+	}
+	if _, _, err := s.Exec(th, "UPDATE t SET nosuch = 1"); err == nil {
+		t.Fatalf("unknown SET column accepted")
+	}
+	if _, _, err := s.Exec(th, "UPDATE t SET"); err == nil {
+		t.Fatalf("empty SET accepted")
+	}
+}
+
+// TestKeyspaceUnderTiers races point updates, deletes/inserts, and
+// empty-range scans against point readers on a keyspace table under all
+// three execution tiers (HTM-first, OCC-adaptive, OCC-first). Keyspace
+// statements are speculative-safe, so mutations commit through HTM or OCC;
+// the payload words double as a torn-row oracle — any atomicity violation
+// fails the run itself.
+func TestKeyspaceUnderTiers(t *testing.T) {
+	for _, policy := range []string{"paper-dynamic", "occ-adaptive", "occ-first"} {
+		t.Run(policy, func(t *testing.T) {
+			opt := vm.DefaultOptions(htm.ZEC12(), vm.ModeHTM)
+			opt.Policy = policy
+			machine := vm.New(opt)
+			Install(machine)
+			iseq, err := machine.CompileSource(ksRaceProgram, "ksrace")
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := machine.Run(iseq)
+			if err != nil {
+				t.Fatalf("%s: %v", policy, err)
+			}
+			if !strings.HasSuffix(res.Output, "0\n0\n7\n") {
+				t.Fatalf("%s: output = %q (want 0 bad reads, 0 empty-range rows, final val 7)", policy, res.Output)
+			}
+		})
+	}
+}
+
+// TestKeyspaceSharded runs the same race with the keyspace sharded across
+// per-shard GILs and checks that single-shard fallbacks actually land on
+// shard GILs (per-shard stats populated, no cross-shard leaks).
+func TestKeyspaceSharded(t *testing.T) {
+	opt := vm.DefaultOptions(htm.ZEC12(), vm.ModeHTM)
+	opt.Policy = "paper-dynamic"
+	opt.Shards = 4
+	machine := vm.New(opt)
+	Install(machine)
+	iseq, err := machine.CompileSource(ksRaceProgram, "kssharded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := machine.Run(iseq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(res.Output, "0\n0\n7\n") {
+		t.Fatalf("output = %q", res.Output)
+	}
+	if len(res.Stats.ShardGIL) != 4 || len(res.Stats.ShardFallbacks) != 4 {
+		t.Fatalf("shard stats missing: %d gil, %d fallbacks", len(res.Stats.ShardGIL), len(res.Stats.ShardFallbacks))
+	}
+	if res.Stats.CrossShardLeaks != 0 {
+		t.Fatalf("cross-shard leaks = %d", res.Stats.CrossShardLeaks)
+	}
+}
+
+// TestIndexConsistencyDuringDelete races indexed point lookups on a
+// regular table against a writer that deletes and re-inserts the probed
+// key. The index probe touches the key's bucket word, and delete/insert
+// maintenance writes it, so a speculative prober racing a mutation is
+// doomed rather than served a half-updated index: every lookup must return
+// either the whole row or nothing.
+func TestIndexConsistencyDuringDelete(t *testing.T) {
+	for _, policy := range []string{"paper-dynamic", "occ-adaptive"} {
+		t.Run(policy, func(t *testing.T) {
+			opt := vm.DefaultOptions(htm.ZEC12(), vm.ModeHTM)
+			opt.Policy = policy
+			machine := vm.New(opt)
+			Install(machine)
+			iseq, err := machine.CompileSource(`
+$db = SQLite3.new
+$db.execute("CREATE TABLE t (id, n)")
+$db.execute("INSERT INTO t VALUES (1, 111)")
+$db.execute("INSERT INTO t VALUES (5, 555)")
+$db.execute("INSERT INTO t VALUES (9, 999)")
+writer = Thread.new do
+  r = 0
+  while r < 12
+    $db.execute("DELETE FROM t WHERE id = 5")
+    $db.execute("INSERT INTO t VALUES (5, 555)")
+    r += 1
+  end
+end
+bad = 0
+j = 0
+while j < 40
+  rows = $db.execute("SELECT * FROM t WHERE id = 5")
+  if rows.length > 1
+    bad += 1
+  end
+  if rows.length == 1
+    if rows[0][1] == 555
+    else
+      bad += 1
+    end
+  end
+  j += 1
+end
+writer.join
+fin = $db.execute("SELECT * FROM t WHERE id = 5")
+puts bad
+puts fin.length
+puts fin[0][1]
+`, "idxrace")
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := machine.Run(iseq)
+			if err != nil {
+				t.Fatalf("%s: %v", policy, err)
+			}
+			if !strings.HasSuffix(res.Output, "0\n1\n555\n") {
+				t.Fatalf("%s: output = %q", policy, res.Output)
+			}
+		})
+	}
+}
+
+// ksRaceProgram: one writer updating and deleting/reviving hot keys, one
+// reader doing point lookups and empty-range scans. Reads must only ever
+// observe vals {0, 7, 9} (initial or one of the writer's generations).
+const ksRaceProgram = `
+$db = SQLite3.new
+$db.execute("CREATE KEYSPACE kv ROWS 64")
+writer = Thread.new do
+  r = 0
+  while r < 10
+    i = 0
+    while i < 8
+      $db.execute("UPDATE kv SET val = 7 WHERE key = #{i}")
+      $db.execute("UPDATE kv SET val = 9 WHERE key = #{i + 8}")
+      $db.execute("DELETE FROM kv WHERE key = #{i + 16}")
+      $db.execute("INSERT INTO kv VALUES (#{i + 16}, 7)")
+      i += 1
+    end
+    r += 1
+  end
+end
+bad = 0
+emptyrows = 0
+j = 0
+while j < 60
+  rows = $db.execute("SELECT * FROM kv WHERE key = #{j % 24}")
+  if rows.length > 0
+    v = rows[0][1]
+    ok = 0
+    if v == 0
+      ok = 1
+    end
+    if v == 7
+      ok = 1
+    end
+    if v == 9
+      ok = 1
+    end
+    if ok == 0
+      bad += 1
+    end
+  end
+  e = $db.execute("SELECT * FROM kv WHERE key >= 40 AND key < 40")
+  emptyrows += e.length
+  j += 1
+end
+writer.join
+$db.execute("UPDATE kv SET val = 7 WHERE key = 3")
+fin = $db.execute("SELECT * FROM kv WHERE key = 3")
+puts bad
+puts emptyrows
+puts fin[0][1]
+`

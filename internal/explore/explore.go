@@ -100,12 +100,20 @@ func (c *Config) withDefaults() Config {
 type Result struct {
 	Program      string
 	Bound        int
-	GILSchedules int // oracle-phase schedules enumerated
-	HTMSchedules int // HTM-phase schedules enumerated
+	GILSchedules int      // oracle-phase schedules enumerated
+	HTMSchedules int      // HTM-phase schedules enumerated
 	Oracle       []string // sorted GIL-reachable final-state fingerprints
 	Outcomes     []string // sorted distinct HTM final-state fingerprints
 	Violations   []*FoundViolation
 	Truncated    bool // a MaxSchedules cap cut one of the trees
+	// ShardOverlapCommits totals, across every HTM-phase schedule, the HTM
+	// commits that landed while a shard GIL was held — evidence the sharded
+	// runtime actually overlaps hardware commits with shard-lock fallbacks
+	// instead of serializing them (always 0 for unsharded programs).
+	ShardOverlapCommits int
+	// ShardAcquires totals shard-lock acquisitions across HTM schedules —
+	// the weaker signal that exploration reaches shard fallbacks at all.
+	ShardAcquires int
 }
 
 // Schedules returns the total number of schedules executed.
@@ -143,13 +151,15 @@ func Run(cfg Config) (*Result, error) {
 	sort.Strings(outcomes)
 
 	res := &Result{
-		Program:      c.Program.Name,
-		Bound:        c.Bound,
-		GILSchedules: gil.schedules,
-		HTMSchedules: htmRun.schedules,
-		Oracle:       oracle,
-		Outcomes:     outcomes,
-		Truncated:    gil.truncated || htmRun.truncated,
+		Program:             c.Program.Name,
+		Bound:               c.Bound,
+		GILSchedules:        gil.schedules,
+		HTMSchedules:        htmRun.schedules,
+		Oracle:              oracle,
+		Outcomes:            outcomes,
+		Truncated:           gil.truncated || htmRun.truncated,
+		ShardOverlapCommits: htmRun.shardOverlaps,
+		ShardAcquires:       htmRun.shardAcquires,
 	}
 	// A GIL-phase violation (mutual exclusion, lost wakeup, livelock) is a
 	// bug in the baseline itself; report those too.
@@ -175,10 +185,12 @@ type rawViolation struct {
 }
 
 type modeOutcome struct {
-	schedules    int
-	fingerprints map[string]int
-	violations   []*rawViolation
-	truncated    bool
+	schedules     int
+	fingerprints  map[string]int
+	violations    []*rawViolation
+	truncated     bool
+	shardOverlaps int
+	shardAcquires int
 }
 
 // exploreMode runs a bounded DFS over the schedule tree of one mode. Each
@@ -197,6 +209,8 @@ func (e *explorer) exploreMode(mode string, bound int, oracle []string) *modeOut
 		stack = stack[:len(stack)-1]
 		out := e.run(mode, prefix)
 		mo.schedules++
+		mo.shardOverlaps += out.shardOverlapCommits
+		mo.shardAcquires += out.shardAcquires
 		if out.runErr == nil && out.fingerprint != "" {
 			mo.fingerprints[out.fingerprint]++
 		}
@@ -259,6 +273,7 @@ func (e *explorer) minimize(raw *rawViolation, oracle []string) *FoundViolation 
 		Policy:      e.cfg.Policy,
 		Breaker:     e.cfg.Breaker,
 		HeapSlots:   e.cfg.Program.HeapSlots,
+		Shards:      e.cfg.Program.Shards,
 		Choices:     append([]Choice(nil), best...),
 		Violation:   raw.violation,
 		Fingerprint: out.fingerprint,
@@ -278,21 +293,31 @@ func (e *explorer) run(mode string, prefix []Choice) *outcome {
 		policy:    e.cfg.Policy,
 		breaker:   e.cfg.Breaker,
 		heapSlots: e.cfg.Program.HeapSlots,
+		install:   e.cfg.Program.Install,
+		shards:    e.cfg.Program.Shards,
 		prefix:    prefix,
 	})
 }
 
 // runSchedule executes a loaded schedule file through the same machinery.
+// Native installs cannot be serialized, so they resolve back through the
+// program registry by name; a schedule of a since-removed program with no
+// shards or extensions still replays from its embedded source.
 func runSchedule(s *Schedule) *outcome {
-	return runSpec(&spec{
+	sp := &spec{
 		source:    s.Source,
 		name:      s.Program,
 		mode:      s.Mode,
 		policy:    s.Policy,
 		breaker:   s.Breaker,
 		heapSlots: s.HeapSlots,
+		shards:    s.Shards,
 		prefix:    s.Choices,
-	})
+	}
+	if p := ProgramByName(s.Program); p != nil {
+		sp.install = p.Install
+	}
+	return runSpec(sp)
 }
 
 type spec struct {
@@ -302,6 +327,8 @@ type spec struct {
 	policy    string
 	breaker   bool
 	heapSlots int
+	install   func(machine *vm.VM)
+	shards    int
 	prefix    []Choice
 }
 
@@ -313,6 +340,11 @@ type outcome struct {
 	runErr      error
 	invariants  []string
 	replayErr   error
+	// shardOverlapCommits counts HTM commits that landed while some shard
+	// GIL was held — the concurrency the sharded fallback exists to allow.
+	shardOverlapCommits int
+	// shardAcquires counts shard-lock acquisitions in the run.
+	shardAcquires int
 }
 
 // violation classifies the outcome, worst first. A nil return means the
@@ -357,6 +389,13 @@ func runSpec(sp *spec) *outcome {
 	if heapSlots == 0 {
 		heapSlots = exploreHeapSlots
 	}
+	shards := 0
+	if sp.mode == "htm" && sp.shards > 1 {
+		// Sharded-GIL mode is an elision-tier concept; the GIL oracle keeps
+		// the single root lock so it defines legality, not mirrors the
+		// implementation under test.
+		shards = sp.shards
+	}
 	opt := vm.Options{
 		Mode:                 vmMode,
 		Prof:                 htm.Explore(),
@@ -374,10 +413,14 @@ func runSpec(sp *spec) *outcome {
 		MaxCycles:            exploreMaxCycles,
 		Policy:               sp.policy,
 		Breaker:              sp.breaker,
+		Shards:               shards,
 		Chooser:              rec,
 		Trace:                trace.NewRecorder(inv),
 	}
 	v := vm.New(opt)
+	if sp.install != nil {
+		sp.install(v)
+	}
 	out := &outcome{}
 	iseq, err := v.CompileSource(sp.source, sp.name)
 	if err != nil {
@@ -388,6 +431,8 @@ func runSpec(sp *spec) *outcome {
 	out.log = rec.log
 	out.replayErr = rec.mismatch
 	out.invariants = inv.violations
+	out.shardOverlapCommits = inv.shardOverlapCommits
+	out.shardAcquires = inv.shardAcquires
 	if err != nil {
 		out.runErr = err
 		return out

@@ -9,25 +9,37 @@ import (
 // invariantSink is a trace sink checking event-stream invariants while a
 // run executes:
 //
-//   - GIL mutual exclusion: gil-acquire only when free, gil-release only by
-//     the owner.
+//   - GIL mutual exclusion, per lock: gil-acquire only when that lock is
+//     free, gil-release only by its owner. Under the sharded runtime each
+//     shard lock (and the root) is tracked independently — same-shard GIL
+//     phases must never interleave, while distinct shards may overlap.
 //   - Breaker state-machine legality: closed→open, open→half-open,
 //     half-open→{closed,open} are the only transitions.
-//   - OCC/GIL exclusion: a software transaction may never publish its
-//     write buffer while any thread holds the GIL — GIL code runs
+//   - OCC/root-GIL exclusion: a software transaction may never publish its
+//     write buffer while any thread holds the root GIL — root-GIL code runs
 //     non-transactionally and must not observe a concurrent OCC
 //     publication (the runtime refuses such commits via BlockCommit).
 //
 // Violations are recorded, never panicked — the run completes and the
 // explorer turns them into minimized schedules.
 type invariantSink struct {
-	gilOwner   int // thread id, -1 when free
-	breaker    string
-	violations []string
+	// owners maps lock id -> holding thread. Lock 0 is the root (or the
+	// plain single GIL); ids >= 1 are shard locks. Absent key = free.
+	owners  map[int]int
+	breaker string
+	// shardOverlapCommits counts HTM commits that landed while some shard
+	// lock was held — the coverage signal that sharding actually lets
+	// hardware commits proceed alongside single-shard GIL fallbacks.
+	shardOverlapCommits int
+	// shardAcquires counts shard-lock acquisitions (Shard >= 1) — the
+	// weaker coverage signal that explored schedules reach shard fallbacks
+	// at all.
+	shardAcquires int
+	violations    []string
 }
 
 func newInvariantSink() *invariantSink {
-	return &invariantSink{gilOwner: -1, breaker: "closed"}
+	return &invariantSink{owners: make(map[int]int), breaker: "closed"}
 }
 
 func (s *invariantSink) fail(format string, args ...any) {
@@ -36,24 +48,51 @@ func (s *invariantSink) fail(format string, args ...any) {
 	}
 }
 
+func lockName(id int) string {
+	if id == 0 {
+		return "gil"
+	}
+	return fmt.Sprintf("gil-shard%02d", id-1)
+}
+
+func (s *invariantSink) shardHeld() bool {
+	for id := range s.owners {
+		if id != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 func (s *invariantSink) Emit(ev trace.Event) {
 	switch ev.Kind {
 	case trace.KindGILAcquire:
-		if s.gilOwner != -1 {
-			s.fail("gil-exclusion: thread %d acquired at t=%d while thread %d holds the lock",
-				ev.Thread, ev.T, s.gilOwner)
+		if owner, held := s.owners[ev.Shard]; held {
+			s.fail("gil-exclusion: thread %d acquired %s at t=%d while thread %d holds the lock",
+				ev.Thread, lockName(ev.Shard), ev.T, owner)
 		}
-		s.gilOwner = ev.Thread
+		if ev.Shard > 0 {
+			s.shardAcquires++
+		}
+		s.owners[ev.Shard] = ev.Thread
 	case trace.KindGILRelease:
-		if s.gilOwner != ev.Thread {
-			s.fail("gil-exclusion: thread %d released at t=%d but owner is %d",
-				ev.Thread, ev.T, s.gilOwner)
+		if owner, held := s.owners[ev.Shard]; !held || owner != ev.Thread {
+			cur := -1
+			if held {
+				cur = owner
+			}
+			s.fail("gil-exclusion: thread %d released %s at t=%d but owner is %d",
+				ev.Thread, lockName(ev.Shard), ev.T, cur)
 		}
-		s.gilOwner = -1
+		delete(s.owners, ev.Shard)
+	case trace.KindTxCommit:
+		if s.shardHeld() {
+			s.shardOverlapCommits++
+		}
 	case trace.KindOCCCommit:
-		if s.gilOwner != -1 {
+		if owner, held := s.owners[0]; held {
 			s.fail("occ-gil-exclusion: thread %d published an OCC commit at t=%d while thread %d holds the GIL",
-				ev.Thread, ev.T, s.gilOwner)
+				ev.Thread, ev.T, owner)
 		}
 	case trace.KindBreaker:
 		from, to := s.breaker, ev.Note

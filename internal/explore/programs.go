@@ -1,5 +1,10 @@
 package explore
 
+import (
+	"htmgil/internal/db"
+	"htmgil/internal/vm"
+)
+
 // Program is one small multi-threaded mini-Ruby program explored by the
 // checker. Programs keep their observable state in globals and print a
 // digest from the main thread after joining, so the final-state fingerprint
@@ -14,12 +19,23 @@ type Program struct {
 	// HeapSlots overrides the explorer's default heap size when non-zero
 	// (the GC-pressure program shrinks it to force collections mid-run).
 	HeapSlots int
+	// Install, when non-nil, registers native extensions (the datastore
+	// binding) on each freshly built machine before the program compiles.
+	// Schedule files resolve it back through the registry by program name.
+	Install func(machine *vm.VM)
+	// Shards runs the HTM phase in sharded-GIL mode with this many
+	// per-shard locks (0/1 = plain single GIL). The GIL oracle phase always
+	// runs the single root lock: the oracle defines what outcomes are
+	// legal, and the sharded runtime must not be able to produce anything
+	// beyond it.
+	Shards int
 }
 
 // Programs returns the registry of checker programs in deterministic order.
 func Programs() []*Program {
 	return []*Program{CounterProgram(), LocalCounterProgram(), MutexProgram(),
-		OrderProgram(), ReaderProgram(), PolymorphicProgram(), GCStressProgram()}
+		OrderProgram(), ReaderProgram(), PolymorphicProgram(), GCStressProgram(),
+		ShardedKVProgram()}
 }
 
 // ProgramByName resolves a registry name; nil when unknown.
@@ -216,6 +232,64 @@ end
 t1.join
 t2.join
 puts $x + $y * 10
+`,
+	}
+}
+
+// ShardedKVProgram drives keyspace point updates through the sharded-GIL
+// runtime: three threads over a tiny kstable under two shard locks (key 1
+// hashes to shard 1, key 2 to shard 0). Threads 1 and 2 hammer the hot
+// key 1 — doom-the-holder conflicts exhaust a section's transient retries
+// and route its fallback to shard 1's lock, with the losing thread left
+// spinning on the held shard word. Thread 3 meanwhile updates only key 2,
+// so explored schedules include HTM commits on shard 0 landing while
+// shard 1's lock is held — the overlap the sharded fallback exists to
+// allow. The updates sit in while loops, not straight-line sequences: the
+// loop back-edge is a yield point, making every update its own critical
+// section (a straight-line body would fuse into one long section and a
+// single fallback would swallow the whole thread). Key 2 always ends at
+// 3; key 1 ends at 5 or 7 depending on write order — the oracle's two
+// legal digests. The per-lock exclusion invariant checks that same-shard
+// GIL phases never interleave.
+func ShardedKVProgram() *Program {
+	return &Program{
+		Name: "shardedkv",
+		Desc: "3 threads race kstable point updates under 2 shard GILs",
+		// Large enough that thread-local free lists never refill from the
+		// shared pool mid-run: refill conflicts on allocator metadata would
+		// drown the key-level conflicts this program is about.
+		HeapSlots: 40_000,
+		Install:   db.Install,
+		Shards:    2,
+		Source: `$db = SQLite3.new
+$db.execute("CREATE KEYSPACE kv ROWS 8")
+t1 = Thread.new do
+  j = 0
+  while j < 4
+    $db.execute("UPDATE kv SET val = 5 WHERE key = 1")
+    j += 1
+  end
+end
+t2 = Thread.new do
+  j = 0
+  while j < 4
+    $db.execute("UPDATE kv SET val = 7 WHERE key = 1")
+    j += 1
+  end
+end
+t3 = Thread.new do
+  j = 0
+  while j < 6
+    $db.execute("UPDATE kv SET val = 3 WHERE key = 2")
+    j += 1
+  end
+end
+t1.join
+t2.join
+t3.join
+r2 = $db.execute("SELECT * FROM kv WHERE key = 2")
+r1 = $db.execute("SELECT * FROM kv WHERE key = 1")
+puts r2[0][1] * 10 + r1[0][1]
 `,
 	}
 }

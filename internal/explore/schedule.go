@@ -17,14 +17,18 @@ const ScheduleVersion = 1
 // that shape the machine, and the choice prefix. Choices beyond the prefix
 // are implicitly the default (0), which is how minimization shrinks files.
 type Schedule struct {
-	Version   int        `json:"version"`
-	Program   string     `json:"program"`
-	Desc      string     `json:"desc,omitempty"`
-	Source    string     `json:"source"`
-	Mode      string     `json:"mode"` // "gil" or "htm"
-	Policy    string     `json:"policy,omitempty"`
-	Breaker   bool       `json:"breaker,omitempty"`
-	HeapSlots int        `json:"heapSlots,omitempty"`
+	Version   int    `json:"version"`
+	Program   string `json:"program"`
+	Desc      string `json:"desc,omitempty"`
+	Source    string `json:"source"`
+	Mode      string `json:"mode"` // "gil" or "htm"
+	Policy    string `json:"policy,omitempty"`
+	Breaker   bool   `json:"breaker,omitempty"`
+	HeapSlots int    `json:"heapSlots,omitempty"`
+	// Shards replays the run in sharded-GIL mode (HTM schedules only;
+	// 0/1 = plain single GIL). Native installs resolve via the program
+	// registry by name.
+	Shards    int        `json:"shards,omitempty"`
 	Choices   []Choice   `json:"choices"`
 	Violation *Violation `json:"violation,omitempty"`
 	// Fingerprint is the final-state digest the schedule must reproduce.

@@ -81,6 +81,11 @@ type GIL struct {
 	// release instead of strict FIFO order. Installed by internal/explore;
 	// index 0 is the FIFO head, so a zero chooser changes nothing.
 	Chooser choice.Chooser
+
+	// ShardID attributes this lock's trace events to a keyspace shard in
+	// sharded-GIL mode. It is 1-based like trace.Event.Shard: 0 (the
+	// default) marks the root/global GIL, s+1 marks shard s.
+	ShardID int
 }
 
 // New creates a GIL whose state word lives in its own line of mem.
@@ -129,6 +134,7 @@ func (g *GIL) take(th *sched.Thread, now int64) {
 	if g.Tracer != nil {
 		ev := trace.Ev(now, trace.KindGILAcquire)
 		ev.Thread = th.ID
+		ev.Shard = g.ShardID
 		g.Tracer.Emit(ev)
 	}
 }
@@ -165,6 +171,7 @@ func (g *GIL) Release(th *sched.Thread, now int64) int64 {
 		ev := trace.Ev(now, trace.KindGILRelease)
 		ev.Thread = th.ID
 		ev.Cycles = now - g.ownedSince
+		ev.Shard = g.ShardID
 		g.Tracer.Emit(ev)
 	}
 	g.owner = nil

@@ -1,0 +1,366 @@
+package gil
+
+import (
+	"testing"
+
+	"htmgil/internal/fault"
+	"htmgil/internal/sched"
+	"htmgil/internal/simmem"
+)
+
+// newSharded builds a root GIL plus n shard locks on a fresh engine.
+func newSharded(hwThreads, n int) (*Sharded, *sched.Engine, *simmem.Memory) {
+	mem := simmem.NewMemory(simmem.Config{LineBytes: 64}, hwThreads)
+	eng := sched.NewEngine(sched.Config{HWThreads: hwThreads})
+	root := New(mem, eng, DefaultCosts())
+	return NewSharded(root, n), eng, mem
+}
+
+// TestShardFIFOFairnessUnderTimer extends the waiter-queue fairness
+// regression to a shard lock: contenders acquiring one shard GIL through
+// the Sharded protocol (root untouched) must hand off strictly FIFO, with
+// or without timer jitter, and the schedule must replay under the same
+// seed.
+func TestShardFIFOFairnessUnderTimer(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+		seed int64
+	}{
+		{"no-jitter", "", 0},
+		{"jitter-mild", "timerjitter=0.2", 4},
+		{"jitter-heavy", "timerjitter=0.9", 5},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			order := shardFairnessRun(t, c.spec, c.seed)
+			checkRoundRobin(t, order)
+			again := shardFairnessRun(t, c.spec, c.seed)
+			if len(again) != len(order) {
+				t.Fatalf("replay length %d != %d", len(again), len(order))
+			}
+			for i := range order {
+				if order[i] != again[i] {
+					t.Fatalf("replay diverged at acquisition %d", i)
+				}
+			}
+		})
+	}
+}
+
+// shardFairnessRun drives fairThreads contenders through fairRounds
+// timer-paced acquisitions of shard 2 of a 4-shard Sharded and returns the
+// acquisition order.
+func shardFairnessRun(t *testing.T, specText string, seed int64) []int {
+	t.Helper()
+	const sh = 2
+	s, eng, _ := newSharded(fairThreads, 4)
+	g := s.Shards[sh]
+	if specText != "" {
+		spec, err := fault.ParseSpec(specText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.TimerJitter = fault.NewInjector(spec, seed, nil).TimerInterval
+	}
+
+	var order []int
+	running := fairThreads
+	for i := 0; i < fairThreads; i++ {
+		id := i
+		var th *sched.Thread
+		held := 0
+		const (
+			phAcquire = iota
+			phWake
+			phHold
+		)
+		phase := phAcquire
+		th = eng.Spawn("w", int64(10*i), func(now int64) sched.StepResult {
+			switch phase {
+			case phAcquire:
+				c, ok := s.AcquireShard(th, sh, now)
+				if !ok {
+					phase = phWake
+					return sched.StepResult{Cycles: 1, Status: sched.Blocked}
+				}
+				order = append(order, id)
+				phase = phHold
+				return sched.StepResult{Cycles: c, Status: sched.Running}
+			case phWake:
+				// Root is never taken in this test, so a wake can only be
+				// the shard lock's FIFO handoff.
+				if !g.HeldBy(th) {
+					t.Fatalf("thread %d woke without shard ownership", id)
+				}
+				order = append(order, id)
+				phase = phHold
+				return sched.StepResult{Cycles: 0, Status: sched.Running}
+			default:
+				if g.ConsumeInterrupt(th) {
+					s.ReleaseShard(th, sh, now)
+					held++
+					if held == fairRounds {
+						running--
+						return sched.StepResult{Cycles: 1, Status: sched.Done}
+					}
+					phase = phAcquire
+					return sched.StepResult{Cycles: 1, Status: sched.Running}
+				}
+				return sched.StepResult{Cycles: 100, Status: sched.Running}
+			}
+		})
+	}
+	g.StartTimer(fairInterval, func() bool { return running > 0 })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return order
+}
+
+// shardHolder spawns a thread that acquires shard sh at start, holds it for
+// roughly holdCycles, releases, and stamps the release time.
+func shardHolder(t *testing.T, s *Sharded, eng *sched.Engine, sh int, start, holdCycles int64, released *int64) {
+	t.Helper()
+	var th *sched.Thread
+	phase := 0
+	th = eng.Spawn("h", start, func(now int64) sched.StepResult {
+		switch phase {
+		case 0:
+			c, ok := s.AcquireShard(th, sh, now)
+			if !ok {
+				t.Fatalf("shard %d holder failed immediate acquisition", sh)
+			}
+			phase = 1
+			return sched.StepResult{Cycles: c + holdCycles, Status: sched.Running}
+		default:
+			c := s.ReleaseShard(th, sh, now)
+			*released = now
+			return sched.StepResult{Cycles: c + 1, Status: sched.Done}
+		}
+	})
+}
+
+// TestRootDrainsShards scripts the full drain protocol: a root requester
+// parks while shard locks are held; a later shard requester is gated even
+// though its own shard is free; the last shard release admits the root;
+// the root release admits the gated shard.
+func TestRootDrainsShards(t *testing.T) {
+	s, eng, _ := newSharded(8, 4)
+
+	var relA, relB int64
+	shardHolder(t, s, eng, 0, 0, 10_000, &relA)
+	shardHolder(t, s, eng, 1, 5, 14_000, &relB)
+
+	var rootAt, rootRel int64 = -1, -1
+	var gatedAt, lateAt int64 = -1, -1
+	gateRefused := false
+
+	// Root requester arrives while both shard holds are live.
+	var rth *sched.Thread
+	rphase := 0
+	rth = eng.Spawn("root", 100, func(now int64) sched.StepResult {
+		switch rphase {
+		case 0:
+			_, ok := s.AcquireRoot(rth, now)
+			if ok {
+				t.Fatalf("root acquired at %d with shard holds live", now)
+			}
+			rphase = 1
+			return sched.StepResult{Cycles: 1, Status: sched.Blocked}
+		case 1:
+			// Drain wake: retry; by now every shard hold must have drained.
+			if s.Root.HeldBy(rth) {
+				t.Fatalf("drain wake must not imply ownership")
+			}
+			c, ok := s.AcquireRoot(rth, now)
+			if !ok {
+				return sched.StepResult{Cycles: 1, Status: sched.Blocked}
+			}
+			if n := s.holds(); n != 0 {
+				t.Fatalf("root acquired with %d shard holds live", n)
+			}
+			rootAt = now
+			rphase = 2
+			return sched.StepResult{Cycles: c + 2_000, Status: sched.Running}
+		default:
+			c := s.ReleaseRoot(rth, now)
+			rootRel = now
+			return sched.StepResult{Cycles: c + 1, Status: sched.Done}
+		}
+	})
+
+	// Shard-2 requester arrives after the drain began: shard 2 is free, but
+	// the gate must park it until the root cycle completes.
+	var gth *sched.Thread
+	gphase := 0
+	gth = eng.Spawn("gated", 200, func(now int64) sched.StepResult {
+		switch gphase {
+		case 0:
+			_, ok := s.AcquireShard(gth, 2, now)
+			if ok {
+				t.Fatalf("shard 2 acquired at %d during a root drain", now)
+			}
+			gateRefused = true
+			gphase = 1
+			return sched.StepResult{Cycles: 1, Status: sched.Blocked}
+		case 1:
+			if s.Shards[2].HeldBy(gth) {
+				t.Fatalf("gate wake must not imply ownership")
+			}
+			c, ok := s.AcquireShard(gth, 2, now)
+			if !ok {
+				return sched.StepResult{Cycles: 1, Status: sched.Blocked}
+			}
+			gatedAt = now
+			gphase = 2
+			return sched.StepResult{Cycles: c + 100, Status: sched.Running}
+		default:
+			c := s.ReleaseShard(gth, 2, now)
+			return sched.StepResult{Cycles: c + 1, Status: sched.Done}
+		}
+	})
+
+	// A very late shard requester sees a settled system and acquires
+	// immediately.
+	var lth *sched.Thread
+	lphase := 0
+	lth = eng.Spawn("late", 60_000, func(now int64) sched.StepResult {
+		switch lphase {
+		case 0:
+			c, ok := s.AcquireShard(lth, 3, now)
+			if !ok {
+				lphase = 1
+				return sched.StepResult{Cycles: 1, Status: sched.Blocked}
+			}
+			lateAt = now
+			lphase = 2
+			return sched.StepResult{Cycles: c + 10, Status: sched.Running}
+		case 1:
+			c, ok := s.AcquireShard(lth, 3, now)
+			if !ok {
+				return sched.StepResult{Cycles: 1, Status: sched.Blocked}
+			}
+			lateAt = now
+			lphase = 2
+			return sched.StepResult{Cycles: c + 10, Status: sched.Running}
+		default:
+			c := s.ReleaseShard(lth, 3, now)
+			return sched.StepResult{Cycles: c + 1, Status: sched.Done}
+		}
+	})
+
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rootAt < 0 || rootRel < 0 || gatedAt < 0 || lateAt < 0 {
+		t.Fatalf("scenario incomplete: rootAt=%d rootRel=%d gatedAt=%d lateAt=%d",
+			rootAt, rootRel, gatedAt, lateAt)
+	}
+	if !gateRefused {
+		t.Fatalf("shard request during drain was not gated")
+	}
+	if rootAt < relA || rootAt < relB {
+		t.Fatalf("root acquired at %d before shard releases (%d, %d)", rootAt, relA, relB)
+	}
+	if gatedAt < rootRel {
+		t.Fatalf("gated shard acquired at %d before root release at %d", gatedAt, rootRel)
+	}
+}
+
+// TestRootExcludesShards: while the root GIL is held, any shard
+// acquisition gates, whatever shard it names; the root release wakes the
+// gated requesters and they then acquire their (distinct) shards at the
+// same virtual time — disjoint shard locks do not serialize against each
+// other.
+func TestRootExcludesShards(t *testing.T) {
+	s, eng, _ := newSharded(8, 4)
+
+	var rootRel int64 = -1
+	var rth *sched.Thread
+	rphase := 0
+	rth = eng.Spawn("root", 0, func(now int64) sched.StepResult {
+		switch rphase {
+		case 0:
+			c, ok := s.AcquireRoot(rth, now)
+			if !ok {
+				t.Fatalf("uncontended root acquisition failed")
+			}
+			rphase = 1
+			return sched.StepResult{Cycles: c + 5_000, Status: sched.Running}
+		default:
+			c := s.ReleaseRoot(rth, now)
+			rootRel = now
+			return sched.StepResult{Cycles: c + 1, Status: sched.Done}
+		}
+	})
+
+	acquiredAt := [2]int64{-1, -1}
+	for i := 0; i < 2; i++ {
+		sh := i // distinct shards 0 and 1
+		idx := i
+		var th *sched.Thread
+		phase := 0
+		th = eng.Spawn("w", int64(100+10*i), func(now int64) sched.StepResult {
+			switch phase {
+			case 0:
+				_, ok := s.AcquireShard(th, sh, now)
+				if ok {
+					t.Fatalf("shard %d acquired at %d while root held", sh, now)
+				}
+				phase = 1
+				return sched.StepResult{Cycles: 1, Status: sched.Blocked}
+			case 1:
+				c, ok := s.AcquireShard(th, sh, now)
+				if !ok {
+					return sched.StepResult{Cycles: 1, Status: sched.Blocked}
+				}
+				acquiredAt[idx] = now
+				phase = 2
+				return sched.StepResult{Cycles: c + 500, Status: sched.Running}
+			default:
+				c := s.ReleaseShard(th, sh, now)
+				return sched.StepResult{Cycles: c + 1, Status: sched.Done}
+			}
+		})
+	}
+
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, at := range acquiredAt {
+		if at < 0 {
+			t.Fatalf("gated shard requester %d never acquired", i)
+		}
+		if at < rootRel {
+			t.Fatalf("shard %d acquired at %d before root release at %d", i, at, rootRel)
+		}
+	}
+	if acquiredAt[0] != acquiredAt[1] {
+		t.Fatalf("disjoint shards serialized: acquisitions at %d and %d",
+			acquiredAt[0], acquiredAt[1])
+	}
+}
+
+// TestShardStatsIndependent: acquisitions of different shards land in their
+// own Stats counters and the root's stay untouched.
+func TestShardStatsIndependent(t *testing.T) {
+	s, eng, _ := newSharded(4, 3)
+	var rel0, rel2 int64
+	shardHolder(t, s, eng, 0, 0, 1_000, &rel0)
+	shardHolder(t, s, eng, 2, 0, 1_000, &rel2)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Shards[0].Stats.Acquisitions != 1 || s.Shards[2].Stats.Acquisitions != 1 {
+		t.Fatalf("shard acquisitions = %d, %d, want 1, 1",
+			s.Shards[0].Stats.Acquisitions, s.Shards[2].Stats.Acquisitions)
+	}
+	if s.Shards[1].Stats.Acquisitions != 0 || s.Root.Stats.Acquisitions != 0 {
+		t.Fatalf("untouched locks recorded acquisitions")
+	}
+	if s.Shards[0].Stats.HoldCycles < 1_000 || s.Shards[2].Stats.HoldCycles < 1_000 {
+		t.Fatalf("hold cycles not accounted: %d, %d",
+			s.Shards[0].Stats.HoldCycles, s.Shards[2].Stats.HoldCycles)
+	}
+}

@@ -160,6 +160,34 @@ func Server(cores int) *Profile {
 	}
 }
 
+// DatastoreNode returns the profile of the datastore experiments: a 32-core
+// SMT-less machine with zEC12-like mainframe HTM (256-byte lines, 8 KB
+// gathering store cache bounding the write set) but read tracking limited to
+// the 96 KB L1 data cache rather than zEC12's L2-backed megabyte. Limited
+// read-set tracking is the common case across shipped and proposed HTMs
+// (POWER8's 8 KB TM CAM; FORTH's limited read/write-set designs), and it is
+// what makes multi-hundred-row scans overflow capacity — the regime the
+// paper saw dominate its SQLite extension, where 87% of Rails aborts were
+// footprint overflow inside the native store.
+func DatastoreNode() *Profile {
+	return &Profile{
+		Name:                "datastore-32c",
+		Cores:               32,
+		SMTWays:             1,
+		LineBytes:           256,
+		WriteCapBytes:       8 << 10,
+		ReadCapBytes:        96 << 10,
+		TBeginCycles:        140,
+		TEndCycles:          70,
+		AbortCycles:         280,
+		InterruptMeanCycles: 4_000_000,
+		Learning:            false,
+		TargetAbortRatio:    0.01,
+		ProfilingPeriod:     300,
+		AdjustmentThreshold: 3,
+	}
+}
+
 // Stats aggregates per-context transaction outcomes.
 type Stats struct {
 	Begins   uint64

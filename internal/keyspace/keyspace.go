@@ -1,0 +1,445 @@
+// Package keyspace is the YCSB/TPC-C-flavoured workload driver for the
+// datastore experiments: it generates per-thread operation streams over
+// db keyspace tables (point reads, updates, read-modify-writes, range
+// scans, and multi-row new-order groups) with Zipf-skewed key choice and
+// deterministic hot-key storms.
+//
+// Determinism under aborts is the design center. Operation i of thread t
+// is a pure function of (seed, t, i) — no host RNG state advances as ops
+// execute — and each session's cursor is a word in simulated memory: the
+// op-describing natives read it transactionally and `done` writes cursor+1,
+// so when a transaction aborts, the cursor rolls back with it and the redo
+// re-derives exactly the same operation. Per-thread result checksums land
+// in simulated memory the same way; the main thread folds them after the
+// joins.
+package keyspace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"htmgil/internal/db"
+	"htmgil/internal/object"
+	"htmgil/internal/simmem"
+	"htmgil/internal/vm"
+)
+
+// Op kinds, as seen by the mini-Ruby session loop.
+const (
+	OpRead     = 0 // point SELECT
+	OpUpdate   = 1 // point UPDATE
+	OpScan     = 2 // range SELECT
+	OpRMW      = 3 // point SELECT then point UPDATE of the same key
+	OpNewOrder = 4 // TPC-C-flavoured multi-row group
+)
+
+// Config sizes one workload run.
+type Config struct {
+	Workload string  // "A", "B", "C", "E", "F", or "tpcc"
+	Keys     int64   // usertable size (tpcc: stock size)
+	Threads  int     // worker thread count
+	Ops      int     // operations per thread
+	Seed     int64   // stream seed
+	ZipfS    float64 // Zipf exponent; <= 0 defaults to 0.99 (YCSB's default skew)
+}
+
+// Zipf is a stateless inverse-CDF sampler over ranks 0..n-1 with weight
+// 1/(i+1)^s. Unlike netsim's ZipfPicker it holds no RNG: callers bring
+// their own uniforms, which is what makes positional op streams possible.
+type Zipf struct {
+	cum []float64
+}
+
+// NewZipf builds the cumulative table (s <= 0 defaults to 0.99).
+func NewZipf(n int, s float64) *Zipf {
+	if s <= 0 {
+		s = 0.99
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Zipf{cum: cum}
+}
+
+// Rank maps a uniform u in [0,1) to a rank by inverse CDF.
+func (z *Zipf) Rank(u float64) int {
+	i := sort.SearchFloat64s(z.cum, u)
+	if i >= len(z.cum) {
+		i = len(z.cum) - 1
+	}
+	return i
+}
+
+// Ranks returns the table size.
+func (z *Zipf) Ranks() int { return len(z.cum) }
+
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// U is the positional uniform: channel c of operation i on thread tid
+// under seed. Independent channels never perturb each other, and nothing
+// is consumed — the same coordinates always yield the same value.
+func U(seed int64, tid, i int, channel uint64) float64 {
+	z := mix64(uint64(seed) + 0x9e3779b97f4a7c15)
+	z = mix64(z ^ (uint64(tid)+1)*0xbf58476d1ce4e5b9)
+	z = mix64(z ^ (uint64(i)+1)*0x94d049bb133111eb)
+	z = mix64(z ^ (channel+1)*0x9e3779b97f4a7c15)
+	return float64(z>>11) / (1 << 53)
+}
+
+// Uniform channels per op.
+const (
+	chKind uint64 = iota
+	chKey
+	chVal
+	chLen
+	chStorm
+	chItems // chItems+j picks item j of a new-order group
+)
+
+const (
+	// stormWindow groups op indices into windows; a stormy window draws
+	// keys from a tiny hot set instead of the Zipf tail, modeling the
+	// deterministic hot-key storms of a skewed cache invalidation.
+	stormWindow = 64
+	// stormPeriod: one window in this many is a storm.
+	stormPeriod = 8
+	// stormHotSet is the number of distinct hot keys during a storm.
+	stormHotSet = 16
+	// scanMinLen/scanMaxLen bound YCSB-E scan lengths. One row is one
+	// 256-byte line on the datastore-node profile, whose read capacity is
+	// 384 lines and whose 8 KB write capacity is consumed by result-set
+	// materialization after roughly 300 rows — so with lengths drawn from
+	// [256, 768] nearly every scan overflows HTM even as a
+	// single-statement section: the capacity regime the experiment is
+	// after, where only the OCC tier or the GIL can make progress.
+	scanMinLen = 256
+	scanMaxLen = 768
+	// tpccDistricts is the size of the hot district table.
+	tpccDistricts = 32
+	// tpccMaxItems / tpccMinItems bound a new-order group.
+	tpccMinItems = 5
+	tpccMaxItems = 15
+)
+
+// Op is one generated operation.
+type Op struct {
+	Kind  int
+	K1    int64   // key, or scan start
+	K2    int64   // scan end (exclusive); new-order: district key
+	Val   int64   // value written by updates
+	N     int     // new-order: item count
+	Items []int64 // new-order: stock keys
+	IVals []int64 // new-order: per-item values
+}
+
+// Driver generates op streams and owns the simulated-memory cursors.
+type Driver struct {
+	Cfg  Config
+	zipf *Zipf
+
+	curs []simmem.Addr // per-thread cursor words (one line each)
+	sums []simmem.Addr // per-thread checksum words
+}
+
+// NewDriver validates cfg and builds the Zipf table.
+func NewDriver(cfg Config) (*Driver, error) {
+	switch cfg.Workload {
+	case "A", "B", "C", "E", "F", "tpcc":
+	default:
+		return nil, fmt.Errorf("keyspace: unknown workload %q", cfg.Workload)
+	}
+	if cfg.Keys <= 0 || cfg.Threads <= 0 || cfg.Ops <= 0 {
+		return nil, fmt.Errorf("keyspace: keys, threads, and ops must be positive")
+	}
+	return &Driver{Cfg: cfg, zipf: NewZipf(int(cfg.Keys), cfg.ZipfS)}, nil
+}
+
+// scramble spreads Zipf ranks over the keyspace so the hot head is not a
+// contiguous key range (YCSB's hashed key order).
+func (d *Driver) scramble(rank int) int64 {
+	return int64(mix64(uint64(rank)*0x9e3779b97f4a7c15+uint64(d.Cfg.Seed)) % uint64(d.Cfg.Keys))
+}
+
+// key picks the target key for op (tid, i): Zipf-skewed normally, a tiny
+// hot set during deterministic storm windows.
+func (d *Driver) key(tid, i int) int64 {
+	w := uint64(i / stormWindow)
+	stormy := mix64(uint64(d.Cfg.Seed)^(w+1)*0xbf58476d1ce4e5b9)%stormPeriod == 0
+	u := U(d.Cfg.Seed, tid, i, chKey)
+	if stormy {
+		hot := stormHotSet
+		if int64(hot) > d.Cfg.Keys {
+			hot = int(d.Cfg.Keys)
+		}
+		return d.scramble(int(u * float64(hot)))
+	}
+	return d.scramble(d.zipf.Rank(u))
+}
+
+// At returns operation i of thread tid.
+func (d *Driver) At(tid, i int) Op {
+	c := d.Cfg
+	val := int64(U(c.Seed, tid, i, chVal) * 1000)
+	if c.Workload == "tpcc" {
+		n := tpccMinItems + int(U(c.Seed, tid, i, chLen)*float64(tpccMaxItems-tpccMinItems+1))
+		op := Op{
+			Kind: OpNewOrder,
+			K1:   int64(U(c.Seed, tid, i, chKey) * float64(d.custKeys())),
+			K2:   int64(U(c.Seed, tid, i, chStorm) * tpccDistricts),
+			Val:  val,
+			N:    n,
+		}
+		for j := 0; j < n; j++ {
+			u := U(c.Seed, tid, i, chItems+2*uint64(j))
+			op.Items = append(op.Items, d.scramble(d.zipf.Rank(u)))
+			op.IVals = append(op.IVals, int64(U(c.Seed, tid, i, chItems+2*uint64(j)+1)*1000))
+		}
+		return op
+	}
+	kind := d.kind(tid, i)
+	op := Op{Kind: kind, K1: d.key(tid, i), Val: val}
+	if kind == OpScan {
+		length := scanMinLen + int64(U(c.Seed, tid, i, chLen)*(scanMaxLen-scanMinLen))
+		if length > c.Keys {
+			length = c.Keys
+		}
+		start := int64(U(c.Seed, tid, i, chKey) * float64(c.Keys))
+		if start+length > c.Keys {
+			start = c.Keys - length
+		}
+		op.K1, op.K2 = start, start+length
+	}
+	return op
+}
+
+// kind draws the op kind from the workload mix.
+func (d *Driver) kind(tid, i int) int {
+	u := U(d.Cfg.Seed, tid, i, chKind)
+	switch d.Cfg.Workload {
+	case "A": // 50/50 read/update
+		if u < 0.5 {
+			return OpRead
+		}
+		return OpUpdate
+	case "B": // 95/5 read/update
+		if u < 0.95 {
+			return OpRead
+		}
+		return OpUpdate
+	case "C": // read-only
+		return OpRead
+	case "E": // 95/5 scan/update
+		if u < 0.95 {
+			return OpScan
+		}
+		return OpUpdate
+	default: // "F": read-modify-write
+		return OpRMW
+	}
+}
+
+// custKeys sizes the TPC-C customer table.
+func (d *Driver) custKeys() int64 {
+	n := d.Cfg.Keys / 4
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// session is the native payload handed to each worker thread.
+type session struct {
+	d   *Driver
+	tid int
+}
+
+// cursor reads the session's op index transactionally.
+func (s *session) cursor(t *vm.RThread) int {
+	return int(t.TouchRead(s.d.curs[s.tid]).Bits)
+}
+
+// Install wires the driver into a VM as the KSDriver class and reserves
+// the per-thread cursor and checksum words (one labeled, line-aligned
+// region each, so two threads' cursors never share a conflict granule).
+func (d *Driver) Install(machine *vm.VM) {
+	d.curs = d.curs[:0]
+	d.sums = d.sums[:0]
+	for tid := 0; tid < d.Cfg.Threads; tid++ {
+		d.curs = append(d.curs, machine.Mem.Reserve(fmt.Sprintf("ks:cur%02d", tid), simmem.WordBytes))
+		d.sums = append(d.sums, machine.Mem.Reserve(fmt.Sprintf("ks:sum%02d", tid), simmem.WordBytes))
+	}
+	drvC := machine.DefineClass("KSDriver", nil)
+	sessC := machine.DefineClass("KSSession", nil)
+	machine.DefineStatic(drvC, "session", 1, false, func(t *vm.RThread, self object.Value, args []object.Value, blk vm.BlockArg, now int64) (object.Value, error) {
+		if args[0].Kind != object.KFixnum || args[0].Fix < 0 || int(args[0].Fix) >= d.Cfg.Threads {
+			return object.Nil, fmt.Errorf("KSDriver.session: bad thread id")
+		}
+		o, err := t.AllocNativeObject(object.TDB, sessC, &session{d: d, tid: int(args[0].Fix)})
+		if err != nil {
+			return object.Nil, err
+		}
+		return object.RefVal(o), nil
+	})
+	machine.DefineStatic(drvC, "total", 0, false, func(t *vm.RThread, self object.Value, args []object.Value, blk vm.BlockArg, now int64) (object.Value, error) {
+		var sum int64
+		for tid := 0; tid < d.Cfg.Threads; tid++ {
+			sum += int64(t.TouchRead(d.sums[tid]).Bits)
+		}
+		return object.FixVal(sum), nil
+	})
+	sess := func(self object.Value) *session { return self.Ref.Native.(*session) }
+	field := func(name string, f func(s *session, op Op) int64) {
+		machine.DefineNative(sessC, name, 0, false, func(t *vm.RThread, self object.Value, args []object.Value, blk vm.BlockArg, now int64) (object.Value, error) {
+			s := sess(self)
+			return object.FixVal(f(s, s.d.At(s.tid, s.cursor(t)))), nil
+		})
+	}
+	machine.DefineNative(sessC, "more", 0, false, func(t *vm.RThread, self object.Value, args []object.Value, blk vm.BlockArg, now int64) (object.Value, error) {
+		s := sess(self)
+		return object.BoolVal(s.cursor(t) < s.d.Cfg.Ops), nil
+	})
+	field("op", func(s *session, op Op) int64 { return int64(op.Kind) })
+	field("k1", func(s *session, op Op) int64 { return op.K1 })
+	field("k2", func(s *session, op Op) int64 { return op.K2 })
+	field("val", func(s *session, op Op) int64 { return op.Val })
+	field("nitems", func(s *session, op Op) int64 { return int64(op.N) })
+	item := func(name string, f func(op Op, j int) int64) {
+		machine.DefineNative(sessC, name, 1, false, func(t *vm.RThread, self object.Value, args []object.Value, blk vm.BlockArg, now int64) (object.Value, error) {
+			s := sess(self)
+			op := s.d.At(s.tid, s.cursor(t))
+			j := int(args[0].Fix)
+			if j < 0 || j >= op.N {
+				return object.Nil, fmt.Errorf("keyspace: item index %d out of %d", j, op.N)
+			}
+			return object.FixVal(f(op, j)), nil
+		})
+	}
+	item("item", func(op Op, j int) int64 { return op.Items[j] })
+	item("ival", func(op Op, j int) int64 { return op.IVals[j] })
+	machine.DefineNative(sessC, "done", 0, false, func(t *vm.RThread, self object.Value, args []object.Value, blk vm.BlockArg, now int64) (object.Value, error) {
+		s := sess(self)
+		cur := s.cursor(t)
+		t.TouchWrite(s.d.curs[s.tid], simmem.Word{Bits: uint64(cur) + 1})
+		return object.Nil, nil
+	})
+	machine.DefineNative(sessC, "finish", 1, false, func(t *vm.RThread, self object.Value, args []object.Value, blk vm.BlockArg, now int64) (object.Value, error) {
+		s := sess(self)
+		t.TouchWrite(s.d.sums[s.tid], simmem.Word{Bits: uint64(args[0].Fix)})
+		return object.Nil, nil
+	})
+}
+
+// Tables returns the CREATE statements for the workload's tables.
+func (d *Driver) Tables() []string {
+	if d.Cfg.Workload == "tpcc" {
+		return []string{
+			fmt.Sprintf("CREATE KEYSPACE stock ROWS %d", d.Cfg.Keys),
+			fmt.Sprintf("CREATE KEYSPACE cust ROWS %d", d.custKeys()),
+			fmt.Sprintf("CREATE KEYSPACE dist ROWS %d", tpccDistricts),
+		}
+	}
+	return []string{fmt.Sprintf("CREATE KEYSPACE usertable ROWS %d", d.Cfg.Keys)}
+}
+
+// Program renders the mini-Ruby workload program: create tables, spawn the
+// worker threads, run each session loop, join, and print the folded
+// checksum. Every statement the workers issue is speculative-safe (the
+// tables are keyspaces), so the whole mix runs on the HTM/OCC tiers and
+// falls back per the policy under test.
+func (d *Driver) Program() string {
+	var b strings.Builder
+	b.WriteString("$db = SQLite3.new\n")
+	for _, q := range d.Tables() {
+		fmt.Fprintf(&b, "$db.execute(%q)\n", q)
+	}
+	body := ycsbBody
+	if d.Cfg.Workload == "tpcc" {
+		body = tpccBody
+	}
+	fmt.Fprintf(&b, `threads = []
+i = 0
+while i < %d
+  threads << Thread.new(i) do |me|
+%s  end
+  i += 1
+end
+threads.each do |t|
+  t.join
+end
+puts KSDriver.total
+`, d.Cfg.Threads, body)
+	return b.String()
+}
+
+// ycsbBody is the per-thread session loop for workloads A/B/C/E/F. Reads
+// fold observed values into the checksum; scans fold their row counts.
+const ycsbBody = `    sess = KSDriver.session(me)
+    sum = 0
+    while sess.more
+      o = sess.op
+      if o == 0
+        rows = $db.execute("SELECT * FROM usertable WHERE key = #{sess.k1}")
+        if rows.length > 0
+          sum += rows[0][1]
+        end
+      elsif o == 1
+        $db.execute("UPDATE usertable SET val = #{sess.val} WHERE key = #{sess.k1}")
+      elsif o == 2
+        rows = $db.execute("SELECT * FROM usertable WHERE key >= #{sess.k1} AND key < #{sess.k2}")
+        sum += rows.length
+      else
+        rows = $db.execute("SELECT * FROM usertable WHERE key = #{sess.k1}")
+        if rows.length > 0
+          sum += rows[0][1]
+        end
+        $db.execute("UPDATE usertable SET val = #{sess.val} WHERE key = #{sess.k1}")
+      end
+      sess.done
+    end
+    sess.finish(sum)
+`
+
+// tpccBody is the new-order loop: read a customer row, update the hot
+// district row, then read-modify-write 5-15 Zipf-chosen stock rows.
+const tpccBody = `    sess = KSDriver.session(me)
+    sum = 0
+    while sess.more
+      rows = $db.execute("SELECT * FROM cust WHERE key = #{sess.k1}")
+      if rows.length > 0
+        sum += rows[0][1]
+      end
+      $db.execute("UPDATE dist SET val = #{sess.val} WHERE key = #{sess.k2}")
+      n = sess.nitems
+      j = 0
+      while j < n
+        k = sess.item(j)
+        rows = $db.execute("SELECT * FROM stock WHERE key = #{k}")
+        if rows.length > 0
+          sum += rows[0][1]
+        end
+        $db.execute("UPDATE stock SET val = #{sess.ival(j)} WHERE key = #{k}")
+        j += 1
+      end
+      sess.done
+    end
+    sess.finish(sum)
+`
+
+// ShardOf re-exports the db shard map so workload-level tooling and the
+// property tests exercise exactly the mapping the store uses.
+func ShardOf(key int64, n int) int { return db.ShardOf(key, n) }

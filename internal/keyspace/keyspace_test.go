@@ -1,0 +1,213 @@
+package keyspace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"htmgil/internal/db"
+	"htmgil/internal/htm"
+	"htmgil/internal/vm"
+)
+
+// TestZipfSameSeedSameStream: the positional uniforms and the Zipf ranks
+// derived from them are pure functions of their coordinates — re-deriving
+// any prefix, in any order, yields the same stream.
+func TestZipfSameSeedSameStream(t *testing.T) {
+	z := NewZipf(10_000, 0.99)
+	var first []int
+	for i := 0; i < 2_000; i++ {
+		first = append(first, z.Rank(U(42, 3, i, chKey)))
+	}
+	// Re-derive backwards to prove position independence.
+	for i := 1_999; i >= 0; i-- {
+		if got := z.Rank(U(42, 3, i, chKey)); got != first[i] {
+			t.Fatalf("op %d: rank %d then %d", i, first[i], got)
+		}
+	}
+	// A different seed, thread, or channel gives a different stream.
+	same := 0
+	for i := 0; i < 2_000; i++ {
+		if z.Rank(U(43, 3, i, chKey)) == first[i] {
+			same++
+		}
+	}
+	if same > 400 {
+		t.Fatalf("seed 43 repeats %d/2000 ranks of seed 42", same)
+	}
+}
+
+// TestZipfCDFTolerance draws many ranks and checks the empirical CDF of
+// the head against the analytic one.
+func TestZipfCDFTolerance(t *testing.T) {
+	const n, draws = 1_000, 200_000
+	z := NewZipf(n, 0.99)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Rank(U(7, 0, i, chKey))]++
+	}
+	// Analytic weights.
+	total := 0.0
+	weights := make([]float64, n)
+	for i := 0; i < n; i++ {
+		weights[i] = 1 / math.Pow(float64(i+1), 0.99)
+		total += weights[i]
+	}
+	cumE, cumO := 0.0, 0.0
+	for i := 0; i < 100; i++ { // the head carries the skew
+		cumE += weights[i] / total
+		cumO += float64(counts[i]) / draws
+		if d := math.Abs(cumE - cumO); d > 0.01 {
+			t.Fatalf("rank %d: |empirical-analytic| CDF gap %.4f", i, d)
+		}
+	}
+	// Monotone skew: rank 0 strictly dominates rank 50.
+	if counts[0] <= counts[50] {
+		t.Fatalf("no skew: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+}
+
+// TestShardMapProperties: the shard map is total (every key lands in
+// [0,n)), deterministic, degenerate at n=1, and balanced enough that no
+// shard starves.
+func TestShardMapProperties(t *testing.T) {
+	const keys = 1_000_000
+	for _, n := range []int{1, 2, 4, 8, 64} {
+		counts := make([]int, n)
+		for k := int64(0); k < keys; k++ {
+			s := ShardOf(k, n)
+			if s < 0 || s >= n {
+				t.Fatalf("ShardOf(%d,%d) = %d out of range", k, n, s)
+			}
+			if s != db.ShardOf(k, n) || s != ShardOf(k, n) {
+				t.Fatalf("ShardOf(%d,%d) not deterministic", k, n)
+			}
+			counts[s]++
+		}
+		if n == 1 {
+			if counts[0] != keys {
+				t.Fatalf("n=1 must map everything to shard 0")
+			}
+			continue
+		}
+		want := keys / n
+		for s, c := range counts {
+			if c < want*9/10 || c > want*11/10 {
+				t.Fatalf("n=%d shard %d holds %d keys (expect ~%d)", n, s, c, want)
+			}
+		}
+	}
+	// Negative n behaves like unsharded rather than crashing.
+	if ShardOf(5, 0) != 0 || ShardOf(5, -3) != 0 {
+		t.Fatalf("degenerate shard counts must map to 0")
+	}
+}
+
+// TestOpStreamShapes: every generated op is well-formed for its workload.
+func TestOpStreamShapes(t *testing.T) {
+	for _, wl := range []string{"A", "B", "C", "E", "F", "tpcc"} {
+		d, err := NewDriver(Config{Workload: wl, Keys: 5_000, Threads: 4, Ops: 500, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kinds := map[int]int{}
+		for tid := 0; tid < 4; tid++ {
+			for i := 0; i < 500; i++ {
+				op := d.At(tid, i)
+				kinds[op.Kind]++
+				switch op.Kind {
+				case OpScan:
+					if op.K1 < 0 || op.K2 > 5_000 || op.K2 <= op.K1 || op.K2-op.K1 > scanMaxLen {
+						t.Fatalf("%s: bad scan [%d,%d)", wl, op.K1, op.K2)
+					}
+				case OpNewOrder:
+					if op.N < tpccMinItems || op.N > tpccMaxItems || len(op.Items) != op.N {
+						t.Fatalf("%s: bad group size %d", wl, op.N)
+					}
+					if op.K2 < 0 || op.K2 >= tpccDistricts {
+						t.Fatalf("%s: district %d", wl, op.K2)
+					}
+					for j, k := range op.Items {
+						if k < 0 || k >= 5_000 || op.IVals[j] < 0 {
+							t.Fatalf("%s: item %d key %d", wl, j, k)
+						}
+					}
+				default:
+					if op.K1 < 0 || op.K1 >= 5_000 || op.Val < 0 {
+						t.Fatalf("%s: key %d val %d", wl, op.K1, op.Val)
+					}
+				}
+			}
+		}
+		switch wl {
+		case "C":
+			if kinds[OpUpdate]+kinds[OpScan]+kinds[OpRMW] != 0 {
+				t.Fatalf("C generated writes: %v", kinds)
+			}
+		case "A":
+			if kinds[OpUpdate] < 800 || kinds[OpRead] < 800 {
+				t.Fatalf("A mix off: %v", kinds)
+			}
+		case "E":
+			if kinds[OpScan] < 1700 || kinds[OpUpdate] == 0 {
+				t.Fatalf("E mix off: %v", kinds)
+			}
+		case "tpcc":
+			if kinds[OpNewOrder] != 2000 {
+				t.Fatalf("tpcc mix off: %v", kinds)
+			}
+		}
+	}
+}
+
+// runWorkload compiles and runs a small workload end to end.
+func runWorkload(t *testing.T, cfg Config, policy string, shards int) string {
+	t.Helper()
+	d, err := NewDriver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := vm.DefaultOptions(htm.DatastoreNode(), vm.ModeHTM)
+	opt.Policy = policy
+	opt.Shards = shards
+	machine := vm.New(opt)
+	db.Install(machine)
+	d.Install(machine)
+	iseq, err := machine.CompileSource(d.Program(), "ks-"+cfg.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := machine.Run(iseq)
+	if err != nil {
+		t.Fatalf("%s/%s: %v", cfg.Workload, policy, err)
+	}
+	return res.Output
+}
+
+// TestWorkloadReadOnlyChecksum: workload C reads a freshly bulk-loaded
+// keyspace whose every val is 0, so the concurrent checksum is exactly
+// predictable host-side: zero. Any other value means a read invented data.
+func TestWorkloadReadOnlyChecksum(t *testing.T) {
+	cfg := Config{Workload: "C", Keys: 2_000, Threads: 4, Ops: 40, Seed: 9}
+	out := runWorkload(t, cfg, "paper-dynamic", 1)
+	if !strings.HasSuffix(out, "0\n") {
+		t.Fatalf("read-only checksum = %q (want 0)", out)
+	}
+}
+
+// TestWorkloadDeterminism: the same config yields byte-identical output
+// whatever the policy's internal racing looks like, run to run; sharded
+// and unsharded runs are each self-deterministic.
+func TestWorkloadDeterminism(t *testing.T) {
+	for _, tc := range []struct {
+		wl     string
+		shards int
+	}{{"A", 1}, {"E", 4}, {"tpcc", 4}} {
+		cfg := Config{Workload: tc.wl, Keys: 1_000, Threads: 4, Ops: 25, Seed: 5}
+		a := runWorkload(t, cfg, "paper-dynamic", tc.shards)
+		b := runWorkload(t, cfg, "paper-dynamic", tc.shards)
+		if a != b {
+			t.Fatalf("%s: nondeterministic output %q vs %q", tc.wl, a, b)
+		}
+	}
+}

@@ -26,7 +26,7 @@ var fuzzSeeds = []string{
 	"a[1][2] = b[3]",
 	"x = -1e10\ny = 0.5\nz = 1_000",
 	"@@cv = 1\nFOO = 2\n$bar = 3",
-	"a, b = 1, 2" ,
+	"a, b = 1, 2",
 	"puts 1 if 2 > 1",
 	"case\nwhen 1\nend",
 	"((((((((((1))))))))))",

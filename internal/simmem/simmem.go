@@ -173,8 +173,12 @@ type Memory struct {
 	// access to a recorded line dooms the accessing transaction (it would
 	// observe the lock holder's intermediate state — Dice et al.'s unsafe
 	// read). nil whenever no window is open, so the common policies pay
-	// only a nil check per access.
-	hazard map[Addr]struct{}
+	// only a nil check per access. hazardDepth counts overlapping window
+	// holders (e.g. several shard GILs held at once): the union of all
+	// holders' lines is kept until the last window closes, which is
+	// conservative but sound.
+	hazard      map[Addr]struct{}
+	hazardDepth int
 
 	// statistics
 	conflictCounts       map[string]uint64 // region label -> times a tx was doomed there
@@ -269,18 +273,29 @@ func (m *Memory) RegionLabel(addr Addr) string {
 	return "unknown"
 }
 
-// StartHazard opens a hazard window: until EndHazard, lines written by
-// non-transactional Stores doom any transaction that later touches them
-// transactionally. The GIL opens a window for the duration of each hold
-// when lazy-subscription elision is active (gil.GIL.HazardTrack).
+// StartHazard opens a hazard window: until the matching EndHazard, lines
+// written by non-transactional Stores doom any transaction that later
+// touches them transactionally. The GIL opens a window for the duration of
+// each hold when lazy-subscription elision is active (gil.GIL.HazardTrack).
+// Windows nest (sharded-GIL mode can hold several lock windows at once):
+// the union of all holders' lines persists until the outermost close.
 func (m *Memory) StartHazard() {
+	m.hazardDepth++
 	if m.hazard == nil {
 		m.hazard = make(map[Addr]struct{})
 	}
 }
 
-// EndHazard closes the hazard window and discards the recorded lines.
-func (m *Memory) EndHazard() { m.hazard = nil }
+// EndHazard closes one hazard window; the recorded lines are discarded only
+// when the last overlapping window closes.
+func (m *Memory) EndHazard() {
+	if m.hazardDepth > 0 {
+		m.hazardDepth--
+	}
+	if m.hazardDepth == 0 {
+		m.hazard = nil
+	}
+}
 
 // HazardActive reports whether a hazard window is open.
 func (m *Memory) HazardActive() bool { return m.hazard != nil }

@@ -93,6 +93,13 @@ type Aggregator struct {
 	GILYields   uint64
 	GILHeld     int64 // total cycles the lock was held (sum of release events)
 
+	// Per-shard attribution in sharded-GIL mode, keyed by Event.Shard
+	// (1-based; 0 = root GIL). Empty for unsharded runs, where every GIL
+	// event lands on key 0 and the aggregate counters above tell the story.
+	ShardAcquires   map[int]uint64
+	ShardHoldCycles map[int]int64
+	ShardFallbacks  map[int]uint64 // gil-fallback events routed to a shard GIL
+
 	Adjustments  uint64
 	LengthSeries map[int][]LengthSample // yield point -> attenuation history
 
@@ -126,6 +133,9 @@ func NewAggregator() *Aggregator {
 		FallbackReasons: make(map[string]uint64),
 		DoomRegions:     make(map[string]uint64),
 		LengthSeries:    make(map[int][]LengthSample),
+		ShardAcquires:   make(map[int]uint64),
+		ShardHoldCycles: make(map[int]int64),
+		ShardFallbacks:  make(map[int]uint64),
 		Faults:          make(map[string]uint64),
 		Breaker:         make(map[string]uint64),
 		Degradations:    make(map[string]uint64),
@@ -167,6 +177,9 @@ func (a *Aggregator) Emit(ev Event) {
 		if ev.Note != "" {
 			a.FallbackReasons[ev.Note]++
 		}
+		if ev.Shard > 0 {
+			a.ShardFallbacks[ev.Shard]++
+		}
 	case KindLenAdjust:
 		a.Adjustments++
 		if ev.PC >= 0 {
@@ -175,9 +188,15 @@ func (a *Aggregator) Emit(ev Event) {
 		}
 	case KindGILAcquire:
 		a.GILAcquires++
+		if ev.Shard > 0 {
+			a.ShardAcquires[ev.Shard]++
+		}
 	case KindGILRelease:
 		a.GILReleases++
 		a.GILHeld += ev.Cycles
+		if ev.Shard > 0 {
+			a.ShardHoldCycles[ev.Shard] += ev.Cycles
+		}
 	case KindGILYield:
 		a.GILYields++
 	case KindDoom:
@@ -325,6 +344,18 @@ func (a *Aggregator) WriteSummary(w io.Writer, n int) {
 		fmt.Fprintf(w, "  brownout transitions:")
 		for _, kv := range topN(a.Brownouts, 0) {
 			fmt.Fprintf(w, " %s=%d", kv.Key, kv.Count)
+		}
+		fmt.Fprintln(w)
+	}
+	if len(a.ShardAcquires) > 0 {
+		ids := make([]int, 0, len(a.ShardAcquires))
+		for id := range a.ShardAcquires {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		fmt.Fprintf(w, "  shard gil acquires:")
+		for _, id := range ids {
+			fmt.Fprintf(w, " s%d=%d", id-1, a.ShardAcquires[id])
 		}
 		fmt.Fprintln(w)
 	}

@@ -94,6 +94,10 @@ type Event struct {
 	// dirty (in its write set) rather than merely in its read set.
 	Writer bool   `json:"writer,omitempty"`
 	Note   string `json:"note,omitempty"`
+	// Shard attributes GIL events to a keyspace shard in sharded-GIL mode.
+	// It is 1-based: 0 means the root GIL (or not applicable), s+1 means
+	// shard s, so the zero value stays omitted from JSONL.
+	Shard int `json:"shard,omitempty"`
 }
 
 // Ev returns an Event at time t with the id fields marked not-applicable.

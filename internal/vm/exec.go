@@ -110,7 +110,7 @@ func (t *RThread) blockForNative(now int64, sofar int64) sched.StepResult {
 	switch v.Opt.Mode {
 	case ModeHTM:
 		if t.tle.GILMode {
-			v.GIL.Release(t.sth, now+sofar)
+			v.Elision.ReleaseLock(t.tle, t.sth, now+sofar)
 			t.tle.GILMode = false
 		}
 		t.park(CatIOWait, rsReacquireGIL)

@@ -100,6 +100,33 @@ func (t *RThread) AllocShadow(words int) (simmem.Addr, error) {
 	return t.allocArena(words)
 }
 
+// ReserveShadow reserves a labeled, line-aligned address-space region
+// outside the arenas, for extension data too large for the per-thread
+// arena budget (bulk-loaded datastore tables). The region's lines are
+// materialized lazily by simmem, so reserving gigabytes costs nothing until
+// touched. Must be called from load-time (setup-thread) code.
+func (t *RThread) ReserveShadow(label string, bytes int) simmem.Addr {
+	return t.vm.Mem.Reserve(label, bytes)
+}
+
+// TouchShard subscribes the current critical section to keyspace shard s in
+// sharded-GIL mode (no-op otherwise). Extensions call it before touching
+// data belonging to shard s; see core.Elision.TouchShard.
+func (t *RThread) TouchShard(s int) {
+	if t.vm.Sharded == nil || t.tle == nil {
+		return
+	}
+	t.vm.Elision.TouchShard(t.tle, s)
+}
+
+// ShardCount returns the number of keyspace shards (1 when unsharded).
+func (t *RThread) ShardCount() int {
+	if t.vm.Sharded == nil {
+		return 1
+	}
+	return t.vm.Sharded.ShardCount()
+}
+
 // CyclesPerSecond is the virtual-time second used by load generators.
 const CyclesPerSecond = CyclesPerSec
 

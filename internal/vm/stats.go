@@ -2,6 +2,7 @@ package vm
 
 import (
 	"htmgil/internal/core"
+	"htmgil/internal/gil"
 	"htmgil/internal/htm"
 	"htmgil/internal/occ"
 	"htmgil/internal/simmem"
@@ -96,6 +97,18 @@ type Stats struct {
 	// Degradations counts watchdog degradation events by reason (nil
 	// unless Options.Watchdog raised any).
 	Degradations map[string]uint64
+
+	// Sharded-GIL mode (Options.Shards > 1; nil/zero otherwise).
+	// RootGIL snapshots the root lock's occupancy for comparison against
+	// the shard locks, ShardGIL holds each shard lock's
+	// acquisition/hold statistics,
+	// ShardFallbacks the fallbacks routed to each shard's GIL, and
+	// CrossShardLeaks the statements that touched a shard other than the
+	// one whose lock they held (benign; see DESIGN.md §13).
+	RootGIL         gil.Stats
+	ShardGIL        []gil.Stats
+	ShardFallbacks  []uint64
+	CrossShardLeaks uint64
 }
 
 // AbortRatio returns aborted transactions over started transactions.

@@ -26,7 +26,19 @@ func (t *RThread) step(now int64) sched.StepResult {
 		cycles, out := v.Elision.ResumeBegin(t.tle, t.sth, now)
 		return t.afterBegin(cycles, out, now)
 	case rsGILWaitOwned:
-		// Woken by the GIL handoff: we own the lock.
+		// Woken by the GIL handoff: we own the lock — except in sharded
+		// mode, where a wake off the drain queue owns nothing and must
+		// retry the root acquisition (see gil.Sharded).
+		if v.Sharded != nil && !v.GIL.HeldBy(t.sth) {
+			cycles, ok := v.Sharded.AcquireRoot(t.sth, now)
+			if !ok {
+				return sched.StepResult{Cycles: cycles + 1, Status: sched.Blocked}
+			}
+			t.tle.GILMode = true
+			t.acc = v.Mem
+			t.resume = t.afterGIL
+			return sched.StepResult{Cycles: cycles + 1, Status: sched.Running}
+		}
 		if v.Opt.Mode == ModeHTM {
 			t.tle.GILMode = true
 		} else {
@@ -41,9 +53,11 @@ func (t *RThread) step(now int64) sched.StepResult {
 	case rsReacquireGIL:
 		// Back from a blocking native: take the GIL again (CRuby semantics)
 		// and then re-dispatch the native, which consults its saved state.
+		// Blocking natives always retake the root GIL — they run
+		// interpreter-level synchronization, never a shard section.
 		switch v.Opt.Mode {
 		case ModeHTM, ModeGIL:
-			cycles, ok := v.GIL.BlockingAcquire(t.sth, now)
+			cycles, ok := t.rootAcquire(now)
 			if !ok {
 				t.afterGIL = rsNativeRetry
 				t.park(CatGILWait, rsGILWaitOwned)
@@ -74,6 +88,17 @@ func (t *RThread) step(now int64) sched.StepResult {
 		return t.doAbort(now)
 	}
 	return t.dispatch(now)
+}
+
+// rootAcquire acquires the global (root) GIL, honoring the sharded
+// drain/gate protocol when active. ok=false means the thread parked; the
+// rsGILWaitOwned resume re-checks ownership and retries as needed.
+func (t *RThread) rootAcquire(now int64) (int64, bool) {
+	v := t.vm
+	if v.Sharded != nil {
+		return v.Sharded.AcquireRoot(t.sth, now)
+	}
+	return v.GIL.BlockingAcquire(t.sth, now)
 }
 
 // doBegin opens a critical section at the pending yield point.

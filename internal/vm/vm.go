@@ -85,6 +85,14 @@ type Options struct {
 	// (Section 4.2). Without them only back-edges and leaves yield.
 	ExtendedYieldPoints bool
 
+	// Shards > 1 enables sharded-GIL mode (ModeHTM only, max 64): the
+	// keyspace of the datastore extension is partitioned into this many
+	// shards, each with its own fallback GIL, and critical sections whose
+	// aborted attempt touched exactly one shard serialize on that shard's
+	// lock instead of the root GIL. See internal/gil.Sharded and DESIGN.md
+	// §13.
+	Shards int
+
 	// Conflict-removal toggles (Section 4.4).
 	GlobalVarsToTLS      bool // running-thread globals moved to TLS
 	ThreadLocalFreeLists bool // per-thread object free lists
@@ -184,6 +192,7 @@ type VM struct {
 	Mem     *simmem.Memory
 	Engine  *sched.Engine
 	GIL     *gil.GIL
+	Sharded *gil.Sharded // nil unless Options.Shards > 1 (ModeHTM)
 	Elision *core.Elision
 	Heap    *heap.Heap
 	Syms    *object.SymTable
@@ -305,6 +314,15 @@ func New(opt Options) *VM {
 	v.Elision = core.NewWithPolicy(pol, v.GIL, v.Engine)
 	v.Elision.Deadlines = opt.Deadlines
 	v.Elision.LiveAppThreads = func() int { return v.liveApp }
+	if opt.Shards > 1 && opt.Mode == ModeHTM {
+		v.Sharded = gil.NewSharded(v.GIL, opt.Shards)
+		for _, g := range v.Sharded.Shards {
+			// Shard locks inherit the root's hazard tracking: their holders
+			// publish writes non-transactionally too.
+			g.HazardTrack = v.GIL.HazardTrack
+		}
+		v.Elision.AttachSharded(v.Sharded)
+	}
 	if policy.UsesOCCTier(pol) {
 		// The policy routes sections into the software-transaction tier:
 		// create its runtime (reserving the commit-sequence word the
@@ -325,6 +343,11 @@ func New(opt Options) *VM {
 		v.Engine.Tracer = opt.Trace
 		v.GIL.Tracer = opt.Trace
 		v.Elision.Tracer = opt.Trace
+		if v.Sharded != nil {
+			for _, g := range v.Sharded.Shards {
+				g.Tracer = opt.Trace
+			}
+		}
 	}
 
 	if opt.Breaker {
@@ -344,6 +367,11 @@ func New(opt Options) *VM {
 		v.Engine.Chooser = opt.Chooser
 		v.GIL.Chooser = opt.Chooser
 		v.Mem.Chooser = opt.Chooser
+		if v.Sharded != nil {
+			for _, g := range v.Sharded.Shards {
+				g.Chooser = opt.Chooser
+			}
+		}
 	}
 
 	v.stats.ConflictRegions = make(map[string]uint64)
@@ -612,6 +640,14 @@ func (v *VM) finishRun() *RunResult {
 		}
 		if rt := v.Elision.OCCRT; rt != nil {
 			s.OCC = rt.Stats.Clone()
+		}
+		if v.Sharded != nil {
+			s.RootGIL = v.GIL.Stats
+			for _, g := range v.Sharded.Shards {
+				s.ShardGIL = append(s.ShardGIL, g.Stats)
+			}
+			s.ShardFallbacks = append([]uint64(nil), v.Elision.ShardFallbacks...)
+			s.CrossShardLeaks = v.Elision.CrossShardLeaks
 		}
 	}
 	s.FaultCounts = v.Faults.Counts()
